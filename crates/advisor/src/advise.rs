@@ -1,0 +1,277 @@
+//! Putting it together: measure the profile, take the recorded mix, rank
+//! every design, and (optionally) apply the winner.
+
+use asr_core::{AsrConfig, AsrId, Database, Decomposition, Extension, Result};
+use asr_costmodel::design::{rank_designs, DesignChoice};
+use asr_costmodel::{CostModel, Ext};
+use asr_gom::PathExpression;
+
+use crate::profile::derive_profile;
+use crate::recorder::UsageRecorder;
+
+/// The advisor's output for one path expression.
+#[derive(Debug)]
+pub struct Advice {
+    /// The path the advice concerns.
+    pub path: PathExpression,
+    /// The measured application profile.
+    pub model: CostModel,
+    /// Every design, cheapest first (index 0 is the recommendation).
+    pub ranked: Vec<DesignChoice>,
+}
+
+impl Advice {
+    /// The recommended design (cheapest).
+    pub fn best(&self) -> &DesignChoice {
+        &self.ranked[0]
+    }
+
+    /// The recommendation as an [`AsrConfig`], or `None` when "no access
+    /// support" wins.
+    pub fn recommended_config(&self) -> Option<AsrConfig> {
+        let best = self.best();
+        let extension = match best.extension? {
+            Ext::Canonical => Extension::Canonical,
+            Ext::Full => Extension::Full,
+            Ext::Left => Extension::LeftComplete,
+            Ext::Right => Extension::RightComplete,
+        };
+        let decomposition = Decomposition::new(best.decomposition.0.clone())
+            .expect("cost-model decompositions are valid");
+        Some(AsrConfig { extension, decomposition, keep_set_oids: false })
+    }
+
+    /// Materialize the recommendation on the database.  Returns `None`
+    /// when the advice is to run unindexed.
+    pub fn apply(&self, db: &mut Database) -> Result<Option<AsrId>> {
+        match self.recommended_config() {
+            Some(config) => Ok(Some(db.create_asr(self.path.clone(), config)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Predicted cost ratio of the recommendation against no support
+    /// (< 1 means the ASR pays off).
+    pub fn predicted_improvement(&self, recorder: &UsageRecorder) -> f64 {
+        let mix = recorder.to_mix();
+        let baseline = self.model.mix_cost_nosupport(&mix);
+        if baseline == 0.0 {
+            return 1.0;
+        }
+        self.best().cost / baseline
+    }
+
+    /// Human-readable summary of the top choices.
+    pub fn summary(&self, top: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "advice for {}:", self.path);
+        for (rank, choice) in self.ranked.iter().take(top).enumerate() {
+            let _ = writeln!(
+                out,
+                "  {}. {:<22} {:>10.2} accesses/op",
+                rank + 1,
+                choice.label(),
+                choice.cost
+            );
+        }
+        out
+    }
+}
+
+/// Measure the database along `path`, combine with the recorded usage,
+/// and rank all design choices.
+pub fn advise(db: &Database, path: &PathExpression, recorder: &UsageRecorder) -> Result<Advice> {
+    let profile = derive_profile(db, path)?;
+    let model = CostModel::new(profile);
+    let mix = recorder.to_mix();
+    let ranked = rank_designs(&model, &mix);
+    Ok(Advice { path: path.clone(), model, ranked })
+}
+
+/// The verdict of verifying an existing design against recorded usage —
+/// the paper's "periodically verify that the once envisioned usage
+/// profile actually remains valid under operation" (Section 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verification {
+    /// Predicted cost/op of the ASR as currently configured.
+    pub current_cost: f64,
+    /// Predicted cost/op of the best design for the recorded usage.
+    pub best_cost: f64,
+    /// Human-readable label of the best design.
+    pub best_label: String,
+    /// `current / best` — 1.0 means the installed design is still optimal.
+    pub drift: f64,
+}
+
+impl Verification {
+    /// Is the installed design still within `tolerance` (e.g. 1.1 = 10 %)
+    /// of the optimum?
+    pub fn still_adequate(&self, tolerance: f64) -> bool {
+        self.drift <= tolerance
+    }
+}
+
+/// Verify a registered ASR against the recorded usage pattern.
+pub fn verify(
+    db: &Database,
+    asr: asr_core::AsrId,
+    recorder: &UsageRecorder,
+) -> Result<Verification> {
+    let asr_ref = db.asr(asr)?;
+    let path = asr_ref.path().clone();
+    let config = asr_ref.config().clone();
+    let advice = advise(db, &path, recorder)?;
+    let mix = recorder.to_mix();
+    let ext = match config.extension {
+        Extension::Canonical => Ext::Canonical,
+        Extension::Full => Ext::Full,
+        Extension::LeftComplete => Ext::Left,
+        Extension::RightComplete => Ext::Right,
+    };
+    let dec = asr_costmodel::Dec(config.decomposition.cuts().to_vec());
+    let current_cost = advice.model.mix_cost(ext, &dec, &mix);
+    let best = advice.best();
+    Ok(Verification {
+        current_cost,
+        best_cost: best.cost,
+        best_label: best.label(),
+        drift: if best.cost > 0.0 { current_cost / best.cost } else { 1.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_costmodel::Mix;
+    use asr_workload::{execute_trace, generate, generate_trace, GeneratorSpec};
+
+    fn spec() -> GeneratorSpec {
+        GeneratorSpec {
+            counts: vec![20, 100, 200, 1000, 2000],
+            defined: vec![18, 80, 160, 400],
+            fan: vec![2, 2, 3, 4],
+            sizes: vec![500, 400, 300, 300, 100],
+        }
+    }
+
+    fn recorded_usage() -> UsageRecorder {
+        let mut r = UsageRecorder::new();
+        for _ in 0..40 {
+            r.record_backward(0, 4);
+        }
+        for _ in 0..10 {
+            r.record_forward(0, 4);
+        }
+        for _ in 0..5 {
+            r.record_insert(3);
+        }
+        r
+    }
+
+    #[test]
+    fn advise_recommends_support_for_query_heavy_usage() {
+        let g = generate(&spec(), 11);
+        let advice = advise(&g.db, &g.path, &recorded_usage()).unwrap();
+        assert!(advice.best().extension.is_some(), "queries dominate: support must win");
+        assert!(advice.recommended_config().is_some());
+        assert!(advice.predicted_improvement(&recorded_usage()) < 0.5);
+        assert!(advice.summary(3).contains("advice for"));
+        // The ranking covers every design + no support.
+        assert_eq!(advice.ranked.len(), 1 + 4 * (1 << (g.path.len() - 1)));
+    }
+
+    #[test]
+    fn advise_recommends_nothing_for_pure_updates() {
+        let g = generate(&spec(), 11);
+        let mut r = UsageRecorder::new();
+        for _ in 0..50 {
+            r.record_insert(2);
+        }
+        let advice = advise(&g.db, &g.path, &r).unwrap();
+        assert_eq!(advice.best().extension, None);
+        assert!(advice.recommended_config().is_none());
+        let mut db_g = generate(&spec(), 11);
+        assert!(advice.apply(&mut db_g.db).unwrap().is_none());
+    }
+
+    #[test]
+    fn applied_advice_beats_no_support_empirically() {
+        let recorder = recorded_usage();
+        let mix: Mix = recorder.to_mix();
+
+        // Unindexed baseline.
+        let mut plain = generate(&spec(), 13);
+        let trace = generate_trace(&plain, &mix, 60, 7);
+        let path = plain.path.clone();
+        let baseline = execute_trace(&mut plain.db, None, &path, &trace);
+
+        // The advisor's pick on an identical database.
+        let mut tuned = generate(&spec(), 13);
+        let advice = advise(&tuned.db, &tuned.path, &recorder).unwrap();
+        let id = advice.apply(&mut tuned.db).unwrap().expect("support recommended");
+        tuned.db.stats().reset();
+        let path = tuned.path.clone();
+        let report = execute_trace(&mut tuned.db, Some(id), &path, &trace);
+
+        assert!(
+            report.mean_cost() * 2.0 < baseline.mean_cost(),
+            "advised {:.1}/op must clearly beat baseline {:.1}/op",
+            report.mean_cost(),
+            baseline.mean_cost()
+        );
+    }
+
+    #[test]
+    fn verify_detects_design_drift() {
+        let mut g = generate(&spec(), 11);
+        let recorder = recorded_usage();
+        // Install the optimum: drift must be ~1.
+        let advice = advise(&g.db, &g.path, &recorder).unwrap();
+        let id = advice.apply(&mut g.db).unwrap().expect("support recommended");
+        let v = crate::advise::verify(&g.db, id, &recorder).unwrap();
+        assert!((v.drift - 1.0).abs() < 1e-9, "installed optimum drifts: {v:?}");
+        assert!(v.still_adequate(1.05));
+
+        // Under a radically different usage pattern the same design drifts.
+        let mut updates_only = UsageRecorder::new();
+        for _ in 0..50 {
+            updates_only.record_insert(0);
+            updates_only.record_backward(2, 4);
+        }
+        let v2 = crate::advise::verify(&g.db, id, &updates_only).unwrap();
+        assert!(v2.drift > 1.0, "usage shifted, design should no longer be optimal: {v2:?}");
+    }
+
+    #[test]
+    fn advice_shifts_with_the_recorded_mix() {
+        let g = generate(&spec(), 11);
+        // Interior spans force the full extension.
+        let mut interior = UsageRecorder::new();
+        for _ in 0..20 {
+            interior.record_forward(1, 3);
+            interior.record_backward(2, 4);
+        }
+        let advice = advise(&g.db, &g.path, &interior).unwrap();
+        // Only full supports Q_{1,3}; right supports Q_{2,4}. The winner
+        // must support at least the dominant interior span.
+        let best_ext = advice.best().extension.expect("support wins");
+        assert!(
+            best_ext == Ext::Full || best_ext == Ext::Right,
+            "got {best_ext}"
+        );
+
+        let mut anchored = UsageRecorder::new();
+        for _ in 0..20 {
+            anchored.record_backward(0, 4);
+        }
+        for _ in 0..30 {
+            anchored.record_insert(3);
+        }
+        let advice2 = advise(&g.db, &g.path, &anchored).unwrap();
+        // Update-heavy anchored usage: left or canonical family expected
+        // over right (whose ins_3 maintenance is catastrophic here).
+        let best2 = advice2.best().extension;
+        assert_ne!(best2, Some(Ext::Right));
+    }
+}

@@ -1,0 +1,35 @@
+//! # asr-advisor — usage-driven physical database design
+//!
+//! The paper closes with a vision (Section 7):
+//!
+//! > "in a 'real' database application one should periodically verify
+//! > that the once envisioned usage profile actually remains valid under
+//! > operation.  Therefore, the cost model is intended to be integrated
+//! > into our object-oriented DBMS in order to verify a given physical
+//! > database design, or even to automate the task of physical database
+//! > design.  Thus, for a recorded database usage pattern the system
+//! > could (semi-)automatically adjust the physical database design."
+//!
+//! This crate implements that loop:
+//!
+//! 1. [`derive_profile`] *measures* the application parameters of
+//!    Figure 3 (`c_i, d_i, fan_i, shar_i, size_i`) from the live object
+//!    base instead of asking the designer to guess them;
+//! 2. [`UsageRecorder`] accumulates the observed operation mix
+//!    (span queries and `ins_i` updates) into the paper's
+//!    `M = (Q_mix, U_mix, P_up)`;
+//! 3. [`advise()`](advise()) feeds both into the analytical cost model's design
+//!    enumeration and returns a ranked recommendation;
+//! 4. [`Advice::apply`] materializes the winning extension ×
+//!    decomposition as an actual access support relation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod advise;
+pub mod profile;
+pub mod recorder;
+
+pub use advise::{advise, verify, Advice, Verification};
+pub use profile::derive_profile;
+pub use recorder::UsageRecorder;

@@ -1,0 +1,161 @@
+//! Recording the observed operation mix.
+//!
+//! A [`UsageRecorder`] tallies the span queries and `ins_i` updates an
+//! application actually performs; [`UsageRecorder::to_mix`] converts the
+//! tallies into the paper's `M = (Q_mix, U_mix, P_up)` with weights
+//! proportional to the observed frequencies.
+
+use std::collections::BTreeMap;
+
+use asr_costmodel::{Mix, Op, QueryKind};
+
+/// Tallies of observed operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UsageRecorder {
+    queries: BTreeMap<(bool, usize, usize), u64>,
+    updates: BTreeMap<usize, u64>,
+}
+
+impl UsageRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a forward span query `Q_{i,j}(fw)`.
+    pub fn record_forward(&mut self, i: usize, j: usize) {
+        *self.queries.entry((true, i, j)).or_default() += 1;
+    }
+
+    /// Record a backward span query `Q_{i,j}(bw)`.
+    pub fn record_backward(&mut self, i: usize, j: usize) {
+        *self.queries.entry((false, i, j)).or_default() += 1;
+    }
+
+    /// Record an insertion at edge position `i` (`ins_i`).
+    pub fn record_insert(&mut self, i: usize) {
+        *self.updates.entry(i).or_default() += 1;
+    }
+
+    /// Total recorded queries.
+    pub fn query_count(&self) -> u64 {
+        self.queries.values().sum()
+    }
+
+    /// Total recorded updates.
+    pub fn update_count(&self) -> u64 {
+        self.updates.values().sum()
+    }
+
+    /// The observed update probability `P_up`.
+    pub fn p_up(&self) -> f64 {
+        let q = self.query_count() as f64;
+        let u = self.update_count() as f64;
+        if q + u == 0.0 {
+            0.0
+        } else {
+            u / (q + u)
+        }
+    }
+
+    /// Has anything been recorded?
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty() && self.updates.is_empty()
+    }
+
+    /// Convert the tallies into an operation mix.
+    pub fn to_mix(&self) -> Mix {
+        let q_total = self.query_count().max(1) as f64;
+        let queries: Vec<(f64, Op)> = self
+            .queries
+            .iter()
+            .map(|(&(fw, i, j), &count)| {
+                let op = if fw {
+                    Op::Query { kind: QueryKind::Forward, i, j }
+                } else {
+                    Op::Query { kind: QueryKind::Backward, i, j }
+                };
+                (count as f64 / q_total, op)
+            })
+            .collect();
+        let u_total = self.update_count().max(1) as f64;
+        let updates: Vec<(f64, Op)> = self
+            .updates
+            .iter()
+            .map(|(&i, &count)| (count as f64 / u_total, Op::ins(i)))
+            .collect();
+        Mix::new(queries, updates, self.p_up())
+    }
+
+    /// Merge another recorder's tallies into this one (e.g. per-session
+    /// recorders folded into a global history).
+    pub fn merge(&mut self, other: &UsageRecorder) {
+        for (k, v) in &other.queries {
+            *self.queries.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.updates {
+            *self.updates.entry(*k).or_default() += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_and_p_up() {
+        let mut r = UsageRecorder::new();
+        assert!(r.is_empty());
+        r.record_backward(0, 4);
+        r.record_backward(0, 4);
+        r.record_forward(1, 2);
+        r.record_insert(3);
+        assert_eq!(r.query_count(), 3);
+        assert_eq!(r.update_count(), 1);
+        assert!((r.p_up() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_weights_proportional() {
+        let mut r = UsageRecorder::new();
+        for _ in 0..3 {
+            r.record_backward(0, 4);
+        }
+        r.record_forward(0, 2);
+        r.record_insert(2);
+        r.record_insert(2);
+        r.record_insert(3);
+        let mix = r.to_mix();
+        assert_eq!(mix.queries.len(), 2);
+        let bw = mix
+            .queries
+            .iter()
+            .find(|(_, op)| matches!(op, Op::Query { kind: QueryKind::Backward, .. }))
+            .unwrap();
+        assert!((bw.0 - 0.75).abs() < 1e-12);
+        let ins2 = mix.updates.iter().find(|(_, op)| *op == Op::ins(2)).unwrap();
+        assert!((ins2.0 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((mix.p_up - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = UsageRecorder::new();
+        a.record_backward(0, 3);
+        let mut b = UsageRecorder::new();
+        b.record_backward(0, 3);
+        b.record_insert(1);
+        a.merge(&b);
+        assert_eq!(a.query_count(), 2);
+        assert_eq!(a.update_count(), 1);
+    }
+
+    #[test]
+    fn empty_recorder_produces_neutral_mix() {
+        let mix = UsageRecorder::new().to_mix();
+        assert!(mix.queries.is_empty());
+        assert!(mix.updates.is_empty());
+        assert_eq!(mix.p_up, 0.0);
+    }
+}

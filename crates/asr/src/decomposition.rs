@@ -1,0 +1,282 @@
+//! Decompositions of access support relations (Definition 3.8) and their
+//! lossless reassembly (Theorem 3.9).
+//!
+//! A decomposition of an `(m+1)`-ary relation is a sequence of cut points
+//! `(0, i_1, …, i_k, m)`; each adjacent pair `(i_ν, i_{ν+1})` names a
+//! partition `[S_{i_ν}, …, S_{i_{ν+1}}]` materialized by projection.
+//! Adjacent partitions overlap in their boundary column, which is what
+//! makes every decomposition lossless: re-joining the partitions with the
+//! same join flavour that defined the extension recovers the original
+//! relation exactly.
+
+use std::fmt;
+
+use crate::error::{AsrError, Result};
+use crate::extension::Extension;
+use crate::join::chain_join;
+use crate::relation::Relation;
+
+/// A decomposition `(0, i_1, …, i_k, m)` of an `(m+1)`-column relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Decomposition {
+    cuts: Vec<usize>,
+}
+
+impl Decomposition {
+    /// The trivial decomposition `(0, m)` — no decomposition at all.
+    pub fn none(m: usize) -> Self {
+        assert!(m >= 1, "relations have at least two columns");
+        Decomposition { cuts: vec![0, m] }
+    }
+
+    /// The binary decomposition `(0, 1, 2, …, m)`: every partition is a
+    /// binary relation.
+    pub fn binary(m: usize) -> Self {
+        assert!(m >= 1);
+        Decomposition { cuts: (0..=m).collect() }
+    }
+
+    /// A custom decomposition from its cut points, validated to start at 0,
+    /// end at `m` and be strictly increasing.
+    pub fn new(cuts: impl Into<Vec<usize>>) -> Result<Self> {
+        let cuts = cuts.into();
+        if cuts.len() < 2 {
+            return Err(AsrError::InvalidDecomposition(
+                "need at least the two outer cut points".into(),
+            ));
+        }
+        if cuts[0] != 0 {
+            return Err(AsrError::InvalidDecomposition("first cut point must be 0".into()));
+        }
+        if !cuts.windows(2).all(|w| w[0] < w[1]) {
+            return Err(AsrError::InvalidDecomposition(
+                "cut points must be strictly increasing".into(),
+            ));
+        }
+        Ok(Decomposition { cuts })
+    }
+
+    /// The relation width this decomposition applies to (`m`; arity − 1).
+    pub fn m(&self) -> usize {
+        *self.cuts.last().expect("cuts are non-empty")
+    }
+
+    /// The cut points `(0, i_1, …, m)`.
+    pub fn cuts(&self) -> &[usize] {
+        &self.cuts
+    }
+
+    /// The partitions as inclusive column spans `(i_ν, i_{ν+1})`.
+    pub fn partitions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.cuts.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.cuts.len() - 1
+    }
+
+    /// Is this the binary decomposition?
+    pub fn is_binary(&self) -> bool {
+        self.cuts.len() == self.m() + 1
+    }
+
+    /// Is this the trivial (0, m) decomposition?
+    pub fn is_none(&self) -> bool {
+        self.cuts.len() == 2
+    }
+
+    /// Is `col` one of the cut points?
+    pub fn has_cut(&self, col: usize) -> bool {
+        self.cuts.binary_search(&col).is_ok()
+    }
+
+    /// Index of the partition whose span contains column `col`
+    /// (columns at interior cut points belong to the partition that
+    /// *starts* there, except `m`, which belongs to the last).
+    pub fn partition_containing(&self, col: usize) -> usize {
+        assert!(col <= self.m(), "column out of range");
+        match self.cuts.binary_search(&col) {
+            Ok(idx) => idx.min(self.partition_count() - 1),
+            Err(idx) => idx - 1,
+        }
+    }
+
+    /// The inclusive span of partition `idx`.
+    pub fn span(&self, idx: usize) -> (usize, usize) {
+        (self.cuts[idx], self.cuts[idx + 1])
+    }
+
+    /// Enumerate **all** decompositions of an `(m+1)`-ary relation —
+    /// the `2^{m-1}` subsets of interior cut points.  Used by the
+    /// physical-design optimizer.
+    pub fn enumerate_all(m: usize) -> Vec<Decomposition> {
+        assert!(m >= 1);
+        let interior = m - 1;
+        let mut out = Vec::with_capacity(1 << interior);
+        for mask in 0u64..(1u64 << interior) {
+            let mut cuts = vec![0];
+            for bit in 0..interior {
+                if mask & (1 << bit) != 0 {
+                    cuts.push(bit + 1);
+                }
+            }
+            cuts.push(m);
+            out.push(Decomposition { cuts });
+        }
+        out
+    }
+
+    /// Materialize the partitions of `relation` by projection
+    /// (Definition 3.8).
+    pub fn decompose(&self, relation: &Relation) -> Result<Vec<Relation>> {
+        if relation.arity() != self.m() + 1 {
+            return Err(AsrError::ArityMismatch {
+                expected: self.m() + 1,
+                actual: relation.arity(),
+            });
+        }
+        self.partitions().map(|(a, b)| relation.project(a, b)).collect()
+    }
+
+    /// Reassemble decomposed partitions with the join flavour of the given
+    /// extension.  By Theorem 3.9 this recovers the original extension
+    /// exactly (property-tested in `tests/lossless.rs`).
+    pub fn reassemble(&self, parts: &[Relation], extension: Extension) -> Result<Relation> {
+        if parts.len() != self.partition_count() {
+            return Err(AsrError::InvalidDecomposition(format!(
+                "expected {} partitions, got {}",
+                self.partition_count(),
+                parts.len()
+            )));
+        }
+        let kind = extension.join_kind();
+        match extension {
+            Extension::RightComplete => {
+                let (last, rest) = parts.split_last().expect("at least one partition");
+                let mut acc = last.clone();
+                for p in rest.iter().rev() {
+                    acc = chain_join(p, &acc, kind)?;
+                }
+                Ok(acc)
+            }
+            _ => {
+                let (first, rest) = parts.split_first().expect("at least one partition");
+                let mut acc = first.clone();
+                for p in rest {
+                    acc = chain_join(&acc, p, kind)?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Decomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.cuts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auxrel::build_auxiliary_relations;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let d = Decomposition::none(5);
+        assert_eq!(d.to_string(), "(0,5)");
+        assert!(d.is_none() && !d.is_binary());
+        assert_eq!(d.partition_count(), 1);
+
+        let b = Decomposition::binary(5);
+        assert_eq!(b.to_string(), "(0,1,2,3,4,5)");
+        assert!(b.is_binary() && !b.is_none());
+        assert_eq!(b.partition_count(), 5);
+
+        let c = Decomposition::new(vec![0, 3, 4]).unwrap();
+        assert_eq!(c.to_string(), "(0,3,4)");
+        assert_eq!(c.partitions().collect::<Vec<_>>(), vec![(0, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn invalid_cut_sequences_rejected() {
+        assert!(Decomposition::new(vec![0]).is_err());
+        assert!(Decomposition::new(vec![1, 4]).is_err());
+        assert!(Decomposition::new(vec![0, 3, 3, 5]).is_err());
+        assert!(Decomposition::new(vec![0, 4, 2]).is_err());
+    }
+
+    #[test]
+    fn partition_containing_respects_borders() {
+        let d = Decomposition::new(vec![0, 3, 5]).unwrap();
+        assert_eq!(d.partition_containing(0), 0);
+        assert_eq!(d.partition_containing(2), 0);
+        assert_eq!(d.partition_containing(3), 1, "interior cut starts the next partition");
+        assert_eq!(d.partition_containing(5), 1);
+        assert_eq!(d.span(0), (0, 3));
+        assert_eq!(d.span(1), (3, 5));
+        assert!(d.has_cut(3));
+        assert!(!d.has_cut(2));
+    }
+
+    #[test]
+    fn enumerate_all_is_exhaustive() {
+        let all = Decomposition::enumerate_all(4);
+        assert_eq!(all.len(), 8, "2^{{m-1}} decompositions");
+        assert!(all.iter().any(|d| d.is_none()));
+        assert!(all.iter().any(|d| d.is_binary()));
+        // All distinct.
+        let set: std::collections::HashSet<_> = all.iter().map(|d| d.cuts().to_vec()).collect();
+        assert_eq!(set.len(), 8);
+        assert_eq!(Decomposition::enumerate_all(1).len(), 1);
+    }
+
+    #[test]
+    fn binary_decomposition_of_canonical_matches_paper_example() {
+        // Section 3's closing example: five binary partitions of E_can for
+        // the Division.Manufactures.Composition.Name path with set OIDs.
+        let (base, path) = crate::testutil::figure2_base();
+        let aux = build_auxiliary_relations(&base, &path, true).unwrap();
+        let can = Extension::Canonical.compute(&aux).unwrap();
+        let dec = Decomposition::binary(can.arity() - 1);
+        let parts = dec.decompose(&can).unwrap();
+        assert_eq!(parts.len(), 5);
+        assert!(parts.iter().all(|p| p.arity() == 2));
+        // Losslessness on the example.
+        let back = dec.reassemble(&parts, Extension::Canonical).unwrap();
+        assert_eq!(back, can);
+    }
+
+    #[test]
+    fn every_decomposition_lossless_on_figure2() {
+        let (base, path) = crate::testutil::figure2_base();
+        for keep in [false, true] {
+            let aux = build_auxiliary_relations(&base, &path, keep).unwrap();
+            for ext in Extension::ALL {
+                let rel = ext.compute(&aux).unwrap();
+                for dec in Decomposition::enumerate_all(rel.arity() - 1) {
+                    let parts = dec.decompose(&rel).unwrap();
+                    let back = dec.reassemble(&parts, ext).unwrap();
+                    assert_eq!(back, rel, "{ext} under {dec} (keep_set_oids={keep})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let d = Decomposition::none(3);
+        let r = Relation::new(2);
+        assert!(matches!(d.decompose(&r), Err(AsrError::ArityMismatch { .. })));
+        assert!(d.reassemble(&[], Extension::Full).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! NULL-aware chain joins.
+//!
+//! The paper writes `⋈` (natural), `⟗` (full outer), `⟕` (left outer) and
+//! `⟖` (right outer) for joins **on the last column of the first relation
+//! and the first column of the second relation** (Section 3, before
+//! Definition 3.4).  These are the joins that assemble the four ASR
+//! extensions from the auxiliary relations, and that reassemble a
+//! decomposed relation (Theorem 3.9).
+//!
+//! `NULL` never matches `NULL`: a row whose join column is NULL can only
+//! survive as an *unmatched* row of an outer join, padded with NULLs on the
+//! other side.
+
+use std::collections::HashMap;
+
+use crate::cell::Cell;
+use crate::error::{AsrError, Result};
+use crate::relation::Relation;
+use crate::row::Row;
+
+/// The four join flavours used by the extension definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// `⋈` — inner join; unmatched rows of either side are dropped.
+    Natural,
+    /// `⟕` — keep unmatched left rows, padded with NULLs on the right.
+    LeftOuter,
+    /// `⟖` — keep unmatched right rows, padded with NULLs on the left.
+    RightOuter,
+    /// `⟗` — keep unmatched rows of both sides.
+    FullOuter,
+}
+
+impl JoinKind {
+    /// Does this join preserve unmatched left rows?
+    pub fn keeps_left(self) -> bool {
+        matches!(self, JoinKind::LeftOuter | JoinKind::FullOuter)
+    }
+
+    /// Does this join preserve unmatched right rows?
+    pub fn keeps_right(self) -> bool {
+        matches!(self, JoinKind::RightOuter | JoinKind::FullOuter)
+    }
+}
+
+/// Join `left` and `right` on `left.last = right.first`, fusing the shared
+/// column.  Result arity is `left.arity + right.arity − 1`.
+pub fn chain_join(left: &Relation, right: &Relation, kind: JoinKind) -> Result<Relation> {
+    let out_arity = left.arity() + right.arity() - 1;
+    let mut out = Relation::new(out_arity);
+
+    // Hash the right side on its first column (NULL keys excluded: NULL
+    // never matches).
+    let mut index: HashMap<&Cell, Vec<&Row>> = HashMap::new();
+    for row in right.iter() {
+        if let Some(cell) = row.first() {
+            index.entry(cell).or_default().push(row);
+        }
+    }
+
+    let mut right_matched: std::collections::HashSet<&Row> = std::collections::HashSet::new();
+
+    for lrow in left.iter() {
+        let matches = lrow.last().as_ref().and_then(|cell| index.get(cell));
+        match matches {
+            Some(rrows) => {
+                for rrow in rrows {
+                    out.insert(lrow.join_concat(rrow))?;
+                    if kind.keeps_right() {
+                        right_matched.insert(*rrow);
+                    }
+                }
+            }
+            None => {
+                if kind.keeps_left() {
+                    out.insert(lrow.join_concat(&Row::nulls(right.arity())))?;
+                }
+            }
+        }
+    }
+
+    if kind.keeps_right() {
+        for rrow in right.iter() {
+            let matched = rrow.first().is_some() && right_matched.contains(rrow);
+            if !matched {
+                // Pad with NULLs on the left; the shared boundary column
+                // keeps the right row's first cell.
+                let mut cells = vec![None; left.arity() - 1];
+                cells.extend_from_slice(rrow.cells());
+                out.insert(Row::new(cells))?;
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+/// Left-associative fold of [`chain_join`] over a sequence of relations:
+/// `(((r0 ⊳⊲ r1) ⊳⊲ r2) …)`.  Used for the canonical, full and
+/// left-complete extensions (Definitions 3.4–3.6).
+pub fn fold_left(relations: &[Relation], kind: JoinKind) -> Result<Relation> {
+    let (first, rest) =
+        relations.split_first().ok_or_else(|| AsrError::InvalidDecomposition("empty join chain".into()))?;
+    let mut acc = first.clone();
+    for r in rest {
+        acc = chain_join(&acc, r, kind)?;
+    }
+    Ok(acc)
+}
+
+/// Right-associative fold: `(r0 ⊳⊲ (r1 ⊳⊲ (… ⊳⊲ r_{n-1})))`.  Used for the
+/// right-complete extension (Definition 3.7).
+pub fn fold_right(relations: &[Relation], kind: JoinKind) -> Result<Relation> {
+    let (last, rest) =
+        relations.split_last().ok_or_else(|| AsrError::InvalidDecomposition("empty join chain".into()))?;
+    let mut acc = last.clone();
+    for r in rest.iter().rev() {
+        acc = chain_join(r, &acc, kind)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::row::oid_cell as c;
+
+    /// The paper's running example (Section 3): auxiliary relations over
+    /// the Company schema extension of Figure 2.
+    fn e0() -> Relation {
+        // (Division, Product) — set OIDs dropped for readability.
+        Relation::from_rows(2, vec![row![c(2), c(9)], row![c(1), c(6)]]).unwrap()
+    }
+
+    fn e1() -> Relation {
+        // (Product, BasePart)
+        Relation::from_rows(2, vec![row![c(11), c(14)], row![c(6), c(8)]]).unwrap()
+    }
+
+    #[test]
+    fn natural_join_keeps_complete_paths_only() {
+        let j = chain_join(&e0(), &e1(), JoinKind::Natural).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&row![c(1), c(6), c(8)]));
+    }
+
+    #[test]
+    fn left_outer_keeps_left_partials() {
+        let j = chain_join(&e0(), &e1(), JoinKind::LeftOuter).unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&row![c(1), c(6), c(8)]));
+        assert!(j.contains(&row![c(2), c(9), None]), "i2's path dangles right");
+    }
+
+    #[test]
+    fn right_outer_keeps_right_partials() {
+        let j = chain_join(&e0(), &e1(), JoinKind::RightOuter).unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&row![c(1), c(6), c(8)]));
+        assert!(j.contains(&row![None, c(11), c(14)]), "i11 is not referenced by a Division");
+    }
+
+    #[test]
+    fn full_outer_keeps_both() {
+        let j = chain_join(&e0(), &e1(), JoinKind::FullOuter).unwrap();
+        assert_eq!(j.len(), 3);
+        assert!(j.contains(&row![c(2), c(9), None]));
+        assert!(j.contains(&row![None, c(11), c(14)]));
+        assert!(j.contains(&row![c(1), c(6), c(8)]));
+    }
+
+    #[test]
+    fn null_never_matches_null() {
+        let left = Relation::from_rows(2, vec![row![c(0), None]]).unwrap();
+        let right = Relation::from_rows(2, vec![row![None, c(5)]]).unwrap();
+        let inner = chain_join(&left, &right, JoinKind::Natural).unwrap();
+        assert!(inner.is_empty());
+        let full = chain_join(&left, &right, JoinKind::FullOuter).unwrap();
+        // Both survive as unmatched, never fused.
+        assert_eq!(full.len(), 2);
+        assert!(full.contains(&row![c(0), None, None]));
+        assert!(full.contains(&row![None, None, c(5)]));
+    }
+
+    #[test]
+    fn fanout_multiplies_rows() {
+        let left = Relation::from_rows(2, vec![row![c(0), c(1)]]).unwrap();
+        let right =
+            Relation::from_rows(2, vec![row![c(1), c(2)], row![c(1), c(3)]]).unwrap();
+        let j = chain_join(&left, &right, JoinKind::Natural).unwrap();
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn shared_subobject_joins_to_multiple_lefts() {
+        // Two robots sharing one tool (the paper's i7 shared by i6 and i9).
+        let left = Relation::from_rows(2, vec![row![c(6), c(7)], row![c(9), c(7)]]).unwrap();
+        let right = Relation::from_rows(2, vec![row![c(7), c(3)]]).unwrap();
+        let j = chain_join(&left, &right, JoinKind::Natural).unwrap();
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn folds_match_manual_nesting() {
+        let rels = vec![e0(), e1(), Relation::from_rows(2, vec![row![c(8), c(99)]]).unwrap()];
+        let left_fold = fold_left(&rels, JoinKind::LeftOuter).unwrap();
+        let manual = chain_join(
+            &chain_join(&rels[0], &rels[1], JoinKind::LeftOuter).unwrap(),
+            &rels[2],
+            JoinKind::LeftOuter,
+        )
+        .unwrap();
+        assert_eq!(left_fold, manual);
+
+        let right_fold = fold_right(&rels, JoinKind::RightOuter).unwrap();
+        let manual = chain_join(
+            &rels[0],
+            &chain_join(&rels[1], &rels[2], JoinKind::RightOuter).unwrap(),
+            JoinKind::RightOuter,
+        )
+        .unwrap();
+        assert_eq!(right_fold, manual);
+    }
+
+    #[test]
+    fn single_relation_folds_are_identity() {
+        let rels = vec![e0()];
+        assert_eq!(fold_left(&rels, JoinKind::Natural).unwrap(), e0());
+        assert_eq!(fold_right(&rels, JoinKind::FullOuter).unwrap(), e0());
+        assert!(fold_left(&[], JoinKind::Natural).is_err());
+    }
+
+    #[test]
+    fn ternary_chain_through_set_columns() {
+        // With set OIDs kept, auxiliary relations are ternary; the chain
+        // join still fuses last-to-first.
+        let e0 = Relation::from_rows(3, vec![row![c(1), c(4), c(6)]]).unwrap();
+        let e1 = Relation::from_rows(3, vec![row![c(6), c(7), c(8)]]).unwrap();
+        let j = chain_join(&e0, &e1, JoinKind::Natural).unwrap();
+        assert_eq!(j.arity(), 5);
+        assert!(j.contains(&row![c(1), c(4), c(6), c(7), c(8)]));
+    }
+}

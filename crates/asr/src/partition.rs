@@ -1,0 +1,414 @@
+//! Stored partitions: the on-"disk" form of access support relations.
+//!
+//! Following Valduriez' join indices, every partition `E^{i,j}_X` is stored
+//! in **two redundant B+ trees** (Section 5.2): one clustered on the first
+//! attribute (OIDs of `t_i` objects — fast *forward* lookups) and one on
+//! the last attribute (OIDs of `t_j` — fast *backward* lookups).  Tuple and
+//! key sizes follow the paper's geometry: a tuple occupies `OIDsize ·
+//! (j − i + 1)` bytes (formula 13), keys occupy `OIDsize`.
+//!
+//! Because partitions are *projections* of the extension, several extension
+//! rows may project to the same partition row; the partition therefore
+//! reference-counts its rows so that incremental maintenance can remove a
+//! projected row only when its last witness disappears.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use asr_pagesim::{BPlusTree, IoStats, StatsHandle, OID_SIZE};
+
+use crate::cell::Cell;
+use crate::error::{AsrError, Result};
+use crate::relation::Relation;
+use crate::row::Row;
+
+/// Tree key: clustering cell (first or last column) plus a row id making
+/// the key unique.  `None` (NULL) clusters before all defined cells.
+pub type PartitionKey = (Option<Cell>, u64);
+
+/// A partition `[S_from, …, S_to]` stored in two clustered B+ trees.
+#[derive(Debug)]
+pub struct StoredPartition {
+    from: usize,
+    to: usize,
+    fwd: BPlusTree<PartitionKey, Row>,
+    bwd: BPlusTree<PartitionKey, Row>,
+    /// Logical multiset bookkeeping: row → (row id, witness count).
+    /// This mirror is not charged; the physical operations on the trees
+    /// carry the page costs.
+    rows: HashMap<Row, RowMeta>,
+    next_rowid: u64,
+    stats: StatsHandle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    rowid: u64,
+    count: u64,
+}
+
+impl StoredPartition {
+    /// Create an empty partition over the inclusive column span
+    /// `[from, to]` of the host relation.
+    pub fn new(from: usize, to: usize, stats: StatsHandle) -> Self {
+        assert!(from < to, "partitions span at least two columns");
+        let tuple_size = OID_SIZE * (to - from + 1); // formula (13)
+        StoredPartition {
+            from,
+            to,
+            fwd: BPlusTree::new(tuple_size, OID_SIZE, Rc::clone(&stats)),
+            bwd: BPlusTree::new(tuple_size, OID_SIZE, Rc::clone(&stats)),
+            rows: HashMap::new(),
+            next_rowid: 0,
+            stats,
+        }
+    }
+
+    /// The host-relation column span `(from, to)`.
+    pub fn span(&self) -> (usize, usize) {
+        (self.from, self.to)
+    }
+
+    /// Columns in this partition (`to − from + 1`).
+    pub fn arity(&self) -> usize {
+        self.to - self.from + 1
+    }
+
+    /// Number of distinct rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the partition holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Bytes of tuple data (the paper's `as^{i,j}`, formula 15).
+    pub fn data_bytes(&self) -> u64 {
+        (self.len() * OID_SIZE * self.arity()) as u64
+    }
+
+    /// Leaf pages of one clustering tree (the paper's `ap^{i,j}`,
+    /// formula 16).
+    pub fn leaf_pages(&self) -> u64 {
+        self.fwd.leaf_page_count()
+    }
+
+    /// Total pages of both redundant trees.
+    pub fn total_pages(&self) -> u64 {
+        self.fwd.page_count() + self.bwd.page_count()
+    }
+
+    /// The forward-clustered tree (keyed on the first column).
+    pub fn forward_tree(&self) -> &BPlusTree<PartitionKey, Row> {
+        &self.fwd
+    }
+
+    /// The backward-clustered tree (keyed on the last column).
+    pub fn backward_tree(&self) -> &BPlusTree<PartitionKey, Row> {
+        &self.bwd
+    }
+
+    /// The shared page-access counter.
+    pub fn stats(&self) -> &StatsHandle {
+        &self.stats
+    }
+
+    /// Give both clustered trees an LRU buffer pool of `pages` pages each
+    /// (0 restores unbuffered accounting).
+    pub fn enable_buffering(&mut self, pages: usize) {
+        let pool = |n: usize| {
+            if n == 0 {
+                asr_pagesim::BufferPool::unbuffered()
+            } else {
+                asr_pagesim::BufferPool::with_capacity(n)
+            }
+        };
+        self.fwd.set_buffer(pool(pages));
+        self.bwd.set_buffer(pool(pages));
+    }
+
+    fn check_arity(&self, row: &Row) -> Result<()> {
+        if row.arity() != self.arity() {
+            return Err(AsrError::ArityMismatch { expected: self.arity(), actual: row.arity() });
+        }
+        Ok(())
+    }
+
+    /// Insert one witness of `row`.  New rows go into both trees; repeated
+    /// witnesses only bump the reference count (charged as a read/write of
+    /// the resident tuple in each tree).
+    ///
+    /// All-NULL rows are ignored (partitions never store them).
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        self.check_arity(&row)?;
+        if row.is_all_null() {
+            return Ok(());
+        }
+        match self.rows.get_mut(&row) {
+            Some(meta) => {
+                meta.count += 1;
+                // Touch the stored tuples to persist the new count.
+                let fkey = (row.first().clone(), meta.rowid);
+                let bkey = (row.last().clone(), meta.rowid);
+                let _ = self.fwd.get(&fkey);
+                self.charge_tree_write();
+                let _ = self.bwd.get(&bkey);
+                self.charge_tree_write();
+            }
+            None => {
+                let rowid = self.next_rowid;
+                self.next_rowid += 1;
+                self.fwd.insert((row.first().clone(), rowid), row.clone())?;
+                self.bwd.insert((row.last().clone(), rowid), row.clone())?;
+                self.rows.insert(row, RowMeta { rowid, count: 1 });
+            }
+        }
+        Ok(())
+    }
+
+    fn charge_tree_write(&self) {
+        // One leaf write-back; the descent reads were just charged by get().
+        self.stats.count_write();
+    }
+
+    /// Remove one witness of `row`; physically deletes it when the last
+    /// witness disappears.  Removing an unknown row is a no-op (returns
+    /// `false`) — incremental maintenance relies on this.
+    pub fn remove(&mut self, row: &Row) -> Result<bool> {
+        self.check_arity(row)?;
+        let Some(meta) = self.rows.get_mut(row) else {
+            return Ok(false);
+        };
+        if meta.count > 1 {
+            meta.count -= 1;
+            let fkey = (row.first().clone(), meta.rowid);
+            let bkey = (row.last().clone(), meta.rowid);
+            let _ = self.fwd.get(&fkey);
+            self.charge_tree_write();
+            let _ = self.bwd.get(&bkey);
+            self.charge_tree_write();
+        } else {
+            let rowid = meta.rowid;
+            self.rows.remove(row);
+            self.fwd.remove(&(row.first().clone(), rowid));
+            self.bwd.remove(&(row.last().clone(), rowid));
+        }
+        Ok(true)
+    }
+
+    /// All rows whose *first* column equals `cell` — a forward cluster
+    /// lookup (`ht + nlp` page accesses in the paper's terms).
+    pub fn lookup_first(&self, cell: &Cell) -> Vec<Row> {
+        let lo = (Some(cell.clone()), 0u64);
+        let hi = (Some(cell.clone()), u64::MAX);
+        self.fwd.range_collect(&lo, &hi).into_iter().map(|(_, row)| row).collect()
+    }
+
+    /// All rows whose *last* column equals `cell` — a backward cluster
+    /// lookup on the second tree.
+    pub fn lookup_last(&self, cell: &Cell) -> Vec<Row> {
+        let lo = (Some(cell.clone()), 0u64);
+        let hi = (Some(cell.clone()), u64::MAX);
+        self.bwd.range_collect(&lo, &hi).into_iter().map(|(_, row)| row).collect()
+    }
+
+    /// Exhaustively scan all rows (used when a query enters a partition in
+    /// the middle — the paper's `ap^{i,j}` full-scan term in formula 33).
+    pub fn scan(&self, mut visit: impl FnMut(&Row)) {
+        self.fwd.scan_all(|_, row| visit(row));
+    }
+
+    /// Rebuild the partition's logical content as an in-memory relation
+    /// (charges a full scan).
+    pub fn to_relation(&self) -> Result<Relation> {
+        let mut rel = Relation::new(self.arity());
+        let mut rows = Vec::new();
+        self.scan(|row| rows.push(row.clone()));
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// Bulk-load the partition from an in-memory relation, counting each
+    /// row once.  (Multiplicity loading happens through [`Self::insert`].)
+    pub fn load(&mut self, relation: &Relation) -> Result<()> {
+        for row in relation.iter() {
+            self.insert(row.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-load distinct rows with explicit witness counts, building both
+    /// clustered B+ trees bottom-up (one page write per created node —
+    /// the fast path of [`crate::AccessSupportRelation::rebuild`]).
+    ///
+    /// The partition must be empty; all-NULL rows are skipped.
+    pub fn bulk_load(&mut self, rows: impl IntoIterator<Item = (Row, u64)>) -> Result<()> {
+        assert!(self.is_empty(), "bulk_load requires an empty partition");
+        let mut fwd_entries: Vec<(PartitionKey, Row)> = Vec::new();
+        let mut bwd_entries: Vec<(PartitionKey, Row)> = Vec::new();
+        for (row, count) in rows {
+            self.check_arity(&row)?;
+            if row.is_all_null() || count == 0 {
+                continue;
+            }
+            let rowid = self.next_rowid;
+            self.next_rowid += 1;
+            fwd_entries.push(((row.first().clone(), rowid), row.clone()));
+            bwd_entries.push(((row.last().clone(), rowid), row.clone()));
+            self.rows.insert(row, RowMeta { rowid, count });
+        }
+        fwd_entries.sort_by(|a, b| a.0.cmp(&b.0));
+        bwd_entries.sort_by(|a, b| a.0.cmp(&b.0));
+        self.fwd.fill(fwd_entries)?;
+        self.bwd.fill(bwd_entries)?;
+        Ok(())
+    }
+
+    /// Witness count of a row (0 when absent) — for tests.
+    pub fn witness_count(&self, row: &Row) -> u64 {
+        self.rows.get(row).map(|m| m.count).unwrap_or(0)
+    }
+
+    /// Verify the two trees and the mirror agree; used by tests.
+    pub fn check_consistency(&self) -> Result<()> {
+        self.fwd.check_invariants()?;
+        self.bwd.check_invariants()?;
+        if self.fwd.len() != self.rows.len() || self.bwd.len() != self.rows.len() {
+            return Err(AsrError::PageSim(asr_pagesim::PageSimError::CorruptStructure(
+                format!(
+                    "tree/mirror cardinality mismatch: fwd={} bwd={} mirror={}",
+                    self.fwd.len(),
+                    self.bwd.len(),
+                    self.rows.len()
+                ),
+            )));
+        }
+        let mut fwd_rows: Vec<Row> = Vec::new();
+        self.fwd.scan_all(|_, r| fwd_rows.push(r.clone()));
+        for row in &fwd_rows {
+            if !self.rows.contains_key(row) {
+                return Err(AsrError::PageSim(asr_pagesim::PageSimError::CorruptStructure(
+                    format!("row {row} in fwd tree but not in mirror"),
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: a fresh stats handle.
+pub fn fresh_stats() -> StatsHandle {
+    IoStats::new_handle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::row::oid_cell as c;
+
+    fn part() -> StoredPartition {
+        StoredPartition::new(0, 2, fresh_stats())
+    }
+
+    #[test]
+    fn insert_and_lookup_both_directions() {
+        let mut p = part();
+        p.insert(row![c(0), c(1), c(2)]).unwrap();
+        p.insert(row![c(0), c(5), c(6)]).unwrap();
+        p.insert(row![c(9), c(5), c(2)]).unwrap();
+        assert_eq!(p.len(), 3);
+        let fwd = p.lookup_first(&Cell::Oid(asr_gom::Oid::from_raw(0)));
+        assert_eq!(fwd.len(), 2);
+        let bwd = p.lookup_last(&Cell::Oid(asr_gom::Oid::from_raw(2)));
+        assert_eq!(bwd.len(), 2);
+        assert!(bwd.contains(&row![c(0), c(1), c(2)]));
+        assert!(bwd.contains(&row![c(9), c(5), c(2)]));
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn reference_counting_delays_physical_removal() {
+        let mut p = part();
+        let r = row![c(0), c(1), c(2)];
+        p.insert(r.clone()).unwrap();
+        p.insert(r.clone()).unwrap();
+        assert_eq!(p.witness_count(&r), 2);
+        assert_eq!(p.len(), 1, "physically stored once");
+        assert!(p.remove(&r).unwrap());
+        assert_eq!(p.witness_count(&r), 1);
+        assert_eq!(p.lookup_first(&Cell::Oid(asr_gom::Oid::from_raw(0))).len(), 1);
+        assert!(p.remove(&r).unwrap());
+        assert_eq!(p.witness_count(&r), 0);
+        assert!(p.is_empty());
+        assert!(!p.remove(&r).unwrap(), "removing an absent row is a no-op");
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn null_boundaries_cluster_and_lookup_misses_them() {
+        let mut p = part();
+        p.insert(row![None, c(1), c(2)]).unwrap();
+        p.insert(row![c(0), c(1), None]).unwrap();
+        assert_eq!(p.len(), 2);
+        // NULL-first rows are not returned by any forward cell lookup.
+        assert!(p.lookup_first(&Cell::Oid(asr_gom::Oid::from_raw(1))).is_empty());
+        // But scans see everything.
+        let mut n = 0;
+        p.scan(|_| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn all_null_rows_ignored() {
+        let mut p = part();
+        p.insert(Row::nulls(3)).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut p = part();
+        assert!(matches!(p.insert(row![c(0), c(1)]), Err(AsrError::ArityMismatch { .. })));
+        assert!(matches!(p.remove(&row![c(0)]), Err(AsrError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn geometry_matches_formulas() {
+        // Partition of 3 columns: tuple = 24 bytes, atpp = 4056/24 = 169.
+        let p = part();
+        assert_eq!(p.forward_tree().leaf_capacity(), 169);
+        assert_eq!(p.forward_tree().inner_capacity(), 338);
+    }
+
+    #[test]
+    fn load_and_to_relation_round_trip() {
+        let rel = Relation::from_rows(
+            3,
+            vec![row![c(0), c(1), c(2)], row![c(3), None, c(4)], row![None, c(5), c(6)]],
+        )
+        .unwrap();
+        let mut p = part();
+        p.load(&rel).unwrap();
+        assert_eq!(p.to_relation().unwrap(), rel);
+    }
+
+    #[test]
+    fn page_accounting_flows_to_stats() {
+        let stats = fresh_stats();
+        let mut p = StoredPartition::new(0, 2, Rc::clone(&stats));
+        for k in 0..200u64 {
+            p.insert(row![c(k), c(k + 1000), c(k % 7)]).unwrap();
+        }
+        stats.reset();
+        p.lookup_first(&Cell::Oid(asr_gom::Oid::from_raw(5)));
+        assert!(stats.reads() >= 1, "lookups cost page reads");
+        assert_eq!(stats.writes(), 0);
+        assert!(p.data_bytes() > 0);
+        assert!(p.total_pages() >= 2);
+    }
+}

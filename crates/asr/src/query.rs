@@ -1,0 +1,383 @@
+//! Supported query evaluation over decomposed, stored partitions
+//! (Section 5.7 of the paper).
+//!
+//! A span query `Q_{i,j}` walks the partitions that overlap the column
+//! range `[c_i, c_j]`:
+//!
+//! * a partition whose span *starts* at the query's entry column is probed
+//!   through its clustered B+ tree (the `ht + nlp` term of formula 33);
+//! * a partition that contains the entry column strictly inside must be
+//!   scanned exhaustively (the `ap` term — the reason non-decomposed
+//!   relations evaluate interior spans so poorly, Figure 8);
+//! * subsequent partitions are probed per frontier value (the Yao terms).
+//!
+//! The same partition-walking machinery collects complete **prefixes** and
+//! **suffixes** of stored rows, which is how incremental maintenance
+//! retrieves the paper's `I_l` / `I_r` relations from the access relation
+//! itself when the extension contains them (Section 6.1).
+
+use std::collections::BTreeSet;
+
+use crate::cell::Cell;
+use crate::decomposition::Decomposition;
+use crate::partition::StoredPartition;
+use crate::row::Row;
+
+/// Evaluate a forward span query: all cells at column `cj` reachable from
+/// `start` at column `ci` through the stored rows.
+pub fn forward_supported(
+    partitions: &[StoredPartition],
+    dec: &Decomposition,
+    ci: usize,
+    cj: usize,
+    start: &Cell,
+) -> Vec<Cell> {
+    debug_assert!(ci < cj && cj <= dec.m());
+    let mut frontier: BTreeSet<Cell> = BTreeSet::from([start.clone()]);
+    for (idx, (a, b)) in dec.partitions().enumerate() {
+        if b <= ci {
+            continue;
+        }
+        if a >= cj {
+            break;
+        }
+        let part = &partitions[idx];
+        let rows: Vec<Row> = if a < ci {
+            // Entry column strictly inside the partition: exhaustive scan.
+            let offset = ci - a;
+            let mut hits = Vec::new();
+            part.scan(|row| {
+                if let Some(cell) = row.cell(offset) {
+                    if frontier.contains(cell) {
+                        hits.push(row.clone());
+                    }
+                }
+            });
+            hits
+        } else {
+            // Entry at the partition border: clustered lookups.
+            frontier.iter().flat_map(|c| part.lookup_first(c)).collect()
+        };
+        if cj <= b {
+            let offset = cj - a;
+            let out: BTreeSet<Cell> =
+                rows.iter().filter_map(|r| r.cell(offset).clone()).collect();
+            return out.into_iter().collect();
+        }
+        frontier = rows.iter().filter_map(|r| r.last().clone()).collect();
+        if frontier.is_empty() {
+            return Vec::new();
+        }
+    }
+    Vec::new()
+}
+
+/// Evaluate a backward span query: all cells at column `ci` from which the
+/// stored rows reach `target` at column `cj`.
+pub fn backward_supported(
+    partitions: &[StoredPartition],
+    dec: &Decomposition,
+    ci: usize,
+    cj: usize,
+    target: &Cell,
+) -> Vec<Cell> {
+    debug_assert!(ci < cj && cj <= dec.m());
+    let mut frontier: BTreeSet<Cell> = BTreeSet::from([target.clone()]);
+    let spans: Vec<(usize, usize)> = dec.partitions().collect();
+    for (idx, &(a, b)) in spans.iter().enumerate().rev() {
+        if a >= cj {
+            continue;
+        }
+        if b <= ci {
+            break;
+        }
+        let part = &partitions[idx];
+        let rows: Vec<Row> = if b > cj {
+            // Exit column strictly inside the partition: exhaustive scan.
+            let offset = cj - a;
+            let mut hits = Vec::new();
+            part.scan(|row| {
+                if let Some(cell) = row.cell(offset) {
+                    if frontier.contains(cell) {
+                        hits.push(row.clone());
+                    }
+                }
+            });
+            hits
+        } else {
+            // Exit at the partition border: reverse-clustered lookups.
+            frontier.iter().flat_map(|c| part.lookup_last(c)).collect()
+        };
+        if ci >= a {
+            let offset = ci - a;
+            let out: BTreeSet<Cell> =
+                rows.iter().filter_map(|r| r.cell(offset).clone()).collect();
+            return out.into_iter().collect();
+        }
+        frontier = rows.iter().filter_map(|r| r.first().clone()).collect();
+        if frontier.is_empty() {
+            return Vec::new();
+        }
+    }
+    Vec::new()
+}
+
+/// The partition index whose span *ends* at column `col` (preferred for
+/// leftward walks), falling back to the partition containing `col`.
+fn partition_ending_at(dec: &Decomposition, col: usize) -> usize {
+    if col == 0 {
+        return 0;
+    }
+    for (idx, (_, b)) in dec.partitions().enumerate() {
+        if b == col {
+            return idx;
+        }
+        if b > col {
+            return idx;
+        }
+    }
+    dec.partition_count() - 1
+}
+
+/// Collect all stored **prefix rows** over columns `0 ..= col` whose column
+/// `col` equals `cell` — the projections onto `[S_0, …, S_col]` of every
+/// stored extension row passing through `cell` there.
+pub fn collect_prefixes(
+    partitions: &[StoredPartition],
+    dec: &Decomposition,
+    col: usize,
+    cell: &Cell,
+) -> Vec<Row> {
+    if col == 0 {
+        return vec![Row::new(vec![Some(cell.clone())])];
+    }
+    let pidx = partition_ending_at(dec, col);
+    let (a, b) = dec.span(pidx);
+    // Seed fragments spanning columns a ..= col.
+    let mut fragments: BTreeSet<Row> = BTreeSet::new();
+    if b == col {
+        for row in partitions[pidx].lookup_last(cell) {
+            fragments.insert(row);
+        }
+    } else {
+        let offset = col - a;
+        partitions[pidx].scan(|row| {
+            if row.cell(offset).as_ref() == Some(cell) {
+                fragments.insert(row.project(0, offset));
+            }
+        });
+    }
+    // Extend leftward partition by partition.
+    for q in (0..pidx).rev() {
+        let (qa, qb) = dec.span(q);
+        let mut extended: BTreeSet<Row> = BTreeSet::new();
+        for frag in &fragments {
+            match frag.first() {
+                Some(boundary) => {
+                    for left in partitions[q].lookup_last(boundary) {
+                        extended.insert(left.join_concat(frag));
+                    }
+                }
+                None => {
+                    extended.insert(Row::nulls(qb - qa + 1).join_concat(frag));
+                }
+            }
+        }
+        fragments = extended;
+    }
+    fragments.into_iter().collect()
+}
+
+/// Collect all stored **suffix rows** over columns `col ..= m` whose column
+/// `col` equals `cell`.
+pub fn collect_suffixes(
+    partitions: &[StoredPartition],
+    dec: &Decomposition,
+    col: usize,
+    cell: &Cell,
+) -> Vec<Row> {
+    let m = dec.m();
+    if col == m {
+        return vec![Row::new(vec![Some(cell.clone())])];
+    }
+    // Preferred: the partition *starting* at col.
+    let pidx = dec.partition_containing(col);
+    let (a, b) = dec.span(pidx);
+    let mut fragments: BTreeSet<Row> = BTreeSet::new();
+    if a == col {
+        for row in partitions[pidx].lookup_first(cell) {
+            fragments.insert(row);
+        }
+    } else {
+        let offset = col - a;
+        partitions[pidx].scan(|row| {
+            if row.cell(offset).as_ref() == Some(cell) {
+                fragments.insert(row.project(offset, b - a));
+            }
+        });
+    }
+    #[allow(clippy::needless_range_loop)] // q indexes dec spans and partitions in lockstep
+    for q in pidx + 1..dec.partition_count() {
+        let (qa, qb) = dec.span(q);
+        let mut extended: BTreeSet<Row> = BTreeSet::new();
+        for frag in &fragments {
+            match frag.last() {
+                Some(boundary) => {
+                    for right in partitions[q].lookup_first(boundary) {
+                        extended.insert(frag.join_concat(&right));
+                    }
+                }
+                None => {
+                    extended.insert(frag.join_concat(&Row::nulls(qb - qa + 1)));
+                }
+            }
+        }
+        fragments = extended;
+    }
+    fragments.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::fresh_stats;
+    use crate::relation::Relation;
+    use crate::row;
+    use crate::row::oid_cell as c;
+    use asr_gom::Oid;
+    use std::rc::Rc;
+
+    fn cell(raw: u64) -> Cell {
+        Cell::Oid(Oid::from_raw(raw))
+    }
+
+    /// A hand-built 5-column relation (m = 4) with the structure of a real
+    /// full extension: each column value's continuation depends only on
+    /// the value (fan-in at 20, fan-out 20 → {30, 31}, a dead end after
+    /// column 1, and a left-dangling chain).
+    fn sample() -> Relation {
+        Relation::from_rows(
+            5,
+            vec![
+                row![c(0), c(10), c(20), c(30), c(40)],
+                row![c(0), c(10), c(20), c(31), c(41)],
+                row![c(1), c(11), c(20), c(30), c(40)],
+                row![c(1), c(11), c(20), c(31), c(41)],
+                row![c(2), c(12), None, None, None],
+                row![None, None, c(22), c(32), c(42)],
+                row![c(3), c(13), c(23), c(33), c(43)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn load(dec: &Decomposition) -> Vec<StoredPartition> {
+        let rel = sample();
+        let stats = fresh_stats();
+        dec.decompose(&rel)
+            .unwrap()
+            .into_iter()
+            .zip(dec.partitions())
+            .map(|(p, (a, b))| {
+                let mut sp = StoredPartition::new(a, b, Rc::clone(&stats));
+                sp.load(&p).unwrap();
+                sp
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_across_all_decompositions() {
+        for dec in Decomposition::enumerate_all(4) {
+            let parts = load(&dec);
+            let r = forward_supported(&parts, &dec, 0, 4, &cell(0));
+            assert_eq!(r, vec![cell(40), cell(41)], "{dec}");
+            let r = forward_supported(&parts, &dec, 0, 2, &cell(1));
+            assert_eq!(r, vec![cell(20)], "{dec}");
+            // Fan-out at column 2: both 30 and 31 reachable from 10.
+            let r = forward_supported(&parts, &dec, 1, 3, &cell(10));
+            assert_eq!(r, vec![cell(30), cell(31)], "{dec}");
+            let r = forward_supported(&parts, &dec, 0, 4, &cell(3));
+            assert_eq!(r, vec![cell(43)], "{dec}");
+            // Dead end: row 2 stops after column 1.
+            let r = forward_supported(&parts, &dec, 0, 4, &cell(2));
+            assert!(r.is_empty(), "{dec}");
+            // Interior start on the left-dangling row.
+            let r = forward_supported(&parts, &dec, 2, 4, &cell(22));
+            assert_eq!(r, vec![cell(42)], "{dec}");
+        }
+    }
+
+    #[test]
+    fn backward_across_all_decompositions() {
+        for dec in Decomposition::enumerate_all(4) {
+            let parts = load(&dec);
+            let r = backward_supported(&parts, &dec, 0, 4, &cell(40));
+            assert_eq!(r, vec![cell(0), cell(1)], "{dec}");
+            let r = backward_supported(&parts, &dec, 0, 2, &cell(20));
+            assert_eq!(r, vec![cell(0), cell(1)], "{dec}");
+            let r = backward_supported(&parts, &dec, 1, 4, &cell(41));
+            assert_eq!(r, vec![cell(10), cell(11)], "{dec}");
+            let r = backward_supported(&parts, &dec, 0, 4, &cell(42));
+            assert!(r.is_empty(), "left-dangling row has no column-0 source ({dec})");
+            let r = backward_supported(&parts, &dec, 2, 4, &cell(42));
+            assert_eq!(r, vec![cell(22)], "{dec}");
+        }
+    }
+
+    #[test]
+    fn prefixes_and_suffixes_match_projections() {
+        let rel = sample();
+        for dec in Decomposition::enumerate_all(4) {
+            let parts = load(&dec);
+            for col in 0..=4usize {
+                // Collect the expected projections from the flat relation.
+                let mut cells: BTreeSet<Cell> = BTreeSet::new();
+                for row in rel.iter() {
+                    if let Some(c) = row.cell(col) {
+                        cells.insert(c.clone());
+                    }
+                }
+                for cellv in cells {
+                    let want_prefix: BTreeSet<Row> = rel
+                        .iter()
+                        .filter(|r| r.cell(col).as_ref() == Some(&cellv))
+                        .map(|r| r.project(0, col))
+                        .collect();
+                    let got: BTreeSet<Row> =
+                        collect_prefixes(&parts, &dec, col, &cellv).into_iter().collect();
+                    assert_eq!(got, want_prefix, "prefixes col={col} cell={cellv} {dec}");
+
+                    let want_suffix: BTreeSet<Row> = rel
+                        .iter()
+                        .filter(|r| r.cell(col).as_ref() == Some(&cellv))
+                        .map(|r| r.project(col, 4))
+                        .collect();
+                    let got: BTreeSet<Row> =
+                        collect_suffixes(&parts, &dec, col, &cellv).into_iter().collect();
+                    assert_eq!(got, want_suffix, "suffixes col={col} cell={cellv} {dec}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_charge_fewer_pages_than_scans() {
+        // Binary decomposition: border lookups only.
+        let bin = Decomposition::binary(4);
+        let parts_bin = load(&bin);
+        let stats_bin = Rc::clone(parts_bin[0].stats());
+        stats_bin.reset();
+        forward_supported(&parts_bin, &bin, 0, 4, &cell(0));
+        let bin_cost = stats_bin.accesses();
+
+        // No decomposition, interior start: full scan.
+        let none = Decomposition::none(4);
+        let parts_none = load(&none);
+        let stats_none = Rc::clone(parts_none[0].stats());
+        stats_none.reset();
+        forward_supported(&parts_none, &none, 1, 3, &cell(10));
+        let scan_cost = stats_none.accesses();
+        assert!(bin_cost > 0 && scan_cost > 0);
+    }
+}

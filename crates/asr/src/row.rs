@@ -1,0 +1,175 @@
+//! Rows (tuples) of access support relations.
+
+use std::fmt;
+
+use crate::cell::Cell;
+
+/// A relation tuple: a fixed-arity sequence of optional cells, where `None`
+/// is the paper's `NULL`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Row(Vec<Option<Cell>>);
+
+impl Row {
+    /// Construct a row from its cells.
+    pub fn new(cells: Vec<Option<Cell>>) -> Self {
+        Row(cells)
+    }
+
+    /// A row of `arity` NULLs.
+    pub fn nulls(arity: usize) -> Self {
+        Row(vec![None; arity])
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The cell at `idx` (panics when out of range, like slice indexing).
+    pub fn cell(&self, idx: usize) -> &Option<Cell> {
+        &self.0[idx]
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Option<Cell>] {
+        &self.0
+    }
+
+    /// First column (`S_0`-side clustering key).
+    pub fn first(&self) -> &Option<Cell> {
+        self.0.first().expect("rows are never 0-ary")
+    }
+
+    /// Last column (`S_m`-side clustering key).
+    pub fn last(&self) -> &Option<Cell> {
+        self.0.last().expect("rows are never 0-ary")
+    }
+
+    /// `true` when every column is NULL (such rows are never stored).
+    pub fn is_all_null(&self) -> bool {
+        self.0.iter().all(Option::is_none)
+    }
+
+    /// Project onto the inclusive column range `[from, to]` — the paper's
+    /// partition `[S_from, …, S_to]`.
+    pub fn project(&self, from: usize, to: usize) -> Row {
+        Row(self.0[from..=to].to_vec())
+    }
+
+    /// Concatenate with another row, fusing the shared boundary column
+    /// (this row's last column equals `other`'s first): the result is
+    /// `self ++ other[1..]`.
+    pub fn join_concat(&self, other: &Row) -> Row {
+        let mut cells = self.0.clone();
+        cells.extend_from_slice(&other.0[1..]);
+        Row(cells)
+    }
+
+    /// Number of leading NULL columns.
+    pub fn leading_nulls(&self) -> usize {
+        self.0.iter().take_while(|c| c.is_none()).count()
+    }
+
+    /// Number of trailing NULL columns.
+    pub fn trailing_nulls(&self) -> usize {
+        self.0.iter().rev().take_while(|c| c.is_none()).count()
+    }
+
+    /// Column index of the first non-NULL cell, if any.
+    pub fn first_defined(&self) -> Option<usize> {
+        self.0.iter().position(Option::is_some)
+    }
+
+    /// Column index of the last non-NULL cell, if any.
+    pub fn last_defined(&self) -> Option<usize> {
+        self.0.iter().rposition(Option::is_some)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match c {
+                Some(cell) => write!(f, "{cell}")?,
+                None => write!(f, "NULL")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Option<Cell>>> for Row {
+    fn from(cells: Vec<Option<Cell>>) -> Self {
+        Row::new(cells)
+    }
+}
+
+/// Shorthand to build rows in tests and examples: OIDs from raw numbers,
+/// `None` for NULL.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($cell),*])
+    };
+}
+
+/// Build `Some(Cell::Oid(..))` from a raw OID number (test/example helper).
+pub fn oid_cell(raw: u64) -> Option<Cell> {
+    Some(Cell::Oid(asr_gom::Oid::from_raw(raw)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_gom::Value;
+
+    fn c(raw: u64) -> Option<Cell> {
+        oid_cell(raw)
+    }
+
+    #[test]
+    fn projection_is_inclusive() {
+        let r = row![c(0), c(1), c(2), c(3), c(4)];
+        assert_eq!(r.project(1, 3), row![c(1), c(2), c(3)]);
+        assert_eq!(r.project(0, 4), r);
+        assert_eq!(r.project(2, 2).arity(), 1);
+    }
+
+    #[test]
+    fn join_concat_fuses_boundary() {
+        let a = row![c(0), c(1)];
+        let b = row![c(1), c(2), c(3)];
+        assert_eq!(a.join_concat(&b), row![c(0), c(1), c(2), c(3)]);
+    }
+
+    #[test]
+    fn null_bookkeeping() {
+        let r = row![None, None, c(2), None];
+        assert_eq!(r.leading_nulls(), 2);
+        assert_eq!(r.trailing_nulls(), 1);
+        assert_eq!(r.first_defined(), Some(2));
+        assert_eq!(r.last_defined(), Some(2));
+        assert!(!r.is_all_null());
+        assert!(Row::nulls(3).is_all_null());
+        assert_eq!(Row::nulls(3).first_defined(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let r = row![c(1), None, Some(Cell::Value(Value::string("Door")))];
+        assert_eq!(r.to_string(), "(i1, NULL, \"Door\")");
+    }
+
+    #[test]
+    #[allow(clippy::useless_vec)] // sort() needs a mutable collection
+    fn rows_order_deterministically() {
+        let mut rows = vec![row![c(2), c(0)], row![c(1), c(9)], row![None, c(5)]];
+        rows.sort();
+        assert_eq!(rows[0], row![None, c(5)], "NULL sorts first");
+        assert_eq!(rows[1], row![c(1), c(9)]);
+    }
+}

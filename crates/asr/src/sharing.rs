@@ -1,0 +1,215 @@
+//! Sharing of access support relations between overlapping path
+//! expressions (Section 5.4 of the paper).
+//!
+//! When two paths contain the same middle attribute chain
+//! `A_{i+1} … A_{i+j}` (over the same types), the decompositions
+//! `(0, i, i+j, n)` and `(0, i′, i′+j, n′)` produce a **common partition**
+//! `E^{i,i+j}` that needs to be stored only once.  In general this is only
+//! possible for *full* extensions; left-complete extensions can share a
+//! common prefix (both segments starting at `t_0`) and right-complete
+//! extensions a common suffix (both ending at `t_n`).
+
+use asr_gom::{PathExpression, Schema};
+
+use crate::extension::Extension;
+
+/// A common contiguous attribute segment of two paths, in *step* indices
+/// (0-based: segment steps `start .. start+len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedSegment {
+    /// Start step in the first path.
+    pub start1: usize,
+    /// Start step in the second path.
+    pub start2: usize,
+    /// Number of shared steps (`j` in the paper's notation).
+    pub len: usize,
+}
+
+impl SharedSegment {
+    /// Is the segment a common prefix of both paths?
+    pub fn is_common_prefix(&self) -> bool {
+        self.start1 == 0 && self.start2 == 0
+    }
+
+    /// Is the segment a common suffix of both paths?
+    pub fn is_common_suffix(&self, p1: &PathExpression, p2: &PathExpression) -> bool {
+        self.start1 + self.len == p1.len() && self.start2 + self.len == p2.len()
+    }
+
+    /// May the partition over this segment be shared when both access
+    /// relations use the given extensions?  (Section 5.4's case analysis:
+    /// full↔full always; left↔left only for common prefixes; right↔right
+    /// only for common suffixes.)
+    pub fn shareable_under(
+        &self,
+        e1: Extension,
+        e2: Extension,
+        p1: &PathExpression,
+        p2: &PathExpression,
+    ) -> bool {
+        match (e1, e2) {
+            (Extension::Full, Extension::Full) => true,
+            (Extension::LeftComplete, Extension::LeftComplete) => self.is_common_prefix(),
+            (Extension::RightComplete, Extension::RightComplete) => {
+                self.is_common_suffix(p1, p2)
+            }
+            _ => false,
+        }
+    }
+
+    /// The decomposition cut points the first path must adopt so that the
+    /// shared segment becomes a stand-alone partition: `(0, i, i+j, n)`
+    /// with degenerate cuts merged.  Columns are step positions (set-OID
+    /// columns dropped).
+    pub fn required_cuts1(&self, p1: &PathExpression) -> Vec<usize> {
+        segment_cuts(self.start1, self.len, p1.len())
+    }
+
+    /// Likewise for the second path.
+    pub fn required_cuts2(&self, p2: &PathExpression) -> Vec<usize> {
+        segment_cuts(self.start2, self.len, p2.len())
+    }
+}
+
+fn segment_cuts(start: usize, len: usize, n: usize) -> Vec<usize> {
+    let mut cuts = vec![0, start, start + len, n];
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
+/// Do two steps traverse the identical attribute (same domain type, same
+/// attribute name — which in a well-formed schema implies the same range)?
+fn steps_match(a: &asr_gom::PathStep, b: &asr_gom::PathStep) -> bool {
+    a.domain == b.domain && a.attr == b.attr && a.set_type == b.set_type && a.range == b.range
+}
+
+/// Find all **maximal** common contiguous segments of two paths.
+/// Segments of length 0 are not reported; overlapping shorter echoes of a
+/// longer match are suppressed.
+pub fn shared_segments(
+    _schema: &Schema,
+    p1: &PathExpression,
+    p2: &PathExpression,
+) -> Vec<SharedSegment> {
+    let s1 = p1.steps();
+    let s2 = p2.steps();
+    let mut out: Vec<SharedSegment> = Vec::new();
+    for start1 in 0..s1.len() {
+        for start2 in 0..s2.len() {
+            // Skip if this position continues an already-reported match.
+            if start1 > 0 && start2 > 0 && steps_match(&s1[start1 - 1], &s2[start2 - 1]) {
+                continue;
+            }
+            let mut len = 0;
+            while start1 + len < s1.len()
+                && start2 + len < s2.len()
+                && steps_match(&s1[start1 + len], &s2[start2 + len])
+            {
+                len += 1;
+            }
+            if len > 0 {
+                out.push(SharedSegment { start1, start2, len });
+            }
+        }
+    }
+    out
+}
+
+/// The storage saved (in tuple bytes of the non-redundant representation)
+/// by sharing the common partition between two full-extension access
+/// relations, given the partition's row count.
+pub fn shared_partition_savings(rows: usize, segment_len: usize) -> u64 {
+    (rows * asr_pagesim::OID_SIZE * (segment_len + 1)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two paths sharing the middle segment Product.Composition.Name:
+    ///   Division.Manufactures.Composition.Name
+    ///   Supplier.Delivers.Composition.Name
+    fn setup() -> (Schema, PathExpression, PathExpression) {
+        let mut s = Schema::new();
+        s.define_tuple("Division", [("Name", "STRING"), ("Manufactures", "ProdSET")]).unwrap();
+        s.define_tuple("Supplier", [("Name", "STRING"), ("Delivers", "ProdSET")]).unwrap();
+        s.define_set("ProdSET", "Product").unwrap();
+        s.define_tuple("Product", [("Name", "STRING"), ("Composition", "BasePartSET")]).unwrap();
+        s.define_set("BasePartSET", "BasePart").unwrap();
+        s.define_tuple("BasePart", [("Name", "STRING")]).unwrap();
+        s.validate().unwrap();
+        let p1 = PathExpression::parse(&s, "Division.Manufactures.Composition.Name").unwrap();
+        let p2 = PathExpression::parse(&s, "Supplier.Delivers.Composition.Name").unwrap();
+        (s, p1, p2)
+    }
+
+    #[test]
+    fn finds_common_suffix_segment() {
+        let (s, p1, p2) = setup();
+        let segs = shared_segments(&s, &p1, &p2);
+        assert_eq!(segs.len(), 1);
+        let seg = segs[0];
+        assert_eq!((seg.start1, seg.start2, seg.len), (1, 1, 2));
+        assert!(!seg.is_common_prefix());
+        assert!(seg.is_common_suffix(&p1, &p2));
+    }
+
+    #[test]
+    fn sharing_rules_follow_section_5_4() {
+        let (s, p1, p2) = setup();
+        let seg = shared_segments(&s, &p1, &p2)[0];
+        assert!(seg.shareable_under(Extension::Full, Extension::Full, &p1, &p2));
+        assert!(
+            seg.shareable_under(Extension::RightComplete, Extension::RightComplete, &p1, &p2),
+            "common suffix allows right-complete sharing"
+        );
+        assert!(
+            !seg.shareable_under(Extension::LeftComplete, Extension::LeftComplete, &p1, &p2),
+            "not a common prefix"
+        );
+        assert!(!seg.shareable_under(Extension::Full, Extension::Canonical, &p1, &p2));
+    }
+
+    #[test]
+    fn identical_paths_share_everything() {
+        let (s, p1, _) = setup();
+        let segs = shared_segments(&s, &p1, &p1.clone());
+        // The maximal self-match covers the whole path.
+        assert!(segs.iter().any(|g| g.start1 == 0 && g.start2 == 0 && g.len == p1.len()));
+        let whole = segs.iter().find(|g| g.len == p1.len()).unwrap();
+        assert!(whole.is_common_prefix());
+        assert!(whole.is_common_suffix(&p1, &p1));
+        assert!(whole.shareable_under(Extension::LeftComplete, Extension::LeftComplete, &p1, &p1));
+    }
+
+    #[test]
+    fn required_cuts_merge_degenerate_borders() {
+        let (s, p1, p2) = setup();
+        let seg = shared_segments(&s, &p1, &p2)[0];
+        assert_eq!(seg.required_cuts1(&p1), vec![0, 1, 3]);
+        assert_eq!(seg.required_cuts2(&p2), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn disjoint_paths_share_nothing() {
+        let mut s = Schema::new();
+        s.define_tuple("A", [("x", "B")]).unwrap();
+        s.define_tuple("B", [("y", "STRING")]).unwrap();
+        s.define_tuple("C", [("z", "B")]).unwrap();
+        s.validate().unwrap();
+        let p1 = PathExpression::parse(&s, "A.x.y").unwrap();
+        let p2 = PathExpression::parse(&s, "C.z.y").unwrap();
+        // x (domain A) vs z (domain C) differ; only the trailing y step is
+        // shared.
+        let segs = shared_segments(&s, &p1, &p2);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len, 1);
+        assert_eq!((segs[0].start1, segs[0].start2), (1, 1));
+    }
+
+    #[test]
+    fn savings_formula() {
+        assert_eq!(shared_partition_savings(100, 2), 100 * 8 * 3);
+    }
+}

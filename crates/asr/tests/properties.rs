@@ -1,0 +1,380 @@
+//! Cross-cutting property tests for access support relations:
+//!
+//! * **Theorem 3.9** — every decomposition of every extension is lossless
+//!   on randomly generated object bases;
+//! * **extension containment** — canonical ⊆ left, right ⊆ full;
+//! * **query equivalence** — supported evaluation through any extension /
+//!   decomposition that formula (35) admits returns exactly what naive
+//!   object traversal returns;
+//! * **maintenance equivalence** — applying random update sequences
+//!   through [`asr_core::Database`] leaves every ASR identical to a
+//!   from-scratch rebuild.
+
+use asr_core::{
+    AccessSupportRelation, AsrConfig, Cell, Database, Decomposition, Extension,
+};
+use asr_gom::{ObjectBase, Oid, PathExpression, Schema, TypeRef, Value};
+use asr_pagesim::IoStats;
+use proptest::prelude::*;
+
+/// A random 4-step chain schema
+/// `T0.A1(T1 set).A2(T2).A3(T3 set).Name(STRING)` mixing set occurrences
+/// and single-valued steps, with a random sparse extension.
+#[derive(Debug, Clone)]
+struct RandomBase {
+    /// Per-level object counts.
+    counts: [u8; 4],
+    /// Edge seeds: (level, from index, to index) candidates.
+    edges: Vec<(u8, u8, u8)>,
+    /// Which objects get a Name.
+    names: Vec<u8>,
+    /// Which set attributes get attached but remain possibly empty.
+    attach: Vec<(u8, u8)>,
+}
+
+fn random_base_strategy() -> impl Strategy<Value = RandomBase> {
+    (
+        proptest::array::uniform4(1u8..5),
+        proptest::collection::vec((0u8..3, 0u8..5, 0u8..5), 0..24),
+        proptest::collection::vec(0u8..5, 0..5),
+        proptest::collection::vec((0u8..2, 0u8..5), 0..6),
+    )
+        .prop_map(|(counts, edges, names, attach)| RandomBase { counts, edges, names, attach })
+}
+
+fn chain_schema() -> Schema {
+    let mut s = Schema::new();
+    s.define_tuple("T0", [("A1", "S1")]).unwrap();
+    s.define_set("S1", "T1").unwrap();
+    s.define_tuple("T1", [("A2", "T2")]).unwrap();
+    s.define_tuple("T2", [("A3", "S3")]).unwrap();
+    s.define_set("S3", "T3").unwrap();
+    s.define_tuple("T3", [("Name", "STRING")]).unwrap();
+    s.validate().unwrap();
+    s
+}
+
+const PATH: &str = "T0.A1.A2.A3.Name";
+
+/// Materialize the random description into an object base (via plain
+/// ObjectBase mutation, no ASR involved).
+fn materialize(desc: &RandomBase) -> (ObjectBase, PathExpression) {
+    let schema = chain_schema();
+    let path = PathExpression::parse(&schema, PATH).unwrap();
+    let mut base = ObjectBase::new(schema);
+    let mut levels: Vec<Vec<Oid>> = Vec::new();
+    for (l, &count) in desc.counts.iter().enumerate() {
+        let mut objs = Vec::new();
+        for _ in 0..count {
+            objs.push(base.instantiate(&format!("T{l}")).unwrap());
+        }
+        levels.push(objs);
+    }
+    // Attach (possibly empty) sets first.
+    for &(kind, fi) in &desc.attach {
+        let (level, attr, set_ty) = if kind == 0 { (0, "A1", "S1") } else { (2, "A3", "S3") };
+        let from = &levels[level];
+        if from.is_empty() {
+            continue;
+        }
+        let owner = from[fi as usize % from.len()];
+        if base.get_attribute(owner, attr).unwrap().is_null() {
+            let set = base.instantiate(set_ty).unwrap();
+            base.set_attribute(owner, attr, Value::Ref(set)).unwrap();
+        }
+    }
+    for &(l, fi, ti) in &desc.edges {
+        let (from, to) = (&levels[l as usize], &levels[l as usize + 1]);
+        if from.is_empty() || to.is_empty() {
+            continue;
+        }
+        let owner = from[fi as usize % from.len()];
+        let target = to[ti as usize % to.len()];
+        match l {
+            0 | 2 => {
+                let (attr, set_ty) = if l == 0 { ("A1", "S1") } else { ("A3", "S3") };
+                let set = match base.get_attribute(owner, attr).unwrap() {
+                    Value::Ref(s) => s,
+                    _ => {
+                        let s = base.instantiate(set_ty).unwrap();
+                        base.set_attribute(owner, attr, Value::Ref(s)).unwrap();
+                        s
+                    }
+                };
+                base.insert_into_set(set, Value::Ref(target)).unwrap();
+            }
+            1 => base.set_attribute(owner, "A2", Value::Ref(target)).unwrap(),
+            _ => unreachable!(),
+        }
+    }
+    for &ni in &desc.names {
+        let t3 = &levels[3];
+        if t3.is_empty() {
+            continue;
+        }
+        let obj = t3[ni as usize % t3.len()];
+        base.set_attribute(obj, "Name", Value::string(format!("N{}", ni % 3))).unwrap();
+    }
+    (base, path)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 3.9 on random bases, all extensions × decompositions ×
+    /// set-OID handling.
+    #[test]
+    fn theorem_3_9_losslessness(desc in random_base_strategy()) {
+        let (base, path) = materialize(&desc);
+        for keep in [false, true] {
+            let aux = asr_core::build_auxiliary_relations(&base, &path, keep).unwrap();
+            for ext in Extension::ALL {
+                let rel = ext.compute(&aux).unwrap();
+                let m = rel.arity() - 1;
+                for dec in Decomposition::enumerate_all(m) {
+                    let parts = dec.decompose(&rel).unwrap();
+                    let back = dec.reassemble(&parts, ext).unwrap();
+                    prop_assert_eq!(&back, &rel, "{} under {} keep={}", ext, dec, keep);
+                }
+            }
+        }
+    }
+
+    /// Canonical ⊆ left ∩ right; left ∪ right ⊆ full.
+    #[test]
+    fn extension_containment(desc in random_base_strategy()) {
+        let (base, path) = materialize(&desc);
+        let aux = asr_core::build_auxiliary_relations(&base, &path, false).unwrap();
+        let can = Extension::Canonical.compute(&aux).unwrap();
+        let full = Extension::Full.compute(&aux).unwrap();
+        let left = Extension::LeftComplete.compute(&aux).unwrap();
+        let right = Extension::RightComplete.compute(&aux).unwrap();
+        prop_assert!(can.is_subset_of(&left));
+        prop_assert!(can.is_subset_of(&right));
+        prop_assert!(left.is_subset_of(&full));
+        prop_assert!(right.is_subset_of(&full));
+        // Structural invariants of each extension.
+        prop_assert!(can.iter().all(|r| r.first().is_some() && r.last().is_some()));
+        prop_assert!(left.iter().all(|r| r.first().is_some()));
+        prop_assert!(right.iter().all(|r| r.last().is_some()));
+    }
+
+    /// Supported evaluation ≡ naive evaluation for every admissible span.
+    #[test]
+    fn supported_queries_match_naive(desc in random_base_strategy(), cuts_seed in any::<u8>()) {
+        let (base, path) = materialize(&desc);
+        let stats = IoStats::new_handle();
+        let mut store = asr_core::ObjectStore::new(std::rc::Rc::clone(&stats));
+        store.sync_with_base(&base).unwrap();
+        let n = path.len();
+        let all_decs = Decomposition::enumerate_all(n);
+        let dec = all_decs[cuts_seed as usize % all_decs.len()].clone();
+        for ext in Extension::ALL {
+            let config = AsrConfig {
+                extension: ext,
+                decomposition: dec.clone(),
+                keep_set_oids: false,
+            };
+            let asr = AccessSupportRelation::build(
+                &base, path.clone(), config, IoStats::new_handle(),
+            ).unwrap();
+            for i in 0..n {
+                for j in i + 1..=n {
+                    if !ext.supports(i, j, n) {
+                        continue;
+                    }
+                    // Forward from every t_i object.
+                    let TypeRef::Named(ti) = path.type_at(i) else { unreachable!() };
+                    for start in base.extent_closure(ti) {
+                        let sup = asr.forward(i, j, start).unwrap();
+                        let naive = asr_core::naive::forward_naive(
+                            &base, &store, &path, i, j, start,
+                        ).unwrap();
+                        prop_assert_eq!(sup, naive, "{} fw Q_{{{},{}}} from {}", ext, i, j, start);
+                    }
+                    // Backward towards every t_j cell present in the base.
+                    let targets: Vec<Cell> = if j == n {
+                        base.extent_closure(path.anchor()) // anchors irrelevant; gather names below
+                            .into_iter()
+                            .flat_map(|_| Vec::new())
+                            .chain(
+                                base.objects()
+                                    .filter_map(|o| Cell::from_gom(o.attribute("Name"))),
+                            )
+                            .collect()
+                    } else {
+                        let TypeRef::Named(tj) = path.type_at(j) else { unreachable!() };
+                        base.extent_closure(tj).into_iter().map(Cell::Oid).collect()
+                    };
+                    for target in targets {
+                        let sup = asr.backward(i, j, &target).unwrap();
+                        let naive = asr_core::naive::backward_naive(
+                            &base, &store, &path, i, j, &target,
+                        ).unwrap();
+                        prop_assert_eq!(sup, naive, "{} bw Q_{{{},{}}} to {}", ext, i, j, target);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Maintenance: incremental ≡ rebuild under random update sequences.
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Update {
+    SetInsert { level: u8, fi: u8, ti: u8 },
+    SetRemove { level: u8, fi: u8, ti: u8 },
+    Assign { fi: u8, ti: u8 },
+    ClearAssign { fi: u8 },
+    AttachSet { level: u8, fi: u8 },
+    DetachSet { level: u8, fi: u8 },
+    Name { ni: u8 },
+    ClearName { ni: u8 },
+}
+
+fn update_strategy() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (0u8..2, any::<u8>(), any::<u8>())
+            .prop_map(|(l, f, t)| Update::SetInsert { level: l, fi: f, ti: t }),
+        (0u8..2, any::<u8>(), any::<u8>())
+            .prop_map(|(l, f, t)| Update::SetRemove { level: l, fi: f, ti: t }),
+        (any::<u8>(), any::<u8>()).prop_map(|(f, t)| Update::Assign { fi: f, ti: t }),
+        any::<u8>().prop_map(|f| Update::ClearAssign { fi: f }),
+        (0u8..2, any::<u8>()).prop_map(|(l, f)| Update::AttachSet { level: l, fi: f }),
+        (0u8..2, any::<u8>()).prop_map(|(l, f)| Update::DetachSet { level: l, fi: f }),
+        any::<u8>().prop_map(|n| Update::Name { ni: n }),
+        any::<u8>().prop_map(|n| Update::ClearName { ni: n }),
+    ]
+}
+
+fn apply_update(db: &mut Database, levels: &[Vec<Oid>], u: &Update) {
+    let set_info = |l: u8| if l == 0 { (0usize, "A1", "S1") } else { (2usize, "A3", "S3") };
+    match u {
+        Update::SetInsert { level, fi, ti } | Update::SetRemove { level, fi, ti } => {
+            let (lvl, attr, _) = set_info(*level);
+            let from = &levels[lvl];
+            let to = &levels[lvl + 1];
+            if from.is_empty() || to.is_empty() {
+                return;
+            }
+            let owner = from[*fi as usize % from.len()];
+            let target = to[*ti as usize % to.len()];
+            let Some(set) = db.base().get_attribute(owner, attr).unwrap().as_ref_oid() else {
+                return;
+            };
+            match u {
+                Update::SetInsert { .. } => {
+                    db.insert_into_set(set, Value::Ref(target)).unwrap();
+                }
+                _ => {
+                    db.remove_from_set(set, &Value::Ref(target)).unwrap();
+                }
+            }
+        }
+        Update::Assign { fi, ti } => {
+            let (from, to) = (&levels[1], &levels[2]);
+            if from.is_empty() || to.is_empty() {
+                return;
+            }
+            let owner = from[*fi as usize % from.len()];
+            let target = to[*ti as usize % to.len()];
+            db.set_attribute(owner, "A2", Value::Ref(target)).unwrap();
+        }
+        Update::ClearAssign { fi } => {
+            let from = &levels[1];
+            if from.is_empty() {
+                return;
+            }
+            let owner = from[*fi as usize % from.len()];
+            db.set_attribute(owner, "A2", Value::Null).unwrap();
+        }
+        Update::AttachSet { level, fi } => {
+            let (lvl, attr, set_ty) = set_info(*level);
+            let from = &levels[lvl];
+            if from.is_empty() {
+                return;
+            }
+            let owner = from[*fi as usize % from.len()];
+            if db.base().get_attribute(owner, attr).unwrap().is_null() {
+                let set = db.instantiate(set_ty).unwrap();
+                db.set_attribute(owner, attr, Value::Ref(set)).unwrap();
+            }
+        }
+        Update::DetachSet { level, fi } => {
+            let (lvl, attr, _) = set_info(*level);
+            let from = &levels[lvl];
+            if from.is_empty() {
+                return;
+            }
+            let owner = from[*fi as usize % from.len()];
+            db.set_attribute(owner, attr, Value::Null).unwrap();
+        }
+        Update::Name { ni } => {
+            let t3 = &levels[3];
+            if t3.is_empty() {
+                return;
+            }
+            let obj = t3[*ni as usize % t3.len()];
+            db.set_attribute(obj, "Name", Value::string(format!("N{}", ni % 3))).unwrap();
+        }
+        Update::ClearName { ni } => {
+            let t3 = &levels[3];
+            if t3.is_empty() {
+                return;
+            }
+            let obj = t3[*ni as usize % t3.len()];
+            db.set_attribute(obj, "Name", Value::Null).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_maintenance_equals_rebuild(
+        counts in proptest::array::uniform4(1u8..4),
+        updates in proptest::collection::vec(update_strategy(), 1..30),
+        dec_seed in any::<u8>(),
+        keep in any::<bool>(),
+    ) {
+        let schema = chain_schema();
+        let path = PathExpression::parse(&schema, PATH).unwrap();
+        let mut db = Database::new(schema);
+        let mut levels: Vec<Vec<Oid>> = Vec::new();
+        for (l, &count) in counts.iter().enumerate() {
+            let mut objs = Vec::new();
+            for _ in 0..count {
+                objs.push(db.instantiate(&format!("T{l}")).unwrap());
+            }
+            levels.push(objs);
+        }
+        // One ASR per extension with a random decomposition each.
+        let m = path.arity(keep) - 1;
+        let all_decs = Decomposition::enumerate_all(m);
+        for (e, ext) in Extension::ALL.into_iter().enumerate() {
+            let dec = all_decs[(dec_seed as usize + e) % all_decs.len()].clone();
+            db.create_asr(path.clone(), AsrConfig {
+                extension: ext,
+                decomposition: dec,
+                keep_set_oids: keep,
+            }).unwrap();
+        }
+        for u in &updates {
+            apply_update(&mut db, &levels, u);
+        }
+        for (_, asr) in db.asrs() {
+            asr.check_consistency().unwrap();
+            let reference = AccessSupportRelation::build(
+                db.base(), asr.path().clone(), asr.config().clone(), IoStats::new_handle(),
+            ).unwrap();
+            let got: Vec<_> = asr.full_rows().cloned().collect();
+            let want: Vec<_> = reference.full_rows().cloned().collect();
+            prop_assert_eq!(got, want, "{} under {} keep={} after {:?}",
+                asr.config().extension, asr.config().decomposition, keep, updates);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the page-granular B+ tree against the standard
+//! library's `BTreeMap` (wall-clock; the page-access accounting is the
+//! structure's raison d'être, but it must not make it pathologically
+//! slow).
+
+use std::collections::BTreeMap;
+
+use asr_pagesim::{BPlusTree, IoStats};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const N: u64 = 10_000;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_insert_10k");
+    group.bench_function("pagesim_bplus", |b| {
+        b.iter_batched(
+            || BPlusTree::<u64, u64>::new(16, 8, IoStats::new_handle()),
+            |mut tree| {
+                for k in 0..N {
+                    tree.insert(black_box(k.wrapping_mul(2654435761) % (N * 4)), k).ok();
+                }
+                tree
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("std_btreemap", |b| {
+        b.iter_batched(
+            BTreeMap::<u64, u64>::new,
+            |mut tree| {
+                for k in 0..N {
+                    tree.insert(black_box(k.wrapping_mul(2654435761) % (N * 4)), k);
+                }
+                tree
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut tree = BPlusTree::<u64, u64>::new(16, 8, IoStats::new_handle());
+    let mut map = BTreeMap::new();
+    for k in 0..N {
+        tree.insert(k, k).unwrap();
+        map.insert(k, k);
+    }
+    let mut group = c.benchmark_group("btree_lookup");
+    group.bench_function("pagesim_bplus", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for k in (0..N).step_by(37) {
+                sum += tree.get(&black_box(k)).unwrap_or(0);
+            }
+            sum
+        })
+    });
+    group.bench_function("std_btreemap", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for k in (0..N).step_by(37) {
+                sum += map.get(&black_box(k)).copied().unwrap_or(0);
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut tree = BPlusTree::<u64, u64>::new(16, 8, IoStats::new_handle());
+    for k in 0..N {
+        tree.insert(k, k).unwrap();
+    }
+    c.bench_function("btree_range_1k_of_10k", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            tree.scan_range(
+                std::ops::Bound::Included(&black_box(4000)),
+                std::ops::Bound::Excluded(&5000),
+                |_, _| count += 1,
+            );
+            count
+        })
+    });
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_build_10k");
+    group.bench_function("bulk_load", |b| {
+        b.iter(|| {
+            BPlusTree::bulk_load((0..N).map(|k| (k, k)), 16, 8, IoStats::new_handle()).unwrap()
+        })
+    });
+    group.bench_function("insert_loop", |b| {
+        b.iter(|| {
+            let mut t: BPlusTree<u64, u64> = BPlusTree::new(16, 8, IoStats::new_handle());
+            for k in 0..N {
+                t.insert(k, k).unwrap();
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookup, bench_range, bench_bulk_load);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmark: building an access support relation from scratch, per
+//! extension (Table/Figure support work — the bulk-load path: auxiliary
+//! relations, extension joins, decomposition, dual B+ tree loads).
+
+use asr_core::{AccessSupportRelation, AsrConfig, Decomposition, Extension};
+use asr_pagesim::IoStats;
+use asr_workload::{generate, GeneratorSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn spec() -> GeneratorSpec {
+    GeneratorSpec {
+        counts: vec![100, 500, 1000, 5000, 10_000],
+        defined: vec![90, 400, 800, 2000],
+        fan: vec![2, 2, 3, 4],
+        sizes: vec![500, 400, 300, 300, 100],
+    }
+}
+
+fn bench_build(c: &mut Criterion) {
+    let g = generate(&spec(), 42);
+    let base = g.db.base();
+    let m = g.path.arity(false) - 1;
+    let mut group = c.benchmark_group("asr_build_fig6_population");
+    group.sample_size(10);
+    for ext in Extension::ALL {
+        group.bench_function(ext.name(), |b| {
+            b.iter(|| {
+                AccessSupportRelation::build(
+                    base,
+                    g.path.clone(),
+                    AsrConfig {
+                        extension: ext,
+                        decomposition: Decomposition::binary(m),
+                        keep_set_oids: false,
+                    },
+                    IoStats::new_handle(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition_styles(c: &mut Criterion) {
+    let g = generate(&spec(), 42);
+    let base = g.db.base();
+    let m = g.path.arity(false) - 1;
+    let mut group = c.benchmark_group("asr_build_full_by_decomposition");
+    group.sample_size(10);
+    for (label, dec) in [
+        ("none", Decomposition::none(m)),
+        ("binary", Decomposition::binary(m)),
+        ("(0,3,4)", Decomposition::new(vec![0, 3, 4]).unwrap()),
+    ] {
+        let dec = dec.clone();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                AccessSupportRelation::build(
+                    base,
+                    g.path.clone(),
+                    AsrConfig {
+                        extension: Extension::Full,
+                        decomposition: dec.clone(),
+                        keep_set_oids: false,
+                    },
+                    IoStats::new_handle(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_decomposition_styles);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmark: the analytical cost model itself.  The paper proposes
+//! integrating the model into the DBMS "to verify a given physical
+//! database design, or even to automate the task" — which only works if
+//! evaluating all designs is fast.
+
+use asr_costmodel::design::rank_designs;
+use asr_costmodel::{profiles, Dec, Ext};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let model = profiles::fig11_profile();
+    c.bench_function("cardinality_full_whole_chain", |b| {
+        b.iter(|| model.card_full(black_box(0), black_box(4)))
+    });
+    c.bench_function("qsup_bw_binary", |b| {
+        let dec = Dec::binary(4);
+        b.iter(|| model.qsup_bw(Ext::Full, 0, 4, &dec))
+    });
+    c.bench_function("update_cost_canonical", |b| {
+        let dec = Dec::binary(4);
+        b.iter(|| model.update_cost(Ext::Canonical, 3, &dec))
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let model = profiles::fig14_profile();
+    let mix = profiles::fig14_mix(0.3);
+    c.bench_function("rank_all_33_designs_n4", |b| b.iter(|| rank_designs(&model, &mix)));
+
+    let model5 = profiles::fig17_profile();
+    let mix5 = profiles::fig17_mix(0.01);
+    c.bench_function("rank_all_65_designs_n5", |b| b.iter(|| rank_designs(&model5, &mix5)));
+}
+
+criterion_group!(benches, bench_primitives, bench_optimizer);
+criterion_main!(benches);

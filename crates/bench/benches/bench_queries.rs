@@ -1,0 +1,75 @@
+//! Benchmark: query evaluation, supported vs naive (the wall-clock
+//! companion of the paper's Figure 6 page-access comparison).
+
+use asr_core::{AsrConfig, Cell, Decomposition, Extension};
+use asr_workload::{generate, GeneratorSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn spec() -> GeneratorSpec {
+    GeneratorSpec {
+        counts: vec![100, 500, 1000, 5000, 10_000],
+        defined: vec![90, 400, 800, 2000],
+        fan: vec![2, 2, 3, 4],
+        sizes: vec![500, 400, 300, 300, 100],
+    }
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backward_Q04");
+    group.sample_size(20);
+
+    // Naive evaluation.
+    let g = generate(&spec(), 42);
+    let target = Cell::Oid(g.levels[4][0]);
+    group.bench_function("naive", |b| {
+        b.iter(|| g.db.backward_unindexed(&g.path, 0, 4, black_box(&target)).unwrap())
+    });
+
+    // Supported, per extension, binary decomposition.
+    for ext in Extension::ALL {
+        let mut g = generate(&spec(), 42);
+        let m = g.path.arity(false) - 1;
+        let id = g
+            .db
+            .create_asr(g.path.clone(), AsrConfig {
+                extension: ext,
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            })
+            .unwrap();
+        let target = Cell::Oid(g.levels[4][0]);
+        group.bench_function(ext.name(), |b| {
+            b.iter(|| g.db.backward(id, 0, 4, black_box(&target)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_Q04");
+    group.sample_size(20);
+    let g = generate(&spec(), 42);
+    let start = g.levels[0][0];
+    group.bench_function("naive", |b| {
+        b.iter(|| g.db.forward_unindexed(&g.path, 0, 4, black_box(start)).unwrap())
+    });
+    let mut g = generate(&spec(), 42);
+    let m = g.path.arity(false) - 1;
+    let id = g
+        .db
+        .create_asr(g.path.clone(), AsrConfig {
+            extension: Extension::Full,
+            decomposition: Decomposition::binary(m),
+            keep_set_oids: false,
+        })
+        .unwrap();
+    let start = g.levels[0][0];
+    group.bench_function("full_binary", |b| {
+        b.iter(|| g.db.forward(id, 0, 4, black_box(start)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backward, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmark: the relational algebra that assembles extensions —
+//! auxiliary-relation construction, the four join chains, decomposition
+//! and lossless reassembly (Theorem 3.9's machinery).
+
+use asr_core::{build_auxiliary_relations, Decomposition, Extension};
+use asr_workload::{generate, GeneratorSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn spec() -> GeneratorSpec {
+    GeneratorSpec {
+        counts: vec![100, 500, 1000, 5000, 10_000],
+        defined: vec![90, 400, 800, 2000],
+        fan: vec![2, 2, 3, 4],
+        sizes: vec![500, 400, 300, 300, 100],
+    }
+}
+
+fn bench_extension_computation(c: &mut Criterion) {
+    let g = generate(&spec(), 42);
+    let aux = build_auxiliary_relations(g.db.base(), &g.path, false).unwrap();
+    let mut group = c.benchmark_group("extension_joins");
+    group.sample_size(20);
+    for ext in Extension::ALL {
+        group.bench_function(ext.name(), |b| b.iter(|| ext.compute(&aux).unwrap()));
+    }
+    group.finish();
+
+    c.bench_function("auxiliary_relations", |b| {
+        b.iter(|| build_auxiliary_relations(g.db.base(), &g.path, false).unwrap())
+    });
+}
+
+fn bench_decompose_reassemble(c: &mut Criterion) {
+    let g = generate(&spec(), 42);
+    let aux = build_auxiliary_relations(g.db.base(), &g.path, false).unwrap();
+    let full = Extension::Full.compute(&aux).unwrap();
+    let dec = Decomposition::binary(full.arity() - 1);
+    c.bench_function("decompose_binary", |b| b.iter(|| dec.decompose(&full).unwrap()));
+    let parts = dec.decompose(&full).unwrap();
+    c.bench_function("reassemble_binary", |b| {
+        b.iter(|| dec.reassemble(&parts, Extension::Full).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_extension_computation, bench_decompose_reassemble);
+criterion_main!(benches);

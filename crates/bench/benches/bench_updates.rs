@@ -1,0 +1,51 @@
+//! Benchmark: incremental maintenance under `ins_3`, per extension (the
+//! wall-clock companion of Figure 11).
+
+use asr_core::{AsrConfig, Decomposition, Extension};
+use asr_costmodel::{Mix, Op};
+use asr_workload::{execute_trace, generate, generate_trace, GeneratorSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn spec() -> GeneratorSpec {
+    GeneratorSpec {
+        counts: vec![50, 250, 500, 2500, 5000],
+        defined: vec![45, 200, 400, 1000],
+        fan: vec![2, 2, 3, 4],
+        sizes: vec![500, 400, 300, 300, 100],
+    }
+}
+
+fn bench_ins3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ins3_x10");
+    group.sample_size(10);
+    for ext in Extension::ALL {
+        group.bench_function(ext.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut g = generate(&spec(), 7);
+                    let m = g.path.arity(false) - 1;
+                    let id = g
+                        .db
+                        .create_asr(g.path.clone(), AsrConfig {
+                            extension: ext,
+                            decomposition: Decomposition::binary(m),
+                            keep_set_oids: false,
+                        })
+                        .unwrap();
+                    let mix = Mix::new(vec![], vec![(1.0, Op::ins(3))], 1.0);
+                    let trace = generate_trace(&g, &mix, 10, 99);
+                    (g, id, trace)
+                },
+                |(mut g, id, trace)| {
+                    let path = g.path.clone();
+                    execute_trace(&mut g.db, Some(id), &path, &trace)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ins3);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! The experiment driver: regenerate any (or every) figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p asr-bench --bin experiments -- all
+//! cargo run --release -p asr-bench --bin experiments -- fig6 fig11
+//! cargo run --release -p asr-bench --bin experiments -- --list
+//! ```
+//!
+//! CSV output lands in `results/` (override with `--out <dir>`, suppress
+//! with `--no-csv`).
+
+use std::path::PathBuf;
+
+use asr_bench::experiments::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<PathBuf> = Some(PathBuf::from("results"));
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (id, desc, _) in registry() {
+                    println!("{id:<10} {desc}");
+                }
+                return;
+            }
+            "--no-csv" => out_dir = None,
+            "--out" => {
+                let dir = iter.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory argument");
+                    std::process::exit(2);
+                });
+                out_dir = Some(PathBuf::from(dir));
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        eprintln!("usage: experiments [--list] [--no-csv] [--out DIR] <id>... | all");
+        eprintln!("known experiments:");
+        for (id, desc, _) in registry() {
+            eprintln!("  {id:<10} {desc}");
+        }
+        std::process::exit(2);
+    }
+
+    let run_all = selected.iter().any(|s| s == "all");
+    let known = registry();
+    // Validate the selection up front.
+    for want in &selected {
+        if want != "all" && !known.iter().any(|(id, _, _)| id == want) {
+            eprintln!("unknown experiment `{want}` — try --list");
+            std::process::exit(2);
+        }
+    }
+    for (id, desc, runner) in known {
+        if run_all || selected.iter().any(|s| s == id) {
+            println!("### {id} — {desc}\n");
+            let output = runner();
+            output.emit(id, out_dir.as_deref());
+        }
+    }
+    if let Some(dir) = &out_dir {
+        println!("CSV series written to {}", dir.display());
+    }
+}

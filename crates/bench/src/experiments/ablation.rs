@@ -1,0 +1,115 @@
+//! Ablation: does the access-support advantage survive a warm buffer
+//! pool?
+//!
+//! The paper's cost model charges every page access to secondary storage
+//! (no buffering) — a fair assumption for 1990 main-memory sizes, but the
+//! obvious modern objection is that an LRU buffer might erase the
+//! difference.  This experiment replays the same backward-query workload
+//! under increasing buffer capacities, unindexed vs full-extension ASR,
+//! and reports *disk* page accesses (buffer hits are free).
+//!
+//! Expected shape: the naive evaluation touches the whole multi-level
+//! working set (hundreds of pages), so small buffers barely help it,
+//! while the ASR's handful of B+ tree pages become fully resident almost
+//! immediately — the advantage *grows* before it shrinks, and only an
+//! impractically large buffer closes the gap.
+
+use asr_core::{AsrConfig, Decomposition, Extension};
+use asr_costmodel::{Mix, Op};
+use asr_workload::{execute_trace, generate, generate_trace, GeneratorSpec};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+fn spec() -> GeneratorSpec {
+    GeneratorSpec {
+        counts: vec![40, 200, 400, 2000, 4000],
+        defined: vec![36, 160, 320, 800],
+        fan: vec![2, 2, 3, 4],
+        sizes: vec![500, 400, 300, 300, 100],
+    }
+}
+
+const BUFFER_SIZES: [usize; 5] = [0, 8, 32, 128, 1024];
+const OPS: usize = 40;
+
+fn measure(buffer_pages: usize, indexed: bool) -> f64 {
+    let mut g = generate(&spec(), 77);
+    let mix = Mix::new(vec![(1.0, Op::bw(0, 4))], vec![], 0.0);
+    let id = if indexed {
+        let m = g.path.arity(false) - 1;
+        Some(
+            g.db.create_asr(g.path.clone(), AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            })
+            .expect("ASR builds"),
+        )
+    } else {
+        None
+    };
+    g.db.enable_buffering(buffer_pages, buffer_pages);
+    let trace = generate_trace(&g, &mix, OPS, 5);
+    g.db.stats().reset();
+    let path = g.path.clone();
+    execute_trace(&mut g.db, id, &path, &trace).mean_cost()
+}
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::default();
+    let mut table = Table::new(
+        "ablation: Q_{0,4}(bw) disk accesses/op under LRU buffering",
+        &["buffer pages", "naive", "full ASR", "advantage"],
+    );
+    let mut first_adv = 0.0;
+    let mut last_naive = 0.0;
+    for pages in BUFFER_SIZES {
+        let naive = measure(pages, false);
+        let asr = measure(pages, true);
+        let adv = naive / asr.max(f64::EPSILON);
+        if pages == 0 {
+            first_adv = adv;
+        }
+        last_naive = naive;
+        table.row(vec![
+            pages.to_string(),
+            fmt(naive),
+            fmt(asr),
+            format!("{adv:.1}x"),
+        ]);
+    }
+    out.push(table);
+    out.note(format!(
+        "unbuffered advantage {first_adv:.1}x; even at 1024 buffered pages per file the \
+         naive evaluation still pays {last_naive:.1} disk accesses/op on cold paths"
+    ));
+    out.note("the paper's no-buffer assumption is conservative for the ASR, not against it");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asr_advantage_survives_moderate_buffers() {
+        // Small-scale version of the experiment.
+        for pages in [0usize, 32] {
+            let naive = measure(pages, false);
+            let asr = measure(pages, true);
+            assert!(
+                asr * 2.0 < naive,
+                "buffer={pages}: ASR {asr:.1}/op must stay well below naive {naive:.1}/op"
+            );
+        }
+    }
+
+    #[test]
+    fn buffering_reduces_disk_accesses_monotonically_for_naive() {
+        let unbuffered = measure(0, false);
+        let buffered = measure(1024, false);
+        assert!(buffered < unbuffered, "{buffered} !< {unbuffered}");
+    }
+}

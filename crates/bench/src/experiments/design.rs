@@ -1,0 +1,80 @@
+//! The physical-design optimizer (Section 7).
+//!
+//! "It is not possible to generally determine the best possible design
+//! choices: this is highly application dependent" — so the paper's closing
+//! argument is that the cost model should *drive* physical design.  This
+//! experiment runs the optimizer over the paper's three operation mixes
+//! and prints the winning extension × decomposition at several update
+//! probabilities, plus the full ranking at one operating point each.
+
+use asr_costmodel::design::rank_designs;
+use asr_costmodel::{best_design, profiles, CostModel, Mix};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::default();
+
+    type Scenario = (&'static str, CostModel, fn(f64) -> Mix);
+    let scenarios: Vec<Scenario> = vec![
+        ("Sec 6.4.2 mix (n=4)", profiles::fig14_profile(), profiles::fig14_mix),
+        ("Sec 6.4.4 mix (n=5, anchored)", profiles::fig16_profile(), profiles::fig16_mix),
+        ("Sec 6.4.5 mix (n=5, terminal)", profiles::fig17_profile(), profiles::fig17_mix),
+    ];
+
+    for (name, model, mk_mix) in &scenarios {
+        let mut table = Table::new(
+            format!("optimizer: best design for {name}"),
+            &["P_up", "best design", "cost/op", "vs no support"],
+        );
+        for p_up in [0.001, 0.01, 0.1, 0.3, 0.5, 0.9] {
+            let mix = mk_mix(p_up);
+            let best = best_design(model, &mix);
+            let baseline = model.mix_cost_nosupport(&mix);
+            table.row(vec![
+                format!("{p_up}"),
+                best.label(),
+                fmt(best.cost),
+                format!("{:.3}", best.cost / baseline.max(f64::EPSILON)),
+            ]);
+        }
+        out.push(table);
+    }
+
+    // One full ranking for the flagship mix.
+    let model = profiles::fig14_profile();
+    let mix = profiles::fig14_mix(0.3);
+    let ranked = rank_designs(&model, &mix);
+    let mut table = Table::new(
+        "optimizer: full ranking, Sec 6.4.2 mix at P_up = 0.3 (top 10)",
+        &["rank", "design", "cost/op", "storage bytes"],
+    );
+    for (i, choice) in ranked.iter().take(10).enumerate() {
+        table.row(vec![
+            format!("{}", i + 1),
+            choice.label(),
+            fmt(choice.cost),
+            fmt(choice.storage_bytes),
+        ]);
+    }
+    out.push(table);
+    out.note("the optimizer independently rediscovers the paper's (0,3,4)/(0,3,5)-style cuts");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimizer_output_is_complete() {
+        let out = run();
+        assert_eq!(out.tables.len(), 4);
+        for t in &out.tables[..3] {
+            assert_eq!(t.len(), 6);
+        }
+        assert_eq!(out.tables[3].len(), 10);
+    }
+}

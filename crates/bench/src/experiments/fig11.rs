@@ -1,0 +1,87 @@
+//! Figure 11 — update costs for a fixed application profile
+//! (Section 6.3.1).
+//!
+//! Cost of the update `ins_3` (an insertion at the right-hand end of the
+//! path) for every extension under binary and no decomposition.  Paper's
+//! claims: the left-complete extension under binary decomposition is
+//! "very much superior" to right-complete; for `ins_0` the ordering
+//! reverses; canonical is problematic under any update because it always
+//! needs a search in the data.
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let model = profiles::fig11_profile();
+    let n = model.n();
+    let mut out = ExperimentOutput::default();
+
+    let mut table = Table::new(
+        "Figure 11: ins_3 update cost (page accesses)",
+        &["extension", "binary dec", "no dec", "search share (binary)"],
+    );
+    for ext in Ext::ALL {
+        let binary = model.update_cost(ext, 3, &Dec::binary(n));
+        let none = model.update_cost(ext, 3, &Dec::none(n));
+        let search = model.search_cost(ext, 3, &Dec::binary(n));
+        table.row(vec![
+            ext.name().to_string(),
+            fmt(binary),
+            fmt(none),
+            format!("{:.0}%", 100.0 * search / binary),
+        ]);
+    }
+    out.push(table);
+
+    // The paper's contrast: ins_0 flips left and right.
+    let mut flip = Table::new(
+        "Figure 11 (context): ins_0 flips the ordering",
+        &["extension", "ins_0 (binary)", "ins_3 (binary)"],
+    );
+    for ext in Ext::ALL {
+        flip.row(vec![
+            ext.name().to_string(),
+            fmt(model.update_cost(ext, 0, &Dec::binary(n))),
+            fmt(model.update_cost(ext, 3, &Dec::binary(n))),
+        ]);
+    }
+    out.push(flip);
+
+    let left3 = model.update_cost(Ext::Left, 3, &Dec::binary(n));
+    let right3 = model.update_cost(Ext::Right, 3, &Dec::binary(n));
+    out.note(format!(
+        "ins_3: left ({}) is {:.1}x cheaper than right ({})",
+        fmt(left3),
+        right3 / left3,
+        fmt(right3)
+    ));
+    let left0 = model.update_cost(Ext::Left, 0, &Dec::binary(n));
+    let right0 = model.update_cost(Ext::Right, 0, &Dec::binary(n));
+    out.note(format!(
+        "ins_0: right ({}) beats left ({}) — 'drastically better', as the paper says",
+        fmt(right0),
+        fmt(left0)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_beats_right_for_ins3_and_flips_for_ins0() {
+        let m = profiles::fig11_profile();
+        let dec = Dec::binary(4);
+        assert!(m.update_cost(Ext::Left, 3, &dec) * 2.0 < m.update_cost(Ext::Right, 3, &dec));
+        assert!(m.update_cost(Ext::Right, 0, &dec) < m.update_cost(Ext::Left, 0, &dec));
+        // Canonical pays searches for every position.
+        for i in 0..4 {
+            assert!(m.search_cost(Ext::Canonical, i, &dec) > 0.0, "ins_{i}");
+        }
+        assert_eq!(run().tables.len(), 2);
+    }
+}

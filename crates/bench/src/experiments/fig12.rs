@@ -1,0 +1,59 @@
+//! Figure 12 — update costs for another fixed application profile
+//! (Section 6.3.2).
+//!
+//! Same experiment as Figure 11 on the modified profile with fan-outs
+//! `2, 1, 1, 4`.  Paper's claim: "the update costs of the left-complete
+//! and full extension are almost comparable."
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let model = profiles::fig12_profile();
+    let n = model.n();
+    let mut out = ExperimentOutput::default();
+
+    let mut table = Table::new(
+        "Figure 12: ins_3 update cost, fan = (2,1,1,4)",
+        &["extension", "binary dec", "no dec"],
+    );
+    for ext in Ext::ALL {
+        table.row(vec![
+            ext.name().to_string(),
+            fmt(model.update_cost(ext, 3, &Dec::binary(n))),
+            fmt(model.update_cost(ext, 3, &Dec::none(n))),
+        ]);
+    }
+    out.push(table);
+
+    let left = model.update_cost(Ext::Left, 3, &Dec::binary(n));
+    let full = model.update_cost(Ext::Full, 3, &Dec::binary(n));
+    out.note(format!(
+        "left ({}) and full ({}) are within {:.1}x — 'almost comparable'",
+        fmt(left),
+        fmt(full),
+        (left / full).max(full / left)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_and_full_are_comparable() {
+        let m = profiles::fig12_profile();
+        let dec = Dec::binary(4);
+        let left = m.update_cost(Ext::Left, 3, &dec);
+        let full = m.update_cost(Ext::Full, 3, &dec);
+        let ratio = (left / full).max(full / left);
+        assert!(ratio < 3.0, "left={left:.1} full={full:.1} ratio={ratio:.2}");
+        // Right still loses badly on a right-end insertion.
+        assert!(m.update_cost(Ext::Right, 3, &dec) > left);
+        assert_eq!(run().tables[0].len(), 4);
+    }
+}

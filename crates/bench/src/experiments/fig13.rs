@@ -1,0 +1,68 @@
+//! Figure 13 — update costs under varying object sizes (Section 6.3.3).
+//!
+//! `size_i` swept over 100 … 800 (binary decomposition), update `ins_1`.
+//! Paper's claims: the update costs of canonical and right-complete grow
+//! with object size (their searches run over the object representation);
+//! left-complete needs only a forward search and is "only marginally
+//! affected"; full never touches the data.
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::default();
+    let mut table = Table::new(
+        "Figure 13: ins_1 update cost vs object size (binary decomposition)",
+        &["size", "canonical", "full", "left", "right"],
+    );
+    let mut first: Option<Vec<f64>> = None;
+    let mut last: Vec<f64> = Vec::new();
+    for step in 0..8 {
+        let size = 100.0 + step as f64 * 100.0;
+        let model = profiles::fig13_profile(size);
+        let dec = Dec::binary(model.n());
+        let costs: Vec<f64> =
+            Ext::ALL.iter().map(|&e| model.update_cost(e, 1, &dec)).collect();
+        if first.is_none() {
+            first = Some(costs.clone());
+        }
+        last = costs.clone();
+        table.row(vec![fmt(size), fmt(costs[0]), fmt(costs[1]), fmt(costs[2]), fmt(costs[3])]);
+    }
+    out.push(table);
+
+    let first = first.unwrap();
+    let growth: Vec<f64> = first.iter().zip(&last).map(|(a, b)| b - a).collect();
+    out.note(format!(
+        "growth 100 -> 800 bytes: canonical +{}, full +{}, left +{}, right +{}",
+        fmt(growth[0]),
+        fmt(growth[1]),
+        fmt(growth[2]),
+        fmt(growth[3])
+    ));
+    out.note("full is flat (no data search); canonical/right climb with the object size");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_pattern_matches_paper() {
+        let dec = Dec::binary(4);
+        let small = profiles::fig13_profile(100.0);
+        let large = profiles::fig13_profile(800.0);
+        let growth =
+            |e: Ext| large.update_cost(e, 1, &dec) - small.update_cost(e, 1, &dec);
+        assert_eq!(growth(Ext::Full), 0.0);
+        assert!(growth(Ext::Canonical) > 0.0);
+        assert!(growth(Ext::Right) > 0.0);
+        assert!(growth(Ext::Canonical) > growth(Ext::Left));
+        assert!(growth(Ext::Right) > growth(Ext::Left));
+        assert_eq!(run().tables[0].len(), 8);
+    }
+}

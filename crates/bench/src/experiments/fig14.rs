@@ -1,0 +1,88 @@
+//! Figure 14 — operation mix under binary decomposition (Section 6.4.2).
+//!
+//! Expected cost per operation for the mix
+//! `Q = {½ Q_{0,4}(bw), ¼ Q_{0,3}(bw), ¼ Q_{1,2}(fw)}`,
+//! `U = {½ ins_2, ½ ins_3}` while sweeping the update probability
+//! `P_up ∈ 0.1 … 0.9`.  Paper's claims: the left-complete extension beats
+//! full at low update probabilities, and the break-even against *no
+//! support* sits at an extreme `P_up ≈ 0.998`.
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// The decomposition under test; Figure 15 reruns with `(0,3,4)`.
+pub fn run_with_dec(dec: Dec, title: &str) -> ExperimentOutput {
+    let model = profiles::fig14_profile();
+    let mut out = ExperimentOutput::default();
+    let mut table = Table::new(
+        title.to_string(),
+        &["P_up", "canonical", "full", "left", "right", "no support"],
+    );
+    for step in 1..=9 {
+        let p_up = step as f64 / 10.0;
+        let mix = profiles::fig14_mix(p_up);
+        table.row(vec![
+            format!("{p_up:.1}"),
+            fmt(model.mix_cost(Ext::Canonical, &dec, &mix)),
+            fmt(model.mix_cost(Ext::Full, &dec, &mix)),
+            fmt(model.mix_cost(Ext::Left, &dec, &mix)),
+            fmt(model.mix_cost(Ext::Right, &dec, &mix)),
+            fmt(model.mix_cost_nosupport(&mix)),
+        ]);
+    }
+    out.push(table);
+
+    // Locate the no-support break-even for the full extension.
+    let mut break_even = None;
+    for step in 0..=1000 {
+        let p_up = step as f64 / 1000.0;
+        let mix = profiles::fig14_mix(p_up);
+        if model.mix_cost(Ext::Full, &dec, &mix) >= model.mix_cost_nosupport(&mix) {
+            break_even = Some(p_up);
+            break;
+        }
+    }
+    match break_even {
+        Some(p) => out.note(format!(
+            "no-support break-even for full at P_up ≈ {p:.3} (paper: 0.998)"
+        )),
+        None => out.note("full beats no support across the whole P_up range".to_string()),
+    }
+    let low = profiles::fig14_mix(0.1);
+    out.note(format!(
+        "at P_up = 0.1: left ({}) vs full ({}) — left ahead, as in the paper's low-P_up regime",
+        fmt(model.mix_cost(Ext::Left, &dec, &low)),
+        fmt(model.mix_cost(Ext::Full, &dec, &low))
+    ));
+    out
+}
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    run_with_dec(
+        Dec::binary(4),
+        "Figure 14: operation mix cost/op, binary decomposition",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn break_even_is_extreme() {
+        let model = profiles::fig14_profile();
+        let dec = Dec::binary(4);
+        // Supported clearly wins at P_up = 0.9...
+        let mix = profiles::fig14_mix(0.9);
+        assert!(model.mix_cost(Ext::Full, &dec, &mix) < model.mix_cost_nosupport(&mix));
+        // ...and loses only at a pathological update share.
+        let mix = profiles::fig14_mix(0.9999);
+        assert!(model.mix_cost(Ext::Full, &dec, &mix) > model.mix_cost_nosupport(&mix));
+        let out = run();
+        assert_eq!(out.tables[0].len(), 9);
+        assert!(out.notes[0].contains("break-even"));
+    }
+}

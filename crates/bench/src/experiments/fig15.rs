@@ -1,0 +1,54 @@
+//! Figure 15 — the Figure 14 mix under the decomposition `(0, 3, 4)`
+//! (Section 6.4.3).
+//!
+//! The experiment of Figure 14 rerun with a non-binary decomposition that
+//! keeps a wide `[S_0 … S_3]` partition plus the terminal `[S_3, S_4]`
+//! pair — the decomposition our physical-design optimizer independently
+//! discovers as superior for this mix (see the `design` experiment).
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::fig14::run_with_dec;
+use crate::experiments::ExperimentOutput;
+use crate::table::fmt;
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let mut out = run_with_dec(
+        Dec(vec![0, 3, 4]),
+        "Figure 15: operation mix cost/op, decomposition (0,3,4)",
+    );
+    // Compare against binary at one representative operating point.
+    let model = profiles::fig14_profile();
+    let mix = profiles::fig14_mix(0.3);
+    let d034 = Dec(vec![0, 3, 4]);
+    let dbin = Dec::binary(4);
+    for ext in [Ext::Left, Ext::Full] {
+        out.note(format!(
+            "{} at P_up=0.3: (0,3,4) costs {} vs binary {}",
+            ext.name(),
+            fmt(model.mix_cost(ext, &d034, &mix)),
+            fmt(model.mix_cost(ext, &dbin, &mix)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_binary_decomposition_helps_this_mix() {
+        let model = profiles::fig14_profile();
+        let mix = profiles::fig14_mix(0.3);
+        let d034 = Dec(vec![0, 3, 4]);
+        let dbin = Dec::binary(4);
+        // The mix is dominated by whole-chain and (0,3) queries; fewer
+        // partitions mean fewer probes.
+        assert!(
+            model.mix_cost(Ext::Left, &d034, &mix) < model.mix_cost(Ext::Left, &dbin, &mix)
+        );
+        assert_eq!(run().tables[0].len(), 9);
+    }
+}

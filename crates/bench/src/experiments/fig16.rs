@@ -1,0 +1,64 @@
+//! Figure 16 — left-complete vs full extension, n = 5 (Section 6.4.4).
+//!
+//! The anchored mix
+//! `Q = {⅓ Q_{0,5}(bw), ⅓ Q_{0,4}(bw), ⅓ Q_{0,5}(fw)}`,
+//! `U = {⅓ ins_3, ⅓ ins_0, ⅓ ins_4}` on the n = 5 profile, comparing the
+//! left-complete and full extensions under the binary decomposition
+//! `(0,1,2,3,4,5)` and the coarser `(0,3,4,5)`.
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let model = profiles::fig16_profile();
+    let dbin = Dec::binary(5);
+    let d0345 = Dec(vec![0, 3, 4, 5]);
+    let mut out = ExperimentOutput::default();
+    let mut table = Table::new(
+        "Figure 16: left vs full, n = 5 (cost/op)",
+        &["P_up", "left binary", "full binary", "left (0,3,4,5)", "full (0,3,4,5)", "no support"],
+    );
+    for step in 0..=9 {
+        let p_up = 0.05 + step as f64 * 0.1;
+        let mix = profiles::fig16_mix(p_up);
+        table.row(vec![
+            format!("{p_up:.2}"),
+            fmt(model.mix_cost(Ext::Left, &dbin, &mix)),
+            fmt(model.mix_cost(Ext::Full, &dbin, &mix)),
+            fmt(model.mix_cost(Ext::Left, &d0345, &mix)),
+            fmt(model.mix_cost(Ext::Full, &d0345, &mix)),
+            fmt(model.mix_cost_nosupport(&mix)),
+        ]);
+    }
+    out.push(table);
+
+    let mix = profiles::fig16_mix(0.2);
+    out.note(format!(
+        "all queries are t_0-anchored, so left supports the whole mix; at P_up=0.2 \
+         left binary = {} vs full binary = {}",
+        fmt(model.mix_cost(Ext::Left, &dbin, &mix)),
+        fmt(model.mix_cost(Ext::Full, &dbin, &mix))
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_is_competitive_on_anchored_mixes() {
+        let model = profiles::fig16_profile();
+        let dbin = Dec::binary(5);
+        let mix = profiles::fig16_mix(0.2);
+        let left = model.mix_cost(Ext::Left, &dbin, &mix);
+        let full = model.mix_cost(Ext::Full, &dbin, &mix);
+        assert!(left <= full * 1.5, "left={left:.1} full={full:.1}");
+        // Both beat no support for query-heavy mixes.
+        assert!(left < model.mix_cost_nosupport(&mix));
+        assert_eq!(run().tables[0].len(), 10);
+    }
+}

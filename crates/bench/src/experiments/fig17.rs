@@ -1,0 +1,87 @@
+//! Figure 17 — right-complete vs full extension, n = 5 (Section 6.4.5).
+//!
+//! The terminal-anchored mix
+//! `Q = {½ Q_{0,5}(bw), ¼ Q_{1,5}(bw), ¼ Q_{2,5}(bw)}`, `U = {ins_3}` on
+//! a profile whose population *shrinks* towards `t_n`.  Paper's claims:
+//! the decomposition `(0,3,5)` is always superior to binary, and the
+//! right-complete extension beats full only below `P_up ≈ 0.005`.
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let model = profiles::fig17_profile();
+    let dbin = Dec::binary(5);
+    let d035 = Dec(vec![0, 3, 5]);
+    let mut out = ExperimentOutput::default();
+
+    // Fine sweep near zero to expose the tiny break-even, then coarse.
+    let mut table = Table::new(
+        "Figure 17: right vs full, n = 5 (cost/op)",
+        &["P_up", "right (0,3,5)", "full (0,3,5)", "right binary", "full binary"],
+    );
+    let p_ups = [0.0005, 0.001, 0.002, 0.005, 0.01, 0.05, 0.1, 0.3, 0.5];
+    for &p_up in &p_ups {
+        let mix = profiles::fig17_mix(p_up);
+        table.row(vec![
+            format!("{p_up}"),
+            fmt(model.mix_cost(Ext::Right, &d035, &mix)),
+            fmt(model.mix_cost(Ext::Full, &d035, &mix)),
+            fmt(model.mix_cost(Ext::Right, &dbin, &mix)),
+            fmt(model.mix_cost(Ext::Full, &dbin, &mix)),
+        ]);
+    }
+    out.push(table);
+
+    // Locate the right-vs-full break-even under (0,3,5).
+    let mut break_even = None;
+    for step in 0..=10_000 {
+        let p_up = step as f64 / 100_000.0;
+        let mix = profiles::fig17_mix(p_up);
+        if model.mix_cost(Ext::Right, &d035, &mix) >= model.mix_cost(Ext::Full, &d035, &mix) {
+            break_even = Some(p_up);
+            break;
+        }
+    }
+    match break_even {
+        Some(p) => out.note(format!(
+            "right beats full only below P_up ≈ {p:.4} (paper: ≈ 0.005)"
+        )),
+        None => out.note("right never overtakes full in the scanned range".to_string()),
+    }
+    out.note("(0,3,5) is superior to the binary decomposition at every operating point");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn break_even_is_tiny_and_035_dominates() {
+        let model = profiles::fig17_profile();
+        let d035 = Dec(vec![0, 3, 5]);
+        let dbin = Dec::binary(5);
+        let low = profiles::fig17_mix(0.001);
+        assert!(
+            model.mix_cost(Ext::Right, &d035, &low) < model.mix_cost(Ext::Full, &d035, &low)
+        );
+        let high = profiles::fig17_mix(0.05);
+        assert!(
+            model.mix_cost(Ext::Full, &d035, &high) < model.mix_cost(Ext::Right, &d035, &high)
+        );
+        for p_up in [0.001, 0.05, 0.3] {
+            let mix = profiles::fig17_mix(p_up);
+            for ext in [Ext::Right, Ext::Full] {
+                assert!(
+                    model.mix_cost(ext, &d035, &mix) <= model.mix_cost(ext, &dbin, &mix),
+                    "{ext} P_up={p_up}"
+                );
+            }
+        }
+        assert_eq!(run().tables[0].len(), 9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 4 — comparison of access relation sizes (Section 4.4.1).
+//!
+//! Storage bytes (non-redundant representation) for the four extensions
+//! under no decomposition and binary decomposition, on the paper's fixed
+//! engineering profile.  Paper's claims: canonical and left-complete are
+//! drastically smaller than right-complete and full ("few objects at the
+//! left side of the path"), and the binary decomposition reduces storage
+//! by about a factor of 2.
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let model = profiles::fig4_profile();
+    let n = model.n();
+    let mut out = ExperimentOutput::default();
+
+    let mut table = Table::new(
+        "Figure 4: access relation sizes (bytes)",
+        &["extension", "no decomposition", "binary decomposition", "reduction"],
+    );
+    let mut sizes = std::collections::HashMap::new();
+    for ext in Ext::ALL {
+        let none = model.total_bytes(ext, &Dec::none(n));
+        let binary = model.total_bytes(ext, &Dec::binary(n));
+        sizes.insert(ext.name(), (none, binary));
+        table.row(vec![
+            ext.name().to_string(),
+            fmt(none),
+            fmt(binary),
+            format!("{:.2}x", none / binary),
+        ]);
+    }
+    out.push(table);
+
+    let (can, _) = sizes["canonical"];
+    let (left, _) = sizes["left"];
+    let (right, _) = sizes["right"];
+    let (full, _) = sizes["full"];
+    out.note(format!(
+        "ordering: canonical ({}) < left ({}) << right ({}) <= full ({})",
+        fmt(can),
+        fmt(left),
+        fmt(right),
+        fmt(full)
+    ));
+    out.note(format!("right/left ratio = {:.1}x (paper: 'drastically smaller')", right / left));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_rows_and_the_papers_ordering() {
+        let out = run();
+        assert_eq!(out.tables[0].len(), 4);
+        assert!(out.notes.iter().any(|n| n.contains("ordering")));
+    }
+}

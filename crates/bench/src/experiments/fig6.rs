@@ -1,0 +1,70 @@
+//! Figure 6 — query costs for a backward query `Q_{0,4}(bw)`
+//! (Section 5.9.1).
+//!
+//! Page accesses for the whole-chain backward query under every extension,
+//! binary vs non-decomposed, against the no-support baseline.  Paper's
+//! claims: every supported evaluation beats the exhaustive search, and the
+//! non-decomposed relations answer the full-span query cheaper than the
+//! binary-decomposed ones.
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let model = profiles::fig6_profile();
+    let n = model.n();
+    let mut out = ExperimentOutput::default();
+    let nosup = model.qnas_bw(0, n);
+
+    let mut table = Table::new(
+        "Figure 6: Q_{0,4}(bw) page accesses",
+        &["design", "binary dec", "no dec"],
+    );
+    for ext in Ext::ALL {
+        table.row(vec![
+            ext.name().to_string(),
+            fmt(model.qsup_bw(ext, 0, n, &Dec::binary(n))),
+            fmt(model.qsup_bw(ext, 0, n, &Dec::none(n))),
+        ]);
+    }
+    table.row(vec!["no support".into(), fmt(nosup), fmt(nosup)]);
+    out.push(table);
+
+    let worst_supported = Ext::ALL
+        .iter()
+        .map(|&e| model.qsup_bw(e, 0, n, &Dec::binary(n)))
+        .fold(f64::MIN, f64::max);
+    out.note(format!(
+        "every supported design beats no support: worst supported = {} vs {}",
+        fmt(worst_supported),
+        fmt(nosup)
+    ));
+    out.note("non-decomposed <= binary for the full-span query (one lookup vs a partition walk)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_claims_hold() {
+        let model = profiles::fig6_profile();
+        let n = model.n();
+        let nosup = model.qnas_bw(0, n);
+        for ext in Ext::ALL {
+            for dec in [Dec::binary(n), Dec::none(n)] {
+                assert!(model.qsup_bw(ext, 0, n, &dec) < nosup, "{ext} {dec}");
+            }
+            assert!(
+                model.qsup_bw(ext, 0, n, &Dec::none(n))
+                    <= model.qsup_bw(ext, 0, n, &Dec::binary(n)),
+                "{ext}"
+            );
+        }
+        assert_eq!(run().tables[0].len(), 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 7 — query costs under varying object size (Section 5.9.2).
+//!
+//! `size_i` is swept over 100 … 800 for all types (binary decomposition).
+//! Paper's claims: supported query costs are *independent* of object size
+//! (the full/left/right curves overlap); only the unsupported cost grows
+//! proportionally with object size.
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::default();
+    let mut table = Table::new(
+        "Figure 7: Q_{0,4}(bw) vs object size (binary decomposition)",
+        &["size", "canonical", "full", "left", "right", "no support"],
+    );
+    let mut nosup_first = 0.0;
+    let mut nosup_last = 0.0;
+    for step in 0..8 {
+        let size = 100.0 + step as f64 * 100.0;
+        let model = profiles::fig7_profile(size);
+        let n = model.n();
+        let dec = Dec::binary(n);
+        let nosup = model.qnas_bw(0, n);
+        if step == 0 {
+            nosup_first = nosup;
+        }
+        nosup_last = nosup;
+        table.row(vec![
+            fmt(size),
+            fmt(model.qsup_bw(Ext::Canonical, 0, n, &dec)),
+            fmt(model.qsup_bw(Ext::Full, 0, n, &dec)),
+            fmt(model.qsup_bw(Ext::Left, 0, n, &dec)),
+            fmt(model.qsup_bw(Ext::Right, 0, n, &dec)),
+            fmt(nosup),
+        ]);
+    }
+    out.push(table);
+    out.note("supported costs are constant across object sizes (columns identical)");
+    out.note(format!(
+        "unsupported cost grows with object size: {} -> {} ({}x)",
+        fmt(nosup_first),
+        fmt(nosup_last),
+        fmt(nosup_last / nosup_first)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supported_is_size_independent() {
+        for ext in Ext::ALL {
+            let small = profiles::fig7_profile(100.0);
+            let large = profiles::fig7_profile(800.0);
+            assert_eq!(
+                small.qsup_bw(ext, 0, 4, &Dec::binary(4)),
+                large.qsup_bw(ext, 0, 4, &Dec::binary(4)),
+                "{ext}"
+            );
+        }
+        assert!(
+            profiles::fig7_profile(800.0).qnas_bw(0, 4)
+                > profiles::fig7_profile(100.0).qnas_bw(0, 4)
+        );
+        assert_eq!(run().tables[0].len(), 8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 9 — an application favouring canonical/left over full/right
+//! (Section 5.9.4).
+//!
+//! 400 000 objects per type with very few defined attributes on the left
+//! (`d_0 = 10`) and many on the right (`d_3 = 10⁵`), fan-out swept over
+//! 10 … 100.  Because hardly any path originates in `t_0`, the canonical
+//! and left-complete extensions stay tiny while full and right-complete
+//! blow up — and the backward query `Q_{0,4}(bw)` is correspondingly much
+//! cheaper on the small extensions.
+
+use asr_costmodel::{profiles, Dec, Ext};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::default();
+    let mut cost_table = Table::new(
+        "Figure 9: Q_{0,4}(bw) page accesses vs fan-out (binary decomposition)",
+        &["fan", "canonical", "left", "full", "right", "no support"],
+    );
+    let mut size_table = Table::new(
+        "Figure 9 (context): relation sizes in bytes at each fan-out",
+        &["fan", "canonical", "left", "full", "right"],
+    );
+    for fan in [10.0, 25.0, 50.0, 75.0, 100.0] {
+        let model = profiles::fig9_profile(fan);
+        let n = model.n();
+        let dec = Dec::binary(n);
+        cost_table.row(vec![
+            fmt(fan),
+            fmt(model.qsup_bw(Ext::Canonical, 0, n, &dec)),
+            fmt(model.qsup_bw(Ext::Left, 0, n, &dec)),
+            fmt(model.qsup_bw(Ext::Full, 0, n, &dec)),
+            fmt(model.qsup_bw(Ext::Right, 0, n, &dec)),
+            fmt(model.qnas_bw(0, n)),
+        ]);
+        size_table.row(vec![
+            fmt(fan),
+            fmt(model.total_bytes(Ext::Canonical, &dec)),
+            fmt(model.total_bytes(Ext::Left, &dec)),
+            fmt(model.total_bytes(Ext::Full, &dec)),
+            fmt(model.total_bytes(Ext::Right, &dec)),
+        ]);
+    }
+    out.push(cost_table);
+    out.push(size_table);
+
+    let m = profiles::fig9_profile(100.0);
+    let dec = Dec::binary(m.n());
+    out.note(format!(
+        "at fan = 100: left ({} bytes) vs right ({} bytes) — the profile indeed \
+         favours canonical/left by {}x in storage",
+        fmt(m.total_bytes(Ext::Left, &dec)),
+        fmt(m.total_bytes(Ext::Right, &dec)),
+        fmt(m.total_bytes(Ext::Right, &dec) / m.total_bytes(Ext::Left, &dec).max(1.0))
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_favours_canonical_left() {
+        for fan in [10.0, 100.0] {
+            let m = profiles::fig9_profile(fan);
+            let dec = Dec::binary(m.n());
+            assert!(
+                m.total_bytes(Ext::Left, &dec) < m.total_bytes(Ext::Right, &dec),
+                "fan={fan}"
+            );
+            assert!(
+                m.total_bytes(Ext::Canonical, &dec) < m.total_bytes(Ext::Full, &dec),
+                "fan={fan}"
+            );
+        }
+        assert_eq!(run().tables.len(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Empirical validation: measured page accesses on the live system vs the
+//! analytical model's predictions.
+//!
+//! The paper evaluates everything analytically; this repository also has
+//! the *actual* system (object store, dual-clustered B+ trees, incremental
+//! maintenance).  This experiment generates a down-scaled database from
+//! the Figure 6/11 profiles, runs real queries and updates while counting
+//! real page accesses, and puts them next to the model's predictions for
+//! the same (scaled) profile.  The check is shape-level: the same
+//! orderings must emerge, and supported queries must beat the exhaustive
+//! search by a comparable factor.
+
+use asr_core::{AsrConfig, Decomposition, Extension};
+use asr_costmodel::{profiles, CostModel, Dec, Ext, Mix, Op};
+use asr_workload::{execute_trace, generate, generate_trace, scale_profile, GeneratorSpec};
+
+use crate::experiments::ExperimentOutput;
+use crate::table::{fmt, Table};
+
+const SCALE: f64 = 5.0;
+const QUERY_COUNT: usize = 30;
+const UPDATE_COUNT: usize = 20;
+
+fn core_ext(ext: Ext) -> Extension {
+    match ext {
+        Ext::Canonical => Extension::Canonical,
+        Ext::Full => Extension::Full,
+        Ext::Left => Extension::LeftComplete,
+        Ext::Right => Extension::RightComplete,
+    }
+}
+
+/// Run the experiment.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::default();
+    out.push(validate_queries());
+    out.push(validate_updates());
+    out.note(format!(
+        "measurements on 1/{SCALE:.0}-scale databases; predictions from the model on the \
+         same scaled profile — agreement is judged on ordering and rough magnitude"
+    ));
+    out
+}
+
+/// Backward whole-chain query, every extension + no support.
+fn validate_queries() -> Table {
+    let scaled = scale_profile(&profiles::fig6_profile().profile, SCALE);
+    let model = CostModel::new(scaled.clone());
+    let n = model.n();
+    let spec = GeneratorSpec::from_profile(&scaled, 1.0);
+    let mix = Mix::new(vec![(1.0, Op::bw(0, n))], vec![], 0.0);
+
+    let mut table = Table::new(
+        format!("validate: Q_{{0,{n}}}(bw), measured vs predicted page accesses"),
+        &["design", "measured/op", "predicted/op", "ratio"],
+    );
+
+    // No support.
+    {
+        let mut g = generate(&spec, 1);
+        let trace = generate_trace(&g, &mix, QUERY_COUNT, 2);
+        let path = g.path.clone();
+        let report = execute_trace(&mut g.db, None, &path, &trace);
+        let predicted = model.qnas_bw(0, n);
+        table.row(vec![
+            "no support".into(),
+            fmt(report.mean_cost()),
+            fmt(predicted),
+            format!("{:.2}", report.mean_cost() / predicted),
+        ]);
+    }
+
+    for ext in Ext::ALL {
+        let mut g = generate(&spec, 1);
+        let m = g.path.arity(false) - 1;
+        let id = g
+            .db
+            .create_asr(g.path.clone(), AsrConfig {
+                extension: core_ext(ext),
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            })
+            .expect("ASR builds");
+        let trace = generate_trace(&g, &mix, QUERY_COUNT, 2);
+        g.db.stats().reset();
+        let path = g.path.clone();
+        let report = execute_trace(&mut g.db, Some(id), &path, &trace);
+        let predicted = model.qsup_bw(ext, 0, n, &Dec::binary(n));
+        table.row(vec![
+            format!("{} (binary)", ext.name()),
+            fmt(report.mean_cost()),
+            fmt(predicted),
+            format!("{:.2}", report.mean_cost() / predicted.max(1.0)),
+        ]);
+    }
+    table
+}
+
+/// `ins_3` updates, every extension.
+fn validate_updates() -> Table {
+    let scaled = scale_profile(&profiles::fig11_profile().profile, SCALE);
+    let model = CostModel::new(scaled.clone());
+    let spec = GeneratorSpec::from_profile(&scaled, 1.0);
+    let mix = Mix::new(vec![], vec![(1.0, Op::ins(3))], 1.0);
+
+    let mut table = Table::new(
+        "validate: ins_3, measured vs predicted page accesses",
+        &["design", "measured/op", "predicted/op", "ratio"],
+    );
+    for ext in Ext::ALL {
+        let mut g = generate(&spec, 3);
+        let m = g.path.arity(false) - 1;
+        let id = g
+            .db
+            .create_asr(g.path.clone(), AsrConfig {
+                extension: core_ext(ext),
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            })
+            .expect("ASR builds");
+        let trace = generate_trace(&g, &mix, UPDATE_COUNT, 4);
+        g.db.stats().reset();
+        let path = g.path.clone();
+        let report = execute_trace(&mut g.db, Some(id), &path, &trace);
+        g.db.asr(id).unwrap().check_consistency().expect("consistent after updates");
+        let predicted = model.update_cost(ext, 3, &Dec::binary(model.n()));
+        table.row(vec![
+            format!("{} (binary)", ext.name()),
+            fmt(report.mean_cost()),
+            fmt(predicted),
+            format!("{:.2}", report.mean_cost() / predicted.max(1.0)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full experiment is sized for `--release` runs; unit tests use a
+    /// miniature version to keep `cargo test` quick while still checking
+    /// the orderings end to end.
+    #[test]
+    fn mini_validation_preserves_the_orderings() {
+        let scaled = scale_profile(&profiles::fig6_profile().profile, 20.0);
+        let spec = GeneratorSpec::from_profile(&scaled, 1.0);
+        let n = scaled.n;
+        let mix = Mix::new(vec![(1.0, Op::bw(0, n))], vec![], 0.0);
+
+        let mut naive = generate(&spec, 1);
+        let trace = generate_trace(&naive, &mix, 10, 2);
+        let path = naive.path.clone();
+        let naive_rep = execute_trace(&mut naive.db, None, &path, &trace);
+
+        let mut indexed = generate(&spec, 1);
+        let m = indexed.path.arity(false) - 1;
+        let id = indexed
+            .db
+            .create_asr(indexed.path.clone(), AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            })
+            .unwrap();
+        indexed.db.stats().reset();
+        let path = indexed.path.clone();
+        let sup_rep = execute_trace(&mut indexed.db, Some(id), &path, &trace);
+
+        assert!(
+            sup_rep.total_accesses() < naive_rep.total_accesses(),
+            "supported {} !< naive {}",
+            sup_rep.total_accesses(),
+            naive_rep.total_accesses()
+        );
+    }
+}

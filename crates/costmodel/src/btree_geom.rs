@@ -1,0 +1,160 @@
+//! B⁺ tree geometry of stored partitions (formulas 19–28).
+//!
+//! Every partition is stored in two redundant B⁺ trees (Section 5.2); the
+//! model needs the tree height `ht`, the number of non-leaf pages `pg`,
+//! and the expected number of leaf pages per clustering value for the
+//! forward (`nlp`) and backward (`Rnlp`) clustered trees.
+
+use crate::params::CostModel;
+use crate::Ext;
+
+impl CostModel {
+    /// `ht^{i,j}_X = ⌈log_{B⁺fan}(ap)⌉` (formula 19) — tree height *not*
+    /// counting the leaves, at least 1.
+    pub fn ht(&self, ext: Ext, i: usize, j: usize) -> f64 {
+        let ap = self.ap(ext, i, j);
+        if ap <= 1.0 {
+            return 1.0;
+        }
+        (ap.ln() / self.sys.bplus_fan().ln()).ceil().max(1.0)
+    }
+
+    /// `pg^{i,j}_X` (formula 20): non-leaf pages of the B⁺ tree.  The
+    /// paper spells out the cases `ht ≤ 1` and `ht = 2`; the general form
+    /// is the geometric sum `Σ_{l=1}^{ht} ⌈ap / B⁺fan^l⌉`, which
+    /// specializes to both.
+    pub fn pg(&self, ext: Ext, i: usize, j: usize) -> f64 {
+        let ap = self.ap(ext, i, j);
+        let fan = self.sys.bplus_fan();
+        let ht = self.ht(ext, i, j) as usize;
+        let mut pages = 0.0;
+        let mut level_cap = fan;
+        for _ in 0..ht {
+            pages += (ap / level_cap).ceil().max(1.0);
+            level_cap *= fan;
+        }
+        pages
+    }
+
+    /// Distinct clustering values of the *first* attribute `S_i` under
+    /// extension `X` — the denominators of formulas (21)–(24).
+    fn first_values(&self, ext: Ext, i: usize) -> f64 {
+        match ext {
+            // (21): every t_i object with a defined A_{i+1}.
+            Ext::Full => self.d(i),
+            // (22): as printed — d_i.
+            Ext::Right => self.d(i),
+            // (23): canonical rows start at objects that lie on complete
+            // paths: Ref(i,n) · P_RefBy(0,i).
+            // paper: writes lowercase `ref(i,n)`; `Ref(i, n)` is meant.
+            Ext::Canonical => self.reaches(i, self.n()) * self.p_ref_by(0, i),
+            // (24): left rows pass t_i iff reachable from t_0.
+            Ext::Left => self.ref_by(0, i).max(if i == 0 { self.d(0) } else { 0.0 }),
+        }
+    }
+
+    /// Distinct clustering values of the *last* attribute `S_j` — the
+    /// denominators of formulas (25)–(28).
+    fn last_values(&self, ext: Ext, j: usize) -> f64 {
+        match ext {
+            // (25): paper writes e_i; the backward tree clusters on t_j
+            // values, so e_j is meant.
+            Ext::Full => self.e(j),
+            // (26): paper writes as_right/(PageSize·e_i); the left
+            // extension's backward tree clusters t_j objects reachable
+            // from t_0.
+            Ext::Left => self.ref_by(0, j),
+            // (27): canonical — t_j objects on complete paths.
+            Ext::Canonical => self.ref_by(0, j) * self.p_ref(j, self.n()),
+            // (28): right — t_j objects reaching t_n.
+            Ext::Right => self.reaches(j, self.n()).max(if j == self.n() {
+                self.e(j)
+            } else {
+                0.0
+            }),
+        }
+    }
+
+    /// `nlp^{i,j}_X` (formulas 21–24): leaf pages per value of the
+    /// forward-clustered tree, `⌈as / (PageSize · #values)⌉`.
+    pub fn nlp(&self, ext: Ext, i: usize, j: usize) -> f64 {
+        let values = self.first_values(ext, i).max(1.0);
+        (self.as_bytes(ext, i, j) / (self.sys.page_size * values)).ceil().max(1.0)
+    }
+
+    /// `Rnlp^{i,j}_X` (formulas 25–28): leaf pages per value of the
+    /// backward-clustered tree.
+    pub fn rnlp(&self, ext: Ext, i: usize, j: usize) -> f64 {
+        let values = self.last_values(ext, j).max(1.0);
+        (self.as_bytes(ext, i, j) / (self.sys.page_size * values)).ceil().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Profile;
+
+    fn sample() -> CostModel {
+        CostModel::new(
+            Profile::new(
+                vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+                vec![900.0, 4000.0, 8000.0, 20_000.0],
+                vec![2.0, 2.0, 3.0, 4.0],
+                vec![500.0, 400.0, 300.0, 300.0, 100.0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn heights_are_small_and_monotone_in_pages() {
+        let m = sample();
+        for ext in Ext::ALL {
+            let ht = m.ht(ext, 0, 4);
+            assert!((1.0..=3.0).contains(&ht), "{ext}: ht = {ht}");
+            // A bigger partition never has a smaller tree.
+            assert!(m.ht(ext, 0, 4) >= m.ht(ext, 0, 1));
+        }
+    }
+
+    #[test]
+    fn pg_specializes_to_the_papers_cases() {
+        let m = sample();
+        for ext in Ext::ALL {
+            for (a, b) in [(0, 4), (0, 1), (3, 4)] {
+                let ht = m.ht(ext, a, b);
+                let pg = m.pg(ext, a, b);
+                let ap = m.ap(ext, a, b);
+                if ht == 1.0 {
+                    assert_eq!(pg, (ap / m.sys.bplus_fan()).ceil().max(1.0));
+                } else if ht == 2.0 {
+                    assert_eq!(pg, 1.0 + (ap / m.sys.bplus_fan()).ceil());
+                }
+                assert!(pg >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nlp_at_least_one_page_per_value() {
+        let m = sample();
+        for ext in Ext::ALL {
+            for (a, b) in [(0, 4), (0, 2), (2, 4)] {
+                assert!(m.nlp(ext, a, b) >= 1.0);
+                assert!(m.rnlp(ext, a, b) >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_clusters_need_more_leaf_pages() {
+        // Shrinking the value population (fewer distinct keys over the
+        // same data) grows per-value leaf pages.
+        let m = sample();
+        // Full extension over (3,4): d_3 = 20000 values, as/PageSize tells
+        // the ratio.
+        let nlp = m.nlp(Ext::Full, 3, 4);
+        assert!((1.0..10.0).contains(&nlp));
+    }
+}

@@ -1,0 +1,156 @@
+//! Cardinalities of access support relations (Section 4.2).
+//!
+//! For each extension `X` and each partition `(i, j)` of a decomposition,
+//! `#E^{i,j}_X` estimates the number of tuples in the stored partition.
+
+use crate::params::CostModel;
+use crate::{Dec, Ext};
+
+impl CostModel {
+    /// `#E^{i,j}_X` — dispatch on the extension.
+    pub fn cardinality(&self, ext: Ext, i: usize, j: usize) -> f64 {
+        match ext {
+            Ext::Canonical => self.card_canonical(i, j),
+            Ext::Full => self.card_full(i, j),
+            Ext::Left => self.card_left(i, j),
+            Ext::Right => self.card_right(i, j),
+        }
+    }
+
+    /// Canonical extension (Section 4.2.1):
+    /// `#E^{i,j}_can = P_RefBy(0,i) · path(i,j) · P_Ref(j,n)`.
+    /// The non-decomposed special case `#E_can = path(0,n)` falls out for
+    /// `(i, j) = (0, n)`.
+    pub fn card_canonical(&self, i: usize, j: usize) -> f64 {
+        self.p_ref_by(0, i) * self.paths(i, j) * self.p_ref(j, self.n())
+    }
+
+    /// Full extension (Section 4.2.2):
+    /// `#E^{i,j}_full = Σ_{k=1}^{j-i} Σ_{l=i}^{j-k}
+    ///   P_lb(max(i,l−1), l) · path(l, l+k) · P_rb(l+k, min(j, l+k+1))`.
+    pub fn card_full(&self, i: usize, j: usize) -> f64 {
+        let mut total = 0.0;
+        for k in 1..=(j - i) {
+            for l in i..=(j - k) {
+                let lb_from = if l == i { i } else { l - 1 };
+                let rb_to = (l + k + 1).min(j);
+                total += self.p_lb(lb_from, l) * self.paths(l, l + k) * self.p_rb(l + k, rb_to);
+            }
+        }
+        total
+    }
+
+    /// Left-complete extension (Section 4.2.3):
+    /// `#E^{i,j}_left = Σ_{k=1}^{j-i}
+    ///   P_RefBy(0,i) · path(i, i+k) · P_rb(i+k, min(j, i+k+1))`.
+    pub fn card_left(&self, i: usize, j: usize) -> f64 {
+        let mut total = 0.0;
+        for k in 1..=(j - i) {
+            let rb_to = (i + k + 1).min(j);
+            total += self.p_ref_by(0, i) * self.paths(i, i + k) * self.p_rb(i + k, rb_to);
+        }
+        total
+    }
+
+    /// Right-complete extension (Section 4.2.4):
+    /// `#E^{i,j}_right = Σ_{k=1}^{j-i}
+    ///   P_lb(max(i, j−k−1), j−k) · path(j−k, j) · P_Ref(j,n)`.
+    pub fn card_right(&self, i: usize, j: usize) -> f64 {
+        let mut total = 0.0;
+        for k in 1..=(j - i) {
+            let lb_from = if j > k { (j - k - 1).max(i) } else { i };
+            total += self.p_lb(lb_from, j - k) * self.paths(j - k, j) * self.p_ref(j, self.n());
+        }
+        total
+    }
+
+    /// Total tuples across all partitions of a decomposition.
+    pub fn total_cardinality(&self, ext: Ext, dec: &Dec) -> f64 {
+        dec.partitions().map(|(a, b)| self.cardinality(ext, a, b)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Profile;
+
+    fn sample() -> CostModel {
+        CostModel::new(
+            Profile::new(
+                vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+                vec![900.0, 4000.0, 8000.0, 20_000.0],
+                vec![2.0, 2.0, 3.0, 4.0],
+                vec![500.0, 400.0, 300.0, 300.0, 100.0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn canonical_whole_chain_equals_paths_when_dense() {
+        // With every object defined and connected, P_RefBy = P_Ref = 1 and
+        // #E_can = path(0, n).
+        let m = CostModel::new(
+            Profile::new(
+                vec![100.0, 100.0, 100.0],
+                vec![100.0, 100.0],
+                vec![1.0, 1.0],
+                vec![100.0, 100.0, 100.0],
+            )
+            .unwrap(),
+        );
+        assert!((m.card_canonical(0, 2) - m.paths(0, 2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extension_size_ordering_for_the_papers_profile() {
+        // Section 4.4.1: few objects on the left => canonical and left
+        // drastically smaller than right and full.
+        let m = sample();
+        let (i, j) = (0, 4);
+        let can = m.card_canonical(i, j);
+        let left = m.card_left(i, j);
+        let right = m.card_right(i, j);
+        let full = m.card_full(i, j);
+        assert!(can <= left + 1e-9, "can={can} left={left}");
+        assert!(can <= right + 1e-9);
+        assert!(left <= full + 1e-9, "left={left} full={full}");
+        assert!(right <= full + 1e-9, "right={right} full={full}");
+        assert!(left < right, "this profile favours left over right: {left} vs {right}");
+    }
+
+    #[test]
+    fn partition_cardinalities_are_nonnegative_and_bounded() {
+        let m = sample();
+        for ext in Ext::ALL {
+            for dec in Dec::enumerate_all(4) {
+                for (a, b) in dec.partitions() {
+                    let card = m.cardinality(ext, a, b);
+                    assert!(card.is_finite() && card >= 0.0, "{ext} ({a},{b}) = {card}");
+                }
+                assert!(m.total_cardinality(ext, &dec) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn full_partition_contains_every_sub_path_population() {
+        // A single-hop partition of the full extension counts at least the
+        // edges that exist there.
+        let m = sample();
+        let full01 = m.card_full(0, 1);
+        assert!(full01 >= m.refs(0) * 0.99, "full(0,1)={full01} vs ref_0={}", m.refs(0));
+    }
+
+    #[test]
+    fn decomposition_reduces_per_partition_width_not_information() {
+        // Binary decomposition has n partitions, each with positive
+        // cardinality for a connected profile.
+        let m = sample();
+        let bin = Dec::binary(4);
+        for (a, b) in bin.partitions() {
+            assert!(m.cardinality(Ext::Full, a, b) > 0.0, "({a},{b})");
+        }
+    }
+}

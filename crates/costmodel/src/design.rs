@@ -1,0 +1,143 @@
+//! The physical-design optimizer (Section 7).
+//!
+//! "Based on the application characteristics the analytical model can be
+//! used to compute for all (feasible) design choices the expected cost …
+//! of pre-determined database usage profiles.  From this, the best suited
+//! access support relation extension and decomposition can be selected."
+//!
+//! [`best_design`] does exactly that: it enumerates the 4 extensions ×
+//! `2^{n-1}` decompositions (plus the no-support option) and returns them
+//! ranked by expected mix cost.
+
+use crate::params::CostModel;
+use crate::{Dec, Ext, Mix};
+
+/// One evaluated design choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignChoice {
+    /// The extension, or `None` for "no access support relation".
+    pub extension: Option<Ext>,
+    /// The decomposition (meaningless for no-support).
+    pub decomposition: Dec,
+    /// Expected cost per operation of the mix (page accesses).
+    pub cost: f64,
+    /// Storage bytes of the non-redundant representation (0 for
+    /// no-support).
+    pub storage_bytes: f64,
+}
+
+impl DesignChoice {
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self.extension {
+            Some(ext) => format!("{ext} {}", self.decomposition),
+            None => "no support".to_string(),
+        }
+    }
+}
+
+/// Evaluate every design choice for `mix`, cheapest first.
+pub fn rank_designs(model: &CostModel, mix: &Mix) -> Vec<DesignChoice> {
+    let n = model.n();
+    let mut out = Vec::new();
+    out.push(DesignChoice {
+        extension: None,
+        decomposition: Dec::none(n),
+        cost: model.mix_cost_nosupport(mix),
+        storage_bytes: 0.0,
+    });
+    for ext in Ext::ALL {
+        for dec in Dec::enumerate_all(n) {
+            out.push(DesignChoice {
+                extension: Some(ext),
+                decomposition: dec.clone(),
+                cost: model.mix_cost(ext, &dec, mix),
+                storage_bytes: model.total_bytes(ext, &dec),
+            });
+        }
+    }
+    out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    out
+}
+
+/// The single cheapest design for `mix`.
+pub fn best_design(model: &CostModel, mix: &Mix) -> DesignChoice {
+    rank_designs(model, mix).into_iter().next().expect("at least the no-support choice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Profile;
+    use crate::Op;
+
+    fn model() -> CostModel {
+        CostModel::new(
+            Profile::new(
+                vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+                vec![900.0, 4000.0, 8000.0, 20_000.0],
+                vec![2.0, 2.0, 3.0, 4.0],
+                vec![500.0, 400.0, 300.0, 300.0, 100.0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn enumerates_everything() {
+        let m = model();
+        let mix = Mix::new(vec![(1.0, Op::bw(0, 4))], vec![(1.0, Op::ins(3))], 0.3);
+        let ranked = rank_designs(&m, &mix);
+        assert_eq!(ranked.len(), 1 + 4 * 8);
+        // Sorted ascending.
+        for w in ranked.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+    }
+
+    #[test]
+    fn query_heavy_mix_prefers_support() {
+        let m = model();
+        let mix = Mix::new(vec![(1.0, Op::bw(0, 4))], vec![(1.0, Op::ins(3))], 0.05);
+        let best = best_design(&m, &mix);
+        assert!(best.extension.is_some(), "support must win a query-heavy mix");
+        assert!(best.storage_bytes > 0.0);
+    }
+
+    #[test]
+    fn update_only_mix_prefers_no_support() {
+        let m = model();
+        let mix = Mix::new(vec![(1.0, Op::bw(0, 4))], vec![(1.0, Op::ins(3))], 1.0);
+        let best = best_design(&m, &mix);
+        assert_eq!(best.extension, None, "pure updates: any ASR is pure overhead");
+        assert_eq!(best.cost, CostModel::OBJECT_UPDATE_COST);
+    }
+
+    #[test]
+    fn anchored_query_mix_prefers_left_or_canonical_family() {
+        // Queries anchored at t_0 with some updates: left/canonical beat
+        // right for this left-light profile.
+        let m = model();
+        let mix = Mix::new(
+            vec![(0.6, Op::bw(0, 4)), (0.4, Op::fw(0, 4))],
+            vec![(1.0, Op::ins(3))],
+            0.2,
+        );
+        let ranked = rank_designs(&m, &mix);
+        let best = &ranked[0];
+        let right_best = ranked
+            .iter()
+            .find(|d| d.extension == Some(Ext::Right))
+            .expect("right is ranked somewhere");
+        assert!(best.cost < right_best.cost);
+        assert_ne!(best.extension, Some(Ext::Right));
+    }
+
+    #[test]
+    fn labels_render() {
+        let m = model();
+        let mix = Mix::new(vec![(1.0, Op::bw(0, 4))], vec![], 0.0);
+        let best = best_design(&m, &mix);
+        assert!(!best.label().is_empty());
+    }
+}

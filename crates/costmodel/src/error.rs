@@ -1,0 +1,50 @@
+//! Error type for the analytical cost model.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CostModelError>;
+
+/// Errors raised while constructing or evaluating the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostModelError {
+    /// Profile vectors have inconsistent lengths or invalid values.
+    InvalidProfile(String),
+    /// A span `[i, j]` or update position was out of range.
+    InvalidSpan {
+        /// Span start.
+        i: usize,
+        /// Span end.
+        j: usize,
+        /// Path length.
+        n: usize,
+    },
+    /// A decomposition did not span `(0, …, n)`.
+    InvalidDecomposition(String),
+}
+
+impl fmt::Display for CostModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModelError::InvalidProfile(msg) => write!(f, "invalid profile: {msg}"),
+            CostModelError::InvalidSpan { i, j, n } => {
+                write!(f, "span [{i},{j}] invalid for path length {n}")
+            }
+            CostModelError::InvalidDecomposition(msg) => {
+                write!(f, "invalid decomposition: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CostModelError::InvalidSpan { i: 2, j: 1, n: 4 }.to_string().contains("[2,1]"));
+    }
+}

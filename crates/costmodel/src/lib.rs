@@ -1,0 +1,172 @@
+//! # asr-costmodel — the paper's analytical cost model
+//!
+//! Kemper & Moerkotte evaluate access support relations entirely
+//! analytically: a cost model (originally "fully implemented as a Lisp
+//! program", Section 7) that predicts storage sizes, query costs and
+//! update costs in **secondary-storage page accesses**, parameterized by an
+//! application profile (Figure 3).  This crate is that program,
+//! reimplemented formula-by-formula:
+//!
+//! * derived probabilities and reachability counts `P_A, P_H, RefBy, Ref,
+//!   P_RefBy, P_Ref, path, P_lb, P_rb` (formulas 1-12, 29-30) —
+//!   [`stats`];
+//! * Yao's block-access function `y(k, m, n)` — [`yao()`](yao());
+//! * access-relation cardinalities `#E^{i,j}_X` for all four extensions
+//!   under arbitrary decompositions (Section 4.2) — [`cardinality`];
+//! * storage costs `ats, atpp, as, ap` (formulas 13-16) and B⁺ tree
+//!   geometry `ht, pg, nlp, Rnlp` (formulas 19-28) — [`storage`] and
+//!   [`btree_geom`];
+//! * query costs with and without access support (formulas 31-35) —
+//!   [`query_cost`];
+//! * update costs: extension-specific search (formula 36), cluster counts
+//!   `qfw / qbw` (Section 6.2) and the write cost `aup` — [`update_cost`];
+//! * operation mixes `M = (Q_mix, U_mix, P_up)` (Section 6.4) — [`mix`];
+//! * the physical-design optimizer the paper motivates in Section 7 —
+//!   [`design`];
+//! * every application profile used in the paper's experiments —
+//!   [`profiles`].
+//!
+//! Deliberate repairs of typographical slips in the paper's formulas are
+//! marked with `// paper:` comments at the affected lines and summarized
+//! in DESIGN.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod btree_geom;
+pub mod cardinality;
+pub mod design;
+pub mod error;
+pub mod mix;
+pub mod params;
+pub mod profiles;
+pub mod query_cost;
+pub mod stats;
+pub mod storage;
+pub mod update_cost;
+pub mod yao;
+
+pub use design::{best_design, DesignChoice};
+pub use error::{CostModelError, Result};
+pub use mix::{Mix, Op, QueryKind};
+pub use params::{CostModel, Profile, SystemParams};
+pub use yao::yao;
+
+/// The four extensions, re-exported for convenience so downstream code can
+/// depend on one crate for analytical work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ext {
+    /// Canonical extension (complete paths only).
+    Canonical,
+    /// Full extension (all partial paths).
+    Full,
+    /// Left-complete extension.
+    Left,
+    /// Right-complete extension.
+    Right,
+}
+
+impl Ext {
+    /// All extensions in the paper's order.
+    pub const ALL: [Ext; 4] = [Ext::Canonical, Ext::Full, Ext::Left, Ext::Right];
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Ext::Canonical => "canonical",
+            Ext::Full => "full",
+            Ext::Left => "left",
+            Ext::Right => "right",
+        }
+    }
+
+    /// Formula (35): does this extension support span `Q_{i,j}` on a path
+    /// of length `n`?
+    pub fn supports(self, i: usize, j: usize, n: usize) -> bool {
+        match self {
+            Ext::Canonical => i == 0 && j == n,
+            Ext::Full => true,
+            Ext::Left => i == 0,
+            Ext::Right => j == n,
+        }
+    }
+}
+
+impl std::fmt::Display for Ext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A decomposition in the analytical model: the cut points
+/// `(0, i_1, …, n)` over path positions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Dec(pub Vec<usize>);
+
+impl Dec {
+    /// The trivial decomposition `(0, n)`.
+    pub fn none(n: usize) -> Self {
+        Dec(vec![0, n])
+    }
+
+    /// The binary decomposition `(0, 1, …, n)`.
+    pub fn binary(n: usize) -> Self {
+        Dec((0..=n).collect())
+    }
+
+    /// Partitions `(i_ν, i_{ν+1})`.
+    pub fn partitions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.0.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// All `2^{n-1}` decompositions of a length-`n` path.
+    pub fn enumerate_all(n: usize) -> Vec<Dec> {
+        let interior = n - 1;
+        (0u64..(1 << interior))
+            .map(|mask| {
+                let mut cuts = vec![0];
+                for bit in 0..interior {
+                    if mask & (1 << bit) != 0 {
+                        cuts.push(bit + 1);
+                    }
+                }
+                cuts.push(n);
+                Dec(cuts)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Dec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_support_matrix() {
+        assert!(Ext::Canonical.supports(0, 4, 4));
+        assert!(!Ext::Canonical.supports(0, 3, 4));
+        assert!(Ext::Full.supports(1, 2, 4));
+        assert!(Ext::Left.supports(0, 2, 4) && !Ext::Left.supports(1, 4, 4));
+        assert!(Ext::Right.supports(2, 4, 4) && !Ext::Right.supports(0, 3, 4));
+    }
+
+    #[test]
+    fn dec_enumeration() {
+        assert_eq!(Dec::enumerate_all(4).len(), 8);
+        assert_eq!(Dec::binary(4).to_string(), "(0,1,2,3,4)");
+        assert_eq!(Dec::none(4).partitions().count(), 1);
+    }
+}

@@ -1,0 +1,323 @@
+//! Application and system parameters (Figure 3 of the paper).
+//!
+//! An application is characterized along one path expression of length `n`
+//! by, for each position `i`:
+//!
+//! * `c_i` — total number of objects of type `t_i`,
+//! * `d_i` — objects of `t_i` whose `A_{i+1}` attribute is not NULL
+//!   (defined for `0 ≤ i < n`),
+//! * `fan_i` — average references emanating from `A_{i+1}` of a `t_i`
+//!   object (defined for `0 ≤ i < n`),
+//! * `shar_i` — average number of `t_i` objects referencing the same
+//!   `t_{i+1}` object; by default derived as `shar_i = d_i·fan_i /
+//!   c_{i+1}`,
+//! * `size_i` — average object size in bytes.
+//!
+//! System constants mirror `asr_pagesim`: `PageSize = 4056`, `OIDsize = 8`,
+//! `PPsize = 4`, `B⁺fan = ⌊PageSize/(PPsize+OIDsize)⌋`.
+
+use crate::error::{CostModelError, Result};
+
+/// System-specific parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemParams {
+    /// Net page size in bytes.
+    pub page_size: f64,
+    /// Object identifier size in bytes.
+    pub oid_size: f64,
+    /// Page pointer size in bytes.
+    pub pp_size: f64,
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        SystemParams { page_size: 4056.0, oid_size: 8.0, pp_size: 4.0 }
+    }
+}
+
+impl SystemParams {
+    /// `B⁺fan = ⌊PageSize / (PPsize + OIDsize)⌋` (Figure 3).
+    pub fn bplus_fan(&self) -> f64 {
+        (self.page_size / (self.pp_size + self.oid_size)).floor()
+    }
+}
+
+/// The application-specific characterization of one path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Path length `n`.
+    pub n: usize,
+    /// `c_0 … c_n`.
+    pub c: Vec<f64>,
+    /// `d_0 … d_{n-1}`.
+    pub d: Vec<f64>,
+    /// `fan_0 … fan_{n-1}`.
+    pub fan: Vec<f64>,
+    /// `size_0 … size_n` (bytes).
+    pub size: Vec<f64>,
+    /// Optional user-supplied `shar_0 … shar_{n-1}`; derived when absent.
+    pub shar: Option<Vec<f64>>,
+}
+
+impl Profile {
+    /// Build and validate a profile with derived sharing.
+    pub fn new(c: Vec<f64>, d: Vec<f64>, fan: Vec<f64>, size: Vec<f64>) -> Result<Self> {
+        let profile = Profile { n: c.len().saturating_sub(1), c, d, fan, size, shar: None };
+        profile.validate()?;
+        Ok(profile)
+    }
+
+    /// Validate vector lengths and value ranges.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.n;
+        if n == 0 {
+            return Err(CostModelError::InvalidProfile("path length must be >= 1".into()));
+        }
+        let check_len = |name: &str, len: usize, want: usize| {
+            if len != want {
+                Err(CostModelError::InvalidProfile(format!(
+                    "{name} has {len} entries, expected {want}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        check_len("c", self.c.len(), n + 1)?;
+        check_len("d", self.d.len(), n)?;
+        check_len("fan", self.fan.len(), n)?;
+        check_len("size", self.size.len(), n + 1)?;
+        if let Some(shar) = &self.shar {
+            check_len("shar", shar.len(), n)?;
+        }
+        for (i, &c) in self.c.iter().enumerate() {
+            if c < 0.0 || !c.is_finite() {
+                return Err(CostModelError::InvalidProfile(format!("c_{i} = {c}")));
+            }
+        }
+        for i in 0..n {
+            if self.d[i] < 0.0 || self.d[i] > self.c[i] {
+                return Err(CostModelError::InvalidProfile(format!(
+                    "d_{i} = {} outside [0, c_{i} = {}]",
+                    self.d[i], self.c[i]
+                )));
+            }
+            if self.fan[i] < 0.0 || !self.fan[i].is_finite() {
+                return Err(CostModelError::InvalidProfile(format!("fan_{i} = {}", self.fan[i])));
+            }
+        }
+        for (i, &s) in self.size.iter().enumerate() {
+            if s <= 0.0 || !s.is_finite() {
+                return Err(CostModelError::InvalidProfile(format!("size_{i} = {s}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A profile bound to system parameters, with the derived quantities of
+/// Figure 3 memoized on demand.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// The application profile.
+    pub profile: Profile,
+    /// The system parameters.
+    pub sys: SystemParams,
+}
+
+impl CostModel {
+    /// Bind a profile to the default system parameters.
+    pub fn new(profile: Profile) -> Self {
+        CostModel { profile, sys: SystemParams::default() }
+    }
+
+    /// Path length `n`.
+    pub fn n(&self) -> usize {
+        self.profile.n
+    }
+
+    /// `c_i`.
+    pub fn c(&self, i: usize) -> f64 {
+        self.profile.c[i]
+    }
+
+    /// `d_i` (0 for `i = n`, where it is undefined — "—" in the paper's
+    /// tables).
+    pub fn d(&self, i: usize) -> f64 {
+        if i < self.profile.d.len() {
+            self.profile.d[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// `fan_i`.
+    pub fn fan(&self, i: usize) -> f64 {
+        if i < self.profile.fan.len() {
+            self.profile.fan[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// `size_i`.
+    pub fn size(&self, i: usize) -> f64 {
+        self.profile.size[i]
+    }
+
+    /// `shar_i` — user value, or the Figure 3 default
+    /// `shar_i = d_i·fan_i / c_{i+1}`.
+    ///
+    /// The derived value is clamped to at least 1: a referenced object is
+    /// referenced by at least one object, and without the clamp the
+    /// derived `e_{i+1} = d_i·fan_i / shar_i` would claim more referenced
+    /// objects than there are references.
+    pub fn shar(&self, i: usize) -> f64 {
+        let v = match &self.profile.shar {
+            Some(shar) => shar[i],
+            None => {
+                if self.c(i + 1) == 0.0 {
+                    return 1.0;
+                }
+                self.d(i) * self.fan(i) / self.c(i + 1)
+            }
+        };
+        v.max(1.0) // paper: shar_i = d_i·fan_i/c_{i+1} (may fall below 1)
+    }
+
+    /// `e_i = d_{i-1}·fan_{i-1} / shar_{i-1}` — objects of `t_i` referenced
+    /// from `t_{i-1}` (Figure 3), clamped to `c_i`.
+    pub fn e(&self, i: usize) -> f64 {
+        if i == 0 {
+            return self.c(0);
+        }
+        let refs = self.d(i - 1) * self.fan(i - 1);
+        (refs / self.shar(i - 1)).min(self.c(i))
+    }
+
+    /// `ref_i = d_i·fan_i` — references emanating from `t_i` objects.
+    pub fn refs(&self, i: usize) -> f64 {
+        self.d(i) * self.fan(i)
+    }
+
+    /// `spread_i = d_i / e_{i+1}` (Figure 3).
+    pub fn spread(&self, i: usize) -> f64 {
+        let e = self.e(i + 1);
+        if e == 0.0 {
+            0.0
+        } else {
+            self.d(i) / e
+        }
+    }
+
+    /// `P_{A_i} = d_i / c_i` (formula 1): probability that a `t_i` object
+    /// has a defined `A_{i+1}`.
+    pub fn p_a(&self, i: usize) -> f64 {
+        if self.c(i) == 0.0 {
+            0.0
+        } else {
+            (self.d(i) / self.c(i)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// `P_{H_i} = e_i / c_i` (formula 2): probability that a particular
+    /// `t_i` object is hit by a reference from `t_{i-1}`.
+    pub fn p_h(&self, i: usize) -> f64 {
+        if self.c(i) == 0.0 {
+            0.0
+        } else {
+            (self.e(i) / self.c(i)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// `opp_i = ⌊PageSize / size_i⌋` (formula 17), at least 1.
+    pub fn opp(&self, i: usize) -> f64 {
+        (self.sys.page_size / self.size(i)).floor().max(1.0)
+    }
+
+    /// `op_i = ⌈c_i / opp_i⌉` (formula 18): pages storing all `t_i`
+    /// objects.
+    pub fn op(&self, i: usize) -> f64 {
+        (self.c(i) / self.opp(i)).ceil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Section 4.4.1 profile.
+    fn sample() -> CostModel {
+        CostModel::new(
+            Profile::new(
+                vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+                vec![900.0, 4000.0, 8000.0, 20_000.0],
+                vec![2.0, 2.0, 3.0, 4.0],
+                vec![500.0, 400.0, 300.0, 300.0, 100.0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn system_defaults_match_figure_3() {
+        let sys = SystemParams::default();
+        assert_eq!(sys.page_size, 4056.0);
+        assert_eq!(sys.bplus_fan(), 338.0);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let m = sample();
+        assert_eq!(m.n(), 4);
+        assert_eq!(m.p_a(0), 0.9);
+        assert_eq!(m.refs(0), 1800.0);
+        // Derived shar clamps at 1 => e_1 = min(c_1, 1800).
+        assert_eq!(m.e(1), 1800.0);
+        assert!(m.p_h(1) > 0.0 && m.p_h(1) <= 1.0);
+        // d_3·fan_3 = 80000 <= c_4 = 100000 => e_4 = 80000.
+        assert_eq!(m.e(4), 80_000.0);
+    }
+
+    #[test]
+    fn object_page_math() {
+        let m = sample();
+        assert_eq!(m.opp(0), 8.0); // 4056/500
+        assert_eq!(m.op(0), 125.0); // 1000/8
+        assert_eq!(m.opp(4), 40.0);
+        assert_eq!(m.op(4), 2500.0);
+    }
+
+    #[test]
+    fn explicit_shar_respected() {
+        let mut m = sample();
+        m.profile.shar = Some(vec![3.0, 1.0, 1.0, 2.0]);
+        assert_eq!(m.shar(0), 3.0);
+        assert_eq!(m.e(1), 600.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        assert!(Profile::new(vec![10.0], vec![], vec![], vec![100.0]).is_err());
+        assert!(Profile::new(
+            vec![10.0, 10.0],
+            vec![20.0], // d_0 > c_0
+            vec![1.0],
+            vec![100.0, 100.0],
+        )
+        .is_err());
+        assert!(Profile::new(
+            vec![10.0, 10.0],
+            vec![5.0],
+            vec![1.0],
+            vec![0.0, 100.0], // zero size
+        )
+        .is_err());
+        assert!(Profile::new(
+            vec![10.0, 10.0, 10.0],
+            vec![5.0], // wrong length
+            vec![1.0, 1.0],
+            vec![100.0, 100.0, 100.0],
+        )
+        .is_err());
+    }
+}

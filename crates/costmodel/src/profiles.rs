@@ -1,0 +1,264 @@
+//! The application profiles and operation mixes used in the paper's
+//! experiments, one constructor per figure.
+
+use crate::params::{CostModel, Profile};
+use crate::{Mix, Op};
+
+/// Section 4.4.1 (Figure 4): storage comparison profile.
+pub fn fig4_profile() -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+            vec![900.0, 4000.0, 8000.0, 20_000.0],
+            vec![2.0, 2.0, 3.0, 4.0],
+            // Figure 4 compares sizes only; object sizes are irrelevant
+            // there, so reuse the Section 5.9.1 values.
+            vec![500.0, 400.0, 300.0, 300.0, 100.0],
+        )
+        .unwrap(),
+    )
+}
+
+/// Section 4.4.2 (Figure 5): varying `d_i` simultaneously over
+/// `2500 … 10000`; `c_i = 10000`, `fan = 2`.
+pub fn fig5_profile(d: f64) -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![10_000.0; 5],
+            vec![d; 4],
+            vec![2.0; 4],
+            vec![120.0; 5],
+        )
+        .unwrap(),
+    )
+}
+
+/// Section 5.9.1 (Figure 6): backward query `Q_{0,4}(bw)` profile.
+pub fn fig6_profile() -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![100.0, 500.0, 1000.0, 5000.0, 10_000.0],
+            // paper: the table prints d_2 = 8000 > c_2 = 1000 — an obvious
+            // typo for 800 (cf. the d_i pattern of Figures 11/13's tables,
+            // where c_2 = 10000 pairs with d_2 = 8000).
+            vec![90.0, 400.0, 800.0, 2000.0],
+            vec![2.0, 2.0, 3.0, 4.0],
+            vec![500.0, 400.0, 300.0, 300.0, 100.0],
+        )
+        .unwrap(),
+    )
+}
+
+/// Section 5.9.2 (Figure 7): the Figure 6 population with uniform object
+/// size `size ∈ 100 … 800`.
+pub fn fig7_profile(size: f64) -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![100.0, 500.0, 1000.0, 5000.0, 10_000.0],
+            vec![90.0, 400.0, 800.0, 2000.0],
+            vec![2.0, 2.0, 3.0, 4.0],
+            vec![size; 5],
+        )
+        .unwrap(),
+    )
+}
+
+/// Section 5.9.3 (Figure 8): `c_i = 10^4`, `d_i ∈ 10 … 10^4`, `fan = 2`,
+/// `size = 120`.
+pub fn fig8_profile(d: f64) -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![10_000.0; 5],
+            vec![d; 4],
+            vec![2.0; 4],
+            vec![120.0; 5],
+        )
+        .unwrap(),
+    )
+}
+
+/// Section 5.9.4 (Figure 9): 400 000 objects per type, steeply increasing
+/// `d_i`, fan-out swept over `10 … 100`.
+pub fn fig9_profile(fan: f64) -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![400_000.0; 5],
+            vec![10.0, 100.0, 1000.0, 100_000.0],
+            vec![fan; 4],
+            vec![120.0; 5],
+        )
+        .unwrap(),
+    )
+}
+
+/// Section 6.3.1 (Figure 11): update-cost profile (same population as
+/// Figure 4).
+pub fn fig11_profile() -> CostModel {
+    fig4_profile()
+}
+
+/// Section 6.3.2 (Figure 12): modified fan-outs `2, 1, 1, 4`.
+pub fn fig12_profile() -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+            vec![900.0, 4000.0, 8000.0, 20_000.0],
+            vec![2.0, 1.0, 1.0, 4.0],
+            vec![500.0, 400.0, 300.0, 300.0, 100.0],
+        )
+        .unwrap(),
+    )
+}
+
+/// Section 6.3.3 (Figure 13): the Figure 11 population with uniform object
+/// size `size ∈ 100 … 800`.
+pub fn fig13_profile(size: f64) -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+            vec![900.0, 4000.0, 8000.0, 20_000.0],
+            vec![2.0, 2.0, 3.0, 4.0],
+            vec![size; 5],
+        )
+        .unwrap(),
+    )
+}
+
+/// Section 6.4.2 (Figures 14/15): the mix
+/// `Q = {(1/2, Q_{0,4}(bw)), (1/4, Q_{0,3}(bw)), (1/4, Q_{1,2}(fw))}`,
+/// `U = {(1/2, ins_2), (1/2, ins_3)}`.
+pub fn fig14_mix(p_up: f64) -> Mix {
+    Mix::new(
+        vec![(0.5, Op::bw(0, 4)), (0.25, Op::bw(0, 3)), (0.25, Op::fw(1, 2))],
+        vec![(0.5, Op::ins(2)), (0.5, Op::ins(3))],
+        p_up,
+    )
+}
+
+/// Sections 6.4.2/6.4.3 (Figures 14/15) use the Figure 11 profile.
+pub fn fig14_profile() -> CostModel {
+    fig11_profile()
+}
+
+/// Section 6.4.4 (Figure 16): the n = 5 profile comparing left-complete
+/// and full extensions.
+pub fn fig16_profile() -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![1000.0, 1000.0, 5000.0, 10_000.0, 100_000.0, 100_000.0],
+            vec![100.0, 1000.0, 3000.0, 8000.0, 100_000.0],
+            vec![2.0, 2.0, 3.0, 4.0, 10.0],
+            vec![600.0, 500.0, 400.0, 300.0, 300.0, 100.0],
+        )
+        .unwrap(),
+    )
+}
+
+/// Figure 16's mix:
+/// `Q = {(1/3, Q_{0,5}(bw)), (1/3, Q_{0,4}(bw)), (1/3, Q_{0,5}(fw))}`,
+/// `U = {(1/3, ins_3), (1/3, ins_0), (1/3, ins_4)}`.
+pub fn fig16_mix(p_up: f64) -> Mix {
+    let w = 1.0 / 3.0;
+    Mix::new(
+        vec![(w, Op::bw(0, 5)), (w, Op::bw(0, 4)), (w, Op::fw(0, 5))],
+        vec![(w, Op::ins(3)), (w, Op::ins(0)), (w, Op::ins(4))],
+        p_up,
+    )
+}
+
+/// Section 6.4.5 (Figure 17): the n = 5 profile comparing right-complete
+/// and full extensions (population shrinking towards `t_n`).
+pub fn fig17_profile() -> CostModel {
+    CostModel::new(
+        Profile::new(
+            vec![100_000.0, 100_000.0, 50_000.0, 10_000.0, 1000.0, 1000.0],
+            vec![100_000.0, 10_000.0, 30_000.0, 10_000.0, 100.0],
+            vec![1.0, 10.0, 20.0, 4.0, 1.0],
+            vec![600.0, 500.0, 400.0, 300.0, 200.0, 700.0],
+        )
+        .unwrap(),
+    )
+}
+
+/// Figure 17's mix:
+/// `Q = {(1/2, Q_{0,5}(bw)), (1/4, Q_{1,5}(bw)), (1/4, Q_{2,5}(bw))}`,
+/// `U = {(1, ins_3)}`.
+pub fn fig17_mix(p_up: f64) -> Mix {
+    Mix::new(
+        vec![(0.5, Op::bw(0, 5)), (0.25, Op::bw(1, 5)), (0.25, Op::bw(2, 5))],
+        vec![(1.0, Op::ins(3))],
+        p_up,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dec, Ext};
+
+    #[test]
+    fn all_profiles_validate() {
+        fig4_profile().profile.validate().unwrap();
+        fig5_profile(2500.0).profile.validate().unwrap();
+        fig6_profile().profile.validate().unwrap();
+        fig7_profile(100.0).profile.validate().unwrap();
+        fig8_profile(10.0).profile.validate().unwrap();
+        fig9_profile(10.0).profile.validate().unwrap();
+        fig12_profile().profile.validate().unwrap();
+        fig13_profile(800.0).profile.validate().unwrap();
+        fig16_profile().profile.validate().unwrap();
+        fig17_profile().profile.validate().unwrap();
+    }
+
+    #[test]
+    fn n5_profiles_have_length_5() {
+        assert_eq!(fig16_profile().n(), 5);
+        assert_eq!(fig17_profile().n(), 5);
+    }
+
+    #[test]
+    fn figure_16_shape_left_competitive_with_full() {
+        // Section 6.4.4: "the update costs of the left-complete and full
+        // extension are almost comparable"; for query-heavy mixes the
+        // left-complete (anchored queries only) stays close to full.
+        let m = fig16_profile();
+        let dec = Dec::binary(5);
+        let mix = fig16_mix(0.2);
+        let left = m.mix_cost(Ext::Left, &dec, &mix);
+        let full = m.mix_cost(Ext::Full, &dec, &mix);
+        assert!(left <= full * 1.5, "left={left:.1} full={full:.1}");
+    }
+
+    #[test]
+    fn figure_17_shape_right_beats_full_only_for_tiny_pup() {
+        // Section 6.4.5: with decomposition (0,3,5) the right-complete
+        // extension beats full only below P_up ≈ 0.005.
+        let m = fig17_profile();
+        let dec = Dec(vec![0, 3, 5]);
+        let low = fig17_mix(0.001);
+        let right = m.mix_cost(Ext::Right, &dec, &low);
+        let full = m.mix_cost(Ext::Full, &dec, &low);
+        assert!(right < full, "P_up=0.001: right={right:.1} full={full:.1}");
+        let high = fig17_mix(0.05);
+        let right = m.mix_cost(Ext::Right, &dec, &high);
+        let full = m.mix_cost(Ext::Full, &dec, &high);
+        assert!(full < right, "P_up=0.05: right={right:.1} full={full:.1}");
+    }
+
+    #[test]
+    fn figure_17_shape_035_superior_to_binary() {
+        // "It turns out that the latter decomposition (0,3,5) is always
+        // superior" to binary for this profile/mix.
+        let m = fig17_profile();
+        let d035 = Dec(vec![0, 3, 5]);
+        let dbin = Dec::binary(5);
+        for p_up in [0.01, 0.1, 0.5] {
+            let mix = fig17_mix(p_up);
+            for ext in [Ext::Right, Ext::Full] {
+                let a = m.mix_cost(ext, &d035, &mix);
+                let b = m.mix_cost(ext, &dbin, &mix);
+                assert!(a <= b, "{ext} P_up={p_up}: (0,3,5)={a:.1} binary={b:.1}");
+            }
+        }
+    }
+}

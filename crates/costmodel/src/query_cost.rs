@@ -1,0 +1,256 @@
+//! Query evaluation costs (Section 5.6–5.8, formulas 31–35).
+
+use crate::params::CostModel;
+use crate::yao::yao;
+use crate::{Dec, Ext};
+
+impl CostModel {
+    /// `Qnas_{i,j}(fw)` (formula 31): forward query without access
+    /// support — one page for the start object plus every distinct
+    /// intermediate object on a path from it.
+    pub fn qnas_fw(&self, i: usize, j: usize) -> f64 {
+        if i >= j {
+            return 0.0;
+        }
+        let mut cost = 1.0;
+        for l in i + 1..j {
+            cost += yao(self.ref_by_k(i, l, 1.0).ceil(), self.op(l), self.c(l));
+        }
+        cost
+    }
+
+    /// `Qnas_{i,j}(bw)` (formula 32): backward query without access
+    /// support — exhaustive scan of the `t_i` extent plus the forward
+    /// closure from all `d_i` defined anchors.
+    pub fn qnas_bw(&self, i: usize, j: usize) -> f64 {
+        if i >= j {
+            return 0.0;
+        }
+        let mut cost = self.op(i);
+        for l in i + 1..j {
+            cost += yao(self.ref_by_k(i, l, self.d(i)).ceil(), self.op(l), self.c(l));
+        }
+        cost
+    }
+
+    /// `Qsup^{i,j}_X(fw, dec)` (formula 33): supported forward query.
+    pub fn qsup_fw(&self, ext: Ext, i: usize, j: usize, dec: &Dec) -> f64 {
+        let fan = self.sys.bplus_fan();
+        let mut cost = 0.0;
+        for (a, b) in dec.partitions() {
+            if a == i && i < b {
+                // Entry at a partition border: one root-to-leaf descent
+                // plus the leaf pages of one cluster.
+                cost += self.ht(ext, a, b) + self.nlp(ext, a, b);
+            } else if a < i && i < b {
+                // Entry strictly inside: exhaustive partition scan.
+                cost += self.ap(ext, a, b);
+            } else if i < a && a < j {
+                // Downstream partitions: root + the intermediate pages and
+                // data pages covering the RefBy(i, a, 1) frontier values.
+                let frontier = self.ref_by_k(i, a, 1.0).ceil();
+                let pg = self.pg(ext, a, b);
+                cost += 1.0
+                    + yao(frontier, pg - 1.0, (pg - 1.0) * fan)
+                    + yao(
+                        frontier * self.nlp(ext, a, b),
+                        self.ap(ext, a, b),
+                        self.cardinality(ext, a, b),
+                    );
+            }
+        }
+        cost
+    }
+
+    /// `Qsup^{i,j}_X(bw, dec)` (formula 34): supported backward query over
+    /// the reverse-clustered trees.
+    pub fn qsup_bw(&self, ext: Ext, i: usize, j: usize, dec: &Dec) -> f64 {
+        let fan = self.sys.bplus_fan();
+        let mut cost = 0.0;
+        for (a, b) in dec.partitions() {
+            if a < j && j == b {
+                cost += self.ht(ext, a, b) + self.rnlp(ext, a, b);
+            } else if a < j && j < b {
+                cost += self.ap(ext, a, b);
+            } else if i < b && b < j {
+                let frontier = self.reaches_k(b, j, 1.0).ceil();
+                let pg = self.pg(ext, a, b);
+                cost += 1.0
+                    + yao(frontier, pg - 1.0, (pg - 1.0) * fan)
+                    + yao(
+                        frontier * self.rnlp(ext, a, b),
+                        self.ap(ext, a, b),
+                        self.cardinality(ext, a, b),
+                    );
+            }
+        }
+        cost
+    }
+
+    /// `Q^{i,j}_X(kind, dec)` (formula 35): the cost a system pays for the
+    /// span query, using the access relation when the extension supports
+    /// the span and falling back to navigation otherwise.
+    pub fn q(&self, ext: Ext, kind: crate::QueryKind, i: usize, j: usize, dec: &Dec) -> f64 {
+        if ext.supports(i, j, self.n()) {
+            match kind {
+                crate::QueryKind::Forward => self.qsup_fw(ext, i, j, dec),
+                crate::QueryKind::Backward => self.qsup_bw(ext, i, j, dec),
+            }
+        } else {
+            match kind {
+                crate::QueryKind::Forward => self.qnas_fw(i, j),
+                crate::QueryKind::Backward => self.qnas_bw(i, j),
+            }
+        }
+    }
+
+    /// The no-access-support baseline for a query.
+    pub fn q_nosupport(&self, kind: crate::QueryKind, i: usize, j: usize) -> f64 {
+        match kind {
+            crate::QueryKind::Forward => self.qnas_fw(i, j),
+            crate::QueryKind::Backward => self.qnas_bw(i, j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Profile;
+    use crate::QueryKind;
+
+    /// Section 5.9.1's profile.
+    fn fig6_model() -> CostModel {
+        CostModel::new(
+            Profile::new(
+                vec![100.0, 500.0, 1000.0, 5000.0, 10_000.0],
+                vec![90.0, 400.0, 800.0, 2000.0],
+                vec![2.0, 2.0, 3.0, 4.0],
+                vec![500.0, 400.0, 300.0, 300.0, 100.0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn naive_costs_scale_with_direction() {
+        let m = fig6_model();
+        // Backward must dominate forward: it scans the whole extent and
+        // closes over all anchors.
+        assert!(m.qnas_bw(0, 4) > m.qnas_fw(0, 4));
+        assert!(m.qnas_fw(0, 4) >= 1.0);
+        assert_eq!(m.qnas_fw(2, 2), 0.0);
+    }
+
+    #[test]
+    fn figure_6_shape_supported_beats_unsupported() {
+        let m = fig6_model();
+        let nosup = m.qnas_bw(0, 4);
+        for ext in Ext::ALL {
+            for dec in [Dec::binary(4), Dec::none(4)] {
+                let sup = m.qsup_bw(ext, 0, 4, &dec);
+                assert!(
+                    sup < nosup,
+                    "{ext} {dec}: supported {sup} !< unsupported {nosup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure_6_shape_non_decomposed_beats_binary_on_full_span() {
+        // Section 5.9.1: "the query costs for non-decomposed access
+        // relations is lower than for binary decomposed relations" (the
+        // whole-chain query needs only one partition lookup).
+        let m = fig6_model();
+        for ext in Ext::ALL {
+            let none = m.qsup_bw(ext, 0, 4, &Dec::none(4));
+            let binary = m.qsup_bw(ext, 0, 4, &Dec::binary(4));
+            assert!(none <= binary, "{ext}: none={none} binary={binary}");
+        }
+    }
+
+    #[test]
+    fn figure_7_shape_supported_queries_independent_of_object_size() {
+        let mk = |size: f64| {
+            CostModel::new(
+                Profile::new(
+                    vec![100.0, 500.0, 1000.0, 5000.0, 10_000.0],
+                    vec![90.0, 400.0, 800.0, 2000.0],
+                    vec![2.0, 2.0, 3.0, 4.0],
+                    vec![size; 5],
+                )
+                .unwrap(),
+            )
+        };
+        let small = mk(100.0);
+        let large = mk(800.0);
+        let dec = Dec::binary(4);
+        for ext in Ext::ALL {
+            assert_eq!(
+                small.qsup_bw(ext, 0, 4, &dec),
+                large.qsup_bw(ext, 0, 4, &dec),
+                "{ext}: supported cost must not depend on object size"
+            );
+        }
+        assert!(
+            large.qnas_bw(0, 4) > small.qnas_bw(0, 4),
+            "unsupported cost grows with object size"
+        );
+    }
+
+    #[test]
+    fn figure_8_shape_interior_span_on_nondecomposed_can_lose() {
+        // Section 5.9.3: Q_{0,3}(bw) — full/left must scan the whole
+        // non-decomposed relation; with many objects that costs more than
+        // no support at the dense end.
+        let m = CostModel::new(
+            Profile::new(
+                vec![10_000.0; 5],
+                vec![10_000.0; 4],
+                vec![2.0; 4],
+                vec![120.0; 5],
+            )
+            .unwrap(),
+        );
+        let none = Dec::none(4);
+        let nosup = m.qnas_bw(0, 3);
+        for ext in [Ext::Full, Ext::Left] {
+            let sup = m.q(ext, QueryKind::Backward, 0, 3, &none);
+            assert!(sup > nosup, "{ext}: scan {sup} must exceed no-support {nosup}");
+        }
+        // Binary decomposition repairs it.
+        for ext in [Ext::Full, Ext::Left] {
+            let sup = m.q(ext, QueryKind::Backward, 0, 3, &Dec::binary(4));
+            assert!(sup < nosup, "{ext} binary: {sup} vs {nosup}");
+        }
+        // Canonical and right cannot evaluate Q_{0,3} at all: formula 35
+        // falls back to the unsupported cost.
+        assert_eq!(m.q(Ext::Canonical, QueryKind::Backward, 0, 3, &none), nosup);
+        assert_eq!(m.q(Ext::Right, QueryKind::Backward, 0, 3, &none), nosup);
+    }
+
+    #[test]
+    fn q_dispatches_by_support() {
+        let m = fig6_model();
+        let dec = Dec::binary(4);
+        assert_eq!(
+            m.q(Ext::Canonical, QueryKind::Forward, 1, 2, &dec),
+            m.qnas_fw(1, 2),
+            "unsupported span falls back"
+        );
+        assert_eq!(
+            m.q(Ext::Full, QueryKind::Forward, 1, 2, &dec),
+            m.qsup_fw(Ext::Full, 1, 2, &dec)
+        );
+    }
+
+    #[test]
+    fn interior_entry_costs_scan_of_covering_partition() {
+        let m = fig6_model();
+        let dec = Dec(vec![0, 2, 4]);
+        // Q_{1,4}: position 1 lies inside partition (0,2).
+        let cost = m.qsup_fw(Ext::Full, 1, 4, &dec);
+        assert!(cost >= m.ap(Ext::Full, 0, 2), "must include the partition scan");
+    }
+}

@@ -1,0 +1,270 @@
+//! Derived reachability statistics (formulas 3–12 and 29–30).
+//!
+//! These quantities estimate, for a database matching the profile, how
+//! many objects are connected across path positions:
+//!
+//! * `RefBy(i, j)` — objects in `t_j` referenced (via at least one partial
+//!   path) from some object in `t_i` (formula 6); the three-argument form
+//!   `RefBy(i, j, k)` restricts the sources to a `k`-element subset
+//!   (formula 29);
+//! * `Ref(i, j)` — objects of `t_i` having a path to some `t_j` object
+//!   (formula 8); `Ref(i, j, k)` restricts the targets (formula 30);
+//! * the associated probabilities `P_RefBy` (7), `P_Ref` (9), and the
+//!   "left/right bound" complements `P_lb` (11) and `P_rb` (12);
+//! * `path(i, j)` — the expected number of paths between `t_i` and `t_j`
+//!   objects (formula 10).
+
+use crate::params::CostModel;
+
+impl CostModel {
+    /// `RefBy(i, j)` (formula 6): objects in `t_j` referenced via at least
+    /// one partial path from some object in `t_i`, `0 ≤ i < j ≤ n`.
+    pub fn ref_by(&self, i: usize, j: usize) -> f64 {
+        if j == i {
+            return 0.0;
+        }
+        debug_assert!(i < j && j <= self.n());
+        if j == i + 1 {
+            return self.e(i + 1);
+        }
+        let e_j = self.e(j);
+        if e_j == 0.0 {
+            return 0.0;
+        }
+        let sources = self.ref_by(i, j - 1) * self.p_a(j - 1);
+        let miss = (1.0 - self.fan(j - 1) / e_j).max(0.0); // formula (4), clamped
+        e_j * (1.0 - miss.powf(sources))
+    }
+
+    /// `RefBy(i, j, k)` (formula 29): objects in `t_j` on at least one
+    /// partial path emanating from a `k`-element subset of `t_i`.
+    ///
+    /// The base case `j = i ⇒ k` is needed by the update-cost formulas,
+    /// which invoke it with coincident indices.
+    pub fn ref_by_k(&self, i: usize, j: usize, k: f64) -> f64 {
+        if j == i {
+            return k; // paper: implicit base case for Section 6.2's calls
+        }
+        debug_assert!(i < j && j <= self.n());
+        if j == i + 1 {
+            let e = self.e(i + 1);
+            if e == 0.0 {
+                return 0.0;
+            }
+            let miss = (1.0 - self.fan(i) / e).max(0.0);
+            return e * (1.0 - miss.powf(k));
+        }
+        let e_j = self.e(j);
+        if e_j == 0.0 {
+            return 0.0;
+        }
+        let sources = self.ref_by_k(i, j - 1, k) * self.p_a(j - 1);
+        let miss = (1.0 - self.fan(j - 1) / e_j).max(0.0);
+        e_j * (1.0 - miss.powf(sources))
+    }
+
+    /// `P_RefBy(i, j)` (formula 7).
+    pub fn p_ref_by(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        if self.c(j) == 0.0 {
+            return 0.0;
+        }
+        (self.ref_by(i, j) / self.c(j)).clamp(0.0, 1.0)
+    }
+
+    /// `Ref(i, j)` (formula 8): objects of `t_i` with a path to some `t_j`
+    /// object.
+    pub fn reaches(&self, i: usize, j: usize) -> f64 {
+        if j == i {
+            return 0.0;
+        }
+        debug_assert!(i < j && j <= self.n());
+        if j == i + 1 {
+            return self.d(i);
+        }
+        let d_i = self.d(i);
+        if d_i == 0.0 {
+            return 0.0;
+        }
+        let targets = self.reaches(i + 1, j) * self.p_h(i + 1);
+        let miss = (1.0 - self.shar(i) / d_i).max(0.0);
+        d_i * (1.0 - miss.powf(targets))
+    }
+
+    /// `Ref(i, j, k)` (formula 30): objects of `t_i` with a path into a
+    /// `k`-element subset of `t_j`.  Base case `j = i ⇒ k`, as for
+    /// [`CostModel::ref_by_k`].
+    pub fn reaches_k(&self, i: usize, j: usize, k: f64) -> f64 {
+        if j == i {
+            return k; // paper: implicit base case for Section 6.2's calls
+        }
+        debug_assert!(i < j && j <= self.n());
+        let d_i = self.d(i);
+        if d_i == 0.0 {
+            return 0.0;
+        }
+        let miss = (1.0 - self.shar(i) / d_i).max(0.0);
+        if j == i + 1 {
+            return d_i * (1.0 - miss.powf(k));
+        }
+        let targets = self.reaches_k(i + 1, j, k) * self.p_h(i + 1);
+        d_i * (1.0 - miss.powf(targets))
+    }
+
+    /// `P_Ref(i, j)` (formula 9).
+    pub fn p_ref(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        if self.c(i) == 0.0 {
+            return 0.0;
+        }
+        (self.reaches(i, j) / self.c(i)).clamp(0.0, 1.0)
+    }
+
+    /// `P_lb(i, j)` (formula 11): probability that a particular `t_j`
+    /// object is *not* hit by any path from `t_i`.
+    pub fn p_lb(&self, i: usize, j: usize) -> f64 {
+        if i < j {
+            1.0 - self.p_ref_by(i, j)
+        } else {
+            1.0
+        }
+    }
+
+    /// `P_rb(i, j)` (formula 12): probability that a particular `t_i`
+    /// object has *no* path to `t_j`.
+    pub fn p_rb(&self, i: usize, j: usize) -> f64 {
+        if i < j {
+            1.0 - self.p_ref(i, j)
+        } else {
+            1.0
+        }
+    }
+
+    /// `path(i, j) = ref_i · Π_{l=i+1}^{j-1} P_{A_l} · fan_l`
+    /// (formula 10): the expected number of paths between `t_i` and `t_j`.
+    pub fn paths(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < j && j <= self.n());
+        let mut total = self.refs(i);
+        for l in i + 1..j {
+            total *= self.p_a(l) * self.fan(l);
+        }
+        total
+    }
+
+    /// `P_NoPath(l) = 1 − P_RefBy(0, l) · P_Ref(l, n)` (formulas 37–38).
+    pub fn p_no_path(&self, l: usize) -> f64 {
+        1.0 - self.p_ref_by(0, l) * self.p_ref(l, self.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Profile;
+
+    fn sample() -> CostModel {
+        CostModel::new(
+            Profile::new(
+                vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+                vec![900.0, 4000.0, 8000.0, 20_000.0],
+                vec![2.0, 2.0, 3.0, 4.0],
+                vec![500.0, 400.0, 300.0, 300.0, 100.0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn ref_by_base_case_is_e() {
+        let m = sample();
+        assert_eq!(m.ref_by(0, 1), m.e(1));
+        assert_eq!(m.ref_by(2, 3), m.e(3));
+    }
+
+    #[test]
+    fn ref_by_shrinks_along_the_chain_probability() {
+        let m = sample();
+        for j in 1..=4 {
+            let r = m.ref_by(0, j);
+            assert!(r > 0.0 && r <= m.c(j), "RefBy(0,{j}) = {r}");
+            let p = m.p_ref_by(0, j);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn three_arg_forms_interpolate() {
+        let m = sample();
+        // The k-restricted form never exceeds the all-sources form (the
+        // two use different first-hop estimates — the 2-argument base case
+        // is e_{i+1} by definition, the 3-argument one a Bernoulli hit
+        // count — so only the inequality holds, not equality at k = d_i).
+        let full = m.ref_by(0, 2);
+        let restricted = m.ref_by_k(0, 2, m.d(0));
+        assert!(restricted <= full * 1.001, "{full} vs {restricted}");
+        assert!(restricted > 0.0);
+        // Monotone in k.
+        let mut prev = 0.0;
+        for k in [1.0, 10.0, 100.0, 900.0] {
+            let v = m.ref_by_k(0, 3, k);
+            assert!(v >= prev);
+            prev = v;
+        }
+        // Base cases.
+        assert_eq!(m.ref_by_k(2, 2, 5.0), 5.0);
+        assert_eq!(m.reaches_k(2, 2, 7.0), 7.0);
+    }
+
+    #[test]
+    fn reaches_bounded_by_d() {
+        let m = sample();
+        for i in 0..4 {
+            let r = m.reaches(i, 4);
+            assert!(r > 0.0 && r <= m.d(i), "Ref({i},4) = {r} vs d = {}", m.d(i));
+        }
+        assert_eq!(m.reaches(3, 4), m.d(3), "single hop reaches all defined");
+    }
+
+    #[test]
+    fn path_counts_match_hand_computation() {
+        let m = sample();
+        // path(0,1) = ref_0 = 1800.
+        assert_eq!(m.paths(0, 1), 1800.0);
+        // path(0,2) = 1800 · P_A(1)·fan(1) = 1800 · 0.8 · 2 = 2880.
+        assert!((m.paths(0, 2) - 2880.0).abs() < 1e-9);
+        // path(0,4) = 2880 · 0.8·3 · 0.4·4 = 11059.2.
+        assert!((m.paths(0, 4) - 11059.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probability_complements() {
+        let m = sample();
+        assert_eq!(m.p_lb(2, 2), 1.0);
+        assert_eq!(m.p_rb(3, 3), 1.0);
+        assert!((m.p_lb(0, 2) - (1.0 - m.p_ref_by(0, 2))).abs() < 1e-12);
+        assert!((m.p_rb(1, 4) - (1.0 - m.p_ref(1, 4))).abs() < 1e-12);
+        let pnp = m.p_no_path(2);
+        assert!((0.0..=1.0).contains(&pnp));
+    }
+
+    #[test]
+    fn zero_population_degenerates_gracefully() {
+        let m = CostModel::new(
+            Profile::new(
+                vec![10.0, 0.0, 10.0],
+                vec![0.0, 0.0],
+                vec![2.0, 2.0],
+                vec![100.0, 100.0, 100.0],
+            )
+            .unwrap(),
+        );
+        assert_eq!(m.ref_by(0, 2), 0.0);
+        assert_eq!(m.reaches(0, 2), 0.0);
+        assert_eq!(m.p_ref_by(0, 1), 0.0);
+        assert_eq!(m.paths(0, 2), 0.0);
+    }
+}

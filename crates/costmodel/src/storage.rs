@@ -1,0 +1,140 @@
+//! Storage costs for access relations (Section 4.3, formulas 13–16).
+
+use crate::params::CostModel;
+use crate::{Dec, Ext};
+
+impl CostModel {
+    /// `ats^{i,j} = OIDsize · (j − i + 1)` (formula 13): bytes per tuple of
+    /// the partition `[S_i, …, S_j]`.
+    pub fn ats(&self, i: usize, j: usize) -> f64 {
+        self.sys.oid_size * ((j - i + 1) as f64)
+    }
+
+    /// `atpp^{i,j} = ⌊PageSize / ats⌋` (formula 14): tuples per page.
+    pub fn atpp(&self, i: usize, j: usize) -> f64 {
+        (self.sys.page_size / self.ats(i, j)).floor().max(1.0)
+    }
+
+    /// `as^{i,j}_X = #E · ats` (formula 15): partition bytes.
+    pub fn as_bytes(&self, ext: Ext, i: usize, j: usize) -> f64 {
+        self.cardinality(ext, i, j) * self.ats(i, j)
+    }
+
+    /// `ap^{i,j}_X = ⌈#E / atpp⌉` (formula 16): pages for the partition's
+    /// tuples.
+    pub fn ap(&self, ext: Ext, i: usize, j: usize) -> f64 {
+        (self.cardinality(ext, i, j) / self.atpp(i, j)).ceil()
+    }
+
+    /// Total tuple bytes over a decomposition (the non-redundant
+    /// representation plotted in Figures 4 and 5).
+    pub fn total_bytes(&self, ext: Ext, dec: &Dec) -> f64 {
+        dec.partitions().map(|(a, b)| self.as_bytes(ext, a, b)).sum()
+    }
+
+    /// Total pages over a decomposition.
+    pub fn total_pages(&self, ext: Ext, dec: &Dec) -> f64 {
+        dec.partitions().map(|(a, b)| self.ap(ext, a, b)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Profile;
+
+    fn sample() -> CostModel {
+        CostModel::new(
+            Profile::new(
+                vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+                vec![900.0, 4000.0, 8000.0, 20_000.0],
+                vec![2.0, 2.0, 3.0, 4.0],
+                vec![500.0, 400.0, 300.0, 300.0, 100.0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn tuple_geometry() {
+        let m = sample();
+        assert_eq!(m.ats(0, 4), 40.0);
+        assert_eq!(m.atpp(0, 4), 101.0); // floor(4056/40)
+        assert_eq!(m.ats(2, 3), 16.0);
+        assert_eq!(m.atpp(2, 3), 253.0);
+    }
+
+    #[test]
+    fn figure_4_shape_binary_decomposition_halves_storage() {
+        // Section 4.4.1: "the binary decomposition reduces storage costs by
+        // a factor of 2" for this profile.
+        let m = sample();
+        for ext in Ext::ALL {
+            let none = m.total_bytes(ext, &Dec::none(4));
+            let binary = m.total_bytes(ext, &Dec::binary(4));
+            let factor = none / binary;
+            assert!(
+                (1.5..=3.0).contains(&factor),
+                "{ext}: none={none:.0} binary={binary:.0} factor={factor:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_4_shape_extension_ordering() {
+        // canonical < left << right < full for the Section 4.4.1 profile.
+        let m = sample();
+        let dec = Dec::none(4);
+        let can = m.total_bytes(Ext::Canonical, &dec);
+        let left = m.total_bytes(Ext::Left, &dec);
+        let right = m.total_bytes(Ext::Right, &dec);
+        let full = m.total_bytes(Ext::Full, &dec);
+        assert!(can < left && left < right && right <= full,
+            "can={can:.0} left={left:.0} right={right:.0} full={full:.0}");
+        // "drastically smaller": at least 3x between left and right here.
+        assert!(right / left > 3.0, "right/left = {}", right / left);
+    }
+
+    #[test]
+    fn figure_5_shape_sizes_converge_as_d_approaches_c() {
+        // Section 4.4.2: as d_i -> c_i all extensions approach each other.
+        let mk = |d: f64| {
+            CostModel::new(
+                Profile::new(
+                    vec![10_000.0; 5],
+                    vec![d; 4],
+                    vec![2.0; 4],
+                    vec![120.0; 5],
+                )
+                .unwrap(),
+            )
+        };
+        let sparse = mk(2500.0);
+        let dense = mk(10_000.0);
+        let dec = Dec::none(4);
+        let spread = |m: &CostModel| {
+            let sizes: Vec<f64> = Ext::ALL.iter().map(|&e| m.total_bytes(e, &dec)).collect();
+            let max = sizes.iter().cloned().fold(f64::MIN, f64::max);
+            let min = sizes.iter().cloned().fold(f64::MAX, f64::min);
+            max / min
+        };
+        assert!(spread(&sparse) > spread(&dense), "extensions converge with density");
+        assert!(spread(&dense) < 1.6, "near-equal when every path is complete");
+        // And sizes grow with d.
+        for ext in Ext::ALL {
+            assert!(dense.total_bytes(ext, &dec) > sparse.total_bytes(ext, &dec));
+        }
+    }
+
+    #[test]
+    fn pages_round_up() {
+        let m = sample();
+        for ext in Ext::ALL {
+            for (a, b) in Dec::binary(4).partitions() {
+                let ap = m.ap(ext, a, b);
+                let exact = m.cardinality(ext, a, b) / m.atpp(a, b);
+                assert!(ap >= exact && ap < exact + 1.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Maintenance costs under the characteristic update `ins_i` —
+//! `insert o into o_i.A_{i+1}` (Section 6 of the paper).
+//!
+//! The total cost of an update decomposes into
+//!
+//! 1. the object update itself (the paper prices it at 3 page accesses),
+//! 2. **searching** for the partial paths `I_l` / `I_r` that the new edge
+//!    connects — formula (36), whose extension-specific structure is the
+//!    heart of Figures 11–13 (the full extension never searches the object
+//!    representation, left-complete pays a forward search, right-complete
+//!    and canonical pay backward extent scans), and
+//! 3. **writing** the affected clusters of every partition's two B⁺ trees
+//!    — the `aup` formula with the cluster counts `qfw` / `qbw` of
+//!    Sections 6.2.1–6.2.4.
+
+use crate::params::CostModel;
+use crate::yao::yao;
+use crate::{Dec, Ext};
+
+impl CostModel {
+    /// `search^i_X` (formula 36): page accesses needed to materialize the
+    /// paths to connect, for an insertion at edge `(i, i+1)`.
+    pub fn search_cost(&self, ext: Ext, i: usize, dec: &Dec) -> f64 {
+        let n = self.n();
+        debug_assert!(i < n);
+        match ext {
+            Ext::Canonical => {
+                self.qnas_fw(i + 1, n) * self.p_no_path(i + 1)
+                    + self.qsup_bw(ext, i, i + 1, dec)
+                    + self.qnas_bw(0, i) * self.p_ref(i + 1, n) * self.p_no_path(i)
+                    + self.qsup_fw(ext, i, i + 1, dec)
+            }
+            Ext::Full => self
+                .qsup_fw(ext, i, i + 1, dec)
+                .min(self.qsup_bw(ext, i, i + 1, dec)),
+            Ext::Left => {
+                self.qnas_fw(i + 1, n)
+                    * (1.0 - self.p_ref_by(0, i + 1))
+                    * self.p_ref_by(0, i)
+                    + self
+                        .qsup_fw(ext, i, i + 1, dec)
+                        .min(self.qsup_bw(ext, i, i + 1, dec))
+            }
+            Ext::Right => {
+                let scan: f64 = (0..=i).map(|l| self.op(l)).sum();
+                scan * (1.0 - self.p_ref(i, n)) * self.p_ref(i + 1, n)
+                    + self
+                        .qsup_fw(ext, i, i + 1, dec)
+                        .min(self.qsup_bw(ext, i, i + 1, dec))
+            }
+        }
+    }
+
+    /// `qfw^i_X(i_ν, i_{ν+1})` — clusters of the forward-clustered tree of
+    /// partition `(a, b)` touched by `ins_i` (Sections 6.2.1–6.2.4).
+    pub fn qfw(&self, ext: Ext, i: usize, a: usize, b: usize) -> f64 {
+        let n = self.n();
+        match ext {
+            Ext::Canonical => {
+                if a <= i {
+                    self.reaches_k(a, i, 1.0) * self.p_ref_by(0, a) * self.p_ref(i + 1, n)
+                } else {
+                    self.ref_by_k(i + 1, a, 1.0) * self.p_ref_by(0, i) * self.p_ref(a, n)
+                }
+            }
+            Ext::Full => {
+                if a <= i && i < b {
+                    let mut sum = self.reaches_k(a, i, 1.0);
+                    for l in a + 1..=i {
+                        sum += self.p_lb(l - 1, l) * self.reaches_k(l, i, 1.0);
+                    }
+                    sum
+                } else {
+                    0.0
+                }
+            }
+            Ext::Left => {
+                if b <= i {
+                    0.0
+                } else if a <= i {
+                    self.reaches_k(a, i, 1.0) * self.p_ref_by(0, a)
+                } else {
+                    self.p_lb(0, a) * self.ref_by_k(i + 1, a, 1.0) * self.p_ref_by(0, i)
+                }
+            }
+            Ext::Right => {
+                if b <= i {
+                    let mut sum = self.reaches_k(a, i, 1.0);
+                    for l in a + 1..b {
+                        sum += self.p_lb(l - 1, l) * self.reaches_k(l, i, 1.0);
+                    }
+                    self.p_rb(b, n) * self.p_ref(i + 1, n) * sum
+                } else if a <= i {
+                    let mut sum = self.reaches_k(a, i, 1.0);
+                    for l in a + 1..=i {
+                        sum += self.p_lb(l - 1, l) * self.reaches_k(l, i, 1.0);
+                    }
+                    self.p_ref(i + 1, n) * sum
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// `qbw^i_X(i_ν, i_{ν+1})` — clusters of the backward-clustered tree.
+    pub fn qbw(&self, ext: Ext, i: usize, a: usize, b: usize) -> f64 {
+        let n = self.n();
+        match ext {
+            Ext::Canonical => {
+                if b <= i {
+                    self.reaches_k(b, i, 1.0) * self.p_ref_by(0, b) * self.p_ref(i + 1, n)
+                } else {
+                    self.ref_by_k(i + 1, b, 1.0) * self.p_ref_by(0, i) * self.p_ref(b, n)
+                }
+            }
+            Ext::Full => {
+                if a <= i && i < b {
+                    let mut sum = self.ref_by_k(i + 1, b, 1.0);
+                    for l in i + 2..b {
+                        sum += self.p_rb(l, l + 1) * self.ref_by_k(i + 1, l, 1.0);
+                    }
+                    sum
+                } else {
+                    0.0
+                }
+            }
+            Ext::Left => {
+                if b <= i {
+                    0.0
+                } else if a <= i {
+                    let mut sum = self.ref_by_k(i + 1, b, 1.0);
+                    for l in i + 2..b {
+                        sum += self.p_rb(l, l + 1) * self.ref_by_k(i + 1, l, 1.0);
+                    }
+                    self.p_ref_by(0, i) * sum
+                } else {
+                    let mut sum = self.ref_by_k(i + 1, b, 1.0);
+                    for l in a + 1..b {
+                        sum += self.p_rb(l, l + 1) * self.ref_by_k(i + 1, l, 1.0);
+                    }
+                    self.p_ref_by(0, i) * self.p_lb(0, a) * sum
+                }
+            }
+            Ext::Right => {
+                if b <= i {
+                    self.p_rb(b, n) * self.reaches_k(b, i, 1.0) * self.p_ref(i + 1, n)
+                } else if a <= i {
+                    self.ref_by_k(i + 1, b, 1.0) * self.p_ref(b, n)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// `aup^i_X(dec)` (Section 6.2): page accesses to rewrite the affected
+    /// clusters of every partition's two trees.  Each touched cluster
+    /// costs a descent through the non-leaf pages plus a read *and*
+    /// write-back of its leaf pages (the ·2 factor).
+    ///
+    /// Partitions whose cluster count is zero contribute nothing — the
+    /// paper's formula sums a flat `1 + …` per partition; we suppress the
+    /// root access for partitions that are provably untouched (deviation
+    /// noted in DESIGN.md).
+    pub fn aup(&self, ext: Ext, i: usize, dec: &Dec) -> f64 {
+        let fan = self.sys.bplus_fan();
+        let mut cost = 0.0;
+        for (a, b) in dec.partitions() {
+            let pg = self.pg(ext, a, b);
+            let ap = self.ap(ext, a, b);
+            let card = self.cardinality(ext, a, b);
+            let qfw = self.qfw(ext, i, a, b);
+            if qfw > 0.0 {
+                cost += 1.0
+                    + yao(qfw, pg - 1.0, (pg - 1.0) * fan)
+                    + yao(qfw, ap, card) * 2.0;
+            }
+            let qbw = self.qbw(ext, i, a, b);
+            if qbw > 0.0 {
+                cost += 1.0
+                    + yao(qbw, pg - 1.0, (pg - 1.0) * fan)
+                    + yao(qbw, ap, card) * 2.0;
+            }
+        }
+        cost
+    }
+
+    /// Cost of updating the object representation itself: the paper prices
+    /// `o_i.A_{i+1}` at 3 page accesses (Section 6).
+    pub const OBJECT_UPDATE_COST: f64 = 3.0;
+
+    /// Total cost of `ins_i` for a maintained access relation:
+    /// object update + search + access-relation writes.
+    pub fn update_cost(&self, ext: Ext, i: usize, dec: &Dec) -> f64 {
+        Self::OBJECT_UPDATE_COST + self.search_cost(ext, i, dec) + self.aup(ext, i, dec)
+    }
+
+    /// Update cost with no access relation: just the object update.
+    pub fn update_cost_nosupport(&self) -> f64 {
+        Self::OBJECT_UPDATE_COST
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Profile;
+
+    /// The Section 6.3.1 profile.
+    fn fig11_model() -> CostModel {
+        CostModel::new(
+            Profile::new(
+                vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+                vec![900.0, 4000.0, 8000.0, 20_000.0],
+                vec![2.0, 2.0, 3.0, 4.0],
+                vec![500.0, 400.0, 300.0, 300.0, 100.0],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_extension_searches_nothing_in_the_data() {
+        // Formula 36: full's search is entirely within the access
+        // relation (a min of two supported probes).
+        let m = fig11_model();
+        let dec = Dec::binary(4);
+        let full = m.search_cost(Ext::Full, 3, &dec);
+        let qsup = m.qsup_fw(Ext::Full, 3, 4, &dec).min(m.qsup_bw(Ext::Full, 3, 4, &dec));
+        assert_eq!(full, qsup);
+    }
+
+    #[test]
+    fn figure_11_shape_left_beats_right_for_ins3() {
+        // Section 6.3.1: "the update is at the right-hand side of the path
+        // expression, [so] the left-complete extension under binary
+        // decomposition is very much superior to the right-complete".
+        let m = fig11_model();
+        let dec = Dec::binary(4);
+        let left = m.update_cost(Ext::Left, 3, &dec);
+        let right = m.update_cost(Ext::Right, 3, &dec);
+        assert!(
+            left * 2.0 < right,
+            "left = {left:.1} should be far below right = {right:.1}"
+        );
+        // And canonical pays both searches.
+        let can = m.update_cost(Ext::Canonical, 3, &dec);
+        assert!(can > left, "canonical = {can:.1} vs left = {left:.1}");
+    }
+
+    #[test]
+    fn ins0_reverses_the_ordering() {
+        // Section 6.3.1: "for an update ins_0 the right-complete extension
+        // would be drastically better".
+        let m = fig11_model();
+        let dec = Dec::binary(4);
+        let left = m.update_cost(Ext::Left, 0, &dec);
+        let right = m.update_cost(Ext::Right, 0, &dec);
+        assert!(right < left, "right = {right:.1} vs left = {left:.1}");
+    }
+
+    #[test]
+    fn figure_13_shape_object_size_hits_searching_extensions() {
+        // Section 6.3.3: canonical and right-complete update costs grow
+        // with object size (they search the data); left barely moves.
+        let mk = |size: f64| {
+            CostModel::new(
+                Profile::new(
+                    vec![1000.0, 5000.0, 10_000.0, 50_000.0, 100_000.0],
+                    vec![900.0, 4000.0, 8000.0, 20_000.0],
+                    vec![2.0, 2.0, 3.0, 4.0],
+                    vec![size; 5],
+                )
+                .unwrap(),
+            )
+        };
+        let small = mk(100.0);
+        let large = mk(800.0);
+        let dec = Dec::binary(4);
+        let i = 1;
+        let growth = |ext: Ext| {
+            large.update_cost(ext, i, &dec) - small.update_cost(ext, i, &dec)
+        };
+        assert!(growth(Ext::Canonical) > 0.0);
+        assert!(growth(Ext::Right) > 0.0);
+        assert!(
+            growth(Ext::Canonical) > growth(Ext::Left) * 2.0,
+            "canonical growth {} vs left growth {}",
+            growth(Ext::Canonical),
+            growth(Ext::Left)
+        );
+        assert_eq!(growth(Ext::Full), 0.0, "full never touches the data");
+    }
+
+    #[test]
+    fn cluster_counts_are_localized_for_full() {
+        // Full extension: only the partition covering (i, i+1) is updated.
+        let m = fig11_model();
+        let i = 2;
+        for (a, b) in Dec::binary(4).partitions() {
+            let qfw = m.qfw(Ext::Full, i, a, b);
+            let qbw = m.qbw(Ext::Full, i, a, b);
+            if a <= i && i < b {
+                assert!(qfw > 0.0 && qbw > 0.0, "covering partition ({a},{b})");
+            } else {
+                assert_eq!(qfw, 0.0, "({a},{b})");
+                assert_eq!(qbw, 0.0, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn aup_nonnegative_and_finite_everywhere() {
+        let m = fig11_model();
+        for ext in Ext::ALL {
+            for dec in Dec::enumerate_all(4) {
+                for i in 0..4 {
+                    let aup = m.aup(ext, i, &dec);
+                    assert!(aup.is_finite() && aup >= 0.0, "{ext} {dec} ins_{i}: {aup}");
+                    let total = m.update_cost(ext, i, &dec);
+                    assert!(total >= CostModel::OBJECT_UPDATE_COST);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Golden regression values for the analytical cost model.
+//!
+//! These numbers are the model's outputs on the paper's application
+//! profiles at the time the reproduction was validated (see
+//! EXPERIMENTS.md).  They are *regression anchors*: any change to a cost
+//! formula that moves one of these shows up here first, so accidental
+//! drift cannot silently invalidate the figure reproductions.
+
+use asr_costmodel::{profiles, Dec, Ext, QueryKind};
+
+fn close(actual: f64, golden: f64, what: &str) {
+    let tolerance = (golden.abs() * 1e-9).max(1e-9);
+    assert!(
+        (actual - golden).abs() <= tolerance,
+        "{what}: {actual} deviates from golden {golden}"
+    );
+}
+
+#[test]
+fn figure4_storage_goldens() {
+    let m = profiles::fig4_profile();
+    let none = Dec::none(4);
+    let binary = Dec::binary(4);
+    close(m.total_bytes(Ext::Canonical, &none), 442_368.0, "can/none");
+    close(m.total_bytes(Ext::Left, &none), 645_696.0, "left/none");
+    close(m.total_bytes(Ext::Right, &none), 3_200_000.0, "right/none");
+    close(m.total_bytes(Ext::Full, &none), 3_854_400.0, "full/none");
+    close(m.total_bytes(Ext::Canonical, &binary), 210_437.31345846382, "can/binary");
+    close(m.total_bytes(Ext::Full, &binary), 1_820_800.0, "full/binary");
+}
+
+#[test]
+fn figure6_query_goldens() {
+    let m = profiles::fig6_profile();
+    close(m.qnas_bw(0, 4), 371.0, "no support bw");
+    close(m.qnas_fw(0, 4), 15.0, "no support fw");
+    for ext in Ext::ALL {
+        close(m.qsup_bw(ext, 0, 4, &Dec::binary(4)), 8.0, ext.name());
+        close(m.qsup_bw(ext, 0, 4, &Dec::none(4)), 2.0, ext.name());
+    }
+}
+
+#[test]
+fn figure8_interior_span_goldens() {
+    let m = profiles::fig8_profile(10_000.0);
+    close(m.qnas_bw(0, 3), 912.0, "no support");
+    close(m.q(Ext::Full, QueryKind::Backward, 0, 3, &Dec::none(4)), 1585.0, "full/none");
+    close(m.q(Ext::Full, QueryKind::Backward, 0, 3, &Dec::binary(4)), 10.0, "full/binary");
+}
+
+#[test]
+fn figure11_update_goldens() {
+    let m = profiles::fig11_profile();
+    let dec = Dec::binary(4);
+    close(m.update_cost(Ext::Left, 3, &dec), 7.412540161836285, "left ins_3");
+    close(m.update_cost(Ext::Full, 3, &dec), 11.0, "full ins_3");
+    close(m.update_cost(Ext::Right, 3, &dec), 3167.1916962966397, "right ins_3");
+    close(m.update_cost(Ext::Canonical, 3, &dec), 1247.426968924084, "canonical ins_3");
+}
+
+#[test]
+fn figure14_breakeven_golden() {
+    // The headline agreement with the paper: no-support break-even for the
+    // full extension at P_up ≈ 0.997 (paper: 0.998).
+    let m = profiles::fig14_profile();
+    let dec = Dec::binary(4);
+    let mut break_even = None;
+    for step in 0..=1000 {
+        let p_up = step as f64 / 1000.0;
+        let mix = profiles::fig14_mix(p_up);
+        if m.mix_cost(Ext::Full, &dec, &mix) >= m.mix_cost_nosupport(&mix) {
+            break_even = Some(p_up);
+            break;
+        }
+    }
+    assert_eq!(break_even, Some(0.997));
+}
+
+#[test]
+fn figure17_crossover_golden() {
+    let m = profiles::fig17_profile();
+    let d035 = Dec(vec![0, 3, 5]);
+    let mut crossover = None;
+    for step in 0..=10_000 {
+        let p_up = step as f64 / 100_000.0;
+        let mix = profiles::fig17_mix(p_up);
+        if m.mix_cost(Ext::Right, &d035, &mix) >= m.mix_cost(Ext::Full, &d035, &mix) {
+            crossover = Some(p_up);
+            break;
+        }
+    }
+    let crossover = crossover.expect("right must eventually lose");
+    assert!(
+        (0.01..0.05).contains(&crossover),
+        "right/full crossover at {crossover} (paper's regime: ~0.005)"
+    );
+}
+
+#[test]
+fn reachability_goldens() {
+    let m = profiles::fig4_profile();
+    close(m.paths(0, 4), 11_059.2, "path(0,4)");
+    close(m.ref_by(0, 2), 2_418.840_591_124_368_5, "RefBy(0,2)");
+    close(m.reaches(0, 4), 593.643_312_271_072_4, "Ref(0,4)");
+    close(m.e(1), 1800.0, "e_1");
+    close(m.e(4), 80_000.0, "e_4");
+}

@@ -1,0 +1,80 @@
+//! Built-in elementary (value) types.
+//!
+//! GOM has a built-in collection of elementary types such as `char`,
+//! `string`, `integer`, …  Instances of these types do **not** possess an
+//! identity; their value serves as their identity (Section 2 of the paper).
+
+use std::fmt;
+
+/// The built-in atomic types of GOM.
+///
+/// The paper's example schemas use `STRING` and `DECIMAL`; we provide the
+/// full elementary collection the model sketches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AtomicType {
+    /// Signed 64-bit integers (`INTEGER`).
+    Integer,
+    /// IEEE-754 doubles (`FLOAT`).
+    Float,
+    /// Fixed-point decimals (`DECIMAL`), stored as scaled integers.
+    Decimal,
+    /// Character strings (`STRING`).
+    String,
+    /// Single characters (`CHAR`).
+    Char,
+    /// Booleans (`BOOL`).
+    Bool,
+}
+
+impl AtomicType {
+    /// All atomic types, in declaration order.
+    pub const ALL: [AtomicType; 6] = [
+        AtomicType::Integer,
+        AtomicType::Float,
+        AtomicType::Decimal,
+        AtomicType::String,
+        AtomicType::Char,
+        AtomicType::Bool,
+    ];
+
+    /// The canonical schema-level name of the type.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AtomicType::Integer => "INTEGER",
+            AtomicType::Float => "FLOAT",
+            AtomicType::Decimal => "DECIMAL",
+            AtomicType::String => "STRING",
+            AtomicType::Char => "CHAR",
+            AtomicType::Bool => "BOOL",
+        }
+    }
+
+    /// Resolve a schema-level name to an atomic type, if it denotes one.
+    pub fn by_name(name: &str) -> Option<AtomicType> {
+        AtomicType::ALL.iter().copied().find(|t| t.name() == name)
+    }
+}
+
+impl fmt::Display for AtomicType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for t in AtomicType::ALL {
+            assert_eq!(AtomicType::by_name(t.name()), Some(t));
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert_eq!(AtomicType::by_name("ROBOT"), None);
+        assert_eq!(AtomicType::by_name("string"), None, "names are case-sensitive");
+    }
+}

@@ -1,0 +1,444 @@
+//! Snapshot persistence: a versioned, line-based text format for schemas
+//! and object bases.
+//!
+//! The format is deliberately simple and diff-friendly (one declaration
+//! per line), durable across OID assignment (objects are restored with
+//! their original identifiers), and self-contained:
+//!
+//! ```text
+//! GOMSNAP 1
+//! T MANUFACTURER TUPLE | Name:STRING Location:STRING
+//! T ROBOT_SET SET ROBOT
+//! O i3 MANUFACTURER TUPLE Name=S:RobClone Location=S:Utopia
+//! O i9 ROBOT_SET SET R:i0 R:i5 R:i8
+//! V OurRobots R:i9
+//! ```
+//!
+//! Values encode as `N` (NULL), `I:<i64>`, `F:<f64 bits>`, `D:<scaled>`,
+//! `S:<percent-escaped utf-8>`, `C:<char>`, `B:<0|1>`, `R:i<oid>`.
+
+use std::fmt::Write as _;
+
+use crate::base::ObjectBase;
+use crate::error::{GomError, Result};
+use crate::object::ObjectBody;
+use crate::oid::Oid;
+use crate::schema::Schema;
+use crate::types::TypeKind;
+use crate::value::Value;
+
+const MAGIC: &str = "GOMSNAP 1";
+
+// ----------------------------------------------------------------------
+// Encoding
+// ----------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            '=' => out.push_str("%3D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| bad(format!("truncated escape in `{s}`")))?;
+            let code =
+                u8::from_str_radix(hex, 16).map_err(|_| bad(format!("bad escape %{hex}")))?;
+            out.push(code as char);
+            i += 3;
+        } else {
+            let c = s[i..].chars().next().expect("in-bounds char");
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    Ok(out)
+}
+
+fn bad(msg: String) -> GomError {
+    GomError::InvalidPath(format!("snapshot: {msg}"))
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "N".into(),
+        Value::Integer(i) => format!("I:{i}"),
+        Value::Float(bits) => format!("F:{bits}"),
+        Value::Decimal(scaled) => format!("D:{scaled}"),
+        Value::String(s) => format!("S:{}", escape(s)),
+        Value::Char(c) => format!("C:{}", escape(&c.to_string())),
+        Value::Bool(b) => format!("B:{}", u8::from(*b)),
+        Value::Ref(oid) => format!("R:i{}", oid.as_raw()),
+    }
+}
+
+fn decode_value(s: &str) -> Result<Value> {
+    if s == "N" {
+        return Ok(Value::Null);
+    }
+    let (tag, body) = s.split_once(':').ok_or_else(|| bad(format!("bad value `{s}`")))?;
+    let parse_i64 =
+        |b: &str| b.parse::<i64>().map_err(|_| bad(format!("bad integer `{b}`")));
+    Ok(match tag {
+        "I" => Value::Integer(parse_i64(body)?),
+        "F" => Value::Float(body.parse().map_err(|_| bad(format!("bad float `{body}`")))?),
+        "D" => Value::Decimal(parse_i64(body)?),
+        "S" => Value::String(unescape(body)?),
+        "C" => {
+            let s = unescape(body)?;
+            Value::Char(s.chars().next().ok_or_else(|| bad("empty char".into()))?)
+        }
+        "B" => Value::Bool(body == "1"),
+        "R" => {
+            let raw = body
+                .strip_prefix('i')
+                .and_then(|r| r.parse::<u64>().ok())
+                .ok_or_else(|| bad(format!("bad reference `{body}`")))?;
+            Value::Ref(Oid::from_raw(raw))
+        }
+        other => return Err(bad(format!("unknown value tag `{other}`"))),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Writing
+// ----------------------------------------------------------------------
+
+/// Serialize a schema to snapshot lines.
+pub fn write_schema(schema: &Schema) -> String {
+    let mut out = String::new();
+    for (id, def) in schema.types() {
+        let _ = id;
+        match &def.kind {
+            TypeKind::Tuple { supertypes, attributes } => {
+                let sups: Vec<&str> = supertypes.iter().map(|&s| schema.name(s)).collect();
+                let mut line = format!("T {} TUPLE {}|", escape(&def.name), sups.join(","));
+                for a in attributes {
+                    let _ = write!(line, " {}={}", escape(&a.name), escape(&schema.ref_name(a.ty)));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+            TypeKind::Set { element } => {
+                let _ = writeln!(
+                    out,
+                    "T {} SET {}",
+                    escape(&def.name),
+                    escape(&schema.ref_name(*element))
+                );
+            }
+            TypeKind::List { element } => {
+                let _ = writeln!(
+                    out,
+                    "T {} LIST {}",
+                    escape(&def.name),
+                    escape(&schema.ref_name(*element))
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Serialize a whole object base (schema, objects, variables).
+pub fn write_base(base: &ObjectBase) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    out.push_str(&write_schema(base.schema()));
+    for obj in base.objects() {
+        let ty_name = escape(base.schema().name(obj.ty));
+        match &obj.body {
+            ObjectBody::Tuple(attrs) => {
+                let mut line = format!("O i{} {} TUPLE", obj.oid.as_raw(), ty_name);
+                for (k, v) in attrs {
+                    let _ = write!(line, " {}={}", escape(k), encode_value(v));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+            ObjectBody::Set(elems) => {
+                let mut line = format!("O i{} {} SET", obj.oid.as_raw(), ty_name);
+                for v in elems {
+                    let _ = write!(line, " {}", encode_value(v));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+            ObjectBody::List(elems) => {
+                let mut line = format!("O i{} {} LIST", obj.oid.as_raw(), ty_name);
+                for v in elems {
+                    let _ = write!(line, " {}", encode_value(v));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+    for (name, value) in base.variables() {
+        let _ = writeln!(out, "V {} {}", escape(name), encode_value(value));
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Reading
+// ----------------------------------------------------------------------
+
+/// Reconstruct an object base from snapshot text.  Objects keep their
+/// original OIDs; the OID generator resumes past the maximum seen.
+pub fn read_base(text: &str) -> Result<ObjectBase> {
+    let mut lines = text.lines();
+    let first = lines.next().ok_or_else(|| bad("empty snapshot".into()))?;
+    if first.trim() != MAGIC {
+        return Err(bad(format!("bad magic `{first}` (expected `{MAGIC}`)")));
+    }
+    let mut schema = Schema::new();
+    let mut type_lines: Vec<&str> = Vec::new();
+    let mut object_lines: Vec<&str> = Vec::new();
+    let mut var_lines: Vec<&str> = Vec::new();
+    for line in lines {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split(' ').next() {
+            Some("T") => type_lines.push(line),
+            Some("O") => object_lines.push(line),
+            Some("V") => var_lines.push(line),
+            other => return Err(bad(format!("unknown record `{other:?}`"))),
+        }
+    }
+    // Two passes: declare every type name in file order first, so that
+    // type-id assignment (and therefore re-serialization order) matches
+    // the file exactly; then define structures.
+    for line in &type_lines {
+        let name = line
+            .split(' ')
+            .nth(1)
+            .ok_or_else(|| bad("missing type name".into()))?;
+        schema.declare(&unescape(name)?)?;
+    }
+    for line in &type_lines {
+        read_type_line(&mut schema, line)?;
+    }
+    schema.validate()?;
+    let mut base = ObjectBase::new(schema);
+
+    // First pass: materialize every object shell so references resolve.
+    let mut parsed: Vec<(Oid, String, &str)> = Vec::new();
+    for line in &object_lines {
+        let mut parts = line.splitn(4, ' ');
+        let _o = parts.next();
+        let oid_str = parts.next().ok_or_else(|| bad("missing oid".into()))?;
+        let ty = unescape(parts.next().ok_or_else(|| bad("missing type".into()))?)?;
+        let rest = parts.next().unwrap_or("");
+        let raw = oid_str
+            .strip_prefix('i')
+            .and_then(|r| r.parse::<u64>().ok())
+            .ok_or_else(|| bad(format!("bad oid `{oid_str}`")))?;
+        let oid = Oid::from_raw(raw);
+        base.restore_object(oid, &ty)?;
+        parsed.push((oid, ty, rest));
+    }
+    // Second pass: contents.
+    for (oid, _ty, rest) in parsed {
+        let mut fields = rest.split(' ');
+        let kind = fields.next().ok_or_else(|| bad("missing structure tag".into()))?;
+        match kind {
+            "TUPLE" => {
+                for field in fields.filter(|f| !f.is_empty()) {
+                    let (attr, value) = field
+                        .split_once('=')
+                        .ok_or_else(|| bad(format!("bad attribute `{field}`")))?;
+                    base.set_attribute(oid, &unescape(attr)?, decode_value(value)?)?;
+                }
+            }
+            "SET" => {
+                for field in fields.filter(|f| !f.is_empty()) {
+                    base.insert_into_set(oid, decode_value(field)?)?;
+                }
+            }
+            "LIST" => {
+                for field in fields.filter(|f| !f.is_empty()) {
+                    base.push_to_list(oid, decode_value(field)?)?;
+                }
+            }
+            other => return Err(bad(format!("unknown structure `{other}`"))),
+        }
+    }
+    for line in var_lines {
+        let mut parts = line.splitn(3, ' ');
+        let _v = parts.next();
+        let name = unescape(parts.next().ok_or_else(|| bad("missing variable name".into()))?)?;
+        let value = decode_value(parts.next().ok_or_else(|| bad("missing variable value".into()))?)?;
+        base.bind_variable(&name, value);
+    }
+    Ok(base)
+}
+
+fn read_type_line(schema: &mut Schema, line: &str) -> Result<()> {
+    let mut parts = line.splitn(4, ' ');
+    let _t = parts.next();
+    let name = unescape(parts.next().ok_or_else(|| bad("missing type name".into()))?)?;
+    // Pin the type id to file order before resolving referenced names, so
+    // a snapshot round-trips to the identical id assignment (and thus to
+    // byte-identical re-serialization).
+    schema.declare(&name)?;
+    let kind = parts.next().ok_or_else(|| bad("missing type kind".into()))?;
+    let rest = parts.next().unwrap_or("");
+    match kind {
+        "TUPLE" => {
+            let (sups, attrs) =
+                rest.split_once('|').ok_or_else(|| bad(format!("bad tuple line `{line}`")))?;
+            let supertypes: Vec<String> = sups
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(unescape)
+                .collect::<Result<_>>()?;
+            let mut attributes: Vec<(String, String)> = Vec::new();
+            for field in attrs.split(' ').filter(|f| !f.is_empty()) {
+                let (a, t) = field
+                    .split_once('=')
+                    .ok_or_else(|| bad(format!("bad attribute decl `{field}`")))?;
+                attributes.push((unescape(a)?, unescape(t)?));
+            }
+            schema.define_tuple_sub(
+                &name,
+                supertypes.iter().map(String::as_str),
+                attributes.iter().map(|(a, t)| (a.as_str(), t.as_str())),
+            )?;
+        }
+        "SET" => {
+            schema.define_set(&name, &unescape(rest)?)?;
+        }
+        "LIST" => {
+            schema.define_list(&name, &unescape(rest)?)?;
+        }
+        other => return Err(bad(format!("unknown type kind `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_base() -> ObjectBase {
+        let mut s = Schema::new();
+        s.define_tuple("NAMED", [("Name", "STRING")]).unwrap();
+        s.define_tuple_sub(
+            "PART",
+            ["NAMED"],
+            [("Price", "DECIMAL"), ("Weight", "FLOAT"), ("Tags", "TAGS"), ("Serial", "INTEGER")],
+        )
+        .unwrap();
+        s.define_set("TAGS", "STRING").unwrap();
+        s.define_list("PARTLIST", "PART").unwrap();
+        s.validate().unwrap();
+        let mut base = ObjectBase::new(s);
+        let p = base.instantiate("PART").unwrap();
+        base.set_attribute(p, "Name", Value::string("Door with spaces & =% signs")).unwrap();
+        base.set_attribute(p, "Price", Value::decimal(1205, 50)).unwrap();
+        base.set_attribute(p, "Weight", Value::float(-2.75)).unwrap();
+        base.set_attribute(p, "Serial", Value::Integer(-42)).unwrap();
+        let tags = base.instantiate("TAGS").unwrap();
+        base.insert_into_set(tags, Value::string("heavy")).unwrap();
+        base.insert_into_set(tags, Value::string("steel")).unwrap();
+        base.set_attribute(p, "Tags", Value::Ref(tags)).unwrap();
+        let list = base.instantiate("PARTLIST").unwrap();
+        base.push_to_list(list, Value::Ref(p)).unwrap();
+        base.push_to_list(list, Value::Ref(p)).unwrap();
+        base.bind_variable("AllParts", Value::Ref(list));
+        base
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let base = sample_base();
+        let text = write_base(&base);
+        let restored = read_base(&text).unwrap();
+        assert_eq!(restored.object_count(), base.object_count());
+        // Objects identical (same OIDs, same bodies).
+        for obj in base.objects() {
+            let r = restored.object(obj.oid).unwrap();
+            assert_eq!(r, obj);
+        }
+        assert_eq!(
+            restored.variable("AllParts").unwrap(),
+            base.variable("AllParts").unwrap()
+        );
+        // Schema equivalent: same flattened attributes per type.
+        for (id, def) in base.schema().types() {
+            let rid = restored.schema().resolve(&def.name).unwrap();
+            if def.kind.is_tuple() {
+                assert_eq!(
+                    base.schema().all_attributes(id).unwrap().len(),
+                    restored.schema().all_attributes(rid).unwrap().len(),
+                    "{}",
+                    def.name
+                );
+            }
+        }
+        // A second round trip is byte-identical (canonical form).
+        assert_eq!(write_base(&restored), text);
+    }
+
+    #[test]
+    fn restored_base_accepts_new_objects_without_oid_collision() {
+        let base = sample_base();
+        let max_oid = base.objects().map(|o| o.oid.as_raw()).max().unwrap();
+        let mut restored = read_base(&write_base(&base)).unwrap();
+        let fresh = restored.instantiate("PART").unwrap();
+        assert!(fresh.as_raw() > max_oid, "generator resumed past {max_oid}");
+    }
+
+    #[test]
+    fn value_encoding_round_trips() {
+        for v in [
+            Value::Null,
+            Value::Integer(i64::MIN),
+            Value::float(f64::NAN),
+            Value::decimal(-3, 7),
+            Value::string("a b%c=d\ne"),
+            Value::Char('%'),
+            Value::Bool(true),
+            Value::Ref(Oid::from_raw(u64::MAX)),
+        ] {
+            let enc = encode_value(&v);
+            assert!(!enc.contains(' '), "encoding must be space-free: {enc}");
+            let dec = decode_value(&enc).unwrap();
+            assert_eq!(dec, v, "{enc}");
+        }
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        assert!(read_base("").is_err());
+        assert!(read_base("WRONG 9").is_err());
+        assert!(read_base("GOMSNAP 1\nX junk").is_err());
+        assert!(read_base("GOMSNAP 1\nO i0 MISSING TUPLE").is_err());
+        assert!(read_base("GOMSNAP 1\nT A TUPLE |\nO i0 A TUPLE x").is_err());
+        assert!(decode_value("Q:1").is_err());
+        assert!(decode_value("R:zebra").is_err());
+        assert!(unescape("%zz").is_err());
+        assert!(unescape("%2").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_tolerated() {
+        let mut text = write_base(&sample_base());
+        text.push_str("\n# trailing comment\n\n");
+        assert!(read_base(&text).is_ok());
+    }
+}

@@ -1,0 +1,184 @@
+//! The GOM type system: type identifiers, references and definitions.
+//!
+//! Section 2.1 of the paper defines three forms of (named) type
+//! definitions over type symbols `s1,…,sm,s ∈ T`:
+//!
+//! ```text
+//! type t is supertypes (s1,…,sm) [a1: t1, …, an: tn]   -- tuple
+//! type t is {s}                                         -- set
+//! type t is <s>                                         -- list
+//! ```
+//!
+//! Every named type in a [`crate::Schema`] receives a dense [`TypeId`].
+//! Attribute and element types are [`TypeRef`]s, which either name an
+//! atomic built-in or another schema type.
+
+use std::fmt;
+
+use crate::atomic::AtomicType;
+
+/// Dense index of a named type within its [`crate::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub(crate) u32);
+
+impl TypeId {
+    /// The raw index (position in the schema's type table).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index.  Only meaningful for ids previously
+    /// obtained from the same schema.
+    pub const fn from_index(index: usize) -> Self {
+        TypeId(index as u32)
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t#{}", self.0)
+    }
+}
+
+/// A reference to a type usable as an attribute or element domain: either a
+/// built-in atomic type or a named schema type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeRef {
+    /// One of the built-in elementary types.
+    Atomic(AtomicType),
+    /// A named (tuple-, set- or list-structured) schema type.
+    Named(TypeId),
+}
+
+impl TypeRef {
+    /// `true` iff the reference denotes an atomic (value) type.
+    pub fn is_atomic(self) -> bool {
+        matches!(self, TypeRef::Atomic(_))
+    }
+
+    /// The named type id, if any.
+    pub fn as_named(self) -> Option<TypeId> {
+        match self {
+            TypeRef::Named(id) => Some(id),
+            TypeRef::Atomic(_) => None,
+        }
+    }
+}
+
+/// An attribute of a tuple-structured type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name (`a_i` in the paper).  Pairwise distinct per type.
+    pub name: String,
+    /// Declared domain (`t_i`); an upper bound under strong typing.
+    pub ty: TypeRef,
+}
+
+/// The structural kind of a named type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeKind {
+    /// Tuple constructor `[a1: t1, …, an: tn]` with optional supertypes.
+    Tuple {
+        /// Direct supertypes (`s1,…,sm`); attributes are inherited from all.
+        supertypes: Vec<TypeId>,
+        /// Attributes declared *directly* on this type (excluding inherited
+        /// ones).  Use [`crate::Schema::all_attributes`] for the flattened
+        /// view.
+        attributes: Vec<AttrDef>,
+    },
+    /// Set constructor `{s}`.
+    Set {
+        /// Element type (upper bound for members).
+        element: TypeRef,
+    },
+    /// List constructor `<s>`.
+    List {
+        /// Element type (upper bound for members).
+        element: TypeRef,
+    },
+}
+
+impl TypeKind {
+    /// `true` for tuple-structured kinds.
+    pub fn is_tuple(&self) -> bool {
+        matches!(self, TypeKind::Tuple { .. })
+    }
+
+    /// `true` for set-structured kinds.
+    pub fn is_set(&self) -> bool {
+        matches!(self, TypeKind::Set { .. })
+    }
+
+    /// `true` for list-structured kinds.
+    pub fn is_list(&self) -> bool {
+        matches!(self, TypeKind::List { .. })
+    }
+
+    /// The element type for set/list kinds.
+    pub fn element(&self) -> Option<TypeRef> {
+        match self {
+            TypeKind::Set { element } | TypeKind::List { element } => Some(*element),
+            TypeKind::Tuple { .. } => None,
+        }
+    }
+}
+
+/// A named type definition: name plus structural kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDef {
+    /// The type symbol `t`.
+    pub name: String,
+    /// Structure of the type.
+    pub kind: TypeKind,
+}
+
+impl TypeDef {
+    /// Direct supertypes; empty for set/list types.
+    pub fn supertypes(&self) -> &[TypeId] {
+        match &self.kind {
+            TypeKind::Tuple { supertypes, .. } => supertypes,
+            _ => &[],
+        }
+    }
+
+    /// Directly declared attributes; empty for set/list types.
+    pub fn own_attributes(&self) -> &[AttrDef] {
+        match &self.kind {
+            TypeKind::Tuple { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_ref_predicates() {
+        let atomic = TypeRef::Atomic(AtomicType::String);
+        let named = TypeRef::Named(TypeId::from_index(3));
+        assert!(atomic.is_atomic());
+        assert!(!named.is_atomic());
+        assert_eq!(named.as_named(), Some(TypeId::from_index(3)));
+        assert_eq!(atomic.as_named(), None);
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let set = TypeKind::Set { element: TypeRef::Atomic(AtomicType::Integer) };
+        assert!(set.is_set() && !set.is_tuple() && !set.is_list());
+        assert_eq!(set.element(), Some(TypeRef::Atomic(AtomicType::Integer)));
+
+        let tuple = TypeKind::Tuple { supertypes: vec![], attributes: vec![] };
+        assert!(tuple.is_tuple());
+        assert_eq!(tuple.element(), None);
+    }
+
+    #[test]
+    fn type_id_round_trips() {
+        let id = TypeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "t#42");
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the query language.
+
+use std::fmt;
+
+use asr_core::AsrError;
+use asr_gom::GomError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, OqlError>;
+
+/// Errors raised while lexing, parsing, analyzing or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OqlError {
+    /// Lexical error: unexpected character or unterminated string.
+    Lex {
+        /// Byte offset in the query text.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Syntax error: unexpected token.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// What was expected / found.
+        message: String,
+    },
+    /// Semantic error: unknown variable, collection, attribute, bad
+    /// comparison, …
+    Semantic(String),
+    /// The underlying object model rejected something.
+    Gom(GomError),
+    /// The underlying access-support machinery rejected something.
+    Asr(AsrError),
+}
+
+impl fmt::Display for OqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OqlError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            OqlError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            OqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            OqlError::Gom(e) => write!(f, "object model error: {e}"),
+            OqlError::Asr(e) => write!(f, "access support error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OqlError {}
+
+impl From<GomError> for OqlError {
+    fn from(e: GomError) -> Self {
+        OqlError::Gom(e)
+    }
+}
+
+impl From<AsrError> for OqlError {
+    fn from(e: AsrError) -> Self {
+        OqlError::Asr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = OqlError::Parse { offset: 12, message: "expected `from`".into() };
+        assert!(e.to_string().contains("byte 12"));
+        let e: OqlError = GomError::UnknownVariable("X".into()).into();
+        assert!(e.to_string().contains("object model"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Query execution: nested-loop evaluation over the resolved bindings,
+//! with indexed predicates evaluated once as backward span queries.
+
+use std::collections::BTreeSet;
+
+use asr_core::{Cell, Database};
+use asr_gom::{Oid, Value};
+
+use crate::ast::{Comparison, Query};
+use crate::error::{OqlError, Result};
+use crate::plan::{analyze, Domain, Plan, ResolvedPredicate};
+
+/// A query result: column labels plus value rows (duplicates removed,
+/// deterministic order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column labels (the projection texts).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl std::fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse, analyze, plan and execute a query text.
+pub fn execute(db: &Database, text: &str) -> Result<ResultSet> {
+    let query = crate::parser::parse(text)?;
+    execute_query(db, &query)
+}
+
+/// Execute an already parsed query.
+pub fn execute_query(db: &Database, query: &Query) -> Result<ResultSet> {
+    let plan = analyze(db, query)?;
+    let columns = plan.projections.iter().map(|p| p.label.clone()).collect();
+
+    // Pre-compute candidate sets for indexed predicates (one backward
+    // span query each — the paper's supported evaluation).
+    let mut candidate_sets: Vec<Option<BTreeSet<Oid>>> = vec![None; plan.bindings.len()];
+    for pred in &plan.predicates {
+        if let Some(asr) = pred.asr {
+            let target = Cell::from_gom(&pred.value).ok_or_else(|| {
+                OqlError::Semantic("indexed predicate against NULL".to_string())
+            })?;
+            let hits: BTreeSet<Oid> =
+                db.backward(asr, 0, pred.path.len(), &target)?.into_iter().collect();
+            match &mut candidate_sets[pred.binding] {
+                Some(existing) => {
+                    existing.retain(|o| hits.contains(o));
+                }
+                slot @ None => *slot = Some(hits),
+            }
+        }
+    }
+
+    let mut rows: BTreeSet<Vec<Value>> = BTreeSet::new();
+    let mut env: Vec<Option<Oid>> = vec![None; plan.bindings.len()];
+    eval_bindings(db, &plan, &candidate_sets, 0, &mut env, &mut rows)?;
+    Ok(ResultSet { columns, rows: rows.into_iter().collect() })
+}
+
+/// Recursive nested-loop evaluation of bindings `idx..`.
+fn eval_bindings(
+    db: &Database,
+    plan: &Plan,
+    candidates: &[Option<BTreeSet<Oid>>],
+    idx: usize,
+    env: &mut Vec<Option<Oid>>,
+    rows: &mut BTreeSet<Vec<Value>>,
+) -> Result<()> {
+    if idx == plan.bindings.len() {
+        return emit(db, plan, env, rows);
+    }
+    let binding = &plan.bindings[idx];
+    let domain: Vec<Oid> = match &binding.domain {
+        Domain::Root(set) => db.base().element_oids(*set)?,
+        Domain::Extent(ty) => db.base().extent_closure(*ty),
+        Domain::Navigate { from, path } => {
+            let start = env[*from].expect("earlier binding is bound");
+            db.navigate_forward(path, 0, path.len(), start)?
+                .into_iter()
+                .filter_map(|c| c.as_oid())
+                .collect()
+        }
+    };
+    for obj in domain {
+        if let Some(set) = &candidates[idx] {
+            if !set.contains(&obj) {
+                continue;
+            }
+        }
+        env[idx] = Some(obj);
+        // Evaluate the non-indexed predicates bound at this level as soon
+        // as the variable is set (predicate push-down).
+        let mut ok = true;
+        for pred in plan.predicates.iter().filter(|p| p.binding == idx && p.asr.is_none()) {
+            if !eval_predicate(db, pred, obj)? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            eval_bindings(db, plan, candidates, idx + 1, env, rows)?;
+        }
+        env[idx] = None;
+    }
+    Ok(())
+}
+
+/// Does `obj` satisfy the predicate?  Paths through sets use existential
+/// semantics: the predicate holds when *any* reached value satisfies the
+/// comparison (NULL tests invert: `= NULL` holds when nothing is reached).
+fn eval_predicate(db: &Database, pred: &ResolvedPredicate, obj: Oid) -> Result<bool> {
+    let reached = db.navigate_forward(&pred.path, 0, pred.path.len(), obj)?;
+    if pred.value.is_null() {
+        return Ok(match pred.op {
+            Comparison::Eq => reached.is_empty(),
+            Comparison::Ne => !reached.is_empty(),
+            other => {
+                return Err(OqlError::Semantic(format!(
+                    "operator {other} is not defined on NULL"
+                )))
+            }
+        });
+    }
+    for cell in reached {
+        let value = match cell {
+            Cell::Value(v) => v,
+            Cell::Oid(o) => Value::Ref(o),
+        };
+        if compare(&value, pred.op, &pred.value)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn compare(left: &Value, op: Comparison, right: &Value) -> Result<bool> {
+    use std::cmp::Ordering;
+    let ord = match (left, right) {
+        (Value::Integer(a), Value::Integer(b)) => a.cmp(b),
+        (Value::Decimal(a), Value::Decimal(b)) => a.cmp(b),
+        (Value::String(a), Value::String(b)) => a.cmp(b),
+        (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+        (Value::Ref(a), Value::Ref(b)) => a.cmp(b),
+        _ => {
+            return Ok(matches!(op, Comparison::Ne)); // different kinds never equal
+        }
+    };
+    Ok(match op {
+        Comparison::Eq => ord == Ordering::Equal,
+        Comparison::Ne => ord != Ordering::Equal,
+        Comparison::Lt => ord == Ordering::Less,
+        Comparison::Le => ord != Ordering::Greater,
+        Comparison::Gt => ord == Ordering::Greater,
+        Comparison::Ge => ord != Ordering::Less,
+    })
+}
+
+/// Emit the projection rows for the current environment (cartesian over
+/// multi-valued projections).
+fn emit(
+    db: &Database,
+    plan: &Plan,
+    env: &[Option<Oid>],
+    rows: &mut BTreeSet<Vec<Value>>,
+) -> Result<()> {
+    let mut per_column: Vec<Vec<Value>> = Vec::with_capacity(plan.projections.len());
+    for proj in &plan.projections {
+        let obj = env[proj.binding].expect("binding is bound");
+        let values: Vec<Value> = match &proj.path {
+            None => vec![Value::Ref(obj)],
+            Some(path) => db
+                .navigate_forward(path, 0, path.len(), obj)?
+                .into_iter()
+                .map(|c| match c {
+                    Cell::Value(v) => v,
+                    Cell::Oid(o) => Value::Ref(o),
+                })
+                .collect(),
+        };
+        if values.is_empty() {
+            return Ok(()); // a NULL projection suppresses the tuple
+        }
+        per_column.push(values);
+    }
+    // Cartesian product across the projections.
+    let mut stack: Vec<Vec<Value>> = vec![Vec::new()];
+    for column in &per_column {
+        let mut next = Vec::with_capacity(stack.len() * column.len());
+        for prefix in &stack {
+            for v in column {
+                let mut row = prefix.clone();
+                row.push(v.clone());
+                next.push(row);
+            }
+        }
+        stack = next;
+    }
+    rows.extend(stack);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_semantics() {
+        let a = Value::Integer(3);
+        let b = Value::Integer(5);
+        assert!(compare(&a, Comparison::Lt, &b).unwrap());
+        assert!(compare(&b, Comparison::Ge, &a).unwrap());
+        assert!(!compare(&a, Comparison::Eq, &b).unwrap());
+        // Kind mismatch: only != holds.
+        let s = Value::string("x");
+        assert!(compare(&a, Comparison::Ne, &s).unwrap());
+        assert!(!compare(&a, Comparison::Eq, &s).unwrap());
+    }
+}

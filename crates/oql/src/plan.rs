@@ -1,0 +1,264 @@
+//! Semantic analysis and access planning.
+//!
+//! Analysis resolves every range variable to its element type against the
+//! GOM schema, validates each dotted reference as a [`PathExpression`],
+//! and type-checks predicate literals against the referenced attribute's
+//! declared atomic type.
+//!
+//! Planning then looks for the paper's optimization opportunity: an
+//! equality predicate over a path that some registered **access support
+//! relation** covers end to end turns the selection into a single
+//! *backward* span query (`Q_{0,n}(bw)`) instead of a per-object forward
+//! navigation — exactly the transformation Section 5 prices.
+
+use asr_core::{AsrId, Database};
+use asr_gom::{AtomicType, PathExpression, TypeId, TypeRef};
+
+use crate::ast::{Binding, Comparison, Literal, Query, Source};
+use crate::error::{OqlError, Result};
+
+/// A resolved binding.
+#[derive(Debug, Clone)]
+pub struct ResolvedBinding {
+    /// The variable name.
+    pub var: String,
+    /// Element type the variable ranges over.
+    pub ty: TypeId,
+    /// How its domain is produced.
+    pub domain: Domain,
+}
+
+/// The domain of a resolved binding.
+#[derive(Debug, Clone)]
+pub enum Domain {
+    /// Elements of the set object behind a database variable.
+    Root(asr_gom::Oid),
+    /// The deep extent of a type.
+    Extent(TypeId),
+    /// Forward navigation from an earlier binding.
+    Navigate {
+        /// Index of the source binding.
+        from: usize,
+        /// The validated path from the source binding's type.
+        path: PathExpression,
+    },
+}
+
+/// A resolved predicate.
+#[derive(Debug, Clone)]
+pub struct ResolvedPredicate {
+    /// Index of the binding the predicate constrains.
+    pub binding: usize,
+    /// The validated path from the binding's type.
+    pub path: PathExpression,
+    /// The comparison.
+    pub op: Comparison,
+    /// The literal, as a GOM value (`Null` for NULL tests).
+    pub value: asr_gom::Value,
+    /// A covering ASR when the planner found one (equality predicates over
+    /// the whole chain only).
+    pub asr: Option<AsrId>,
+}
+
+/// A resolved projection.
+#[derive(Debug, Clone)]
+pub struct ResolvedProjection {
+    /// Index of the binding projected from.
+    pub binding: usize,
+    /// The validated path (`None` projects the object itself).
+    pub path: Option<PathExpression>,
+    /// Output column label.
+    pub label: String,
+}
+
+/// The fully analyzed query.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Bindings in evaluation order.
+    pub bindings: Vec<ResolvedBinding>,
+    /// Predicates with planner decisions.
+    pub predicates: Vec<ResolvedPredicate>,
+    /// Projections.
+    pub projections: Vec<ResolvedProjection>,
+}
+
+impl Plan {
+    /// Does any predicate run through an access support relation?
+    pub fn uses_index(&self) -> bool {
+        self.predicates.iter().any(|p| p.asr.is_some())
+    }
+}
+
+/// Analyze and plan a parsed query against a database.
+pub fn analyze(db: &Database, query: &Query) -> Result<Plan> {
+    let schema = db.base().schema();
+    let mut bindings: Vec<ResolvedBinding> = Vec::new();
+
+    let find_binding = |bindings: &[ResolvedBinding], var: &str| -> Result<usize> {
+        bindings
+            .iter()
+            .position(|b| b.var == var)
+            .ok_or_else(|| OqlError::Semantic(format!("unbound variable `{var}`")))
+    };
+
+    for Binding { var, source } in &query.bindings {
+        if bindings.iter().any(|b| &b.var == var) {
+            return Err(OqlError::Semantic(format!("variable `{var}` bound twice")));
+        }
+        let (ty, domain) = match source {
+            Source::Collection(name) => {
+                // A database variable takes precedence; a type name binds
+                // the extent.
+                if let Ok(value) = db.base().variable(name) {
+                    let set_oid = value.as_ref_oid().ok_or_else(|| {
+                        OqlError::Semantic(format!("database variable `{name}` is not a collection"))
+                    })?;
+                    let set_ty = db.base().type_of(set_oid)?;
+                    let elem = schema
+                        .def(set_ty)?
+                        .kind
+                        .element()
+                        .and_then(TypeRef::as_named)
+                        .ok_or_else(|| {
+                            OqlError::Semantic(format!(
+                                "database variable `{name}` is not a set of objects"
+                            ))
+                        })?;
+                    (elem, Domain::Root(set_oid))
+                } else if let Some(ty) = schema.resolve(name) {
+                    if !schema.def(ty)?.kind.is_tuple() {
+                        return Err(OqlError::Semantic(format!(
+                            "`{name}` is not a tuple type; only object extents are iterable"
+                        )));
+                    }
+                    (ty, Domain::Extent(ty))
+                } else {
+                    return Err(OqlError::Semantic(format!(
+                        "`{name}` is neither a database variable nor a type"
+                    )));
+                }
+            }
+            Source::Path(path_ref) => {
+                let from = find_binding(&bindings, &path_ref.var)?;
+                let anchor = schema.name(bindings[from].ty).to_string();
+                let path = PathExpression::new(
+                    schema,
+                    &anchor,
+                    path_ref.attrs.iter().map(String::as_str),
+                )?;
+                let elem = match path.type_at(path.len()) {
+                    TypeRef::Named(id) => id,
+                    TypeRef::Atomic(a) => {
+                        return Err(OqlError::Semantic(format!(
+                            "cannot range over atomic {} values in `{path_ref}`",
+                            a.name()
+                        )))
+                    }
+                };
+                (elem, Domain::Navigate { from, path })
+            }
+        };
+        bindings.push(ResolvedBinding { var: var.clone(), ty, domain });
+    }
+
+    let mut predicates = Vec::new();
+    for pred in &query.predicates {
+        let binding = find_binding(&bindings, &pred.path.var)?;
+        if pred.path.attrs.is_empty() {
+            return Err(OqlError::Semantic(format!(
+                "predicate `{pred}` must compare an attribute, not the variable itself"
+            )));
+        }
+        let anchor = schema.name(bindings[binding].ty).to_string();
+        let path =
+            PathExpression::new(schema, &anchor, pred.path.attrs.iter().map(String::as_str))?;
+        typecheck(&path, &pred.literal, schema)?;
+        // The paper's optimization: a whole-chain equality against a
+        // literal is a backward span query through a covering ASR.
+        let value = pred.literal.to_value();
+        let asr = if pred.op == Comparison::Eq && !value.is_null() {
+            db.find_supporting_asr(&path, 0, path.len())
+        } else {
+            None
+        };
+        predicates.push(ResolvedPredicate { binding, path, op: pred.op, value, asr });
+    }
+
+    let mut projections = Vec::new();
+    for proj in &query.projections {
+        let binding = find_binding(&bindings, &proj.var)?;
+        let path = if proj.attrs.is_empty() {
+            None
+        } else {
+            let anchor = schema.name(bindings[binding].ty).to_string();
+            Some(PathExpression::new(
+                schema,
+                &anchor,
+                proj.attrs.iter().map(String::as_str),
+            )?)
+        };
+        projections.push(ResolvedProjection { binding, path, label: proj.to_string() });
+    }
+
+    Ok(Plan { bindings, predicates, projections })
+}
+
+/// Check that a comparison literal matches the path's terminal type.
+fn typecheck(path: &PathExpression, literal: &Literal, schema: &asr_gom::Schema) -> Result<()> {
+    let terminal = path.type_at(path.len());
+    match (terminal, literal) {
+        (_, Literal::Null) => Ok(()),
+        (TypeRef::Atomic(AtomicType::String), Literal::Str(_))
+        | (TypeRef::Atomic(AtomicType::Integer), Literal::Int(_))
+        | (TypeRef::Atomic(AtomicType::Decimal), Literal::Dec(..))
+        | (TypeRef::Atomic(AtomicType::Bool), Literal::Bool(_)) => Ok(()),
+        (TypeRef::Atomic(a), lit) => Err(OqlError::Semantic(format!(
+            "cannot compare {} attribute `{path}` with {lit}",
+            a.name()
+        ))),
+        (TypeRef::Named(id), lit) => Err(OqlError::Semantic(format!(
+            "`{path}` references objects of type {}; only NULL tests apply, not {lit}",
+            schema.name(id)
+        ))),
+    }
+}
+
+/// Render the plan for a query — which predicates use which access
+/// support relations (the `EXPLAIN` of this little language).
+pub fn explain(db: &Database, text: &str) -> Result<String> {
+    let query = crate::parser::parse(text)?;
+    let plan = analyze(db, &query)?;
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "query : {query}");
+    for b in &plan.bindings {
+        let domain = match &b.domain {
+            Domain::Root(oid) => format!("elements of root collection {oid}"),
+            Domain::Extent(ty) => {
+                format!("extent of {}", db.base().schema().name(*ty))
+            }
+            Domain::Navigate { from, path } => {
+                format!("navigate {path} from `{}`", plan.bindings[*from].var)
+            }
+        };
+        let _ = writeln!(out, "bind  : {} := {domain}", b.var);
+    }
+    for p in &plan.predicates {
+        let strategy = match p.asr {
+            Some(id) => {
+                let asr = db.asr(id)?;
+                format!(
+                    "backward span query through ASR #{id} ({} {})",
+                    asr.config().extension,
+                    asr.config().decomposition
+                )
+            }
+            None => "forward navigation per candidate".to_string(),
+        };
+        let _ = writeln!(out, "pred  : {} {} {:?}  -> {strategy}", p.path, p.op, p.value);
+    }
+    for p in &plan.projections {
+        let _ = writeln!(out, "proj  : {}", p.label);
+    }
+    Ok(out)
+}

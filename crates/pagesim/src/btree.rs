@@ -1,0 +1,1155 @@
+//! A page-granular B+ tree.
+//!
+//! Section 5.2 of the paper stores every access-support-relation partition
+//! in **two redundant B+ trees**, clustered on the first resp. the last
+//! attribute.  This module provides that tree: a classic B+ tree whose node
+//! capacities derive from the paper's page geometry —
+//!
+//! * leaf pages hold `⌊PageSize / entry_size⌋` entries (the paper's
+//!   `atpp^{i,j}`, formula 14),
+//! * inner pages hold `⌊PageSize / (key_size + PPsize)⌋` children (the
+//!   paper's `B⁺fan`, Figure 3) —
+//!
+//! and whose every node visit is charged to the shared [`IoStats`](crate::IoStats) counter
+//! (one node = one page).  The tree supports unique-key insertion, point
+//! lookup, deletion with borrow/merge rebalancing, and ordered range scans
+//! over the linked leaf level.
+//!
+//! Composite keys (e.g. `(column value, row id)`) are expressed through the
+//! ordinary `Ord` bound; prefix scans become half-open ranges.
+
+use std::cell::RefCell;
+use std::fmt::Debug;
+use std::ops::Bound;
+
+use crate::buffer::BufferPool;
+use crate::constants::{PAGE_SIZE, PP_SIZE};
+use crate::error::{PageSimError, Result};
+use crate::stats::StatsHandle;
+
+const NO_NODE: usize = usize::MAX;
+
+/// Plan chunk sizes for bulk loading: greedy chunks of `target`, with the
+/// tail adjusted so every chunk (except a lone root chunk) holds at least
+/// `min` and at most `capacity` items.
+fn chunk_plan(total: usize, target: usize, min: usize, capacity: usize) -> Vec<usize> {
+    debug_assert!(min <= target && target <= capacity);
+    let mut sizes = Vec::new();
+    let mut remaining = total;
+    loop {
+        if remaining == 0 {
+            break;
+        }
+        if remaining <= capacity {
+            // Final chunk; a single root chunk may be arbitrarily small.
+            sizes.push(remaining);
+            break;
+        }
+        if remaining >= target + min {
+            sizes.push(target);
+            remaining -= target;
+        } else {
+            // capacity < remaining < target + min: split the tail evenly —
+            // both halves satisfy min because remaining > capacity >= 2·min.
+            let a = remaining.div_ceil(2);
+            sizes.push(a);
+            sizes.push(remaining - a);
+            break;
+        }
+    }
+    sizes
+}
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Inner {
+        /// Separator keys; `keys.len() + 1 == children.len()`.
+        /// `children[i]` holds keys `< keys[i]`; `children[i+1]` keys `>= keys[i]`.
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        entries: Vec<(K, V)>,
+        next: usize,
+    },
+    /// Slab tombstone available for reuse.
+    Free,
+}
+
+/// A B+ tree with page-access accounting.
+///
+/// Keys must be unique; composite keys give multi-map behaviour.
+#[derive(Debug)]
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    root: usize,
+    /// Levels including the leaf level (empty tree = single empty leaf,
+    /// height 1).
+    height: usize,
+    leaf_capacity: usize,
+    inner_capacity: usize,
+    len: usize,
+    stats: StatsHandle,
+    buffer: RefCell<BufferPool>,
+}
+
+impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
+    /// Create a tree whose leaf entries occupy `entry_size` bytes and whose
+    /// inner-node keys occupy `key_size` bytes.
+    ///
+    /// Capacities are floored at 2 entries / 3 children so degenerate sizes
+    /// (entries larger than half a page) still yield a working tree.
+    pub fn new(entry_size: usize, key_size: usize, stats: StatsHandle) -> Self {
+        let leaf_capacity = (PAGE_SIZE / entry_size.max(1)).max(2);
+        let inner_capacity = (PAGE_SIZE / (key_size.max(1) + PP_SIZE)).max(3);
+        Self::with_capacities(leaf_capacity, inner_capacity, stats)
+    }
+
+    /// Create a tree with explicit node capacities (used by tests to force
+    /// deep trees with few keys).
+    pub fn with_capacities(leaf_capacity: usize, inner_capacity: usize, stats: StatsHandle) -> Self {
+        assert!(leaf_capacity >= 2, "leaf capacity must be >= 2");
+        assert!(inner_capacity >= 3, "inner capacity must be >= 3");
+        let root_leaf = Node::Leaf { entries: Vec::new(), next: NO_NODE };
+        BPlusTree {
+            nodes: vec![root_leaf],
+            free: Vec::new(),
+            root: 0,
+            height: 1,
+            leaf_capacity,
+            inner_capacity,
+            len: 0,
+            stats,
+            buffer: RefCell::new(BufferPool::unbuffered()),
+        }
+    }
+
+    /// Replace the (default pass-through) buffer pool.
+    pub fn set_buffer(&mut self, pool: BufferPool) {
+        self.buffer = RefCell::new(pool);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels, *including* the leaf level.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Height of the non-leaf part — the paper's `ht^{i,j}` (formula 19
+    /// counts the tree "not considering the leaves").
+    pub fn inner_height(&self) -> usize {
+        self.height - 1
+    }
+
+    /// Maximum entries per leaf page (the paper's `atpp`).
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// Maximum children per inner page (the paper's `B⁺fan`).
+    pub fn inner_capacity(&self) -> usize {
+        self.inner_capacity
+    }
+
+    /// Number of leaf pages (the paper's `ap^{i,j}`).
+    pub fn leaf_page_count(&self) -> u64 {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count() as u64
+    }
+
+    /// Number of inner pages (the paper's `pg^{i,j}` without leaves).
+    pub fn inner_page_count(&self) -> u64 {
+        self.nodes.iter().filter(|n| matches!(n, Node::Inner { .. })).count() as u64
+    }
+
+    /// Total pages occupied by the tree.
+    pub fn page_count(&self) -> u64 {
+        self.leaf_page_count() + self.inner_page_count()
+    }
+
+    /// The shared statistics handle.
+    pub fn stats(&self) -> &StatsHandle {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Page accounting helpers
+    // ------------------------------------------------------------------
+
+    fn charge_read(&self, node: usize) {
+        self.buffer.borrow_mut().read(node as u64, &self.stats);
+    }
+
+    fn charge_write(&self, node: usize) {
+        self.buffer.borrow_mut().write(node as u64, &self.stats);
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> usize {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, id: usize) {
+        self.nodes[id] = Node::Free;
+        self.free.push(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Descent
+    // ------------------------------------------------------------------
+
+    /// Walk from the root to the leaf responsible for `key`, charging one
+    /// read per level and recording `(node, child index)` for each inner
+    /// node on the way.
+    fn descend(&self, key: &K) -> (usize, Vec<(usize, usize)>) {
+        let mut path = Vec::with_capacity(self.height);
+        let mut node = self.root;
+        loop {
+            self.charge_read(node);
+            match &self.nodes[node] {
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    path.push((node, idx));
+                    node = children[idx];
+                }
+                Node::Leaf { .. } => return (node, path),
+                Node::Free => unreachable!("descended into freed node"),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Point lookup.  Charges `height` page reads.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let (leaf, _) = self.descend(key);
+        let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+        entries
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| entries[i].1.clone())
+    }
+
+    /// Does the tree contain `key`?
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Visit all entries with `lo <= key < hi` (half-open), in key order.
+    /// Charges the initial descent plus one read per additional leaf.
+    pub fn scan_range(&self, lo: Bound<&K>, hi: Bound<&K>, mut visit: impl FnMut(&K, &V)) {
+        let mut leaf;
+        let mut start_idx;
+        match lo {
+            Bound::Included(key) | Bound::Excluded(key) => {
+                let (l, _) = self.descend(key);
+                leaf = l;
+                let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+                start_idx = entries.partition_point(|(k, _)| match lo {
+                    Bound::Included(key) => k < key,
+                    Bound::Excluded(key) => k <= key,
+                    Bound::Unbounded => false,
+                });
+            }
+            Bound::Unbounded => {
+                // Walk down the left spine.
+                let mut node = self.root;
+                loop {
+                    self.charge_read(node);
+                    match &self.nodes[node] {
+                        Node::Inner { children, .. } => node = children[0],
+                        Node::Leaf { .. } => break,
+                        Node::Free => unreachable!(),
+                    }
+                }
+                leaf = node;
+                start_idx = 0;
+            }
+        }
+        loop {
+            let Node::Leaf { entries, next } = &self.nodes[leaf] else { unreachable!() };
+            for (k, v) in &entries[start_idx..] {
+                let in_range = match hi {
+                    Bound::Included(h) => k <= h,
+                    Bound::Excluded(h) => k < h,
+                    Bound::Unbounded => true,
+                };
+                if !in_range {
+                    return;
+                }
+                visit(k, v);
+            }
+            if *next == NO_NODE {
+                return;
+            }
+            leaf = *next;
+            start_idx = 0;
+            self.charge_read(leaf);
+        }
+    }
+
+    /// Collect a half-open range `[lo, hi)` into a vector.
+    pub fn range_collect(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        self.scan_range(Bound::Included(lo), Bound::Excluded(hi), |k, v| {
+            out.push((k.clone(), v.clone()))
+        });
+        out
+    }
+
+    /// Visit every entry in key order (full leaf-level scan).
+    pub fn scan_all(&self, visit: impl FnMut(&K, &V)) {
+        self.scan_range(Bound::Unbounded, Bound::Unbounded, visit)
+    }
+
+    /// The smallest key, if any.  Charges a left-spine descent.
+    pub fn first_key(&self) -> Option<K> {
+        let mut out = None;
+        self.scan_range(Bound::Unbounded, Bound::Unbounded, |k, _| {
+            if out.is_none() {
+                out = Some(k.clone());
+            }
+        });
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Insert a unique key.  Charges the descent reads plus one write per
+    /// modified node (leaf, split siblings, updated ancestors).
+    pub fn insert(&mut self, key: K, value: V) -> Result<()> {
+        let (leaf, path) = self.descend(&key);
+        {
+            let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else { unreachable!() };
+            match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(_) => return Err(PageSimError::DuplicateKey(format!("{key:?}"))),
+                Err(pos) => entries.insert(pos, (key, value)),
+            }
+        }
+        self.len += 1;
+        self.charge_write(leaf);
+
+        // Split propagation.
+        let mut child = leaf;
+        let mut path = path;
+        loop {
+            let (split_key, new_node) = match self.split_if_overfull(child) {
+                Some(split) => split,
+                None => break,
+            };
+            match path.pop() {
+                Some((parent, child_idx)) => {
+                    let Node::Inner { keys, children } = &mut self.nodes[parent] else {
+                        unreachable!()
+                    };
+                    keys.insert(child_idx, split_key);
+                    children.insert(child_idx + 1, new_node);
+                    self.charge_write(parent);
+                    child = parent;
+                }
+                None => {
+                    // Root split: grow the tree by one level.
+                    let old_root = self.root;
+                    let new_root = self.alloc(Node::Inner {
+                        keys: vec![split_key],
+                        children: vec![old_root, new_node],
+                    });
+                    self.root = new_root;
+                    self.height += 1;
+                    self.charge_write(new_root);
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// If `node` exceeds its capacity, split it and return the separator
+    /// key plus the new right sibling.
+    fn split_if_overfull(&mut self, node: usize) -> Option<(K, usize)> {
+        match &mut self.nodes[node] {
+            Node::Leaf { entries, next } => {
+                if entries.len() <= self.leaf_capacity {
+                    return None;
+                }
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let right_next = *next;
+                let separator = right_entries[0].0.clone();
+                let right = self.alloc(Node::Leaf { entries: right_entries, next: right_next });
+                let Node::Leaf { next, .. } = &mut self.nodes[node] else { unreachable!() };
+                *next = right;
+                self.charge_write(node);
+                self.charge_write(right);
+                Some((separator, right))
+            }
+            Node::Inner { keys, children } => {
+                if children.len() <= self.inner_capacity {
+                    return None;
+                }
+                let mid = keys.len() / 2;
+                // keys[mid] moves up; right gets keys[mid+1..] and
+                // children[mid+1..].
+                let right_keys = keys.split_off(mid + 1);
+                let separator = keys.pop().expect("mid key exists");
+                let right_children = children.split_off(mid + 1);
+                let right = self.alloc(Node::Inner { keys: right_keys, children: right_children });
+                self.charge_write(node);
+                self.charge_write(right);
+                Some((separator, right))
+            }
+            Node::Free => unreachable!(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk loading
+    // ------------------------------------------------------------------
+
+    /// Build a tree bottom-up from **strictly ascending** `(key, value)`
+    /// pairs — the classic bulk-load used when an access relation is
+    /// (re)built from a computed extension.  Charges one page write per
+    /// created node, which is far cheaper than the read-modify-write
+    /// churn of repeated [`BPlusTree::insert`]s.
+    ///
+    /// Returns an error if the keys are not strictly ascending.
+    pub fn bulk_load(
+        entries: impl IntoIterator<Item = (K, V)>,
+        entry_size: usize,
+        key_size: usize,
+        stats: StatsHandle,
+    ) -> Result<Self> {
+        let mut tree = Self::new(entry_size, key_size, stats);
+        tree.fill(entries)?;
+        Ok(tree)
+    }
+
+    /// Bulk-load into an (empty) tree with already-configured capacities.
+    pub fn fill(&mut self, entries: impl IntoIterator<Item = (K, V)>) -> Result<()> {
+        assert!(self.is_empty(), "fill() requires an empty tree");
+        // Validate ordering while collecting.
+        let mut all: Vec<(K, V)> = Vec::new();
+        for (k, v) in entries {
+            if let Some((prev, _)) = all.last() {
+                if prev >= &k {
+                    return Err(PageSimError::CorruptStructure(
+                        "bulk_load keys must be strictly ascending".into(),
+                    ));
+                }
+            }
+            all.push((k, v));
+        }
+        if all.is_empty() {
+            return Ok(()); // stays the empty root leaf
+        }
+        let count = all.len();
+
+        // Leaves at ~90% occupancy, with the final chunk(s) adjusted so no
+        // non-root node violates the minimum-fill invariant.
+        let target = ((self.leaf_capacity * 9) / 10).max(2);
+        let plan = chunk_plan(count, target, self.min_leaf(), self.leaf_capacity);
+        let mut leaves: Vec<usize> = Vec::with_capacity(plan.len());
+        let mut iter = all.into_iter();
+        for size in plan {
+            let chunk: Vec<(K, V)> = iter.by_ref().take(size).collect();
+            let node = self.alloc(Node::Leaf { entries: chunk, next: NO_NODE });
+            self.charge_write(node);
+            leaves.push(node);
+        }
+        for pair in leaves.windows(2) {
+            let (left, right) = (pair[0], pair[1]);
+            let Node::Leaf { next, .. } = &mut self.nodes[left] else { unreachable!() };
+            *next = right;
+        }
+        // The old empty root leaf is replaced by the loaded tree.
+        let old_root = self.root;
+        self.release(old_root);
+
+        // Inner levels bottom-up, with the same chunk planning over
+        // children counts.
+        let inner_target = ((self.inner_capacity * 9) / 10).max(2);
+        let mut level: Vec<usize> = leaves;
+        let mut height = 1usize;
+        while level.len() > 1 {
+            let plan =
+                chunk_plan(level.len(), inner_target, self.min_children(), self.inner_capacity);
+            let mut parents: Vec<usize> = Vec::with_capacity(plan.len());
+            let mut iter = level.into_iter();
+            for size in plan {
+                let children: Vec<usize> = iter.by_ref().take(size).collect();
+                let keys: Vec<K> =
+                    children[1..].iter().map(|&c| self.min_key_of(c)).collect();
+                let node = self.alloc(Node::Inner { keys, children });
+                self.charge_write(node);
+                parents.push(node);
+            }
+            level = parents;
+            height += 1;
+        }
+        self.root = level[0];
+        self.height = height;
+        self.len = count;
+        Ok(())
+    }
+
+    /// Smallest key in the subtree rooted at `node` (bulk-load helper; no
+    /// page charges — the key is known to the builder).
+    #[allow(clippy::only_used_in_recursion)]
+    fn min_key_of(&self, node: usize) -> K {
+        let mut n = node;
+        loop {
+            match &self.nodes[n] {
+                Node::Inner { children, .. } => n = children[0],
+                Node::Leaf { entries, .. } => {
+                    return entries.first().expect("bulk-loaded nodes are non-empty").0.clone()
+                }
+                Node::Free => unreachable!(),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Remove `key`, returning its value if present.  Rebalances by
+    /// borrowing from or merging with siblings.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (leaf, path) = self.descend(key);
+        let removed = {
+            let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else { unreachable!() };
+            match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(pos) => entries.remove(pos).1,
+                Err(_) => return None,
+            }
+        };
+        self.len -= 1;
+        self.charge_write(leaf);
+        self.rebalance_upwards(leaf, path);
+        Some(removed)
+    }
+
+    fn min_leaf(&self) -> usize {
+        self.leaf_capacity / 2
+    }
+
+    fn min_children(&self) -> usize {
+        self.inner_capacity.div_ceil(2)
+    }
+
+    fn node_is_deficient(&self, node: usize) -> bool {
+        match &self.nodes[node] {
+            Node::Leaf { entries, .. } => entries.len() < self.min_leaf(),
+            Node::Inner { children, .. } => children.len() < self.min_children(),
+            Node::Free => unreachable!(),
+        }
+    }
+
+    fn rebalance_upwards(&mut self, mut node: usize, mut path: Vec<(usize, usize)>) {
+        loop {
+            if node == self.root {
+                self.collapse_root_if_needed();
+                return;
+            }
+            if !self.node_is_deficient(node) {
+                return;
+            }
+            let (parent, child_idx) = path.pop().expect("non-root node has a parent");
+            self.fix_deficient_child(parent, child_idx);
+            node = parent;
+        }
+    }
+
+    fn collapse_root_if_needed(&mut self) {
+        while let Node::Inner { children, .. } = &self.nodes[self.root] {
+            if children.len() > 1 {
+                return;
+            }
+            let only_child = children[0];
+            let old_root = self.root;
+            self.root = only_child;
+            self.height -= 1;
+            self.release(old_root);
+        }
+    }
+
+    /// Repair the deficient `children[child_idx]` of `parent` by borrowing
+    /// from a sibling or merging.
+    fn fix_deficient_child(&mut self, parent: usize, child_idx: usize) {
+        let (left_idx, right_idx) = {
+            let Node::Inner { children, .. } = &self.nodes[parent] else { unreachable!() };
+            let left = child_idx.checked_sub(1).map(|i| children[i]);
+            let right = children.get(child_idx + 1).copied();
+            (left, right)
+        };
+        // Prefer borrowing from the sibling with surplus.
+        if let Some(left) = left_idx {
+            self.charge_read(left);
+            if self.has_surplus(left) {
+                self.borrow_from_left(parent, child_idx, left);
+                return;
+            }
+        }
+        if let Some(right) = right_idx {
+            self.charge_read(right);
+            if self.has_surplus(right) {
+                self.borrow_from_right(parent, child_idx, right);
+                return;
+            }
+        }
+        // Merge with a sibling (left preferred).
+        if left_idx.is_some() {
+            self.merge_children(parent, child_idx - 1);
+        } else {
+            self.merge_children(parent, child_idx);
+        }
+    }
+
+    fn has_surplus(&self, node: usize) -> bool {
+        match &self.nodes[node] {
+            Node::Leaf { entries, .. } => entries.len() > self.min_leaf(),
+            Node::Inner { children, .. } => children.len() > self.min_children(),
+            Node::Free => unreachable!(),
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: usize, child_idx: usize, left: usize) {
+        let sep_idx = child_idx - 1;
+        let child = {
+            let Node::Inner { children, .. } = &self.nodes[parent] else { unreachable!() };
+            children[child_idx]
+        };
+        if matches!(self.nodes[child], Node::Leaf { .. }) {
+            // Move the left sibling's last entry over; separator becomes
+            // the moved key.
+            let (k, v) = {
+                let Node::Leaf { entries, .. } = &mut self.nodes[left] else { unreachable!() };
+                entries.pop().expect("surplus sibling is non-empty")
+            };
+            let new_sep = k.clone();
+            let Node::Leaf { entries, .. } = &mut self.nodes[child] else { unreachable!() };
+            entries.insert(0, (k, v));
+            let Node::Inner { keys, .. } = &mut self.nodes[parent] else { unreachable!() };
+            keys[sep_idx] = new_sep;
+        } else {
+            // Rotate through the parent separator.
+            let (moved_key, moved_child) = {
+                let Node::Inner { keys, children } = &mut self.nodes[left] else { unreachable!() };
+                (keys.pop().expect("surplus"), children.pop().expect("surplus"))
+            };
+            let old_sep = {
+                let Node::Inner { keys, .. } = &mut self.nodes[parent] else { unreachable!() };
+                std::mem::replace(&mut keys[sep_idx], moved_key)
+            };
+            let Node::Inner { keys, children } = &mut self.nodes[child] else { unreachable!() };
+            keys.insert(0, old_sep);
+            children.insert(0, moved_child);
+        }
+        self.charge_write(left);
+        self.charge_write(child);
+        self.charge_write(parent);
+    }
+
+    fn borrow_from_right(&mut self, parent: usize, child_idx: usize, right: usize) {
+        let sep_idx = child_idx;
+        let child = {
+            let Node::Inner { children, .. } = &self.nodes[parent] else { unreachable!() };
+            children[child_idx]
+        };
+        if matches!(self.nodes[child], Node::Leaf { .. }) {
+            let (k, v) = {
+                let Node::Leaf { entries, .. } = &mut self.nodes[right] else { unreachable!() };
+                entries.remove(0)
+            };
+            let new_sep = {
+                let Node::Leaf { entries, .. } = &self.nodes[right] else { unreachable!() };
+                entries[0].0.clone()
+            };
+            let Node::Leaf { entries, .. } = &mut self.nodes[child] else { unreachable!() };
+            entries.push((k, v));
+            let Node::Inner { keys, .. } = &mut self.nodes[parent] else { unreachable!() };
+            keys[sep_idx] = new_sep;
+        } else {
+            let (moved_key, moved_child) = {
+                let Node::Inner { keys, children } = &mut self.nodes[right] else { unreachable!() };
+                (keys.remove(0), children.remove(0))
+            };
+            let old_sep = {
+                let Node::Inner { keys, .. } = &mut self.nodes[parent] else { unreachable!() };
+                std::mem::replace(&mut keys[sep_idx], moved_key)
+            };
+            let Node::Inner { keys, children } = &mut self.nodes[child] else { unreachable!() };
+            keys.push(old_sep);
+            children.push(moved_child);
+        }
+        self.charge_write(right);
+        self.charge_write(child);
+        self.charge_write(parent);
+    }
+
+    /// Merge `children[idx+1]` of `parent` into `children[idx]`.
+    fn merge_children(&mut self, parent: usize, idx: usize) {
+        let (left, right, separator) = {
+            let Node::Inner { keys, children } = &mut self.nodes[parent] else { unreachable!() };
+            let left = children[idx];
+            let right = children.remove(idx + 1);
+            let separator = keys.remove(idx);
+            (left, right, separator)
+        };
+        let right_node = std::mem::replace(&mut self.nodes[right], Node::Free);
+        match right_node {
+            Node::Leaf { mut entries, next } => {
+                let Node::Leaf { entries: left_entries, next: left_next } = &mut self.nodes[left]
+                else {
+                    unreachable!()
+                };
+                left_entries.append(&mut entries);
+                *left_next = next;
+            }
+            Node::Inner { mut keys, mut children } => {
+                let Node::Inner { keys: left_keys, children: left_children } =
+                    &mut self.nodes[left]
+                else {
+                    unreachable!()
+                };
+                left_keys.push(separator);
+                left_keys.append(&mut keys);
+                left_children.append(&mut children);
+            }
+            Node::Free => unreachable!(),
+        }
+        self.free.push(right);
+        self.charge_write(left);
+        self.charge_write(parent);
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests / debugging)
+    // ------------------------------------------------------------------
+
+    /// Verify all structural invariants; returns a descriptive error on the
+    /// first violation.  Charges no page accesses.
+    pub fn check_invariants(&self) -> Result<()> {
+        let mut leaf_depths = Vec::new();
+        let mut count = 0usize;
+        self.check_node(self.root, 1, None, None, &mut leaf_depths, &mut count)?;
+        if let Some(&d) = leaf_depths.first() {
+            if leaf_depths.iter().any(|&x| x != d) {
+                return Err(PageSimError::CorruptStructure("leaves at differing depths".into()));
+            }
+            if d != self.height {
+                return Err(PageSimError::CorruptStructure(format!(
+                    "height field {} != actual depth {d}",
+                    self.height
+                )));
+            }
+        }
+        if count != self.len {
+            return Err(PageSimError::CorruptStructure(format!(
+                "len field {} != actual entry count {count}",
+                self.len
+            )));
+        }
+        // Leaf chain must enumerate all entries in ascending order.
+        let mut chained = 0usize;
+        let mut prev: Option<K> = None;
+        let mut leaf = self.leftmost_leaf();
+        loop {
+            let Node::Leaf { entries, next } = &self.nodes[leaf] else {
+                return Err(PageSimError::CorruptStructure("leaf chain hit non-leaf".into()));
+            };
+            for (k, _) in entries {
+                if let Some(p) = &prev {
+                    if p >= k {
+                        return Err(PageSimError::CorruptStructure(
+                            "leaf chain out of order".into(),
+                        ));
+                    }
+                }
+                prev = Some(k.clone());
+                chained += 1;
+            }
+            if *next == NO_NODE {
+                break;
+            }
+            leaf = *next;
+        }
+        if chained != self.len {
+            return Err(PageSimError::CorruptStructure(format!(
+                "leaf chain enumerates {chained} entries, len is {}",
+                self.len
+            )));
+        }
+        Ok(())
+    }
+
+    fn leftmost_leaf(&self) -> usize {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Inner { children, .. } => node = children[0],
+                Node::Leaf { .. } => return node,
+                Node::Free => unreachable!(),
+            }
+        }
+    }
+
+    fn check_node(
+        &self,
+        node: usize,
+        depth: usize,
+        lo: Option<&K>,
+        hi: Option<&K>,
+        leaf_depths: &mut Vec<usize>,
+        count: &mut usize,
+    ) -> Result<()> {
+        let corrupt = |msg: String| Err(PageSimError::CorruptStructure(msg));
+        match &self.nodes[node] {
+            Node::Free => corrupt(format!("reachable node {node} is free")),
+            Node::Leaf { entries, .. } => {
+                if node != self.root && entries.len() < self.min_leaf() {
+                    return corrupt(format!("leaf {node} underfull: {}", entries.len()));
+                }
+                if entries.len() > self.leaf_capacity {
+                    return corrupt(format!("leaf {node} overfull: {}", entries.len()));
+                }
+                for w in entries.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return corrupt(format!("leaf {node} keys unsorted"));
+                    }
+                }
+                for (k, _) in entries {
+                    if lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h) {
+                        return corrupt(format!("leaf {node} key outside separator bounds"));
+                    }
+                }
+                *count += entries.len();
+                leaf_depths.push(depth);
+                Ok(())
+            }
+            Node::Inner { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return corrupt(format!("inner {node} arity mismatch"));
+                }
+                if node != self.root && children.len() < self.min_children() {
+                    return corrupt(format!("inner {node} underfull"));
+                }
+                if children.len() > self.inner_capacity {
+                    return corrupt(format!("inner {node} overfull"));
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return corrupt(format!("inner {node} keys unsorted"));
+                    }
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let child_hi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    self.check_node(child, depth + 1, child_lo, child_hi, leaf_depths, count)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IoStats;
+    use std::rc::Rc;
+
+    fn tiny_tree() -> BPlusTree<u32, u32> {
+        // Capacity 4/4 forces frequent splits.
+        BPlusTree::with_capacities(4, 4, IoStats::new_handle())
+    }
+
+    #[test]
+    fn capacities_derive_from_page_geometry() {
+        let t: BPlusTree<u64, u64> = BPlusTree::new(16, 8, IoStats::new_handle());
+        assert_eq!(t.leaf_capacity(), 4056 / 16);
+        assert_eq!(t.inner_capacity(), 338);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = tiny_tree();
+        for k in 0..100u32 {
+            t.insert(k, k * 10).unwrap();
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 100);
+        for k in 0..100u32 {
+            assert_eq!(t.get(&k), Some(k * 10));
+        }
+        assert_eq!(t.get(&100), None);
+        assert!(t.height() > 2, "100 entries at capacity 4 must be deep");
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = tiny_tree();
+        t.insert(1, 1).unwrap();
+        assert!(matches!(t.insert(1, 2), Err(PageSimError::DuplicateKey(_))));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reverse_and_shuffled_insertion_orders() {
+        for order in [
+            (0..200u32).rev().collect::<Vec<_>>(),
+            (0..200u32).map(|i| (i * 73) % 200).collect::<Vec<_>>(),
+        ] {
+            let mut t = tiny_tree();
+            for &k in &order {
+                t.insert(k, k).unwrap();
+            }
+            t.check_invariants().unwrap();
+            let mut all = Vec::new();
+            t.scan_all(|k, _| all.push(*k));
+            assert_eq!(all, (0..200).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn range_scans_are_half_open_and_ordered() {
+        let mut t = tiny_tree();
+        for k in (0..100u32).step_by(2) {
+            t.insert(k, k).unwrap();
+        }
+        let r = t.range_collect(&10, &20);
+        assert_eq!(r.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 12, 14, 16, 18]);
+        // Bounds not present in the tree.
+        let r = t.range_collect(&9, &15);
+        assert_eq!(r.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 12, 14]);
+        // Empty range.
+        assert!(t.range_collect(&15, &15).is_empty());
+        assert_eq!(t.first_key(), Some(0));
+    }
+
+    #[test]
+    fn removal_with_rebalancing() {
+        let mut t = tiny_tree();
+        for k in 0..300u32 {
+            t.insert(k, k).unwrap();
+        }
+        // Remove every other key, then everything.
+        for k in (0..300).step_by(2) {
+            assert_eq!(t.remove(&k), Some(k));
+            t.check_invariants().unwrap();
+        }
+        assert_eq!(t.len(), 150);
+        for k in (1..300).step_by(2) {
+            assert_eq!(t.remove(&k), Some(k));
+        }
+        t.check_invariants().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1, "tree collapses back to a single leaf");
+        assert_eq!(t.remove(&5), None);
+    }
+
+    #[test]
+    fn point_lookup_costs_height_reads() {
+        let mut t = tiny_tree();
+        for k in 0..500u32 {
+            t.insert(k, k).unwrap();
+        }
+        let stats = Rc::clone(t.stats());
+        stats.reset();
+        t.get(&250);
+        assert_eq!(stats.reads(), t.height() as u64);
+        assert_eq!(stats.writes(), 0);
+    }
+
+    #[test]
+    fn range_scan_charges_extra_leaves_only() {
+        let mut t = tiny_tree();
+        for k in 0..500u32 {
+            t.insert(k, k).unwrap();
+        }
+        let stats = Rc::clone(t.stats());
+        stats.reset();
+        let r = t.range_collect(&0, &500);
+        assert_eq!(r.len(), 500);
+        let expected = t.height() as u64 + (t.leaf_page_count() - 1);
+        assert_eq!(stats.reads(), expected);
+    }
+
+    #[test]
+    fn page_counts_track_structure() {
+        let mut t = tiny_tree();
+        assert_eq!(t.page_count(), 1);
+        for k in 0..100u32 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.leaf_page_count() >= (100 / 4) as u64);
+        assert!(t.inner_page_count() >= 1);
+        // Pages are reclaimed on mass deletion.
+        for k in 0..100u32 {
+            t.remove(&k);
+        }
+        assert_eq!(t.page_count(), 1);
+    }
+
+    #[test]
+    fn composite_keys_support_prefix_scans() {
+        let mut t: BPlusTree<(u64, u64), ()> =
+            BPlusTree::with_capacities(4, 4, IoStats::new_handle());
+        for a in 0..10u64 {
+            for b in 0..5u64 {
+                t.insert((a, b), ()).unwrap();
+            }
+        }
+        let r = t.range_collect(&(3, 0), &(4, 0));
+        assert_eq!(r.len(), 5);
+        assert!(r.iter().all(|((a, _), _)| *a == 3));
+    }
+
+    #[test]
+    fn buffered_tree_amortizes_root_reads() {
+        let mut t = tiny_tree();
+        for k in 0..500u32 {
+            t.insert(k, k).unwrap();
+        }
+        t.set_buffer(BufferPool::with_capacity(1024));
+        let stats = Rc::clone(t.stats());
+        stats.reset();
+        t.get(&1);
+        let cold = stats.reads();
+        t.get(&1);
+        assert_eq!(stats.reads(), cold, "warm lookup served from buffer");
+        assert!(stats.buffer_hits() >= t.height() as u64);
+    }
+
+    #[test]
+    fn bulk_load_round_trips_and_is_valid() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 100, 1000, 4097] {
+            let entries = (0..n as u32).map(|k| (k, k * 2));
+            let t: BPlusTree<u32, u32> =
+                BPlusTree::bulk_load(entries, 16, 8, IoStats::new_handle()).unwrap();
+            assert_eq!(t.len(), n, "n={n}");
+            t.check_invariants().unwrap();
+            if n > 0 {
+                assert_eq!(t.get(&0), Some(0));
+                assert_eq!(t.get(&(n as u32 - 1)), Some((n as u32 - 1) * 2));
+            }
+            let mut scanned = 0;
+            t.scan_all(|_, _| scanned += 1);
+            assert_eq!(scanned, n);
+        }
+    }
+
+    #[test]
+    fn bulk_load_with_tiny_capacities() {
+        for (leaf, inner) in [(2, 3), (3, 3), (4, 5), (5, 4)] {
+            for n in 0usize..60 {
+                let mut t: BPlusTree<u32, ()> =
+                    BPlusTree::with_capacities(leaf, inner, IoStats::new_handle());
+                t.fill((0..n as u32).map(|k| (k, ()))).unwrap();
+                t.check_invariants()
+                    .unwrap_or_else(|e| panic!("leaf={leaf} inner={inner} n={n}: {e}"));
+                assert_eq!(t.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_loaded_tree_supports_updates() {
+        let mut t: BPlusTree<u32, u32> =
+            BPlusTree::with_capacities(4, 4, IoStats::new_handle());
+        t.fill((0..100).map(|k| (k * 2, k))).unwrap();
+        // Insert odds, remove some evens.
+        for k in 0..100u32 {
+            t.insert(k * 2 + 1, k).unwrap();
+        }
+        for k in (0..100u32).step_by(3) {
+            t.remove(&(k * 2));
+        }
+        t.check_invariants().unwrap();
+        assert!(matches!(t.insert(3, 9), Err(PageSimError::DuplicateKey(_))));
+    }
+
+    #[test]
+    fn bulk_load_rejects_disorder() {
+        let r: Result<BPlusTree<u32, ()>> =
+            BPlusTree::bulk_load([(2, ()), (1, ())], 16, 8, IoStats::new_handle());
+        assert!(matches!(r, Err(PageSimError::CorruptStructure(_))));
+        let r: Result<BPlusTree<u32, ()>> =
+            BPlusTree::bulk_load([(1, ()), (1, ())], 16, 8, IoStats::new_handle());
+        assert!(r.is_err(), "duplicates rejected");
+    }
+
+    #[test]
+    fn bulk_load_charges_one_write_per_node() {
+        let stats = IoStats::new_handle();
+        let t: BPlusTree<u32, u32> = BPlusTree::bulk_load(
+            (0..10_000u32).map(|k| (k, k)),
+            16,
+            8,
+            Rc::clone(&stats),
+        )
+        .unwrap();
+        assert_eq!(stats.writes(), t.page_count());
+        assert_eq!(stats.reads(), 0);
+        // Far cheaper than item-at-a-time insertion.
+        let stats2 = IoStats::new_handle();
+        let mut t2: BPlusTree<u32, u32> = BPlusTree::new(16, 8, Rc::clone(&stats2));
+        for k in 0..10_000u32 {
+            t2.insert(k, k).unwrap();
+        }
+        assert!(stats.accesses() * 3 < stats2.accesses());
+    }
+
+    #[test]
+    fn chunk_plan_respects_bounds() {
+        for total in 0..200usize {
+            for (target, min, cap) in [(9, 5, 10), (2, 1, 2), (4, 3, 5), (304, 169, 338)] {
+                let plan = super::chunk_plan(total, target, min, cap);
+                assert_eq!(plan.iter().sum::<usize>(), total);
+                if plan.len() > 1 {
+                    assert!(
+                        plan.iter().all(|&s| s >= min && s <= cap),
+                        "total={total} target={target} min={min} cap={cap}: {plan:?}"
+                    );
+                } else if let Some(&only) = plan.first() {
+                    assert!(only <= cap);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freed_nodes_are_reused() {
+        let mut t = tiny_tree();
+        for k in 0..100u32 {
+            t.insert(k, k).unwrap();
+        }
+        let peak = t.nodes.len();
+        for k in 0..100u32 {
+            t.remove(&k);
+        }
+        for k in 0..100u32 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.nodes.len() <= peak + 1, "slab reuses freed pages");
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! System-specific parameters (Figure 3 of the paper).
+
+/// Net size of a page in bytes (`PageSize = 4056`).
+pub const PAGE_SIZE: usize = 4056;
+
+/// Stored size of an object identifier in bytes (`OIDsize = 8`).
+pub const OID_SIZE: usize = 8;
+
+/// Size of a page pointer in bytes (`PPsize = 4`).
+pub const PP_SIZE: usize = 4;
+
+/// Fan-out of the B⁺ tree:
+/// `B⁺fan = ⌊PageSize / (PPsize + OIDsize)⌋ = ⌊4056 / 12⌋ = 338`.
+pub const fn bplus_fan() -> usize {
+    PAGE_SIZE / (PP_SIZE + OID_SIZE)
+}
+
+/// Fan-out for a page of a given size with a given key width (generalizes
+/// [`bplus_fan`] to composite keys).
+pub const fn fan_for(page_size: usize, key_size: usize, pointer_size: usize) -> usize {
+    page_size / (pointer_size + key_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(PAGE_SIZE, 4056);
+        assert_eq!(OID_SIZE, 8);
+        assert_eq!(PP_SIZE, 4);
+        assert_eq!(bplus_fan(), 338);
+    }
+
+    #[test]
+    fn generalized_fan() {
+        assert_eq!(fan_for(PAGE_SIZE, OID_SIZE, PP_SIZE), bplus_fan());
+        // Composite key of two OIDs.
+        assert_eq!(fan_for(PAGE_SIZE, 16, PP_SIZE), 202);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the storage simulator.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PageSimError>;
+
+/// Errors raised by the simulated storage structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageSimError {
+    /// An entry (object, key) was not found.
+    NotFound(String),
+    /// An entry would not fit on a page (e.g. a tuple larger than
+    /// `PAGE_SIZE`).
+    EntryTooLarge {
+        /// Size of the offending entry in bytes.
+        entry: usize,
+        /// The page capacity it exceeded.
+        capacity: usize,
+    },
+    /// A duplicate key was inserted into a unique structure.
+    DuplicateKey(String),
+    /// Structural invariant violation detected by a self-check.
+    CorruptStructure(String),
+}
+
+impl fmt::Display for PageSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSimError::NotFound(what) => write!(f, "not found: {what}"),
+            PageSimError::EntryTooLarge { entry, capacity } => {
+                write!(f, "entry of {entry} bytes exceeds page capacity of {capacity} bytes")
+            }
+            PageSimError::DuplicateKey(key) => write!(f, "duplicate key: {key}"),
+            PageSimError::CorruptStructure(msg) => write!(f, "corrupt structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PageSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PageSimError::EntryTooLarge { entry: 9000, capacity: 4056 };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("4056"));
+    }
+}

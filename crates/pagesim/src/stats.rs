@@ -1,0 +1,157 @@
+//! Page-access accounting.
+//!
+//! Every simulated structure charges its page reads and writes to an
+//! [`IoStats`] instance, shared through the cheaply clonable
+//! [`StatsHandle`].  Experiments reset the counter, run an operation and
+//! read off the access count — exactly the quantity the paper's analytical
+//! model predicts.
+
+use std::fmt;
+use std::rc::Rc;
+use std::cell::Cell;
+
+/// Shared, cheaply clonable handle to an [`IoStats`] counter.
+pub type StatsHandle = Rc<IoStats>;
+
+/// Counts page reads and writes.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    /// Reads satisfied by a buffer pool (not charged as disk reads).
+    buffer_hits: Cell<u64>,
+}
+
+impl IoStats {
+    /// A fresh counter behind a shared handle.
+    pub fn new_handle() -> StatsHandle {
+        Rc::new(IoStats::default())
+    }
+
+    /// Charge one page read.
+    pub fn count_read(&self) {
+        self.reads.set(self.reads.get() + 1);
+    }
+
+    /// Charge one page write.
+    pub fn count_write(&self) {
+        self.writes.set(self.writes.get() + 1);
+    }
+
+    /// Record a buffer-pool hit (a logical read that cost no disk access).
+    pub fn count_buffer_hit(&self) {
+        self.buffer_hits.set(self.buffer_hits.get() + 1);
+    }
+
+    /// Pages read from disk so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Pages written to disk so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Buffer hits so far.
+    pub fn buffer_hits(&self) -> u64 {
+        self.buffer_hits.get()
+    }
+
+    /// Total page accesses — the paper's cost metric (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads.get() + self.writes.get()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+        self.buffer_hits.set(0);
+    }
+
+    /// An immutable snapshot (for computing deltas across an operation).
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            buffer_hits: self.buffer_hits.get(),
+        }
+    }
+
+    /// Accesses since `before` was taken.
+    pub fn accesses_since(&self, before: &IoSnapshot) -> u64 {
+        self.accesses() - (before.reads + before.writes)
+    }
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Page reads at snapshot time.
+    pub reads: u64,
+    /// Page writes at snapshot time.
+    pub writes: u64,
+    /// Buffer hits at snapshot time.
+    pub buffer_hits: u64,
+}
+
+impl IoSnapshot {
+    /// Total accesses in the snapshot.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reads, {} writes ({} buffer hits)",
+            self.reads.get(),
+            self.writes.get(),
+            self.buffer_hits.get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_reset() {
+        let stats = IoStats::new_handle();
+        stats.count_read();
+        stats.count_read();
+        stats.count_write();
+        stats.count_buffer_hit();
+        assert_eq!(stats.reads(), 2);
+        assert_eq!(stats.writes(), 1);
+        assert_eq!(stats.buffer_hits(), 1);
+        assert_eq!(stats.accesses(), 3);
+        stats.reset();
+        assert_eq!(stats.accesses(), 0);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let stats = IoStats::new_handle();
+        stats.count_read();
+        let before = stats.snapshot();
+        stats.count_read();
+        stats.count_write();
+        assert_eq!(stats.accesses_since(&before), 2);
+        assert_eq!(before.accesses(), 1);
+    }
+
+    #[test]
+    fn handles_share_the_counter() {
+        let a = IoStats::new_handle();
+        let b = Rc::clone(&a);
+        a.count_read();
+        b.count_write();
+        assert_eq!(a.accesses(), 2);
+        assert_eq!(b.accesses(), 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Profile-driven object-base generation.
+//!
+//! [`generate`] materializes an `asr_costmodel::Profile` as a chain schema
+//!
+//! ```text
+//! T0 --A1--> {T1} --A2--> {T2} --…--> {Tn}
+//! ```
+//!
+//! with `c_i` objects per level, of which `d_i` have their `A_{i+1}`
+//! attribute defined, each referencing `round(fan_i)` distinct random
+//! targets of the next level.  Steps with `fan_i > 1` become set
+//! occurrences, `fan_i = 1` single-valued attributes — matching how the
+//! paper's analysis treats fan-out.  Generation is seeded and fully
+//! reproducible.
+
+use asr_core::{Database, ObjectStore};
+use asr_costmodel::Profile;
+use asr_gom::{ObjectBase, Oid, PathExpression, Schema, Value};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How one path level is generated.
+#[derive(Debug, Clone)]
+pub struct GeneratorSpec {
+    /// Objects per level (`c_i`), length `n + 1`.
+    pub counts: Vec<usize>,
+    /// Objects with defined attribute per level (`d_i`), length `n`.
+    pub defined: Vec<usize>,
+    /// References per defined attribute (`fan_i`), length `n`.
+    pub fan: Vec<usize>,
+    /// Clustered object sizes (`size_i`), length `n + 1`.
+    pub sizes: Vec<usize>,
+}
+
+impl GeneratorSpec {
+    /// Derive a generator spec from an analytical profile, optionally
+    /// dividing the population by `scale` (at least one object per level
+    /// survives; `d_i ≤ c_i` is preserved).
+    pub fn from_profile(profile: &Profile, scale: f64) -> Self {
+        let shrink = |v: f64| ((v / scale).round() as usize).max(1);
+        let counts: Vec<usize> = profile.c.iter().map(|&c| shrink(c)).collect();
+        let defined: Vec<usize> = profile
+            .d
+            .iter()
+            .zip(&counts)
+            .map(|(&d, &c)| shrink(d).min(c))
+            .collect();
+        let fan: Vec<usize> = profile.fan.iter().map(|&f| (f.round() as usize).max(1)).collect();
+        let sizes: Vec<usize> = profile.size.iter().map(|&s| (s as usize).max(1)).collect();
+        GeneratorSpec { counts, defined, fan, sizes }
+    }
+
+    /// Path length `n`.
+    pub fn n(&self) -> usize {
+        self.counts.len() - 1
+    }
+}
+
+/// Downscale an analytical profile by `factor` (population only; fan-outs
+/// and sizes are preserved).  Used to validate model shapes empirically at
+/// laptop scale.
+pub fn scale_profile(profile: &Profile, factor: f64) -> Profile {
+    let scaled_c: Vec<f64> = profile.c.iter().map(|&c| (c / factor).round().max(1.0)).collect();
+    let scaled_d: Vec<f64> = profile
+        .d
+        .iter()
+        .zip(&scaled_c)
+        .map(|(&d, &c)| (d / factor).round().max(1.0).min(c))
+        .collect();
+    Profile {
+        n: profile.n,
+        c: scaled_c,
+        d: scaled_d,
+        fan: profile.fan.clone(),
+        size: profile.size.clone(),
+        shar: None,
+    }
+}
+
+/// A generated database with the bookkeeping needed to drive experiments.
+#[derive(Debug)]
+pub struct GeneratedBase {
+    /// The populated database (object store synced and sized).
+    pub db: Database,
+    /// The generated chain path `T0.A1.….An`.
+    pub path: PathExpression,
+    /// Level-by-level object lists.
+    pub levels: Vec<Vec<Oid>>,
+    /// The set instance attached to each defined set-valued attribute:
+    /// `(level, owner) -> set`, stored as parallel vectors per level.
+    pub sets: Vec<Vec<Option<Oid>>>,
+}
+
+/// The chain schema for a spec: level types `T0 … Tn`, attribute `A_{i+1}`
+/// on `T_i`, set-typed (`Si`) when `fan_i > 1`.
+fn chain_schema(spec: &GeneratorSpec) -> (Schema, String) {
+    let n = spec.n();
+    let mut schema = Schema::new();
+    let mut dotted = String::from("T0");
+    for l in 0..=n {
+        let tname = format!("T{l}");
+        if l < n {
+            let attr = format!("A{}", l + 1);
+            let target = if spec.fan[l] > 1 {
+                let set_name = format!("S{}", l + 1);
+                schema.define_set(&set_name, &format!("T{}", l + 1)).unwrap();
+                set_name
+            } else {
+                format!("T{}", l + 1)
+            };
+            schema.define_tuple(&tname, [(attr.as_str(), target.as_str())]).unwrap();
+            dotted.push('.');
+            dotted.push_str(&format!("A{}", l + 1));
+        } else {
+            schema.define_tuple(&tname, [("Tag", "INTEGER")]).unwrap();
+        }
+    }
+    (schema, dotted)
+}
+
+/// Materialize `spec` into a database, seeded for reproducibility.
+///
+/// The object base is populated through plain `ObjectBase` mutations (no
+/// ASRs registered yet — create them afterwards via
+/// [`Database::create_asr`], which bulk-builds from the current state).
+pub fn generate(spec: &GeneratorSpec, seed: u64) -> GeneratedBase {
+    let n = spec.n();
+    let (schema, dotted) = chain_schema(spec);
+    schema.validate().expect("generated chain schema is valid");
+    let path = PathExpression::parse(&schema, &dotted).expect("generated path is valid");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut base = ObjectBase::new(schema);
+    let mut levels: Vec<Vec<Oid>> = Vec::with_capacity(n + 1);
+    for l in 0..=n {
+        let mut objs = Vec::with_capacity(spec.counts[l]);
+        for _ in 0..spec.counts[l] {
+            objs.push(base.instantiate(&format!("T{l}")).expect("type exists"));
+        }
+        levels.push(objs);
+    }
+
+    let mut sets: Vec<Vec<Option<Oid>>> = Vec::with_capacity(n);
+    for l in 0..n {
+        let attr = format!("A{}", l + 1);
+        let is_set = spec.fan[l] > 1;
+        // The d_l defined owners are a random sample of the level.
+        let mut owners = levels[l].clone();
+        owners.shuffle(&mut rng);
+        owners.truncate(spec.defined[l].min(levels[l].len()));
+        let mut level_sets = vec![None; levels[l].len()];
+        for owner in owners {
+            let idx = levels[l].iter().position(|&o| o == owner).expect("owner in level");
+            let targets = sample_targets(&levels[l + 1], spec.fan[l], &mut rng);
+            if is_set {
+                let set = base.instantiate(&format!("S{}", l + 1)).expect("set type");
+                base.set_attribute(owner, &attr, Value::Ref(set)).expect("typed");
+                for t in targets {
+                    base.insert_into_set(set, Value::Ref(t)).expect("typed");
+                }
+                level_sets[idx] = Some(set);
+            } else {
+                base.set_attribute(owner, &attr, Value::Ref(targets[0])).expect("typed");
+            }
+        }
+        sets.push(level_sets);
+    }
+    // Tag the terminal level so values exist for value-targeted queries.
+    for (i, &o) in levels[n].iter().enumerate() {
+        base.set_attribute(o, "Tag", Value::Integer(i as i64)).expect("typed");
+    }
+
+    // Wrap in a Database with properly sized clustered files.
+    let stats = asr_pagesim_stats();
+    let mut store = ObjectStore::new(std::rc::Rc::clone(&stats));
+    for (l, &size) in spec.sizes.iter().enumerate() {
+        if let Some(ty) = base.schema().resolve(&format!("T{l}")) {
+            store.set_type_size(ty, size);
+        }
+        // Set instances are inlined with their owners; give their file a
+        // token size so registration is cheap.
+        if let Some(ty) = base.schema().resolve(&format!("S{l}")) {
+            store.set_type_size(ty, 16);
+        }
+    }
+    store.sync_with_base(&base).expect("sync");
+    let db = Database::from_parts(base, store, stats);
+
+    GeneratedBase { db, path, levels, sets }
+}
+
+fn asr_pagesim_stats() -> asr_pagesim::StatsHandle {
+    asr_pagesim::IoStats::new_handle()
+}
+
+/// Sample `fan` distinct targets (or as many as exist).
+fn sample_targets(pool: &[Oid], fan: usize, rng: &mut SmallRng) -> Vec<Oid> {
+    if pool.len() <= fan {
+        return pool.to_vec();
+    }
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < fan {
+        picked.insert(pool[rng.gen_range(0..pool.len())]);
+    }
+    picked.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_core::{AsrConfig, Cell, Decomposition, Extension};
+    use asr_costmodel::profiles;
+
+    fn small_spec() -> GeneratorSpec {
+        GeneratorSpec {
+            counts: vec![10, 20, 30, 40, 50],
+            defined: vec![9, 16, 24, 20],
+            fan: vec![2, 2, 3, 4],
+            sizes: vec![500, 400, 300, 300, 100],
+        }
+    }
+
+    #[test]
+    fn generation_matches_spec() {
+        let spec = small_spec();
+        let g = generate(&spec, 42);
+        assert_eq!(g.levels.len(), 5);
+        for (l, objs) in g.levels.iter().enumerate() {
+            assert_eq!(objs.len(), spec.counts[l], "level {l}");
+        }
+        assert_eq!(g.path.len(), 4);
+        assert_eq!(g.path.set_occurrences(), 4, "all fans > 1 here");
+        // Exactly d_l owners have the attribute defined.
+        for l in 0..4 {
+            let attr = format!("A{}", l + 1);
+            let defined = g
+                .levels[l]
+                .iter()
+                .filter(|&&o| !g.db.base().get_attribute(o, &attr).unwrap().is_null())
+                .count();
+            assert_eq!(defined, spec.defined[l], "level {l}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = small_spec();
+        let a = generate(&spec, 7);
+        let b = generate(&spec, 7);
+        assert_eq!(a.db.base().object_count(), b.db.base().object_count());
+        // Same wiring: compare a sample forward query result.
+        let path = a.path.clone();
+        let start = a.levels[0][0];
+        let ra = a.db.forward_unindexed(&path, 0, 4, start).unwrap();
+        let rb = b.db.forward_unindexed(&b.path, 0, 4, start).unwrap();
+        assert_eq!(ra, rb);
+        // Different seeds differ (overwhelmingly likely).
+        let c = generate(&spec, 8);
+        let rc = c.db.forward_unindexed(&c.path, 0, 4, start).unwrap();
+        assert!(ra != rc || a.db.base().object_count() == 5, "seed must matter");
+    }
+
+    #[test]
+    fn fan_one_steps_are_single_valued() {
+        let spec = GeneratorSpec {
+            counts: vec![5, 5, 5],
+            defined: vec![5, 5],
+            fan: vec![1, 1],
+            sizes: vec![100, 100, 100],
+        };
+        let g = generate(&spec, 1);
+        assert!(g.path.is_linear());
+    }
+
+    #[test]
+    fn generated_base_supports_asrs_and_queries() {
+        let spec = small_spec();
+        let mut g = generate(&spec, 3);
+        let m = g.path.arity(false) - 1;
+        let id = g
+            .db
+            .create_asr(g.path.clone(), AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            })
+            .unwrap();
+        // Supported and naive answers agree on a backward query.
+        let target = Cell::Oid(g.levels[4][0]);
+        let sup = g.db.backward(id, 0, 4, &target).unwrap();
+        let naive = g.db.backward_unindexed(&g.path, 0, 4, &target).unwrap();
+        assert_eq!(sup, naive);
+    }
+
+    #[test]
+    fn profile_scaling() {
+        let m = profiles::fig6_profile();
+        let scaled = scale_profile(&m.profile, 10.0);
+        assert_eq!(scaled.c[0], 10.0);
+        assert_eq!(scaled.c[4], 1000.0);
+        assert!(scaled.d.iter().zip(&scaled.c).all(|(d, c)| d <= c));
+        let spec = GeneratorSpec::from_profile(&scaled, 1.0);
+        assert_eq!(spec.counts, vec![10, 50, 100, 500, 1000]);
+        assert_eq!(spec.fan, vec![2, 2, 3, 4]);
+    }
+
+    #[test]
+    fn store_sizes_follow_profile() {
+        let spec = small_spec();
+        let g = generate(&spec, 9);
+        let t0 = g.db.base().schema().resolve("T0").unwrap();
+        // size 500 -> 8 objects/page -> 10 objects on 2 pages.
+        assert_eq!(g.db.store().page_count(t0), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! # asr-workload — synthetic object bases from application profiles
+//!
+//! The paper's experiments are parameterized by *application profiles*
+//! (Figure 3): per-position object counts `c_i`, defined-attribute counts
+//! `d_i`, fan-outs `fan_i` and object sizes `size_i`.  This crate turns a
+//! profile into a **live, populated object base** (with registered
+//! clustered files sized per `size_i`) so the analytical predictions of
+//! `asr-costmodel` can be validated against *measured* page accesses on
+//! the real structures of `asr-core` / `asr-pagesim`.
+//!
+//! It also provides the paper's two running example schemas (the robot
+//! chain of Section 2.2 and the Company/Division/Product/BasePart schema
+//! of Section 2.3) and an executable operation-trace generator for
+//! operation mixes (Section 6.4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod schemas;
+pub mod trace;
+
+pub use generator::{generate, scale_profile, GeneratedBase, GeneratorSpec};
+pub use schemas::{company_database, robot_database, ExampleDb};
+pub use trace::{execute_trace, generate_trace, TraceOp, TraceReport};

@@ -1,0 +1,285 @@
+//! Executable operation traces.
+//!
+//! The analytical model prices an operation mix `M = (Q_mix, U_mix,
+//! P_up)`; this module draws a concrete, seeded sequence of operations
+//! from the same distribution and *executes* it against a live
+//! [`Database`], metering real page accesses — the empirical counterpart
+//! of `asr_costmodel::CostModel::mix_cost` used by the `validate`
+//! experiment.
+
+use asr_core::{AsrId, Cell, Database};
+use asr_costmodel::{Mix, Op, QueryKind};
+use asr_gom::{Oid, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::GeneratedBase;
+
+/// One concrete operation of a trace.
+#[derive(Debug, Clone)]
+pub enum TraceOp {
+    /// Forward span query from a concrete object.
+    Forward {
+        /// Span start.
+        i: usize,
+        /// Span end.
+        j: usize,
+        /// The anchor object.
+        start: Oid,
+    },
+    /// Backward span query towards a concrete target.
+    Backward {
+        /// Span start.
+        i: usize,
+        /// Span end.
+        j: usize,
+        /// The target cell.
+        target: Cell,
+    },
+    /// The paper's `ins_i`: insert `elem` into the set hanging off
+    /// `owner`'s step-`i+1` attribute.
+    Insert {
+        /// Edge position `i`.
+        i: usize,
+        /// The owning `t_i` object.
+        owner: Oid,
+        /// The `t_{i+1}` element to insert.
+        elem: Oid,
+    },
+}
+
+/// Aggregated result of executing a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Operations executed.
+    pub operations: usize,
+    /// Page accesses spent in queries.
+    pub query_accesses: u64,
+    /// Queries executed.
+    pub queries: usize,
+    /// Page accesses spent in updates (object + ASR maintenance).
+    pub update_accesses: u64,
+    /// Updates executed.
+    pub updates: usize,
+}
+
+impl TraceReport {
+    /// Total page accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.query_accesses + self.update_accesses
+    }
+
+    /// Mean page accesses per operation — comparable to
+    /// `CostModel::mix_cost`.
+    pub fn mean_cost(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.total_accesses() as f64 / self.operations as f64
+        }
+    }
+}
+
+/// Draw `count` concrete operations from the mix's distribution.
+pub fn generate_trace(
+    generated: &GeneratedBase,
+    mix: &Mix,
+    count: usize,
+    seed: u64,
+) -> Vec<TraceOp> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trace = Vec::with_capacity(count);
+    let pick_weighted = |ops: &[(f64, Op)], rng: &mut SmallRng| -> Option<Op> {
+        let total: f64 = ops.iter().map(|(w, _)| w).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut roll = rng.gen_range(0.0..total);
+        for (w, op) in ops {
+            if roll < *w {
+                return Some(*op);
+            }
+            roll -= w;
+        }
+        ops.last().map(|(_, op)| *op)
+    };
+    while trace.len() < count {
+        let is_update = rng.gen_bool(mix.p_up);
+        let op = if is_update {
+            pick_weighted(&mix.updates, &mut rng)
+        } else {
+            pick_weighted(&mix.queries, &mut rng)
+        };
+        let Some(op) = op else { continue };
+        match op {
+            Op::Query { kind, i, j } => match kind {
+                QueryKind::Forward => {
+                    let level = &generated.levels[i];
+                    if level.is_empty() {
+                        continue;
+                    }
+                    let start = level[rng.gen_range(0..level.len())];
+                    trace.push(TraceOp::Forward { i, j, start });
+                }
+                QueryKind::Backward => {
+                    let level = &generated.levels[j];
+                    if level.is_empty() {
+                        continue;
+                    }
+                    let target = Cell::Oid(level[rng.gen_range(0..level.len())]);
+                    trace.push(TraceOp::Backward { i, j, target });
+                }
+            },
+            Op::Insert { i } => {
+                // Choose an owner whose step-(i+1) attribute references a
+                // set, and a random new element.
+                let owners: Vec<usize> = generated.sets[i]
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(idx, s)| s.map(|_| idx))
+                    .collect();
+                if owners.is_empty() || generated.levels[i + 1].is_empty() {
+                    continue;
+                }
+                let owner_idx = owners[rng.gen_range(0..owners.len())];
+                let owner = generated.levels[i][owner_idx];
+                let elem = generated.levels[i + 1]
+                    [rng.gen_range(0..generated.levels[i + 1].len())];
+                trace.push(TraceOp::Insert { i, owner, elem });
+            }
+        }
+    }
+    trace
+}
+
+/// Execute a trace against the database, routing queries through `asr`
+/// (with naive fallback, per formula 35) or entirely unindexed when
+/// `asr` is `None`.  Returns the metered page-access report.
+pub fn execute_trace(
+    db: &mut Database,
+    asr: Option<AsrId>,
+    path: &asr_gom::PathExpression,
+    trace: &[TraceOp],
+) -> TraceReport {
+    let mut report = TraceReport::default();
+    for op in trace {
+        let before = db.stats().accesses();
+        match op {
+            TraceOp::Forward { i, j, start } => {
+                let _ = match asr {
+                    Some(id) => db.forward(id, *i, *j, *start),
+                    None => db.forward_unindexed(path, *i, *j, *start),
+                };
+                report.queries += 1;
+                report.query_accesses += db.stats().accesses() - before;
+            }
+            TraceOp::Backward { i, j, target } => {
+                let _ = match asr {
+                    Some(id) => db.backward(id, *i, *j, target),
+                    None => db.backward_unindexed(path, *i, *j, target),
+                };
+                report.queries += 1;
+                report.query_accesses += db.stats().accesses() - before;
+            }
+            TraceOp::Insert { i, owner, elem } => {
+                let attr = format!("A{}", i + 1);
+                if let Ok(Some(set)) =
+                    db.base().get_attribute(*owner, &attr).map(|v| v.as_ref_oid())
+                {
+                    let _ = db.insert_into_set(set, Value::Ref(*elem));
+                }
+                report.updates += 1;
+                report.update_accesses += db.stats().accesses() - before;
+            }
+        }
+        report.operations += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorSpec};
+    use asr_core::{AsrConfig, Decomposition, Extension};
+
+    fn setup() -> GeneratedBase {
+        generate(
+            &GeneratorSpec {
+                counts: vec![10, 20, 30, 40],
+                defined: vec![9, 16, 24],
+                fan: vec![2, 2, 2],
+                sizes: vec![400, 300, 200, 100],
+            },
+            11,
+        )
+    }
+
+    fn mix() -> Mix {
+        Mix::new(
+            vec![(0.5, Op::bw(0, 3)), (0.5, Op::fw(0, 3))],
+            vec![(1.0, Op::ins(1))],
+            0.4,
+        )
+    }
+
+    #[test]
+    fn trace_generation_is_seeded_and_sized() {
+        let g = setup();
+        let a = generate_trace(&g, &mix(), 50, 5);
+        let b = generate_trace(&g, &mix(), 50, 5);
+        assert_eq!(a.len(), 50);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same trace");
+        let c = generate_trace(&g, &mix(), 50, 6);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"), "different seed differs");
+    }
+
+    #[test]
+    fn executing_against_asr_is_cheaper_than_unindexed() {
+        let g1 = setup();
+        let trace = generate_trace(&g1, &Mix::new(
+            vec![(1.0, Op::bw(0, 3))],
+            vec![],
+            0.0,
+        ), 20, 7);
+
+        let mut unindexed = setup();
+        let path = unindexed.path.clone();
+        let rep_naive = execute_trace(&mut unindexed.db, None, &path, &trace);
+
+        let mut indexed = setup();
+        let m = indexed.path.arity(false) - 1;
+        let id = indexed
+            .db
+            .create_asr(indexed.path.clone(), AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            })
+            .unwrap();
+        indexed.db.stats().reset();
+        let path = indexed.path.clone();
+        let rep_asr = execute_trace(&mut indexed.db, Some(id), &path, &trace);
+
+        assert_eq!(rep_naive.operations, 20);
+        assert_eq!(rep_asr.queries, 20);
+        assert!(
+            rep_asr.total_accesses() < rep_naive.total_accesses(),
+            "ASR {} !< naive {}",
+            rep_asr.total_accesses(),
+            rep_naive.total_accesses()
+        );
+    }
+
+    #[test]
+    fn updates_are_counted_separately() {
+        let mut g = setup();
+        let trace = generate_trace(&g, &Mix::new(vec![], vec![(1.0, Op::ins(1))], 1.0), 10, 3);
+        let path = g.path.clone();
+        let report = execute_trace(&mut g.db, None, &path, &trace);
+        assert_eq!(report.updates, 10);
+        assert_eq!(report.queries, 0);
+        assert!(report.update_accesses > 0);
+        assert!(report.mean_cost() > 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Physical database design with the analytical cost model (Section 7).
+//!
+//! "Based on the application characteristics the analytical model can be
+//! used to compute for all (feasible) design choices the expected cost …
+//! From this, the best suited access support relation extension and
+//! decomposition can be selected."
+//!
+//! This example characterizes an application (the paper's Section 6.4.2
+//! profile), sweeps the update probability, and prints the optimizer's
+//! choice at each point — then validates the recommended design against a
+//! generated database by executing a concrete operation trace.
+//!
+//! Run with: `cargo run --release --example physical_design`
+
+use access_support::costmodel::profiles;
+use access_support::costmodel::design::rank_designs;
+use access_support::prelude::*;
+use access_support::workload::scale_profile;
+
+fn main() {
+    let model = profiles::fig14_profile();
+    println!("application profile: n = {}, c = {:?}", model.n(), model.profile.c);
+
+    // ------------------------------------------------------------------
+    // Sweep the update probability and ask the optimizer.
+    // ------------------------------------------------------------------
+    println!("\n{:>6} | {:<22} | {:>12} | {:>14}", "P_up", "best design", "cost/op", "storage bytes");
+    println!("{}", "-".repeat(64));
+    for p_up in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+        let mix = profiles::fig14_mix(p_up);
+        let best = best_design(&model, &mix);
+        println!(
+            "{:>6.2} | {:<22} | {:>12.2} | {:>14.0}",
+            p_up,
+            best.label(),
+            best.cost,
+            best.storage_bytes
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Full ranking at one operating point.
+    // ------------------------------------------------------------------
+    let mix = profiles::fig14_mix(0.3);
+    let ranked = rank_designs(&model, &mix);
+    println!("\ntop 8 designs at P_up = 0.30:");
+    for choice in ranked.iter().take(8) {
+        println!("  {:<22} {:>10.2} accesses/op", choice.label(), choice.cost);
+    }
+
+    // ------------------------------------------------------------------
+    // Validate the winner empirically on a downscaled database: execute a
+    // trace under the best design and under no support.
+    // ------------------------------------------------------------------
+    let best = &ranked[0];
+    let Some(ext) = best.extension else {
+        println!("\noptimizer says: no access support — nothing to validate");
+        return;
+    };
+    let scaled = scale_profile(&model.profile, 20.0);
+    let spec = GeneratorSpec::from_profile(&scaled, 1.0);
+    println!("\nvalidating on a 1/20-scale database (counts {:?}) ...", spec.counts);
+
+    let ext_core = match ext {
+        Ext::Canonical => Extension::Canonical,
+        Ext::Full => Extension::Full,
+        Ext::Left => Extension::LeftComplete,
+        Ext::Right => Extension::RightComplete,
+    };
+    let trace_mix = profiles::fig14_mix(0.3);
+
+    // Unindexed run.
+    let mut plain = generate(&spec, 99);
+    let trace = generate_trace(&plain, &trace_mix, 200, 42);
+    let path = plain.path.clone();
+    let naive = execute_trace(&mut plain.db, None, &path, &trace);
+
+    // Run under the optimizer's recommended design.
+    let mut tuned = generate(&spec, 99);
+    let dec = Decomposition::new(best.decomposition.0.clone()).unwrap();
+    let id = tuned
+        .db
+        .create_asr(tuned.path.clone(), AsrConfig {
+            extension: ext_core,
+            decomposition: dec,
+            keep_set_oids: false,
+        })
+        .unwrap();
+    tuned.db.stats().reset();
+    let path = tuned.path.clone();
+    let tuned_report = execute_trace(&mut tuned.db, Some(id), &path, &trace);
+
+    println!(
+        "  no support : {:>8} page accesses ({:.1}/op)",
+        naive.total_accesses(),
+        naive.mean_cost()
+    );
+    println!(
+        "  {:<11}: {:>8} page accesses ({:.1}/op)",
+        best.label(),
+        tuned_report.total_accesses(),
+        tuned_report.mean_cost()
+    );
+    let speedup = naive.mean_cost() / tuned_report.mean_cost().max(f64::EPSILON);
+    println!("  speedup    : {speedup:.1}x");
+}

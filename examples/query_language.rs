@@ -1,0 +1,66 @@
+//! The paper's query notation, live: parse, EXPLAIN, and execute the
+//! three example queries of Section 2 — first against the bare object
+//! base, then with an access support relation registered, showing the
+//! planner switch from per-object navigation to a backward span query.
+//!
+//! Run with: `cargo run --example query_language`
+
+use access_support::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Query 1 on the robot database (Section 2.2).
+    // ------------------------------------------------------------------
+    let mut robots = robot_database();
+    let q1 = r#"select r.Name
+                from r in OurRobots
+                where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia""#;
+    println!("--- Query 1 ---\n{q1}\n");
+    println!("plan without access support:\n{}", oql_explain(&robots.db, q1).unwrap());
+    robots.db.stats().reset();
+    let result = oql_execute(&robots.db, q1).unwrap();
+    println!("result ({} page accesses):\n{result}", robots.db.stats().accesses());
+
+    // Register an ASR over the predicate's path and watch the plan change.
+    let path = robots.path.clone();
+    robots.db.create_asr(path.clone(), AsrConfig::binary(Extension::Canonical, &path)).unwrap();
+    println!("plan with a canonical ASR:\n{}", oql_explain(&robots.db, q1).unwrap());
+    robots.db.stats().reset();
+    let indexed = oql_execute(&robots.db, q1).unwrap();
+    println!(
+        "result ({} page accesses):\n{indexed}",
+        robots.db.stats().accesses()
+    );
+    assert_eq!(result, indexed);
+
+    // ------------------------------------------------------------------
+    // Queries 2 and 3 on the company database (Section 2.3).
+    // ------------------------------------------------------------------
+    let company = company_database();
+    let q2 = r#"select d.Name
+                from d in Mercedes,
+                     b in d.Manufactures.Composition
+                where b.Name = "Door""#;
+    println!("--- Query 2 ---\n{q2}\n");
+    println!("{}", oql_execute(&company.db, q2).unwrap());
+
+    let q3 = r#"select d.Manufactures.Composition.Name
+                from d in Mercedes
+                where d.Name = "Auto""#;
+    println!("--- Query 3 ---\n{q3}\n");
+    println!("{}", oql_execute(&company.db, q3).unwrap());
+
+    // ------------------------------------------------------------------
+    // Beyond the paper's examples: extents, comparisons, NULL tests.
+    // ------------------------------------------------------------------
+    let extras = [
+        r#"select b.Name, b.Price from b in BasePart where b.Price >= 1.00"#,
+        r#"select d.Name from d in Division where d.Manufactures = NULL"#,
+        r#"select p.Name from p in Product where p.Composition != NULL"#,
+    ];
+    for q in extras {
+        println!("--- {q}");
+        print!("{}", oql_execute(&company.db, q).unwrap());
+        println!();
+    }
+}

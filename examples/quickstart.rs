@@ -1,0 +1,120 @@
+//! Quickstart: the paper's robot example end to end.
+//!
+//! Builds the Section 2.2 engineering schema (Figure 1 extension), creates
+//! an access support relation over the linear path
+//! `ROBOT.Arm.MountedTool.ManufacturedBy.Location`, and runs the paper's
+//! Query 1 — *"Find the Robots which use a Tool manufactured in Utopia"* —
+//! both without and with access support, printing the page accesses each
+//! strategy costs.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use access_support::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The object base: Figure 1's three robots.
+    // ------------------------------------------------------------------
+    let mut example = robot_database();
+    let path = example.path.clone();
+    println!("schema path : {path}");
+    println!("objects     : {}", example.db.base().object_count());
+
+    // ------------------------------------------------------------------
+    // 2. Query 1 without access support: navigate the object graph.
+    //    Backward navigation has no reverse references to follow — the
+    //    system scans the ROBOT extent and forward-closes (Section 5.6).
+    // ------------------------------------------------------------------
+    example.db.stats().reset();
+    let naive_hits = example
+        .db
+        .backward_unindexed(&path, 0, 4, &Cell::Value(Value::string("Utopia")))
+        .expect("query evaluates");
+    let naive_cost = example.db.stats().accesses();
+    print_robots(&example, "naive", &naive_hits, naive_cost);
+
+    // ------------------------------------------------------------------
+    // 3. Materialize an access support relation: canonical extension
+    //    (whole-chain queries only), binary decomposition.
+    // ------------------------------------------------------------------
+    let config = AsrConfig::binary(Extension::Canonical, &path);
+    let asr_id = example.db.create_asr(path.clone(), config).expect("ASR builds");
+    {
+        let asr = example.db.asr(asr_id).unwrap();
+        println!(
+            "\nASR built    : {} extension, decomposition {}, {} rows, {} bytes",
+            asr.config().extension,
+            asr.config().decomposition,
+            asr.total_rows(),
+            asr.data_bytes()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 4. The same query through the ASR: two B+ tree lookups instead of an
+    //    exhaustive search.
+    // ------------------------------------------------------------------
+    example.db.stats().reset();
+    let supported_hits = example
+        .db
+        .backward(asr_id, 0, 4, &Cell::Value(Value::string("Utopia")))
+        .expect("query evaluates");
+    let supported_cost = example.db.stats().accesses();
+    print_robots(&example, "supported", &supported_hits, supported_cost);
+    assert_eq!(naive_hits, supported_hits, "both strategies agree");
+
+    // ------------------------------------------------------------------
+    // 5. Updates are maintained incrementally: remount Robi's tool to a
+    //    Utopia-made welder... wait, it already is — give Robi a fresh
+    //    locally-made tool instead, and watch the answer change.
+    // ------------------------------------------------------------------
+    let robi = example.by_name("Robi").expect("Robi exists");
+    let arm = example
+        .db
+        .base()
+        .get_attribute(robi, "Arm")
+        .unwrap()
+        .as_ref_oid()
+        .expect("Robi has an arm");
+    let local_mfr = example.db.instantiate("MANUFACTURER").unwrap();
+    example.db.set_attribute(local_mfr, "Name", Value::string("LocalCorp")).unwrap();
+    example.db.set_attribute(local_mfr, "Location", Value::string("Earth")).unwrap();
+    let drill = example.db.instantiate("TOOL").unwrap();
+    example.db.set_attribute(drill, "Function", Value::string("drilling")).unwrap();
+    example.db.set_attribute(drill, "ManufacturedBy", Value::Ref(local_mfr)).unwrap();
+    example.db.set_attribute(arm, "MountedTool", Value::Ref(drill)).unwrap();
+
+    let hits_after = example
+        .db
+        .backward(asr_id, 0, 4, &Cell::Value(Value::string("Utopia")))
+        .unwrap();
+    println!("\nafter remounting Robi's tool:");
+    print_robots(&example, "supported", &hits_after, 0);
+    assert_eq!(hits_after.len(), 2, "Robi no longer uses a Utopia tool");
+}
+
+fn print_robots(
+    example: &access_support::workload::ExampleDb,
+    label: &str,
+    hits: &[Oid],
+    cost: u64,
+) {
+    let names: Vec<String> = hits
+        .iter()
+        .map(|&o| {
+            example
+                .db
+                .base()
+                .get_attribute(o, "Name")
+                .unwrap()
+                .as_str()
+                .unwrap_or("?")
+                .to_string()
+        })
+        .collect();
+    if cost > 0 {
+        println!("{label:10}: {names:?}  ({cost} page accesses)");
+    } else {
+        println!("{label:10}: {names:?}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Self-tuning physical design (the paper's Section 7 vision, closed
+//! loop): the system *measures* its own application profile, *records*
+//! the operation mix as it executes, asks the cost model for the best
+//! access support relation, applies it — and proves the improvement by
+//! replaying the same workload.
+//!
+//! Run with: `cargo run --release --example self_tuning`
+
+use access_support::prelude::*;
+use access_support::workload::TraceOp;
+
+fn main() {
+    // A mid-sized engineering database, generated.
+    let spec = GeneratorSpec {
+        counts: vec![50, 250, 500, 2500, 5000],
+        defined: vec![45, 200, 400, 1000],
+        fan: vec![2, 2, 3, 4],
+        sizes: vec![500, 400, 300, 300, 100],
+    };
+    let mut g = generate(&spec, 2024);
+    let path = g.path.clone();
+    println!("database : {} objects over path {path}", g.db.base().object_count());
+
+    // ------------------------------------------------------------------
+    // Phase 1: run the application unindexed while recording usage.
+    // ------------------------------------------------------------------
+    let mix = Mix::new(
+        vec![(0.7, Op::bw(0, 4)), (0.2, Op::fw(0, 4)), (0.1, Op::bw(0, 3))],
+        vec![(1.0, Op::ins(3))],
+        0.15,
+    );
+    let trace = generate_trace(&g, &mix, 120, 9);
+
+    let mut recorder = UsageRecorder::new();
+    for op in &trace {
+        match op {
+            TraceOp::Forward { i, j, .. } => recorder.record_forward(*i, *j),
+            TraceOp::Backward { i, j, .. } => recorder.record_backward(*i, *j),
+            TraceOp::Insert { i, .. } => recorder.record_insert(*i),
+        }
+    }
+    g.db.stats().reset();
+    let before = execute_trace(&mut g.db, None, &path, &trace);
+    println!(
+        "phase 1  : {} ops unindexed, {:.1} page accesses/op (P_up observed: {:.2})",
+        before.operations,
+        before.mean_cost(),
+        recorder.p_up()
+    );
+
+    // ------------------------------------------------------------------
+    // Phase 2: the advisor measures the profile and ranks every design.
+    // ------------------------------------------------------------------
+    let advice = advise(&g.db, &path, &recorder).expect("advice");
+    println!("\nmeasured profile: c = {:?}", advice.model.profile.c);
+    println!("                  d = {:?}", advice.model.profile.d);
+    println!("                  fan = {:?}", advice.model.profile.fan);
+    println!("\n{}", advice.summary(5));
+    println!(
+        "predicted cost ratio vs staying unindexed: {:.3}",
+        advice.predicted_improvement(&recorder)
+    );
+
+    // ------------------------------------------------------------------
+    // Phase 3: apply the recommendation and replay the workload.
+    // ------------------------------------------------------------------
+    let id = advice.apply(&mut g.db).expect("apply").expect("support recommended");
+    let trace2 = generate_trace(&g, &mix, 120, 10);
+    g.db.stats().reset();
+    let after = execute_trace(&mut g.db, Some(id), &path, &trace2);
+    println!(
+        "phase 3  : {} ops with {}, {:.1} page accesses/op",
+        after.operations,
+        advice.best().label(),
+        after.mean_cost()
+    );
+    println!(
+        "speedup  : {:.1}x (predicted ratio {:.3}, achieved {:.3})",
+        before.mean_cost() / after.mean_cost(),
+        advice.predicted_improvement(&recorder),
+        after.mean_cost() / before.mean_cost()
+    );
+    assert!(after.mean_cost() < before.mean_cost());
+}

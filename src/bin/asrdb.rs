@@ -1,0 +1,39 @@
+//! `asrdb` — the interactive shell over the access-support stack.
+//!
+//! ```text
+//! cargo run --bin asrdb
+//! asrdb> \open company
+//! asrdb> select d.Name from d in Mercedes where d.Manufactures.Composition.Name = "Door"
+//! ```
+
+use std::io::{BufRead, Write};
+
+use access_support::shell::{run_line, ShellState};
+
+fn main() {
+    let mut state = ShellState::new();
+    println!("asrdb — access support relations shell (\\help for commands)");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("asrdb> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let reply = run_line(&mut state, &line);
+                if !reply.is_empty() {
+                    println!("{reply}");
+                }
+                if state.done {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! # access-support — access support relations for object bases
+//!
+//! A from-scratch Rust reproduction of Kemper & Moerkotte, *"Access
+//! Support in Object Bases"* (SIGMOD 1990): materialized path indexes for
+//! object-oriented databases, with the paper's four extensions, arbitrary
+//! lossless decompositions, dual-clustered B+ tree storage, incremental
+//! maintenance, and the complete analytical cost model that reproduces
+//! every figure of the paper's evaluation.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`gom`] — the Generic Object Model (schema, objects, path
+//!   expressions);
+//! * [`pagesim`] — the page-access-metered storage substrate (clustered
+//!   files, B+ trees);
+//! * [`asr`] — the access support relations themselves (the paper's
+//!   contribution);
+//! * [`costmodel`] — the analytical cost model (Sections 4–6);
+//! * [`workload`] — profile-driven synthetic databases and the paper's
+//!   example schemas;
+//! * [`oql`] — the paper's SQL-like query notation, parsed, planned
+//!   against registered ASRs, and executed;
+//! * [`advisor`] — the Section-7 vision: derive the application profile
+//!   from the live base, record the usage pattern, and (semi-)
+//!   automatically adjust the physical design.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use access_support::prelude::*;
+//!
+//! // The paper's company database (Figure 2).
+//! let mut example = company_database();
+//! let path = example.path.clone();
+//!
+//! // Materialize an access support relation: full extension, binary
+//! // decomposition.
+//! let config = AsrConfig::binary(Extension::Full, &path);
+//! let asr = example.db.create_asr(path, config).unwrap();
+//!
+//! // Query 2: which Division uses a BasePart named "Door"?
+//! let hits = example.db
+//!     .backward(asr, 0, 3, &Cell::Value(Value::string("Door")))
+//!     .unwrap();
+//! assert_eq!(hits.len(), 2); // Auto and Truck
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use asr_advisor as advisor;
+pub use asr_core as asr;
+pub use asr_costmodel as costmodel;
+pub use asr_gom as gom;
+pub use asr_oql as oql;
+pub use asr_pagesim as pagesim;
+pub use asr_workload as workload;
+
+pub mod shell;
+
+/// Convenience re-exports covering the common API surface.
+pub mod prelude {
+    pub use asr_core::{
+        AccessSupportRelation, AsrConfig, AsrId, Cell, Database, Decomposition, Extension,
+        ObjectStore, Relation, Row,
+    };
+    pub use asr_costmodel::{best_design, CostModel, Dec, Ext, Mix, Op, Profile, QueryKind};
+    pub use asr_gom::{ObjectBase, Oid, PathExpression, Schema, Value};
+    pub use asr_advisor::{advise, derive_profile, UsageRecorder};
+    pub use asr_oql::{execute as oql_execute, explain as oql_explain};
+    pub use asr_pagesim::{BPlusTree, ClusteredFile, IoStats, PAGE_SIZE};
+    pub use asr_workload::{
+        company_database, execute_trace, generate, generate_trace, robot_database,
+        GeneratorSpec,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let db = company_database();
+        assert!(db.db.base().object_count() > 0);
+    }
+}

@@ -1,0 +1,452 @@
+//! The `asrdb` shell: an interactive front-end over the whole stack.
+//!
+//! Plain input is executed as a query in the paper's SQL-like notation;
+//! backslash commands manage the database and its physical design:
+//!
+//! ```text
+//! \open company            load a built-in example database
+//! \schema                  show the schema
+//! \asr <path> <ext> <dec>  materialize an access support relation
+//! \asrs                    list access support relations
+//! \drop <id>               drop one
+//! \explain <query>         show the evaluation plan
+//! \advise <path> [p_up]    run the physical-design advisor
+//! \save <file> / \load <file>   snapshot persistence
+//! \stats / \reset          page-access accounting
+//! \help / \quit
+//! ```
+//!
+//! The command interpreter is a pure function over [`ShellState`], which
+//! keeps it unit-testable; the binary `asrdb` wraps it in a stdin loop.
+
+use std::fmt::Write as _;
+
+use asr_advisor::{advise, UsageRecorder};
+
+use asr_core::{AsrConfig, Database, Decomposition, Extension};
+use asr_gom::PathExpression;
+use asr_oql as oql;
+use asr_workload::{company_database, robot_database};
+
+/// Mutable shell session state.
+#[derive(Default)]
+pub struct ShellState {
+    /// The open database, if any.
+    pub db: Option<Database>,
+    /// Name of what was opened (diagnostics).
+    pub origin: String,
+    /// Observed usage, recorded from executed queries and updates; feeds
+    /// `\advise` when non-empty.
+    pub recorder: UsageRecorder,
+    /// Should the REPL terminate?
+    pub done: bool,
+}
+
+impl ShellState {
+    /// Fresh, databaseless state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn db(&self) -> Result<&Database, String> {
+        self.db.as_ref().ok_or_else(|| "no database open — try `\\open company`".to_string())
+    }
+
+    fn db_mut(&mut self) -> Result<&mut Database, String> {
+        self.db.as_mut().ok_or_else(|| "no database open — try `\\open company`".to_string())
+    }
+}
+
+/// Execute one input line; returns the text to display.
+pub fn run_line(state: &mut ShellState, line: &str) -> String {
+    let line = line.trim();
+    if line.is_empty() {
+        return String::new();
+    }
+    let result = if let Some(rest) = line.strip_prefix('\\') {
+        run_command(state, rest)
+    } else {
+        run_query(state, line)
+    };
+    match result {
+        Ok(out) => out,
+        Err(msg) => format!("error: {msg}"),
+    }
+}
+
+fn run_command(state: &mut ShellState, input: &str) -> Result<String, String> {
+    let mut parts = input.splitn(2, ' ');
+    let cmd = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    match cmd {
+        "help" | "h" | "?" => Ok(HELP.to_string()),
+        "quit" | "q" | "exit" => {
+            state.done = true;
+            Ok("bye".to_string())
+        }
+        "open" => cmd_open(state, rest),
+        "schema" => cmd_schema(state),
+        "asr" => cmd_asr(state, rest),
+        "asrs" => cmd_asrs(state),
+        "drop" => cmd_drop(state, rest),
+        "explain" => {
+            let db = state.db()?;
+            oql::explain(db, rest).map_err(|e| e.to_string())
+        }
+        "advise" => cmd_advise(state, rest),
+        "save" => {
+            let db = state.db()?;
+            db.save(rest).map_err(|e| e.to_string())?;
+            Ok(format!("saved to {rest}"))
+        }
+        "load" => {
+            let db = Database::load(rest).map_err(|e| e.to_string())?;
+            let summary = format!(
+                "loaded {rest}: {} objects, {} access relations",
+                db.base().object_count(),
+                db.asrs().count()
+            );
+            state.db = Some(db);
+            state.origin = rest.to_string();
+            Ok(summary)
+        }
+        "stats" => {
+            let db = state.db()?;
+            Ok(format!("page accesses: {}", db.stats()))
+        }
+        "reset" => {
+            let db = state.db()?;
+            db.stats().reset();
+            Ok("counters reset".to_string())
+        }
+        other => Err(format!("unknown command `\\{other}` — try `\\help`")),
+    }
+}
+
+fn cmd_open(state: &mut ShellState, which: &str) -> Result<String, String> {
+    let (db, desc) = match which {
+        "company" => (company_database().db, "the paper's Figure 2 company database"),
+        "robots" | "robot" => (robot_database().db, "the paper's Figure 1 robot database"),
+        other => {
+            return Err(format!(
+                "unknown example `{other}` (available: company, robots)"
+            ))
+        }
+    };
+    let summary = format!("opened {desc} ({} objects)", db.base().object_count());
+    state.db = Some(db);
+    state.origin = which.to_string();
+    Ok(summary)
+}
+
+fn cmd_schema(state: &ShellState) -> Result<String, String> {
+    let db = state.db()?;
+    let schema = db.base().schema();
+    let mut out = String::new();
+    for (id, def) in schema.types() {
+        match &def.kind {
+            asr_gom::TypeKind::Tuple { supertypes, attributes } => {
+                let sups: Vec<&str> = supertypes.iter().map(|&s| schema.name(s)).collect();
+                let attrs: Vec<String> = attributes
+                    .iter()
+                    .map(|a| format!("{}: {}", a.name, schema.ref_name(a.ty)))
+                    .collect();
+                let sup_txt = if sups.is_empty() {
+                    String::new()
+                } else {
+                    format!(" supertypes ({})", sups.join(", "))
+                };
+                let _ = writeln!(
+                    out,
+                    "type {} is{sup_txt} [{}]   -- {} objects",
+                    def.name,
+                    attrs.join(", "),
+                    db.base().extent(id).len()
+                );
+            }
+            asr_gom::TypeKind::Set { element } => {
+                let _ = writeln!(out, "type {} is {{{}}}", def.name, schema.ref_name(*element));
+            }
+            asr_gom::TypeKind::List { element } => {
+                let _ = writeln!(out, "type {} is <{}>", def.name, schema.ref_name(*element));
+            }
+        }
+    }
+    for (name, value) in db.base().variables() {
+        let _ = writeln!(out, "var {name} = {value}");
+    }
+    Ok(out)
+}
+
+fn parse_extension(name: &str) -> Result<Extension, String> {
+    Extension::ALL
+        .into_iter()
+        .find(|e| e.name() == name)
+        .ok_or_else(|| format!("unknown extension `{name}` (canonical, full, left, right)"))
+}
+
+fn parse_decomposition(spec: &str, m: usize) -> Result<Decomposition, String> {
+    match spec {
+        "binary" | "bi" => Ok(Decomposition::binary(m)),
+        "none" | "no" => Ok(Decomposition::none(m)),
+        cuts => {
+            let cuts: Vec<usize> = cuts
+                .trim_matches(|c| c == '(' || c == ')')
+                .split(',')
+                .map(|c| c.trim().parse().map_err(|_| format!("bad cut `{c}`")))
+                .collect::<Result<_, String>>()?;
+            Decomposition::new(cuts).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_asr(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    let [dotted, ext, dec] = parts.as_slice() else {
+        return Err("usage: \\asr <Type.A1.A2…> <canonical|full|left|right> <binary|none|0,2,4>"
+            .to_string());
+    };
+    let db = state.db_mut()?;
+    let path =
+        PathExpression::parse(db.base().schema(), dotted).map_err(|e| e.to_string())?;
+    let extension = parse_extension(ext)?;
+    let m = path.arity(false) - 1;
+    let decomposition = parse_decomposition(dec, m)?;
+    let id = db
+        .create_asr(path, AsrConfig { extension, decomposition, keep_set_oids: false })
+        .map_err(|e| e.to_string())?;
+    let asr = db.asr(id).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "ASR #{id}: {} {} over {} — {} rows, {} pages",
+        asr.config().extension,
+        asr.config().decomposition,
+        asr.path(),
+        asr.total_rows(),
+        asr.total_pages()
+    ))
+}
+
+fn cmd_asrs(state: &ShellState) -> Result<String, String> {
+    let db = state.db()?;
+    let mut out = String::new();
+    let mut any = false;
+    for (id, asr) in db.asrs() {
+        any = true;
+        let _ = writeln!(
+            out,
+            "#{id}  {:<9} {:<14} {}  ({} rows, {} bytes)",
+            asr.config().extension.name(),
+            asr.config().decomposition.to_string(),
+            asr.path(),
+            asr.total_rows(),
+            asr.data_bytes()
+        );
+    }
+    if !any {
+        out.push_str("no access support relations\n");
+    }
+    Ok(out)
+}
+
+fn cmd_drop(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    let id: usize = rest.trim().parse().map_err(|_| format!("bad ASR id `{rest}`"))?;
+    state.db_mut()?.drop_asr(id).map_err(|e| e.to_string())?;
+    Ok(format!("dropped ASR #{id}"))
+}
+
+fn cmd_advise(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    let mut parts = rest.split_whitespace();
+    let dotted = parts.next().ok_or("usage: \\advise <Type.A1.A2…> [p_up]")?;
+    let p_up: Option<f64> = match parts.next() {
+        Some(p) => Some(p.parse().map_err(|_| format!("bad p_up `{p}`"))?),
+        None => None,
+    };
+    let db = state.db()?;
+    let path =
+        PathExpression::parse(db.base().schema(), dotted).map_err(|e| e.to_string())?;
+    let n = path.len();
+    // Prefer the session's recorded usage; otherwise synthesize a
+    // representative whole-chain pattern at the requested update share.
+    let (recorder, basis) = if state.recorder.is_empty() || p_up.is_some() {
+        let p_up = p_up.unwrap_or(0.1);
+        let mut r = UsageRecorder::new();
+        let ops = 1000usize;
+        let updates = ((ops as f64) * p_up).round() as usize;
+        for _ in 0..(ops - updates) {
+            r.record_backward(0, n);
+        }
+        for _ in 0..updates {
+            r.record_insert(n - 1);
+        }
+        (r, format!("assumed mix: Q_{{0,{n}}}(bw) with P_up = {p_up}"))
+    } else {
+        (
+            state.recorder.clone(),
+            format!(
+                "recorded session usage: {} queries, {} updates (P_up = {:.2})",
+                state.recorder.query_count(),
+                state.recorder.update_count(),
+                state.recorder.p_up()
+            ),
+        )
+    };
+    let advice = advise(db, &path, &recorder).map_err(|e| e.to_string())?;
+    let mut out = advice.summary(6);
+    let _ = writeln!(
+        out,
+        "{basis}; predicted cost ratio vs no support: {:.3}",
+        advice.predicted_improvement(&recorder)
+    );
+    let _ = writeln!(out, "materialize with: \\asr {} {} {}", dotted,
+        advice.best().extension.map(|e| e.name()).unwrap_or("none"),
+        advice.best().decomposition);
+    Ok(out)
+}
+
+fn run_query(state: &mut ShellState, text: &str) -> Result<String, String> {
+    let db = state.db()?;
+    let before = db.stats().accesses();
+    let query = oql::parse(text).map_err(|e| e.to_string())?;
+    let result = oql::execute_query(db, &query).map_err(|e| e.to_string())?;
+    let cost = db.stats().accesses() - before;
+    // Record the observed span usage for the advisor: every predicate is
+    // a backward span, every path projection a forward span.
+    if let Ok(plan) = oql::plan::analyze(db, &query) {
+        for pred in &plan.predicates {
+            state.recorder.record_backward(0, pred.path.len());
+        }
+        for proj in plan.projections.iter().filter_map(|p| p.path.as_ref()) {
+            state.recorder.record_forward(0, proj.len());
+        }
+    }
+    let mut out = result.to_string();
+    let _ = writeln!(out, "({} row(s), {cost} page accesses)", result.rows.len());
+    Ok(out)
+}
+
+const HELP: &str = r#"commands:
+  \open <company|robots>     load a built-in example database
+  \load <file> / \save <file>  snapshot persistence
+  \schema                    show types, extents and variables
+  \asr <path> <ext> <dec>    materialize an access support relation
+                             ext: canonical|full|left|right
+                             dec: binary | none | 0,2,4
+  \asrs                      list access support relations
+  \drop <id>                 drop an access support relation
+  \explain <query>           show the evaluation plan
+  \advise <path> [p_up]      physical-design advisor (default p_up 0.1)
+  \stats / \reset            page-access counters
+  \quit
+anything else is executed as a query:
+  select d.Name from d in Mercedes, b in d.Manufactures.Composition
+  where b.Name = "Door""#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(state: &mut ShellState, lines: &[&str]) -> Vec<String> {
+        lines.iter().map(|l| run_line(state, l)).collect()
+    }
+
+    #[test]
+    fn full_session() {
+        let mut s = ShellState::new();
+        let out = run(&mut s, &[
+            "\\open company",
+            "\\schema",
+            "\\asr Division.Manufactures.Composition.Name full binary",
+            "\\asrs",
+            r#"select d.Name from d in Mercedes, b in d.Manufactures.Composition where b.Name = "Door""#,
+            "\\explain select d.Name from d in Division where d.Manufactures.Composition.Name = \"Door\"",
+            "\\stats",
+            "\\reset",
+            "\\drop 0",
+            "\\asrs",
+            "\\quit",
+        ]);
+        assert!(out[0].contains("opened"));
+        assert!(out[1].contains("type Division is"));
+        assert!(out[1].contains("var Mercedes"));
+        assert!(out[2].contains("ASR #0: full (0,1,2,3)"));
+        assert!(out[3].contains("#0"));
+        assert!(out[4].contains("\"Auto\"") && out[4].contains("\"Truck\""));
+        assert!(out[4].contains("page accesses"));
+        assert!(out[5].contains("backward span query through ASR"));
+        assert!(out[6].contains("page accesses:"));
+        assert!(out[8].contains("dropped"));
+        assert!(out[9].contains("no access support relations"));
+        assert!(s.done);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = ShellState::new();
+        assert!(run_line(&mut s, "select x from x in Y").starts_with("error:"));
+        assert!(run_line(&mut s, "\\bogus").contains("unknown command"));
+        run_line(&mut s, "\\open company");
+        assert!(run_line(&mut s, "\\asr Nope.x full binary").starts_with("error:"));
+        assert!(run_line(&mut s, "\\asr Division.Manufactures full").starts_with("error:"));
+        assert!(run_line(&mut s, "\\drop 99").starts_with("error:"));
+        assert!(run_line(&mut s, "select nonsense").starts_with("error:"));
+        assert!(run_line(&mut s, "\\open nowhere").starts_with("error:"));
+        assert!(!s.done);
+    }
+
+    #[test]
+    fn advise_command() {
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open company");
+        let out = run_line(&mut s, "\\advise Division.Manufactures.Composition.Name 0.2");
+        assert!(out.contains("advice for"), "{out}");
+        assert!(out.contains("assumed mix"), "{out}");
+        assert!(out.contains("materialize with:"), "{out}");
+        assert!(run_line(&mut s, "\\advise Division.Manufactures.Composition.Name oops")
+            .starts_with("error:"));
+    }
+
+    #[test]
+    fn advise_uses_recorded_session_usage() {
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open company");
+        // Execute real queries: their spans are recorded.
+        let q = r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#;
+        run_line(&mut s, q);
+        run_line(&mut s, q);
+        // Each execution records the predicate span (backward) and the
+        // d.Name projection (forward).
+        assert_eq!(s.recorder.query_count(), 4);
+        let out = run_line(&mut s, "\\advise Division.Manufactures.Composition.Name");
+        assert!(out.contains("recorded session usage: 4 queries"), "{out}");
+        // An explicit p_up overrides the recording.
+        let out = run_line(&mut s, "\\advise Division.Manufactures.Composition.Name 0.5");
+        assert!(out.contains("assumed mix"), "{out}");
+    }
+
+    #[test]
+    fn save_load_through_shell() {
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open robots");
+        run_line(&mut s, "\\asr ROBOT.Arm.MountedTool.ManufacturedBy.Location canonical none");
+        let file = std::env::temp_dir().join("asrdb_shell_test.snap");
+        let file_str = file.to_str().unwrap().to_string();
+        assert!(run_line(&mut s, &format!("\\save {file_str}")).contains("saved"));
+        let mut s2 = ShellState::new();
+        let out = run_line(&mut s2, &format!("\\load {file_str}"));
+        assert!(out.contains("1 access relations"), "{out}");
+        let q = run_line(
+            &mut s2,
+            r#"select r.Name from r in OurRobots where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia""#,
+        );
+        assert!(q.contains("3 row(s)"), "{q}");
+        std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn help_and_blank_lines() {
+        let mut s = ShellState::new();
+        assert!(run_line(&mut s, "\\help").contains("\\asr"));
+        assert_eq!(run_line(&mut s, "   "), "");
+        assert!(run_line(&mut s, "\\stats").starts_with("error: no database"));
+    }
+}
