@@ -38,7 +38,11 @@ impl Advice {
         };
         let decomposition = Decomposition::new(best.decomposition.0.clone())
             .expect("cost-model decompositions are valid");
-        Some(AsrConfig { extension, decomposition, keep_set_oids: false })
+        Some(AsrConfig {
+            extension,
+            decomposition,
+            keep_set_oids: false,
+        })
     }
 
     /// Materialize the recommendation on the database.  Returns `None`
@@ -86,7 +90,11 @@ pub fn advise(db: &Database, path: &PathExpression, recorder: &UsageRecorder) ->
     let model = CostModel::new(profile);
     let mix = recorder.to_mix();
     let ranked = rank_designs(&model, &mix);
-    Ok(Advice { path: path.clone(), model, ranked })
+    Ok(Advice {
+        path: path.clone(),
+        model,
+        ranked,
+    })
 }
 
 /// The verdict of verifying an existing design against recorded usage —
@@ -136,7 +144,11 @@ pub fn verify(
         current_cost,
         best_cost: best.cost,
         best_label: best.label(),
-        drift: if best.cost > 0.0 { current_cost / best.cost } else { 1.0 },
+        drift: if best.cost > 0.0 {
+            current_cost / best.cost
+        } else {
+            1.0
+        },
     })
 }
 
@@ -173,7 +185,10 @@ mod tests {
     fn advise_recommends_support_for_query_heavy_usage() {
         let g = generate(&spec(), 11);
         let advice = advise(&g.db, &g.path, &recorded_usage()).unwrap();
-        assert!(advice.best().extension.is_some(), "queries dominate: support must win");
+        assert!(
+            advice.best().extension.is_some(),
+            "queries dominate: support must win"
+        );
         assert!(advice.recommended_config().is_some());
         assert!(advice.predicted_improvement(&recorded_usage()) < 0.5);
         assert!(advice.summary(3).contains("advice for"));
@@ -209,7 +224,10 @@ mod tests {
         // The advisor's pick on an identical database.
         let mut tuned = generate(&spec(), 13);
         let advice = advise(&tuned.db, &tuned.path, &recorder).unwrap();
-        let id = advice.apply(&mut tuned.db).unwrap().expect("support recommended");
+        let id = advice
+            .apply(&mut tuned.db)
+            .unwrap()
+            .expect("support recommended");
         tuned.db.stats().reset();
         let path = tuned.path.clone();
         let report = execute_trace(&mut tuned.db, Some(id), &path, &trace);
@@ -228,9 +246,15 @@ mod tests {
         let recorder = recorded_usage();
         // Install the optimum: drift must be ~1.
         let advice = advise(&g.db, &g.path, &recorder).unwrap();
-        let id = advice.apply(&mut g.db).unwrap().expect("support recommended");
+        let id = advice
+            .apply(&mut g.db)
+            .unwrap()
+            .expect("support recommended");
         let v = crate::advise::verify(&g.db, id, &recorder).unwrap();
-        assert!((v.drift - 1.0).abs() < 1e-9, "installed optimum drifts: {v:?}");
+        assert!(
+            (v.drift - 1.0).abs() < 1e-9,
+            "installed optimum drifts: {v:?}"
+        );
         assert!(v.still_adequate(1.05));
 
         // Under a radically different usage pattern the same design drifts.
@@ -240,7 +264,10 @@ mod tests {
             updates_only.record_backward(2, 4);
         }
         let v2 = crate::advise::verify(&g.db, id, &updates_only).unwrap();
-        assert!(v2.drift > 1.0, "usage shifted, design should no longer be optimal: {v2:?}");
+        assert!(
+            v2.drift > 1.0,
+            "usage shifted, design should no longer be optimal: {v2:?}"
+        );
     }
 
     #[test]

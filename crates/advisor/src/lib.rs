@@ -29,7 +29,9 @@
 pub mod advise;
 pub mod profile;
 pub mod recorder;
+pub mod subscribe;
 
 pub use advise::{advise, verify, Advice, Verification};
 pub use profile::derive_profile;
 pub use recorder::UsageRecorder;
+pub use subscribe::RecorderSink;

@@ -87,7 +87,11 @@ pub fn derive_profile(db: &Database, path: &PathExpression) -> Result<Profile> {
             }
         }
         d.push(defined as f64);
-        fan.push(if defined == 0 { 0.0 } else { references as f64 / defined as f64 });
+        fan.push(if defined == 0 {
+            0.0
+        } else {
+            references as f64 / defined as f64
+        });
         let distinct_targets = hits.len();
         shar.push(if distinct_targets == 0 {
             1.0
@@ -96,7 +100,14 @@ pub fn derive_profile(db: &Database, path: &PathExpression) -> Result<Profile> {
         });
     }
 
-    let mut profile = Profile { n, c, d, fan, size, shar: Some(shar) };
+    let mut profile = Profile {
+        n,
+        c,
+        d,
+        fan,
+        size,
+        shar: Some(shar),
+    };
     profile.validate().map_err(|e| {
         asr_core::AsrError::BadUpdatePosition(format!("derived profile invalid: {e}"))
     })?;

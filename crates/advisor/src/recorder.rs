@@ -71,9 +71,17 @@ impl UsageRecorder {
             .iter()
             .map(|(&(fw, i, j), &count)| {
                 let op = if fw {
-                    Op::Query { kind: QueryKind::Forward, i, j }
+                    Op::Query {
+                        kind: QueryKind::Forward,
+                        i,
+                        j,
+                    }
                 } else {
-                    Op::Query { kind: QueryKind::Backward, i, j }
+                    Op::Query {
+                        kind: QueryKind::Backward,
+                        i,
+                        j,
+                    }
                 };
                 (count as f64 / q_total, op)
             })
@@ -131,10 +139,22 @@ mod tests {
         let bw = mix
             .queries
             .iter()
-            .find(|(_, op)| matches!(op, Op::Query { kind: QueryKind::Backward, .. }))
+            .find(|(_, op)| {
+                matches!(
+                    op,
+                    Op::Query {
+                        kind: QueryKind::Backward,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert!((bw.0 - 0.75).abs() < 1e-12);
-        let ins2 = mix.updates.iter().find(|(_, op)| *op == Op::ins(2)).unwrap();
+        let ins2 = mix
+            .updates
+            .iter()
+            .find(|(_, op)| *op == Op::ins(2))
+            .unwrap();
         assert!((ins2.0 - 2.0 / 3.0).abs() < 1e-12);
         assert!((mix.p_up - 3.0 / 7.0).abs() < 1e-12);
     }

@@ -1,0 +1,106 @@
+//! Subscribing a [`UsageRecorder`] to the observability event stream.
+//!
+//! The query layer announces every span query it performs as a semantic
+//! trace event (`usage.backward`, `usage.forward`, `usage.insert` with
+//! `i`/`j` attributes).  [`RecorderSink`] adapts those events into
+//! recorder tallies, so the advisor sees the *actual* operation mix of a
+//! session without the front-end calling the recorder by hand.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use asr_obs::{EventSink, SpanRecord, Tracer};
+
+use crate::recorder::UsageRecorder;
+
+/// An [`EventSink`] that folds `usage.*` trace events into a shared
+/// [`UsageRecorder`].
+pub struct RecorderSink {
+    recorder: Rc<RefCell<UsageRecorder>>,
+}
+
+impl RecorderSink {
+    /// Subscribe `recorder` to whatever tracer this sink is attached to.
+    pub fn new(recorder: Rc<RefCell<UsageRecorder>>) -> Self {
+        RecorderSink { recorder }
+    }
+
+    /// Convenience: create a fresh shared recorder, attach a sink for it
+    /// to `tracer`, and hand the recorder back.
+    pub fn subscribe(tracer: &Tracer) -> Rc<RefCell<UsageRecorder>> {
+        let recorder = Rc::new(RefCell::new(UsageRecorder::new()));
+        tracer.add_sink(Rc::new(RecorderSink::new(Rc::clone(&recorder))));
+        recorder
+    }
+
+    fn span_of(record: &SpanRecord) -> Option<(usize, usize)> {
+        let i = record.attr("i")?.parse().ok()?;
+        let j = record.attr("j")?.parse().ok()?;
+        Some((i, j))
+    }
+}
+
+impl EventSink for RecorderSink {
+    fn record(&self, record: &SpanRecord) {
+        if !record.event {
+            return;
+        }
+        match record.name.as_str() {
+            "usage.backward" => {
+                if let Some((i, j)) = Self::span_of(record) {
+                    self.recorder.borrow_mut().record_backward(i, j);
+                }
+            }
+            "usage.forward" => {
+                if let Some((i, j)) = Self::span_of(record) {
+                    self.recorder.borrow_mut().record_forward(i, j);
+                }
+            }
+            "usage.insert" => {
+                if let Some(i) = record.attr("i").and_then(|v| v.parse().ok()) {
+                    self.recorder.borrow_mut().record_insert(i);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_events_reach_the_recorder() {
+        let tracer = Tracer::new();
+        let recorder = RecorderSink::subscribe(&tracer);
+        tracer.event(
+            "usage.backward",
+            &[("i", "0".to_string()), ("j", "4".to_string())],
+        );
+        tracer.event(
+            "usage.forward",
+            &[("i", "0".to_string()), ("j", "2".to_string())],
+        );
+        tracer.event("usage.insert", &[("i", "3".to_string())]);
+        tracer.event("unrelated", &[]);
+        let r = recorder.borrow();
+        assert_eq!(r.query_count(), 2);
+        assert_eq!(r.update_count(), 1);
+    }
+
+    #[test]
+    fn malformed_and_non_event_records_are_ignored() {
+        let tracer = Tracer::new();
+        let recorder = RecorderSink::subscribe(&tracer);
+        // Missing attributes.
+        tracer.event("usage.backward", &[("i", "0".to_string())]);
+        tracer.event(
+            "usage.forward",
+            &[("i", "x".to_string()), ("j", "2".to_string())],
+        );
+        // A *span* named like a usage event still does not count.
+        tracer.span("usage.backward").finish();
+        assert!(recorder.borrow().is_empty());
+    }
+}

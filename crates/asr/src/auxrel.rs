@@ -37,7 +37,11 @@ pub fn build_auxiliary_relations(
     let mut out = Vec::with_capacity(path.len());
     for (idx, step) in path.steps().iter().enumerate() {
         let _ = idx;
-        let arity = if keep_set_oids && step.is_set_occurrence() { 3 } else { 2 };
+        let arity = if keep_set_oids && step.is_set_occurrence() {
+            3
+        } else {
+            2
+        };
         let mut rel = Relation::new(arity);
         for &oid in &base.extent_closure(step.domain) {
             let attr_value = base.get_attribute(oid, &step.attr)?;
@@ -134,11 +138,20 @@ mod tests {
         let trak = oid_of(&base, "MB Trak");
         let rows: Vec<Vec<Option<Oid>>> = e0
             .iter()
-            .map(|r| r.cells().iter().map(|c| c.as_ref().and_then(Cell::as_oid)).collect())
+            .map(|r| {
+                r.cells()
+                    .iter()
+                    .map(|c| c.as_ref().and_then(Cell::as_oid))
+                    .collect()
+            })
             .collect();
         assert!(rows.iter().any(|r| r[0] == Some(auto) && r[2] == Some(sec)));
-        assert!(rows.iter().any(|r| r[0] == Some(truck) && r[2] == Some(trak)));
-        assert!(rows.iter().any(|r| r[0] == Some(truck) && r[2] == Some(sec)));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == Some(truck) && r[2] == Some(trak)));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == Some(truck) && r[2] == Some(sec)));
         // Space has NULL Manufactures — absent entirely.
         let space = oid_of(&base, "Space");
         assert!(rows.iter().all(|r| r[0] != Some(space)));
@@ -163,7 +176,8 @@ mod tests {
         // Give Space an empty ProdSET.
         let space = oid_of(&base, "Space");
         let empty = base.instantiate("ProdSET").unwrap();
-        base.set_attribute(space, "Manufactures", Value::Ref(empty)).unwrap();
+        base.set_attribute(space, "Manufactures", Value::Ref(empty))
+            .unwrap();
         let aux = build_auxiliary_relations(&base, &path, true).unwrap();
         let marker = Row::new(vec![Some(Cell::Oid(space)), Some(Cell::Oid(empty)), None]);
         assert!(aux[0].contains(&marker), "Definition 3.3 empty-set tuple");

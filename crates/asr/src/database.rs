@@ -9,6 +9,7 @@
 use std::rc::Rc;
 
 use asr_gom::{ObjectBase, Oid, PathExpression, Schema, TypeId, Value};
+use asr_obs::Tracer;
 use asr_pagesim::{IoStats, StatsHandle};
 
 use crate::cell::Cell;
@@ -28,6 +29,7 @@ pub struct Database {
     store: ObjectStore,
     asrs: Vec<Option<AccessSupportRelation>>,
     stats: StatsHandle,
+    tracer: Tracer,
 }
 
 impl Database {
@@ -42,15 +44,33 @@ impl Database {
     pub fn from_base(base: ObjectBase) -> Self {
         let stats = IoStats::new_handle();
         let mut store = ObjectStore::new(Rc::clone(&stats));
-        store.sync_with_base(&base).expect("fresh store sync cannot fail");
-        Database { base, store, asrs: Vec::new(), stats }
+        store.label_from_schema(base.schema());
+        store
+            .sync_with_base(&base)
+            .expect("fresh store sync cannot fail");
+        let tracer = Tracer::with_stats(Rc::clone(&stats));
+        Database {
+            base,
+            store,
+            asrs: Vec::new(),
+            stats,
+            tracer,
+        }
     }
 
     /// Assemble a database from a pre-built base and an already configured
     /// (and synced) object store sharing `stats`.  Used by workload
     /// generators that size the clustered files per type before syncing.
-    pub fn from_parts(base: ObjectBase, store: ObjectStore, stats: StatsHandle) -> Self {
-        Database { base, store, asrs: Vec::new(), stats }
+    pub fn from_parts(base: ObjectBase, mut store: ObjectStore, stats: StatsHandle) -> Self {
+        store.label_from_schema(base.schema());
+        let tracer = Tracer::with_stats(Rc::clone(&stats));
+        Database {
+            base,
+            store,
+            asrs: Vec::new(),
+            stats,
+            tracer,
+        }
     }
 
     /// The underlying object base (read-only; use the update methods).
@@ -66,6 +86,13 @@ impl Database {
     /// The shared page-access counter (object store and all ASRs).
     pub fn stats(&self) -> &StatsHandle {
         &self.stats
+    }
+
+    /// The tracing/metrics context.  Spans opened here capture I/O deltas
+    /// from [`Database::stats`]; its [`asr_obs::MetricsRegistry`] carries
+    /// query and maintenance counters (e.g. `asr.rebuild_fallback`).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Configure the clustered size `size_i` for a type's objects.
@@ -90,8 +117,7 @@ impl Database {
 
     /// Build and register an access support relation.
     pub fn create_asr(&mut self, path: PathExpression, config: AsrConfig) -> Result<AsrId> {
-        let asr =
-            AccessSupportRelation::build(&self.base, path, config, Rc::clone(&self.stats))?;
+        let asr = AccessSupportRelation::build(&self.base, path, config, Rc::clone(&self.stats))?;
         self.asrs.push(Some(asr));
         Ok(self.asrs.len() - 1)
     }
@@ -109,7 +135,9 @@ impl Database {
                 *slot = None;
                 Ok(())
             }
-            _ => Err(AsrError::InvalidDecomposition(format!("no ASR with id {id}"))),
+            _ => Err(AsrError::InvalidDecomposition(format!(
+                "no ASR with id {id}"
+            ))),
         }
     }
 
@@ -123,7 +151,10 @@ impl Database {
 
     /// Iterate over the live ASRs.
     pub fn asrs(&self) -> impl Iterator<Item = (AsrId, &AccessSupportRelation)> {
-        self.asrs.iter().enumerate().filter_map(|(i, a)| a.as_ref().map(|a| (i, a)))
+        self.asrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|a| (i, a)))
     }
 
     // ------------------------------------------------------------------
@@ -133,35 +164,52 @@ impl Database {
     /// Forward span query through an ASR, falling back to naive object
     /// traversal when formula (35) rules the extension out.
     pub fn forward(&self, id: AsrId, i: usize, j: usize, start: Oid) -> Result<Vec<Cell>> {
+        let mut span = self.tracer.span_with(
+            "query.forward",
+            &[("asr", id.to_string()), ("span", format!("{i}..{j}"))],
+        );
+        self.tracer.metrics().inc_counter("query.forward", 1);
         let asr = self.asr(id)?;
-        match asr.forward(i, j, start) {
+        let result = match asr.forward(i, j, start) {
             Err(AsrError::Unsupported { .. }) => {
+                span.add_attr("fallback", "naive");
+                self.tracer.metrics().inc_counter("query.naive_fallback", 1);
                 naive::forward_naive(&self.base, &self.store, asr.path(), i, j, start)
             }
             other => other,
+        };
+        if let Ok(cells) = &result {
+            span.set_rows(cells.len() as u64);
         }
+        result
     }
 
     /// Backward span query through an ASR, with naive fallback.
     pub fn backward(&self, id: AsrId, i: usize, j: usize, target: &Cell) -> Result<Vec<Oid>> {
+        let mut span = self.tracer.span_with(
+            "query.backward",
+            &[("asr", id.to_string()), ("span", format!("{i}..{j}"))],
+        );
+        self.tracer.metrics().inc_counter("query.backward", 1);
         let asr = self.asr(id)?;
-        match asr.backward(i, j, target) {
+        let result = match asr.backward(i, j, target) {
             Err(AsrError::Unsupported { .. }) => {
+                span.add_attr("fallback", "naive");
+                self.tracer.metrics().inc_counter("query.naive_fallback", 1);
                 naive::backward_naive(&self.base, &self.store, asr.path(), i, j, target)
             }
             other => other,
+        };
+        if let Ok(oids) = &result {
+            span.set_rows(oids.len() as u64);
         }
+        result
     }
 
     /// Find a registered ASR over exactly this path whose extension
     /// supports the span `Q_{i,j}` (formula 35).  Prefers the ASR with the
     /// fewest stored rows when several qualify.
-    pub fn find_supporting_asr(
-        &self,
-        path: &PathExpression,
-        i: usize,
-        j: usize,
-    ) -> Option<AsrId> {
+    pub fn find_supporting_asr(&self, path: &PathExpression, i: usize, j: usize) -> Option<AsrId> {
         self.asrs()
             .filter(|(_, asr)| asr.path() == path && asr.supports(i, j))
             .min_by_key(|(_, asr)| asr.total_rows())
@@ -179,7 +227,21 @@ impl Database {
     ) -> Result<Vec<Cell>> {
         match self.find_supporting_asr(path, i, j) {
             Some(id) => self.forward(id, i, j, start),
-            None => naive::forward_naive(&self.base, &self.store, path, i, j, start),
+            None => {
+                let mut span = self.tracer.span_with(
+                    "query.forward",
+                    &[
+                        ("span", format!("{i}..{j}")),
+                        ("fallback", "unindexed".to_string()),
+                    ],
+                );
+                self.tracer.metrics().inc_counter("query.unindexed", 1);
+                let result = naive::forward_naive(&self.base, &self.store, path, i, j, start);
+                if let Ok(cells) = &result {
+                    span.set_rows(cells.len() as u64);
+                }
+                result
+            }
         }
     }
 
@@ -193,7 +255,21 @@ impl Database {
     ) -> Result<Vec<Oid>> {
         match self.find_supporting_asr(path, i, j) {
             Some(id) => self.backward(id, i, j, target),
-            None => naive::backward_naive(&self.base, &self.store, path, i, j, target),
+            None => {
+                let mut span = self.tracer.span_with(
+                    "query.backward",
+                    &[
+                        ("span", format!("{i}..{j}")),
+                        ("fallback", "unindexed".to_string()),
+                    ],
+                );
+                self.tracer.metrics().inc_counter("query.unindexed", 1);
+                let result = naive::backward_naive(&self.base, &self.store, path, i, j, target);
+                if let Ok(oids) = &result {
+                    span.set_rows(oids.len() as u64);
+                }
+                result
+            }
         }
     }
 
@@ -232,18 +308,33 @@ impl Database {
         Ok(oid)
     }
 
+    /// Count one multi-position rebuild fallback (recursive-schema updates
+    /// that incremental maintenance cannot handle position-by-position).
+    fn note_rebuild_fallback(&self, slot: AsrId, cause: &str) {
+        self.tracer.metrics().inc_counter("asr.rebuild_fallback", 1);
+        self.tracer.event(
+            "maintenance.rebuild_fallback",
+            &[("asr", slot.to_string()), ("cause", cause.to_string())],
+        );
+    }
+
     /// Assign an attribute, maintaining every registered ASR.
     pub fn set_attribute(&mut self, owner: Oid, attr: &str, value: Value) -> Result<()> {
         let old = self.base.get_attribute(owner, attr)?;
         if old == value {
             return Ok(());
         }
+        let _span = self
+            .tracer
+            .span_with("maintain.set_attribute", &[("attr", attr.to_string())]);
         self.base.set_attribute(owner, attr, value.clone())?;
         let owner_ty = self.base.type_of(owner)?;
         self.store.charge_update(owner_ty, owner);
 
         for slot in 0..self.asrs.len() {
-            let Some(asr) = self.asrs[slot].as_ref() else { continue };
+            let Some(asr) = self.asrs[slot].as_ref() else {
+                continue;
+            };
             let path = asr.path().clone();
             let positions: Vec<usize> = (1..=path.len())
                 .filter(|&p| {
@@ -258,14 +349,26 @@ impl Database {
                 // backs row segments at multiple columns and per-position
                 // deltas are unsound; rebuild instead (page writes are
                 // charged through the bulk load).
-                self.asrs[slot].as_mut().expect("slot checked above").rebuild(&self.base)?;
+                self.note_rebuild_fallback(slot, "set_attribute");
+                self.asrs[slot]
+                    .as_mut()
+                    .expect("slot checked above")
+                    .rebuild(&self.base)?;
                 continue;
             }
             for p in positions {
                 let events = self.attr_events(&path, p, owner, &old, &value)?;
                 let asr = self.asrs[slot].as_mut().expect("slot checked above");
                 for (event, added, bare_before, bare_after) in events {
-                    maintain_edge(asr, &self.base, &self.store, &event, added, bare_before, bare_after)?;
+                    maintain_edge(
+                        asr,
+                        &self.base,
+                        &self.store,
+                        &event,
+                        added,
+                        bare_before,
+                        bare_after,
+                    )?;
                 }
             }
         }
@@ -303,11 +406,21 @@ impl Database {
             }
         } else {
             if let Some(cell) = Cell::from_gom(new) {
-                let ev = EdgeEvent { step: p, owner, set: None, target: Some(cell) };
+                let ev = EdgeEvent {
+                    step: p,
+                    owner,
+                    set: None,
+                    target: Some(cell),
+                };
                 events.push((ev, true, old.is_null(), false));
             }
             if let Some(cell) = Cell::from_gom(old) {
-                let ev = EdgeEvent { step: p, owner, set: None, target: Some(cell) };
+                let ev = EdgeEvent {
+                    step: p,
+                    owner,
+                    set: None,
+                    target: Some(cell),
+                };
                 events.push((ev, false, false, new.is_null()));
             }
         }
@@ -318,7 +431,9 @@ impl Database {
     /// NULL) at a set occurrence: one event per member, or a marker event
     /// for an empty set, or nothing for NULL.
     fn set_edges(&self, p: usize, owner: Oid, value: &Value) -> Result<Vec<EdgeEvent>> {
-        let Value::Ref(set) = value else { return Ok(Vec::new()) };
+        let Value::Ref(set) = value else {
+            return Ok(Vec::new());
+        };
         if !self.base.contains(*set) {
             return Ok(Vec::new());
         }
@@ -333,11 +448,21 @@ impl Database {
             })
             .collect();
         if members.is_empty() {
-            return Ok(vec![EdgeEvent { step: p, owner, set: Some(*set), target: None }]);
+            return Ok(vec![EdgeEvent {
+                step: p,
+                owner,
+                set: Some(*set),
+                target: None,
+            }]);
         }
         Ok(members
             .into_iter()
-            .map(|cell| EdgeEvent { step: p, owner, set: Some(*set), target: Some(cell) })
+            .map(|cell| EdgeEvent {
+                step: p,
+                owner,
+                set: Some(*set),
+                target: Some(cell),
+            })
             .collect())
     }
 
@@ -349,6 +474,7 @@ impl Database {
         if !self.base.insert_into_set(set, elem.clone())? {
             return Ok(false);
         }
+        let _span = self.tracer.span("maintain.insert_into_set");
         let was_empty = self.base.object(set)?.body.len() == 1;
         self.charge_set_update(set)?;
         let elem_cell = Cell::from_gom(&elem);
@@ -361,6 +487,7 @@ impl Database {
         if !self.base.remove_from_set(set, elem)? {
             return Ok(false);
         }
+        let _span = self.tracer.span("maintain.remove_from_set");
         let now_empty = self.base.object(set)?.body.is_empty();
         self.charge_set_update(set)?;
         let elem_cell = Cell::from_gom(elem);
@@ -431,7 +558,9 @@ impl Database {
     ) -> Result<()> {
         let set_ty = self.base.type_of(set)?;
         for slot in 0..self.asrs.len() {
-            let Some(asr) = self.asrs[slot].as_ref() else { continue };
+            let Some(asr) = self.asrs[slot].as_ref() else {
+                continue;
+            };
             let path = asr.path().clone();
             let matching = (1..=path.len())
                 .filter(|&p| path.steps()[p - 1].set_type == Some(set_ty))
@@ -439,7 +568,11 @@ impl Database {
             if matching > 1 {
                 // Recursive path: one set insertion affects several
                 // positions — rebuild (see `set_attribute`).
-                self.asrs[slot].as_mut().expect("slot checked above").rebuild(&self.base)?;
+                self.note_rebuild_fallback(slot, "set_change");
+                self.asrs[slot]
+                    .as_mut()
+                    .expect("slot checked above")
+                    .rebuild(&self.base)?;
                 continue;
             }
             for p in 1..=path.len() {
@@ -453,15 +586,22 @@ impl Database {
                     .base
                     .extent_closure(domain)
                     .into_iter()
-                    .filter(|o| {
-                        self.base.get_attribute(*o, &attr).ok() == Some(Value::Ref(set))
-                    })
+                    .filter(|o| self.base.get_attribute(*o, &attr).ok() == Some(Value::Ref(set)))
                     .collect();
                 for owner in owners {
                     let asr = self.asrs[slot].as_mut().expect("slot checked above");
-                    let ev =
-                        EdgeEvent { step: p, owner, set: Some(set), target: elem.clone() };
-                    let marker = EdgeEvent { step: p, owner, set: Some(set), target: None };
+                    let ev = EdgeEvent {
+                        step: p,
+                        owner,
+                        set: Some(set),
+                        target: elem.clone(),
+                    };
+                    let marker = EdgeEvent {
+                        step: p,
+                        owner,
+                        set: Some(set),
+                        target: None,
+                    };
                     // Additions before removals (see `attr_events`): the
                     // maintenance prefixes live in the rows about to be
                     // retracted.
@@ -469,12 +609,28 @@ impl Database {
                         maintain_edge(asr, &self.base, &self.store, &ev, true, false, false)?;
                         if boundary_empty {
                             // The set was empty: retract the marker rows.
-                            maintain_edge(asr, &self.base, &self.store, &marker, false, false, false)?;
+                            maintain_edge(
+                                asr,
+                                &self.base,
+                                &self.store,
+                                &marker,
+                                false,
+                                false,
+                                false,
+                            )?;
                         }
                     } else {
                         if boundary_empty {
                             // The set becomes empty: marker rows appear.
-                            maintain_edge(asr, &self.base, &self.store, &marker, true, false, false)?;
+                            maintain_edge(
+                                asr,
+                                &self.base,
+                                &self.store,
+                                &marker,
+                                true,
+                                false,
+                                false,
+                            )?;
                         }
                         maintain_edge(asr, &self.base, &self.store, &ev, false, false, false)?;
                     }
@@ -511,11 +667,20 @@ mod tests {
     fn company_db() -> Database {
         let mut s = Schema::new();
         s.define_set("Company", "Division").unwrap();
-        s.define_tuple("Division", [("Name", "STRING"), ("Manufactures", "ProdSET")]).unwrap();
+        s.define_tuple(
+            "Division",
+            [("Name", "STRING"), ("Manufactures", "ProdSET")],
+        )
+        .unwrap();
         s.define_set("ProdSET", "Product").unwrap();
-        s.define_tuple("Product", [("Name", "STRING"), ("Composition", "BasePartSET")]).unwrap();
+        s.define_tuple(
+            "Product",
+            [("Name", "STRING"), ("Composition", "BasePartSET")],
+        )
+        .unwrap();
         s.define_set("BasePartSET", "BasePart").unwrap();
-        s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")]).unwrap();
+        s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")])
+            .unwrap();
         s.validate().unwrap();
         Database::new(s)
     }
@@ -563,18 +728,23 @@ mod tests {
         let ps = db.instantiate("ProdSET").unwrap();
         db.set_attribute(d, "Manufactures", Value::Ref(ps)).unwrap();
         let prod = db.instantiate("Product").unwrap();
-        db.set_attribute(prod, "Name", Value::string("560 SEC")).unwrap();
+        db.set_attribute(prod, "Name", Value::string("560 SEC"))
+            .unwrap();
         db.insert_into_set(ps, Value::Ref(prod)).unwrap();
         let bs = db.instantiate("BasePartSET").unwrap();
-        db.set_attribute(prod, "Composition", Value::Ref(bs)).unwrap();
+        db.set_attribute(prod, "Composition", Value::Ref(bs))
+            .unwrap();
         let part = db.instantiate("BasePart").unwrap();
-        db.set_attribute(part, "Name", Value::string("Door")).unwrap();
+        db.set_attribute(part, "Name", Value::string("Door"))
+            .unwrap();
         db.insert_into_set(bs, Value::Ref(part)).unwrap();
         assert_all_consistent(&db);
 
         // Full-span backward query works on every extension.
         for &id in &ids {
-            let hits = db.backward(id, 0, 3, &Cell::Value(Value::string("Door"))).unwrap();
+            let hits = db
+                .backward(id, 0, 3, &Cell::Value(Value::string("Door")))
+                .unwrap();
             assert_eq!(hits, vec![d], "ASR {id}");
         }
         // Partial span: supported by full, naive fallback elsewhere —
@@ -589,11 +759,9 @@ mod tests {
     fn updates_through_every_mutation_kind() {
         let mut db = company_db();
         for ext in Extension::ALL {
-            let p = PathExpression::parse(
-                db.base().schema(),
-                "Division.Manufactures.Composition.Name",
-            )
-            .unwrap();
+            let p =
+                PathExpression::parse(db.base().schema(), "Division.Manufactures.Composition.Name")
+                    .unwrap();
             db.create_asr(
                 p,
                 AsrConfig {
@@ -614,13 +782,16 @@ mod tests {
         assert_all_consistent(&db); // empty-set marker
         db.insert_into_set(ps, Value::Ref(prod)).unwrap();
         assert_all_consistent(&db); // marker -> edge
-        db.set_attribute(prod, "Composition", Value::Ref(bs)).unwrap();
+        db.set_attribute(prod, "Composition", Value::Ref(bs))
+            .unwrap();
         assert_all_consistent(&db);
         db.insert_into_set(bs, Value::Ref(part)).unwrap();
         assert_all_consistent(&db);
-        db.set_attribute(part, "Name", Value::string("Door")).unwrap();
+        db.set_attribute(part, "Name", Value::string("Door"))
+            .unwrap();
         assert_all_consistent(&db); // terminal value edge
-        db.set_attribute(part, "Name", Value::string("Hatch")).unwrap();
+        db.set_attribute(part, "Name", Value::string("Hatch"))
+            .unwrap();
         assert_all_consistent(&db); // value overwrite
         db.remove_from_set(bs, &Value::Ref(part)).unwrap();
         assert_all_consistent(&db); // edge -> marker
@@ -633,22 +804,24 @@ mod tests {
     #[test]
     fn shared_sets_maintain_all_owners() {
         let mut db = company_db();
-        let p = PathExpression::parse(
-            db.base().schema(),
-            "Division.Manufactures.Composition.Name",
+        let p = PathExpression::parse(db.base().schema(), "Division.Manufactures.Composition.Name")
+            .unwrap();
+        db.create_asr(
+            p,
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(3),
+                keep_set_oids: false,
+            },
         )
-        .unwrap();
-        db.create_asr(p, AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::binary(3),
-            keep_set_oids: false,
-        })
         .unwrap();
         let d1 = db.instantiate("Division").unwrap();
         let d2 = db.instantiate("Division").unwrap();
         let shared = db.instantiate("ProdSET").unwrap();
-        db.set_attribute(d1, "Manufactures", Value::Ref(shared)).unwrap();
-        db.set_attribute(d2, "Manufactures", Value::Ref(shared)).unwrap();
+        db.set_attribute(d1, "Manufactures", Value::Ref(shared))
+            .unwrap();
+        db.set_attribute(d2, "Manufactures", Value::Ref(shared))
+            .unwrap();
         let prod = db.instantiate("Product").unwrap();
         db.insert_into_set(shared, Value::Ref(prod)).unwrap();
         assert_all_consistent(&db);
@@ -659,16 +832,16 @@ mod tests {
     #[test]
     fn delete_rebuilds() {
         let mut db = company_db();
-        let p = PathExpression::parse(
-            db.base().schema(),
-            "Division.Manufactures.Composition.Name",
+        let p = PathExpression::parse(db.base().schema(), "Division.Manufactures.Composition.Name")
+            .unwrap();
+        db.create_asr(
+            p,
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::none(3),
+                keep_set_oids: false,
+            },
         )
-        .unwrap();
-        db.create_asr(p, AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::none(3),
-            keep_set_oids: false,
-        })
         .unwrap();
         let d = db.instantiate("Division").unwrap();
         let ps = db.instantiate("ProdSET").unwrap();
@@ -680,17 +853,17 @@ mod tests {
     #[test]
     fn drop_asr_frees_slot() {
         let mut db = company_db();
-        let p = PathExpression::parse(
-            db.base().schema(),
-            "Division.Manufactures.Composition.Name",
-        )
-        .unwrap();
+        let p = PathExpression::parse(db.base().schema(), "Division.Manufactures.Composition.Name")
+            .unwrap();
         let id = db
-            .create_asr(p, AsrConfig {
-                extension: Extension::Full,
-                decomposition: Decomposition::none(3),
-                keep_set_oids: false,
-            })
+            .create_asr(
+                p,
+                AsrConfig {
+                    extension: Extension::Full,
+                    decomposition: Decomposition::none(3),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
         assert!(db.asr(id).is_ok());
         db.drop_asr(id).unwrap();
@@ -707,11 +880,8 @@ mod tests {
         db.set_attribute(d, "Manufactures", Value::Ref(ps)).unwrap();
         let prod = db.instantiate("Product").unwrap();
         db.insert_into_set(ps, Value::Ref(prod)).unwrap();
-        let p = PathExpression::parse(
-            db.base().schema(),
-            "Division.Manufactures.Composition.Name",
-        )
-        .unwrap();
+        let p = PathExpression::parse(db.base().schema(), "Division.Manufactures.Composition.Name")
+            .unwrap();
         // No ASR yet: find nothing, navigation still answers naively.
         assert!(db.find_supporting_asr(&p, 0, 3).is_none());
         let r = db.navigate_forward(&p, 0, 1, d).unwrap();
@@ -721,7 +891,9 @@ mod tests {
         let can = db
             .create_asr(p.clone(), AsrConfig::binary(Extension::Canonical, &p))
             .unwrap();
-        let full = db.create_asr(p.clone(), AsrConfig::binary(Extension::Full, &p)).unwrap();
+        let full = db
+            .create_asr(p.clone(), AsrConfig::binary(Extension::Full, &p))
+            .unwrap();
         // Whole chain: both support; the smaller (canonical) is preferred.
         assert_eq!(db.find_supporting_asr(&p, 0, 3), Some(can));
         // Interior span: only full qualifies.

@@ -33,7 +33,9 @@ impl Decomposition {
     /// binary relation.
     pub fn binary(m: usize) -> Self {
         assert!(m >= 1);
-        Decomposition { cuts: (0..=m).collect() }
+        Decomposition {
+            cuts: (0..=m).collect(),
+        }
     }
 
     /// A custom decomposition from its cut points, validated to start at 0,
@@ -46,7 +48,9 @@ impl Decomposition {
             ));
         }
         if cuts[0] != 0 {
-            return Err(AsrError::InvalidDecomposition("first cut point must be 0".into()));
+            return Err(AsrError::InvalidDecomposition(
+                "first cut point must be 0".into(),
+            ));
         }
         if !cuts.windows(2).all(|w| w[0] < w[1]) {
             return Err(AsrError::InvalidDecomposition(
@@ -136,7 +140,9 @@ impl Decomposition {
                 actual: relation.arity(),
             });
         }
-        self.partitions().map(|(a, b)| relation.project(a, b)).collect()
+        self.partitions()
+            .map(|(a, b)| relation.project(a, b))
+            .collect()
     }
 
     /// Reassemble decomposed partitions with the join flavour of the given
@@ -220,7 +226,11 @@ mod tests {
         let d = Decomposition::new(vec![0, 3, 5]).unwrap();
         assert_eq!(d.partition_containing(0), 0);
         assert_eq!(d.partition_containing(2), 0);
-        assert_eq!(d.partition_containing(3), 1, "interior cut starts the next partition");
+        assert_eq!(
+            d.partition_containing(3),
+            1,
+            "interior cut starts the next partition"
+        );
         assert_eq!(d.partition_containing(5), 1);
         assert_eq!(d.span(0), (0, 3));
         assert_eq!(d.span(1), (3, 5));
@@ -276,7 +286,10 @@ mod tests {
     fn arity_mismatch_rejected() {
         let d = Decomposition::none(3);
         let r = Relation::new(2);
-        assert!(matches!(d.decompose(&r), Err(AsrError::ArityMismatch { .. })));
+        assert!(matches!(
+            d.decompose(&r),
+            Err(AsrError::ArityMismatch { .. })
+        ));
         assert!(d.reassemble(&[], Extension::Full).is_err());
     }
 }

@@ -107,7 +107,12 @@ mod tests {
         assert!(e.to_string().contains("object model error"));
         let e: AsrError = PageSimError::NotFound("k".into()).into();
         assert!(e.to_string().contains("storage error"));
-        let e = AsrError::Unsupported { extension: "canonical", i: 1, j: 3, n: 4 };
+        let e = AsrError::Unsupported {
+            extension: "canonical",
+            i: 1,
+            j: 3,
+            n: 4,
+        };
         assert_eq!(
             e.to_string(),
             "the canonical extension cannot evaluate Q_{1,3} on a path of length 4"

@@ -139,8 +139,14 @@ mod tests {
             oid_of(&base, "Door"),
             val("Door"),
         ]);
-        assert!(can.contains(&auto_row), "the paper's example canonical tuple");
-        assert!(can.contains(&truck_row), "i5 = {{i6, i9}} also reaches Door");
+        assert!(
+            can.contains(&auto_row),
+            "the paper's example canonical tuple"
+        );
+        assert!(
+            can.contains(&truck_row),
+            "i5 = {{i6, i9}} also reaches Door"
+        );
     }
 
     #[test]
@@ -171,7 +177,10 @@ mod tests {
     fn left_complete_requires_anchor() {
         let (base, [_, _, left, _]) = extensions();
         assert_eq!(left.len(), 3);
-        assert!(left.iter().all(|r| r.first().is_some()), "all rows originate in t_0");
+        assert!(
+            left.iter().all(|r| r.first().is_some()),
+            "all rows originate in t_0"
+        );
         assert!(left.contains(&Row::new(vec![
             oid_of(&base, "Truck"),
             oid_of(&base, "MB Trak"),
@@ -184,7 +193,10 @@ mod tests {
     fn right_complete_requires_terminal() {
         let (base, [_, _, _, right]) = extensions();
         assert_eq!(right.len(), 3);
-        assert!(right.iter().all(|r| r.last().is_some()), "all rows reach A_n");
+        assert!(
+            right.iter().all(|r| r.last().is_some()),
+            "all rows reach A_n"
+        );
         assert!(right.contains(&Row::new(vec![
             None,
             oid_of(&base, "Sausage"),

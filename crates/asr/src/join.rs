@@ -99,8 +99,9 @@ pub fn chain_join(left: &Relation, right: &Relation, kind: JoinKind) -> Result<R
 /// `(((r0 ⊳⊲ r1) ⊳⊲ r2) …)`.  Used for the canonical, full and
 /// left-complete extensions (Definitions 3.4–3.6).
 pub fn fold_left(relations: &[Relation], kind: JoinKind) -> Result<Relation> {
-    let (first, rest) =
-        relations.split_first().ok_or_else(|| AsrError::InvalidDecomposition("empty join chain".into()))?;
+    let (first, rest) = relations
+        .split_first()
+        .ok_or_else(|| AsrError::InvalidDecomposition("empty join chain".into()))?;
     let mut acc = first.clone();
     for r in rest {
         acc = chain_join(&acc, r, kind)?;
@@ -111,8 +112,9 @@ pub fn fold_left(relations: &[Relation], kind: JoinKind) -> Result<Relation> {
 /// Right-associative fold: `(r0 ⊳⊲ (r1 ⊳⊲ (… ⊳⊲ r_{n-1})))`.  Used for the
 /// right-complete extension (Definition 3.7).
 pub fn fold_right(relations: &[Relation], kind: JoinKind) -> Result<Relation> {
-    let (last, rest) =
-        relations.split_last().ok_or_else(|| AsrError::InvalidDecomposition("empty join chain".into()))?;
+    let (last, rest) = relations
+        .split_last()
+        .ok_or_else(|| AsrError::InvalidDecomposition("empty join chain".into()))?;
     let mut acc = last.clone();
     for r in rest.iter().rev() {
         acc = chain_join(r, &acc, kind)?;
@@ -150,7 +152,10 @@ mod tests {
         let j = chain_join(&e0(), &e1(), JoinKind::LeftOuter).unwrap();
         assert_eq!(j.len(), 2);
         assert!(j.contains(&row![c(1), c(6), c(8)]));
-        assert!(j.contains(&row![c(2), c(9), None]), "i2's path dangles right");
+        assert!(
+            j.contains(&row![c(2), c(9), None]),
+            "i2's path dangles right"
+        );
     }
 
     #[test]
@@ -158,7 +163,10 @@ mod tests {
         let j = chain_join(&e0(), &e1(), JoinKind::RightOuter).unwrap();
         assert_eq!(j.len(), 2);
         assert!(j.contains(&row![c(1), c(6), c(8)]));
-        assert!(j.contains(&row![None, c(11), c(14)]), "i11 is not referenced by a Division");
+        assert!(
+            j.contains(&row![None, c(11), c(14)]),
+            "i11 is not referenced by a Division"
+        );
     }
 
     #[test]
@@ -186,8 +194,7 @@ mod tests {
     #[test]
     fn fanout_multiplies_rows() {
         let left = Relation::from_rows(2, vec![row![c(0), c(1)]]).unwrap();
-        let right =
-            Relation::from_rows(2, vec![row![c(1), c(2)], row![c(1), c(3)]]).unwrap();
+        let right = Relation::from_rows(2, vec![row![c(1), c(2)], row![c(1), c(3)]]).unwrap();
         let j = chain_join(&left, &right, JoinKind::Natural).unwrap();
         assert_eq!(j.len(), 2);
     }
@@ -203,7 +210,11 @@ mod tests {
 
     #[test]
     fn folds_match_manual_nesting() {
-        let rels = vec![e0(), e1(), Relation::from_rows(2, vec![row![c(8), c(99)]]).unwrap()];
+        let rels = vec![
+            e0(),
+            e1(),
+            Relation::from_rows(2, vec![row![c(8), c(99)]]).unwrap(),
+        ];
         let left_fold = fold_left(&rels, JoinKind::LeftOuter).unwrap();
         let manual = chain_join(
             &chain_join(&rels[0], &rels[1], JoinKind::LeftOuter).unwrap(),

@@ -94,8 +94,7 @@ impl Admission<'_> {
             }
             Extension::RightComplete => {
                 row.cell(m).is_some()
-                    || (row.cell(m.saturating_sub(1)).is_some()
-                        && self.last_stop_is_marker(row))
+                    || (row.cell(m.saturating_sub(1)).is_some() && self.last_stop_is_marker(row))
             }
         }
     }
@@ -166,7 +165,13 @@ pub fn maintain_edge(
     let cl = path.column_of(p - 1, keep);
     let ce = path.column_of(p, keep);
     let m = path.arity(keep) - 1;
-    let adm = Admission { ext, m, base, path: &path, keep };
+    let adm = Admission {
+        ext,
+        m,
+        base,
+        path: &path,
+        keep,
+    };
 
     // Marker events at *interior* steps never reach the canonical /
     // right-complete extensions (the NULL breaks every later join).  A
@@ -442,7 +447,11 @@ mod tests {
             Some(c) => Decomposition::new(c).unwrap(),
             None => Decomposition::binary(m),
         };
-        let config = AsrConfig { extension: ext, decomposition: dec, keep_set_oids: keep };
+        let config = AsrConfig {
+            extension: ext,
+            decomposition: dec,
+            keep_set_oids: keep,
+        };
         let stats = IoStats::new_handle();
         let mut asr =
             AccessSupportRelation::build(&base, path.clone(), config.clone(), Rc::clone(&stats))
@@ -457,7 +466,11 @@ mod tests {
         // Composition set (i7), giving the Door chain a second member.
         let sec = oid_of(&base, "560 SEC");
         let pepper = oid_of(&base, "Pepper");
-        let set = base.get_attribute(sec, "Composition").unwrap().as_ref_oid().unwrap();
+        let set = base
+            .get_attribute(sec, "Composition")
+            .unwrap()
+            .as_ref_oid()
+            .unwrap();
         assert!(base.insert_into_set(set, Value::Ref(pepper)).unwrap());
         let event = EdgeEvent {
             step: 2,
@@ -520,14 +533,27 @@ mod tests {
             // Remove Door from i7 (560 SEC's only base part), then put it back.
             let sec = oid_of(&base, "560 SEC");
             let door = oid_of(&base, "Door");
-            let set = base.get_attribute(sec, "Composition").unwrap().as_ref_oid().unwrap();
+            let set = base
+                .get_attribute(sec, "Composition")
+                .unwrap()
+                .as_ref_oid()
+                .unwrap();
             assert!(base.remove_from_set(set, &Value::Ref(door)).unwrap());
-            let ev =
-                EdgeEvent { step: 2, owner: sec, set: Some(set), target: Some(Cell::Oid(door)) };
+            let ev = EdgeEvent {
+                step: 2,
+                owner: sec,
+                set: Some(set),
+                target: Some(Cell::Oid(door)),
+            };
             // The set becomes empty: the marker rows appear first (they
             // need the owner's prefixes, which live in the rows about to
             // be retracted), then the edge rows are removed.
-            let marker = EdgeEvent { step: 2, owner: sec, set: Some(set), target: None };
+            let marker = EdgeEvent {
+                step: 2,
+                owner: sec,
+                set: Some(set),
+                target: None,
+            };
             maintain_edge(&mut asr, &base, &store, &marker, true, false, false).unwrap();
             maintain_edge(&mut asr, &base, &store, &ev, false, false, false).unwrap();
             asr.check_consistency().unwrap();
@@ -581,7 +607,11 @@ mod tests {
 
             let sec = oid_of(&base, "560 SEC");
             let pepper = oid_of(&base, "Pepper");
-            let set = base.get_attribute(sec, "Composition").unwrap().as_ref_oid().unwrap();
+            let set = base
+                .get_attribute(sec, "Composition")
+                .unwrap()
+                .as_ref_oid()
+                .unwrap();
             base.insert_into_set(set, Value::Ref(pepper)).unwrap();
             let ev = EdgeEvent {
                 step: 2,

@@ -119,6 +119,7 @@ impl AccessSupportRelation {
                     }
                 }
                 let mut sp = StoredPartition::new(a, b, Rc::clone(&self.stats));
+                sp.tag(&format!("asr[{}].{a}-{b}", self.path));
                 sp.bulk_load(counts)?;
                 Ok(sp)
             })
@@ -207,12 +208,18 @@ impl AccessSupportRelation {
     /// Total tuple bytes across partitions (the paper's storage-cost
     /// measure, Section 4.3, for the non-redundant representation).
     pub fn data_bytes(&self) -> u64 {
-        self.partitions.iter().map(StoredPartition::data_bytes).sum()
+        self.partitions
+            .iter()
+            .map(StoredPartition::data_bytes)
+            .sum()
     }
 
     /// Total pages across both redundant B+ trees of every partition.
     pub fn total_pages(&self) -> u64 {
-        self.partitions.iter().map(StoredPartition::total_pages).sum()
+        self.partitions
+            .iter()
+            .map(StoredPartition::total_pages)
+            .sum()
     }
 
     /// Map a path position to its relation column.
@@ -268,9 +275,14 @@ impl AccessSupportRelation {
     /// Reassemble the full logical relation from the stored partitions
     /// (Theorem 3.9) — primarily for tests and inspection.
     pub fn to_relation(&self) -> Result<Relation> {
-        let parts: Vec<Relation> =
-            self.partitions.iter().map(StoredPartition::to_relation).collect::<Result<_>>()?;
-        self.config.decomposition.reassemble(&parts, self.config.extension)
+        let parts: Vec<Relation> = self
+            .partitions
+            .iter()
+            .map(StoredPartition::to_relation)
+            .collect::<Result<_>>()?;
+        self.config
+            .decomposition
+            .reassemble(&parts, self.config.extension)
     }
 
     /// Verify partition invariants and that every partition's witness
@@ -288,20 +300,22 @@ impl AccessSupportRelation {
                 }
             }
             if counts.len() != p.len() {
-                return Err(AsrError::PageSim(asr_pagesim::PageSimError::CorruptStructure(
-                    format!(
+                return Err(AsrError::PageSim(
+                    asr_pagesim::PageSimError::CorruptStructure(format!(
                         "partition [{a},{b}]: {} stored rows but {} distinct projections",
                         p.len(),
                         counts.len()
-                    ),
-                )));
+                    )),
+                ));
             }
             for (row, want) in counts {
                 let got = p.witness_count(&row);
                 if got != want {
-                    return Err(AsrError::PageSim(asr_pagesim::PageSimError::CorruptStructure(
-                        format!("partition [{a},{b}]: row {row} has {got} witnesses, expected {want}"),
-                    )));
+                    return Err(AsrError::PageSim(
+                        asr_pagesim::PageSimError::CorruptStructure(format!(
+                            "partition [{a},{b}]: row {row} has {got} witnesses, expected {want}"
+                        )),
+                    ));
                 }
             }
         }
@@ -324,9 +338,12 @@ mod tests {
 
     fn build(ext: Extension, dec: Decomposition) -> (ObjectBase, AccessSupportRelation) {
         let (base, path) = crate::testutil::figure2_base();
-        let config = AsrConfig { extension: ext, decomposition: dec, keep_set_oids: false };
-        let asr =
-            AccessSupportRelation::build(&base, path, config, IoStats::new_handle()).unwrap();
+        let config = AsrConfig {
+            extension: ext,
+            decomposition: dec,
+            keep_set_oids: false,
+        };
+        let asr = AccessSupportRelation::build(&base, path, config, IoStats::new_handle()).unwrap();
         (base, asr)
     }
 
@@ -335,7 +352,9 @@ mod tests {
         let (base, asr) = build(Extension::Canonical, Decomposition::binary(3));
         asr.check_consistency().unwrap();
         // Query 2: which Division uses a BasePart named "Door"?
-        let hits = asr.backward(0, 3, &Cell::Value(Value::string("Door"))).unwrap();
+        let hits = asr
+            .backward(0, 3, &Cell::Value(Value::string("Door")))
+            .unwrap();
         assert_eq!(hits.len(), 2);
         // Query 3 direction: names reachable from Auto.
         let auto = oid_of(&base, "Auto");
@@ -344,9 +363,14 @@ mod tests {
         // Partial spans unsupported on canonical.
         assert!(matches!(
             asr.forward(0, 2, auto),
-            Err(AsrError::Unsupported { extension: "canonical", .. })
+            Err(AsrError::Unsupported {
+                extension: "canonical",
+                ..
+            })
         ));
-        assert!(asr.backward(1, 3, &Cell::Value(Value::string("Door"))).is_err());
+        assert!(asr
+            .backward(1, 3, &Cell::Value(Value::string("Door")))
+            .is_err());
     }
 
     #[test]
@@ -358,7 +382,9 @@ mod tests {
         let sausage = oid_of(&base, "Sausage");
         let names = asr.forward(1, 3, sausage).unwrap();
         assert_eq!(names, vec![Cell::Value(Value::string("Pepper"))]);
-        let holders = asr.backward(1, 2, &Cell::Oid(oid_of(&base, "Pepper"))).unwrap();
+        let holders = asr
+            .backward(1, 2, &Cell::Oid(oid_of(&base, "Pepper")))
+            .unwrap();
         assert_eq!(holders, vec![oid_of(&base, "Sausage")]);
     }
 
@@ -369,16 +395,22 @@ mod tests {
         let products = asr.forward(0, 1, truck).unwrap();
         assert_eq!(products.len(), 2);
         assert!(asr.forward(1, 2, oid_of(&base, "560 SEC")).is_err());
-        let hits = asr.backward(0, 2, &Cell::Oid(oid_of(&base, "Door"))).unwrap();
+        let hits = asr
+            .backward(0, 2, &Cell::Oid(oid_of(&base, "Door")))
+            .unwrap();
         assert_eq!(hits.len(), 2);
     }
 
     #[test]
     fn right_complete_supports_terminal_spans_only() {
         let (base, asr) = build(Extension::RightComplete, Decomposition::binary(3));
-        let hits = asr.backward(1, 3, &Cell::Value(Value::string("Pepper"))).unwrap();
+        let hits = asr
+            .backward(1, 3, &Cell::Value(Value::string("Pepper")))
+            .unwrap();
         assert_eq!(hits, vec![oid_of(&base, "Sausage")]);
-        assert!(asr.backward(0, 2, &Cell::Oid(oid_of(&base, "Door"))).is_err());
+        assert!(asr
+            .backward(0, 2, &Cell::Oid(oid_of(&base, "Door")))
+            .is_err());
         // Forward to the terminal from an interior anchor.
         let names = asr.forward(1, 3, oid_of(&base, "Sausage")).unwrap();
         assert_eq!(names, vec![Cell::Value(Value::string("Pepper"))]);
@@ -389,8 +421,11 @@ mod tests {
         let (base, path) = crate::testutil::figure2_base();
         for ext in Extension::ALL {
             for dec in Decomposition::enumerate_all(3) {
-                let config =
-                    AsrConfig { extension: ext, decomposition: dec, keep_set_oids: false };
+                let config = AsrConfig {
+                    extension: ext,
+                    decomposition: dec,
+                    keep_set_oids: false,
+                };
                 let asr = AccessSupportRelation::build(
                     &base,
                     path.clone(),
@@ -427,12 +462,13 @@ mod tests {
             decomposition: Decomposition::binary(path.arity(true) - 1),
             keep_set_oids: true,
         };
-        let asr =
-            AccessSupportRelation::build(&base, path, config, IoStats::new_handle()).unwrap();
+        let asr = AccessSupportRelation::build(&base, path, config, IoStats::new_handle()).unwrap();
         let auto = oid_of(&base, "Auto");
         let names = asr.forward(0, 3, auto).unwrap();
         assert_eq!(names, vec![Cell::Value(Value::string("Door"))]);
-        let hits = asr.backward(0, 3, &Cell::Value(Value::string("Door"))).unwrap();
+        let hits = asr
+            .backward(0, 3, &Cell::Value(Value::string("Door")))
+            .unwrap();
         assert_eq!(hits.len(), 2);
     }
 

@@ -39,7 +39,11 @@ pub fn check_span(path: &PathExpression, i: usize, j: usize) -> Result<()> {
     if i < j && j <= path.len() {
         Ok(())
     } else {
-        Err(AsrError::InvalidSpan { i, j, n: path.len() })
+        Err(AsrError::InvalidSpan {
+            i,
+            j,
+            n: path.len(),
+        })
     }
 }
 
@@ -144,7 +148,11 @@ pub fn backward_naive(
 ) -> Result<Vec<Oid>> {
     check_span(path, i, j)?;
     let TypeRef::Named(anchor_ty) = path.type_at(i) else {
-        return Err(AsrError::InvalidSpan { i, j, n: path.len() });
+        return Err(AsrError::InvalidSpan {
+            i,
+            j,
+            n: path.len(),
+        });
     };
     // op_i: exhaustive scan of the anchor extent (all subtype files).
     for sub in base.schema().subtype_closure(anchor_ty) {
@@ -190,7 +198,10 @@ pub fn backward_naive(
         }
         reachable = prev;
     }
-    Ok(anchors.into_iter().filter(|o| reachable.contains(&Cell::Oid(*o))).collect())
+    Ok(anchors
+        .into_iter()
+        .filter(|o| reachable.contains(&Cell::Oid(*o)))
+        .collect())
 }
 
 // ----------------------------------------------------------------------
@@ -221,8 +232,16 @@ pub fn forward_suffixes(
         Cell::Oid(oid) => {
             let mut memo: FragmentMemo = HashMap::new();
             let mut charged: BTreeSet<Oid> = BTreeSet::new();
-            let frags =
-                suffix_fragments(base, store, path, pos, *oid, keep_set_oids, &mut memo, &mut charged)?;
+            let frags = suffix_fragments(
+                base,
+                store,
+                path,
+                pos,
+                *oid,
+                keep_set_oids,
+                &mut memo,
+                &mut charged,
+            )?;
             Ok(frags
                 .into_iter()
                 .map(|mut f| {
@@ -268,9 +287,16 @@ fn suffix_fragments(
             match target {
                 None => out.push(head), // empty-set marker
                 Some(Cell::Oid(t)) => {
-                    for tail in
-                        suffix_fragments(base, store, path, pos + 1, t, keep_set_oids, memo, charged)?
-                    {
+                    for tail in suffix_fragments(
+                        base,
+                        store,
+                        path,
+                        pos + 1,
+                        t,
+                        keep_set_oids,
+                        memo,
+                        charged,
+                    )? {
                         let mut row = head.clone();
                         row.extend(tail);
                         out.push(row);
@@ -309,7 +335,9 @@ pub fn backward_prefixes(
     // rev[l] : object at position l -> (set oid, predecessor at l-1)
     let mut rev: Vec<ReverseEdges> = vec![BTreeMap::new(); pos + 1];
     for l in 0..pos {
-        let TypeRef::Named(ty) = path.type_at(l) else { unreachable!("interior types are named") };
+        let TypeRef::Named(ty) = path.type_at(l) else {
+            unreachable!("interior types are named")
+        };
         for sub in base.schema().subtype_closure(ty) {
             store.charge_scan(sub);
         }
@@ -354,9 +382,7 @@ fn prefix_fragments(
             let step = &path.steps()[pos - 1];
             let mut out = Vec::new();
             for (set, pred) in preds {
-                for mut head in
-                    prefix_fragments(path, pos - 1, *pred, keep_set_oids, rev, memo)
-                {
+                for mut head in prefix_fragments(path, pos - 1, *pred, keep_set_oids, rev, memo) {
                     if keep_set_oids && step.is_set_occurrence() {
                         head.push(set.map(Cell::Oid));
                     }
@@ -440,7 +466,10 @@ mod tests {
             .map(|o| base.get_attribute(*o, "Name").unwrap())
             .collect();
         assert!(names.contains(&Value::string("Auto")));
-        assert!(names.contains(&Value::string("Truck")), "i5 = {{i6,...}} reaches Door too");
+        assert!(
+            names.contains(&Value::string("Truck")),
+            "i5 = {{i6,...}} reaches Door too"
+        );
         assert_eq!(hits.len(), 2);
     }
 
@@ -463,8 +492,19 @@ mod tests {
         // An invalid span must not charge anything.
         assert!(backward_naive(&base, &store, &path, 1, 1, &Cell::Oid(Oid::from_raw(0))).is_err());
         assert_eq!(stats.accesses(), 0);
-        backward_naive(&base, &store, &path, 0, 3, &Cell::Value(Value::string("Door"))).unwrap();
-        assert!(stats.accesses() >= store.page_count(path.anchor()), "at least op_0");
+        backward_naive(
+            &base,
+            &store,
+            &path,
+            0,
+            3,
+            &Cell::Value(Value::string("Door")),
+        )
+        .unwrap();
+        assert!(
+            stats.accesses() >= store.page_count(path.anchor()),
+            "at least op_0"
+        );
     }
 
     #[test]

@@ -129,9 +129,19 @@ impl StoredPartition {
         self.bwd.set_buffer(pool(pages));
     }
 
+    /// Name both clustering trees for per-structure I/O attribution:
+    /// `<label>.fwd` and `<label>.bwd`.
+    pub fn tag(&mut self, label: &str) {
+        self.fwd.tag(format!("{label}.fwd"));
+        self.bwd.tag(format!("{label}.bwd"));
+    }
+
     fn check_arity(&self, row: &Row) -> Result<()> {
         if row.arity() != self.arity() {
-            return Err(AsrError::ArityMismatch { expected: self.arity(), actual: row.arity() });
+            return Err(AsrError::ArityMismatch {
+                expected: self.arity(),
+                actual: row.arity(),
+            });
         }
         Ok(())
     }
@@ -203,7 +213,11 @@ impl StoredPartition {
     pub fn lookup_first(&self, cell: &Cell) -> Vec<Row> {
         let lo = (Some(cell.clone()), 0u64);
         let hi = (Some(cell.clone()), u64::MAX);
-        self.fwd.range_collect(&lo, &hi).into_iter().map(|(_, row)| row).collect()
+        self.fwd
+            .range_collect(&lo, &hi)
+            .into_iter()
+            .map(|(_, row)| row)
+            .collect()
     }
 
     /// All rows whose *last* column equals `cell` — a backward cluster
@@ -211,7 +225,11 @@ impl StoredPartition {
     pub fn lookup_last(&self, cell: &Cell) -> Vec<Row> {
         let lo = (Some(cell.clone()), 0u64);
         let hi = (Some(cell.clone()), u64::MAX);
-        self.bwd.range_collect(&lo, &hi).into_iter().map(|(_, row)| row).collect()
+        self.bwd
+            .range_collect(&lo, &hi)
+            .into_iter()
+            .map(|(_, row)| row)
+            .collect()
     }
 
     /// Exhaustively scan all rows (used when a query enters a partition in
@@ -278,22 +296,24 @@ impl StoredPartition {
         self.fwd.check_invariants()?;
         self.bwd.check_invariants()?;
         if self.fwd.len() != self.rows.len() || self.bwd.len() != self.rows.len() {
-            return Err(AsrError::PageSim(asr_pagesim::PageSimError::CorruptStructure(
-                format!(
+            return Err(AsrError::PageSim(
+                asr_pagesim::PageSimError::CorruptStructure(format!(
                     "tree/mirror cardinality mismatch: fwd={} bwd={} mirror={}",
                     self.fwd.len(),
                     self.bwd.len(),
                     self.rows.len()
-                ),
-            )));
+                )),
+            ));
         }
         let mut fwd_rows: Vec<Row> = Vec::new();
         self.fwd.scan_all(|_, r| fwd_rows.push(r.clone()));
         for row in &fwd_rows {
             if !self.rows.contains_key(row) {
-                return Err(AsrError::PageSim(asr_pagesim::PageSimError::CorruptStructure(
-                    format!("row {row} in fwd tree but not in mirror"),
-                )));
+                return Err(AsrError::PageSim(
+                    asr_pagesim::PageSimError::CorruptStructure(format!(
+                        "row {row} in fwd tree but not in mirror"
+                    )),
+                ));
             }
         }
         Ok(())
@@ -341,7 +361,10 @@ mod tests {
         assert_eq!(p.len(), 1, "physically stored once");
         assert!(p.remove(&r).unwrap());
         assert_eq!(p.witness_count(&r), 1);
-        assert_eq!(p.lookup_first(&Cell::Oid(asr_gom::Oid::from_raw(0))).len(), 1);
+        assert_eq!(
+            p.lookup_first(&Cell::Oid(asr_gom::Oid::from_raw(0))).len(),
+            1
+        );
         assert!(p.remove(&r).unwrap());
         assert_eq!(p.witness_count(&r), 0);
         assert!(p.is_empty());
@@ -356,7 +379,9 @@ mod tests {
         p.insert(row![c(0), c(1), None]).unwrap();
         assert_eq!(p.len(), 2);
         // NULL-first rows are not returned by any forward cell lookup.
-        assert!(p.lookup_first(&Cell::Oid(asr_gom::Oid::from_raw(1))).is_empty());
+        assert!(p
+            .lookup_first(&Cell::Oid(asr_gom::Oid::from_raw(1)))
+            .is_empty());
         // But scans see everything.
         let mut n = 0;
         p.scan(|_| n += 1);
@@ -373,8 +398,14 @@ mod tests {
     #[test]
     fn arity_checked() {
         let mut p = part();
-        assert!(matches!(p.insert(row![c(0), c(1)]), Err(AsrError::ArityMismatch { .. })));
-        assert!(matches!(p.remove(&row![c(0)]), Err(AsrError::ArityMismatch { .. })));
+        assert!(matches!(
+            p.insert(row![c(0), c(1)]),
+            Err(AsrError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            p.remove(&row![c(0)]),
+            Err(AsrError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -389,7 +420,11 @@ mod tests {
     fn load_and_to_relation_round_trip() {
         let rel = Relation::from_rows(
             3,
-            vec![row![c(0), c(1), c(2)], row![c(3), None, c(4)], row![None, c(5), c(6)]],
+            vec![
+                row![c(0), c(1), c(2)],
+                row![c(3), None, c(4)],
+                row![None, c(5), c(6)],
+            ],
         )
         .unwrap();
         let mut p = part();

@@ -45,8 +45,13 @@ impl Database {
             let _ = writeln!(out, "S {name} {size}");
         }
         for (_, asr) in self.asrs() {
-            let cuts: Vec<String> =
-                asr.config().decomposition.cuts().iter().map(|c| c.to_string()).collect();
+            let cuts: Vec<String> = asr
+                .config()
+                .decomposition
+                .cuts()
+                .iter()
+                .map(|c| c.to_string())
+                .collect();
             let _ = writeln!(
                 out,
                 "A {} {} {} {}",
@@ -107,7 +112,9 @@ impl Database {
             let mut parts = line.split(' ');
             let _a = parts.next();
             let dotted = parts.next().ok_or_else(|| bad("A: missing path".into()))?;
-            let ext_name = parts.next().ok_or_else(|| bad("A: missing extension".into()))?;
+            let ext_name = parts
+                .next()
+                .ok_or_else(|| bad("A: missing extension".into()))?;
             let cuts_str = parts.next().ok_or_else(|| bad("A: missing cuts".into()))?;
             let keep = parts.next().ok_or_else(|| bad("A: missing flag".into()))? == "1";
             let extension = Extension::ALL
@@ -119,11 +126,14 @@ impl Database {
                 .map(|c| c.parse().map_err(|_| bad(format!("bad cut `{c}`"))))
                 .collect::<Result<_>>()?;
             let path = PathExpression::parse(db.base().schema(), dotted)?;
-            db.create_asr(path, AsrConfig {
-                extension,
-                decomposition: Decomposition::new(cuts)?,
-                keep_set_oids: keep,
-            })?;
+            db.create_asr(
+                path,
+                AsrConfig {
+                    extension,
+                    decomposition: Decomposition::new(cuts)?,
+                    keep_set_oids: keep,
+                },
+            )?;
         }
         Ok(db)
     }
@@ -135,9 +145,8 @@ impl Database {
 
     /// Load from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Database> {
-        let text = std::fs::read_to_string(path).map_err(|e| {
-            AsrError::BadUpdatePosition(format!("snapshot: cannot read file: {e}"))
-        })?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| AsrError::BadUpdatePosition(format!("snapshot: cannot read file: {e}")))?;
         Database::load_from_string(&text)
     }
 }
@@ -153,12 +162,16 @@ mod tests {
         let mut db = Database::from_base(base);
         let div_ty = db.base().schema().resolve("Division").unwrap();
         db.set_type_size(div_ty, 500);
-        db.create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path)).unwrap();
-        db.create_asr(path, AsrConfig {
-            extension: Extension::Canonical,
-            decomposition: Decomposition::new(vec![0, 2, 3]).unwrap(),
-            keep_set_oids: false,
-        })
+        db.create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path))
+            .unwrap();
+        db.create_asr(
+            path,
+            AsrConfig {
+                extension: Extension::Canonical,
+                decomposition: Decomposition::new(vec![0, 2, 3]).unwrap(),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
         db
     }
@@ -204,7 +217,9 @@ mod tests {
             .find(|o| o.attribute("Name") == &Value::string("560 SEC"))
             .and_then(|o| o.attribute("Composition").as_ref_oid())
             .unwrap();
-        restored.insert_into_set(sec_set, Value::Ref(pepper)).unwrap();
+        restored
+            .insert_into_set(sec_set, Value::Ref(pepper))
+            .unwrap();
         for (id, asr) in restored.asrs() {
             asr.check_consistency().unwrap();
             if asr.supports(0, 3) {

@@ -60,8 +60,7 @@ pub fn forward_supported(
         };
         if cj <= b {
             let offset = cj - a;
-            let out: BTreeSet<Cell> =
-                rows.iter().filter_map(|r| r.cell(offset).clone()).collect();
+            let out: BTreeSet<Cell> = rows.iter().filter_map(|r| r.cell(offset).clone()).collect();
             return out.into_iter().collect();
         }
         frontier = rows.iter().filter_map(|r| r.last().clone()).collect();
@@ -110,8 +109,7 @@ pub fn backward_supported(
         };
         if ci >= a {
             let offset = ci - a;
-            let out: BTreeSet<Cell> =
-                rows.iter().filter_map(|r| r.cell(offset).clone()).collect();
+            let out: BTreeSet<Cell> = rows.iter().filter_map(|r| r.cell(offset).clone()).collect();
             return out.into_iter().collect();
         }
         frontier = rows.iter().filter_map(|r| r.first().clone()).collect();
@@ -319,7 +317,10 @@ mod tests {
             let r = backward_supported(&parts, &dec, 1, 4, &cell(41));
             assert_eq!(r, vec![cell(10), cell(11)], "{dec}");
             let r = backward_supported(&parts, &dec, 0, 4, &cell(42));
-            assert!(r.is_empty(), "left-dangling row has no column-0 source ({dec})");
+            assert!(
+                r.is_empty(),
+                "left-dangling row has no column-0 source ({dec})"
+            );
             let r = backward_supported(&parts, &dec, 2, 4, &cell(42));
             assert_eq!(r, vec![cell(22)], "{dec}");
         }
@@ -344,8 +345,9 @@ mod tests {
                         .filter(|r| r.cell(col).as_ref() == Some(&cellv))
                         .map(|r| r.project(0, col))
                         .collect();
-                    let got: BTreeSet<Row> =
-                        collect_prefixes(&parts, &dec, col, &cellv).into_iter().collect();
+                    let got: BTreeSet<Row> = collect_prefixes(&parts, &dec, col, &cellv)
+                        .into_iter()
+                        .collect();
                     assert_eq!(got, want_prefix, "prefixes col={col} cell={cellv} {dec}");
 
                     let want_suffix: BTreeSet<Row> = rel
@@ -353,8 +355,9 @@ mod tests {
                         .filter(|r| r.cell(col).as_ref() == Some(&cellv))
                         .map(|r| r.project(col, 4))
                         .collect();
-                    let got: BTreeSet<Row> =
-                        collect_suffixes(&parts, &dec, col, &cellv).into_iter().collect();
+                    let got: BTreeSet<Row> = collect_suffixes(&parts, &dec, col, &cellv)
+                        .into_iter()
+                        .collect();
                     assert_eq!(got, want_suffix, "suffixes col={col} cell={cellv} {dec}");
                 }
             }

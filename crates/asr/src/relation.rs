@@ -20,7 +20,10 @@ impl Relation {
     /// An empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
         assert!(arity > 0, "relations are at least unary");
-        Relation { arity, rows: BTreeSet::new() }
+        Relation {
+            arity,
+            rows: BTreeSet::new(),
+        }
     }
 
     /// Build from an iterator of rows (validating arities).
@@ -52,7 +55,10 @@ impl Relation {
     /// Returns `true` when the row was new.
     pub fn insert(&mut self, row: Row) -> Result<bool> {
         if row.arity() != self.arity {
-            return Err(AsrError::ArityMismatch { expected: self.arity, actual: row.arity() });
+            return Err(AsrError::ArityMismatch {
+                expected: self.arity,
+                actual: row.arity(),
+            });
         }
         if row.is_all_null() {
             return Ok(false);
@@ -94,17 +100,26 @@ impl Relation {
 
     /// Retain only rows satisfying the predicate.
     pub fn filter(&self, pred: impl Fn(&Row) -> bool) -> Relation {
-        Relation { arity: self.arity, rows: self.rows.iter().filter(|r| pred(r)).cloned().collect() }
+        Relation {
+            arity: self.arity,
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
     }
 
     /// Set union with another relation of equal arity.
     pub fn union(&self, other: &Relation) -> Result<Relation> {
         if other.arity != self.arity {
-            return Err(AsrError::ArityMismatch { expected: self.arity, actual: other.arity });
+            return Err(AsrError::ArityMismatch {
+                expected: self.arity,
+                actual: other.arity,
+            });
         }
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Ok(Relation { arity: self.arity, rows })
+        Ok(Relation {
+            arity: self.arity,
+            rows,
+        })
     }
 
     /// Is `self` a subset of `other` (same arity assumed)?
@@ -150,14 +165,21 @@ mod tests {
     #[test]
     fn arity_checked() {
         let mut r = Relation::new(2);
-        assert!(matches!(r.insert(row![c(0)]), Err(AsrError::ArityMismatch { .. })));
+        assert!(matches!(
+            r.insert(row![c(0)]),
+            Err(AsrError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
     fn projection_dedups_and_drops_null() {
         let r = Relation::from_rows(
             3,
-            vec![row![c(0), c(1), c(2)], row![c(9), c(1), c(2)], row![c(5), None, None]],
+            vec![
+                row![c(0), c(1), c(2)],
+                row![c(9), c(1), c(2)],
+                row![c(5), None, None],
+            ],
         )
         .unwrap();
         // Projecting away the differing first column collapses two rows and
@@ -181,8 +203,7 @@ mod tests {
 
     #[test]
     fn filter_keeps_arity() {
-        let r =
-            Relation::from_rows(2, vec![row![c(0), c(1)], row![None, c(2)]]).unwrap();
+        let r = Relation::from_rows(2, vec![row![c(0), c(1)], row![None, c(2)]]).unwrap();
         let f = r.filter(|row| row.first().is_some());
         assert_eq!(f.len(), 1);
         assert_eq!(f.arity(), 2);

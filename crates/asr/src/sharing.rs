@@ -50,9 +50,7 @@ impl SharedSegment {
         match (e1, e2) {
             (Extension::Full, Extension::Full) => true,
             (Extension::LeftComplete, Extension::LeftComplete) => self.is_common_prefix(),
-            (Extension::RightComplete, Extension::RightComplete) => {
-                self.is_common_suffix(p1, p2)
-            }
+            (Extension::RightComplete, Extension::RightComplete) => self.is_common_suffix(p1, p2),
             _ => false,
         }
     }
@@ -109,7 +107,11 @@ pub fn shared_segments(
                 len += 1;
             }
             if len > 0 {
-                out.push(SharedSegment { start1, start2, len });
+                out.push(SharedSegment {
+                    start1,
+                    start2,
+                    len,
+                });
             }
         }
     }
@@ -132,10 +134,19 @@ mod tests {
     ///   Supplier.Delivers.Composition.Name
     fn setup() -> (Schema, PathExpression, PathExpression) {
         let mut s = Schema::new();
-        s.define_tuple("Division", [("Name", "STRING"), ("Manufactures", "ProdSET")]).unwrap();
-        s.define_tuple("Supplier", [("Name", "STRING"), ("Delivers", "ProdSET")]).unwrap();
+        s.define_tuple(
+            "Division",
+            [("Name", "STRING"), ("Manufactures", "ProdSET")],
+        )
+        .unwrap();
+        s.define_tuple("Supplier", [("Name", "STRING"), ("Delivers", "ProdSET")])
+            .unwrap();
         s.define_set("ProdSET", "Product").unwrap();
-        s.define_tuple("Product", [("Name", "STRING"), ("Composition", "BasePartSET")]).unwrap();
+        s.define_tuple(
+            "Product",
+            [("Name", "STRING"), ("Composition", "BasePartSET")],
+        )
+        .unwrap();
         s.define_set("BasePartSET", "BasePart").unwrap();
         s.define_tuple("BasePart", [("Name", "STRING")]).unwrap();
         s.validate().unwrap();
@@ -176,7 +187,9 @@ mod tests {
         let (s, p1, _) = setup();
         let segs = shared_segments(&s, &p1, &p1.clone());
         // The maximal self-match covers the whole path.
-        assert!(segs.iter().any(|g| g.start1 == 0 && g.start2 == 0 && g.len == p1.len()));
+        assert!(segs
+            .iter()
+            .any(|g| g.start1 == 0 && g.start2 == 0 && g.len == p1.len()));
         let whole = segs.iter().find(|g| g.len == p1.len()).unwrap();
         assert!(whole.is_common_prefix());
         assert!(whole.is_common_suffix(&p1, &p1));

@@ -26,6 +26,7 @@ pub const DEFAULT_OBJECT_SIZE: usize = 128;
 pub struct ObjectStore {
     files: HashMap<TypeId, ClusteredFile<()>>,
     sizes: HashMap<TypeId, usize>,
+    labels: HashMap<TypeId, String>,
     default_size: usize,
     buffer_pages: usize,
     stats: StatsHandle,
@@ -37,6 +38,7 @@ impl ObjectStore {
         ObjectStore {
             files: HashMap::new(),
             sizes: HashMap::new(),
+            labels: HashMap::new(),
             default_size: DEFAULT_OBJECT_SIZE,
             buffer_pages: 0,
             stats,
@@ -73,6 +75,28 @@ impl ObjectStore {
         self.default_size = size.max(1);
     }
 
+    /// Name a type's clustered file for per-structure I/O attribution
+    /// (shown in `\stats`).  Retags an already created file; otherwise the
+    /// label is applied when the file is first created.
+    pub fn set_type_label(&mut self, ty: TypeId, label: impl Into<String>) {
+        let label = label.into();
+        if let Some(file) = self.files.get_mut(&ty) {
+            file.tag(label.clone());
+        }
+        self.labels.insert(ty, label);
+    }
+
+    /// Label every type's clustered file after the schema's type names.
+    pub fn label_from_schema(&mut self, schema: &asr_gom::Schema) {
+        let labels: Vec<(TypeId, String)> = schema
+            .types()
+            .map(|(ty, _)| (ty, format!("objects.{}", schema.name(ty))))
+            .collect();
+        for (ty, label) in labels {
+            self.set_type_label(ty, label);
+        }
+    }
+
     /// The configured size for a type.
     pub fn type_size(&self, ty: TypeId) -> usize {
         self.sizes.get(&ty).copied().unwrap_or(self.default_size)
@@ -107,6 +131,12 @@ impl ObjectStore {
                 if self.buffer_pages > 0 {
                     file.set_buffer(Self::make_pool(self.buffer_pages));
                 }
+                let label = self
+                    .labels
+                    .get(&ty)
+                    .cloned()
+                    .unwrap_or_else(|| format!("objects.{ty}"));
+                file.tag(label);
                 e.insert(file)
             }
         };

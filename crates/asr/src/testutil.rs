@@ -8,11 +8,20 @@ use asr_gom::{ObjectBase, PathExpression, Schema, Value};
 pub(crate) fn figure2_base() -> (ObjectBase, PathExpression) {
     let mut s = Schema::new();
     s.define_set("Company", "Division").unwrap();
-    s.define_tuple("Division", [("Name", "STRING"), ("Manufactures", "ProdSET")]).unwrap();
+    s.define_tuple(
+        "Division",
+        [("Name", "STRING"), ("Manufactures", "ProdSET")],
+    )
+    .unwrap();
     s.define_set("ProdSET", "Product").unwrap();
-    s.define_tuple("Product", [("Name", "STRING"), ("Composition", "BasePartSET")]).unwrap();
+    s.define_tuple(
+        "Product",
+        [("Name", "STRING"), ("Composition", "BasePartSET")],
+    )
+    .unwrap();
     s.define_set("BasePartSET", "BasePart").unwrap();
-    s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")]).unwrap();
+    s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")])
+        .unwrap();
     s.validate().unwrap();
     let path = PathExpression::parse(&s, "Division.Manufactures.Composition.Name").unwrap();
     let mut base = ObjectBase::new(s);
@@ -36,27 +45,41 @@ pub(crate) fn figure2_base() -> (ObjectBase, PathExpression) {
     for d in [i1, i2, i3] {
         base.insert_into_set(i0, Value::Ref(d)).unwrap();
     }
-    base.set_attribute(i1, "Name", Value::string("Auto")).unwrap();
-    base.set_attribute(i1, "Manufactures", Value::Ref(i4)).unwrap();
-    base.set_attribute(i2, "Name", Value::string("Truck")).unwrap();
-    base.set_attribute(i2, "Manufactures", Value::Ref(i5)).unwrap();
-    base.set_attribute(i3, "Name", Value::string("Space")).unwrap();
+    base.set_attribute(i1, "Name", Value::string("Auto"))
+        .unwrap();
+    base.set_attribute(i1, "Manufactures", Value::Ref(i4))
+        .unwrap();
+    base.set_attribute(i2, "Name", Value::string("Truck"))
+        .unwrap();
+    base.set_attribute(i2, "Manufactures", Value::Ref(i5))
+        .unwrap();
+    base.set_attribute(i3, "Name", Value::string("Space"))
+        .unwrap();
     // i3.Manufactures stays NULL.
     base.insert_into_set(i4, Value::Ref(i6)).unwrap();
     base.insert_into_set(i5, Value::Ref(i6)).unwrap();
     base.insert_into_set(i5, Value::Ref(i9)).unwrap();
-    base.set_attribute(i6, "Name", Value::string("560 SEC")).unwrap();
-    base.set_attribute(i6, "Composition", Value::Ref(i7)).unwrap();
-    base.set_attribute(i9, "Name", Value::string("MB Trak")).unwrap();
+    base.set_attribute(i6, "Name", Value::string("560 SEC"))
+        .unwrap();
+    base.set_attribute(i6, "Composition", Value::Ref(i7))
+        .unwrap();
+    base.set_attribute(i9, "Name", Value::string("MB Trak"))
+        .unwrap();
     // i9.Composition stays NULL.
-    base.set_attribute(i11, "Name", Value::string("Sausage")).unwrap();
-    base.set_attribute(i11, "Composition", Value::Ref(i13)).unwrap();
+    base.set_attribute(i11, "Name", Value::string("Sausage"))
+        .unwrap();
+    base.set_attribute(i11, "Composition", Value::Ref(i13))
+        .unwrap();
     base.insert_into_set(i7, Value::Ref(i8)).unwrap();
     base.insert_into_set(i13, Value::Ref(i14)).unwrap();
-    base.set_attribute(i8, "Name", Value::string("Door")).unwrap();
-    base.set_attribute(i8, "Price", Value::decimal(1205, 50)).unwrap();
-    base.set_attribute(i14, "Name", Value::string("Pepper")).unwrap();
-    base.set_attribute(i14, "Price", Value::decimal(0, 12)).unwrap();
+    base.set_attribute(i8, "Name", Value::string("Door"))
+        .unwrap();
+    base.set_attribute(i8, "Price", Value::decimal(1205, 50))
+        .unwrap();
+    base.set_attribute(i14, "Name", Value::string("Pepper"))
+        .unwrap();
+    base.set_attribute(i14, "Price", Value::decimal(0, 12))
+        .unwrap();
     base.bind_variable("Mercedes", Value::Ref(i0));
 
     (base, path)

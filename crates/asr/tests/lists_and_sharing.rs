@@ -19,7 +19,8 @@ use asr_pagesim::IoStats;
 
 fn playlist_db() -> (Database, PathExpression) {
     let mut s = Schema::new();
-    s.define_tuple("USER", [("Name", "STRING"), ("Playlist", "TRACKLIST")]).unwrap();
+    s.define_tuple("USER", [("Name", "STRING"), ("Playlist", "TRACKLIST")])
+        .unwrap();
     s.define_list("TRACKLIST", "TRACK").unwrap();
     s.define_tuple("TRACK", [("Title", "STRING")]).unwrap();
     s.validate().unwrap();
@@ -41,13 +42,17 @@ fn asr_over_a_list_path_builds_and_queries() {
     let (db0, path) = playlist_db();
     let mut base = db0.base().clone();
     let alice = base.instantiate("USER").unwrap();
-    base.set_attribute(alice, "Name", Value::string("Alice")).unwrap();
+    base.set_attribute(alice, "Name", Value::string("Alice"))
+        .unwrap();
     let list = base.instantiate("TRACKLIST").unwrap();
-    base.set_attribute(alice, "Playlist", Value::Ref(list)).unwrap();
+    base.set_attribute(alice, "Playlist", Value::Ref(list))
+        .unwrap();
     let t1 = base.instantiate("TRACK").unwrap();
-    base.set_attribute(t1, "Title", Value::string("Blue Train")).unwrap();
+    base.set_attribute(t1, "Title", Value::string("Blue Train"))
+        .unwrap();
     let t2 = base.instantiate("TRACK").unwrap();
-    base.set_attribute(t2, "Title", Value::string("So What")).unwrap();
+    base.set_attribute(t2, "Title", Value::string("So What"))
+        .unwrap();
     base.push_to_list(list, Value::Ref(t1)).unwrap();
     base.push_to_list(list, Value::Ref(t2)).unwrap();
     base.push_to_list(list, Value::Ref(t1)).unwrap(); // lists allow duplicates
@@ -62,8 +67,9 @@ fn asr_over_a_list_path_builds_and_queries() {
         .unwrap();
         asr.check_consistency().unwrap();
         if ext.supports(0, 2, 2) {
-            let hits =
-                asr.backward(0, 2, &Cell::Value(Value::string("Blue Train"))).unwrap();
+            let hits = asr
+                .backward(0, 2, &Cell::Value(Value::string("Blue Train")))
+                .unwrap();
             assert_eq!(hits, vec![alice], "{ext}");
         }
         // Duplicate list entries collapse under relation set semantics.
@@ -78,11 +84,14 @@ fn list_reattachment_is_maintained_incrementally() {
     let alice = base.instantiate("USER").unwrap();
     let list = base.instantiate("TRACKLIST").unwrap();
     let t1 = base.instantiate("TRACK").unwrap();
-    base.set_attribute(t1, "Title", Value::string("Blue Train")).unwrap();
+    base.set_attribute(t1, "Title", Value::string("Blue Train"))
+        .unwrap();
     base.push_to_list(list, Value::Ref(t1)).unwrap();
 
     let mut db = Database::from_base(base);
-    let id = db.create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path)).unwrap();
+    let id = db
+        .create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path))
+        .unwrap();
     assert!(db
         .backward(id, 0, 2, &Cell::Value(Value::string("Blue Train")))
         .unwrap()
@@ -90,7 +99,8 @@ fn list_reattachment_is_maintained_incrementally() {
 
     // Attaching a (pre-populated) list is an ordinary attribute
     // assignment — fully maintained.
-    db.set_attribute(alice, "Playlist", Value::Ref(list)).unwrap();
+    db.set_attribute(alice, "Playlist", Value::Ref(list))
+        .unwrap();
     let reference = AccessSupportRelation::build(
         db.base(),
         path.clone(),
@@ -100,7 +110,8 @@ fn list_reattachment_is_maintained_incrementally() {
     .unwrap();
     assert!(db.asr(id).unwrap().full_rows().eq(reference.full_rows()));
     assert_eq!(
-        db.backward(id, 0, 2, &Cell::Value(Value::string("Blue Train"))).unwrap(),
+        db.backward(id, 0, 2, &Cell::Value(Value::string("Blue Train")))
+            .unwrap(),
         vec![alice]
     );
 }
@@ -111,10 +122,19 @@ fn list_reattachment_is_maintained_incrementally() {
 
 fn two_path_db() -> (Database, PathExpression, PathExpression) {
     let mut s = Schema::new();
-    s.define_tuple("Division", [("Name", "STRING"), ("Manufactures", "ProdSET")]).unwrap();
-    s.define_tuple("Supplier", [("Name", "STRING"), ("Delivers", "ProdSET")]).unwrap();
+    s.define_tuple(
+        "Division",
+        [("Name", "STRING"), ("Manufactures", "ProdSET")],
+    )
+    .unwrap();
+    s.define_tuple("Supplier", [("Name", "STRING"), ("Delivers", "ProdSET")])
+        .unwrap();
     s.define_set("ProdSET", "Product").unwrap();
-    s.define_tuple("Product", [("Name", "STRING"), ("Composition", "BasePartSET")]).unwrap();
+    s.define_tuple(
+        "Product",
+        [("Name", "STRING"), ("Composition", "BasePartSET")],
+    )
+    .unwrap();
     s.define_set("BasePartSET", "BasePart").unwrap();
     s.define_tuple("BasePart", [("Name", "STRING")]).unwrap();
     s.validate().unwrap();
@@ -126,19 +146,24 @@ fn two_path_db() -> (Database, PathExpression, PathExpression) {
     let d = db.instantiate("Division").unwrap();
     db.set_attribute(d, "Name", Value::string("Auto")).unwrap();
     let sup = db.instantiate("Supplier").unwrap();
-    db.set_attribute(sup, "Name", Value::string("PartsRUs")).unwrap();
+    db.set_attribute(sup, "Name", Value::string("PartsRUs"))
+        .unwrap();
     let ps1 = db.instantiate("ProdSET").unwrap();
     let ps2 = db.instantiate("ProdSET").unwrap();
-    db.set_attribute(d, "Manufactures", Value::Ref(ps1)).unwrap();
+    db.set_attribute(d, "Manufactures", Value::Ref(ps1))
+        .unwrap();
     db.set_attribute(sup, "Delivers", Value::Ref(ps2)).unwrap();
     let prod = db.instantiate("Product").unwrap();
-    db.set_attribute(prod, "Name", Value::string("560 SEC")).unwrap();
+    db.set_attribute(prod, "Name", Value::string("560 SEC"))
+        .unwrap();
     db.insert_into_set(ps1, Value::Ref(prod)).unwrap();
     db.insert_into_set(ps2, Value::Ref(prod)).unwrap();
     let parts = db.instantiate("BasePartSET").unwrap();
-    db.set_attribute(prod, "Composition", Value::Ref(parts)).unwrap();
+    db.set_attribute(prod, "Composition", Value::Ref(parts))
+        .unwrap();
     let door = db.instantiate("BasePart").unwrap();
-    db.set_attribute(door, "Name", Value::string("Door")).unwrap();
+    db.set_attribute(door, "Name", Value::string("Door"))
+        .unwrap();
     db.insert_into_set(parts, Value::Ref(door)).unwrap();
 
     (db, p1, p2)
@@ -148,7 +173,10 @@ fn two_path_db() -> (Database, PathExpression, PathExpression) {
 fn shared_segment_partitions_have_identical_content() {
     let (mut db, p1, p2) = two_path_db();
     let segs = shared_segments(db.base().schema(), &p1, &p2);
-    let seg = segs.iter().max_by_key(|s| s.len).expect("paths share the tail");
+    let seg = segs
+        .iter()
+        .max_by_key(|s| s.len)
+        .expect("paths share the tail");
     assert_eq!(seg.len, 2, "Product.Composition.Name is shared");
     assert!(seg.shareable_under(Extension::Full, Extension::Full, &p1, &p2));
 
@@ -157,18 +185,24 @@ fn shared_segment_partitions_have_identical_content() {
     let cuts1 = seg.required_cuts1(&p1);
     let cuts2 = seg.required_cuts2(&p2);
     let a = db
-        .create_asr(p1, AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::new(cuts1.clone()).unwrap(),
-            keep_set_oids: false,
-        })
+        .create_asr(
+            p1,
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::new(cuts1.clone()).unwrap(),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
     let b = db
-        .create_asr(p2, AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::new(cuts2.clone()).unwrap(),
-            keep_set_oids: false,
-        })
+        .create_asr(
+            p2,
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::new(cuts2.clone()).unwrap(),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
 
     // The partitions covering the shared segment must match row for row.
@@ -180,7 +214,10 @@ fn shared_segment_partitions_have_identical_content() {
     let part_b = &asr_b.partitions()[idx2];
     let rel_a = part_a.to_relation().unwrap();
     let rel_b = part_b.to_relation().unwrap();
-    assert_eq!(rel_a, rel_b, "shared partition content identical — physically sharable");
+    assert_eq!(
+        rel_a, rel_b,
+        "shared partition content identical — physically sharable"
+    );
     assert!(!rel_a.is_empty());
     assert!(shared_partition_savings(rel_a.len(), seg.len) > 0);
 }
@@ -193,18 +230,24 @@ fn shared_content_stays_identical_under_updates() {
         *segs.iter().max_by_key(|s| s.len).unwrap()
     };
     let a = db
-        .create_asr(p1.clone(), AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::new(seg.required_cuts1(&p1)).unwrap(),
-            keep_set_oids: false,
-        })
+        .create_asr(
+            p1.clone(),
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::new(seg.required_cuts1(&p1)).unwrap(),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
     let b = db
-        .create_asr(p2.clone(), AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::new(seg.required_cuts2(&p2)).unwrap(),
-            keep_set_oids: false,
-        })
+        .create_asr(
+            p2.clone(),
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::new(seg.required_cuts2(&p2)).unwrap(),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
 
     // Update inside the shared segment: add a part to the product.
@@ -215,15 +258,23 @@ fn shared_content_stays_identical_under_updates() {
         .and_then(|o| o.attribute("Composition").as_ref_oid())
         .unwrap();
     let hinge = db.instantiate("BasePart").unwrap();
-    db.set_attribute(hinge, "Name", Value::string("Hinge")).unwrap();
+    db.set_attribute(hinge, "Name", Value::string("Hinge"))
+        .unwrap();
     db.insert_into_set(parts_set, Value::Ref(hinge)).unwrap();
 
     let shared_a = db.asr(a).unwrap().partitions()[1].to_relation().unwrap();
     let shared_b = db.asr(b).unwrap().partitions()[1].to_relation().unwrap();
-    assert_eq!(shared_a, shared_b, "incremental maintenance keeps shared content in sync");
+    assert_eq!(
+        shared_a, shared_b,
+        "incremental maintenance keeps shared content in sync"
+    );
     // And both now see the new part.
-    let hits_a = db.backward(a, 0, 3, &Cell::Value(Value::string("Hinge"))).unwrap();
-    let hits_b = db.backward(b, 0, 3, &Cell::Value(Value::string("Hinge"))).unwrap();
+    let hits_a = db
+        .backward(a, 0, 3, &Cell::Value(Value::string("Hinge")))
+        .unwrap();
+    let hits_b = db
+        .backward(b, 0, 3, &Cell::Value(Value::string("Hinge")))
+        .unwrap();
     assert_eq!(hits_a.len(), 1);
     assert_eq!(hits_b.len(), 1);
 }

@@ -10,9 +10,7 @@
 //!   through [`asr_core::Database`] leaves every ASR identical to a
 //!   from-scratch rebuild.
 
-use asr_core::{
-    AccessSupportRelation, AsrConfig, Cell, Database, Decomposition, Extension,
-};
+use asr_core::{AccessSupportRelation, AsrConfig, Cell, Database, Decomposition, Extension};
 use asr_gom::{ObjectBase, Oid, PathExpression, Schema, TypeRef, Value};
 use asr_pagesim::IoStats;
 use proptest::prelude::*;
@@ -39,7 +37,12 @@ fn random_base_strategy() -> impl Strategy<Value = RandomBase> {
         proptest::collection::vec(0u8..5, 0..5),
         proptest::collection::vec((0u8..2, 0u8..5), 0..6),
     )
-        .prop_map(|(counts, edges, names, attach)| RandomBase { counts, edges, names, attach })
+        .prop_map(|(counts, edges, names, attach)| RandomBase {
+            counts,
+            edges,
+            names,
+            attach,
+        })
 }
 
 fn chain_schema() -> Schema {
@@ -72,7 +75,11 @@ fn materialize(desc: &RandomBase) -> (ObjectBase, PathExpression) {
     }
     // Attach (possibly empty) sets first.
     for &(kind, fi) in &desc.attach {
-        let (level, attr, set_ty) = if kind == 0 { (0, "A1", "S1") } else { (2, "A3", "S3") };
+        let (level, attr, set_ty) = if kind == 0 {
+            (0, "A1", "S1")
+        } else {
+            (2, "A3", "S3")
+        };
         let from = &levels[level];
         if from.is_empty() {
             continue;
@@ -113,7 +120,8 @@ fn materialize(desc: &RandomBase) -> (ObjectBase, PathExpression) {
             continue;
         }
         let obj = t3[ni as usize % t3.len()];
-        base.set_attribute(obj, "Name", Value::string(format!("N{}", ni % 3))).unwrap();
+        base.set_attribute(obj, "Name", Value::string(format!("N{}", ni % 3)))
+            .unwrap();
     }
     (base, path)
 }
@@ -237,10 +245,16 @@ enum Update {
 
 fn update_strategy() -> impl Strategy<Value = Update> {
     prop_oneof![
-        (0u8..2, any::<u8>(), any::<u8>())
-            .prop_map(|(l, f, t)| Update::SetInsert { level: l, fi: f, ti: t }),
-        (0u8..2, any::<u8>(), any::<u8>())
-            .prop_map(|(l, f, t)| Update::SetRemove { level: l, fi: f, ti: t }),
+        (0u8..2, any::<u8>(), any::<u8>()).prop_map(|(l, f, t)| Update::SetInsert {
+            level: l,
+            fi: f,
+            ti: t
+        }),
+        (0u8..2, any::<u8>(), any::<u8>()).prop_map(|(l, f, t)| Update::SetRemove {
+            level: l,
+            fi: f,
+            ti: t
+        }),
         (any::<u8>(), any::<u8>()).prop_map(|(f, t)| Update::Assign { fi: f, ti: t }),
         any::<u8>().prop_map(|f| Update::ClearAssign { fi: f }),
         (0u8..2, any::<u8>()).prop_map(|(l, f)| Update::AttachSet { level: l, fi: f }),
@@ -251,7 +265,13 @@ fn update_strategy() -> impl Strategy<Value = Update> {
 }
 
 fn apply_update(db: &mut Database, levels: &[Vec<Oid>], u: &Update) {
-    let set_info = |l: u8| if l == 0 { (0usize, "A1", "S1") } else { (2usize, "A3", "S3") };
+    let set_info = |l: u8| {
+        if l == 0 {
+            (0usize, "A1", "S1")
+        } else {
+            (2usize, "A3", "S3")
+        }
+    };
     match u {
         Update::SetInsert { level, fi, ti } | Update::SetRemove { level, fi, ti } => {
             let (lvl, attr, _) = set_info(*level);
@@ -318,7 +338,8 @@ fn apply_update(db: &mut Database, levels: &[Vec<Oid>], u: &Update) {
                 return;
             }
             let obj = t3[*ni as usize % t3.len()];
-            db.set_attribute(obj, "Name", Value::string(format!("N{}", ni % 3))).unwrap();
+            db.set_attribute(obj, "Name", Value::string(format!("N{}", ni % 3)))
+                .unwrap();
         }
         Update::ClearName { ni } => {
             let t3 = &levels[3];

@@ -16,7 +16,8 @@ use asr_pagesim::IoStats;
 
 fn emp_db() -> (Database, PathExpression) {
     let mut s = Schema::new();
-    s.define_tuple("EMP", [("Name", "STRING"), ("Boss", "EMP")]).unwrap();
+    s.define_tuple("EMP", [("Name", "STRING"), ("Boss", "EMP")])
+        .unwrap();
     s.validate().unwrap();
     let path = PathExpression::parse(&s, "EMP.Boss.Boss.Name").unwrap();
     (Database::new(s), path)
@@ -48,11 +49,14 @@ fn check_all(db: &Database) {
 fn recursive_path_maintenance_equals_rebuild() {
     let (mut db, path) = emp_db();
     for ext in Extension::ALL {
-        db.create_asr(path.clone(), AsrConfig {
-            extension: ext,
-            decomposition: Decomposition::binary(3),
-            keep_set_oids: false,
-        })
+        db.create_asr(
+            path.clone(),
+            AsrConfig {
+                extension: ext,
+                decomposition: Decomposition::binary(3),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
     }
 
@@ -61,8 +65,12 @@ fn recursive_path_maintenance_equals_rebuild() {
     let lead = db.instantiate("EMP").unwrap();
     let manager = db.instantiate("EMP").unwrap();
     let director = db.instantiate("EMP").unwrap();
-    for (o, n) in [(worker, "worker"), (lead, "lead"), (manager, "manager"), (director, "director")]
-    {
+    for (o, n) in [
+        (worker, "worker"),
+        (lead, "lead"),
+        (manager, "manager"),
+        (director, "director"),
+    ] {
         db.set_attribute(o, "Name", Value::string(n)).unwrap();
         check_all(&db);
     }
@@ -71,11 +79,13 @@ fn recursive_path_maintenance_equals_rebuild() {
     db.set_attribute(lead, "Boss", Value::Ref(manager)).unwrap();
     check_all(&db);
     // This edge sits at positions 1 AND 2 of different chains.
-    db.set_attribute(manager, "Boss", Value::Ref(director)).unwrap();
+    db.set_attribute(manager, "Boss", Value::Ref(director))
+        .unwrap();
     check_all(&db);
 
     // Reorganization: the lead now reports to the director directly.
-    db.set_attribute(lead, "Boss", Value::Ref(director)).unwrap();
+    db.set_attribute(lead, "Boss", Value::Ref(director))
+        .unwrap();
     check_all(&db);
     // And the worker loses their boss entirely.
     db.set_attribute(worker, "Boss", Value::Null).unwrap();
@@ -86,11 +96,14 @@ fn recursive_path_maintenance_equals_rebuild() {
 fn self_loop_is_maintained() {
     let (mut db, path) = emp_db();
     let id = db
-        .create_asr(path.clone(), AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::none(3),
-            keep_set_oids: false,
-        })
+        .create_asr(
+            path.clone(),
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::none(3),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
     // The CEO is their own boss — a genuine cycle.
     let ceo = db.instantiate("EMP").unwrap();
@@ -108,22 +121,62 @@ fn self_loop_is_maintained() {
 }
 
 #[test]
+fn rebuild_fallback_counter_fires_exactly_once_on_self_loop() {
+    let (mut db, path) = emp_db();
+    db.create_asr(
+        path,
+        AsrConfig {
+            extension: Extension::Full,
+            decomposition: Decomposition::none(3),
+            keep_set_oids: false,
+        },
+    )
+    .unwrap();
+    let metrics = db.tracer().metrics().clone();
+    let ceo = db.instantiate("EMP").unwrap();
+    db.set_attribute(ceo, "Name", Value::string("ceo")).unwrap();
+    assert_eq!(
+        metrics.counter("asr.rebuild_fallback"),
+        0,
+        "a single-position update is maintained incrementally"
+    );
+    // The self-loop edge sits at positions 1 AND 2 of the path: per-position
+    // maintenance is unsound, so the one registered ASR rebuilds — once.
+    db.set_attribute(ceo, "Boss", Value::Ref(ceo)).unwrap();
+    assert_eq!(metrics.counter("asr.rebuild_fallback"), 1);
+    check_all(&db);
+}
+
+#[test]
 fn recursive_queries_match_naive() {
     let (mut db, path) = emp_db();
     let id = db
-        .create_asr(path.clone(), AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::binary(3),
-            keep_set_oids: false,
-        })
+        .create_asr(
+            path.clone(),
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(3),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
     // A small org chart with shared bosses.
     let people: Vec<Oid> = (0..8).map(|_| db.instantiate("EMP").unwrap()).collect();
     for (i, &p) in people.iter().enumerate() {
-        db.set_attribute(p, "Name", Value::string(format!("e{i}"))).unwrap();
+        db.set_attribute(p, "Name", Value::string(format!("e{i}")))
+            .unwrap();
     }
-    for (sub, boss) in [(0usize, 4usize), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6), (6, 7)] {
-        db.set_attribute(people[sub], "Boss", Value::Ref(people[boss])).unwrap();
+    for (sub, boss) in [
+        (0usize, 4usize),
+        (1, 4),
+        (2, 5),
+        (3, 5),
+        (4, 6),
+        (5, 6),
+        (6, 7),
+    ] {
+        db.set_attribute(people[sub], "Boss", Value::Ref(people[boss]))
+            .unwrap();
     }
     check_all(&db);
     for i in 0..3usize {
@@ -147,17 +200,21 @@ fn recursive_set_path_maintenance_equals_rebuild() {
     // Bill-of-materials style recursion through *set* occurrences:
     // PART.Subs.Subs — an insertion can affect both positions at once.
     let mut s = Schema::new();
-    s.define_tuple("PART", [("Name", "STRING"), ("Subs", "PARTSET")]).unwrap();
+    s.define_tuple("PART", [("Name", "STRING"), ("Subs", "PARTSET")])
+        .unwrap();
     s.define_set("PARTSET", "PART").unwrap();
     s.validate().unwrap();
     let path = PathExpression::parse(&s, "PART.Subs.Subs").unwrap();
     let mut db = Database::new(s);
     for ext in Extension::ALL {
-        db.create_asr(path.clone(), AsrConfig {
-            extension: ext,
-            decomposition: Decomposition::binary(2),
-            keep_set_oids: false,
-        })
+        db.create_asr(
+            path.clone(),
+            AsrConfig {
+                extension: ext,
+                decomposition: Decomposition::binary(2),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
     }
 
@@ -166,9 +223,11 @@ fn recursive_set_path_maintenance_equals_rebuild() {
     let bolt = db.instantiate("PART").unwrap();
     let s_top = db.instantiate("PARTSET").unwrap();
     let s_frame = db.instantiate("PARTSET").unwrap();
-    db.set_attribute(assembly, "Subs", Value::Ref(s_top)).unwrap();
+    db.set_attribute(assembly, "Subs", Value::Ref(s_top))
+        .unwrap();
     check_all(&db);
-    db.set_attribute(frame, "Subs", Value::Ref(s_frame)).unwrap();
+    db.set_attribute(frame, "Subs", Value::Ref(s_frame))
+        .unwrap();
     check_all(&db);
     db.insert_into_set(s_top, Value::Ref(frame)).unwrap();
     check_all(&db);

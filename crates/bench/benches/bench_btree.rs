@@ -18,7 +18,8 @@ fn bench_insert(c: &mut Criterion) {
             || BPlusTree::<u64, u64>::new(16, 8, IoStats::new_handle()),
             |mut tree| {
                 for k in 0..N {
-                    tree.insert(black_box(k.wrapping_mul(2654435761) % (N * 4)), k).ok();
+                    tree.insert(black_box(k.wrapping_mul(2654435761) % (N * 4)), k)
+                        .ok();
                 }
                 tree
             },
@@ -106,5 +107,11 @@ fn bench_bulk_load(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert, bench_lookup, bench_range, bench_bulk_load);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_lookup,
+    bench_range,
+    bench_bulk_load
+);
 criterion_main!(benches);

@@ -26,11 +26,15 @@ fn bench_primitives(c: &mut Criterion) {
 fn bench_optimizer(c: &mut Criterion) {
     let model = profiles::fig14_profile();
     let mix = profiles::fig14_mix(0.3);
-    c.bench_function("rank_all_33_designs_n4", |b| b.iter(|| rank_designs(&model, &mix)));
+    c.bench_function("rank_all_33_designs_n4", |b| {
+        b.iter(|| rank_designs(&model, &mix))
+    });
 
     let model5 = profiles::fig17_profile();
     let mix5 = profiles::fig17_mix(0.01);
-    c.bench_function("rank_all_65_designs_n5", |b| b.iter(|| rank_designs(&model5, &mix5)));
+    c.bench_function("rank_all_65_designs_n5", |b| {
+        b.iter(|| rank_designs(&model5, &mix5))
+    });
 }
 
 criterion_group!(benches, bench_primitives, bench_optimizer);

@@ -23,20 +23,25 @@ fn bench_backward(c: &mut Criterion) {
     let g = generate(&spec(), 42);
     let target = Cell::Oid(g.levels[4][0]);
     group.bench_function("naive", |b| {
-        b.iter(|| g.db.backward_unindexed(&g.path, 0, 4, black_box(&target)).unwrap())
+        b.iter(|| {
+            g.db.backward_unindexed(&g.path, 0, 4, black_box(&target))
+                .unwrap()
+        })
     });
 
     // Supported, per extension, binary decomposition.
     for ext in Extension::ALL {
         let mut g = generate(&spec(), 42);
         let m = g.path.arity(false) - 1;
-        let id = g
-            .db
-            .create_asr(g.path.clone(), AsrConfig {
-                extension: ext,
-                decomposition: Decomposition::binary(m),
-                keep_set_oids: false,
-            })
+        let id =
+            g.db.create_asr(
+                g.path.clone(),
+                AsrConfig {
+                    extension: ext,
+                    decomposition: Decomposition::binary(m),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
         let target = Cell::Oid(g.levels[4][0]);
         group.bench_function(ext.name(), |b| {
@@ -52,17 +57,22 @@ fn bench_forward(c: &mut Criterion) {
     let g = generate(&spec(), 42);
     let start = g.levels[0][0];
     group.bench_function("naive", |b| {
-        b.iter(|| g.db.forward_unindexed(&g.path, 0, 4, black_box(start)).unwrap())
+        b.iter(|| {
+            g.db.forward_unindexed(&g.path, 0, 4, black_box(start))
+                .unwrap()
+        })
     });
     let mut g = generate(&spec(), 42);
     let m = g.path.arity(false) - 1;
-    let id = g
-        .db
-        .create_asr(g.path.clone(), AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::binary(m),
-            keep_set_oids: false,
-        })
+    let id =
+        g.db.create_asr(
+            g.path.clone(),
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
     let start = g.levels[0][0];
     group.bench_function("full_binary", |b| {

@@ -35,12 +35,18 @@ fn bench_decompose_reassemble(c: &mut Criterion) {
     let aux = build_auxiliary_relations(g.db.base(), &g.path, false).unwrap();
     let full = Extension::Full.compute(&aux).unwrap();
     let dec = Decomposition::binary(full.arity() - 1);
-    c.bench_function("decompose_binary", |b| b.iter(|| dec.decompose(&full).unwrap()));
+    c.bench_function("decompose_binary", |b| {
+        b.iter(|| dec.decompose(&full).unwrap())
+    });
     let parts = dec.decompose(&full).unwrap();
     c.bench_function("reassemble_binary", |b| {
         b.iter(|| dec.reassemble(&parts, Extension::Full).unwrap())
     });
 }
 
-criterion_group!(benches, bench_extension_computation, bench_decompose_reassemble);
+criterion_group!(
+    benches,
+    bench_extension_computation,
+    bench_decompose_reassemble
+);
 criterion_main!(benches);

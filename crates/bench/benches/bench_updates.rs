@@ -24,13 +24,15 @@ fn bench_ins3(c: &mut Criterion) {
                 || {
                     let mut g = generate(&spec(), 7);
                     let m = g.path.arity(false) - 1;
-                    let id = g
-                        .db
-                        .create_asr(g.path.clone(), AsrConfig {
-                            extension: ext,
-                            decomposition: Decomposition::binary(m),
-                            keep_set_oids: false,
-                        })
+                    let id =
+                        g.db.create_asr(
+                            g.path.clone(),
+                            AsrConfig {
+                                extension: ext,
+                                decomposition: Decomposition::binary(m),
+                                keep_set_oids: false,
+                            },
+                        )
                         .unwrap();
                     let mix = Mix::new(vec![], vec![(1.0, Op::ins(3))], 1.0);
                     let trace = generate_trace(&g, &mix, 10, 99);

@@ -39,11 +39,14 @@ fn measure(buffer_pages: usize, indexed: bool) -> f64 {
     let id = if indexed {
         let m = g.path.arity(false) - 1;
         Some(
-            g.db.create_asr(g.path.clone(), AsrConfig {
-                extension: Extension::Full,
-                decomposition: Decomposition::binary(m),
-                keep_set_oids: false,
-            })
+            g.db.create_asr(
+                g.path.clone(),
+                AsrConfig {
+                    extension: Extension::Full,
+                    decomposition: Decomposition::binary(m),
+                    keep_set_oids: false,
+                },
+            )
             .expect("ASR builds"),
         )
     } else {

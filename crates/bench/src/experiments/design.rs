@@ -19,9 +19,21 @@ pub fn run() -> ExperimentOutput {
 
     type Scenario = (&'static str, CostModel, fn(f64) -> Mix);
     let scenarios: Vec<Scenario> = vec![
-        ("Sec 6.4.2 mix (n=4)", profiles::fig14_profile(), profiles::fig14_mix),
-        ("Sec 6.4.4 mix (n=5, anchored)", profiles::fig16_profile(), profiles::fig16_mix),
-        ("Sec 6.4.5 mix (n=5, terminal)", profiles::fig17_profile(), profiles::fig17_mix),
+        (
+            "Sec 6.4.2 mix (n=4)",
+            profiles::fig14_profile(),
+            profiles::fig14_mix,
+        ),
+        (
+            "Sec 6.4.4 mix (n=5, anchored)",
+            profiles::fig16_profile(),
+            profiles::fig16_mix,
+        ),
+        (
+            "Sec 6.4.5 mix (n=5, terminal)",
+            profiles::fig17_profile(),
+            profiles::fig17_mix,
+        ),
     ];
 
     for (name, model, mk_mix) in &scenarios {

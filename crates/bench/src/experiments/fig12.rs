@@ -51,7 +51,10 @@ mod tests {
         let left = m.update_cost(Ext::Left, 3, &dec);
         let full = m.update_cost(Ext::Full, 3, &dec);
         let ratio = (left / full).max(full / left);
-        assert!(ratio < 3.0, "left={left:.1} full={full:.1} ratio={ratio:.2}");
+        assert!(
+            ratio < 3.0,
+            "left={left:.1} full={full:.1} ratio={ratio:.2}"
+        );
         // Right still loses badly on a right-end insertion.
         assert!(m.update_cost(Ext::Right, 3, &dec) > left);
         assert_eq!(run().tables[0].len(), 4);

@@ -24,13 +24,21 @@ pub fn run() -> ExperimentOutput {
         let size = 100.0 + step as f64 * 100.0;
         let model = profiles::fig13_profile(size);
         let dec = Dec::binary(model.n());
-        let costs: Vec<f64> =
-            Ext::ALL.iter().map(|&e| model.update_cost(e, 1, &dec)).collect();
+        let costs: Vec<f64> = Ext::ALL
+            .iter()
+            .map(|&e| model.update_cost(e, 1, &dec))
+            .collect();
         if first.is_none() {
             first = Some(costs.clone());
         }
         last = costs.clone();
-        table.row(vec![fmt(size), fmt(costs[0]), fmt(costs[1]), fmt(costs[2]), fmt(costs[3])]);
+        table.row(vec![
+            fmt(size),
+            fmt(costs[0]),
+            fmt(costs[1]),
+            fmt(costs[2]),
+            fmt(costs[3]),
+        ]);
     }
     out.push(table);
 
@@ -56,8 +64,7 @@ mod tests {
         let dec = Dec::binary(4);
         let small = profiles::fig13_profile(100.0);
         let large = profiles::fig13_profile(800.0);
-        let growth =
-            |e: Ext| large.update_cost(e, 1, &dec) - small.update_cost(e, 1, &dec);
+        let growth = |e: Ext| large.update_cost(e, 1, &dec) - small.update_cost(e, 1, &dec);
         assert_eq!(growth(Ext::Full), 0.0);
         assert!(growth(Ext::Canonical) > 0.0);
         assert!(growth(Ext::Right) > 0.0);

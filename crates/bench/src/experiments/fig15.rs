@@ -46,9 +46,7 @@ mod tests {
         let dbin = Dec::binary(4);
         // The mix is dominated by whole-chain and (0,3) queries; fewer
         // partitions mean fewer probes.
-        assert!(
-            model.mix_cost(Ext::Left, &d034, &mix) < model.mix_cost(Ext::Left, &dbin, &mix)
-        );
+        assert!(model.mix_cost(Ext::Left, &d034, &mix) < model.mix_cost(Ext::Left, &dbin, &mix));
         assert_eq!(run().tables[0].len(), 9);
     }
 }

@@ -19,7 +19,14 @@ pub fn run() -> ExperimentOutput {
     let mut out = ExperimentOutput::default();
     let mut table = Table::new(
         "Figure 16: left vs full, n = 5 (cost/op)",
-        &["P_up", "left binary", "full binary", "left (0,3,4,5)", "full (0,3,4,5)", "no support"],
+        &[
+            "P_up",
+            "left binary",
+            "full binary",
+            "left (0,3,4,5)",
+            "full (0,3,4,5)",
+            "no support",
+        ],
     );
     for step in 0..=9 {
         let p_up = 0.05 + step as f64 * 0.1;

@@ -21,7 +21,13 @@ pub fn run() -> ExperimentOutput {
     // Fine sweep near zero to expose the tiny break-even, then coarse.
     let mut table = Table::new(
         "Figure 17: right vs full, n = 5 (cost/op)",
-        &["P_up", "right (0,3,5)", "full (0,3,5)", "right binary", "full binary"],
+        &[
+            "P_up",
+            "right (0,3,5)",
+            "full (0,3,5)",
+            "right binary",
+            "full binary",
+        ],
     );
     let p_ups = [0.0005, 0.001, 0.002, 0.005, 0.01, 0.05, 0.1, 0.3, 0.5];
     for &p_up in &p_ups {
@@ -66,13 +72,9 @@ mod tests {
         let d035 = Dec(vec![0, 3, 5]);
         let dbin = Dec::binary(5);
         let low = profiles::fig17_mix(0.001);
-        assert!(
-            model.mix_cost(Ext::Right, &d035, &low) < model.mix_cost(Ext::Full, &d035, &low)
-        );
+        assert!(model.mix_cost(Ext::Right, &d035, &low) < model.mix_cost(Ext::Full, &d035, &low));
         let high = profiles::fig17_mix(0.05);
-        assert!(
-            model.mix_cost(Ext::Full, &d035, &high) < model.mix_cost(Ext::Right, &d035, &high)
-        );
+        assert!(model.mix_cost(Ext::Full, &d035, &high) < model.mix_cost(Ext::Right, &d035, &high));
         for p_up in [0.001, 0.05, 0.3] {
             let mix = profiles::fig17_mix(p_up);
             for ext in [Ext::Right, Ext::Full] {

@@ -20,7 +20,12 @@ pub fn run() -> ExperimentOutput {
 
     let mut table = Table::new(
         "Figure 4: access relation sizes (bytes)",
-        &["extension", "no decomposition", "binary decomposition", "reduction"],
+        &[
+            "extension",
+            "no decomposition",
+            "binary decomposition",
+            "reduction",
+        ],
     );
     let mut sizes = std::collections::HashMap::new();
     for ext in Ext::ALL {
@@ -47,7 +52,10 @@ pub fn run() -> ExperimentOutput {
         fmt(right),
         fmt(full)
     ));
-    out.note(format!("right/left ratio = {:.1}x (paper: 'drastically smaller')", right / left));
+    out.note(format!(
+        "right/left ratio = {:.1}x (paper: 'drastically smaller')",
+        right / left
+    ));
     out
 }
 

@@ -24,7 +24,10 @@ pub fn run() -> ExperimentOutput {
         let d = 2500.0 + step as f64 * 1250.0;
         let model = profiles::fig5_profile(d);
         let dec = Dec::none(model.n());
-        let sizes: Vec<f64> = Ext::ALL.iter().map(|&e| model.total_bytes(e, &dec)).collect();
+        let sizes: Vec<f64> = Ext::ALL
+            .iter()
+            .map(|&e| model.total_bytes(e, &dec))
+            .collect();
         let max = sizes.iter().cloned().fold(f64::MIN, f64::max);
         let min = sizes.iter().cloned().fold(f64::MAX, f64::min);
         let spread = max / min;

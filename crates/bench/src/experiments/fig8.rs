@@ -18,7 +18,14 @@ pub fn run() -> ExperimentOutput {
     let mut out = ExperimentOutput::default();
     let mut table = Table::new(
         "Figure 8: Q_{0,3}(bw) page accesses (supported = full/left only)",
-        &["d_i", "full (no dec)", "left (no dec)", "full (binary)", "left (binary)", "no support"],
+        &[
+            "d_i",
+            "full (no dec)",
+            "left (no dec)",
+            "full (binary)",
+            "left (binary)",
+            "no support",
+        ],
     );
     for d in [10.0, 100.0, 1000.0, 2500.0, 5000.0, 7500.0, 10_000.0] {
         let model = profiles::fig8_profile(d);
@@ -60,8 +67,14 @@ mod tests {
         assert!(dense.q(Ext::Left, QueryKind::Backward, 0, 3, &Dec::none(4)) > nosup);
         assert!(dense.q(Ext::Full, QueryKind::Backward, 0, 3, &Dec::binary(4)) < nosup);
         // Unsupported extensions equal the baseline.
-        assert_eq!(dense.q(Ext::Canonical, QueryKind::Backward, 0, 3, &Dec::binary(4)), nosup);
-        assert_eq!(dense.q(Ext::Right, QueryKind::Backward, 0, 3, &Dec::binary(4)), nosup);
+        assert_eq!(
+            dense.q(Ext::Canonical, QueryKind::Backward, 0, 3, &Dec::binary(4)),
+            nosup
+        );
+        assert_eq!(
+            dense.q(Ext::Right, QueryKind::Backward, 0, 3, &Dec::binary(4)),
+            nosup
+        );
         assert_eq!(run().tables[0].len(), 7);
     }
 }

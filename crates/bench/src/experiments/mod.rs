@@ -75,21 +75,77 @@ pub type ExperimentEntry = (&'static str, &'static str, fn() -> ExperimentOutput
 /// The registry of all experiments.
 pub fn registry() -> Vec<ExperimentEntry> {
     vec![
-        ("fig4", "storage size by extension and decomposition (Sec 4.4.1)", fig4::run),
-        ("fig5", "storage size while varying d_i (Sec 4.4.2)", fig5::run),
-        ("fig6", "backward query Q_{0,4}(bw) cost (Sec 5.9.1)", fig6::run),
-        ("fig7", "query cost under varying object size (Sec 5.9.2)", fig7::run),
-        ("fig8", "which queries are supported: Q_{0,3}(bw) (Sec 5.9.3)", fig8::run),
-        ("fig9", "canonical/left vs full/right profile (Sec 5.9.4)", fig9::run),
+        (
+            "fig4",
+            "storage size by extension and decomposition (Sec 4.4.1)",
+            fig4::run,
+        ),
+        (
+            "fig5",
+            "storage size while varying d_i (Sec 4.4.2)",
+            fig5::run,
+        ),
+        (
+            "fig6",
+            "backward query Q_{0,4}(bw) cost (Sec 5.9.1)",
+            fig6::run,
+        ),
+        (
+            "fig7",
+            "query cost under varying object size (Sec 5.9.2)",
+            fig7::run,
+        ),
+        (
+            "fig8",
+            "which queries are supported: Q_{0,3}(bw) (Sec 5.9.3)",
+            fig8::run,
+        ),
+        (
+            "fig9",
+            "canonical/left vs full/right profile (Sec 5.9.4)",
+            fig9::run,
+        ),
         ("fig11", "update cost for ins_3 (Sec 6.3.1)", fig11::run),
-        ("fig12", "update cost, modified fan profile (Sec 6.3.2)", fig12::run),
-        ("fig13", "update cost under varying object size (Sec 6.3.3)", fig13::run),
-        ("fig14", "operation mix, binary decomposition (Sec 6.4.2)", fig14::run),
-        ("fig15", "operation mix, decomposition (0,3,4) (Sec 6.4.3)", fig15::run),
-        ("fig16", "left-complete vs full, n = 5 (Sec 6.4.4)", fig16::run),
-        ("fig17", "right-complete vs full, n = 5 (Sec 6.4.5)", fig17::run),
-        ("validate", "empirical page counts vs analytical predictions", validate::run),
-        ("ablation", "ASR advantage under LRU buffer pools (extension)", ablation::run),
+        (
+            "fig12",
+            "update cost, modified fan profile (Sec 6.3.2)",
+            fig12::run,
+        ),
+        (
+            "fig13",
+            "update cost under varying object size (Sec 6.3.3)",
+            fig13::run,
+        ),
+        (
+            "fig14",
+            "operation mix, binary decomposition (Sec 6.4.2)",
+            fig14::run,
+        ),
+        (
+            "fig15",
+            "operation mix, decomposition (0,3,4) (Sec 6.4.3)",
+            fig15::run,
+        ),
+        (
+            "fig16",
+            "left-complete vs full, n = 5 (Sec 6.4.4)",
+            fig16::run,
+        ),
+        (
+            "fig17",
+            "right-complete vs full, n = 5 (Sec 6.4.5)",
+            fig17::run,
+        ),
+        (
+            "validate",
+            "empirical page counts vs analytical predictions",
+            validate::run,
+        ),
+        (
+            "ablation",
+            "ASR advantage under LRU buffer pools (extension)",
+            ablation::run,
+        ),
         ("design", "physical-design optimizer (Sec 7)", design::run),
     ]
 }

@@ -73,13 +73,15 @@ fn validate_queries() -> Table {
     for ext in Ext::ALL {
         let mut g = generate(&spec, 1);
         let m = g.path.arity(false) - 1;
-        let id = g
-            .db
-            .create_asr(g.path.clone(), AsrConfig {
-                extension: core_ext(ext),
-                decomposition: Decomposition::binary(m),
-                keep_set_oids: false,
-            })
+        let id =
+            g.db.create_asr(
+                g.path.clone(),
+                AsrConfig {
+                    extension: core_ext(ext),
+                    decomposition: Decomposition::binary(m),
+                    keep_set_oids: false,
+                },
+            )
             .expect("ASR builds");
         let trace = generate_trace(&g, &mix, QUERY_COUNT, 2);
         g.db.stats().reset();
@@ -110,19 +112,24 @@ fn validate_updates() -> Table {
     for ext in Ext::ALL {
         let mut g = generate(&spec, 3);
         let m = g.path.arity(false) - 1;
-        let id = g
-            .db
-            .create_asr(g.path.clone(), AsrConfig {
-                extension: core_ext(ext),
-                decomposition: Decomposition::binary(m),
-                keep_set_oids: false,
-            })
+        let id =
+            g.db.create_asr(
+                g.path.clone(),
+                AsrConfig {
+                    extension: core_ext(ext),
+                    decomposition: Decomposition::binary(m),
+                    keep_set_oids: false,
+                },
+            )
             .expect("ASR builds");
         let trace = generate_trace(&g, &mix, UPDATE_COUNT, 4);
         g.db.stats().reset();
         let path = g.path.clone();
         let report = execute_trace(&mut g.db, Some(id), &path, &trace);
-        g.db.asr(id).unwrap().check_consistency().expect("consistent after updates");
+        g.db.asr(id)
+            .unwrap()
+            .check_consistency()
+            .expect("consistent after updates");
         let predicted = model.update_cost(ext, 3, &Dec::binary(model.n()));
         table.row(vec![
             format!("{} (binary)", ext.name()),
@@ -157,11 +164,14 @@ mod tests {
         let m = indexed.path.arity(false) - 1;
         let id = indexed
             .db
-            .create_asr(indexed.path.clone(), AsrConfig {
-                extension: Extension::Full,
-                decomposition: Decomposition::binary(m),
-                keep_set_oids: false,
-            })
+            .create_asr(
+                indexed.path.clone(),
+                AsrConfig {
+                    extension: Extension::Full,
+                    decomposition: Decomposition::binary(m),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
         indexed.db.stats().reset();
         let path = indexed.path.clone();

@@ -73,9 +73,21 @@ impl Table {
                 s.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }

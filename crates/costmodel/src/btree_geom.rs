@@ -67,11 +67,10 @@ impl CostModel {
             // (27): canonical — t_j objects on complete paths.
             Ext::Canonical => self.ref_by(0, j) * self.p_ref(j, self.n()),
             // (28): right — t_j objects reaching t_n.
-            Ext::Right => self.reaches(j, self.n()).max(if j == self.n() {
-                self.e(j)
-            } else {
-                0.0
-            }),
+            Ext::Right => {
+                self.reaches(j, self.n())
+                    .max(if j == self.n() { self.e(j) } else { 0.0 })
+            }
         }
     }
 
@@ -79,14 +78,18 @@ impl CostModel {
     /// forward-clustered tree, `⌈as / (PageSize · #values)⌉`.
     pub fn nlp(&self, ext: Ext, i: usize, j: usize) -> f64 {
         let values = self.first_values(ext, i).max(1.0);
-        (self.as_bytes(ext, i, j) / (self.sys.page_size * values)).ceil().max(1.0)
+        (self.as_bytes(ext, i, j) / (self.sys.page_size * values))
+            .ceil()
+            .max(1.0)
     }
 
     /// `Rnlp^{i,j}_X` (formulas 25–28): leaf pages per value of the
     /// backward-clustered tree.
     pub fn rnlp(&self, ext: Ext, i: usize, j: usize) -> f64 {
         let values = self.last_values(ext, j).max(1.0);
-        (self.as_bytes(ext, i, j) / (self.sys.page_size * values)).ceil().max(1.0)
+        (self.as_bytes(ext, i, j) / (self.sys.page_size * values))
+            .ceil()
+            .max(1.0)
     }
 }
 

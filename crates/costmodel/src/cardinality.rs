@@ -66,7 +66,9 @@ impl CostModel {
 
     /// Total tuples across all partitions of a decomposition.
     pub fn total_cardinality(&self, ext: Ext, dec: &Dec) -> f64 {
-        dec.partitions().map(|(a, b)| self.cardinality(ext, a, b)).sum()
+        dec.partitions()
+            .map(|(a, b)| self.cardinality(ext, a, b))
+            .sum()
     }
 }
 
@@ -117,7 +119,10 @@ mod tests {
         assert!(can <= right + 1e-9);
         assert!(left <= full + 1e-9, "left={left} full={full}");
         assert!(right <= full + 1e-9, "right={right} full={full}");
-        assert!(left < right, "this profile favours left over right: {left} vs {right}");
+        assert!(
+            left < right,
+            "this profile favours left over right: {left} vs {right}"
+        );
     }
 
     #[test]
@@ -140,7 +145,11 @@ mod tests {
         // edges that exist there.
         let m = sample();
         let full01 = m.card_full(0, 1);
-        assert!(full01 >= m.refs(0) * 0.99, "full(0,1)={full01} vs ref_0={}", m.refs(0));
+        assert!(
+            full01 >= m.refs(0) * 0.99,
+            "full(0,1)={full01} vs ref_0={}",
+            m.refs(0)
+        );
     }
 
     #[test]

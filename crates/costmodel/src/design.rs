@@ -62,7 +62,10 @@ pub fn rank_designs(model: &CostModel, mix: &Mix) -> Vec<DesignChoice> {
 
 /// The single cheapest design for `mix`.
 pub fn best_design(model: &CostModel, mix: &Mix) -> DesignChoice {
-    rank_designs(model, mix).into_iter().next().expect("at least the no-support choice")
+    rank_designs(model, mix)
+        .into_iter()
+        .next()
+        .expect("at least the no-support choice")
 }
 
 #[cfg(test)]
@@ -100,7 +103,10 @@ mod tests {
         let m = model();
         let mix = Mix::new(vec![(1.0, Op::bw(0, 4))], vec![(1.0, Op::ins(3))], 0.05);
         let best = best_design(&m, &mix);
-        assert!(best.extension.is_some(), "support must win a query-heavy mix");
+        assert!(
+            best.extension.is_some(),
+            "support must win a query-heavy mix"
+        );
         assert!(best.storage_bytes > 0.0);
     }
 
@@ -109,7 +115,10 @@ mod tests {
         let m = model();
         let mix = Mix::new(vec![(1.0, Op::bw(0, 4))], vec![(1.0, Op::ins(3))], 1.0);
         let best = best_design(&m, &mix);
-        assert_eq!(best.extension, None, "pure updates: any ASR is pure overhead");
+        assert_eq!(
+            best.extension, None,
+            "pure updates: any ASR is pure overhead"
+        );
         assert_eq!(best.cost, CostModel::OBJECT_UPDATE_COST);
     }
 

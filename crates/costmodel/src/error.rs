@@ -45,6 +45,8 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(CostModelError::InvalidSpan { i: 2, j: 1, n: 4 }.to_string().contains("[2,1]"));
+        assert!(CostModelError::InvalidSpan { i: 2, j: 1, n: 4 }
+            .to_string()
+            .contains("[2,1]"));
     }
 }

@@ -44,12 +44,20 @@ pub enum Op {
 impl Op {
     /// Shorthand for a backward query.
     pub fn bw(i: usize, j: usize) -> Op {
-        Op::Query { kind: QueryKind::Backward, i, j }
+        Op::Query {
+            kind: QueryKind::Backward,
+            i,
+            j,
+        }
     }
 
     /// Shorthand for a forward query.
     pub fn fw(i: usize, j: usize) -> Op {
-        Op::Query { kind: QueryKind::Forward, i, j }
+        Op::Query {
+            kind: QueryKind::Forward,
+            i,
+            j,
+        }
     }
 
     /// Shorthand for `ins_i`.
@@ -72,7 +80,11 @@ pub struct Mix {
 impl Mix {
     /// Build a mix; weights are normalized defensively.
     pub fn new(queries: Vec<(f64, Op)>, updates: Vec<(f64, Op)>, p_up: f64) -> Self {
-        Mix { queries, updates, p_up: p_up.clamp(0.0, 1.0) }
+        Mix {
+            queries,
+            updates,
+            p_up: p_up.clamp(0.0, 1.0),
+        }
     }
 
     fn normalized(ops: &[(f64, Op)]) -> Vec<(f64, Op)> {
@@ -147,7 +159,11 @@ mod tests {
             .unwrap(),
         );
         let mix = Mix::new(
-            vec![(0.5, Op::bw(0, 4)), (0.25, Op::bw(0, 3)), (0.25, Op::fw(1, 2))],
+            vec![
+                (0.5, Op::bw(0, 4)),
+                (0.25, Op::bw(0, 3)),
+                (0.25, Op::fw(1, 2)),
+            ],
             vec![(0.5, Op::ins(2)), (0.5, Op::ins(3))],
             0.5,
         );
@@ -190,7 +206,10 @@ mod tests {
         mix.p_up = 0.1;
         let left_low = m.mix_cost(Ext::Left, &dec, &mix);
         let full_low = m.mix_cost(Ext::Full, &dec, &mix);
-        assert!(left_low < full_low, "P_up=0.1: left={left_low:.1} full={full_low:.1}");
+        assert!(
+            left_low < full_low,
+            "P_up=0.1: left={left_low:.1} full={full_low:.1}"
+        );
         // Both supported designs beat the same mix without support at
         // moderate update probabilities.
         for ext in [Ext::Left, Ext::Full] {
@@ -228,7 +247,10 @@ mod tests {
     fn normalization_sane() {
         let (m, mix) = fig14();
         let norm = m.mix_cost_normalized(Ext::Full, &Dec::binary(4), &mix);
-        assert!(norm > 0.0 && norm < 1.0, "supported mix should pay off: {norm}");
+        assert!(
+            norm > 0.0 && norm < 1.0,
+            "supported mix should pay off: {norm}"
+        );
     }
 
     #[test]

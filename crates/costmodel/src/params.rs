@@ -31,7 +31,11 @@ pub struct SystemParams {
 
 impl Default for SystemParams {
     fn default() -> Self {
-        SystemParams { page_size: 4056.0, oid_size: 8.0, pp_size: 4.0 }
+        SystemParams {
+            page_size: 4056.0,
+            oid_size: 8.0,
+            pp_size: 4.0,
+        }
     }
 }
 
@@ -62,7 +66,14 @@ pub struct Profile {
 impl Profile {
     /// Build and validate a profile with derived sharing.
     pub fn new(c: Vec<f64>, d: Vec<f64>, fan: Vec<f64>, size: Vec<f64>) -> Result<Self> {
-        let profile = Profile { n: c.len().saturating_sub(1), c, d, fan, size, shar: None };
+        let profile = Profile {
+            n: c.len().saturating_sub(1),
+            c,
+            d,
+            fan,
+            size,
+            shar: None,
+        };
         profile.validate()?;
         Ok(profile)
     }
@@ -71,7 +82,9 @@ impl Profile {
     pub fn validate(&self) -> Result<()> {
         let n = self.n;
         if n == 0 {
-            return Err(CostModelError::InvalidProfile("path length must be >= 1".into()));
+            return Err(CostModelError::InvalidProfile(
+                "path length must be >= 1".into(),
+            ));
         }
         let check_len = |name: &str, len: usize, want: usize| {
             if len != want {
@@ -102,7 +115,10 @@ impl Profile {
                 )));
             }
             if self.fan[i] < 0.0 || !self.fan[i].is_finite() {
-                return Err(CostModelError::InvalidProfile(format!("fan_{i} = {}", self.fan[i])));
+                return Err(CostModelError::InvalidProfile(format!(
+                    "fan_{i} = {}",
+                    self.fan[i]
+                )));
             }
         }
         for (i, &s) in self.size.iter().enumerate() {
@@ -127,7 +143,10 @@ pub struct CostModel {
 impl CostModel {
     /// Bind a profile to the default system parameters.
     pub fn new(profile: Profile) -> Self {
-        CostModel { profile, sys: SystemParams::default() }
+        CostModel {
+            profile,
+            sys: SystemParams::default(),
+        }
     }
 
     /// Path length `n`.

@@ -23,13 +23,7 @@ pub fn fig4_profile() -> CostModel {
 /// `2500 … 10000`; `c_i = 10000`, `fan = 2`.
 pub fn fig5_profile(d: f64) -> CostModel {
     CostModel::new(
-        Profile::new(
-            vec![10_000.0; 5],
-            vec![d; 4],
-            vec![2.0; 4],
-            vec![120.0; 5],
-        )
-        .unwrap(),
+        Profile::new(vec![10_000.0; 5], vec![d; 4], vec![2.0; 4], vec![120.0; 5]).unwrap(),
     )
 }
 
@@ -67,13 +61,7 @@ pub fn fig7_profile(size: f64) -> CostModel {
 /// `size = 120`.
 pub fn fig8_profile(d: f64) -> CostModel {
     CostModel::new(
-        Profile::new(
-            vec![10_000.0; 5],
-            vec![d; 4],
-            vec![2.0; 4],
-            vec![120.0; 5],
-        )
-        .unwrap(),
+        Profile::new(vec![10_000.0; 5], vec![d; 4], vec![2.0; 4], vec![120.0; 5]).unwrap(),
     )
 }
 
@@ -129,7 +117,11 @@ pub fn fig13_profile(size: f64) -> CostModel {
 /// `U = {(1/2, ins_2), (1/2, ins_3)}`.
 pub fn fig14_mix(p_up: f64) -> Mix {
     Mix::new(
-        vec![(0.5, Op::bw(0, 4)), (0.25, Op::bw(0, 3)), (0.25, Op::fw(1, 2))],
+        vec![
+            (0.5, Op::bw(0, 4)),
+            (0.25, Op::bw(0, 3)),
+            (0.25, Op::fw(1, 2)),
+        ],
         vec![(0.5, Op::ins(2)), (0.5, Op::ins(3))],
         p_up,
     )
@@ -185,7 +177,11 @@ pub fn fig17_profile() -> CostModel {
 /// `U = {(1, ins_3)}`.
 pub fn fig17_mix(p_up: f64) -> Mix {
     Mix::new(
-        vec![(0.5, Op::bw(0, 5)), (0.25, Op::bw(1, 5)), (0.25, Op::bw(2, 5))],
+        vec![
+            (0.5, Op::bw(0, 5)),
+            (0.25, Op::bw(1, 5)),
+            (0.25, Op::bw(2, 5)),
+        ],
         vec![(1.0, Op::ins(3))],
         p_up,
     )

@@ -217,7 +217,10 @@ mod tests {
         let nosup = m.qnas_bw(0, 3);
         for ext in [Ext::Full, Ext::Left] {
             let sup = m.q(ext, QueryKind::Backward, 0, 3, &none);
-            assert!(sup > nosup, "{ext}: scan {sup} must exceed no-support {nosup}");
+            assert!(
+                sup > nosup,
+                "{ext}: scan {sup} must exceed no-support {nosup}"
+            );
         }
         // Binary decomposition repairs it.
         for ext in [Ext::Full, Ext::Left] {
@@ -251,6 +254,9 @@ mod tests {
         let dec = Dec(vec![0, 2, 4]);
         // Q_{1,4}: position 1 lies inside partition (0,2).
         let cost = m.qsup_fw(Ext::Full, 1, 4, &dec);
-        assert!(cost >= m.ap(Ext::Full, 0, 2), "must include the partition scan");
+        assert!(
+            cost >= m.ap(Ext::Full, 0, 2),
+            "must include the partition scan"
+        );
     }
 }

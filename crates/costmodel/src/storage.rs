@@ -29,7 +29,9 @@ impl CostModel {
     /// Total tuple bytes over a decomposition (the non-redundant
     /// representation plotted in Figures 4 and 5).
     pub fn total_bytes(&self, ext: Ext, dec: &Dec) -> f64 {
-        dec.partitions().map(|(a, b)| self.as_bytes(ext, a, b)).sum()
+        dec.partitions()
+            .map(|(a, b)| self.as_bytes(ext, a, b))
+            .sum()
     }
 
     /// Total pages over a decomposition.
@@ -89,8 +91,10 @@ mod tests {
         let left = m.total_bytes(Ext::Left, &dec);
         let right = m.total_bytes(Ext::Right, &dec);
         let full = m.total_bytes(Ext::Full, &dec);
-        assert!(can < left && left < right && right <= full,
-            "can={can:.0} left={left:.0} right={right:.0} full={full:.0}");
+        assert!(
+            can < left && left < right && right <= full,
+            "can={can:.0} left={left:.0} right={right:.0} full={full:.0}"
+        );
         // "drastically smaller": at least 3x between left and right here.
         assert!(right / left > 3.0, "right/left = {}", right / left);
     }
@@ -100,13 +104,7 @@ mod tests {
         // Section 4.4.2: as d_i -> c_i all extensions approach each other.
         let mk = |d: f64| {
             CostModel::new(
-                Profile::new(
-                    vec![10_000.0; 5],
-                    vec![d; 4],
-                    vec![2.0; 4],
-                    vec![120.0; 5],
-                )
-                .unwrap(),
+                Profile::new(vec![10_000.0; 5], vec![d; 4], vec![2.0; 4], vec![120.0; 5]).unwrap(),
             )
         };
         let sparse = mk(2500.0);
@@ -118,8 +116,14 @@ mod tests {
             let min = sizes.iter().cloned().fold(f64::MAX, f64::min);
             max / min
         };
-        assert!(spread(&sparse) > spread(&dense), "extensions converge with density");
-        assert!(spread(&dense) < 1.6, "near-equal when every path is complete");
+        assert!(
+            spread(&sparse) > spread(&dense),
+            "extensions converge with density"
+        );
+        assert!(
+            spread(&dense) < 1.6,
+            "near-equal when every path is complete"
+        );
         // And sizes grow with d.
         for ext in Ext::ALL {
             assert!(dense.total_bytes(ext, &dec) > sparse.total_bytes(ext, &dec));

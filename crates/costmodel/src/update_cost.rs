@@ -34,9 +34,7 @@ impl CostModel {
                 .qsup_fw(ext, i, i + 1, dec)
                 .min(self.qsup_bw(ext, i, i + 1, dec)),
             Ext::Left => {
-                self.qnas_fw(i + 1, n)
-                    * (1.0 - self.p_ref_by(0, i + 1))
-                    * self.p_ref_by(0, i)
+                self.qnas_fw(i + 1, n) * (1.0 - self.p_ref_by(0, i + 1)) * self.p_ref_by(0, i)
                     + self
                         .qsup_fw(ext, i, i + 1, dec)
                         .min(self.qsup_bw(ext, i, i + 1, dec))
@@ -172,15 +170,11 @@ impl CostModel {
             let card = self.cardinality(ext, a, b);
             let qfw = self.qfw(ext, i, a, b);
             if qfw > 0.0 {
-                cost += 1.0
-                    + yao(qfw, pg - 1.0, (pg - 1.0) * fan)
-                    + yao(qfw, ap, card) * 2.0;
+                cost += 1.0 + yao(qfw, pg - 1.0, (pg - 1.0) * fan) + yao(qfw, ap, card) * 2.0;
             }
             let qbw = self.qbw(ext, i, a, b);
             if qbw > 0.0 {
-                cost += 1.0
-                    + yao(qbw, pg - 1.0, (pg - 1.0) * fan)
-                    + yao(qbw, ap, card) * 2.0;
+                cost += 1.0 + yao(qbw, pg - 1.0, (pg - 1.0) * fan) + yao(qbw, ap, card) * 2.0;
             }
         }
         cost
@@ -227,7 +221,9 @@ mod tests {
         let m = fig11_model();
         let dec = Dec::binary(4);
         let full = m.search_cost(Ext::Full, 3, &dec);
-        let qsup = m.qsup_fw(Ext::Full, 3, 4, &dec).min(m.qsup_bw(Ext::Full, 3, 4, &dec));
+        let qsup = m
+            .qsup_fw(Ext::Full, 3, 4, &dec)
+            .min(m.qsup_bw(Ext::Full, 3, 4, &dec));
         assert_eq!(full, qsup);
     }
 
@@ -279,9 +275,7 @@ mod tests {
         let large = mk(800.0);
         let dec = Dec::binary(4);
         let i = 1;
-        let growth = |ext: Ext| {
-            large.update_cost(ext, i, &dec) - small.update_cost(ext, i, &dec)
-        };
+        let growth = |ext: Ext| large.update_cost(ext, i, &dec) - small.update_cost(ext, i, &dec);
         assert!(growth(Ext::Canonical) > 0.0);
         assert!(growth(Ext::Right) > 0.0);
         assert!(

@@ -34,7 +34,11 @@ pub fn yao(k: f64, m: f64, n: f64) -> f64 {
         return yao_int(k as u64, m, n);
     }
     let frac = k - lo;
-    let y_lo = if lo == 0.0 { 0.0 } else { yao_int(lo as u64, m, n) };
+    let y_lo = if lo == 0.0 {
+        0.0
+    } else {
+        yao_int(lo as u64, m, n)
+    };
     let y_hi = yao_int(hi as u64, m, n);
     y_lo + frac * (y_hi - y_lo)
 }
@@ -72,7 +76,11 @@ mod tests {
         assert_eq!(yao(0.0, 10.0, 100.0), 0.0);
         assert_eq!(yao(5.0, 0.0, 100.0), 0.0);
         assert_eq!(yao(5.0, 10.0, 0.0), 0.0);
-        assert_eq!(yao(5.0, 1.0, 100.0), 1.0, "a single page is always 1 access");
+        assert_eq!(
+            yao(5.0, 1.0, 100.0),
+            1.0,
+            "a single page is always 1 access"
+        );
     }
 
     #[test]

@@ -25,8 +25,16 @@ fn figure4_storage_goldens() {
     close(m.total_bytes(Ext::Left, &none), 645_696.0, "left/none");
     close(m.total_bytes(Ext::Right, &none), 3_200_000.0, "right/none");
     close(m.total_bytes(Ext::Full, &none), 3_854_400.0, "full/none");
-    close(m.total_bytes(Ext::Canonical, &binary), 210_437.31345846382, "can/binary");
-    close(m.total_bytes(Ext::Full, &binary), 1_820_800.0, "full/binary");
+    close(
+        m.total_bytes(Ext::Canonical, &binary),
+        210_437.31345846382,
+        "can/binary",
+    );
+    close(
+        m.total_bytes(Ext::Full, &binary),
+        1_820_800.0,
+        "full/binary",
+    );
 }
 
 #[test]
@@ -44,18 +52,38 @@ fn figure6_query_goldens() {
 fn figure8_interior_span_goldens() {
     let m = profiles::fig8_profile(10_000.0);
     close(m.qnas_bw(0, 3), 912.0, "no support");
-    close(m.q(Ext::Full, QueryKind::Backward, 0, 3, &Dec::none(4)), 1585.0, "full/none");
-    close(m.q(Ext::Full, QueryKind::Backward, 0, 3, &Dec::binary(4)), 10.0, "full/binary");
+    close(
+        m.q(Ext::Full, QueryKind::Backward, 0, 3, &Dec::none(4)),
+        1585.0,
+        "full/none",
+    );
+    close(
+        m.q(Ext::Full, QueryKind::Backward, 0, 3, &Dec::binary(4)),
+        10.0,
+        "full/binary",
+    );
 }
 
 #[test]
 fn figure11_update_goldens() {
     let m = profiles::fig11_profile();
     let dec = Dec::binary(4);
-    close(m.update_cost(Ext::Left, 3, &dec), 7.412540161836285, "left ins_3");
+    close(
+        m.update_cost(Ext::Left, 3, &dec),
+        7.412540161836285,
+        "left ins_3",
+    );
     close(m.update_cost(Ext::Full, 3, &dec), 11.0, "full ins_3");
-    close(m.update_cost(Ext::Right, 3, &dec), 3167.1916962966397, "right ins_3");
-    close(m.update_cost(Ext::Canonical, 3, &dec), 1247.426968924084, "canonical ins_3");
+    close(
+        m.update_cost(Ext::Right, 3, &dec),
+        3167.1916962966397,
+        "right ins_3",
+    );
+    close(
+        m.update_cost(Ext::Canonical, 3, &dec),
+        1247.426968924084,
+        "canonical ins_3",
+    );
 }
 
 #[test]

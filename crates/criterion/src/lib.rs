@@ -1,0 +1,171 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion` 0.5
+//! API this workspace's benches use.
+//!
+//! The build environment is fully offline (no registry access), so the
+//! external `criterion` crate is replaced by this local harness. It runs
+//! each benchmark a fixed number of warm-up and measurement iterations with
+//! `std::time::Instant` and prints a mean time per iteration — enough to
+//! compare orders of magnitude locally, without criterion's statistics,
+//! plotting, or baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; both variants behave identically here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The per-benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn run_one(group: Option<&str>, name: &str, sample_iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // One warm-up pass, then the measured pass.
+    let mut warmup = Bencher::new(1);
+    f(&mut warmup);
+    let mut bench = Bencher::new(sample_iters);
+    f(&mut bench);
+    let per_iter = bench.elapsed.as_nanos() / u128::from(bench.iters.max(1));
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    println!("{label:<48} {per_iter:>12} ns/iter ({} iters)", bench.iters);
+}
+
+/// Top-level benchmark context, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_iters: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(None, name, self.sample_iters, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_iters: self.sample_iters,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = (n as u64).max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.to_string(), self.sample_iters, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` keeps working alongside
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        // One warm-up iteration plus `sample_iters` measured ones.
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn groups_run_batched_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut seen = Vec::new();
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 5u32, |x| seen.push(x), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(seen, vec![5, 5, 5, 5]);
+    }
+}

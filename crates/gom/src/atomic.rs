@@ -75,6 +75,10 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert_eq!(AtomicType::by_name("ROBOT"), None);
-        assert_eq!(AtomicType::by_name("string"), None, "names are case-sensitive");
+        assert_eq!(
+            AtomicType::by_name("string"),
+            None,
+            "names are case-sensitive"
+        );
     }
 }

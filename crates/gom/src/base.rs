@@ -86,7 +86,9 @@ impl ObjectBase {
     /// past the restored OID so future instantiations cannot collide.
     pub fn restore_object(&mut self, oid: Oid, type_name: &str) -> Result<()> {
         if self.contains(oid) {
-            return Err(GomError::DuplicateType(format!("object {oid} already exists")));
+            return Err(GomError::DuplicateType(format!(
+                "object {oid} already exists"
+            )));
         }
         let ty = self.schema.require(type_name)?;
         let def = self.schema.def(ty)?;
@@ -107,7 +109,10 @@ impl ObjectBase {
     /// model maintains uni-directional references only); navigation treats
     /// dangling references as `NULL`.
     pub fn delete(&mut self, oid: Oid) -> Result<()> {
-        let obj = self.objects.remove(&oid).ok_or(GomError::UnknownObject(oid))?;
+        let obj = self
+            .objects
+            .remove(&oid)
+            .ok_or(GomError::UnknownObject(oid))?;
         if let Some(extent) = self.extents.get_mut(&obj.ty) {
             extent.retain(|&o| o != oid);
         }
@@ -174,7 +179,10 @@ impl ObjectBase {
         let ty = self.type_of(oid)?;
         let declared = self.schema.attribute_type(ty, attr)?;
         self.check_conformance(&value, declared)?;
-        let obj = self.objects.get_mut(&oid).ok_or(GomError::UnknownObject(oid))?;
+        let obj = self
+            .objects
+            .get_mut(&oid)
+            .ok_or(GomError::UnknownObject(oid))?;
         match &mut obj.body {
             ObjectBody::Tuple(attrs) => {
                 if value.is_null() {
@@ -184,7 +192,10 @@ impl ObjectBase {
                 }
                 Ok(())
             }
-            _ => Err(GomError::WrongStructure { oid, expected: "tuple" }),
+            _ => Err(GomError::WrongStructure {
+                oid,
+                expected: "tuple",
+            }),
         }
     }
 
@@ -200,22 +211,37 @@ impl ObjectBase {
             .def(ty)?
             .kind
             .element()
-            .ok_or(GomError::WrongStructure { oid: set_oid, expected: "set" })?;
+            .ok_or(GomError::WrongStructure {
+                oid: set_oid,
+                expected: "set",
+            })?;
         self.check_conformance(&value, element)?;
-        let obj = self.objects.get_mut(&set_oid).ok_or(GomError::UnknownObject(set_oid))?;
+        let obj = self
+            .objects
+            .get_mut(&set_oid)
+            .ok_or(GomError::UnknownObject(set_oid))?;
         match &mut obj.body {
             ObjectBody::Set(set) => Ok(set.insert(value)),
-            _ => Err(GomError::WrongStructure { oid: set_oid, expected: "set" }),
+            _ => Err(GomError::WrongStructure {
+                oid: set_oid,
+                expected: "set",
+            }),
         }
     }
 
     /// Remove `value` from set object `set_oid`; returns whether it was
     /// present.
     pub fn remove_from_set(&mut self, set_oid: Oid, value: &Value) -> Result<bool> {
-        let obj = self.objects.get_mut(&set_oid).ok_or(GomError::UnknownObject(set_oid))?;
+        let obj = self
+            .objects
+            .get_mut(&set_oid)
+            .ok_or(GomError::UnknownObject(set_oid))?;
         match &mut obj.body {
             ObjectBody::Set(set) => Ok(set.remove(value)),
-            _ => Err(GomError::WrongStructure { oid: set_oid, expected: "set" }),
+            _ => Err(GomError::WrongStructure {
+                oid: set_oid,
+                expected: "set",
+            }),
         }
     }
 
@@ -227,15 +253,24 @@ impl ObjectBase {
             .def(ty)?
             .kind
             .element()
-            .ok_or(GomError::WrongStructure { oid: list_oid, expected: "list" })?;
+            .ok_or(GomError::WrongStructure {
+                oid: list_oid,
+                expected: "list",
+            })?;
         self.check_conformance(&value, element)?;
-        let obj = self.objects.get_mut(&list_oid).ok_or(GomError::UnknownObject(list_oid))?;
+        let obj = self
+            .objects
+            .get_mut(&list_oid)
+            .ok_or(GomError::UnknownObject(list_oid))?;
         match &mut obj.body {
             ObjectBody::List(list) => {
                 list.push(value);
                 Ok(())
             }
-            _ => Err(GomError::WrongStructure { oid: list_oid, expected: "list" }),
+            _ => Err(GomError::WrongStructure {
+                oid: list_oid,
+                expected: "list",
+            }),
         }
     }
 
@@ -269,13 +304,18 @@ impl ObjectBase {
 
     /// Look up a database variable.
     pub fn variable(&self, name: &str) -> Result<&Value> {
-        self.variables.get(name).ok_or_else(|| GomError::UnknownVariable(name.to_string()))
+        self.variables
+            .get(name)
+            .ok_or_else(|| GomError::UnknownVariable(name.to_string()))
     }
 
     /// Iterate over all bound database variables in name order.
     pub fn variables(&self) -> impl Iterator<Item = (&str, &Value)> {
-        let mut items: Vec<(&str, &Value)> =
-            self.variables.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        let mut items: Vec<(&str, &Value)> = self
+            .variables
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
+            .collect();
         items.sort_by_key(|(k, _)| *k);
         items.into_iter()
     }
@@ -295,7 +335,11 @@ impl ObjectBase {
     /// dangling references skipped).
     pub fn element_oids(&self, collection: Oid) -> Result<Vec<Oid>> {
         let obj = self.object(collection)?;
-        Ok(obj.elements().filter_map(Value::as_ref_oid).filter(|o| self.contains(*o)).collect())
+        Ok(obj
+            .elements()
+            .filter_map(Value::as_ref_oid)
+            .filter(|o| self.contains(*o))
+            .collect())
     }
 }
 
@@ -306,11 +350,20 @@ mod tests {
     fn company_base() -> ObjectBase {
         let mut s = Schema::new();
         s.define_set("Company", "Division").unwrap();
-        s.define_tuple("Division", [("Name", "STRING"), ("Manufactures", "ProdSET")]).unwrap();
+        s.define_tuple(
+            "Division",
+            [("Name", "STRING"), ("Manufactures", "ProdSET")],
+        )
+        .unwrap();
         s.define_set("ProdSET", "Product").unwrap();
-        s.define_tuple("Product", [("Name", "STRING"), ("Composition", "BasePartSET")]).unwrap();
+        s.define_tuple(
+            "Product",
+            [("Name", "STRING"), ("Composition", "BasePartSET")],
+        )
+        .unwrap();
         s.define_set("BasePartSET", "BasePart").unwrap();
-        s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")]).unwrap();
+        s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")])
+            .unwrap();
         s.validate().unwrap();
         ObjectBase::new(s)
     }
@@ -342,15 +395,20 @@ mod tests {
             Err(GomError::TypeViolation { .. })
         ));
         let ps = base.instantiate("ProdSET").unwrap();
-        base.set_attribute(d, "Manufactures", Value::Ref(ps)).unwrap();
-        assert_eq!(base.get_attribute(d, "Manufactures").unwrap(), Value::Ref(ps));
+        base.set_attribute(d, "Manufactures", Value::Ref(ps))
+            .unwrap();
+        assert_eq!(
+            base.get_attribute(d, "Manufactures").unwrap(),
+            Value::Ref(ps)
+        );
     }
 
     #[test]
     fn null_assignment_clears() {
         let mut base = company_base();
         let d = base.instantiate("Division").unwrap();
-        base.set_attribute(d, "Name", Value::string("Auto")).unwrap();
+        base.set_attribute(d, "Name", Value::string("Auto"))
+            .unwrap();
         base.set_attribute(d, "Name", Value::Null).unwrap();
         assert!(base.get_attribute(d, "Name").unwrap().is_null());
     }
@@ -373,7 +431,10 @@ mod tests {
         let p = base.instantiate("Product").unwrap();
         let d = base.instantiate("Division").unwrap();
         assert!(base.insert_into_set(ps, Value::Ref(p)).unwrap());
-        assert!(!base.insert_into_set(ps, Value::Ref(p)).unwrap(), "duplicate insert");
+        assert!(
+            !base.insert_into_set(ps, Value::Ref(p)).unwrap(),
+            "duplicate insert"
+        );
         // Division is not a Product.
         assert!(matches!(
             base.insert_into_set(ps, Value::Ref(d)),
@@ -399,10 +460,14 @@ mod tests {
         let mut base = company_base();
         let d = base.instantiate("Division").unwrap();
         let ps = base.instantiate("ProdSET").unwrap();
-        base.set_attribute(d, "Manufactures", Value::Ref(ps)).unwrap();
+        base.set_attribute(d, "Manufactures", Value::Ref(ps))
+            .unwrap();
         base.delete(ps).unwrap();
         // The attribute still holds the raw reference...
-        assert_eq!(base.get_attribute(d, "Manufactures").unwrap(), Value::Ref(ps));
+        assert_eq!(
+            base.get_attribute(d, "Manufactures").unwrap(),
+            Value::Ref(ps)
+        );
         // ...but navigation treats it as NULL.
         assert_eq!(base.deref_attribute(d, "Manufactures").unwrap(), None);
         let set_ty = base.schema().resolve("ProdSET").unwrap();
@@ -416,25 +481,34 @@ mod tests {
         let c = base.instantiate("Company").unwrap();
         base.bind_variable("Mercedes", Value::Ref(c));
         assert_eq!(base.variable("Mercedes").unwrap(), &Value::Ref(c));
-        assert!(matches!(base.variable("BMW"), Err(GomError::UnknownVariable(_))));
+        assert!(matches!(
+            base.variable("BMW"),
+            Err(GomError::UnknownVariable(_))
+        ));
     }
 
     #[test]
     fn subtype_instances_conform_and_appear_in_deep_extent() {
         let mut s = Schema::new();
         s.define_tuple("TOOL", [("Function", "STRING")]).unwrap();
-        s.define_tuple_sub("POWERTOOL", ["TOOL"], [("Watts", "INTEGER")]).unwrap();
+        s.define_tuple_sub("POWERTOOL", ["TOOL"], [("Watts", "INTEGER")])
+            .unwrap();
         s.define_tuple("ARM", [("MountedTool", "TOOL")]).unwrap();
         s.validate().unwrap();
         let mut base = ObjectBase::new(s);
         let pt = base.instantiate("POWERTOOL").unwrap();
         let arm = base.instantiate("ARM").unwrap();
         // A POWERTOOL instance may stand in for a TOOL attribute.
-        base.set_attribute(arm, "MountedTool", Value::Ref(pt)).unwrap();
+        base.set_attribute(arm, "MountedTool", Value::Ref(pt))
+            .unwrap();
         // Inherited attribute is assignable on the subtype instance.
-        base.set_attribute(pt, "Function", Value::string("drilling")).unwrap();
+        base.set_attribute(pt, "Function", Value::string("drilling"))
+            .unwrap();
         let tool_ty = base.schema().resolve("TOOL").unwrap();
-        assert!(base.extent(tool_ty).is_empty(), "direct extent excludes subtypes");
+        assert!(
+            base.extent(tool_ty).is_empty(),
+            "direct extent excludes subtypes"
+        );
         assert_eq!(base.extent_closure(tool_ty), vec![pt]);
     }
 
@@ -450,7 +524,10 @@ mod tests {
         base.push_to_list(l, Value::Integer(2)).unwrap();
         let obj = base.object(l).unwrap();
         let elems: Vec<_> = obj.elements().cloned().collect();
-        assert_eq!(elems, vec![Value::Integer(2), Value::Integer(1), Value::Integer(2)]);
+        assert_eq!(
+            elems,
+            vec![Value::Integer(2), Value::Integer(1), Value::Integer(2)]
+        );
         assert!(matches!(
             base.push_to_list(l, Value::string("x")),
             Err(GomError::TypeViolation { .. })

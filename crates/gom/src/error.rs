@@ -87,7 +87,10 @@ impl fmt::Display for GomError {
                 write!(f, "object {oid} is not a {expected} instance")
             }
             GomError::TypeViolation { expected, actual } => {
-                write!(f, "type violation: expected (a subtype of) `{expected}`, got `{actual}`")
+                write!(
+                    f,
+                    "type violation: expected (a subtype of) `{expected}`, got `{actual}`"
+                )
             }
             GomError::UnknownVariable(name) => write!(f, "database variable `{name}` is not bound"),
             GomError::InvalidPath(msg) => write!(f, "invalid path expression: {msg}"),
@@ -104,15 +107,27 @@ mod tests {
 
     #[test]
     fn display_renders_context() {
-        let err = GomError::UnknownAttribute { ty: "ROBOT".into(), attr: "Arm".into() };
+        let err = GomError::UnknownAttribute {
+            ty: "ROBOT".into(),
+            attr: "Arm".into(),
+        };
         assert_eq!(err.to_string(), "type `ROBOT` has no attribute `Arm`");
-        let err = GomError::TypeViolation { expected: "TOOL".into(), actual: "ROBOT".into() };
+        let err = GomError::TypeViolation {
+            expected: "TOOL".into(),
+            actual: "ROBOT".into(),
+        };
         assert!(err.to_string().contains("expected (a subtype of) `TOOL`"));
     }
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(GomError::UnknownType("X".into()), GomError::UnknownType("X".into()));
-        assert_ne!(GomError::UnknownType("X".into()), GomError::DuplicateType("X".into()));
+        assert_eq!(
+            GomError::UnknownType("X".into()),
+            GomError::UnknownType("X".into())
+        );
+        assert_ne!(
+            GomError::UnknownType("X".into()),
+            GomError::DuplicateType("X".into())
+        );
     }
 }

@@ -63,17 +63,29 @@ pub struct Object {
 impl Object {
     /// A fresh tuple object with all attributes `NULL`.
     pub fn new_tuple(oid: Oid, ty: TypeId) -> Self {
-        Object { oid, ty, body: ObjectBody::Tuple(BTreeMap::new()) }
+        Object {
+            oid,
+            ty,
+            body: ObjectBody::Tuple(BTreeMap::new()),
+        }
     }
 
     /// A fresh, empty set object.
     pub fn new_set(oid: Oid, ty: TypeId) -> Self {
-        Object { oid, ty, body: ObjectBody::Set(BTreeSet::new()) }
+        Object {
+            oid,
+            ty,
+            body: ObjectBody::Set(BTreeSet::new()),
+        }
     }
 
     /// A fresh, empty list object.
     pub fn new_list(oid: Oid, ty: TypeId) -> Self {
-        Object { oid, ty, body: ObjectBody::List(Vec::new()) }
+        Object {
+            oid,
+            ty,
+            body: ObjectBody::List(Vec::new()),
+        }
     }
 
     /// Attribute value, treating absent attributes as `NULL`.
@@ -107,9 +119,7 @@ impl Object {
     /// default when no per-type `size_i` is configured in the simulator).
     pub fn stored_size(&self) -> usize {
         let payload: usize = match &self.body {
-            ObjectBody::Tuple(attrs) => {
-                attrs.iter().map(|(k, v)| k.len() + v.stored_size()).sum()
-            }
+            ObjectBody::Tuple(attrs) => attrs.iter().map(|(k, v)| k.len() + v.stored_size()).sum(),
             ObjectBody::Set(s) => s.iter().map(Value::stored_size).sum(),
             ObjectBody::List(l) => l.iter().map(Value::stored_size).sum(),
         };
@@ -169,8 +179,23 @@ mod tests {
 
     #[test]
     fn structure_names() {
-        assert_eq!(Object::new_tuple(oid(1), TypeId::from_index(0)).body.structure(), "tuple");
-        assert_eq!(Object::new_set(oid(1), TypeId::from_index(0)).body.structure(), "set");
-        assert_eq!(Object::new_list(oid(1), TypeId::from_index(0)).body.structure(), "list");
+        assert_eq!(
+            Object::new_tuple(oid(1), TypeId::from_index(0))
+                .body
+                .structure(),
+            "tuple"
+        );
+        assert_eq!(
+            Object::new_set(oid(1), TypeId::from_index(0))
+                .body
+                .structure(),
+            "set"
+        );
+        assert_eq!(
+            Object::new_list(oid(1), TypeId::from_index(0))
+                .body
+                .structure(),
+            "list"
+        );
     }
 }

@@ -81,7 +81,9 @@ impl PathExpression {
         let mut rendered = anchor.to_string();
         let mut attrs = attrs.into_iter().peekable();
         if attrs.peek().is_none() {
-            return Err(GomError::InvalidPath("a path needs at least one attribute".into()));
+            return Err(GomError::InvalidPath(
+                "a path needs at least one attribute".into(),
+            ));
         }
         while let Some(attr) = attrs.next() {
             rendered.push('.');
@@ -95,7 +97,12 @@ impl PathExpression {
                             a.name()
                         )));
                     }
-                    PathStep { attr: attr.into(), domain, set_type: None, range: declared }
+                    PathStep {
+                        attr: attr.into(),
+                        domain,
+                        set_type: None,
+                        range: declared,
+                    }
                 }
                 TypeRef::Named(target) => {
                     let target_def = schema.def(target)?;
@@ -157,7 +164,12 @@ impl PathExpression {
             }
             steps.push(step);
         }
-        Ok(PathExpression { anchor: anchor_id, anchor_name: anchor.to_string(), steps, rendered })
+        Ok(PathExpression {
+            anchor: anchor_id,
+            anchor_name: anchor.to_string(),
+            steps,
+            rendered,
+        })
     }
 
     /// Parse dotted notation, e.g.
@@ -170,7 +182,9 @@ impl PathExpression {
             .ok_or_else(|| GomError::InvalidPath("empty path".into()))?;
         let attrs: Vec<&str> = parts.collect();
         if attrs.iter().any(|a| a.is_empty()) {
-            return Err(GomError::InvalidPath(format!("empty attribute name in `{dotted}`")));
+            return Err(GomError::InvalidPath(format!(
+                "empty attribute name in `{dotted}`"
+            )));
         }
         PathExpression::new(schema, anchor, attrs)
     }
@@ -209,7 +223,10 @@ impl PathExpression {
     /// (at `A_j` for `j < i`); `i` is 1-based as in the paper.
     pub fn k_before(&self, i: usize) -> usize {
         assert!((1..=self.len()).contains(&i), "step index out of range");
-        self.steps[..i - 1].iter().filter(|s| s.is_set_occurrence()).count()
+        self.steps[..i - 1]
+            .iter()
+            .filter(|s| s.is_set_occurrence())
+            .count()
     }
 
     /// A path is *linear* iff it contains no set occurrence.
@@ -284,17 +301,31 @@ mod tests {
     fn schemas() -> Schema {
         let mut s = Schema::new();
         // Linear robot path.
-        s.define_tuple("MANUFACTURER", [("Name", "STRING"), ("Location", "STRING")]).unwrap();
-        s.define_tuple("TOOL", [("Function", "STRING"), ("ManufacturedBy", "MANUFACTURER")])
+        s.define_tuple("MANUFACTURER", [("Name", "STRING"), ("Location", "STRING")])
             .unwrap();
+        s.define_tuple(
+            "TOOL",
+            [("Function", "STRING"), ("ManufacturedBy", "MANUFACTURER")],
+        )
+        .unwrap();
         s.define_tuple("ARM", [("MountedTool", "TOOL")]).unwrap();
-        s.define_tuple("ROBOT", [("Name", "STRING"), ("Arm", "ARM")]).unwrap();
+        s.define_tuple("ROBOT", [("Name", "STRING"), ("Arm", "ARM")])
+            .unwrap();
         // Company path with set occurrences.
-        s.define_tuple("Division", [("Name", "STRING"), ("Manufactures", "ProdSET")]).unwrap();
+        s.define_tuple(
+            "Division",
+            [("Name", "STRING"), ("Manufactures", "ProdSET")],
+        )
+        .unwrap();
         s.define_set("ProdSET", "Product").unwrap();
-        s.define_tuple("Product", [("Name", "STRING"), ("Composition", "BasePartSET")]).unwrap();
+        s.define_tuple(
+            "Product",
+            [("Name", "STRING"), ("Composition", "BasePartSET")],
+        )
+        .unwrap();
         s.define_set("BasePartSET", "BasePart").unwrap();
-        s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")]).unwrap();
+        s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")])
+            .unwrap();
         s.define_set("STRSET", "STRING").unwrap();
         s.define_tuple("Tagged", [("Tags", "STRSET")]).unwrap();
         s.define_set("SETSET", "ProdSET").unwrap();
@@ -312,7 +343,10 @@ mod tests {
         assert!(p.ends_in_value());
         assert_eq!(p.arity(true), 5);
         assert_eq!(p.arity(false), 5);
-        assert_eq!(p.to_string(), "ROBOT.Arm.MountedTool.ManufacturedBy.Location");
+        assert_eq!(
+            p.to_string(),
+            "ROBOT.Arm.MountedTool.ManufacturedBy.Location"
+        );
         assert_eq!(p.anchor_name(), "ROBOT");
     }
 
@@ -345,7 +379,14 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["Division", "ProdSET", "Product", "BasePartSET", "BasePart", "STRING"]
+            vec![
+                "Division",
+                "ProdSET",
+                "Product",
+                "BasePartSET",
+                "BasePart",
+                "STRING"
+            ]
         );
         // S_{i+k(i)}: objects of type t_1=Product live in column 1+k(1)+1 = 2.
         assert_eq!(p.column_of(0, true), 0);
@@ -373,7 +414,10 @@ mod tests {
             PathExpression::parse(&s, "ROBOT.Wheels"),
             Err(GomError::UnknownAttribute { .. })
         ));
-        assert!(PathExpression::parse(&s, "ROBOT").is_err(), "needs >= 1 attribute");
+        assert!(
+            PathExpression::parse(&s, "ROBOT").is_err(),
+            "needs >= 1 attribute"
+        );
         assert!(PathExpression::parse(&s, "").is_err());
         assert!(PathExpression::parse(&s, "ROBOT..Arm").is_err());
     }
@@ -391,7 +435,9 @@ mod tests {
     fn powerset_rejected() {
         let s = schemas();
         let err = PathExpression::parse(&s, "Nested.Sets").unwrap_err();
-        let GomError::InvalidPath(msg) = err else { panic!("wrong error kind") };
+        let GomError::InvalidPath(msg) = err else {
+            panic!("wrong error kind")
+        };
         assert!(msg.contains("power-set"));
     }
 

@@ -80,7 +80,10 @@ impl Schema {
             .into_iter()
             .map(|s| {
                 if AtomicType::by_name(s).is_some() {
-                    Err(GomError::InvalidSupertype { ty: name.to_string(), supertype: s.to_string() })
+                    Err(GomError::InvalidSupertype {
+                        ty: name.to_string(),
+                        supertype: s.to_string(),
+                    })
                 } else {
                     self.declare(s)
                 }
@@ -89,9 +92,18 @@ impl Schema {
         let mut attributes = Vec::new();
         for (attr, ty_name) in attrs {
             let ty = self.type_ref(ty_name)?;
-            attributes.push(AttrDef { name: attr.to_string(), ty });
+            attributes.push(AttrDef {
+                name: attr.to_string(),
+                ty,
+            });
         }
-        self.install(name, TypeKind::Tuple { supertypes, attributes })
+        self.install(
+            name,
+            TypeKind::Tuple {
+                supertypes,
+                attributes,
+            },
+        )
     }
 
     /// Define a set type: `type name is {element}`.
@@ -123,7 +135,10 @@ impl Schema {
                 }
             }
         }
-        *slot = Some(TypeDef { name: name.to_string(), kind });
+        *slot = Some(TypeDef {
+            name: name.to_string(),
+            kind,
+        });
         Ok(id)
     }
 
@@ -147,7 +162,8 @@ impl Schema {
 
     /// Resolve a known type name, erroring when absent.
     pub fn require(&self, name: &str) -> Result<TypeId> {
-        self.resolve(name).ok_or_else(|| GomError::UnknownType(name.to_string()))
+        self.resolve(name)
+            .ok_or_else(|| GomError::UnknownType(name.to_string()))
     }
 
     /// The name of a type id.
@@ -314,11 +330,16 @@ mod tests {
 
     fn robot_schema() -> Schema {
         let mut s = Schema::new();
-        s.define_tuple("MANUFACTURER", [("Name", "STRING"), ("Location", "STRING")]).unwrap();
-        s.define_tuple("TOOL", [("Function", "STRING"), ("ManufacturedBy", "MANUFACTURER")])
+        s.define_tuple("MANUFACTURER", [("Name", "STRING"), ("Location", "STRING")])
             .unwrap();
+        s.define_tuple(
+            "TOOL",
+            [("Function", "STRING"), ("ManufacturedBy", "MANUFACTURER")],
+        )
+        .unwrap();
         s.define_tuple("ARM", [("MountedTool", "TOOL")]).unwrap();
-        s.define_tuple("ROBOT", [("Name", "STRING"), ("Arm", "ARM")]).unwrap();
+        s.define_tuple("ROBOT", [("Name", "STRING"), ("Arm", "ARM")])
+            .unwrap();
         s.define_set("ROBOT_SET", "ROBOT").unwrap();
         s
     }
@@ -346,10 +367,15 @@ mod tests {
     fn forward_references_resolve() {
         let mut s = Schema::new();
         // PRODUCT references BASEPART_SET before it is defined.
-        s.define_tuple("PRODUCT", [("Name", "STRING"), ("Composition", "BASEPART_SET")]).unwrap();
+        s.define_tuple(
+            "PRODUCT",
+            [("Name", "STRING"), ("Composition", "BASEPART_SET")],
+        )
+        .unwrap();
         assert!(s.validate().is_err(), "BASEPART_SET still undefined");
         s.define_set("BASEPART_SET", "BASEPART").unwrap();
-        s.define_tuple("BASEPART", [("Name", "STRING"), ("Price", "DECIMAL")]).unwrap();
+        s.define_tuple("BASEPART", [("Name", "STRING"), ("Price", "DECIMAL")])
+            .unwrap();
         s.validate().unwrap();
     }
 
@@ -357,14 +383,22 @@ mod tests {
     fn duplicate_definition_rejected() {
         let mut s = Schema::new();
         s.define_tuple("A", [("x", "INTEGER")]).unwrap();
-        assert!(matches!(s.define_tuple("A", []), Err(GomError::DuplicateType(_))));
-        assert!(matches!(s.declare("STRING"), Err(GomError::DuplicateType(_))));
+        assert!(matches!(
+            s.define_tuple("A", []),
+            Err(GomError::DuplicateType(_))
+        ));
+        assert!(matches!(
+            s.declare("STRING"),
+            Err(GomError::DuplicateType(_))
+        ));
     }
 
     #[test]
     fn duplicate_attribute_rejected() {
         let mut s = Schema::new();
-        let err = s.define_tuple("A", [("x", "INTEGER"), ("x", "STRING")]).unwrap_err();
+        let err = s
+            .define_tuple("A", [("x", "INTEGER"), ("x", "STRING")])
+            .unwrap_err();
         assert!(matches!(err, GomError::DuplicateAttribute { .. }));
     }
 
@@ -372,7 +406,8 @@ mod tests {
     fn single_inheritance_flattens() {
         let mut s = Schema::new();
         s.define_tuple("VEHICLE", [("Speed", "INTEGER")]).unwrap();
-        s.define_tuple_sub("CAR", ["VEHICLE"], [("Doors", "INTEGER")]).unwrap();
+        s.define_tuple_sub("CAR", ["VEHICLE"], [("Doors", "INTEGER")])
+            .unwrap();
         let car = s.resolve("CAR").unwrap();
         let attrs = s.all_attributes(car).unwrap();
         assert_eq!(
@@ -387,10 +422,13 @@ mod tests {
     fn multiple_inheritance_and_diamond() {
         let mut s = Schema::new();
         s.define_tuple("NAMED", [("Name", "STRING")]).unwrap();
-        s.define_tuple_sub("PRICED", ["NAMED"], [("Price", "DECIMAL")]).unwrap();
-        s.define_tuple_sub("TRACKED", ["NAMED"], [("Serial", "INTEGER")]).unwrap();
+        s.define_tuple_sub("PRICED", ["NAMED"], [("Price", "DECIMAL")])
+            .unwrap();
+        s.define_tuple_sub("TRACKED", ["NAMED"], [("Serial", "INTEGER")])
+            .unwrap();
         // Diamond: NAMED is reachable twice but contributes `Name` once.
-        s.define_tuple_sub("PART", ["PRICED", "TRACKED"], [("Weight", "FLOAT")]).unwrap();
+        s.define_tuple_sub("PART", ["PRICED", "TRACKED"], [("Weight", "FLOAT")])
+            .unwrap();
         let part = s.resolve("PART").unwrap();
         let attrs = s.all_attributes(part).unwrap();
         assert_eq!(
@@ -406,7 +444,10 @@ mod tests {
         s.define_tuple("B", [("x", "STRING")]).unwrap();
         s.define_tuple_sub("C", ["A", "B"], []).unwrap();
         let c = s.resolve("C").unwrap();
-        assert!(matches!(s.all_attributes(c), Err(GomError::DuplicateAttribute { .. })));
+        assert!(matches!(
+            s.all_attributes(c),
+            Err(GomError::DuplicateAttribute { .. })
+        ));
     }
 
     #[test]
@@ -415,7 +456,10 @@ mod tests {
         s.define_tuple_sub("A", ["B"], []).unwrap();
         s.define_tuple_sub("B", ["A"], []).unwrap();
         let a = s.resolve("A").unwrap();
-        assert!(matches!(s.all_attributes(a), Err(GomError::InheritanceCycle(_))));
+        assert!(matches!(
+            s.all_attributes(a),
+            Err(GomError::InheritanceCycle(_))
+        ));
         assert!(s.validate().is_err());
     }
 
@@ -425,8 +469,11 @@ mod tests {
         s.define_tuple("A", []).unwrap();
         s.define_tuple_sub("B", ["A"], []).unwrap();
         s.define_tuple_sub("C", ["B"], []).unwrap();
-        let (a, b, c) =
-            (s.resolve("A").unwrap(), s.resolve("B").unwrap(), s.resolve("C").unwrap());
+        let (a, b, c) = (
+            s.resolve("A").unwrap(),
+            s.resolve("B").unwrap(),
+            s.resolve("C").unwrap(),
+        );
         assert!(s.is_subtype(c, a));
         assert!(s.is_subtype(b, b));
         assert!(!s.is_subtype(a, c));
@@ -448,14 +495,18 @@ mod tests {
         let mut s = Schema::new();
         s.define_set("INTS", "INTEGER").unwrap();
         let id = s.resolve("INTS").unwrap();
-        assert_eq!(s.def(id).unwrap().kind.element(), Some(TypeRef::Atomic(AtomicType::Integer)));
+        assert_eq!(
+            s.def(id).unwrap().kind.element(),
+            Some(TypeRef::Atomic(AtomicType::Integer))
+        );
         s.validate().unwrap();
     }
 
     #[test]
     fn list_types() {
         let mut s = Schema::new();
-        s.define_tuple("POINT", [("x", "FLOAT"), ("y", "FLOAT")]).unwrap();
+        s.define_tuple("POINT", [("x", "FLOAT"), ("y", "FLOAT")])
+            .unwrap();
         s.define_list("POLYGON", "POINT").unwrap();
         let id = s.resolve("POLYGON").unwrap();
         assert!(s.def(id).unwrap().kind.is_list());

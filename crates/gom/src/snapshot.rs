@@ -91,12 +91,19 @@ fn decode_value(s: &str) -> Result<Value> {
     if s == "N" {
         return Ok(Value::Null);
     }
-    let (tag, body) = s.split_once(':').ok_or_else(|| bad(format!("bad value `{s}`")))?;
-    let parse_i64 =
-        |b: &str| b.parse::<i64>().map_err(|_| bad(format!("bad integer `{b}`")));
+    let (tag, body) = s
+        .split_once(':')
+        .ok_or_else(|| bad(format!("bad value `{s}`")))?;
+    let parse_i64 = |b: &str| {
+        b.parse::<i64>()
+            .map_err(|_| bad(format!("bad integer `{b}`")))
+    };
     Ok(match tag {
         "I" => Value::Integer(parse_i64(body)?),
-        "F" => Value::Float(body.parse().map_err(|_| bad(format!("bad float `{body}`")))?),
+        "F" => Value::Float(
+            body.parse()
+                .map_err(|_| bad(format!("bad float `{body}`")))?,
+        ),
         "D" => Value::Decimal(parse_i64(body)?),
         "S" => Value::String(unescape(body)?),
         "C" => {
@@ -125,11 +132,19 @@ pub fn write_schema(schema: &Schema) -> String {
     for (id, def) in schema.types() {
         let _ = id;
         match &def.kind {
-            TypeKind::Tuple { supertypes, attributes } => {
+            TypeKind::Tuple {
+                supertypes,
+                attributes,
+            } => {
                 let sups: Vec<&str> = supertypes.iter().map(|&s| schema.name(s)).collect();
                 let mut line = format!("T {} TUPLE {}|", escape(&def.name), sups.join(","));
                 for a in attributes {
-                    let _ = write!(line, " {}={}", escape(&a.name), escape(&schema.ref_name(a.ty)));
+                    let _ = write!(
+                        line,
+                        " {}={}",
+                        escape(&a.name),
+                        escape(&schema.ref_name(a.ty))
+                    );
                 }
                 let _ = writeln!(out, "{line}");
             }
@@ -254,7 +269,9 @@ pub fn read_base(text: &str) -> Result<ObjectBase> {
     // Second pass: contents.
     for (oid, _ty, rest) in parsed {
         let mut fields = rest.split(' ');
-        let kind = fields.next().ok_or_else(|| bad("missing structure tag".into()))?;
+        let kind = fields
+            .next()
+            .ok_or_else(|| bad("missing structure tag".into()))?;
         match kind {
             "TUPLE" => {
                 for field in fields.filter(|f| !f.is_empty()) {
@@ -280,8 +297,16 @@ pub fn read_base(text: &str) -> Result<ObjectBase> {
     for line in var_lines {
         let mut parts = line.splitn(3, ' ');
         let _v = parts.next();
-        let name = unescape(parts.next().ok_or_else(|| bad("missing variable name".into()))?)?;
-        let value = decode_value(parts.next().ok_or_else(|| bad("missing variable value".into()))?)?;
+        let name = unescape(
+            parts
+                .next()
+                .ok_or_else(|| bad("missing variable name".into()))?,
+        )?;
+        let value = decode_value(
+            parts
+                .next()
+                .ok_or_else(|| bad("missing variable value".into()))?,
+        )?;
         base.bind_variable(&name, value);
     }
     Ok(base)
@@ -290,17 +315,24 @@ pub fn read_base(text: &str) -> Result<ObjectBase> {
 fn read_type_line(schema: &mut Schema, line: &str) -> Result<()> {
     let mut parts = line.splitn(4, ' ');
     let _t = parts.next();
-    let name = unescape(parts.next().ok_or_else(|| bad("missing type name".into()))?)?;
+    let name = unescape(
+        parts
+            .next()
+            .ok_or_else(|| bad("missing type name".into()))?,
+    )?;
     // Pin the type id to file order before resolving referenced names, so
     // a snapshot round-trips to the identical id assignment (and thus to
     // byte-identical re-serialization).
     schema.declare(&name)?;
-    let kind = parts.next().ok_or_else(|| bad("missing type kind".into()))?;
+    let kind = parts
+        .next()
+        .ok_or_else(|| bad("missing type kind".into()))?;
     let rest = parts.next().unwrap_or("");
     match kind {
         "TUPLE" => {
-            let (sups, attrs) =
-                rest.split_once('|').ok_or_else(|| bad(format!("bad tuple line `{line}`")))?;
+            let (sups, attrs) = rest
+                .split_once('|')
+                .ok_or_else(|| bad(format!("bad tuple line `{line}`")))?;
             let supertypes: Vec<String> = sups
                 .split(',')
                 .filter(|s| !s.is_empty())
@@ -340,7 +372,12 @@ mod tests {
         s.define_tuple_sub(
             "PART",
             ["NAMED"],
-            [("Price", "DECIMAL"), ("Weight", "FLOAT"), ("Tags", "TAGS"), ("Serial", "INTEGER")],
+            [
+                ("Price", "DECIMAL"),
+                ("Weight", "FLOAT"),
+                ("Tags", "TAGS"),
+                ("Serial", "INTEGER"),
+            ],
         )
         .unwrap();
         s.define_set("TAGS", "STRING").unwrap();
@@ -348,10 +385,14 @@ mod tests {
         s.validate().unwrap();
         let mut base = ObjectBase::new(s);
         let p = base.instantiate("PART").unwrap();
-        base.set_attribute(p, "Name", Value::string("Door with spaces & =% signs")).unwrap();
-        base.set_attribute(p, "Price", Value::decimal(1205, 50)).unwrap();
-        base.set_attribute(p, "Weight", Value::float(-2.75)).unwrap();
-        base.set_attribute(p, "Serial", Value::Integer(-42)).unwrap();
+        base.set_attribute(p, "Name", Value::string("Door with spaces & =% signs"))
+            .unwrap();
+        base.set_attribute(p, "Price", Value::decimal(1205, 50))
+            .unwrap();
+        base.set_attribute(p, "Weight", Value::float(-2.75))
+            .unwrap();
+        base.set_attribute(p, "Serial", Value::Integer(-42))
+            .unwrap();
         let tags = base.instantiate("TAGS").unwrap();
         base.insert_into_set(tags, Value::string("heavy")).unwrap();
         base.insert_into_set(tags, Value::string("steel")).unwrap();

@@ -166,11 +166,16 @@ mod tests {
 
     #[test]
     fn kind_accessors() {
-        let set = TypeKind::Set { element: TypeRef::Atomic(AtomicType::Integer) };
+        let set = TypeKind::Set {
+            element: TypeRef::Atomic(AtomicType::Integer),
+        };
         assert!(set.is_set() && !set.is_tuple() && !set.is_list());
         assert_eq!(set.element(), Some(TypeRef::Atomic(AtomicType::Integer)));
 
-        let tuple = TypeKind::Tuple { supertypes: vec![], attributes: vec![] };
+        let tuple = TypeKind::Tuple {
+            supertypes: vec![],
+            attributes: vec![],
+        };
         assert!(tuple.is_tuple());
         assert_eq!(tuple.element(), None);
     }

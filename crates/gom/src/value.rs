@@ -141,18 +141,20 @@ impl Ord for Value {
                 Value::Ref(_) => 7,
             }
         }
-        tag(self).cmp(&tag(other)).then_with(|| match (self, other) {
-            (Value::Integer(a), Value::Integer(b)) => a.cmp(b),
-            (Value::Float(a), Value::Float(b)) => {
-                f64::from_bits(*a).total_cmp(&f64::from_bits(*b))
-            }
-            (Value::Decimal(a), Value::Decimal(b)) => a.cmp(b),
-            (Value::String(a), Value::String(b)) => a.cmp(b),
-            (Value::Char(a), Value::Char(b)) => a.cmp(b),
-            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
-            (Value::Ref(a), Value::Ref(b)) => a.cmp(b),
-            _ => Ordering::Equal,
-        })
+        tag(self)
+            .cmp(&tag(other))
+            .then_with(|| match (self, other) {
+                (Value::Integer(a), Value::Integer(b)) => a.cmp(b),
+                (Value::Float(a), Value::Float(b)) => {
+                    f64::from_bits(*a).total_cmp(&f64::from_bits(*b))
+                }
+                (Value::Decimal(a), Value::Decimal(b)) => a.cmp(b),
+                (Value::String(a), Value::String(b)) => a.cmp(b),
+                (Value::Char(a), Value::Char(b)) => a.cmp(b),
+                (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+                (Value::Ref(a), Value::Ref(b)) => a.cmp(b),
+                _ => Ordering::Equal,
+            })
     }
 }
 
@@ -163,7 +165,12 @@ impl fmt::Display for Value {
             Value::Integer(i) => write!(f, "{i}"),
             Value::Float(bits) => write!(f, "{}", f64::from_bits(*bits)),
             Value::Decimal(scaled) => {
-                write!(f, "{}.{:02}", scaled / DECIMAL_SCALE, (scaled % DECIMAL_SCALE).abs())
+                write!(
+                    f,
+                    "{}.{:02}",
+                    scaled / DECIMAL_SCALE,
+                    (scaled % DECIMAL_SCALE).abs()
+                )
             }
             Value::String(s) => write!(f, "\"{s}\""),
             Value::Char(c) => write!(f, "'{c}'"),
@@ -244,14 +251,20 @@ mod tests {
         let b = Value::float(1.0);
         let nan = Value::float(f64::NAN);
         assert!(a < b);
-        assert!(b < nan, "positive NaN sorts above all finite values in total order");
+        assert!(
+            b < nan,
+            "positive NaN sorts above all finite values in total order"
+        );
     }
 
     #[test]
     fn accessors() {
         assert_eq!(Value::Integer(7).as_integer(), Some(7));
         assert_eq!(Value::string("x").as_str(), Some("x"));
-        assert_eq!(Value::Ref(Oid::from_raw(3)).as_ref_oid(), Some(Oid::from_raw(3)));
+        assert_eq!(
+            Value::Ref(Oid::from_raw(3)).as_ref_oid(),
+            Some(Oid::from_raw(3))
+        );
         assert!(Value::Null.is_null());
         assert_eq!(Value::string("x").as_integer(), None);
     }

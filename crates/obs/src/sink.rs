@@ -1,0 +1,147 @@
+//! Pluggable consumers for finished spans and events.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::rc::Rc;
+
+use crate::span::SpanRecord;
+
+/// Receives every finished span / event a [`crate::Tracer`] delivers.
+pub trait EventSink {
+    /// Handle one record. Called synchronously at span close.
+    fn record(&self, record: &SpanRecord);
+}
+
+/// Keeps the most recent `capacity` records in memory (`\trace on` uses
+/// this in the shell).
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buffer: RefCell<VecDeque<SpanRecord>>,
+}
+
+impl RingBufferSink {
+    /// A ring holding up to `capacity` records (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            buffer: RefCell::new(VecDeque::new()),
+        }
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.buffer.borrow().len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.borrow().is_empty()
+    }
+
+    /// Remove and return all buffered records, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.buffer.borrow_mut().drain(..).collect()
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&self, record: &SpanRecord) {
+        let mut buffer = self.buffer.borrow_mut();
+        if buffer.len() == self.capacity {
+            buffer.pop_front();
+        }
+        buffer.push_back(record.clone());
+    }
+}
+
+/// Streams records as JSONL to any [`Write`] target.
+#[derive(Debug)]
+pub struct WriterSink<W: Write> {
+    out: RefCell<W>,
+}
+
+impl<W: Write> WriterSink<W> {
+    /// Wrap a writer; one JSON line per record.
+    pub fn new(out: W) -> Self {
+        WriterSink {
+            out: RefCell::new(out),
+        }
+    }
+
+    /// Unwrap the writer (e.g. to inspect an in-memory buffer).
+    pub fn into_inner(self) -> W {
+        self.out.into_inner()
+    }
+}
+
+impl<W: Write> EventSink for WriterSink<W> {
+    fn record(&self, record: &SpanRecord) {
+        // Sinks are best-effort: tracing must never fail the traced
+        // operation, so write errors are swallowed.
+        let _ = writeln!(self.out.borrow_mut(), "{}", record.to_jsonl());
+    }
+}
+
+/// Adapts any closure into a sink (how the advisor subscribes its
+/// usage recorder).
+pub struct FnSink<F: Fn(&SpanRecord)>(F);
+
+impl<F: Fn(&SpanRecord)> FnSink<F> {
+    /// Wrap `f`; it is called once per record.
+    pub fn new(f: F) -> Self {
+        FnSink(f)
+    }
+}
+
+impl<F: Fn(&SpanRecord)> EventSink for FnSink<F> {
+    fn record(&self, record: &SpanRecord) {
+        (self.0)(record)
+    }
+}
+
+/// Convenience: box a closure sink for [`crate::Tracer::add_sink`].
+pub fn fn_sink<F: Fn(&SpanRecord) + 'static>(f: F) -> Rc<dyn EventSink> {
+    Rc::new(FnSink::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let sink = RingBufferSink::new(2);
+        let tracer = Tracer::new();
+        for name in ["a", "b", "c"] {
+            sink.record(&tracer.span(name).finish());
+        }
+        let names: Vec<String> = sink.drain().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["b", "c"]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn writer_sink_emits_jsonl() {
+        let tracer = Tracer::new();
+        let sink = WriterSink::new(Vec::new());
+        sink.record(&tracer.span("x").finish());
+        sink.record(&tracer.span("y").finish());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn fn_sink_sees_every_record() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let tracer = Tracer::new();
+        let seen2 = Rc::clone(&seen);
+        tracer.add_sink(fn_sink(move |r| seen2.borrow_mut().push(r.name.clone())));
+        tracer.event("e1", &[]);
+        tracer.span("s1").finish();
+        assert_eq!(*seen.borrow(), vec!["e1".to_string(), "s1".to_string()]);
+    }
+}

@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn display_round_trip_shape() {
         let q = Query {
-            projections: vec![PathRef { var: "r".into(), attrs: vec!["Name".into()] }],
+            projections: vec![PathRef {
+                var: "r".into(),
+                attrs: vec!["Name".into()],
+            }],
             bindings: vec![Binding {
                 var: "r".into(),
                 source: Source::Collection("OurRobots".into()),
@@ -207,7 +210,10 @@ mod tests {
     #[test]
     fn literal_conversion() {
         assert_eq!(Literal::Int(5).to_value(), asr_gom::Value::Integer(5));
-        assert_eq!(Literal::Dec(1205, 50).to_value(), asr_gom::Value::decimal(1205, 50));
+        assert_eq!(
+            Literal::Dec(1205, 50).to_value(),
+            asr_gom::Value::decimal(1205, 50)
+        );
         assert!(Literal::Null.to_value().is_null());
     }
 }

@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = OqlError::Parse { offset: 12, message: "expected `from`".into() };
+        let e = OqlError::Parse {
+            offset: 12,
+            message: "expected `from`".into(),
+        };
         assert!(e.to_string().contains("byte 12"));
         let e: OqlError = GomError::UnknownVariable("X".into()).into();
         assert!(e.to_string().contains("object model"));

@@ -90,36 +90,60 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
             }
             '.' => {
-                tokens.push(Token { offset: start, kind: TokenKind::Dot });
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Dot,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { offset: start, kind: TokenKind::Comma });
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Comma,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { offset: start, kind: TokenKind::Eq });
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Eq,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { offset: start, kind: TokenKind::Ne });
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Ne,
+                });
                 i += 2;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { offset: start, kind: TokenKind::Le });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Le,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { offset: start, kind: TokenKind::Lt });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Lt,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { offset: start, kind: TokenKind::Ge });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Ge,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { offset: start, kind: TokenKind::Gt });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Gt,
+                    });
                     i += 1;
                 }
             }
@@ -137,7 +161,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 let s = &input[str_start..i];
                 i += 1; // closing quote
-                tokens.push(Token { offset: start, kind: TokenKind::Str(s.to_string()) });
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Str(s.to_string()),
+                });
             }
             c if c.is_ascii_digit()
                 || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
@@ -173,9 +200,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     if frac_str.len() == 1 {
                         cents *= 10;
                     }
-                    tokens.push(Token { offset: start, kind: TokenKind::Dec(whole, cents) });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Dec(whole, cents),
+                    });
                 } else {
-                    tokens.push(Token { offset: start, kind: TokenKind::Int(whole) });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Int(whole),
+                    });
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -199,7 +232,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     "null" => TokenKind::Null,
                     _ => TokenKind::Ident(word.to_string()),
                 };
-                tokens.push(Token { offset: start, kind });
+                tokens.push(Token {
+                    offset: start,
+                    kind,
+                });
             }
             other => {
                 return Err(OqlError::Lex {
@@ -209,7 +245,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { offset: input.len(), kind: TokenKind::Eof });
+    tokens.push(Token {
+        offset: input.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(tokens)
 }
 
@@ -218,7 +257,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -237,13 +280,16 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(kinds("SELECT FROM WHERE IN AND")[..5].to_vec(), vec![
-            TokenKind::Select,
-            TokenKind::From,
-            TokenKind::Where,
-            TokenKind::In,
-            TokenKind::And,
-        ]);
+        assert_eq!(
+            kinds("SELECT FROM WHERE IN AND")[..5].to_vec(),
+            vec![
+                TokenKind::Select,
+                TokenKind::From,
+                TokenKind::Where,
+                TokenKind::In,
+                TokenKind::And,
+            ]
+        );
     }
 
     #[test]
@@ -257,14 +303,17 @@ mod tests {
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(kinds("= != < <= > >=")[..6].to_vec(), vec![
-            TokenKind::Eq,
-            TokenKind::Ne,
-            TokenKind::Lt,
-            TokenKind::Le,
-            TokenKind::Gt,
-            TokenKind::Ge,
-        ]);
+        assert_eq!(
+            kinds("= != < <= > >=")[..6].to_vec(),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+            ]
+        );
     }
 
     #[test]
@@ -281,9 +330,9 @@ mod tests {
     #[test]
     fn null_and_bool_literals() {
         assert_eq!(kinds("NULL")[0], TokenKind::Null);
-        assert_eq!(kinds("true false")[..2].to_vec(), vec![
-            TokenKind::Bool(true),
-            TokenKind::Bool(false)
-        ]);
+        assert_eq!(
+            kinds("true false")[..2].to_vec(),
+            vec![TokenKind::Bool(true), TokenKind::Bool(false)]
+        );
     }
 }

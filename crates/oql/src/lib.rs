@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod ast;
 pub mod error;
 pub mod exec;
@@ -57,8 +58,9 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 
+pub use analyze::{explain_analyze, AnalyzeReport, OperatorReport};
 pub use ast::{Binding, Comparison, Literal, PathRef, Predicate, Query};
 pub use error::{OqlError, Result};
-pub use exec::{execute, execute_query, ResultSet};
+pub use exec::{execute, execute_profiled, execute_query, ExecProfile, OpIo, ResultSet};
 pub use parser::parse;
 pub use plan::{explain, Plan};

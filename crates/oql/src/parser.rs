@@ -32,7 +32,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> OqlError {
-        OqlError::Parse { offset: self.peek().offset, message: message.into() }
+        OqlError::Parse {
+            offset: self.peek().offset,
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
@@ -40,7 +43,10 @@ impl Parser {
             self.advance();
             Ok(())
         } else {
-            Err(self.err(format!("expected {what}, found {}", self.peek().kind.describe())))
+            Err(self.err(format!(
+                "expected {what}, found {}",
+                self.peek().kind.describe()
+            )))
         }
     }
 
@@ -88,7 +94,11 @@ impl Parser {
                 predicates.push(self.predicate()?);
             }
         }
-        Ok(Query { projections, bindings, predicates })
+        Ok(Query {
+            projections,
+            bindings,
+            predicates,
+        })
     }
 
     fn path_ref(&mut self) -> Result<PathRef> {
@@ -196,10 +206,9 @@ mod tests {
 
     #[test]
     fn conjunctions_and_operators() {
-        let q = parse(
-            r#"select b from b in BasePart where b.Price >= 100.00 and b.Name != "Door""#,
-        )
-        .unwrap();
+        let q =
+            parse(r#"select b from b in BasePart where b.Price >= 100.00 and b.Name != "Door""#)
+                .unwrap();
         assert_eq!(q.predicates.len(), 2);
         assert_eq!(q.predicates[0].op, Comparison::Ge);
         assert_eq!(q.predicates[0].literal, Literal::Dec(100, 0));
@@ -217,13 +226,13 @@ mod tests {
     #[test]
     fn syntax_errors_report_position() {
         for bad in [
-            "from r in X",                       // missing select
-            "select from r in X",                // missing projection
-            "select r.Name r in X",              // missing from
-            "select r.Name from r X",            // missing in
-            "select r.Name from r in X where r", // missing operator
+            "from r in X",                                // missing select
+            "select from r in X",                         // missing projection
+            "select r.Name r in X",                       // missing from
+            "select r.Name from r X",                     // missing in
+            "select r.Name from r in X where r",          // missing operator
             "select r.Name from r in X where r = select", // bad literal
-            "select r.Name from r in X extra",   // trailing garbage
+            "select r.Name from r in X extra",            // trailing garbage
         ] {
             let err = parse(bad).unwrap_err();
             assert!(matches!(err, OqlError::Parse { .. }), "{bad}: {err}");

@@ -111,7 +111,9 @@ pub fn analyze(db: &Database, query: &Query) -> Result<Plan> {
                 // the extent.
                 if let Ok(value) = db.base().variable(name) {
                     let set_oid = value.as_ref_oid().ok_or_else(|| {
-                        OqlError::Semantic(format!("database variable `{name}` is not a collection"))
+                        OqlError::Semantic(format!(
+                            "database variable `{name}` is not a collection"
+                        ))
                     })?;
                     let set_ty = db.base().type_of(set_oid)?;
                     let elem = schema
@@ -158,7 +160,11 @@ pub fn analyze(db: &Database, query: &Query) -> Result<Plan> {
                 (elem, Domain::Navigate { from, path })
             }
         };
-        bindings.push(ResolvedBinding { var: var.clone(), ty, domain });
+        bindings.push(ResolvedBinding {
+            var: var.clone(),
+            ty,
+            domain,
+        });
     }
 
     let mut predicates = Vec::new();
@@ -181,7 +187,13 @@ pub fn analyze(db: &Database, query: &Query) -> Result<Plan> {
         } else {
             None
         };
-        predicates.push(ResolvedPredicate { binding, path, op: pred.op, value, asr });
+        predicates.push(ResolvedPredicate {
+            binding,
+            path,
+            op: pred.op,
+            value,
+            asr,
+        });
     }
 
     let mut projections = Vec::new();
@@ -197,10 +209,18 @@ pub fn analyze(db: &Database, query: &Query) -> Result<Plan> {
                 proj.attrs.iter().map(String::as_str),
             )?)
         };
-        projections.push(ResolvedProjection { binding, path, label: proj.to_string() });
+        projections.push(ResolvedProjection {
+            binding,
+            path,
+            label: proj.to_string(),
+        });
     }
 
-    Ok(Plan { bindings, predicates, projections })
+    Ok(Plan {
+        bindings,
+        predicates,
+        projections,
+    })
 }
 
 /// Check that a comparison literal matches the path's terminal type.
@@ -255,7 +275,11 @@ pub fn explain(db: &Database, text: &str) -> Result<String> {
             }
             None => "forward navigation per candidate".to_string(),
         };
-        let _ = writeln!(out, "pred  : {} {} {:?}  -> {strategy}", p.path, p.op, p.value);
+        let _ = writeln!(
+            out,
+            "pred  : {} {} {:?}  -> {strategy}",
+            p.path, p.op, p.value
+        );
     }
     for p in &plan.projections {
         let _ = writeln!(out, "proj  : {}", p.label);

@@ -1,0 +1,109 @@
+//! `EXPLAIN ANALYZE` accounting: every page access an execution charges
+//! must land in exactly one operator slot, so the per-operator counters
+//! sum to the global `IoStats` delta — indexed and unindexed alike.
+
+use asr_core::{AsrConfig, Extension};
+use asr_gom::PathExpression;
+use asr_oql::{execute, explain_analyze};
+use asr_workload::company_database;
+
+const QUERY: &str =
+    r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#;
+
+#[test]
+fn operator_totals_equal_global_io_delta_unindexed() {
+    let ex = company_database();
+    let before = ex.db.stats().snapshot();
+    let report = explain_analyze(&ex.db, QUERY).unwrap();
+    let after = ex.db.stats().snapshot();
+
+    assert_eq!(report.measured_reads, after.reads - before.reads);
+    assert_eq!(report.measured_writes, after.writes - before.writes);
+    assert_eq!(
+        report.operator_totals(),
+        (report.measured_reads, report.measured_writes),
+        "per-operator counters must sum to the global delta"
+    );
+    assert!(
+        report.measured_reads > 0,
+        "naive navigation reads object pages"
+    );
+    assert_eq!(report.result.rows.len(), 2, "Auto and Truck build Doors");
+    // The unindexed predicate runs forward per candidate and is priced by
+    // the no-support formula.
+    let pred = report
+        .operators
+        .iter()
+        .find(|o| o.label.contains("forward per candidate"))
+        .expect("unindexed predicate operator");
+    assert!(pred.io.calls >= 1);
+    assert!(pred.predicted.unwrap_or(0.0) > 0.0);
+}
+
+#[test]
+fn operator_totals_equal_global_io_delta_indexed() {
+    let mut ex = company_database();
+    let path = PathExpression::parse(
+        ex.db.base().schema(),
+        "Division.Manufactures.Composition.Name",
+    )
+    .unwrap();
+    let config = AsrConfig::binary(Extension::Full, &path);
+    let id = ex.db.create_asr(path, config).unwrap();
+
+    let before = ex.db.stats().snapshot();
+    let report = explain_analyze(&ex.db, QUERY).unwrap();
+    let after = ex.db.stats().snapshot();
+
+    assert_eq!(report.measured_reads, after.reads - before.reads);
+    assert_eq!(report.measured_writes, after.writes - before.writes);
+    assert_eq!(
+        report.operator_totals(),
+        (report.measured_reads, report.measured_writes)
+    );
+
+    // The predicate now runs as one backward span query through the ASR,
+    // with a cost-model prediction next to the measurement.
+    let pred = report
+        .operators
+        .iter()
+        .find(|o| o.label.contains(&format!("ASR #{id}")))
+        .expect("indexed predicate operator");
+    assert_eq!(pred.io.calls, 1, "one backward precompute");
+    assert!(pred.io.reads > 0);
+    assert!(
+        pred.predicted
+            .expect("model covers supported backward spans")
+            > 0.0
+    );
+
+    // Same answer as the plain executor, and the rendering mentions both
+    // sides of the comparison.
+    let plain = execute(&ex.db, QUERY).unwrap();
+    assert_eq!(report.result, plain);
+    let text = report.render();
+    assert!(text.contains("predicted"), "{text}");
+    assert!(text.contains("measured:"), "{text}");
+}
+
+#[test]
+fn multi_binding_query_accounts_navigation_domains() {
+    let ex = company_database();
+    let q = r#"select d.Name, b.Name
+               from d in Mercedes, b in d.Manufactures.Composition
+               where b.Name = "Door""#;
+    let report = explain_analyze(&ex.db, q).unwrap();
+    assert_eq!(
+        report.operator_totals(),
+        (report.measured_reads, report.measured_writes)
+    );
+    let nav = report
+        .operators
+        .iter()
+        .find(|o| o.label.contains("navigate"))
+        .expect("navigation-domain binding");
+    assert!(
+        nav.io.calls >= 1,
+        "one domain materialization per outer candidate"
+    );
+}

@@ -62,7 +62,11 @@ fn query() -> impl Strategy<Value = Query> {
                             if p.attrs.is_empty() {
                                 None
                             } else {
-                                Some(Predicate { path: p, op, literal: lit })
+                                Some(Predicate {
+                                    path: p,
+                                    op,
+                                    literal: lit,
+                                })
                             }
                         })
                         .boxed()
@@ -70,8 +74,10 @@ fn query() -> impl Strategy<Value = Query> {
                 .collect();
             let vars2 = vars.clone();
             (proj_strategies, pred_strategies).prop_map(move |(projections, predicates)| {
-                let mut bindings =
-                    vec![Binding { var: vars2[0].clone(), source: Source::Collection(collection.clone()) }];
+                let mut bindings = vec![Binding {
+                    var: vars2[0].clone(),
+                    source: Source::Collection(collection.clone()),
+                }];
                 for v in vars2.iter().skip(1) {
                     if bindings.iter().any(|b| &b.var == v) {
                         continue;
@@ -90,11 +96,18 @@ fn query() -> impl Strategy<Value = Query> {
                     .filter(|p| bindings.iter().any(|b| b.var == p.var))
                     .collect::<Vec<_>>();
                 let projections = if projections.is_empty() {
-                    vec![PathRef { var: vars2[0].clone(), attrs: vec![] }]
+                    vec![PathRef {
+                        var: vars2[0].clone(),
+                        attrs: vec![],
+                    }]
                 } else {
                     projections
                 };
-                Query { projections, bindings, predicates }
+                Query {
+                    projections,
+                    bindings,
+                    predicates,
+                }
             })
         })
 }

@@ -62,7 +62,9 @@ fn indexed_and_unindexed_agree_and_index_is_cheaper() {
 
     let mut ex = robot_database();
     let path = ex.path.clone();
-    ex.db.create_asr(path.clone(), AsrConfig::binary(Extension::Canonical, &path)).unwrap();
+    ex.db
+        .create_asr(path.clone(), AsrConfig::binary(Extension::Canonical, &path))
+        .unwrap();
     ex.db.stats().reset();
     let indexed = execute(&ex.db, query).unwrap();
     let indexed_cost = ex.db.stats().accesses();
@@ -154,8 +156,14 @@ fn semantic_errors() {
     let ex = company_database();
     for (query, needle) in [
         ("select x.Name from d in Division", "unbound variable `x`"),
-        ("select d.Name from d in Nowhere", "neither a database variable nor a type"),
-        ("select d.Name from d in Division, d in Division", "bound twice"),
+        (
+            "select d.Name from d in Nowhere",
+            "neither a database variable nor a type",
+        ),
+        (
+            "select d.Name from d in Division, d in Division",
+            "bound twice",
+        ),
         (
             r#"select d.Name from d in Division where d.Name = 5"#,
             "cannot compare STRING",
@@ -186,7 +194,9 @@ fn semantic_errors() {
 fn indexed_predicate_respects_updates() {
     let mut ex = company_database();
     let path = ex.path.clone();
-    ex.db.create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path)).unwrap();
+    ex.db
+        .create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path))
+        .unwrap();
     let query = r#"select d.Name
                    from d in Division
                    where d.Manufactures.Composition.Name = "Door""#;
@@ -195,7 +205,9 @@ fn indexed_predicate_respects_updates() {
     // Sausage's parts set gains a Door-named part... rather: rename
     // Pepper to Door; Sausage is not Division-reachable, so still 2 rows.
     let pepper = ex.by_name("Pepper").unwrap();
-    ex.db.set_attribute(pepper, "Name", Value::string("Door")).unwrap();
+    ex.db
+        .set_attribute(pepper, "Name", Value::string("Door"))
+        .unwrap();
     assert_eq!(execute(&ex.db, query).unwrap().rows.len(), 2);
 
     // Renaming the real Door changes the answer through the index.
@@ -207,6 +219,8 @@ fn indexed_predicate_respects_updates() {
         .map(|o| o.oid)
         .min()
         .unwrap();
-    ex.db.set_attribute(door, "Name", Value::string("Hatch")).unwrap();
+    ex.db
+        .set_attribute(door, "Name", Value::string("Hatch"))
+        .unwrap();
     assert_eq!(execute(&ex.db, query).unwrap().rows.len(), 0);
 }

@@ -108,10 +108,17 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
 
     /// Create a tree with explicit node capacities (used by tests to force
     /// deep trees with few keys).
-    pub fn with_capacities(leaf_capacity: usize, inner_capacity: usize, stats: StatsHandle) -> Self {
+    pub fn with_capacities(
+        leaf_capacity: usize,
+        inner_capacity: usize,
+        stats: StatsHandle,
+    ) -> Self {
         assert!(leaf_capacity >= 2, "leaf capacity must be >= 2");
         assert!(inner_capacity >= 3, "inner capacity must be >= 3");
-        let root_leaf = Node::Leaf { entries: Vec::new(), next: NO_NODE };
+        let root_leaf = Node::Leaf {
+            entries: Vec::new(),
+            next: NO_NODE,
+        };
         BPlusTree {
             nodes: vec![root_leaf],
             free: Vec::new(),
@@ -125,9 +132,31 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         }
     }
 
-    /// Replace the (default pass-through) buffer pool.
-    pub fn set_buffer(&mut self, pool: BufferPool) {
+    /// Replace the (default pass-through) buffer pool. The tree's
+    /// structure tag (if any) carries over to the new pool.
+    pub fn set_buffer(&mut self, mut pool: BufferPool) {
+        pool.set_structure(self.buffer.borrow().structure());
         self.buffer = RefCell::new(pool);
+    }
+
+    /// Register this tree under `label` in the stats registry so its page
+    /// traffic is attributable (see [`IoStats::register_structure`]).
+    ///
+    /// [`IoStats::register_structure`]: crate::stats::IoStats::register_structure
+    pub fn tag(&mut self, label: impl Into<String>) -> crate::stats::StructureId {
+        let sid = self
+            .stats
+            .register_structure(crate::stats::StructureKind::BTree, label);
+        self.buffer.borrow_mut().set_structure(sid);
+        sid
+    }
+
+    /// The structure id this tree's charges are attributed to
+    /// ([`StructureId::UNTRACKED`] before [`BPlusTree::tag`]).
+    ///
+    /// [`StructureId::UNTRACKED`]: crate::stats::StructureId::UNTRACKED
+    pub fn structure_id(&self) -> crate::stats::StructureId {
+        self.buffer.borrow().structure()
     }
 
     /// Number of entries.
@@ -163,12 +192,18 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
 
     /// Number of leaf pages (the paper's `ap^{i,j}`).
     pub fn leaf_page_count(&self) -> u64 {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count() as u64
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count() as u64
     }
 
     /// Number of inner pages (the paper's `pg^{i,j}` without leaves).
     pub fn inner_page_count(&self) -> u64 {
-        self.nodes.iter().filter(|n| matches!(n, Node::Inner { .. })).count() as u64
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Inner { .. }))
+            .count() as u64
     }
 
     /// Total pages occupied by the tree.
@@ -239,7 +274,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     /// Point lookup.  Charges `height` page reads.
     pub fn get(&self, key: &K) -> Option<V> {
         let (leaf, _) = self.descend(key);
-        let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf { entries, .. } = &self.nodes[leaf] else {
+            unreachable!()
+        };
         entries
             .binary_search_by(|(k, _)| k.cmp(key))
             .ok()
@@ -260,7 +297,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             Bound::Included(key) | Bound::Excluded(key) => {
                 let (l, _) = self.descend(key);
                 leaf = l;
-                let Node::Leaf { entries, .. } = &self.nodes[leaf] else { unreachable!() };
+                let Node::Leaf { entries, .. } = &self.nodes[leaf] else {
+                    unreachable!()
+                };
                 start_idx = entries.partition_point(|(k, _)| match lo {
                     Bound::Included(key) => k < key,
                     Bound::Excluded(key) => k <= key,
@@ -283,7 +322,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             }
         }
         loop {
-            let Node::Leaf { entries, next } = &self.nodes[leaf] else { unreachable!() };
+            let Node::Leaf { entries, next } = &self.nodes[leaf] else {
+                unreachable!()
+            };
             for (k, v) in &entries[start_idx..] {
                 let in_range = match hi {
                     Bound::Included(h) => k <= h,
@@ -338,7 +379,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     pub fn insert(&mut self, key: K, value: V) -> Result<()> {
         let (leaf, path) = self.descend(&key);
         {
-            let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else { unreachable!() };
+            let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else {
+                unreachable!()
+            };
             match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
                 Ok(_) => return Err(PageSimError::DuplicateKey(format!("{key:?}"))),
                 Err(pos) => entries.insert(pos, (key, value)),
@@ -394,8 +437,13 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                 let right_entries = entries.split_off(mid);
                 let right_next = *next;
                 let separator = right_entries[0].0.clone();
-                let right = self.alloc(Node::Leaf { entries: right_entries, next: right_next });
-                let Node::Leaf { next, .. } = &mut self.nodes[node] else { unreachable!() };
+                let right = self.alloc(Node::Leaf {
+                    entries: right_entries,
+                    next: right_next,
+                });
+                let Node::Leaf { next, .. } = &mut self.nodes[node] else {
+                    unreachable!()
+                };
                 *next = right;
                 self.charge_write(node);
                 self.charge_write(right);
@@ -411,7 +459,10 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                 let right_keys = keys.split_off(mid + 1);
                 let separator = keys.pop().expect("mid key exists");
                 let right_children = children.split_off(mid + 1);
-                let right = self.alloc(Node::Inner { keys: right_keys, children: right_children });
+                let right = self.alloc(Node::Inner {
+                    keys: right_keys,
+                    children: right_children,
+                });
                 self.charge_write(node);
                 self.charge_write(right);
                 Some((separator, right))
@@ -470,13 +521,18 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         let mut iter = all.into_iter();
         for size in plan {
             let chunk: Vec<(K, V)> = iter.by_ref().take(size).collect();
-            let node = self.alloc(Node::Leaf { entries: chunk, next: NO_NODE });
+            let node = self.alloc(Node::Leaf {
+                entries: chunk,
+                next: NO_NODE,
+            });
             self.charge_write(node);
             leaves.push(node);
         }
         for pair in leaves.windows(2) {
             let (left, right) = (pair[0], pair[1]);
-            let Node::Leaf { next, .. } = &mut self.nodes[left] else { unreachable!() };
+            let Node::Leaf { next, .. } = &mut self.nodes[left] else {
+                unreachable!()
+            };
             *next = right;
         }
         // The old empty root leaf is replaced by the loaded tree.
@@ -489,14 +545,17 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         let mut level: Vec<usize> = leaves;
         let mut height = 1usize;
         while level.len() > 1 {
-            let plan =
-                chunk_plan(level.len(), inner_target, self.min_children(), self.inner_capacity);
+            let plan = chunk_plan(
+                level.len(),
+                inner_target,
+                self.min_children(),
+                self.inner_capacity,
+            );
             let mut parents: Vec<usize> = Vec::with_capacity(plan.len());
             let mut iter = level.into_iter();
             for size in plan {
                 let children: Vec<usize> = iter.by_ref().take(size).collect();
-                let keys: Vec<K> =
-                    children[1..].iter().map(|&c| self.min_key_of(c)).collect();
+                let keys: Vec<K> = children[1..].iter().map(|&c| self.min_key_of(c)).collect();
                 let node = self.alloc(Node::Inner { keys, children });
                 self.charge_write(node);
                 parents.push(node);
@@ -519,7 +578,11 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             match &self.nodes[n] {
                 Node::Inner { children, .. } => n = children[0],
                 Node::Leaf { entries, .. } => {
-                    return entries.first().expect("bulk-loaded nodes are non-empty").0.clone()
+                    return entries
+                        .first()
+                        .expect("bulk-loaded nodes are non-empty")
+                        .0
+                        .clone()
                 }
                 Node::Free => unreachable!(),
             }
@@ -535,7 +598,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let (leaf, path) = self.descend(key);
         let removed = {
-            let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else { unreachable!() };
+            let Node::Leaf { entries, .. } = &mut self.nodes[leaf] else {
+                unreachable!()
+            };
             match entries.binary_search_by(|(k, _)| k.cmp(key)) {
                 Ok(pos) => entries.remove(pos).1,
                 Err(_) => return None,
@@ -595,7 +660,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     /// from a sibling or merging.
     fn fix_deficient_child(&mut self, parent: usize, child_idx: usize) {
         let (left_idx, right_idx) = {
-            let Node::Inner { children, .. } = &self.nodes[parent] else { unreachable!() };
+            let Node::Inner { children, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
             let left = child_idx.checked_sub(1).map(|i| children[i]);
             let right = children.get(child_idx + 1).copied();
             (left, right)
@@ -634,32 +701,49 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     fn borrow_from_left(&mut self, parent: usize, child_idx: usize, left: usize) {
         let sep_idx = child_idx - 1;
         let child = {
-            let Node::Inner { children, .. } = &self.nodes[parent] else { unreachable!() };
+            let Node::Inner { children, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
             children[child_idx]
         };
         if matches!(self.nodes[child], Node::Leaf { .. }) {
             // Move the left sibling's last entry over; separator becomes
             // the moved key.
             let (k, v) = {
-                let Node::Leaf { entries, .. } = &mut self.nodes[left] else { unreachable!() };
+                let Node::Leaf { entries, .. } = &mut self.nodes[left] else {
+                    unreachable!()
+                };
                 entries.pop().expect("surplus sibling is non-empty")
             };
             let new_sep = k.clone();
-            let Node::Leaf { entries, .. } = &mut self.nodes[child] else { unreachable!() };
+            let Node::Leaf { entries, .. } = &mut self.nodes[child] else {
+                unreachable!()
+            };
             entries.insert(0, (k, v));
-            let Node::Inner { keys, .. } = &mut self.nodes[parent] else { unreachable!() };
+            let Node::Inner { keys, .. } = &mut self.nodes[parent] else {
+                unreachable!()
+            };
             keys[sep_idx] = new_sep;
         } else {
             // Rotate through the parent separator.
             let (moved_key, moved_child) = {
-                let Node::Inner { keys, children } = &mut self.nodes[left] else { unreachable!() };
-                (keys.pop().expect("surplus"), children.pop().expect("surplus"))
+                let Node::Inner { keys, children } = &mut self.nodes[left] else {
+                    unreachable!()
+                };
+                (
+                    keys.pop().expect("surplus"),
+                    children.pop().expect("surplus"),
+                )
             };
             let old_sep = {
-                let Node::Inner { keys, .. } = &mut self.nodes[parent] else { unreachable!() };
+                let Node::Inner { keys, .. } = &mut self.nodes[parent] else {
+                    unreachable!()
+                };
                 std::mem::replace(&mut keys[sep_idx], moved_key)
             };
-            let Node::Inner { keys, children } = &mut self.nodes[child] else { unreachable!() };
+            let Node::Inner { keys, children } = &mut self.nodes[child] else {
+                unreachable!()
+            };
             keys.insert(0, old_sep);
             children.insert(0, moved_child);
         }
@@ -671,32 +755,48 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     fn borrow_from_right(&mut self, parent: usize, child_idx: usize, right: usize) {
         let sep_idx = child_idx;
         let child = {
-            let Node::Inner { children, .. } = &self.nodes[parent] else { unreachable!() };
+            let Node::Inner { children, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
             children[child_idx]
         };
         if matches!(self.nodes[child], Node::Leaf { .. }) {
             let (k, v) = {
-                let Node::Leaf { entries, .. } = &mut self.nodes[right] else { unreachable!() };
+                let Node::Leaf { entries, .. } = &mut self.nodes[right] else {
+                    unreachable!()
+                };
                 entries.remove(0)
             };
             let new_sep = {
-                let Node::Leaf { entries, .. } = &self.nodes[right] else { unreachable!() };
+                let Node::Leaf { entries, .. } = &self.nodes[right] else {
+                    unreachable!()
+                };
                 entries[0].0.clone()
             };
-            let Node::Leaf { entries, .. } = &mut self.nodes[child] else { unreachable!() };
+            let Node::Leaf { entries, .. } = &mut self.nodes[child] else {
+                unreachable!()
+            };
             entries.push((k, v));
-            let Node::Inner { keys, .. } = &mut self.nodes[parent] else { unreachable!() };
+            let Node::Inner { keys, .. } = &mut self.nodes[parent] else {
+                unreachable!()
+            };
             keys[sep_idx] = new_sep;
         } else {
             let (moved_key, moved_child) = {
-                let Node::Inner { keys, children } = &mut self.nodes[right] else { unreachable!() };
+                let Node::Inner { keys, children } = &mut self.nodes[right] else {
+                    unreachable!()
+                };
                 (keys.remove(0), children.remove(0))
             };
             let old_sep = {
-                let Node::Inner { keys, .. } = &mut self.nodes[parent] else { unreachable!() };
+                let Node::Inner { keys, .. } = &mut self.nodes[parent] else {
+                    unreachable!()
+                };
                 std::mem::replace(&mut keys[sep_idx], moved_key)
             };
-            let Node::Inner { keys, children } = &mut self.nodes[child] else { unreachable!() };
+            let Node::Inner { keys, children } = &mut self.nodes[child] else {
+                unreachable!()
+            };
             keys.push(old_sep);
             children.push(moved_child);
         }
@@ -708,7 +808,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     /// Merge `children[idx+1]` of `parent` into `children[idx]`.
     fn merge_children(&mut self, parent: usize, idx: usize) {
         let (left, right, separator) = {
-            let Node::Inner { keys, children } = &mut self.nodes[parent] else { unreachable!() };
+            let Node::Inner { keys, children } = &mut self.nodes[parent] else {
+                unreachable!()
+            };
             let left = children[idx];
             let right = children.remove(idx + 1);
             let separator = keys.remove(idx);
@@ -717,16 +819,24 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         let right_node = std::mem::replace(&mut self.nodes[right], Node::Free);
         match right_node {
             Node::Leaf { mut entries, next } => {
-                let Node::Leaf { entries: left_entries, next: left_next } = &mut self.nodes[left]
+                let Node::Leaf {
+                    entries: left_entries,
+                    next: left_next,
+                } = &mut self.nodes[left]
                 else {
                     unreachable!()
                 };
                 left_entries.append(&mut entries);
                 *left_next = next;
             }
-            Node::Inner { mut keys, mut children } => {
-                let Node::Inner { keys: left_keys, children: left_children } =
-                    &mut self.nodes[left]
+            Node::Inner {
+                mut keys,
+                mut children,
+            } => {
+                let Node::Inner {
+                    keys: left_keys,
+                    children: left_children,
+                } = &mut self.nodes[left]
                 else {
                     unreachable!()
                 };
@@ -753,7 +863,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         self.check_node(self.root, 1, None, None, &mut leaf_depths, &mut count)?;
         if let Some(&d) = leaf_depths.first() {
             if leaf_depths.iter().any(|&x| x != d) {
-                return Err(PageSimError::CorruptStructure("leaves at differing depths".into()));
+                return Err(PageSimError::CorruptStructure(
+                    "leaves at differing depths".into(),
+                ));
             }
             if d != self.height {
                 return Err(PageSimError::CorruptStructure(format!(
@@ -774,7 +886,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         let mut leaf = self.leftmost_leaf();
         loop {
             let Node::Leaf { entries, next } = &self.nodes[leaf] else {
-                return Err(PageSimError::CorruptStructure("leaf chain hit non-leaf".into()));
+                return Err(PageSimError::CorruptStructure(
+                    "leaf chain hit non-leaf".into(),
+                ));
             };
             for (k, _) in entries {
                 if let Some(p) = &prev {
@@ -936,10 +1050,16 @@ mod tests {
             t.insert(k, k).unwrap();
         }
         let r = t.range_collect(&10, &20);
-        assert_eq!(r.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 12, 14, 16, 18]);
+        assert_eq!(
+            r.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 12, 14, 16, 18]
+        );
         // Bounds not present in the tree.
         let r = t.range_collect(&9, &15);
-        assert_eq!(r.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 12, 14]);
+        assert_eq!(
+            r.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 12, 14]
+        );
         // Empty range.
         assert!(t.range_collect(&15, &15).is_empty());
         assert_eq!(t.first_key(), Some(0));
@@ -1073,8 +1193,7 @@ mod tests {
 
     #[test]
     fn bulk_loaded_tree_supports_updates() {
-        let mut t: BPlusTree<u32, u32> =
-            BPlusTree::with_capacities(4, 4, IoStats::new_handle());
+        let mut t: BPlusTree<u32, u32> = BPlusTree::with_capacities(4, 4, IoStats::new_handle());
         t.fill((0..100).map(|k| (k * 2, k))).unwrap();
         // Insert odds, remove some evens.
         for k in 0..100u32 {
@@ -1100,13 +1219,8 @@ mod tests {
     #[test]
     fn bulk_load_charges_one_write_per_node() {
         let stats = IoStats::new_handle();
-        let t: BPlusTree<u32, u32> = BPlusTree::bulk_load(
-            (0..10_000u32).map(|k| (k, k)),
-            16,
-            8,
-            Rc::clone(&stats),
-        )
-        .unwrap();
+        let t: BPlusTree<u32, u32> =
+            BPlusTree::bulk_load((0..10_000u32).map(|k| (k, k)), 16, 8, Rc::clone(&stats)).unwrap();
         assert_eq!(stats.writes(), t.page_count());
         assert_eq!(stats.reads(), 0);
         // Far cheaper than item-at-a-time insertion.

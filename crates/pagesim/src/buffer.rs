@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use crate::stats::IoStats;
+use crate::stats::{IoStats, StructureId};
 
 /// Per-structure LRU buffer pool over that structure's page numbers.
 #[derive(Debug, Default)]
@@ -19,6 +19,8 @@ pub struct BufferPool {
     /// lru tick -> page (inverse index for O(log n) eviction)
     by_tick: BTreeMap<u64, u64>,
     tick: u64,
+    /// Structure all charges through this pool are attributed to.
+    sid: StructureId,
 }
 
 impl BufferPool {
@@ -30,12 +32,25 @@ impl BufferPool {
 
     /// An LRU pool holding up to `capacity` pages.
     pub fn with_capacity(capacity: usize) -> Self {
-        BufferPool { capacity, ..BufferPool::default() }
+        BufferPool {
+            capacity,
+            ..BufferPool::default()
+        }
     }
 
     /// The configured capacity in pages.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Attribute all subsequent charges through this pool to `sid`.
+    pub fn set_structure(&mut self, sid: StructureId) {
+        self.sid = sid;
+    }
+
+    /// The structure charges are currently attributed to.
+    pub fn structure(&self) -> StructureId {
+        self.sid
     }
 
     /// Number of currently resident pages.
@@ -54,7 +69,7 @@ impl BufferPool {
     /// [`BufferPool::flush`].
     pub fn write(&mut self, page: u64, stats: &IoStats) {
         if self.capacity == 0 {
-            stats.count_write();
+            stats.count_write_for(self.sid);
             return;
         }
         self.access(page, true, stats);
@@ -62,7 +77,7 @@ impl BufferPool {
 
     fn access(&mut self, page: u64, dirty: bool, stats: &IoStats) {
         if self.capacity == 0 {
-            stats.count_read();
+            stats.count_read_for(self.sid);
             return;
         }
         self.tick += 1;
@@ -74,11 +89,11 @@ impl BufferPool {
             if was_dirty {
                 self.resident.insert(page, (tick, true));
             }
-            stats.count_buffer_hit();
+            stats.count_buffer_hit_for(self.sid);
             return;
         }
         // Miss: fetch from disk.
-        stats.count_read();
+        stats.count_read_for(self.sid);
         self.by_tick.insert(tick, page);
         if self.resident.len() > self.capacity {
             self.evict_lru(stats);
@@ -90,7 +105,7 @@ impl BufferPool {
             self.by_tick.remove(&oldest_tick);
             if let Some((_, dirty)) = self.resident.remove(&victim) {
                 if dirty {
-                    stats.count_write();
+                    stats.count_write_for(self.sid);
                 }
             }
         }
@@ -100,7 +115,7 @@ impl BufferPool {
     pub fn flush(&mut self, stats: &IoStats) {
         for (_, (_, dirty)) in self.resident.drain() {
             if dirty {
-                stats.count_write();
+                stats.count_write_for(self.sid);
             }
         }
         self.by_tick.clear();

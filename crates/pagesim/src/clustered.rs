@@ -41,7 +41,10 @@ impl<T> ClusteredFile<T> {
     /// pages), mirroring how the analytical model floors `opp_i` at 1.
     pub fn new(object_size: usize, stats: StatsHandle) -> Result<Self> {
         if object_size == 0 {
-            return Err(PageSimError::EntryTooLarge { entry: 0, capacity: PAGE_SIZE });
+            return Err(PageSimError::EntryTooLarge {
+                entry: 0,
+                capacity: PAGE_SIZE,
+            });
         }
         let opp = (PAGE_SIZE / object_size).max(1);
         Ok(ClusteredFile {
@@ -54,9 +57,26 @@ impl<T> ClusteredFile<T> {
         })
     }
 
-    /// Replace the (default pass-through) buffer pool.
-    pub fn set_buffer(&mut self, pool: BufferPool) {
+    /// Replace the (default pass-through) buffer pool. The file's
+    /// structure tag (if any) carries over to the new pool.
+    pub fn set_buffer(&mut self, mut pool: BufferPool) {
+        pool.set_structure(self.buffer.borrow().structure());
         self.buffer = RefCell::new(pool);
+    }
+
+    /// Register this file under `label` in the stats registry so its page
+    /// traffic is attributable (see [`IoStats::register_structure`]).
+    pub fn tag(&mut self, label: impl Into<String>) -> crate::stats::StructureId {
+        let sid = self
+            .stats
+            .register_structure(crate::stats::StructureKind::ClusteredFile, label);
+        self.buffer.borrow_mut().set_structure(sid);
+        sid
+    }
+
+    /// The structure id this file's charges are attributed to.
+    pub fn structure_id(&self) -> crate::stats::StructureId {
+        self.buffer.borrow().structure()
     }
 
     /// The configured per-object size in bytes (`size_i`).
@@ -121,7 +141,10 @@ impl<T> ClusteredFile<T> {
             .get(&key)
             .ok_or_else(|| PageSimError::NotFound(format!("object {key}")))?;
         self.charge_object_read(slot);
-        Ok(self.slots[slot].as_ref().map(|(_, t)| t).expect("indexed slot is live"))
+        Ok(self.slots[slot]
+            .as_ref()
+            .map(|(_, t)| t)
+            .expect("indexed slot is live"))
     }
 
     /// Like [`ClusteredFile::get`] but also charging the write-back access
@@ -137,7 +160,10 @@ impl<T> ClusteredFile<T> {
         for p in 0..self.pages_per_object() {
             self.buffer.borrow_mut().write(page + p, &self.stats);
         }
-        Ok(self.slots[slot].as_mut().map(|(_, t)| t).expect("indexed slot is live"))
+        Ok(self.slots[slot]
+            .as_mut()
+            .map(|(_, t)| t)
+            .expect("indexed slot is live"))
     }
 
     fn charge_object_read(&self, slot: usize) {
@@ -157,7 +183,10 @@ impl<T> ClusteredFile<T> {
         self.charge_object_read(slot);
         let page = self.page_of_slot(slot);
         self.buffer.borrow_mut().write(page, &self.stats);
-        Ok(self.slots[slot].take().map(|(_, t)| t).expect("indexed slot was live"))
+        Ok(self.slots[slot]
+            .take()
+            .map(|(_, t)| t)
+            .expect("indexed slot was live"))
     }
 
     /// Exhaustively scan the file, charging every page once, and visit each
@@ -286,7 +315,10 @@ mod tests {
         let stats = IoStats::new_handle();
         let mut file = ClusteredFile::new(100, stats).unwrap();
         file.insert(1, ()).unwrap();
-        assert!(matches!(file.insert(1, ()), Err(PageSimError::DuplicateKey(_))));
+        assert!(matches!(
+            file.insert(1, ()),
+            Err(PageSimError::DuplicateKey(_))
+        ));
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl fmt::Display for PageSimError {
         match self {
             PageSimError::NotFound(what) => write!(f, "not found: {what}"),
             PageSimError::EntryTooLarge { entry, capacity } => {
-                write!(f, "entry of {entry} bytes exceeds page capacity of {capacity} bytes")
+                write!(
+                    f,
+                    "entry of {entry} bytes exceeds page capacity of {capacity} bytes"
+                )
             }
             PageSimError::DuplicateKey(key) => write!(f, "duplicate key: {key}"),
             PageSimError::CorruptStructure(msg) => write!(f, "corrupt structure: {msg}"),
@@ -45,7 +48,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = PageSimError::EntryTooLarge { entry: 9000, capacity: 4056 };
+        let e = PageSimError::EntryTooLarge {
+            entry: 9000,
+            capacity: 4056,
+        };
         assert!(e.to_string().contains("9000"));
         assert!(e.to_string().contains("4056"));
     }

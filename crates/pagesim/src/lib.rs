@@ -36,4 +36,4 @@ pub use buffer::BufferPool;
 pub use clustered::ClusteredFile;
 pub use constants::{bplus_fan, OID_SIZE, PAGE_SIZE, PP_SIZE};
 pub use error::{PageSimError, Result};
-pub use stats::{IoSnapshot, IoStats, StatsHandle};
+pub use stats::{IoSnapshot, IoStats, StatsHandle, StructureId, StructureIo, StructureKind};

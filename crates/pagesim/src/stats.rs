@@ -6,12 +6,100 @@
 //! read off the access count — exactly the quantity the paper's analytical
 //! model predicts.
 
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
-use std::cell::Cell;
 
 /// Shared, cheaply clonable handle to an [`IoStats`] counter.
 pub type StatsHandle = Rc<IoStats>;
+
+/// Identifies one registered storage structure (a clustered file or a B+
+/// tree) for per-structure I/O attribution.
+///
+/// The default value, [`StructureId::UNTRACKED`], charges only the global
+/// counters — structures opt in by registering a label via
+/// [`IoStats::register_structure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StructureId(u32);
+
+impl StructureId {
+    /// The "no attribution" id every structure starts with.
+    pub const UNTRACKED: StructureId = StructureId(0);
+
+    /// Whether charges through this id reach a per-structure counter.
+    pub fn is_tracked(self) -> bool {
+        self.0 != 0
+    }
+
+    fn index(self) -> Option<usize> {
+        (self.0 as usize).checked_sub(1)
+    }
+}
+
+impl fmt::Display for StructureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_tracked() {
+            write!(f, "s{}", self.0)
+        } else {
+            write!(f, "untracked")
+        }
+    }
+}
+
+/// The kind of storage structure behind a [`StructureId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureKind {
+    /// A type-clustered object file (`opp_i` objects per page).
+    ClusteredFile,
+    /// A page-granular B+ tree (ASR partitions, directions).
+    BTree,
+    /// Anything else that charges page traffic.
+    Other,
+}
+
+impl StructureKind {
+    /// Short lower-case name for tables and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            StructureKind::ClusteredFile => "clustered_file",
+            StructureKind::BTree => "btree",
+            StructureKind::Other => "other",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StructureEntry {
+    kind: StructureKind,
+    label: String,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    buffer_hits: Cell<u64>,
+}
+
+/// A point-in-time copy of one structure's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureIo {
+    /// The id charges were tagged with.
+    pub id: StructureId,
+    /// What kind of structure registered it.
+    pub kind: StructureKind,
+    /// Human-readable label chosen at registration.
+    pub label: String,
+    /// Page reads attributed to this structure.
+    pub reads: u64,
+    /// Page writes attributed to this structure.
+    pub writes: u64,
+    /// Buffer hits attributed to this structure.
+    pub buffer_hits: u64,
+}
+
+impl StructureIo {
+    /// Total attributed page accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
 
 /// Counts page reads and writes.
 #[derive(Debug, Default)]
@@ -20,6 +108,8 @@ pub struct IoStats {
     writes: Cell<u64>,
     /// Reads satisfied by a buffer pool (not charged as disk reads).
     buffer_hits: Cell<u64>,
+    /// Per-structure attribution, indexed by `StructureId - 1`.
+    structures: RefCell<Vec<StructureEntry>>,
 }
 
 impl IoStats {
@@ -43,6 +133,89 @@ impl IoStats {
         self.buffer_hits.set(self.buffer_hits.get() + 1);
     }
 
+    /// Register a structure for I/O attribution; charges tagged with the
+    /// returned id are counted both globally and per structure.
+    pub fn register_structure(&self, kind: StructureKind, label: impl Into<String>) -> StructureId {
+        let label = label.into();
+        let mut structures = self.structures.borrow_mut();
+        // Re-registering the same (kind, label) — e.g. after an ASR rebuild
+        // recreates its partition trees — reuses the entry so the counters
+        // accumulate across the structure's lifetimes.
+        if let Some(idx) = structures
+            .iter()
+            .position(|e| e.kind == kind && e.label == label)
+        {
+            return StructureId(idx as u32 + 1);
+        }
+        structures.push(StructureEntry {
+            kind,
+            label,
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+            buffer_hits: Cell::new(0),
+        });
+        StructureId(structures.len() as u32)
+    }
+
+    fn with_entry(&self, id: StructureId, f: impl FnOnce(&StructureEntry)) {
+        if let Some(idx) = id.index() {
+            if let Some(entry) = self.structures.borrow().get(idx) {
+                f(entry);
+            }
+        }
+    }
+
+    /// Charge one page read, attributed to `id`.
+    pub fn count_read_for(&self, id: StructureId) {
+        self.count_read();
+        self.with_entry(id, |e| e.reads.set(e.reads.get() + 1));
+    }
+
+    /// Charge one page write, attributed to `id`.
+    pub fn count_write_for(&self, id: StructureId) {
+        self.count_write();
+        self.with_entry(id, |e| e.writes.set(e.writes.get() + 1));
+    }
+
+    /// Record a buffer hit, attributed to `id`.
+    pub fn count_buffer_hit_for(&self, id: StructureId) {
+        self.count_buffer_hit();
+        self.with_entry(id, |e| e.buffer_hits.set(e.buffer_hits.get() + 1));
+    }
+
+    /// Point-in-time counters for every registered structure, in
+    /// registration order.
+    pub fn structures(&self) -> Vec<StructureIo> {
+        self.structures
+            .borrow()
+            .iter()
+            .enumerate()
+            .map(|(idx, e)| StructureIo {
+                id: StructureId(idx as u32 + 1),
+                kind: e.kind,
+                label: e.label.clone(),
+                reads: e.reads.get(),
+                writes: e.writes.get(),
+                buffer_hits: e.buffer_hits.get(),
+            })
+            .collect()
+    }
+
+    /// Point-in-time counters for one structure, if registered.
+    pub fn structure(&self, id: StructureId) -> Option<StructureIo> {
+        let idx = id.index()?;
+        let structures = self.structures.borrow();
+        let e = structures.get(idx)?;
+        Some(StructureIo {
+            id,
+            kind: e.kind,
+            label: e.label.clone(),
+            reads: e.reads.get(),
+            writes: e.writes.get(),
+            buffer_hits: e.buffer_hits.get(),
+        })
+    }
+
     /// Pages read from disk so far.
     pub fn reads(&self) -> u64 {
         self.reads.get()
@@ -63,11 +236,17 @@ impl IoStats {
         self.reads.get() + self.writes.get()
     }
 
-    /// Reset all counters to zero.
+    /// Reset all counters to zero. Structure registrations survive; only
+    /// their counters are cleared.
     pub fn reset(&self) {
         self.reads.set(0);
         self.writes.set(0);
         self.buffer_hits.set(0);
+        for entry in self.structures.borrow().iter() {
+            entry.reads.set(0);
+            entry.writes.set(0);
+            entry.buffer_hits.set(0);
+        }
     }
 
     /// An immutable snapshot (for computing deltas across an operation).
@@ -143,6 +322,39 @@ mod tests {
         stats.count_write();
         assert_eq!(stats.accesses_since(&before), 2);
         assert_eq!(before.accesses(), 1);
+    }
+
+    #[test]
+    fn structure_attribution_splits_the_totals() {
+        let stats = IoStats::new_handle();
+        let file = stats.register_structure(StructureKind::ClusteredFile, "EMP file");
+        let tree = stats.register_structure(StructureKind::BTree, "asr fwd");
+        assert!(file.is_tracked());
+        assert_ne!(file, tree);
+
+        stats.count_read_for(file);
+        stats.count_read_for(file);
+        stats.count_write_for(tree);
+        stats.count_buffer_hit_for(tree);
+        stats.count_read_for(StructureId::UNTRACKED);
+
+        assert_eq!(stats.reads(), 3, "global totals include untracked charges");
+        assert_eq!(stats.writes(), 1);
+        assert_eq!(stats.buffer_hits(), 1);
+
+        let per = stats.structures();
+        assert_eq!(per.len(), 2);
+        assert_eq!((per[0].reads, per[0].writes), (2, 0));
+        assert_eq!(per[0].label, "EMP file");
+        assert_eq!((per[1].reads, per[1].writes, per[1].buffer_hits), (0, 1, 1));
+        assert_eq!(per[1].kind, StructureKind::BTree);
+
+        let attributed: u64 = per.iter().map(|s| s.accesses()).sum();
+        assert_eq!(attributed, 3, "one read was untracked");
+
+        stats.reset();
+        assert_eq!(stats.structure(tree).unwrap().accesses(), 0);
+        assert_eq!(stats.structures().len(), 2, "registrations survive reset");
     }
 
     #[test]

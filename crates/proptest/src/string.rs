@@ -1,0 +1,238 @@
+//! String generation from the small regex subset the workspace's tests use
+//! as `&str` strategies: character classes (`[a-zA-Z0-9_]`, including
+//! ranges and escapes), the printable-character class `\PC`, literal
+//! characters, and `{min,max}` / `{n}` quantifiers. Anything outside that
+//! subset panics loudly rather than silently generating the wrong
+//! language.
+
+use crate::test_runner::TestRng;
+
+/// One unit of the pattern: a set of candidate characters plus how many
+/// times to repeat it.
+struct Piece {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+pub(crate) fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.len_in(piece.min, piece.max + 1)
+        };
+        for _ in 0..count {
+            let idx = rng.below(piece.choices.len() as u64) as usize;
+            out.push(piece.choices[idx]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                let (set, next) = parse_escape(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let (bounds, next) = parse_quantifier(&chars, i + 1, pattern);
+            i = next;
+            bounds
+        } else {
+            (1, 1)
+        };
+        assert!(
+            !choices.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        pieces.push(Piece { choices, min, max });
+    }
+    pieces
+}
+
+/// Parse `[...]` starting just past the `[`; returns the set and the index
+/// just past the `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars.get(i).copied(), pattern)
+        } else {
+            chars[i]
+        };
+        // A `-` between two characters is a range unless it abuts `]`.
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = if chars[i + 2] == '\\' {
+                i += 1;
+                unescape(chars.get(i + 2).copied(), pattern)
+            } else {
+                chars[i + 2]
+            };
+            assert!(
+                c <= hi,
+                "inverted range {c:?}-{hi:?} in pattern {pattern:?}"
+            );
+            for code in c as u32..=hi as u32 {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated character class in pattern {pattern:?}"
+    );
+    (set, i + 1)
+}
+
+/// Parse an escape starting just past the `\`; returns the set and the
+/// index just past the escape.
+fn parse_escape(chars: &[char], i: usize, pattern: &str) -> (Vec<char>, usize) {
+    match chars.get(i) {
+        // `\PC`: any printable character. ASCII printable keeps the
+        // output embeddable in single-line shell/session transcripts.
+        Some('P') if chars.get(i + 1) == Some(&'C') => {
+            ((0x20u8..=0x7Eu8).map(char::from).collect(), i + 2)
+        }
+        other => (vec![unescape(other.copied(), pattern)], i + 1),
+    }
+}
+
+fn unescape(c: Option<char>, pattern: &str) -> char {
+    match c {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some(c @ ('\\' | ']' | '[' | '{' | '}' | '-' | '.' | '*' | '+' | '?' | '(' | ')')) => c,
+        other => panic!("unsupported escape {other:?} in pattern {pattern:?}"),
+    }
+}
+
+/// Parse `{n}` or `{min,max}` starting just past the `{`; returns the
+/// inclusive bounds and the index just past the `}`.
+fn parse_quantifier(chars: &[char], mut i: usize, pattern: &str) -> ((usize, usize), usize) {
+    let mut nums: Vec<usize> = vec![0];
+    let mut saw_comma = false;
+    while i < chars.len() && chars[i] != '}' {
+        match chars[i] {
+            ',' => {
+                assert!(!saw_comma, "bad quantifier in pattern {pattern:?}");
+                saw_comma = true;
+                nums.push(0);
+            }
+            d @ '0'..='9' => {
+                let last = nums.last_mut().unwrap();
+                *last = *last * 10 + (d as usize - '0' as usize);
+            }
+            other => panic!("bad quantifier char {other:?} in pattern {pattern:?}"),
+        }
+        i += 1;
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated quantifier in pattern {pattern:?}"
+    );
+    let bounds = match nums.as_slice() {
+        [n] => (*n, *n),
+        [lo, hi] => (*lo, *hi),
+        _ => unreachable!(),
+    };
+    assert!(
+        bounds.0 <= bounds.1,
+        "inverted quantifier in pattern {pattern:?}"
+    );
+    (bounds, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn identifier_pattern_generates_identifiers() {
+        let mut rng = TestRng::from_seed(11);
+        let strategy = "[a-zA-Z][a-zA-Z0-9_]{0,8}";
+        for _ in 0..500 {
+            let s = strategy.generate(&mut rng);
+            assert!((1..=9).contains(&s.len()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn class_with_literal_dash_dot_and_space() {
+        let mut rng = TestRng::from_seed(12);
+        let strategy = "[a-zA-Z0-9 _.-]{0,12}";
+        for _ in 0..500 {
+            let s = strategy.generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_range_with_newline_escape() {
+        let mut rng = TestRng::from_seed(13);
+        let strategy = "[ -~\n]{0,120}";
+        let mut saw_newline = false;
+        for _ in 0..2000 {
+            let s = strategy.generate(&mut rng);
+            assert!(s.len() <= 120);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c) || c == '\n', "bad char {c:?}");
+                saw_newline |= c == '\n';
+            }
+        }
+        assert!(saw_newline, "newline alternative never drawn");
+    }
+
+    #[test]
+    fn printable_class_pc() {
+        let mut rng = TestRng::from_seed(14);
+        let strategy = "\\PC{0,80}";
+        for _ in 0..500 {
+            let s = strategy.generate(&mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_quantifier_and_literals() {
+        let mut rng = TestRng::from_seed(15);
+        let s = "ab[01]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c == '0' || c == '1'));
+    }
+}

@@ -46,9 +46,18 @@ impl GeneratorSpec {
             .zip(&counts)
             .map(|(&d, &c)| shrink(d).min(c))
             .collect();
-        let fan: Vec<usize> = profile.fan.iter().map(|&f| (f.round() as usize).max(1)).collect();
+        let fan: Vec<usize> = profile
+            .fan
+            .iter()
+            .map(|&f| (f.round() as usize).max(1))
+            .collect();
         let sizes: Vec<usize> = profile.size.iter().map(|&s| (s as usize).max(1)).collect();
-        GeneratorSpec { counts, defined, fan, sizes }
+        GeneratorSpec {
+            counts,
+            defined,
+            fan,
+            sizes,
+        }
     }
 
     /// Path length `n`.
@@ -61,7 +70,11 @@ impl GeneratorSpec {
 /// and sizes are preserved).  Used to validate model shapes empirically at
 /// laptop scale.
 pub fn scale_profile(profile: &Profile, factor: f64) -> Profile {
-    let scaled_c: Vec<f64> = profile.c.iter().map(|&c| (c / factor).round().max(1.0)).collect();
+    let scaled_c: Vec<f64> = profile
+        .c
+        .iter()
+        .map(|&c| (c / factor).round().max(1.0))
+        .collect();
     let scaled_d: Vec<f64> = profile
         .d
         .iter()
@@ -104,12 +117,16 @@ fn chain_schema(spec: &GeneratorSpec) -> (Schema, String) {
             let attr = format!("A{}", l + 1);
             let target = if spec.fan[l] > 1 {
                 let set_name = format!("S{}", l + 1);
-                schema.define_set(&set_name, &format!("T{}", l + 1)).unwrap();
+                schema
+                    .define_set(&set_name, &format!("T{}", l + 1))
+                    .unwrap();
                 set_name
             } else {
                 format!("T{}", l + 1)
             };
-            schema.define_tuple(&tname, [(attr.as_str(), target.as_str())]).unwrap();
+            schema
+                .define_tuple(&tname, [(attr.as_str(), target.as_str())])
+                .unwrap();
             dotted.push('.');
             dotted.push_str(&format!("A{}", l + 1));
         } else {
@@ -151,24 +168,30 @@ pub fn generate(spec: &GeneratorSpec, seed: u64) -> GeneratedBase {
         owners.truncate(spec.defined[l].min(levels[l].len()));
         let mut level_sets = vec![None; levels[l].len()];
         for owner in owners {
-            let idx = levels[l].iter().position(|&o| o == owner).expect("owner in level");
+            let idx = levels[l]
+                .iter()
+                .position(|&o| o == owner)
+                .expect("owner in level");
             let targets = sample_targets(&levels[l + 1], spec.fan[l], &mut rng);
             if is_set {
                 let set = base.instantiate(&format!("S{}", l + 1)).expect("set type");
-                base.set_attribute(owner, &attr, Value::Ref(set)).expect("typed");
+                base.set_attribute(owner, &attr, Value::Ref(set))
+                    .expect("typed");
                 for t in targets {
                     base.insert_into_set(set, Value::Ref(t)).expect("typed");
                 }
                 level_sets[idx] = Some(set);
             } else {
-                base.set_attribute(owner, &attr, Value::Ref(targets[0])).expect("typed");
+                base.set_attribute(owner, &attr, Value::Ref(targets[0]))
+                    .expect("typed");
             }
         }
         sets.push(level_sets);
     }
     // Tag the terminal level so values exist for value-targeted queries.
     for (i, &o) in levels[n].iter().enumerate() {
-        base.set_attribute(o, "Tag", Value::Integer(i as i64)).expect("typed");
+        base.set_attribute(o, "Tag", Value::Integer(i as i64))
+            .expect("typed");
     }
 
     // Wrap in a Database with properly sized clustered files.
@@ -187,7 +210,12 @@ pub fn generate(spec: &GeneratorSpec, seed: u64) -> GeneratedBase {
     store.sync_with_base(&base).expect("sync");
     let db = Database::from_parts(base, store, stats);
 
-    GeneratedBase { db, path, levels, sets }
+    GeneratedBase {
+        db,
+        path,
+        levels,
+        sets,
+    }
 }
 
 fn asr_pagesim_stats() -> asr_pagesim::StatsHandle {
@@ -234,8 +262,7 @@ mod tests {
         // Exactly d_l owners have the attribute defined.
         for l in 0..4 {
             let attr = format!("A{}", l + 1);
-            let defined = g
-                .levels[l]
+            let defined = g.levels[l]
                 .iter()
                 .filter(|&&o| !g.db.base().get_attribute(o, &attr).unwrap().is_null())
                 .count();
@@ -258,7 +285,10 @@ mod tests {
         // Different seeds differ (overwhelmingly likely).
         let c = generate(&spec, 8);
         let rc = c.db.forward_unindexed(&c.path, 0, 4, start).unwrap();
-        assert!(ra != rc || a.db.base().object_count() == 5, "seed must matter");
+        assert!(
+            ra != rc || a.db.base().object_count() == 5,
+            "seed must matter"
+        );
     }
 
     #[test]
@@ -278,13 +308,15 @@ mod tests {
         let spec = small_spec();
         let mut g = generate(&spec, 3);
         let m = g.path.arity(false) - 1;
-        let id = g
-            .db
-            .create_asr(g.path.clone(), AsrConfig {
-                extension: Extension::Full,
-                decomposition: Decomposition::binary(m),
-                keep_set_oids: false,
-            })
+        let id =
+            g.db.create_asr(
+                g.path.clone(),
+                AsrConfig {
+                    extension: Extension::Full,
+                    decomposition: Decomposition::binary(m),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
         // Supported and naive answers agree on a backward query.
         let target = Cell::Oid(g.levels[4][0]);

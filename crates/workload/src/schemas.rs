@@ -39,11 +39,17 @@ impl ExampleDb {
 pub fn robot_database() -> ExampleDb {
     let mut s = Schema::new();
     s.define_set("ROBOT_SET", "ROBOT").unwrap();
-    s.define_tuple("ROBOT", [("Name", "STRING"), ("Arm", "ARM")]).unwrap();
-    s.define_tuple("ARM", [("Kinematics", "STRING"), ("MountedTool", "TOOL")]).unwrap();
-    s.define_tuple("TOOL", [("Function", "STRING"), ("ManufacturedBy", "MANUFACTURER")])
+    s.define_tuple("ROBOT", [("Name", "STRING"), ("Arm", "ARM")])
         .unwrap();
-    s.define_tuple("MANUFACTURER", [("Name", "STRING"), ("Location", "STRING")]).unwrap();
+    s.define_tuple("ARM", [("Kinematics", "STRING"), ("MountedTool", "TOOL")])
+        .unwrap();
+    s.define_tuple(
+        "TOOL",
+        [("Function", "STRING"), ("ManufacturedBy", "MANUFACTURER")],
+    )
+    .unwrap();
+    s.define_tuple("MANUFACTURER", [("Name", "STRING"), ("Location", "STRING")])
+        .unwrap();
     s.validate().unwrap();
     let path = PathExpression::parse(&s, "ROBOT.Arm.MountedTool.ManufacturedBy.Location").unwrap();
     let mut db = Database::new(s);
@@ -60,24 +66,36 @@ pub fn robot_database() -> ExampleDb {
     let robi = db.instantiate("ROBOT").unwrap();
     let arm3 = db.instantiate("ARM").unwrap();
 
-    db.set_attribute(r2d2, "Name", Value::string("R2D2")).unwrap();
+    db.set_attribute(r2d2, "Name", Value::string("R2D2"))
+        .unwrap();
     db.set_attribute(r2d2, "Arm", Value::Ref(arm1)).unwrap();
-    db.set_attribute(arm1, "MountedTool", Value::Ref(welder)).unwrap();
-    db.set_attribute(welder, "Function", Value::string("welding")).unwrap();
-    db.set_attribute(welder, "ManufacturedBy", Value::Ref(robclone)).unwrap();
-    db.set_attribute(robclone, "Name", Value::string("RobClone")).unwrap();
-    db.set_attribute(robclone, "Location", Value::string("Utopia")).unwrap();
+    db.set_attribute(arm1, "MountedTool", Value::Ref(welder))
+        .unwrap();
+    db.set_attribute(welder, "Function", Value::string("welding"))
+        .unwrap();
+    db.set_attribute(welder, "ManufacturedBy", Value::Ref(robclone))
+        .unwrap();
+    db.set_attribute(robclone, "Name", Value::string("RobClone"))
+        .unwrap();
+    db.set_attribute(robclone, "Location", Value::string("Utopia"))
+        .unwrap();
 
-    db.set_attribute(x4d5, "Name", Value::string("X4D5")).unwrap();
+    db.set_attribute(x4d5, "Name", Value::string("X4D5"))
+        .unwrap();
     db.set_attribute(x4d5, "Arm", Value::Ref(arm2)).unwrap();
-    db.set_attribute(arm2, "MountedTool", Value::Ref(gripper)).unwrap();
-    db.set_attribute(gripper, "Function", Value::string("gripping")).unwrap();
-    db.set_attribute(gripper, "ManufacturedBy", Value::Ref(robclone)).unwrap();
+    db.set_attribute(arm2, "MountedTool", Value::Ref(gripper))
+        .unwrap();
+    db.set_attribute(gripper, "Function", Value::string("gripping"))
+        .unwrap();
+    db.set_attribute(gripper, "ManufacturedBy", Value::Ref(robclone))
+        .unwrap();
 
-    db.set_attribute(robi, "Name", Value::string("Robi")).unwrap();
+    db.set_attribute(robi, "Name", Value::string("Robi"))
+        .unwrap();
     db.set_attribute(robi, "Arm", Value::Ref(arm3)).unwrap();
     // Robi shares X4D5's gripping tool (shared subobject i7).
-    db.set_attribute(arm3, "MountedTool", Value::Ref(gripper)).unwrap();
+    db.set_attribute(arm3, "MountedTool", Value::Ref(gripper))
+        .unwrap();
 
     let our_robots = db.instantiate("ROBOT_SET").unwrap();
     for r in [r2d2, x4d5, robi] {
@@ -95,11 +113,20 @@ pub fn robot_database() -> ExampleDb {
 pub fn company_database() -> ExampleDb {
     let mut s = Schema::new();
     s.define_set("Company", "Division").unwrap();
-    s.define_tuple("Division", [("Name", "STRING"), ("Manufactures", "ProdSET")]).unwrap();
+    s.define_tuple(
+        "Division",
+        [("Name", "STRING"), ("Manufactures", "ProdSET")],
+    )
+    .unwrap();
     s.define_set("ProdSET", "Product").unwrap();
-    s.define_tuple("Product", [("Name", "STRING"), ("Composition", "BasePartSET")]).unwrap();
+    s.define_tuple(
+        "Product",
+        [("Name", "STRING"), ("Composition", "BasePartSET")],
+    )
+    .unwrap();
     s.define_set("BasePartSET", "BasePart").unwrap();
-    s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")]).unwrap();
+    s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")])
+        .unwrap();
     s.validate().unwrap();
     let path = PathExpression::parse(&s, "Division.Manufactures.Composition.Name").unwrap();
     let mut db = Database::new(s);
@@ -121,28 +148,43 @@ pub fn company_database() -> ExampleDb {
     for d in [auto, truck, space] {
         db.insert_into_set(mercedes, Value::Ref(d)).unwrap();
     }
-    db.set_attribute(auto, "Name", Value::string("Auto")).unwrap();
-    db.set_attribute(auto, "Manufactures", Value::Ref(prods_auto)).unwrap();
-    db.set_attribute(truck, "Name", Value::string("Truck")).unwrap();
-    db.set_attribute(truck, "Manufactures", Value::Ref(prods_truck)).unwrap();
-    db.set_attribute(space, "Name", Value::string("Space")).unwrap();
+    db.set_attribute(auto, "Name", Value::string("Auto"))
+        .unwrap();
+    db.set_attribute(auto, "Manufactures", Value::Ref(prods_auto))
+        .unwrap();
+    db.set_attribute(truck, "Name", Value::string("Truck"))
+        .unwrap();
+    db.set_attribute(truck, "Manufactures", Value::Ref(prods_truck))
+        .unwrap();
+    db.set_attribute(space, "Name", Value::string("Space"))
+        .unwrap();
 
     db.insert_into_set(prods_auto, Value::Ref(sec)).unwrap();
     db.insert_into_set(prods_truck, Value::Ref(sec)).unwrap();
     db.insert_into_set(prods_truck, Value::Ref(trak)).unwrap();
 
-    db.set_attribute(sec, "Name", Value::string("560 SEC")).unwrap();
-    db.set_attribute(sec, "Composition", Value::Ref(parts_sec)).unwrap();
-    db.set_attribute(trak, "Name", Value::string("MB Trak")).unwrap();
-    db.set_attribute(sausage, "Name", Value::string("Sausage")).unwrap();
-    db.set_attribute(sausage, "Composition", Value::Ref(parts_sausage)).unwrap();
+    db.set_attribute(sec, "Name", Value::string("560 SEC"))
+        .unwrap();
+    db.set_attribute(sec, "Composition", Value::Ref(parts_sec))
+        .unwrap();
+    db.set_attribute(trak, "Name", Value::string("MB Trak"))
+        .unwrap();
+    db.set_attribute(sausage, "Name", Value::string("Sausage"))
+        .unwrap();
+    db.set_attribute(sausage, "Composition", Value::Ref(parts_sausage))
+        .unwrap();
 
     db.insert_into_set(parts_sec, Value::Ref(door)).unwrap();
-    db.insert_into_set(parts_sausage, Value::Ref(pepper)).unwrap();
-    db.set_attribute(door, "Name", Value::string("Door")).unwrap();
-    db.set_attribute(door, "Price", Value::decimal(1205, 50)).unwrap();
-    db.set_attribute(pepper, "Name", Value::string("Pepper")).unwrap();
-    db.set_attribute(pepper, "Price", Value::decimal(0, 12)).unwrap();
+    db.insert_into_set(parts_sausage, Value::Ref(pepper))
+        .unwrap();
+    db.set_attribute(door, "Name", Value::string("Door"))
+        .unwrap();
+    db.set_attribute(door, "Price", Value::decimal(1205, 50))
+        .unwrap();
+    db.set_attribute(pepper, "Name", Value::string("Pepper"))
+        .unwrap();
+    db.set_attribute(pepper, "Price", Value::decimal(0, 12))
+        .unwrap();
 
     db.bind_variable("Mercedes", Value::Ref(mercedes));
 
@@ -159,21 +201,36 @@ mod tests {
         let mut ex = robot_database();
         let id = ex
             .db
-            .create_asr(ex.path.clone(), AsrConfig {
-                extension: Extension::Canonical,
-                decomposition: Decomposition::binary(4),
-                keep_set_oids: false,
-            })
+            .create_asr(
+                ex.path.clone(),
+                AsrConfig {
+                    extension: Extension::Canonical,
+                    decomposition: Decomposition::binary(4),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
-        let hits =
-            ex.db.backward(id, 0, 4, &Cell::Value(Value::string("Utopia"))).unwrap();
+        let hits = ex
+            .db
+            .backward(id, 0, 4, &Cell::Value(Value::string("Utopia")))
+            .unwrap();
         let names: Vec<String> = hits
             .iter()
             .map(|&o| {
-                ex.db.base().get_attribute(o, "Name").unwrap().as_str().unwrap().to_string()
+                ex.db
+                    .base()
+                    .get_attribute(o, "Name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
             })
             .collect();
-        assert_eq!(names.len(), 3, "all three robots use RobClone tools: {names:?}");
+        assert_eq!(
+            names.len(),
+            3,
+            "all three robots use RobClone tools: {names:?}"
+        );
     }
 
     #[test]
@@ -181,13 +238,19 @@ mod tests {
         let mut ex = company_database();
         let id = ex
             .db
-            .create_asr(ex.path.clone(), AsrConfig {
-                extension: Extension::Full,
-                decomposition: Decomposition::binary(3),
-                keep_set_oids: false,
-            })
+            .create_asr(
+                ex.path.clone(),
+                AsrConfig {
+                    extension: Extension::Full,
+                    decomposition: Decomposition::binary(3),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
-        let hits = ex.db.backward(id, 0, 3, &Cell::Value(Value::string("Door"))).unwrap();
+        let hits = ex
+            .db
+            .backward(id, 0, 3, &Cell::Value(Value::string("Door")))
+            .unwrap();
         assert_eq!(hits.len(), 2, "Auto and Truck both reach Door");
         assert!(hits.contains(&ex.by_name("Auto").unwrap()));
         assert!(hits.contains(&ex.by_name("Truck").unwrap()));

@@ -143,8 +143,7 @@ pub fn generate_trace(
                 }
                 let owner_idx = owners[rng.gen_range(0..owners.len())];
                 let owner = generated.levels[i][owner_idx];
-                let elem = generated.levels[i + 1]
-                    [rng.gen_range(0..generated.levels[i + 1].len())];
+                let elem = generated.levels[i + 1][rng.gen_range(0..generated.levels[i + 1].len())];
                 trace.push(TraceOp::Insert { i, owner, elem });
             }
         }
@@ -183,8 +182,10 @@ pub fn execute_trace(
             }
             TraceOp::Insert { i, owner, elem } => {
                 let attr = format!("A{}", i + 1);
-                if let Ok(Some(set)) =
-                    db.base().get_attribute(*owner, &attr).map(|v| v.as_ref_oid())
+                if let Ok(Some(set)) = db
+                    .base()
+                    .get_attribute(*owner, &attr)
+                    .map(|v| v.as_ref_oid())
                 {
                     let _ = db.insert_into_set(set, Value::Ref(*elem));
                 }
@@ -237,11 +238,12 @@ mod tests {
     #[test]
     fn executing_against_asr_is_cheaper_than_unindexed() {
         let g1 = setup();
-        let trace = generate_trace(&g1, &Mix::new(
-            vec![(1.0, Op::bw(0, 3))],
-            vec![],
-            0.0,
-        ), 20, 7);
+        let trace = generate_trace(
+            &g1,
+            &Mix::new(vec![(1.0, Op::bw(0, 3))], vec![], 0.0),
+            20,
+            7,
+        );
 
         let mut unindexed = setup();
         let path = unindexed.path.clone();
@@ -251,11 +253,14 @@ mod tests {
         let m = indexed.path.arity(false) - 1;
         let id = indexed
             .db
-            .create_asr(indexed.path.clone(), AsrConfig {
-                extension: Extension::Full,
-                decomposition: Decomposition::binary(m),
-                keep_set_oids: false,
-            })
+            .create_asr(
+                indexed.path.clone(),
+                AsrConfig {
+                    extension: Extension::Full,
+                    decomposition: Decomposition::binary(m),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
         indexed.db.stats().reset();
         let path = indexed.path.clone();

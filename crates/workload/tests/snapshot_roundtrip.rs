@@ -14,13 +14,15 @@ fn generated_database_round_trips_through_snapshots() {
     };
     let mut g = generate(&spec, 99);
     let m = g.path.arity(false) - 1;
-    let id = g
-        .db
-        .create_asr(g.path.clone(), AsrConfig {
-            extension: Extension::Full,
-            decomposition: Decomposition::binary(m),
-            keep_set_oids: false,
-        })
+    let id =
+        g.db.create_asr(
+            g.path.clone(),
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
 
     let text = g.db.save_to_string();
@@ -31,7 +33,10 @@ fn generated_database_round_trips_through_snapshots() {
     // Every rebuilt partition matches the original's logical content.
     let orig = g.db.asr(id).unwrap();
     let (rid, rasr) = restored.asrs().next().unwrap();
-    assert!(orig.full_rows().eq(rasr.full_rows()), "extensions identical after restore");
+    assert!(
+        orig.full_rows().eq(rasr.full_rows()),
+        "extensions identical after restore"
+    );
 
     // Spot-check queries across the restored database.
     for &target in g.levels[4].iter().step_by(311) {
@@ -47,7 +52,11 @@ fn generated_database_round_trips_through_snapshots() {
 
     // Snapshot sizes stay linear in the database (sanity: no quadratic
     // blowup from escaping).
-    assert!(text.len() < 400_000, "snapshot unexpectedly large: {} bytes", text.len());
+    assert!(
+        text.len() < 400_000,
+        "snapshot unexpectedly large: {} bytes",
+        text.len()
+    );
 }
 
 #[test]
@@ -60,11 +69,14 @@ fn restored_generated_database_keeps_maintaining() {
     };
     let mut g = generate(&spec, 5);
     let m = g.path.arity(false) - 1;
-    g.db.create_asr(g.path.clone(), AsrConfig {
-        extension: Extension::LeftComplete,
-        decomposition: Decomposition::none(m),
-        keep_set_oids: false,
-    })
+    g.db.create_asr(
+        g.path.clone(),
+        AsrConfig {
+            extension: Extension::LeftComplete,
+            decomposition: Decomposition::none(m),
+            keep_set_oids: false,
+        },
+    )
     .unwrap();
     let mut restored = Database::load_from_string(&g.db.save_to_string()).unwrap();
 
@@ -80,9 +92,16 @@ fn restored_generated_database_keeps_maintaining() {
         })
         .copied()
         .expect("some owner has a set");
-    let set = restored.base().get_attribute(owner, "A3").unwrap().as_ref_oid().unwrap();
+    let set = restored
+        .base()
+        .get_attribute(owner, "A3")
+        .unwrap()
+        .as_ref_oid()
+        .unwrap();
     let elem = restored.instantiate("T3").unwrap();
-    restored.insert_into_set(set, asr_gom::Value::Ref(elem)).unwrap();
+    restored
+        .insert_into_set(set, asr_gom::Value::Ref(elem))
+        .unwrap();
 
     let (_, asr) = restored.asrs().next().unwrap();
     asr.check_consistency().unwrap();

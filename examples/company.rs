@@ -10,7 +10,11 @@ use access_support::prelude::*;
 fn main() {
     let example = company_database();
     let path = example.path.clone();
-    println!("path: {path}  (n = {}, set occurrences k = {})", path.len(), path.set_occurrences());
+    println!(
+        "path: {path}  (n = {}, set occurrences k = {})",
+        path.len(),
+        path.set_occurrences()
+    );
 
     // ------------------------------------------------------------------
     // The auxiliary relations E_0, E_1, E_2 of Definition 3.3 (with set
@@ -42,7 +46,10 @@ fn main() {
     let full = Extension::Full.compute(&aux).unwrap();
     let dec = Decomposition::new(vec![0, 3, 5]).unwrap();
     let parts = dec.decompose(&full).unwrap();
-    println!("\ndecomposition {dec}: partition sizes {:?}", parts.iter().map(|p| p.len()).collect::<Vec<_>>());
+    println!(
+        "\ndecomposition {dec}: partition sizes {:?}",
+        parts.iter().map(|p| p.len()).collect::<Vec<_>>()
+    );
     let reassembled = dec.reassemble(&parts, Extension::Full).unwrap();
     assert_eq!(reassembled, full);
     println!("reassembled == original: lossless ✓");

@@ -36,13 +36,15 @@ fn main() {
     for ext in Extension::ALL {
         let mut g = generate(&spec, 7);
         let m = g.path.arity(false) - 1;
-        let id = g
-            .db
-            .create_asr(g.path.clone(), AsrConfig {
-                extension: ext,
-                decomposition: Decomposition::binary(m),
-                keep_set_oids: false,
-            })
+        let id =
+            g.db.create_asr(
+                g.path.clone(),
+                AsrConfig {
+                    extension: ext,
+                    decomposition: Decomposition::binary(m),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
 
         // The same 25 insertions for every extension: attach fresh

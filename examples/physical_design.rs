@@ -12,19 +12,26 @@
 //!
 //! Run with: `cargo run --release --example physical_design`
 
-use access_support::costmodel::profiles;
 use access_support::costmodel::design::rank_designs;
+use access_support::costmodel::profiles;
 use access_support::prelude::*;
 use access_support::workload::scale_profile;
 
 fn main() {
     let model = profiles::fig14_profile();
-    println!("application profile: n = {}, c = {:?}", model.n(), model.profile.c);
+    println!(
+        "application profile: n = {}, c = {:?}",
+        model.n(),
+        model.profile.c
+    );
 
     // ------------------------------------------------------------------
     // Sweep the update probability and ask the optimizer.
     // ------------------------------------------------------------------
-    println!("\n{:>6} | {:<22} | {:>12} | {:>14}", "P_up", "best design", "cost/op", "storage bytes");
+    println!(
+        "\n{:>6} | {:<22} | {:>12} | {:>14}",
+        "P_up", "best design", "cost/op", "storage bytes"
+    );
     println!("{}", "-".repeat(64));
     for p_up in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
         let mix = profiles::fig14_mix(p_up);
@@ -59,7 +66,10 @@ fn main() {
     };
     let scaled = scale_profile(&model.profile, 20.0);
     let spec = GeneratorSpec::from_profile(&scaled, 1.0);
-    println!("\nvalidating on a 1/20-scale database (counts {:?}) ...", spec.counts);
+    println!(
+        "\nvalidating on a 1/20-scale database (counts {:?}) ...",
+        spec.counts
+    );
 
     let ext_core = match ext {
         Ext::Canonical => Extension::Canonical,
@@ -80,11 +90,14 @@ fn main() {
     let dec = Decomposition::new(best.decomposition.0.clone()).unwrap();
     let id = tuned
         .db
-        .create_asr(tuned.path.clone(), AsrConfig {
-            extension: ext_core,
-            decomposition: dec,
-            keep_set_oids: false,
-        })
+        .create_asr(
+            tuned.path.clone(),
+            AsrConfig {
+                extension: ext_core,
+                decomposition: dec,
+                keep_set_oids: false,
+            },
+        )
         .unwrap();
     tuned.db.stats().reset();
     let path = tuned.path.clone();

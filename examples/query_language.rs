@@ -16,15 +16,27 @@ fn main() {
                 from r in OurRobots
                 where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia""#;
     println!("--- Query 1 ---\n{q1}\n");
-    println!("plan without access support:\n{}", oql_explain(&robots.db, q1).unwrap());
+    println!(
+        "plan without access support:\n{}",
+        oql_explain(&robots.db, q1).unwrap()
+    );
     robots.db.stats().reset();
     let result = oql_execute(&robots.db, q1).unwrap();
-    println!("result ({} page accesses):\n{result}", robots.db.stats().accesses());
+    println!(
+        "result ({} page accesses):\n{result}",
+        robots.db.stats().accesses()
+    );
 
     // Register an ASR over the predicate's path and watch the plan change.
     let path = robots.path.clone();
-    robots.db.create_asr(path.clone(), AsrConfig::binary(Extension::Canonical, &path)).unwrap();
-    println!("plan with a canonical ASR:\n{}", oql_explain(&robots.db, q1).unwrap());
+    robots
+        .db
+        .create_asr(path.clone(), AsrConfig::binary(Extension::Canonical, &path))
+        .unwrap();
+    println!(
+        "plan with a canonical ASR:\n{}",
+        oql_explain(&robots.db, q1).unwrap()
+    );
     robots.db.stats().reset();
     let indexed = oql_execute(&robots.db, q1).unwrap();
     println!(

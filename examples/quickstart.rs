@@ -38,7 +38,10 @@ fn main() {
     //    (whole-chain queries only), binary decomposition.
     // ------------------------------------------------------------------
     let config = AsrConfig::binary(Extension::Canonical, &path);
-    let asr_id = example.db.create_asr(path.clone(), config).expect("ASR builds");
+    let asr_id = example
+        .db
+        .create_asr(path.clone(), config)
+        .expect("ASR builds");
     {
         let asr = example.db.asr(asr_id).unwrap();
         println!(
@@ -77,12 +80,27 @@ fn main() {
         .as_ref_oid()
         .expect("Robi has an arm");
     let local_mfr = example.db.instantiate("MANUFACTURER").unwrap();
-    example.db.set_attribute(local_mfr, "Name", Value::string("LocalCorp")).unwrap();
-    example.db.set_attribute(local_mfr, "Location", Value::string("Earth")).unwrap();
+    example
+        .db
+        .set_attribute(local_mfr, "Name", Value::string("LocalCorp"))
+        .unwrap();
+    example
+        .db
+        .set_attribute(local_mfr, "Location", Value::string("Earth"))
+        .unwrap();
     let drill = example.db.instantiate("TOOL").unwrap();
-    example.db.set_attribute(drill, "Function", Value::string("drilling")).unwrap();
-    example.db.set_attribute(drill, "ManufacturedBy", Value::Ref(local_mfr)).unwrap();
-    example.db.set_attribute(arm, "MountedTool", Value::Ref(drill)).unwrap();
+    example
+        .db
+        .set_attribute(drill, "Function", Value::string("drilling"))
+        .unwrap();
+    example
+        .db
+        .set_attribute(drill, "ManufacturedBy", Value::Ref(local_mfr))
+        .unwrap();
+    example
+        .db
+        .set_attribute(arm, "MountedTool", Value::Ref(drill))
+        .unwrap();
 
     let hits_after = example
         .db

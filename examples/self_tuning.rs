@@ -19,13 +19,20 @@ fn main() {
     };
     let mut g = generate(&spec, 2024);
     let path = g.path.clone();
-    println!("database : {} objects over path {path}", g.db.base().object_count());
+    println!(
+        "database : {} objects over path {path}",
+        g.db.base().object_count()
+    );
 
     // ------------------------------------------------------------------
     // Phase 1: run the application unindexed while recording usage.
     // ------------------------------------------------------------------
     let mix = Mix::new(
-        vec![(0.7, Op::bw(0, 4)), (0.2, Op::fw(0, 4)), (0.1, Op::bw(0, 3))],
+        vec![
+            (0.7, Op::bw(0, 4)),
+            (0.2, Op::fw(0, 4)),
+            (0.1, Op::bw(0, 3)),
+        ],
         vec![(1.0, Op::ins(3))],
         0.15,
     );
@@ -64,7 +71,10 @@ fn main() {
     // ------------------------------------------------------------------
     // Phase 3: apply the recommendation and replay the workload.
     // ------------------------------------------------------------------
-    let id = advice.apply(&mut g.db).expect("apply").expect("support recommended");
+    let id = advice
+        .apply(&mut g.db)
+        .expect("apply")
+        .expect("support recommended");
     let trace2 = generate_trace(&g, &mix, 120, 10);
     g.db.stats().reset();
     let after = execute_trace(&mut g.db, Some(id), &path, &trace2);

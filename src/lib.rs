@@ -22,7 +22,11 @@
 //!   against registered ASRs, and executed;
 //! * [`advisor`] — the Section-7 vision: derive the application profile
 //!   from the live base, record the usage pattern, and (semi-)
-//!   automatically adjust the physical design.
+//!   automatically adjust the physical design;
+//! * [`obs`] — the zero-dependency tracing and metrics layer (nested
+//!   spans with per-span I/O deltas, counters/gauges/histograms, and
+//!   pluggable event sinks) that powers `EXPLAIN ANALYZE` and the
+//!   per-structure I/O attribution in `\stats`.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +56,7 @@ pub use asr_advisor as advisor;
 pub use asr_core as asr;
 pub use asr_costmodel as costmodel;
 pub use asr_gom as gom;
+pub use asr_obs as obs;
 pub use asr_oql as oql;
 pub use asr_pagesim as pagesim;
 pub use asr_workload as workload;
@@ -60,18 +65,20 @@ pub mod shell;
 
 /// Convenience re-exports covering the common API surface.
 pub mod prelude {
+    pub use asr_advisor::{advise, derive_profile, UsageRecorder};
     pub use asr_core::{
         AccessSupportRelation, AsrConfig, AsrId, Cell, Database, Decomposition, Extension,
         ObjectStore, Relation, Row,
     };
     pub use asr_costmodel::{best_design, CostModel, Dec, Ext, Mix, Op, Profile, QueryKind};
     pub use asr_gom::{ObjectBase, Oid, PathExpression, Schema, Value};
-    pub use asr_advisor::{advise, derive_profile, UsageRecorder};
-    pub use asr_oql::{execute as oql_execute, explain as oql_explain};
+    pub use asr_obs::{MetricsRegistry, RingBufferSink, Tracer};
+    pub use asr_oql::{
+        execute as oql_execute, explain as oql_explain, explain_analyze as oql_explain_analyze,
+    };
     pub use asr_pagesim::{BPlusTree, ClusteredFile, IoStats, PAGE_SIZE};
     pub use asr_workload::{
-        company_database, execute_trace, generate, generate_trace, robot_database,
-        GeneratorSpec,
+        company_database, execute_trace, generate, generate_trace, robot_database, GeneratorSpec,
     };
 }
 

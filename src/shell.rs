@@ -10,21 +10,31 @@
 //! \asrs                    list access support relations
 //! \drop <id>               drop one
 //! \explain <query>         show the evaluation plan
+//! \analyze <query>         EXPLAIN ANALYZE: run it, measured vs predicted
 //! \advise <path> [p_up]    run the physical-design advisor
 //! \save <file> / \load <file>   snapshot persistence
 //! \stats / \reset          page-access accounting
+//! \trace on|off|show       capture finished spans in a ring buffer
 //! \help / \quit
 //! ```
 //!
 //! The command interpreter is a pure function over [`ShellState`], which
 //! keeps it unit-testable; the binary `asrdb` wraps it in a stdin loop.
+//!
+//! The session's [`UsageRecorder`] is *subscribed* to the database's
+//! trace stream (see `asr_advisor::RecorderSink`): the query layer
+//! announces every span query it performs as a `usage.*` event, and the
+//! advisor consumes those tallies in `\advise`.
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::rc::Rc;
 
-use asr_advisor::{advise, UsageRecorder};
+use asr_advisor::{advise, RecorderSink, UsageRecorder};
 
 use asr_core::{AsrConfig, Database, Decomposition, Extension};
 use asr_gom::PathExpression;
+use asr_obs::{RingBufferSink, SinkId};
 use asr_oql as oql;
 use asr_workload::{company_database, robot_database};
 
@@ -35,9 +45,12 @@ pub struct ShellState {
     pub db: Option<Database>,
     /// Name of what was opened (diagnostics).
     pub origin: String,
-    /// Observed usage, recorded from executed queries and updates; feeds
+    /// Observed usage, fed by the trace-stream subscription; feeds
     /// `\advise` when non-empty.
-    pub recorder: UsageRecorder,
+    pub recorder: Rc<RefCell<UsageRecorder>>,
+    /// The `\trace` ring buffer, while tracing is on.  The [`SinkId`] is
+    /// `None` when tracing was enabled before any database was open.
+    trace: Option<(Option<SinkId>, Rc<RingBufferSink>)>,
     /// Should the REPL terminate?
     pub done: bool,
 }
@@ -49,11 +62,28 @@ impl ShellState {
     }
 
     fn db(&self) -> Result<&Database, String> {
-        self.db.as_ref().ok_or_else(|| "no database open — try `\\open company`".to_string())
+        self.db
+            .as_ref()
+            .ok_or_else(|| "no database open — try `\\open company`".to_string())
     }
 
     fn db_mut(&mut self) -> Result<&mut Database, String> {
-        self.db.as_mut().ok_or_else(|| "no database open — try `\\open company`".to_string())
+        self.db
+            .as_mut()
+            .ok_or_else(|| "no database open — try `\\open company`".to_string())
+    }
+
+    /// Install `db` as the open database, subscribing the session's usage
+    /// recorder (and re-attaching the trace ring if tracing was on).
+    fn install_db(&mut self, db: Database, origin: &str) {
+        db.tracer()
+            .add_sink(Rc::new(RecorderSink::new(Rc::clone(&self.recorder))));
+        if let Some((_, ring)) = self.trace.take() {
+            let id = db.tracer().add_sink(ring.clone());
+            self.trace = Some((Some(id), ring));
+        }
+        self.db = Some(db);
+        self.origin = origin.to_string();
     }
 }
 
@@ -93,6 +123,11 @@ fn run_command(state: &mut ShellState, input: &str) -> Result<String, String> {
             let db = state.db()?;
             oql::explain(db, rest).map_err(|e| e.to_string())
         }
+        "analyze" => {
+            let db = state.db()?;
+            let report = oql::explain_analyze(db, rest).map_err(|e| e.to_string())?;
+            Ok(format!("{}{}", report.result, report.render()))
+        }
         "advise" => cmd_advise(state, rest),
         "save" => {
             let db = state.db()?;
@@ -106,26 +141,26 @@ fn run_command(state: &mut ShellState, input: &str) -> Result<String, String> {
                 db.base().object_count(),
                 db.asrs().count()
             );
-            state.db = Some(db);
-            state.origin = rest.to_string();
+            state.install_db(db, rest);
             Ok(summary)
         }
-        "stats" => {
-            let db = state.db()?;
-            Ok(format!("page accesses: {}", db.stats()))
-        }
+        "stats" => cmd_stats(state),
         "reset" => {
             let db = state.db()?;
             db.stats().reset();
             Ok("counters reset".to_string())
         }
+        "trace" => cmd_trace(state, rest),
         other => Err(format!("unknown command `\\{other}` — try `\\help`")),
     }
 }
 
 fn cmd_open(state: &mut ShellState, which: &str) -> Result<String, String> {
     let (db, desc) = match which {
-        "company" => (company_database().db, "the paper's Figure 2 company database"),
+        "company" => (
+            company_database().db,
+            "the paper's Figure 2 company database",
+        ),
         "robots" | "robot" => (robot_database().db, "the paper's Figure 1 robot database"),
         other => {
             return Err(format!(
@@ -134,9 +169,108 @@ fn cmd_open(state: &mut ShellState, which: &str) -> Result<String, String> {
         }
     };
     let summary = format!("opened {desc} ({} objects)", db.base().object_count());
-    state.db = Some(db);
-    state.origin = which.to_string();
+    state.install_db(db, which);
     Ok(summary)
+}
+
+fn cmd_stats(state: &ShellState) -> Result<String, String> {
+    let db = state.db()?;
+    let stats = db.stats();
+    let (reads, writes, hits) = (stats.reads(), stats.writes(), stats.buffer_hits());
+    let requests = reads + hits;
+    let hit_rate = if requests == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / requests as f64
+    };
+    let mut out = format!(
+        "page accesses: {} ({reads} reads + {writes} writes), \
+         {hits} buffer hits ({hit_rate:.1}% hit rate)\n",
+        stats.accesses()
+    );
+    let structures = stats.structures();
+    if !structures.is_empty() {
+        let width = structures
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(0)
+            .max("structure".len());
+        let kw = structures
+            .iter()
+            .map(|s| s.kind.name().len())
+            .max()
+            .unwrap_or(0)
+            .max("kind".len());
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:<kw$} {:>8} {:>8} {:>8}",
+            "structure", "kind", "reads", "writes", "hits"
+        );
+        for s in &structures {
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:<kw$} {:>8} {:>8} {:>8}",
+                s.label,
+                s.kind.name(),
+                s.reads,
+                s.writes,
+                s.buffer_hits
+            );
+        }
+    }
+    let metrics = db.tracer().metrics().render_table();
+    if !metrics.is_empty() {
+        out.push_str(&metrics);
+    }
+    Ok(out)
+}
+
+fn cmd_trace(state: &mut ShellState, arg: &str) -> Result<String, String> {
+    match arg {
+        "on" => {
+            if state.trace.is_some() {
+                return Ok("tracing already on".to_string());
+            }
+            let ring = Rc::new(RingBufferSink::new(1024));
+            // Only attach when a database is open; install_db attaches
+            // the ring to any database opened later.
+            let id = state
+                .db
+                .as_ref()
+                .map(|db| db.tracer().add_sink(ring.clone()));
+            state.trace = Some((id, ring));
+            Ok("tracing on (ring of 1024 spans; `\\trace show` to drain)".to_string())
+        }
+        "off" => match state.trace.take() {
+            Some((id, ring)) => {
+                if let (Some(db), Some(id)) = (&state.db, id) {
+                    db.tracer().remove_sink(id);
+                }
+                Ok(format!(
+                    "tracing off ({} buffered span(s) discarded)",
+                    ring.len()
+                ))
+            }
+            None => Ok("tracing already off".to_string()),
+        },
+        "show" => match &state.trace {
+            Some((_, ring)) => {
+                let records = ring.drain();
+                if records.is_empty() {
+                    return Ok("trace buffer empty".to_string());
+                }
+                let mut out = String::new();
+                for r in &records {
+                    out.push_str(&r.to_jsonl());
+                    out.push('\n');
+                }
+                Ok(out)
+            }
+            None => Err("tracing is off — `\\trace on` first".to_string()),
+        },
+        other => Err(format!("usage: \\trace on|off|show (got `{other}`)")),
+    }
 }
 
 fn cmd_schema(state: &ShellState) -> Result<String, String> {
@@ -145,7 +279,10 @@ fn cmd_schema(state: &ShellState) -> Result<String, String> {
     let mut out = String::new();
     for (id, def) in schema.types() {
         match &def.kind {
-            asr_gom::TypeKind::Tuple { supertypes, attributes } => {
+            asr_gom::TypeKind::Tuple {
+                supertypes,
+                attributes,
+            } => {
                 let sups: Vec<&str> = supertypes.iter().map(|&s| schema.name(s)).collect();
                 let attrs: Vec<String> = attributes
                     .iter()
@@ -165,7 +302,12 @@ fn cmd_schema(state: &ShellState) -> Result<String, String> {
                 );
             }
             asr_gom::TypeKind::Set { element } => {
-                let _ = writeln!(out, "type {} is {{{}}}", def.name, schema.ref_name(*element));
+                let _ = writeln!(
+                    out,
+                    "type {} is {{{}}}",
+                    def.name,
+                    schema.ref_name(*element)
+                );
             }
             asr_gom::TypeKind::List { element } => {
                 let _ = writeln!(out, "type {} is <{}>", def.name, schema.ref_name(*element));
@@ -203,17 +345,25 @@ fn parse_decomposition(spec: &str, m: usize) -> Result<Decomposition, String> {
 fn cmd_asr(state: &mut ShellState, rest: &str) -> Result<String, String> {
     let parts: Vec<&str> = rest.split_whitespace().collect();
     let [dotted, ext, dec] = parts.as_slice() else {
-        return Err("usage: \\asr <Type.A1.A2…> <canonical|full|left|right> <binary|none|0,2,4>"
-            .to_string());
+        return Err(
+            "usage: \\asr <Type.A1.A2…> <canonical|full|left|right> <binary|none|0,2,4>"
+                .to_string(),
+        );
     };
     let db = state.db_mut()?;
-    let path =
-        PathExpression::parse(db.base().schema(), dotted).map_err(|e| e.to_string())?;
+    let path = PathExpression::parse(db.base().schema(), dotted).map_err(|e| e.to_string())?;
     let extension = parse_extension(ext)?;
     let m = path.arity(false) - 1;
     let decomposition = parse_decomposition(dec, m)?;
     let id = db
-        .create_asr(path, AsrConfig { extension, decomposition, keep_set_oids: false })
+        .create_asr(
+            path,
+            AsrConfig {
+                extension,
+                decomposition,
+                keep_set_oids: false,
+            },
+        )
         .map_err(|e| e.to_string())?;
     let asr = db.asr(id).map_err(|e| e.to_string())?;
     Ok(format!(
@@ -249,7 +399,10 @@ fn cmd_asrs(state: &ShellState) -> Result<String, String> {
 }
 
 fn cmd_drop(state: &mut ShellState, rest: &str) -> Result<String, String> {
-    let id: usize = rest.trim().parse().map_err(|_| format!("bad ASR id `{rest}`"))?;
+    let id: usize = rest
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad ASR id `{rest}`"))?;
     state.db_mut()?.drop_asr(id).map_err(|e| e.to_string())?;
     Ok(format!("dropped ASR #{id}"))
 }
@@ -262,12 +415,12 @@ fn cmd_advise(state: &mut ShellState, rest: &str) -> Result<String, String> {
         None => None,
     };
     let db = state.db()?;
-    let path =
-        PathExpression::parse(db.base().schema(), dotted).map_err(|e| e.to_string())?;
+    let path = PathExpression::parse(db.base().schema(), dotted).map_err(|e| e.to_string())?;
     let n = path.len();
     // Prefer the session's recorded usage; otherwise synthesize a
     // representative whole-chain pattern at the requested update share.
-    let (recorder, basis) = if state.recorder.is_empty() || p_up.is_some() {
+    let recorded = state.recorder.borrow();
+    let (recorder, basis) = if recorded.is_empty() || p_up.is_some() {
         let p_up = p_up.unwrap_or(0.1);
         let mut r = UsageRecorder::new();
         let ops = 1000usize;
@@ -278,18 +431,22 @@ fn cmd_advise(state: &mut ShellState, rest: &str) -> Result<String, String> {
         for _ in 0..updates {
             r.record_insert(n - 1);
         }
-        (r, format!("assumed mix: Q_{{0,{n}}}(bw) with P_up = {p_up}"))
+        (
+            r,
+            format!("assumed mix: Q_{{0,{n}}}(bw) with P_up = {p_up}"),
+        )
     } else {
         (
-            state.recorder.clone(),
+            recorded.clone(),
             format!(
                 "recorded session usage: {} queries, {} updates (P_up = {:.2})",
-                state.recorder.query_count(),
-                state.recorder.update_count(),
-                state.recorder.p_up()
+                recorded.query_count(),
+                recorded.update_count(),
+                recorded.p_up()
             ),
         )
     };
+    drop(recorded);
     let advice = advise(db, &path, &recorder).map_err(|e| e.to_string())?;
     let mut out = advice.summary(6);
     let _ = writeln!(
@@ -297,9 +454,13 @@ fn cmd_advise(state: &mut ShellState, rest: &str) -> Result<String, String> {
         "{basis}; predicted cost ratio vs no support: {:.3}",
         advice.predicted_improvement(&recorder)
     );
-    let _ = writeln!(out, "materialize with: \\asr {} {} {}", dotted,
+    let _ = writeln!(
+        out,
+        "materialize with: \\asr {} {} {}",
+        dotted,
         advice.best().extension.map(|e| e.name()).unwrap_or("none"),
-        advice.best().decomposition);
+        advice.best().decomposition
+    );
     Ok(out)
 }
 
@@ -307,18 +468,10 @@ fn run_query(state: &mut ShellState, text: &str) -> Result<String, String> {
     let db = state.db()?;
     let before = db.stats().accesses();
     let query = oql::parse(text).map_err(|e| e.to_string())?;
+    // The executor announces its span usage as `usage.*` trace events,
+    // which the subscribed RecorderSink folds into `state.recorder`.
     let result = oql::execute_query(db, &query).map_err(|e| e.to_string())?;
     let cost = db.stats().accesses() - before;
-    // Record the observed span usage for the advisor: every predicate is
-    // a backward span, every path projection a forward span.
-    if let Ok(plan) = oql::plan::analyze(db, &query) {
-        for pred in &plan.predicates {
-            state.recorder.record_backward(0, pred.path.len());
-        }
-        for proj in plan.projections.iter().filter_map(|p| p.path.as_ref()) {
-            state.recorder.record_forward(0, proj.len());
-        }
-    }
     let mut out = result.to_string();
     let _ = writeln!(out, "({} row(s), {cost} page accesses)", result.rows.len());
     Ok(out)
@@ -334,8 +487,10 @@ const HELP: &str = r#"commands:
   \asrs                      list access support relations
   \drop <id>                 drop an access support relation
   \explain <query>           show the evaluation plan
+  \analyze <query>           run it: per-operator I/O vs cost-model prediction
   \advise <path> [p_up]      physical-design advisor (default p_up 0.1)
-  \stats / \reset            page-access counters
+  \stats / \reset            page-access counters, per structure
+  \trace on|off|show         buffer finished trace spans, dump as JSONL
   \quit
 anything else is executed as a query:
   select d.Name from d in Mercedes, b in d.Manufactures.Composition
@@ -397,12 +552,18 @@ mod tests {
     fn advise_command() {
         let mut s = ShellState::new();
         run_line(&mut s, "\\open company");
-        let out = run_line(&mut s, "\\advise Division.Manufactures.Composition.Name 0.2");
+        let out = run_line(
+            &mut s,
+            "\\advise Division.Manufactures.Composition.Name 0.2",
+        );
         assert!(out.contains("advice for"), "{out}");
         assert!(out.contains("assumed mix"), "{out}");
         assert!(out.contains("materialize with:"), "{out}");
-        assert!(run_line(&mut s, "\\advise Division.Manufactures.Composition.Name oops")
-            .starts_with("error:"));
+        assert!(run_line(
+            &mut s,
+            "\\advise Division.Manufactures.Composition.Name oops"
+        )
+        .starts_with("error:"));
     }
 
     #[test]
@@ -410,16 +571,21 @@ mod tests {
         let mut s = ShellState::new();
         run_line(&mut s, "\\open company");
         // Execute real queries: their spans are recorded.
-        let q = r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#;
+        let q =
+            r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#;
         run_line(&mut s, q);
         run_line(&mut s, q);
         // Each execution records the predicate span (backward) and the
-        // d.Name projection (forward).
-        assert_eq!(s.recorder.query_count(), 4);
+        // d.Name projection (forward) — via the trace-stream subscription,
+        // not an explicit recorder call.
+        assert_eq!(s.recorder.borrow().query_count(), 4);
         let out = run_line(&mut s, "\\advise Division.Manufactures.Composition.Name");
         assert!(out.contains("recorded session usage: 4 queries"), "{out}");
         // An explicit p_up overrides the recording.
-        let out = run_line(&mut s, "\\advise Division.Manufactures.Composition.Name 0.5");
+        let out = run_line(
+            &mut s,
+            "\\advise Division.Manufactures.Composition.Name 0.5",
+        );
         assert!(out.contains("assumed mix"), "{out}");
     }
 
@@ -427,7 +593,10 @@ mod tests {
     fn save_load_through_shell() {
         let mut s = ShellState::new();
         run_line(&mut s, "\\open robots");
-        run_line(&mut s, "\\asr ROBOT.Arm.MountedTool.ManufacturedBy.Location canonical none");
+        run_line(
+            &mut s,
+            "\\asr ROBOT.Arm.MountedTool.ManufacturedBy.Location canonical none",
+        );
         let file = std::env::temp_dir().join("asrdb_shell_test.snap");
         let file_str = file.to_str().unwrap().to_string();
         assert!(run_line(&mut s, &format!("\\save {file_str}")).contains("saved"));
@@ -440,6 +609,63 @@ mod tests {
         );
         assert!(q.contains("3 row(s)"), "{q}");
         std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn analyze_command() {
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open company");
+        run_line(
+            &mut s,
+            "\\asr Division.Manufactures.Composition.Name full binary",
+        );
+        let out = run_line(
+            &mut s,
+            "\\analyze select d.Name from d in Division where d.Manufactures.Composition.Name = \"Door\"",
+        );
+        assert!(out.contains("\"Auto\""), "{out}");
+        assert!(out.contains("measured:"), "{out}");
+        assert!(out.contains("predicted"), "{out}");
+        assert!(out.contains("ASR #0"), "{out}");
+        assert!(run_line(&mut s, "\\analyze select nonsense").starts_with("error:"));
+    }
+
+    #[test]
+    fn stats_breakdown_per_structure() {
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open company");
+        run_line(
+            &mut s,
+            "\\asr Division.Manufactures.Composition.Name full binary",
+        );
+        run_line(
+            &mut s,
+            r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#,
+        );
+        let out = run_line(&mut s, "\\stats");
+        assert!(out.contains("reads"), "{out}");
+        assert!(out.contains("% hit rate"), "{out}");
+        assert!(out.contains("objects.Division"), "{out}");
+        assert!(out.contains("btree"), "{out}");
+    }
+
+    #[test]
+    fn trace_ring_captures_spans() {
+        let mut s = ShellState::new();
+        // Turning tracing on before any database is open still works: the
+        // ring attaches when the database arrives.
+        assert!(run_line(&mut s, "\\trace on").contains("tracing on"));
+        run_line(&mut s, "\\open company");
+        run_line(&mut s, r#"select d.Name from d in Mercedes"#);
+        let shown = run_line(&mut s, "\\trace show");
+        assert!(shown.contains("\"oql.query\""), "{shown}");
+        assert!(shown.contains("\"usage.forward\""), "{shown}");
+        // Drained: a second show starts empty.
+        assert_eq!(run_line(&mut s, "\\trace show"), "trace buffer empty");
+        assert!(run_line(&mut s, "\\trace off").contains("tracing off"));
+        // Detached: new queries no longer buffer anywhere.
+        assert!(run_line(&mut s, "\\trace show").starts_with("error:"));
+        assert!(run_line(&mut s, "\\trace sideways").starts_with("error:"));
     }
 
     #[test]

@@ -22,14 +22,20 @@ fn every_design_answers_the_paper_queries() {
             let id = ex.db.create_asr(path.clone(), config).unwrap();
 
             // Query 2 (backward, whole chain).
-            let divisions =
-                ex.db.backward(id, 0, 3, &Cell::Value(Value::string("Door"))).unwrap();
+            let divisions = ex
+                .db
+                .backward(id, 0, 3, &Cell::Value(Value::string("Door")))
+                .unwrap();
             assert_eq!(divisions.len(), 2, "{ext} {cuts:?}");
 
             // Query 3 (forward, whole chain).
             let auto = ex.by_name("Auto").unwrap();
             let names = ex.db.forward(id, 0, 3, auto).unwrap();
-            assert_eq!(names, vec![Cell::Value(Value::string("Door"))], "{ext} {cuts:?}");
+            assert_eq!(
+                names,
+                vec![Cell::Value(Value::string("Door"))],
+                "{ext} {cuts:?}"
+            );
 
             // Partial span with fallback.
             let sec = ex.by_name("560 SEC").unwrap();
@@ -57,10 +63,9 @@ fn supported_queries_cost_less_pages() {
     g.db.backward_unindexed(&path, 0, 4, &target).unwrap();
     let naive_cost = g.db.stats().accesses();
 
-    let id = g
-        .db
-        .create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path))
-        .unwrap();
+    let id =
+        g.db.create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path))
+            .unwrap();
     g.db.stats().reset();
     g.db.backward(id, 0, 4, &target).unwrap();
     let supported_cost = g.db.stats().accesses();
@@ -89,26 +94,43 @@ fn mixed_update_stream_keeps_all_extensions_consistent() {
 
     // Grow: a new division producing a new product from existing parts.
     let bikes = ex.db.instantiate("Division").unwrap();
-    ex.db.set_attribute(bikes, "Name", Value::string("Bikes")).unwrap();
+    ex.db
+        .set_attribute(bikes, "Name", Value::string("Bikes"))
+        .unwrap();
     let prods = ex.db.instantiate("ProdSET").unwrap();
-    ex.db.set_attribute(bikes, "Manufactures", Value::Ref(prods)).unwrap();
+    ex.db
+        .set_attribute(bikes, "Manufactures", Value::Ref(prods))
+        .unwrap();
     let ebike = ex.db.instantiate("Product").unwrap();
-    ex.db.set_attribute(ebike, "Name", Value::string("eBike")).unwrap();
+    ex.db
+        .set_attribute(ebike, "Name", Value::string("eBike"))
+        .unwrap();
     ex.db.insert_into_set(prods, Value::Ref(ebike)).unwrap();
     let parts = ex.db.instantiate("BasePartSET").unwrap();
-    ex.db.set_attribute(ebike, "Composition", Value::Ref(parts)).unwrap();
+    ex.db
+        .set_attribute(ebike, "Composition", Value::Ref(parts))
+        .unwrap();
     let door = ex.by_name("Door").unwrap();
     ex.db.insert_into_set(parts, Value::Ref(door)).unwrap();
 
     // Shrink: Truck stops producing the 560 SEC.
     let truck = ex.by_name("Truck").unwrap();
-    let truck_prods =
-        ex.db.base().get_attribute(truck, "Manufactures").unwrap().as_ref_oid().unwrap();
+    let truck_prods = ex
+        .db
+        .base()
+        .get_attribute(truck, "Manufactures")
+        .unwrap()
+        .as_ref_oid()
+        .unwrap();
     let sec = ex.by_name("560 SEC").unwrap();
-    ex.db.remove_from_set(truck_prods, &Value::Ref(sec)).unwrap();
+    ex.db
+        .remove_from_set(truck_prods, &Value::Ref(sec))
+        .unwrap();
 
     // Rename the shared part (terminal value update).
-    ex.db.set_attribute(door, "Name", Value::string("Hatch")).unwrap();
+    ex.db
+        .set_attribute(door, "Name", Value::string("Hatch"))
+        .unwrap();
 
     // All ASRs still equal their rebuilds and answer consistently.
     for &id in &ids {
@@ -126,7 +148,10 @@ fn mixed_update_stream_keeps_all_extensions_consistent() {
             "{} diverged from rebuild",
             asr.config().extension
         );
-        let hits = ex.db.backward(id, 0, 3, &Cell::Value(Value::string("Hatch"))).unwrap();
+        let hits = ex
+            .db
+            .backward(id, 0, 3, &Cell::Value(Value::string("Hatch")))
+            .unwrap();
         // Auto still makes the 560 SEC; Bikes now uses the part too.
         assert_eq!(hits.len(), 2, "{}", asr.config().extension);
     }
@@ -141,10 +166,16 @@ fn robot_scenario_with_shared_subobjects() {
     assert!(path.is_linear());
     let id = ex
         .db
-        .create_asr(path.clone(), AsrConfig::non_decomposed(Extension::Canonical, &path))
+        .create_asr(
+            path.clone(),
+            AsrConfig::non_decomposed(Extension::Canonical, &path),
+        )
         .unwrap();
     // All three robots use RobClone (Utopia) tools — two share one tool.
-    let hits = ex.db.backward(id, 0, 4, &Cell::Value(Value::string("Utopia"))).unwrap();
+    let hits = ex
+        .db
+        .backward(id, 0, 4, &Cell::Value(Value::string("Utopia")))
+        .unwrap();
     assert_eq!(hits.len(), 3);
 
     // Moving the shared tool's manufacturer relocates every using robot.
@@ -156,12 +187,22 @@ fn robot_scenario_with_shared_subobjects() {
         .map(|o| o.oid)
         .unwrap();
     let local = ex.db.instantiate("MANUFACTURER").unwrap();
-    ex.db.set_attribute(local, "Location", Value::string("Earth")).unwrap();
-    ex.db.set_attribute(gripper, "ManufacturedBy", Value::Ref(local)).unwrap();
+    ex.db
+        .set_attribute(local, "Location", Value::string("Earth"))
+        .unwrap();
+    ex.db
+        .set_attribute(gripper, "ManufacturedBy", Value::Ref(local))
+        .unwrap();
 
-    let hits = ex.db.backward(id, 0, 4, &Cell::Value(Value::string("Utopia"))).unwrap();
+    let hits = ex
+        .db
+        .backward(id, 0, 4, &Cell::Value(Value::string("Utopia")))
+        .unwrap();
     assert_eq!(hits.len(), 1, "only R2D2's welder remains Utopian");
-    let hits = ex.db.backward(id, 0, 4, &Cell::Value(Value::string("Earth"))).unwrap();
+    let hits = ex
+        .db
+        .backward(id, 0, 4, &Cell::Value(Value::string("Earth")))
+        .unwrap();
     assert_eq!(hits.len(), 2, "X4D5 and Robi share the moved tool");
 }
 
@@ -171,20 +212,38 @@ fn robot_scenario_with_shared_subobjects() {
 fn asr_lifecycle() {
     let mut ex = company_database();
     let path = ex.path.clone();
-    let a = ex.db.create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path)).unwrap();
+    let a = ex
+        .db
+        .create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path))
+        .unwrap();
     let b = ex
         .db
-        .create_asr(path.clone(), AsrConfig::non_decomposed(Extension::LeftComplete, &path))
+        .create_asr(
+            path.clone(),
+            AsrConfig::non_decomposed(Extension::LeftComplete, &path),
+        )
         .unwrap();
     assert_eq!(ex.db.asrs().count(), 2);
     ex.db.drop_asr(a).unwrap();
     assert_eq!(ex.db.asrs().count(), 1);
     // The remaining ASR still works and is still maintained.
     let sausage = ex.by_name("Sausage").unwrap();
-    let parts =
-        ex.db.base().get_attribute(sausage, "Composition").unwrap().as_ref_oid().unwrap();
+    let parts = ex
+        .db
+        .base()
+        .get_attribute(sausage, "Composition")
+        .unwrap()
+        .as_ref_oid()
+        .unwrap();
     let door = ex.by_name("Door").unwrap();
     ex.db.insert_into_set(parts, Value::Ref(door)).unwrap();
-    let hits = ex.db.backward(b, 0, 3, &Cell::Value(Value::string("Door"))).unwrap();
-    assert_eq!(hits.len(), 2, "Sausage is not Division-reachable; Auto and Truck are");
+    let hits = ex
+        .db
+        .backward(b, 0, 3, &Cell::Value(Value::string("Door")))
+        .unwrap();
+    assert_eq!(
+        hits.len(),
+        2,
+        "Sausage is not Division-reachable; Auto and Truck are"
+    );
 }

@@ -21,11 +21,14 @@ fn measured_backward_cost(scaled: &Profile, ext: Option<Ext>) -> f64 {
     let mut g = generate(&spec, 17);
     let id = ext.map(|e| {
         let m = g.path.arity(false) - 1;
-        g.db.create_asr(g.path.clone(), AsrConfig {
-            extension: core_ext(e),
-            decomposition: Decomposition::binary(m),
-            keep_set_oids: false,
-        })
+        g.db.create_asr(
+            g.path.clone(),
+            AsrConfig {
+                extension: core_ext(e),
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            },
+        )
         .unwrap()
     });
     let trace = generate_trace(&g, &mix, 15, 23);
@@ -72,13 +75,15 @@ fn figure11_shape_empirically() {
     for ext in Ext::ALL {
         let mut g = generate(&spec, 31);
         let m = g.path.arity(false) - 1;
-        let id = g
-            .db
-            .create_asr(g.path.clone(), AsrConfig {
-                extension: core_ext(ext),
-                decomposition: Decomposition::binary(m),
-                keep_set_oids: false,
-            })
+        let id =
+            g.db.create_asr(
+                g.path.clone(),
+                AsrConfig {
+                    extension: core_ext(ext),
+                    decomposition: Decomposition::binary(m),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
         let trace = generate_trace(&g, &mix, 12, 77);
         g.db.stats().reset();
@@ -114,13 +119,15 @@ fn optimizer_choice_wins_empirically() {
 
     let run = |ext: Ext, cuts: Vec<usize>| -> f64 {
         let mut g = generate(&spec, 3);
-        let id = g
-            .db
-            .create_asr(g.path.clone(), AsrConfig {
-                extension: core_ext(ext),
-                decomposition: Decomposition::new(cuts).unwrap(),
-                keep_set_oids: false,
-            })
+        let id =
+            g.db.create_asr(
+                g.path.clone(),
+                AsrConfig {
+                    extension: core_ext(ext),
+                    decomposition: Decomposition::new(cuts).unwrap(),
+                    keep_set_oids: false,
+                },
+            )
             .unwrap();
         let trace = generate_trace(&g, &mix_spec, 60, 13);
         g.db.stats().reset();
