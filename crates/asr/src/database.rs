@@ -170,6 +170,7 @@ impl Database {
         );
         self.tracer.metrics().inc_counter("query.forward", 1);
         let asr = self.asr(id)?;
+        let before = self.stats.snapshot();
         let result = match asr.forward(i, j, start) {
             Err(AsrError::Unsupported { .. }) => {
                 span.add_attr("fallback", "naive");
@@ -178,10 +179,26 @@ impl Database {
             }
             other => other,
         };
+        self.note_batch_io(&before);
         if let Ok(cells) = &result {
             span.set_rows(cells.len() as u64);
         }
         result
+    }
+
+    /// Record batched B+-tree probe activity since `before` in the metrics
+    /// registry, so `EXPLAIN ANALYZE` and `\stats` can attribute savings.
+    fn note_batch_io(&self, before: &asr_pagesim::IoSnapshot) {
+        let after = self.stats.snapshot();
+        let probes = after.batch_probes - before.batch_probes;
+        if probes > 0 {
+            let metrics = self.tracer.metrics();
+            metrics.inc_counter("btree.batch.probes", probes);
+            metrics.inc_counter(
+                "btree.batch.pages_saved",
+                after.batch_pages_saved - before.batch_pages_saved,
+            );
+        }
     }
 
     /// Backward span query through an ASR, with naive fallback.
@@ -192,6 +209,7 @@ impl Database {
         );
         self.tracer.metrics().inc_counter("query.backward", 1);
         let asr = self.asr(id)?;
+        let before = self.stats.snapshot();
         let result = match asr.backward(i, j, target) {
             Err(AsrError::Unsupported { .. }) => {
                 span.add_attr("fallback", "naive");
@@ -200,6 +218,7 @@ impl Database {
             }
             other => other,
         };
+        self.note_batch_io(&before);
         if let Ok(oids) = &result {
             span.set_rows(oids.len() as u64);
         }

@@ -50,24 +50,26 @@ pub fn chain_join(left: &Relation, right: &Relation, kind: JoinKind) -> Result<R
     let mut out = Relation::new(out_arity);
 
     // Hash the right side on its first column (NULL keys excluded: NULL
-    // never matches).
-    let mut index: HashMap<&Cell, Vec<&Row>> = HashMap::new();
-    for row in right.iter() {
+    // never matches), remembering each row's position so outer-join
+    // bookkeeping can use a plain bitmap instead of hashing whole rows —
+    // which also keeps duplicate right rows distinct.
+    let mut index: HashMap<&Cell, Vec<(usize, &Row)>> = HashMap::new();
+    for (pos, row) in right.iter().enumerate() {
         if let Some(cell) = row.first() {
-            index.entry(cell).or_default().push(row);
+            index.entry(cell).or_default().push((pos, row));
         }
     }
 
-    let mut right_matched: std::collections::HashSet<&Row> = std::collections::HashSet::new();
+    let mut right_matched = vec![false; right.len()];
 
     for lrow in left.iter() {
         let matches = lrow.last().as_ref().and_then(|cell| index.get(cell));
         match matches {
             Some(rrows) => {
-                for rrow in rrows {
+                for &(pos, rrow) in rrows {
                     out.insert(lrow.join_concat(rrow))?;
                     if kind.keeps_right() {
-                        right_matched.insert(*rrow);
+                        right_matched[pos] = true;
                     }
                 }
             }
@@ -80,9 +82,8 @@ pub fn chain_join(left: &Relation, right: &Relation, kind: JoinKind) -> Result<R
     }
 
     if kind.keeps_right() {
-        for rrow in right.iter() {
-            let matched = rrow.first().is_some() && right_matched.contains(rrow);
-            if !matched {
+        for (pos, rrow) in right.iter().enumerate() {
+            if !right_matched[pos] {
                 // Pad with NULLs on the left; the shared boundary column
                 // keeps the right row's first cell.
                 let mut cells = vec![None; left.arity() - 1];

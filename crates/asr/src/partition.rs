@@ -13,9 +13,10 @@
 //! projected row only when its last witness disappears.
 
 use std::collections::HashMap;
+use std::ops::Bound;
 use std::rc::Rc;
 
-use asr_pagesim::{BPlusTree, IoStats, StatsHandle, OID_SIZE};
+use asr_pagesim::{build_bulk, BPlusTree, BulkNodes, IoStats, StatsHandle, OID_SIZE};
 
 use crate::cell::Cell;
 use crate::error::{AsrError, Result};
@@ -232,6 +233,62 @@ impl StoredPartition {
             .collect()
     }
 
+    /// Batched [`Self::lookup_first`] over **ascending** `cells`
+    /// (`BTreeSet` iteration order qualifies): one shared descent of the
+    /// forward tree, each page charged at most once for the whole batch.
+    /// Rows come back grouped per probe cell, in the same order the
+    /// per-cell lookups would have produced them.
+    pub fn lookup_first_grouped<'a>(
+        &self,
+        cells: impl IntoIterator<Item = &'a Cell>,
+    ) -> Vec<Vec<Row>> {
+        Self::lookup_grouped(&self.fwd, cells)
+    }
+
+    /// Batched [`Self::lookup_last`] over **ascending** `cells` — the
+    /// backward-tree counterpart of [`Self::lookup_first_grouped`].
+    pub fn lookup_last_grouped<'a>(
+        &self,
+        cells: impl IntoIterator<Item = &'a Cell>,
+    ) -> Vec<Vec<Row>> {
+        Self::lookup_grouped(&self.bwd, cells)
+    }
+
+    /// Flattened [`Self::lookup_first_grouped`]: the concatenation equals
+    /// `cells.flat_map(|c| lookup_first(c))` bit-for-bit.
+    pub fn lookup_first_many<'a>(&self, cells: impl IntoIterator<Item = &'a Cell>) -> Vec<Row> {
+        self.lookup_first_grouped(cells)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Flattened [`Self::lookup_last_grouped`].
+    pub fn lookup_last_many<'a>(&self, cells: impl IntoIterator<Item = &'a Cell>) -> Vec<Row> {
+        self.lookup_last_grouped(cells)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    fn lookup_grouped<'a>(
+        tree: &BPlusTree<PartitionKey, Row>,
+        cells: impl IntoIterator<Item = &'a Cell>,
+    ) -> Vec<Vec<Row>> {
+        let ranges: Vec<(PartitionKey, PartitionKey)> = cells
+            .into_iter()
+            .map(|c| ((Some(c.clone()), 0u64), (Some(c.clone()), u64::MAX)))
+            .collect();
+        let mut out: Vec<Vec<Row>> = vec![Vec::new(); ranges.len()];
+        tree.scan_ranges_sorted(
+            ranges
+                .iter()
+                .map(|(lo, hi)| (Bound::Included(lo), Bound::Excluded(hi))),
+            |idx, _, row| out[idx].push(row.clone()),
+        );
+        out
+    }
+
     /// Exhaustively scan all rows (used when a query enters a partition in
     /// the middle — the paper's `ap^{i,j}` full-scan term in formula 33).
     pub fn scan(&self, mut visit: impl FnMut(&Row)) {
@@ -279,10 +336,28 @@ impl StoredPartition {
             bwd_entries.push(((row.last().clone(), rowid), row.clone()));
             self.rows.insert(row, RowMeta { rowid, count });
         }
-        fwd_entries.sort_by(|a, b| a.0.cmp(&b.0));
-        bwd_entries.sort_by(|a, b| a.0.cmp(&b.0));
-        self.fwd.fill(fwd_entries)?;
-        self.bwd.fill(bwd_entries)?;
+        // The two redundant clustering trees are independent: sort and
+        // build both node slabs (a pure, stats-free computation) on two
+        // threads when the partition is large, then adopt them here on
+        // the owning thread — page-write accounting stays identical to a
+        // sequential fill because `adopt_bulk` charges one write per node
+        // in creation order.
+        let (lc, ic) = (self.fwd.leaf_capacity(), self.fwd.inner_capacity());
+        let (fwd_built, bwd_built) = if fwd_entries.len() >= PARALLEL_BUILD_THRESHOLD {
+            std::thread::scope(|s| {
+                let bwd_handle = s.spawn(move || sort_and_build(bwd_entries, lc, ic));
+                let fwd_built = sort_and_build(fwd_entries, lc, ic);
+                let bwd_built = bwd_handle.join().expect("bulk-build thread panicked");
+                (fwd_built, bwd_built)
+            })
+        } else {
+            (
+                sort_and_build(fwd_entries, lc, ic),
+                sort_and_build(bwd_entries, lc, ic),
+            )
+        };
+        self.fwd.adopt_bulk(fwd_built?)?;
+        self.bwd.adopt_bulk(bwd_built?)?;
         Ok(())
     }
 
@@ -318,6 +393,21 @@ impl StoredPartition {
         }
         Ok(())
     }
+}
+
+/// Partitions at or above this many rows bulk-load their two clustering
+/// trees on concurrent threads.
+const PARALLEL_BUILD_THRESHOLD: usize = 4096;
+
+/// Sort entries by key and build a stats-free node slab — the per-tree
+/// half of a (possibly parallel) dual-tree bulk load.
+fn sort_and_build(
+    mut entries: Vec<(PartitionKey, Row)>,
+    leaf_capacity: usize,
+    inner_capacity: usize,
+) -> asr_pagesim::Result<BulkNodes<PartitionKey, Row>> {
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    build_bulk(entries, leaf_capacity, inner_capacity)
 }
 
 /// Convenience: a fresh stats handle.

@@ -16,7 +16,7 @@
 //! retrieves the paper's `I_l` / `I_r` relations from the access relation
 //! itself when the extension contains them (Section 6.1).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::cell::Cell;
 use crate::decomposition::Decomposition;
@@ -55,8 +55,10 @@ pub fn forward_supported(
             });
             hits
         } else {
-            // Entry at the partition border: clustered lookups.
-            frontier.iter().flat_map(|c| part.lookup_first(c)).collect()
+            // Entry at the partition border: one batched clustered probe
+            // over the whole (sorted) frontier — each tree page is read at
+            // most once however many frontier cells share it.
+            part.lookup_first_many(frontier.iter())
         };
         if cj <= b {
             let offset = cj - a;
@@ -104,8 +106,9 @@ pub fn backward_supported(
             });
             hits
         } else {
-            // Exit at the partition border: reverse-clustered lookups.
-            frontier.iter().flat_map(|c| part.lookup_last(c)).collect()
+            // Exit at the partition border: one batched reverse-clustered
+            // probe over the whole (sorted) frontier.
+            part.lookup_last_many(frontier.iter())
         };
         if ci >= a {
             let offset = ci - a;
@@ -165,15 +168,19 @@ pub fn collect_prefixes(
             }
         });
     }
-    // Extend leftward partition by partition.
+    // Extend leftward partition by partition, probing each partition's
+    // backward tree once for all distinct fragment boundaries.
     for q in (0..pidx).rev() {
         let (qa, qb) = dec.span(q);
+        let by_boundary = grouped_lookup(&partitions[q], &fragments, |f| f.first(), false);
         let mut extended: BTreeSet<Row> = BTreeSet::new();
         for frag in &fragments {
             match frag.first() {
                 Some(boundary) => {
-                    for left in partitions[q].lookup_last(boundary) {
-                        extended.insert(left.join_concat(frag));
+                    if let Some(lefts) = by_boundary.get(boundary) {
+                        for left in lefts {
+                            extended.insert(left.join_concat(frag));
+                        }
                     }
                 }
                 None => {
@@ -184,6 +191,31 @@ pub fn collect_prefixes(
         fragments = extended;
     }
     fragments.into_iter().collect()
+}
+
+/// Probe `part` once for all distinct fragment boundaries (the cell
+/// `boundary_of` selects from each fragment), returning rows grouped by
+/// boundary.  `forward` picks the clustering tree: `true` probes the
+/// forward tree (`lookup_first`), `false` the backward tree
+/// (`lookup_last`).  The distinct boundaries form a sorted set, so the
+/// whole batch descends the tree once per run of adjacent keys.
+fn grouped_lookup<'a>(
+    part: &StoredPartition,
+    fragments: &'a BTreeSet<Row>,
+    boundary_of: impl Fn(&'a Row) -> &'a Option<Cell>,
+    forward: bool,
+) -> BTreeMap<&'a Cell, Vec<Row>> {
+    let boundaries: BTreeSet<&Cell> = fragments
+        .iter()
+        .filter_map(|f| boundary_of(f).as_ref())
+        .collect();
+    let sorted: Vec<&Cell> = boundaries.into_iter().collect();
+    let grouped = if forward {
+        part.lookup_first_grouped(sorted.iter().copied())
+    } else {
+        part.lookup_last_grouped(sorted.iter().copied())
+    };
+    sorted.into_iter().zip(grouped).collect()
 }
 
 /// Collect all stored **suffix rows** over columns `col ..= m` whose column
@@ -217,12 +249,15 @@ pub fn collect_suffixes(
     #[allow(clippy::needless_range_loop)] // q indexes dec spans and partitions in lockstep
     for q in pidx + 1..dec.partition_count() {
         let (qa, qb) = dec.span(q);
+        let by_boundary = grouped_lookup(&partitions[q], &fragments, |f| f.last(), true);
         let mut extended: BTreeSet<Row> = BTreeSet::new();
         for frag in &fragments {
             match frag.last() {
                 Some(boundary) => {
-                    for right in partitions[q].lookup_first(boundary) {
-                        extended.insert(frag.join_concat(&right));
+                    if let Some(rights) = by_boundary.get(boundary) {
+                        for right in rights {
+                            extended.insert(frag.join_concat(right));
+                        }
                     }
                 }
                 None => {

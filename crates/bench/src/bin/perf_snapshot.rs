@@ -1,0 +1,170 @@
+//! Machine-readable performance snapshot (`BENCH_2.json`).
+//!
+//! ```text
+//! cargo run --release -p asr-bench --bin perf_snapshot -- [--out FILE]
+//! ```
+//!
+//! Captures the repository's perf trajectory in one JSON file:
+//!
+//! * wall-clock of the `fig6` and `fig11` figure runners;
+//! * *measured* page I/O of the workloads behind those figures, executed
+//!   on down-scaled generated databases (whole-chain backward queries for
+//!   fig6, `ins_3` updates for fig11), including the batched-probe
+//!   counters (`batch_probes`, `batch_pages_saved`);
+//! * wall-clock of the full figure suite at `--jobs 1` vs `--jobs 4`,
+//!   alongside the machine's available parallelism — on a single-core
+//!   container the worker pool cannot beat the sequential run, and the
+//!   `cpus` field makes the speedup number interpretable.
+
+use std::time::Instant;
+
+use asr_bench::experiments::{registry, run_entries};
+use asr_core::{AsrConfig, Decomposition, Extension};
+use asr_costmodel::{profiles, Mix, Op};
+use asr_workload::{execute_trace, generate, generate_trace, scale_profile, GeneratorSpec};
+
+const SCALE: f64 = 5.0;
+const QUERY_COUNT: usize = 30;
+const UPDATE_COUNT: usize = 20;
+
+struct MeasuredIo {
+    reads: u64,
+    writes: u64,
+    batch_probes: u64,
+    batch_pages_saved: u64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_2.json");
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = iter.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file argument");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument `{other}` — usage: perf_snapshot [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let all = registry();
+    let figure = |id: &str| {
+        all.iter()
+            .find(|(eid, _, _)| *eid == id)
+            .copied()
+            .unwrap_or_else(|| panic!("{id} is registered"))
+    };
+
+    eprintln!("timing fig6 + fig11 runners ...");
+    let fig6_ms = run_entries(&[figure("fig6")], 1)[0].1;
+    let fig11_ms = run_entries(&[figure("fig11")], 1)[0].1;
+
+    eprintln!("measuring fig6 backward-query workload ...");
+    let fig6_io = measure_fig6_queries();
+    eprintln!("measuring fig11 ins_3 workload ...");
+    let fig11_io = measure_fig11_updates();
+
+    eprintln!("timing the full suite, --jobs 1 ...");
+    let jobs1 = Instant::now();
+    run_entries(&all, 1);
+    let jobs1_ms = jobs1.elapsed().as_secs_f64() * 1e3;
+    eprintln!("timing the full suite, --jobs 4 ...");
+    let jobs4 = Instant::now();
+    run_entries(&all, 4);
+    let jobs4_ms = jobs4.elapsed().as_secs_f64() * 1e3;
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"schema\": \"asr-bench-snapshot/1\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+         \"wall_ms\": {fig6_ms:.1},\n      \"workload\": \"Q_{{0,n}}(bw) x{QUERY_COUNT} on the \
+         1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }},\n    \"fig11\": {{\n      \
+         \"wall_ms\": {fig11_ms:.1},\n      \"workload\": \"ins_3 x{UPDATE_COUNT} on the \
+         1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }}\n  }},\n  \"all\": {{\n    \
+         \"figures\": {},\n    \"cpus\": {cpus},\n    \"jobs1_wall_ms\": {jobs1_ms:.1},\n    \
+         \"jobs4_wall_ms\": {jobs4_ms:.1},\n    \"speedup_jobs4\": {:.2}\n  }}\n}}\n",
+        io_json(&fig6_io),
+        io_json(&fig11_io),
+        all.len(),
+        jobs1_ms / jobs4_ms.max(1e-9),
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("perf snapshot written to {out_path}");
+}
+
+fn io_json(io: &MeasuredIo) -> String {
+    format!(
+        "{{ \"page_reads\": {}, \"page_writes\": {}, \"batch_probes\": {}, \
+         \"batch_pages_saved\": {} }}",
+        io.reads, io.writes, io.batch_probes, io.batch_pages_saved
+    )
+}
+
+/// Whole-chain backward queries through a full/binary ASR on the scaled
+/// fig6 population — the supported-query regime Figure 6 prices.
+fn measure_fig6_queries() -> MeasuredIo {
+    let scaled = scale_profile(&profiles::fig6_profile().profile, SCALE);
+    let n = scaled.n;
+    let spec = GeneratorSpec::from_profile(&scaled, 1.0);
+    let mut g = generate(&spec, 1);
+    let m = g.path.arity(false) - 1;
+    let id =
+        g.db.create_asr(
+            g.path.clone(),
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            },
+        )
+        .expect("ASR builds");
+    let mix = Mix::new(vec![(1.0, Op::bw(0, n))], vec![], 0.0);
+    let trace = generate_trace(&g, &mix, QUERY_COUNT, 2);
+    g.db.stats().reset();
+    let before = g.db.stats().snapshot();
+    let path = g.path.clone();
+    execute_trace(&mut g.db, Some(id), &path, &trace);
+    delta(&before, &g.db.stats().snapshot())
+}
+
+/// `ins_3` updates maintaining a full/binary ASR on the scaled fig11
+/// population — the update regime Figure 11 prices.
+fn measure_fig11_updates() -> MeasuredIo {
+    let scaled = scale_profile(&profiles::fig11_profile().profile, SCALE);
+    let spec = GeneratorSpec::from_profile(&scaled, 1.0);
+    let mut g = generate(&spec, 3);
+    let m = g.path.arity(false) - 1;
+    let id =
+        g.db.create_asr(
+            g.path.clone(),
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(m),
+                keep_set_oids: false,
+            },
+        )
+        .expect("ASR builds");
+    let mix = Mix::new(vec![], vec![(1.0, Op::ins(3))], 1.0);
+    let trace = generate_trace(&g, &mix, UPDATE_COUNT, 4);
+    g.db.stats().reset();
+    let before = g.db.stats().snapshot();
+    let path = g.path.clone();
+    execute_trace(&mut g.db, Some(id), &path, &trace);
+    delta(&before, &g.db.stats().snapshot())
+}
+
+fn delta(before: &asr_pagesim::IoSnapshot, after: &asr_pagesim::IoSnapshot) -> MeasuredIo {
+    MeasuredIo {
+        reads: after.reads - before.reads,
+        writes: after.writes - before.writes,
+        batch_probes: after.batch_probes - before.batch_probes,
+        batch_pages_saved: after.batch_pages_saved - before.batch_pages_saved,
+    }
+}

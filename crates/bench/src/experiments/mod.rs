@@ -72,6 +72,46 @@ impl ExperimentOutput {
 /// One registry entry: `(id, description, runner)`.
 pub type ExperimentEntry = (&'static str, &'static str, fn() -> ExperimentOutput);
 
+/// Run every entry on a pool of `jobs` worker threads, returning
+/// `(output, elapsed_ms)` per entry **in input order**.
+///
+/// Workers pull the next un-started figure from a shared cursor.  Every
+/// runner builds its own database and [`asr_pagesim::IoStats`] counter
+/// (the stats handle is an `Rc` and never crosses threads), so page
+/// accounting stays exact per figure; nothing is printed or written here,
+/// which keeps downstream emission deterministic regardless of `jobs`.
+pub fn run_entries(entries: &[ExperimentEntry], jobs: usize) -> Vec<(ExperimentOutput, f64)> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<(ExperimentOutput, f64)>>> =
+        entries.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.max(1).min(entries.len()) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((_, _, runner)) = entries.get(i) else {
+                    break;
+                };
+                let started = Instant::now();
+                let output = runner();
+                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                *results[i].lock().expect("result slot poisoned") = Some((output, elapsed_ms));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool finished every figure")
+        })
+        .collect()
+}
+
 /// The registry of all experiments.
 pub fn registry() -> Vec<ExperimentEntry> {
     vec![

@@ -1,0 +1,42 @@
+//! The parallel experiment harness must be a pure wall-clock
+//! optimization: running figures on worker threads may not change a
+//! single byte of what they produce.
+
+use asr_bench::experiments::{registry, run_entries, ExperimentEntry};
+
+/// Render every table and note of a run into one comparable string —
+/// the same data `emit` prints and `save_csv` writes.
+fn fingerprint(results: &[(asr_bench::experiments::ExperimentOutput, f64)]) -> String {
+    let mut out = String::new();
+    for (output, _) in results {
+        for table in &output.tables {
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        for note in &output.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn jobs4_output_is_byte_identical_to_jobs1() {
+    // The analytical figures run in milliseconds even in debug builds;
+    // the full suite is exercised with --jobs in release via the
+    // perf_snapshot binary.
+    let subset: Vec<ExperimentEntry> = registry()
+        .into_iter()
+        .filter(|(id, _, _)| matches!(*id, "fig4" | "fig5" | "fig6" | "fig8" | "fig11" | "fig12"))
+        .collect();
+    assert_eq!(subset.len(), 6);
+
+    let sequential = run_entries(&subset, 1);
+    let parallel = run_entries(&subset, 4);
+    assert_eq!(
+        fingerprint(&sequential),
+        fingerprint(&parallel),
+        "worker threads must not change any table or note"
+    );
+}

@@ -73,8 +73,8 @@ impl AnalyzeReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<width$}  {:>6} {:>8} {:>7} {:>7} {:>6} {:>10}",
-            "operator", "calls", "rows", "reads", "writes", "hits", "predicted"
+            "{:<width$}  {:>6} {:>8} {:>7} {:>7} {:>6} {:>6} {:>10}",
+            "operator", "calls", "rows", "reads", "writes", "hits", "saved", "predicted"
         );
         for op in &self.operators {
             let predicted = match op.predicted {
@@ -83,13 +83,14 @@ impl AnalyzeReport {
             };
             let _ = writeln!(
                 out,
-                "{:<width$}  {:>6} {:>8} {:>7} {:>7} {:>6} {:>10}",
+                "{:<width$}  {:>6} {:>8} {:>7} {:>7} {:>6} {:>6} {:>10}",
                 op.label,
                 op.io.calls,
                 op.io.rows,
                 op.io.reads,
                 op.io.writes,
                 op.io.buffer_hits,
+                op.io.batch_pages_saved,
                 predicted
             );
         }
@@ -101,6 +102,14 @@ impl AnalyzeReport {
             self.measured_reads + self.measured_writes,
             self.predicted_total()
         );
+        let saved: u64 = self.operators.iter().map(|o| o.io.batch_pages_saved).sum();
+        if saved > 0 {
+            let probes: u64 = self.operators.iter().map(|o| o.io.batch_probes).sum();
+            let _ = writeln!(
+                out,
+                "batched probes: {probes} ({saved} page read(s) saved vs. per-key descents)"
+            );
+        }
         let _ = writeln!(out, "({} row(s))", self.result.rows.len());
         out
     }
@@ -245,8 +254,7 @@ mod tests {
                     calls: 1,
                     rows: 3,
                     reads: 2,
-                    writes: 0,
-                    buffer_hits: 0,
+                    ..OpIo::default()
                 },
                 predicted: None,
             }],

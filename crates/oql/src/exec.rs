@@ -45,6 +45,10 @@ pub struct OpIo {
     pub writes: u64,
     /// Buffer hits recorded while it ran.
     pub buffer_hits: u64,
+    /// Batched B+-tree probes issued while it ran.
+    pub batch_probes: u64,
+    /// Page reads avoided by batching (vs. standalone per-key probes).
+    pub batch_pages_saved: u64,
 }
 
 impl OpIo {
@@ -91,6 +95,8 @@ impl ExecProfile {
             total.reads += op.reads;
             total.writes += op.writes;
             total.buffer_hits += op.buffer_hits;
+            total.batch_probes += op.batch_probes;
+            total.batch_pages_saved += op.batch_pages_saved;
         }
         total
     }
@@ -116,6 +122,8 @@ where
             op.reads += after.reads - before.reads;
             op.writes += after.writes - before.writes;
             op.buffer_hits += after.buffer_hits - before.buffer_hits;
+            op.batch_probes += after.batch_probes - before.batch_probes;
+            op.batch_pages_saved += after.batch_pages_saved - before.batch_pages_saved;
             let rows = out.row_count();
             op.rows += rows;
             (out, rows)

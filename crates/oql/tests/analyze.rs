@@ -87,6 +87,38 @@ fn operator_totals_equal_global_io_delta_indexed() {
 }
 
 #[test]
+fn batched_probe_counters_attributed_to_operators() {
+    let mut ex = company_database();
+    let path = PathExpression::parse(
+        ex.db.base().schema(),
+        "Division.Manufactures.Composition.Name",
+    )
+    .unwrap();
+    let config = AsrConfig::binary(Extension::Full, &path);
+    ex.db.create_asr(path, config).unwrap();
+
+    let before = ex.db.stats().snapshot();
+    let report = explain_analyze(&ex.db, QUERY).unwrap();
+    let after = ex.db.stats().snapshot();
+
+    // The indexed predicate runs through batched frontier probes; the
+    // per-operator batch counters must sum to the global delta, just
+    // like reads and writes.
+    let probes: u64 = report.operators.iter().map(|o| o.io.batch_probes).sum();
+    let saved: u64 = report
+        .operators
+        .iter()
+        .map(|o| o.io.batch_pages_saved)
+        .sum();
+    assert_eq!(probes, after.batch_probes - before.batch_probes);
+    assert_eq!(saved, after.batch_pages_saved - before.batch_pages_saved);
+    assert!(
+        probes > 0,
+        "the supported backward span issues batched probes"
+    );
+}
+
+#[test]
 fn multi_binding_query_accounts_navigation_domains() {
     let ex = company_database();
     let q = r#"select d.Name, b.Name

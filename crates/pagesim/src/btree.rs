@@ -60,6 +60,166 @@ fn chunk_plan(total: usize, target: usize, min: usize, capacity: usize) -> Vec<u
     sizes
 }
 
+/// Outcome of one batched probe run ([`BPlusTree::scan_ranges_sorted`] /
+/// [`BPlusTree::get_many`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Probes (keys or ranges) answered by the batch.
+    pub probes: u64,
+    /// Pages the batch actually charged.
+    pub pages_read: u64,
+    /// Pages the equivalent per-probe calls would have charged.
+    pub naive_pages: u64,
+}
+
+impl BatchReport {
+    /// Page reads avoided by batching (`naive_pages − pages_read`).
+    pub fn pages_saved(&self) -> u64 {
+        self.naive_pages.saturating_sub(self.pages_read)
+    }
+
+    /// Fold another batch's tallies into this one.
+    pub fn absorb(&mut self, other: BatchReport) {
+        self.probes += other.probes;
+        self.pages_read += other.pages_read;
+        self.naive_pages += other.naive_pages;
+    }
+}
+
+/// Shared descent state of one batched probe run: the pinned root-to-leaf
+/// path and the set of pages already charged this batch.
+struct BatchState<K> {
+    /// Inner nodes of the current descent path, root first, each with the
+    /// exclusive upper separator bound of its subtree (`None` =
+    /// unbounded).  The bound decides how far the next, larger probe key
+    /// must pop before re-descending.
+    path: Vec<(usize, Option<K>)>,
+    /// Pages charged so far this batch (`charged[node id]`).
+    charged: Vec<bool>,
+    pages_read: u64,
+}
+
+/// A node slab produced by [`build_bulk`]: the pure, stats-free output of
+/// a bottom-up bulk load.  Because it holds no
+/// [`StatsHandle`](crate::stats::StatsHandle), it can be built on a worker
+/// thread (for `Send` keys and values) while a sibling tree builds
+/// concurrently — e.g. the two redundant clustering trees of an
+/// access-support-relation partition — and then adopted on the owning
+/// thread via [`BPlusTree::adopt_bulk`], which charges the page writes.
+#[derive(Debug)]
+pub struct BulkNodes<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: usize,
+    height: usize,
+    len: usize,
+    leaf_capacity: usize,
+    inner_capacity: usize,
+}
+
+impl<K, V> BulkNodes<K, V> {
+    /// Number of entries in the built slab.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the slab holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pages (nodes) occupied by the slab.
+    pub fn page_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Build a B+ tree node slab bottom-up from **strictly ascending**
+/// `(key, value)` pairs without charging any page accesses (see
+/// [`BulkNodes`]).  Leaves are packed to ~90% occupancy with the tail
+/// adjusted to respect minimum fill — the same plan as [`BPlusTree::fill`],
+/// which is a thin wrapper over this function.
+pub fn build_bulk<K: Ord + Clone + Debug, V: Clone>(
+    entries: Vec<(K, V)>,
+    leaf_capacity: usize,
+    inner_capacity: usize,
+) -> Result<BulkNodes<K, V>> {
+    assert!(leaf_capacity >= 2, "leaf capacity must be >= 2");
+    assert!(inner_capacity >= 3, "inner capacity must be >= 3");
+    for pair in entries.windows(2) {
+        if pair[0].0 >= pair[1].0 {
+            return Err(PageSimError::CorruptStructure(
+                "bulk_load keys must be strictly ascending".into(),
+            ));
+        }
+    }
+    let count = entries.len();
+    let mut nodes: Vec<Node<K, V>> = Vec::new();
+    if count == 0 {
+        nodes.push(Node::Leaf {
+            entries: Vec::new(),
+            next: NO_NODE,
+        });
+        return Ok(BulkNodes {
+            nodes,
+            root: 0,
+            height: 1,
+            len: 0,
+            leaf_capacity,
+            inner_capacity,
+        });
+    }
+    let target = ((leaf_capacity * 9) / 10).max(2);
+    let plan = chunk_plan(count, target, leaf_capacity / 2, leaf_capacity);
+    // `level` carries (node id, min key of its subtree) so separator keys
+    // are known without re-walking the slab.
+    let mut level: Vec<(usize, K)> = Vec::with_capacity(plan.len());
+    let mut iter = entries.into_iter();
+    for size in plan {
+        let chunk: Vec<(K, V)> = iter.by_ref().take(size).collect();
+        let min = chunk[0].0.clone();
+        let id = nodes.len();
+        nodes.push(Node::Leaf {
+            entries: chunk,
+            next: NO_NODE,
+        });
+        if let Some(&(prev, _)) = level.last() {
+            let Node::Leaf { next, .. } = &mut nodes[prev] else {
+                unreachable!()
+            };
+            *next = id;
+        }
+        level.push((id, min));
+    }
+    let inner_target = ((inner_capacity * 9) / 10).max(2);
+    let min_children = inner_capacity.div_ceil(2);
+    let mut height = 1usize;
+    while level.len() > 1 {
+        let plan = chunk_plan(level.len(), inner_target, min_children, inner_capacity);
+        let mut parents: Vec<(usize, K)> = Vec::with_capacity(plan.len());
+        let mut iter = level.into_iter();
+        for size in plan {
+            let group: Vec<(usize, K)> = iter.by_ref().take(size).collect();
+            let min = group[0].1.clone();
+            let keys: Vec<K> = group[1..].iter().map(|(_, k)| k.clone()).collect();
+            let children: Vec<usize> = group.iter().map(|(id, _)| *id).collect();
+            let id = nodes.len();
+            nodes.push(Node::Inner { keys, children });
+            parents.push((id, min));
+        }
+        level = parents;
+        height += 1;
+    }
+    let root = level[0].0;
+    Ok(BulkNodes {
+        nodes,
+        root,
+        height,
+        len: count,
+        leaf_capacity,
+        inner_capacity,
+    })
+}
+
 #[derive(Debug, Clone)]
 enum Node<K, V> {
     Inner {
@@ -371,6 +531,181 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     }
 
     // ------------------------------------------------------------------
+    // Batched sorted probes
+    // ------------------------------------------------------------------
+
+    fn batch_charge(&self, st: &mut BatchState<K>, node: usize) {
+        if !st.charged[node] {
+            st.charged[node] = true;
+            st.pages_read += 1;
+            self.charge_read(node);
+        }
+    }
+
+    /// Descend to the leaf responsible for `key` (`None` = leftmost
+    /// leaf), reusing the surviving prefix of the previous probe's path
+    /// and charging only pages not yet touched this batch.
+    fn batch_descend(&self, st: &mut BatchState<K>, key: Option<&K>) -> usize {
+        match key {
+            Some(key) => {
+                // Pop frames whose subtree upper bound the key has passed.
+                while st
+                    .path
+                    .last()
+                    .is_some_and(|(_, hi)| hi.as_ref().is_some_and(|h| key >= h))
+                {
+                    st.path.pop();
+                }
+            }
+            None => st.path.clear(),
+        }
+        let (mut node, mut hi, mut on_path) = match st.path.last() {
+            Some((n, h)) => (*n, h.clone(), true),
+            None => (self.root, None, false),
+        };
+        loop {
+            self.batch_charge(st, node);
+            match &self.nodes[node] {
+                Node::Inner { keys, children } => {
+                    if !on_path {
+                        st.path.push((node, hi.clone()));
+                    }
+                    on_path = false;
+                    let idx = match key {
+                        Some(key) => keys.partition_point(|k| k <= key),
+                        None => 0,
+                    };
+                    if idx < keys.len() {
+                        hi = Some(keys[idx].clone());
+                    }
+                    node = children[idx];
+                }
+                Node::Leaf { .. } => return node,
+                Node::Free => unreachable!("descended into freed node"),
+            }
+        }
+    }
+
+    fn fresh_batch(&self) -> BatchState<K> {
+        BatchState {
+            path: Vec::with_capacity(self.height),
+            charged: vec![false; self.nodes.len()],
+            pages_read: 0,
+        }
+    }
+
+    /// Visit, in key order, the entries of each of `ranges` — a batch of
+    /// probes whose lower bounds must be **ascending** (`BTreeSet`
+    /// iteration order qualifies).  One logical root-to-leaf descent is
+    /// performed per run of adjacent probes, leaves are walked via sibling
+    /// links, and every internal/leaf page is charged **at most once for
+    /// the whole batch** — adjacent probes stop re-reading the same root,
+    /// inner, and leaf pages.
+    ///
+    /// `visit` receives the index of the originating range along with each
+    /// entry.  The returned [`BatchReport`] compares the pages actually
+    /// charged against what per-range [`BPlusTree::scan_range`] calls
+    /// would have cost; the tallies also accumulate on the shared
+    /// [`IoStats`](crate::IoStats) batch counters.
+    ///
+    /// An `Unbounded` lower bound restarts the descent at the leftmost
+    /// leaf and is only meaningful as the first range of a batch.
+    pub fn scan_ranges_sorted<'q>(
+        &self,
+        ranges: impl IntoIterator<Item = (Bound<&'q K>, Bound<&'q K>)>,
+        mut visit: impl FnMut(usize, &K, &V),
+    ) -> BatchReport
+    where
+        K: 'q,
+    {
+        let mut st = self.fresh_batch();
+        let mut report = BatchReport::default();
+        let mut prev_lo: Option<&K> = None;
+        for (range_idx, (lo, hi)) in ranges.into_iter().enumerate() {
+            report.probes += 1;
+            let key = match lo {
+                Bound::Included(k) | Bound::Excluded(k) => Some(k),
+                Bound::Unbounded => None,
+            };
+            if let (Some(prev), Some(k)) = (prev_lo, key) {
+                debug_assert!(prev <= k, "scan_ranges_sorted: lower bounds must ascend");
+            }
+            prev_lo = key.or(prev_lo);
+            let mut leaf = self.batch_descend(&mut st, key);
+            let Node::Leaf { entries, .. } = &self.nodes[leaf] else {
+                unreachable!()
+            };
+            let mut start_idx = entries.partition_point(|(k, _)| match lo {
+                Bound::Included(key) => k < key,
+                Bound::Excluded(key) => k <= key,
+                Bound::Unbounded => false,
+            });
+            let mut leaves_visited = 1u64;
+            'walk: loop {
+                let Node::Leaf { entries, next } = &self.nodes[leaf] else {
+                    unreachable!()
+                };
+                for (k, v) in &entries[start_idx..] {
+                    let in_range = match hi {
+                        Bound::Included(h) => k <= h,
+                        Bound::Excluded(h) => k < h,
+                        Bound::Unbounded => true,
+                    };
+                    if !in_range {
+                        break 'walk;
+                    }
+                    visit(range_idx, k, v);
+                }
+                if *next == NO_NODE {
+                    break;
+                }
+                leaf = *next;
+                start_idx = 0;
+                self.batch_charge(&mut st, leaf);
+                leaves_visited += 1;
+            }
+            // A standalone scan of this range descends the full height and
+            // then charges each additional leaf it walks.
+            report.naive_pages += self.height as u64 + (leaves_visited - 1);
+        }
+        report.pages_read = st.pages_read;
+        self.stats.count_batch(report.probes, report.pages_saved());
+        report
+    }
+
+    /// Batched point lookups over **ascending** `keys`: one shared
+    /// descent path, each page charged at most once per batch.  Returns
+    /// the values in input order (`None` for absent keys) plus a report
+    /// comparing against per-key [`BPlusTree::get`] descents (`height`
+    /// reads each).
+    pub fn get_many(&self, keys: &[&K]) -> (Vec<Option<V>>, BatchReport) {
+        for pair in keys.windows(2) {
+            debug_assert!(pair[0] <= pair[1], "get_many keys must ascend");
+        }
+        let mut st = self.fresh_batch();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let leaf = self.batch_descend(&mut st, Some(key));
+            let Node::Leaf { entries, .. } = &self.nodes[leaf] else {
+                unreachable!()
+            };
+            out.push(
+                entries
+                    .binary_search_by(|(k, _)| k.cmp(key))
+                    .ok()
+                    .map(|i| entries[i].1.clone()),
+            );
+        }
+        let report = BatchReport {
+            probes: keys.len() as u64,
+            pages_read: st.pages_read,
+            naive_pages: keys.len() as u64 * self.height as u64,
+        };
+        self.stats.count_batch(report.probes, report.pages_saved());
+        (out, report)
+    }
+
+    // ------------------------------------------------------------------
     // Insertion
     // ------------------------------------------------------------------
 
@@ -496,97 +831,39 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     /// Bulk-load into an (empty) tree with already-configured capacities.
     pub fn fill(&mut self, entries: impl IntoIterator<Item = (K, V)>) -> Result<()> {
         assert!(self.is_empty(), "fill() requires an empty tree");
-        // Validate ordering while collecting.
-        let mut all: Vec<(K, V)> = Vec::new();
-        for (k, v) in entries {
-            if let Some((prev, _)) = all.last() {
-                if prev >= &k {
-                    return Err(PageSimError::CorruptStructure(
-                        "bulk_load keys must be strictly ascending".into(),
-                    ));
-                }
-            }
-            all.push((k, v));
-        }
-        if all.is_empty() {
-            return Ok(()); // stays the empty root leaf
-        }
-        let count = all.len();
-
-        // Leaves at ~90% occupancy, with the final chunk(s) adjusted so no
-        // non-root node violates the minimum-fill invariant.
-        let target = ((self.leaf_capacity * 9) / 10).max(2);
-        let plan = chunk_plan(count, target, self.min_leaf(), self.leaf_capacity);
-        let mut leaves: Vec<usize> = Vec::with_capacity(plan.len());
-        let mut iter = all.into_iter();
-        for size in plan {
-            let chunk: Vec<(K, V)> = iter.by_ref().take(size).collect();
-            let node = self.alloc(Node::Leaf {
-                entries: chunk,
-                next: NO_NODE,
-            });
-            self.charge_write(node);
-            leaves.push(node);
-        }
-        for pair in leaves.windows(2) {
-            let (left, right) = (pair[0], pair[1]);
-            let Node::Leaf { next, .. } = &mut self.nodes[left] else {
-                unreachable!()
-            };
-            *next = right;
-        }
-        // The old empty root leaf is replaced by the loaded tree.
-        let old_root = self.root;
-        self.release(old_root);
-
-        // Inner levels bottom-up, with the same chunk planning over
-        // children counts.
-        let inner_target = ((self.inner_capacity * 9) / 10).max(2);
-        let mut level: Vec<usize> = leaves;
-        let mut height = 1usize;
-        while level.len() > 1 {
-            let plan = chunk_plan(
-                level.len(),
-                inner_target,
-                self.min_children(),
-                self.inner_capacity,
-            );
-            let mut parents: Vec<usize> = Vec::with_capacity(plan.len());
-            let mut iter = level.into_iter();
-            for size in plan {
-                let children: Vec<usize> = iter.by_ref().take(size).collect();
-                let keys: Vec<K> = children[1..].iter().map(|&c| self.min_key_of(c)).collect();
-                let node = self.alloc(Node::Inner { keys, children });
-                self.charge_write(node);
-                parents.push(node);
-            }
-            level = parents;
-            height += 1;
-        }
-        self.root = level[0];
-        self.height = height;
-        self.len = count;
-        Ok(())
+        let built = build_bulk(
+            entries.into_iter().collect(),
+            self.leaf_capacity,
+            self.inner_capacity,
+        )?;
+        self.adopt_bulk(built)
     }
 
-    /// Smallest key in the subtree rooted at `node` (bulk-load helper; no
-    /// page charges — the key is known to the builder).
-    #[allow(clippy::only_used_in_recursion)]
-    fn min_key_of(&self, node: usize) -> K {
-        let mut n = node;
-        loop {
-            match &self.nodes[n] {
-                Node::Inner { children, .. } => n = children[0],
-                Node::Leaf { entries, .. } => {
-                    return entries
-                        .first()
-                        .expect("bulk-loaded nodes are non-empty")
-                        .0
-                        .clone()
-                }
-                Node::Free => unreachable!(),
-            }
+    /// Adopt a slab built by [`build_bulk`] into this empty tree, charging
+    /// one page write per node — the same accounting as
+    /// [`BPlusTree::fill`].  The slab must have been built with this
+    /// tree's capacities.
+    pub fn adopt_bulk(&mut self, built: BulkNodes<K, V>) -> Result<()> {
+        assert!(self.is_empty(), "adopt_bulk() requires an empty tree");
+        if built.leaf_capacity != self.leaf_capacity || built.inner_capacity != self.inner_capacity
+        {
+            return Err(PageSimError::CorruptStructure(
+                "bulk-built slab capacities do not match the adopting tree".into(),
+            ));
         }
+        if built.len == 0 {
+            return Ok(()); // stays the empty root leaf
+        }
+        self.buffer.borrow_mut().invalidate();
+        self.nodes = built.nodes;
+        self.free.clear();
+        self.root = built.root;
+        self.height = built.height;
+        self.len = built.len;
+        for node in 0..self.nodes.len() {
+            self.charge_write(node);
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1248,6 +1525,158 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batched_range_scan_matches_per_range_scans() {
+        let mut t = tiny_tree();
+        for k in 0..500u32 {
+            t.insert(k * 2, k).unwrap();
+        }
+        let los: Vec<u32> = (0..100).map(|i| i * 10).collect();
+        let ranges: Vec<(u32, u32)> = los.iter().map(|&lo| (lo, lo + 6)).collect();
+
+        // Reference: independent per-range scans.
+        let mut naive: Vec<Vec<(u32, u32)>> = Vec::new();
+        let stats = Rc::clone(t.stats());
+        stats.reset();
+        for (lo, hi) in &ranges {
+            naive.push(t.range_collect(lo, hi));
+        }
+        let naive_reads = stats.reads();
+
+        stats.reset();
+        let mut batched: Vec<Vec<(u32, u32)>> = vec![Vec::new(); ranges.len()];
+        let report = t.scan_ranges_sorted(
+            ranges
+                .iter()
+                .map(|(lo, hi)| (Bound::Included(lo), Bound::Excluded(hi))),
+            |idx, k, v| batched[idx].push((*k, *v)),
+        );
+        assert_eq!(batched, naive, "batched results must be bit-identical");
+        assert_eq!(report.probes, ranges.len() as u64);
+        assert_eq!(report.pages_read, stats.reads());
+        assert_eq!(report.naive_pages, naive_reads);
+        assert!(
+            report.pages_read < naive_reads,
+            "adjacent ranges must share pages: {} vs {naive_reads}",
+            report.pages_read
+        );
+        assert_eq!(stats.batch_probes(), ranges.len() as u64);
+        assert_eq!(stats.batch_pages_saved(), naive_reads - report.pages_read);
+    }
+
+    #[test]
+    fn batched_scan_never_charges_a_page_twice() {
+        let mut t = tiny_tree();
+        for k in 0..300u32 {
+            t.insert(k, k).unwrap();
+        }
+        let stats = Rc::clone(t.stats());
+        stats.reset();
+        // A batch covering the whole key space leaf-by-leaf.
+        let los: Vec<u32> = (0..300).collect();
+        let report = t.scan_ranges_sorted(
+            los.iter()
+                .map(|lo| (Bound::Included(lo), Bound::Included(lo))),
+            |_, _, _| {},
+        );
+        assert!(
+            report.pages_read <= t.page_count(),
+            "at most one charge per page: {} vs {} pages",
+            report.pages_read,
+            t.page_count()
+        );
+    }
+
+    #[test]
+    fn get_many_matches_per_key_gets_and_charges_less() {
+        let mut t = tiny_tree();
+        for k in 0..400u32 {
+            t.insert(k * 3, k).unwrap();
+        }
+        let keys: Vec<u32> = (0..200).map(|i| i * 2).collect();
+        let refs: Vec<&u32> = keys.iter().collect();
+        let stats = Rc::clone(t.stats());
+        stats.reset();
+        let (got, report) = t.get_many(&refs);
+        let batched_reads = stats.reads();
+        stats.reset();
+        let naive: Vec<Option<u32>> = keys.iter().map(|k| t.get(k)).collect();
+        let naive_reads = stats.reads();
+        assert_eq!(got, naive);
+        assert_eq!(report.pages_read, batched_reads);
+        assert_eq!(report.naive_pages, naive_reads);
+        assert!(batched_reads < naive_reads, "shared descents must pay off");
+    }
+
+    #[test]
+    fn single_probe_batch_costs_no_more_than_a_plain_scan() {
+        let mut t = tiny_tree();
+        for k in 0..100u32 {
+            t.insert(k, k).unwrap();
+        }
+        let stats = Rc::clone(t.stats());
+        stats.reset();
+        t.scan_range(Bound::Included(&40), Bound::Excluded(&60), |_, _| {});
+        let plain = stats.reads();
+        stats.reset();
+        let report =
+            t.scan_ranges_sorted([(Bound::Included(&40), Bound::Excluded(&60))], |_, _, _| {});
+        assert_eq!(stats.reads(), plain);
+        assert_eq!(report.naive_pages, plain);
+        assert_eq!(report.pages_saved(), 0);
+    }
+
+    #[test]
+    fn batched_scan_with_unbounded_start() {
+        let mut t = tiny_tree();
+        for k in 0..50u32 {
+            t.insert(k, k).unwrap();
+        }
+        let mut seen = Vec::new();
+        t.scan_ranges_sorted(
+            [
+                (Bound::Unbounded, Bound::Excluded(&3)),
+                (Bound::Included(&47), Bound::Unbounded),
+            ],
+            |idx, k, _| seen.push((idx, *k)),
+        );
+        assert_eq!(
+            seen,
+            vec![(0, 0), (0, 1), (0, 2), (1, 47), (1, 48), (1, 49)]
+        );
+    }
+
+    #[test]
+    fn adopted_bulk_build_matches_fill() {
+        let entries: Vec<(u32, u32)> = (0..1000).map(|k| (k, k * 7)).collect();
+        let stats_a = IoStats::new_handle();
+        let mut a: BPlusTree<u32, u32> = BPlusTree::with_capacities(4, 4, Rc::clone(&stats_a));
+        a.fill(entries.clone()).unwrap();
+
+        let built = build_bulk(entries, 4, 4).unwrap();
+        assert_eq!(built.len(), 1000);
+        let stats_b = IoStats::new_handle();
+        let mut b: BPlusTree<u32, u32> = BPlusTree::with_capacities(4, 4, Rc::clone(&stats_b));
+        b.adopt_bulk(built).unwrap();
+        b.check_invariants().unwrap();
+        assert_eq!(b.len(), a.len());
+        assert_eq!(b.height(), a.height());
+        assert_eq!(b.page_count(), a.page_count());
+        assert_eq!(stats_b.writes(), stats_a.writes());
+        let mut va = Vec::new();
+        a.scan_all(|k, v| va.push((*k, *v)));
+        let mut vb = Vec::new();
+        b.scan_all(|k, v| vb.push((*k, *v)));
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn adopt_bulk_rejects_capacity_mismatch() {
+        let built = build_bulk((0..10u32).map(|k| (k, ())).collect(), 4, 4).unwrap();
+        let mut t: BPlusTree<u32, ()> = BPlusTree::with_capacities(8, 8, IoStats::new_handle());
+        assert!(t.adopt_bulk(built).is_err());
     }
 
     #[test]

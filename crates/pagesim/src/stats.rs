@@ -108,6 +108,12 @@ pub struct IoStats {
     writes: Cell<u64>,
     /// Reads satisfied by a buffer pool (not charged as disk reads).
     buffer_hits: Cell<u64>,
+    /// Probes answered through a batched sorted descent
+    /// ([`BPlusTree::scan_ranges_sorted`](crate::BPlusTree::scan_ranges_sorted)).
+    batch_probes: Cell<u64>,
+    /// Page reads a per-probe evaluation would have charged on top of what
+    /// the batched descents actually read.
+    batch_pages_saved: Cell<u64>,
     /// Per-structure attribution, indexed by `StructureId - 1`.
     structures: RefCell<Vec<StructureEntry>>,
 }
@@ -131,6 +137,14 @@ impl IoStats {
     /// Record a buffer-pool hit (a logical read that cost no disk access).
     pub fn count_buffer_hit(&self) {
         self.buffer_hits.set(self.buffer_hits.get() + 1);
+    }
+
+    /// Record the outcome of one batched probe run: `probes` keys/ranges
+    /// answered, saving `pages_saved` page reads over per-probe descents.
+    pub fn count_batch(&self, probes: u64, pages_saved: u64) {
+        self.batch_probes.set(self.batch_probes.get() + probes);
+        self.batch_pages_saved
+            .set(self.batch_pages_saved.get() + pages_saved);
     }
 
     /// Register a structure for I/O attribution; charges tagged with the
@@ -231,6 +245,16 @@ impl IoStats {
         self.buffer_hits.get()
     }
 
+    /// Probes answered through batched sorted descents so far.
+    pub fn batch_probes(&self) -> u64 {
+        self.batch_probes.get()
+    }
+
+    /// Page reads avoided by batching so far (vs. per-probe descents).
+    pub fn batch_pages_saved(&self) -> u64 {
+        self.batch_pages_saved.get()
+    }
+
     /// Total page accesses — the paper's cost metric (reads + writes).
     pub fn accesses(&self) -> u64 {
         self.reads.get() + self.writes.get()
@@ -242,6 +266,8 @@ impl IoStats {
         self.reads.set(0);
         self.writes.set(0);
         self.buffer_hits.set(0);
+        self.batch_probes.set(0);
+        self.batch_pages_saved.set(0);
         for entry in self.structures.borrow().iter() {
             entry.reads.set(0);
             entry.writes.set(0);
@@ -255,6 +281,8 @@ impl IoStats {
             reads: self.reads.get(),
             writes: self.writes.get(),
             buffer_hits: self.buffer_hits.get(),
+            batch_probes: self.batch_probes.get(),
+            batch_pages_saved: self.batch_pages_saved.get(),
         }
     }
 
@@ -273,6 +301,10 @@ pub struct IoSnapshot {
     pub writes: u64,
     /// Buffer hits at snapshot time.
     pub buffer_hits: u64,
+    /// Batched probes at snapshot time.
+    pub batch_probes: u64,
+    /// Pages saved by batching at snapshot time.
+    pub batch_pages_saved: u64,
 }
 
 impl IoSnapshot {

@@ -188,6 +188,14 @@ fn cmd_stats(state: &ShellState) -> Result<String, String> {
          {hits} buffer hits ({hit_rate:.1}% hit rate)\n",
         stats.accesses()
     );
+    let batch_probes = stats.batch_probes();
+    if batch_probes > 0 {
+        let _ = writeln!(
+            out,
+            "batched probes: {batch_probes} ({} page read(s) saved vs. per-key descents)",
+            stats.batch_pages_saved()
+        );
+    }
     let structures = stats.structures();
     if !structures.is_empty() {
         let width = structures
