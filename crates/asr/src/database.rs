@@ -327,6 +327,18 @@ impl Database {
         Ok(oid)
     }
 
+    /// Instantiate a type under a **known** OID — write-ahead-log replay
+    /// and snapshot restoration, where object identity must survive the
+    /// round trip even when the original generator had advanced past the
+    /// snapshot's maximum (e.g. the newest object was deleted before the
+    /// checkpoint).  Fails if the OID is already live.
+    pub fn instantiate_with_oid(&mut self, type_name: &str, oid: Oid) -> Result<()> {
+        self.base.restore_object(oid, type_name)?;
+        let ty = self.base.type_of(oid)?;
+        self.store.register_object(ty, oid)?;
+        Ok(())
+    }
+
     /// Count one multi-position rebuild fallback (recursive-schema updates
     /// that incremental maintenance cannot handle position-by-position).
     fn note_rebuild_fallback(&self, slot: AsrId, cause: &str) {

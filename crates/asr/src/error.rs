@@ -52,6 +52,10 @@ pub enum AsrError {
     /// A maintenance operation referenced a path position that does not
     /// match the updated object's type.
     BadUpdatePosition(String),
+    /// A snapshot (or WAL checkpoint) could not be parsed: truncated
+    /// files, garbled headers, bad `A`-lines, a missing `--BASE--`
+    /// marker.  Loading corrupt input returns this — it never panics.
+    Snapshot(String),
 }
 
 impl fmt::Display for AsrError {
@@ -71,6 +75,7 @@ impl fmt::Display for AsrError {
                 write!(f, "arity mismatch: expected {expected}, got {actual}")
             }
             AsrError::BadUpdatePosition(msg) => write!(f, "bad update position: {msg}"),
+            AsrError::Snapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
         }
     }
 }

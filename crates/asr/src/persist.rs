@@ -70,7 +70,7 @@ impl Database {
     /// clustered files are sized as configured, and every access support
     /// relation is rebuilt.
     pub fn load_from_string(text: &str) -> Result<Database> {
-        let bad = |msg: String| AsrError::BadUpdatePosition(format!("snapshot: {msg}"));
+        let bad = |msg: String| AsrError::Snapshot(msg);
         let (head, base_text) = text
             .split_once(&format!("{BASE_MARKER}\n"))
             .ok_or_else(|| bad("missing --BASE-- marker".into()))?;
@@ -146,7 +146,7 @@ impl Database {
     /// Load from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Database> {
         let text = std::fs::read_to_string(path)
-            .map_err(|e| AsrError::BadUpdatePosition(format!("snapshot: cannot read file: {e}")))?;
+            .map_err(|e| AsrError::Snapshot(format!("cannot read file: {e}")))?;
         Database::load_from_string(&text)
     }
 }
@@ -253,6 +253,60 @@ mod tests {
         assert!(Database::load_from_string(&text).is_err());
         let text = db.save_to_string().replace(" full ", " bogus ");
         assert!(Database::load_from_string(&text).is_err());
+    }
+
+    /// Every way of mangling a snapshot must yield a descriptive
+    /// [`AsrError`] — never a panic.  (The durability layer feeds
+    /// recovered checkpoint bytes straight into this parser, so torn or
+    /// bit-flipped files are an expected input, not a programming error.)
+    #[test]
+    fn corrupt_snapshots_error_descriptively() {
+        let good = sample_db().save_to_string();
+
+        // Truncation at every line boundary: either a valid (possibly
+        // empty-config) database or a clean error, never a panic.
+        let lines: Vec<&str> = good.lines().collect();
+        for k in 0..lines.len() {
+            let truncated = lines[..k].join("\n");
+            let _ = Database::load_from_string(&truncated);
+        }
+        // Truncation at every raw byte offset (may split UTF-8-safe
+        // ASCII lines mid-token).
+        for k in (0..good.len()).step_by(7) {
+            let _ = Database::load_from_string(&good[..k]);
+        }
+
+        // Missing --BASE-- marker names the marker in the error.
+        let no_marker = good.replace("--BASE--\n", "");
+        let err = Database::load_from_string(&no_marker).unwrap_err();
+        assert!(matches!(err, AsrError::Snapshot(_)), "{err}");
+        assert!(err.to_string().contains("--BASE--"), "{err}");
+
+        // Mangled magic header.
+        let bad_magic = good.replace("ASRDB 1", "ASRDB 999");
+        let err = Database::load_from_string(&bad_magic).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // Bad A-lines: missing fields, unparsable cuts, unknown record tag.
+        for mangled in [
+            good.replace(" canonical ", " "),
+            good.replace("0,2,3", "0,x,3"),
+            good.replace("\nA ", "\nZ "),
+            good.replace("S Division 500", "S Division many"),
+            good.replace("S Division 500", "S Nothing 500"),
+        ] {
+            let err = Database::load_from_string(&mangled).unwrap_err();
+            assert!(!err.to_string().is_empty());
+        }
+
+        // Garbled base section (bit-flip style corruption of a value).
+        let garbled = good.replace("S:Door", "S:%zzDoor");
+        assert!(Database::load_from_string(&garbled).is_err());
+
+        // load() on a missing file reports the path problem.
+        let err = Database::load("/nonexistent/dir/db.snap").unwrap_err();
+        assert!(matches!(err, AsrError::Snapshot(_)), "{err}");
+        assert!(err.to_string().contains("cannot read file"), "{err}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Machine-readable performance snapshot (`BENCH_2.json`).
+//! Machine-readable performance snapshot (`BENCH_3.json`).
 //!
 //! ```text
 //! cargo run --release -p asr-bench --bin perf_snapshot -- [--out FILE]
@@ -11,6 +11,9 @@
 //!   on down-scaled generated databases (whole-chain backward queries for
 //!   fig6, `ins_3` updates for fig11), including the batched-probe
 //!   counters (`batch_probes`, `batch_pages_saved`);
+//! * the crash-recovery comparison: marginal page I/O and wall-clock of
+//!   replaying a small WAL tail through incremental maintenance vs.
+//!   rebuilding the ASR from scratch (`asr_bench::recovery`);
 //! * wall-clock of the full figure suite at `--jobs 1` vs `--jobs 4`,
 //!   alongside the machine's available parallelism — on a single-core
 //!   container the worker pool cannot beat the sequential run, and the
@@ -19,6 +22,7 @@
 use std::time::Instant;
 
 use asr_bench::experiments::{registry, run_entries};
+use asr_bench::recovery::{measure_recovery, PhaseCost, RecoveryBench};
 use asr_core::{AsrConfig, Decomposition, Extension};
 use asr_costmodel::{profiles, Mix, Op};
 use asr_workload::{execute_trace, generate, generate_trace, scale_profile, GeneratorSpec};
@@ -34,8 +38,14 @@ struct MeasuredIo {
     batch_pages_saved: u64,
 }
 
+// The recovery comparison runs at full fig6 scale: the rebuild's extent
+// rescans must dwarf the per-record replay cost for the contrast to be
+// visible, and the full population is still sub-second to stage.
+const RECOVERY_SCALE: f64 = 1.0;
+const RECOVERY_DELTA_OPS: usize = 16;
+
 fn main() {
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path = String::from("BENCH_3.json");
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -69,6 +79,9 @@ fn main() {
     eprintln!("measuring fig11 ins_3 workload ...");
     let fig11_io = measure_fig11_updates();
 
+    eprintln!("measuring crash recovery: WAL replay vs full rebuild ...");
+    let recovery = measure_recovery(RECOVERY_SCALE, RECOVERY_DELTA_OPS);
+
     eprintln!("timing the full suite, --jobs 1 ...");
     let jobs1 = Instant::now();
     run_entries(&all, 1);
@@ -80,15 +93,17 @@ fn main() {
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"schema\": \"asr-bench-snapshot/1\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+        "{{\n  \"schema\": \"asr-bench-snapshot/2\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
          \"wall_ms\": {fig6_ms:.1},\n      \"workload\": \"Q_{{0,n}}(bw) x{QUERY_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }},\n    \"fig11\": {{\n      \
          \"wall_ms\": {fig11_ms:.1},\n      \"workload\": \"ins_3 x{UPDATE_COUNT} on the \
-         1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }}\n  }},\n  \"all\": {{\n    \
+         1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }}\n  }},\n  \
+         \"recovery\": {},\n  \"all\": {{\n    \
          \"figures\": {},\n    \"cpus\": {cpus},\n    \"jobs1_wall_ms\": {jobs1_ms:.1},\n    \
          \"jobs4_wall_ms\": {jobs4_ms:.1},\n    \"speedup_jobs4\": {:.2}\n  }}\n}}\n",
         io_json(&fig6_io),
         io_json(&fig11_io),
+        recovery_json(&recovery),
         all.len(),
         jobs1_ms / jobs4_ms.max(1e-9),
     );
@@ -97,6 +112,28 @@ fn main() {
         std::process::exit(1);
     });
     println!("perf snapshot written to {out_path}");
+}
+
+fn phase_json(p: &PhaseCost) -> String {
+    format!(
+        "{{ \"wall_ms\": {:.2}, \"page_reads\": {}, \"page_writes\": {} }}",
+        p.wall_ms, p.page_reads, p.page_writes
+    )
+}
+
+fn recovery_json(b: &RecoveryBench) -> String {
+    format!(
+        "{{\n    \"workload\": \"ins_3 x{RECOVERY_DELTA_OPS} delta on the 1/{RECOVERY_SCALE:.0}-scale \
+         fig6 profile, full/binary ASR\",\n    \"delta_ops\": {},\n    \
+         \"records_replayed\": {},\n    \"checkpoint_load\": {},\n    \"wal_replay\": {},\n    \
+         \"full_rebuild\": {},\n    \"replay_rebuild_page_ratio\": {:.4}\n  }}",
+        b.delta_ops,
+        b.records_replayed,
+        phase_json(&b.checkpoint_load),
+        phase_json(&b.wal_replay),
+        phase_json(&b.full_rebuild),
+        b.wal_replay.pages() as f64 / b.full_rebuild.pages().max(1) as f64,
+    )
 }
 
 fn io_json(io: &MeasuredIo) -> String {

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod recovery;
 pub mod table;
 
 pub use table::Table;

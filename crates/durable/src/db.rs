@@ -1,0 +1,690 @@
+//! [`DurableDatabase`]: an [`asr_core::Database`] whose mutations are
+//! write-ahead logged, checkpointed, and recoverable.
+//!
+//! # Files
+//!
+//! A durable database directory holds three files:
+//!
+//! * `MANIFEST` — marks the directory as a durable database
+//!   (`ASRWAL 1`) and mirrors the checkpoint LSN for diagnostics;
+//! * `checkpoint.snap` — a `CKPT <lsn>` header and an `ASRIDS` line
+//!   (the live session ASR ids, in snapshot order) followed by the
+//!   regular [`Database::save_to_string`] snapshot;
+//! * `wal.log` — checksummed frames of logical records since the
+//!   checkpoint ([`crate::wal`]).
+//!
+//! # Protocol
+//!
+//! Every effective mutation is applied to the in-memory database and then
+//! appended to the WAL (no-ops — setting an attribute to its current
+//! value, inserting a present element — are filtered and *not* logged, so
+//! the log replays exactly the operations that changed state).  Apply
+//! happens before append because some outcomes (the OID an instantiation
+//! picks, the id an ASR creation gets) are only known afterwards and are
+//! part of the record; this is safe because the only state that survives
+//! a crash *is* the checkpoint plus the log — in-memory state is lost
+//! either way, and a failed append poisons the session so nothing
+//! unlogged can be acknowledged afterwards.
+//!
+//! A checkpoint flushes the WAL, atomically writes the snapshot (with its
+//! covering LSN in the header), rewrites the manifest, and removes the
+//! log.  The snapshot's *own* header LSN is authoritative during
+//! recovery, so every crash window is safe: a new snapshot next to a
+//! stale manifest or a not-yet-removed log merely causes records with
+//! `lsn <= checkpoint LSN` to be skipped.
+//!
+//! # Recovery
+//!
+//! [`DurableDatabase::open`] loads the checkpoint, scans the log under
+//! the torn-tail rule (discarding at most the unacknowledged tail),
+//! truncates any torn garbage, and replays the surviving records through
+//! the incremental maintenance engine — cost proportional to the delta
+//! since the checkpoint, not to the database size.
+//!
+//! # ASR id spaces
+//!
+//! The snapshot format stores only *live* ASRs, so loading a checkpoint
+//! compacts dropped slots away while the crashed session kept logging
+//! under its own (holey) ids.  The `ASRIDS` header line maps snapshot
+//! order back to session ids, recovery translates replayed ids through
+//! it, and whenever that translation was non-trivial recovery finishes
+//! with an immediate checkpoint — truncating the log so records in the
+//! old id space can never sit next to records in the new one.
+
+use std::collections::BTreeMap;
+use std::ops::Deref;
+use std::path::Path;
+
+use asr_core::{AsrConfig, AsrId, Database, Decomposition, Extension};
+use asr_gom::{Oid, Value};
+use asr_pagesim::{StructureId, StructureKind, PAGE_SIZE};
+
+use crate::error::{DurableError, Result};
+use crate::record::LogOp;
+use crate::storage::{FsStorage, Storage};
+use crate::wal::{scan_wal, FlushPolicy, WalWriter};
+
+/// Marker + diagnostics file.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Checkpoint snapshot file.
+pub const CHECKPOINT_FILE: &str = "checkpoint.snap";
+/// Write-ahead log file.
+pub const WAL_FILE: &str = "wal.log";
+
+const MANIFEST_MAGIC: &str = "ASRWAL 1";
+const CKPT_MAGIC: &str = "CKPT";
+const ASRIDS_MAGIC: &str = "ASRIDS";
+
+/// What [`DurableDatabase::open`] did to bring the database back.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN the loaded checkpoint covers.
+    pub checkpoint_lsn: u64,
+    /// Records replayed from the WAL tail.
+    pub records_replayed: u64,
+    /// Records skipped because the checkpoint already covered them.
+    pub records_skipped: u64,
+    /// Torn tail bytes discarded (and truncated away).
+    pub torn_bytes: u64,
+    /// Why the tail was discarded, when it was.
+    pub torn_reason: Option<&'static str>,
+    /// Modeled pages read to load the checkpoint.
+    pub checkpoint_pages_read: u64,
+    /// Modeled pages read to scan the WAL.
+    pub wal_pages_read: u64,
+}
+
+/// Point-in-time WAL status (what `\wal status` prints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalStatus {
+    /// Active flush policy.
+    pub policy: FlushPolicy,
+    /// LSN of the last logged record (0 when none yet).
+    pub last_lsn: u64,
+    /// LSN the current checkpoint covers.
+    pub checkpoint_lsn: u64,
+    /// Bytes durably in the log file.
+    pub durable_bytes: usize,
+    /// Records framed but not yet flushed.
+    pub pending_records: usize,
+    /// Whether a storage failure poisoned the session.
+    pub poisoned: bool,
+}
+
+/// A write-ahead-logged, checkpointed, crash-recoverable database.
+///
+/// Immutable access goes through `Deref<Target = Database>` (queries,
+/// stats, the tracer); every mutation goes through the logged wrappers so
+/// nothing durable can be skipped.
+#[derive(Debug)]
+pub struct DurableDatabase<S: Storage> {
+    db: Database,
+    storage: S,
+    wal: WalWriter,
+    checkpoint_lsn: u64,
+    poisoned: bool,
+    wal_sid: StructureId,
+    ckpt_sid: StructureId,
+    report: RecoveryReport,
+}
+
+fn pages(bytes: usize) -> u64 {
+    (bytes as u64).div_ceil(PAGE_SIZE as u64)
+}
+
+fn manifest_text(checkpoint_lsn: u64) -> String {
+    format!("{MANIFEST_MAGIC}\ncheckpoint_lsn {checkpoint_lsn}\n")
+}
+
+impl<S: Storage> DurableDatabase<S> {
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Make `db` durable in (empty) `storage`: writes an initial
+    /// checkpoint capturing the schema and current state, then starts
+    /// logging.  Errors with [`DurableError::AlreadyExists`] when the
+    /// storage already holds a durable database.
+    pub fn create(storage: S, db: Database, policy: FlushPolicy) -> Result<Self> {
+        if storage.read(MANIFEST_FILE)?.is_some() {
+            return Err(DurableError::AlreadyExists(
+                "manifest present; use open() instead".into(),
+            ));
+        }
+        let mut this = DurableDatabase {
+            wal_sid: db.stats().register_structure(StructureKind::Wal, WAL_FILE),
+            ckpt_sid: db
+                .stats()
+                .register_structure(StructureKind::Wal, CHECKPOINT_FILE),
+            db,
+            storage,
+            wal: WalWriter::new(WAL_FILE, policy, 1, 0),
+            checkpoint_lsn: 0,
+            poisoned: false,
+            report: RecoveryReport::default(),
+        };
+        this.checkpoint()?;
+        Ok(this)
+    }
+
+    /// Recover the database from `storage`: load the latest checkpoint
+    /// and replay the WAL tail through incremental maintenance,
+    /// discarding (and truncating) a torn tail.
+    pub fn open(storage: S) -> Result<Self> {
+        Self::open_with(storage, FlushPolicy::EveryRecord)
+    }
+
+    /// [`Self::open`] with an explicit flush policy for the new session.
+    pub fn open_with(mut storage: S, policy: FlushPolicy) -> Result<Self> {
+        let r = Self::recover(&mut storage, policy)?;
+        let mut this = DurableDatabase {
+            db: r.db,
+            storage,
+            wal: r.wal,
+            checkpoint_lsn: r.checkpoint_lsn,
+            poisoned: false,
+            wal_sid: r.wal_sid,
+            ckpt_sid: r.ckpt_sid,
+            report: r.report,
+        };
+        if r.ids_remapped {
+            // Replay translated ASR ids (dropped slots were compacted by
+            // the checkpoint).  Checkpoint now so the log restarts in the
+            // current id space — old-space and new-space records must
+            // never share a log.
+            this.checkpoint()?;
+        }
+        Ok(this)
+    }
+
+    fn recover(storage: &mut S, policy: FlushPolicy) -> Result<Recovered> {
+        // Manifest: the existence + version check.
+        let manifest = storage
+            .read(MANIFEST_FILE)?
+            .ok_or_else(|| DurableError::NotADatabase("no MANIFEST in storage".into()))?;
+        let manifest = String::from_utf8(manifest)
+            .map_err(|_| DurableError::Corrupt("MANIFEST is not UTF-8".into()))?;
+        if manifest.lines().next().map(str::trim) != Some(MANIFEST_MAGIC) {
+            return Err(DurableError::Corrupt(format!(
+                "bad MANIFEST magic (expected `{MANIFEST_MAGIC}`)"
+            )));
+        }
+
+        // Checkpoint: a `CKPT <lsn>` header (authoritative — a crash
+        // between writing the snapshot and the manifest leaves the
+        // manifest stale), an `ASRIDS` session-id line, then a regular
+        // snapshot.
+        let snap = storage.read(CHECKPOINT_FILE)?.ok_or_else(|| {
+            DurableError::Corrupt("MANIFEST present but checkpoint.snap missing".into())
+        })?;
+        let checkpoint_pages_read = pages(snap.len());
+        let snap = String::from_utf8(snap)
+            .map_err(|_| DurableError::Corrupt("checkpoint.snap is not UTF-8".into()))?;
+        let (header, rest) = snap
+            .split_once('\n')
+            .ok_or_else(|| DurableError::Corrupt("checkpoint.snap is empty".into()))?;
+        let checkpoint_lsn: u64 = header
+            .strip_prefix(CKPT_MAGIC)
+            .map(str::trim)
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| DurableError::Corrupt(format!("bad checkpoint header `{header}`")))?;
+        let (ids_line, body) = rest
+            .split_once('\n')
+            .ok_or_else(|| DurableError::Corrupt("checkpoint.snap missing ASRIDS line".into()))?;
+        let session_ids: Vec<AsrId> = ids_line
+            .strip_prefix(ASRIDS_MAGIC)
+            .ok_or_else(|| DurableError::Corrupt(format!("bad ASRIDS line `{ids_line}`")))?
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| DurableError::Corrupt(format!("bad ASR id `{t}` in ASRIDS")))
+            })
+            .collect::<Result<_>>()?;
+        let mut db = Database::load_from_string(body)?;
+
+        // Loading compacted the snapshot's ASRs into slots 0..k; seed the
+        // replay translation from the session ids they had when logged.
+        let mut asr_remap: BTreeMap<AsrId, AsrId> = BTreeMap::new();
+        for (slot, orig) in session_ids.iter().enumerate() {
+            if *orig != slot {
+                asr_remap.insert(*orig, slot);
+            }
+        }
+
+        // WAL tail: scan under the torn-tail rule, replay what the
+        // checkpoint does not already cover.
+        let wal_bytes = storage.read(WAL_FILE)?.unwrap_or_default();
+        let wal_pages_read = pages(wal_bytes.len());
+        let scan = scan_wal(&wal_bytes)?;
+        if scan.torn_bytes > 0 {
+            // Truncate the garbage so future appends extend a valid log.
+            storage.write_atomic(WAL_FILE, &wal_bytes[..scan.valid_bytes])?;
+        }
+        let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        let mut last_lsn = checkpoint_lsn;
+        for rec in &scan.records {
+            last_lsn = last_lsn.max(rec.lsn);
+            if rec.lsn <= checkpoint_lsn {
+                skipped += 1;
+                continue;
+            }
+            apply_op(&mut db, &rec.op, &mut asr_remap)?;
+            replayed += 1;
+        }
+
+        let report = RecoveryReport {
+            checkpoint_lsn,
+            records_replayed: replayed,
+            records_skipped: skipped,
+            torn_bytes: scan.torn_bytes as u64,
+            torn_reason: scan.torn_reason.map(|r| r.label()),
+            checkpoint_pages_read,
+            wal_pages_read,
+        };
+        // Surface recovery through the freshly-built database's
+        // observability layer (page reads + metrics counters).
+        let stats = db.stats();
+        let wal_sid = stats.register_structure(StructureKind::Wal, WAL_FILE);
+        let ckpt_sid = stats.register_structure(StructureKind::Wal, CHECKPOINT_FILE);
+        for _ in 0..checkpoint_pages_read {
+            stats.count_read_for(ckpt_sid);
+        }
+        for _ in 0..wal_pages_read {
+            stats.count_read_for(wal_sid);
+        }
+        let metrics = db.tracer().metrics();
+        metrics.inc_counter("wal.recovery.records_replayed", replayed);
+        metrics.inc_counter("wal.recovery.records_skipped", skipped);
+        metrics.inc_counter("wal.recovery.torn_bytes", scan.torn_bytes as u64);
+        metrics.set_gauge("wal.checkpoint_lsn", checkpoint_lsn as f64);
+
+        Ok(Recovered {
+            db,
+            wal: WalWriter::new(WAL_FILE, policy, last_lsn + 1, scan.valid_bytes),
+            checkpoint_lsn,
+            wal_sid,
+            ckpt_sid,
+            report,
+            ids_remapped: !asr_remap.is_empty(),
+        })
+    }
+
+    /// The report from the `open()` that produced this handle (all zeros
+    /// for a freshly created database).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Give up durability and keep the in-memory database.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// The wrapped database (also available through `Deref`).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    // ------------------------------------------------------------------
+    // WAL control
+    // ------------------------------------------------------------------
+
+    /// Current WAL status.
+    pub fn wal_status(&self) -> WalStatus {
+        WalStatus {
+            policy: self.wal.policy(),
+            last_lsn: self.wal.last_lsn(),
+            checkpoint_lsn: self.checkpoint_lsn,
+            durable_bytes: self.wal.durable_bytes(),
+            pending_records: self.wal.pending_records(),
+            poisoned: self.poisoned,
+        }
+    }
+
+    /// Change the group-flush policy (takes effect from the next record).
+    pub fn set_flush_policy(&mut self, policy: FlushPolicy) {
+        self.wal.set_policy(policy);
+    }
+
+    /// Force buffered records to storage.
+    pub fn flush(&mut self) -> Result<()> {
+        self.check_alive()?;
+        let before = self.wal.durable_bytes();
+        let res = self.wal.flush(&mut self.storage);
+        self.note_log_growth(before);
+        self.poison_on_err(res)
+    }
+
+    /// Checkpoint: flush the WAL, atomically write the snapshot and
+    /// manifest, then truncate the log.  Recovery afterwards starts from
+    /// this state.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.check_alive()?;
+        let before = self.wal.durable_bytes();
+        let res = self.wal.flush(&mut self.storage);
+        self.note_log_growth(before);
+        self.poison_on_err(res)?;
+        let lsn = self.wal.last_lsn();
+        let ids: Vec<String> = self.db.asrs().map(|(id, _)| id.to_string()).collect();
+        let snap = format!(
+            "{CKPT_MAGIC} {lsn}\n{ASRIDS_MAGIC} {}\n{}",
+            ids.join(","),
+            self.db.save_to_string()
+        );
+        let res = self.storage.write_atomic(CHECKPOINT_FILE, snap.as_bytes());
+        self.poison_on_err(res)?;
+        let res = self
+            .storage
+            .write_atomic(MANIFEST_FILE, manifest_text(lsn).as_bytes());
+        self.poison_on_err(res)?;
+        let res = self.storage.remove(WAL_FILE);
+        self.poison_on_err(res)?;
+        self.checkpoint_lsn = lsn;
+        self.wal = WalWriter::new(WAL_FILE, self.wal.policy(), lsn + 1, 0);
+        for _ in 0..pages(snap.len()) {
+            self.db.stats().count_write_for(self.ckpt_sid);
+        }
+        let metrics = self.db.tracer().metrics();
+        metrics.inc_counter("wal.checkpoints", 1);
+        metrics.set_gauge("wal.checkpoint_lsn", lsn as f64);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Logged mutations
+    // ------------------------------------------------------------------
+
+    /// Create and register an object of `type_name` (logged).
+    pub fn instantiate(&mut self, type_name: &str) -> Result<Oid> {
+        self.check_alive()?;
+        let oid = self.db.instantiate(type_name)?;
+        self.log(LogOp::New {
+            ty: type_name.to_string(),
+            oid,
+        })?;
+        Ok(oid)
+    }
+
+    /// Assign an attribute with ASR maintenance (logged unless the value
+    /// is unchanged).
+    pub fn set_attribute(&mut self, owner: Oid, attr: &str, value: Value) -> Result<()> {
+        self.check_alive()?;
+        if self.db.base().get_attribute(owner, attr)? == value {
+            return Ok(()); // no-op: nothing to maintain, nothing to log
+        }
+        self.db.set_attribute(owner, attr, value.clone())?;
+        self.log(LogOp::Set {
+            owner,
+            attr: attr.to_string(),
+            value,
+        })
+    }
+
+    /// Insert into a set object with ASR maintenance (logged when the
+    /// element was actually added).
+    pub fn insert_into_set(&mut self, set: Oid, elem: Value) -> Result<bool> {
+        self.check_alive()?;
+        if !self.db.insert_into_set(set, elem.clone())? {
+            return Ok(false);
+        }
+        self.log(LogOp::Insert { set, elem })?;
+        Ok(true)
+    }
+
+    /// Remove from a set object with ASR maintenance (logged when the
+    /// element was actually present).
+    pub fn remove_from_set(&mut self, set: Oid, elem: &Value) -> Result<bool> {
+        self.check_alive()?;
+        if !self.db.remove_from_set(set, elem)? {
+            return Ok(false);
+        }
+        self.log(LogOp::Remove {
+            set,
+            elem: elem.clone(),
+        })?;
+        Ok(true)
+    }
+
+    /// `insert o into owner.attr` — resolves the owning attribute to its
+    /// set and logs the set-level insert.
+    pub fn insert_into_attr_set(&mut self, owner: Oid, attr: &str, elem: Value) -> Result<bool> {
+        self.check_alive()?;
+        let set = self
+            .db
+            .base()
+            .get_attribute(owner, attr)?
+            .as_ref_oid()
+            .ok_or_else(|| {
+                DurableError::Asr(asr_core::AsrError::BadUpdatePosition(format!(
+                    "{owner}.{attr} is NULL"
+                )))
+            })?;
+        self.insert_into_set(set, elem)
+    }
+
+    /// Delete an object (logged; ASRs rebuild as in the plain database).
+    pub fn delete_object(&mut self, oid: Oid) -> Result<()> {
+        self.check_alive()?;
+        self.db.delete_object(oid)?;
+        self.log(LogOp::Delete { oid })
+    }
+
+    /// Bind a persistent variable (logged).
+    pub fn bind_variable(&mut self, name: &str, value: Value) -> Result<()> {
+        self.check_alive()?;
+        self.db.bind_variable(name, value.clone());
+        self.log(LogOp::Bind {
+            name: name.to_string(),
+            value,
+        })
+    }
+
+    /// Configure the clustered object size of a type, by name (logged).
+    pub fn set_type_size(&mut self, type_name: &str, bytes: usize) -> Result<()> {
+        self.check_alive()?;
+        let ty = self.db.base().schema().require(type_name)?;
+        self.db.set_type_size(ty, bytes);
+        self.log(LogOp::TypeSize {
+            ty: type_name.to_string(),
+            bytes,
+        })
+    }
+
+    /// Build an access support relation over a dotted path (logged).
+    pub fn create_asr_on(&mut self, dotted: &str, config: AsrConfig) -> Result<AsrId> {
+        self.check_alive()?;
+        let op = LogOp::CreateAsr {
+            id: 0, // patched below with the assigned id
+            path: dotted.to_string(),
+            extension: config.extension.name().to_string(),
+            cuts: config.decomposition.cuts().to_vec(),
+            keep_set_oids: config.keep_set_oids,
+        };
+        let id = self.db.create_asr_on(dotted, config)?;
+        let op = match op {
+            LogOp::CreateAsr {
+                path,
+                extension,
+                cuts,
+                keep_set_oids,
+                ..
+            } => LogOp::CreateAsr {
+                id,
+                path,
+                extension,
+                cuts,
+                keep_set_oids,
+            },
+            _ => unreachable!(),
+        };
+        self.log(op)?;
+        Ok(id)
+    }
+
+    /// Drop an access support relation (logged).
+    pub fn drop_asr(&mut self, id: AsrId) -> Result<()> {
+        self.check_alive()?;
+        self.db.drop_asr(id)?;
+        self.log(LogOp::DropAsr { id })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_alive(&self) -> Result<()> {
+        if self.poisoned {
+            Err(DurableError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison_on_err<T>(&mut self, r: Result<T>) -> Result<T> {
+        if r.is_err() {
+            self.poisoned = true;
+        }
+        r
+    }
+
+    /// Append one logical record, honouring the flush policy and
+    /// attributing modeled page writes to the log's tail pages (group
+    /// commit writes the shared tail page once, not once per record).
+    fn log(&mut self, op: LogOp) -> Result<()> {
+        let before = self.wal.durable_bytes();
+        let res = self.wal.append(&mut self.storage, op);
+        self.note_log_growth(before);
+        self.poison_on_err(res)?;
+        self.db.tracer().metrics().inc_counter("wal.records", 1);
+        Ok(())
+    }
+
+    /// Charge page writes for log growth from `before` to the current
+    /// durable size: the tail page plus any newly filled pages.
+    fn note_log_growth(&mut self, before: usize) {
+        let after = self.wal.durable_bytes();
+        if after == before {
+            return;
+        }
+        let first = before / PAGE_SIZE;
+        let last = (after - 1) / PAGE_SIZE;
+        for _ in first..=last {
+            self.db.stats().count_write_for(self.wal_sid);
+        }
+        let metrics = self.db.tracer().metrics();
+        metrics.inc_counter("wal.flushes", 1);
+        metrics.inc_counter("wal.bytes", (after - before) as u64);
+    }
+}
+
+impl<S: Storage> Deref for DurableDatabase<S> {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.db
+    }
+}
+
+/// Replay one logical record against a recovering database.
+///
+/// ASR ids are remapped: checkpoint snapshots compact dropped slots away,
+/// so an id logged after a drop may differ from the id the re-creation
+/// yields; `asr_remap` carries logged-id → actual-id for later drops.
+fn apply_op(db: &mut Database, op: &LogOp, asr_remap: &mut BTreeMap<AsrId, AsrId>) -> Result<()> {
+    match op {
+        LogOp::New { ty, oid } => {
+            // Forced-OID restore: replay must reproduce the logged OID
+            // even where a fresh instantiation would pick another one
+            // (e.g. the pre-checkpoint maximum OID was deleted).
+            db.instantiate_with_oid(ty, *oid)?;
+        }
+        LogOp::Set { owner, attr, value } => db.set_attribute(*owner, attr, value.clone())?,
+        LogOp::Insert { set, elem } => {
+            if !db.insert_into_set(*set, elem.clone())? {
+                return Err(DurableError::ReplayMismatch(format!(
+                    "insert into {set} was logged as effective but replayed as a no-op"
+                )));
+            }
+        }
+        LogOp::Remove { set, elem } => {
+            if !db.remove_from_set(*set, elem)? {
+                return Err(DurableError::ReplayMismatch(format!(
+                    "remove from {set} was logged as effective but replayed as a no-op"
+                )));
+            }
+        }
+        LogOp::Delete { oid } => db.delete_object(*oid)?,
+        LogOp::Bind { name, value } => db.bind_variable(name, value.clone()),
+        LogOp::TypeSize { ty, bytes } => {
+            let id = db.base().schema().require(ty)?;
+            db.set_type_size(id, *bytes);
+        }
+        LogOp::CreateAsr {
+            id,
+            path,
+            extension,
+            cuts,
+            keep_set_oids,
+        } => {
+            let ext = Extension::ALL
+                .into_iter()
+                .find(|e| e.name() == extension)
+                .ok_or_else(|| {
+                    DurableError::Corrupt(format!("unknown extension `{extension}` in WAL"))
+                })?;
+            let config = AsrConfig {
+                extension: ext,
+                decomposition: Decomposition::new(cuts.clone())?,
+                keep_set_oids: *keep_set_oids,
+            };
+            let actual = db.create_asr_on(path, config)?;
+            if actual != *id {
+                asr_remap.insert(*id, actual);
+            }
+        }
+        LogOp::DropAsr { id } => {
+            let actual = asr_remap.get(id).copied().unwrap_or(*id);
+            db.drop_asr(actual)?;
+        }
+    }
+    Ok(())
+}
+
+/// Everything recovery produces except the storage handle itself (which
+/// the caller still owns and moves into the assembled database).
+struct Recovered {
+    db: Database,
+    wal: WalWriter,
+    checkpoint_lsn: u64,
+    wal_sid: StructureId,
+    ckpt_sid: StructureId,
+    report: RecoveryReport,
+    /// Replay had to translate ASR ids — the log must restart in the new
+    /// id space (open() checkpoints immediately).
+    ids_remapped: bool,
+}
+
+/// Extension trait putting `Database::open_durable(dir)` /
+/// `Database::create_durable(dir)` in scope: file-system-backed
+/// durability with one import.
+pub trait OpenDurable: Sized {
+    /// Recover a durable database from `dir`.
+    fn open_durable(dir: impl AsRef<Path>) -> Result<DurableDatabase<FsStorage>>;
+
+    /// Make this database durable in `dir` (which must not already hold
+    /// one), flushing every record.
+    fn create_durable(self, dir: impl AsRef<Path>) -> Result<DurableDatabase<FsStorage>>;
+}
+
+impl OpenDurable for Database {
+    fn open_durable(dir: impl AsRef<Path>) -> Result<DurableDatabase<FsStorage>> {
+        DurableDatabase::open(FsStorage::new(dir)?)
+    }
+
+    fn create_durable(self, dir: impl AsRef<Path>) -> Result<DurableDatabase<FsStorage>> {
+        DurableDatabase::create(FsStorage::new(dir)?, self, FlushPolicy::EveryRecord)
+    }
+}

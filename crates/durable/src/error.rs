@@ -1,0 +1,94 @@
+//! Error type of the durability subsystem.
+
+use std::fmt;
+
+use asr_core::AsrError;
+use asr_gom::GomError;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DurableError>;
+
+/// Errors raised by the write-ahead log, checkpointing and recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// The storage backend failed (I/O error on the real file system).
+    Storage(String),
+    /// A fault-injection failpoint fired: the simulated machine crashed
+    /// mid-write.  The session is poisoned afterwards.
+    InjectedCrash,
+    /// The session hit a storage failure earlier and refuses further
+    /// mutations — reopen from storage to recover a consistent state.
+    Poisoned,
+    /// Durable state that passed its integrity checks still failed to
+    /// parse (a version mismatch or a logic bug, *not* a torn write — torn
+    /// tails are detected and discarded silently during recovery).
+    Corrupt(String),
+    /// The directory holds no durable database (no manifest).
+    NotADatabase(String),
+    /// The directory already holds a durable database; open it instead of
+    /// creating over it.
+    AlreadyExists(String),
+    /// WAL replay diverged from the logged outcome (e.g. an instantiation
+    /// produced a different OID than recorded) — the log and checkpoint
+    /// disagree about history.
+    ReplayMismatch(String),
+    /// An error from the database layer while applying an operation.
+    Asr(AsrError),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Storage(msg) => write!(f, "storage error: {msg}"),
+            DurableError::InjectedCrash => write!(f, "injected crash (failpoint fired)"),
+            DurableError::Poisoned => {
+                write!(f, "durable session poisoned by an earlier storage failure")
+            }
+            DurableError::Corrupt(msg) => write!(f, "corrupt durable state: {msg}"),
+            DurableError::NotADatabase(msg) => write!(f, "not a durable database: {msg}"),
+            DurableError::AlreadyExists(msg) => {
+                write!(f, "durable database already exists: {msg}")
+            }
+            DurableError::ReplayMismatch(msg) => write!(f, "WAL replay mismatch: {msg}"),
+            DurableError::Asr(e) => write!(f, "database error during replay/apply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Asr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AsrError> for DurableError {
+    fn from(e: AsrError) -> Self {
+        DurableError::Asr(e)
+    }
+}
+
+impl From<GomError> for DurableError {
+    fn from(e: GomError) -> Self {
+        DurableError::Asr(AsrError::Gom(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: DurableError = GomError::UnknownVariable("x".into()).into();
+        assert!(e.to_string().contains("database error"));
+        assert!(DurableError::InjectedCrash
+            .to_string()
+            .contains("failpoint"));
+        assert!(DurableError::Corrupt("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Fault injection: a [`Storage`] wrapper that crashes, tears and flips
+//! bits on a deterministic schedule.
+//!
+//! The crash-recovery fuzz harness drives a database through a scripted
+//! workload over a [`FaultyStorage`] and "pulls the plug" at a
+//! pre-planned point.  [`FaultPlan`] describes that point:
+//!
+//! * `crash_after_appends = Some(n)` — the *n*-th append (0-based) to the
+//!   log fails.  `torn_keep_bytes` bytes of that append still reach
+//!   storage (a torn write); an optional [`BitFlip`] corrupts the
+//!   surviving prefix first.
+//! * `crash_on_atomic_write = Some(n)` — the *n*-th atomic whole-file
+//!   write fails *before* replacing anything (rename-based atomicity
+//!   means a crashed atomic write leaves the old content intact).
+//!
+//! Once any failpoint fires the wrapper is *dead*: every subsequent
+//! operation returns [`DurableError::InjectedCrash`], modelling a machine
+//! that stays down until the harness reboots it by reopening the
+//! underlying storage without the wrapper.
+
+use crate::error::{DurableError, Result};
+use crate::storage::Storage;
+
+/// Corrupt one bit of a torn append's surviving prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Which byte of the surviving prefix to corrupt (clamped to its
+    /// last byte when out of range).
+    pub byte: usize,
+    /// Which bit (0–7) of that byte to flip.
+    pub bit: u8,
+}
+
+/// A deterministic schedule of injected failures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail the n-th `append` call (0-based); `None` never crashes on
+    /// append.
+    pub crash_after_appends: Option<usize>,
+    /// How many bytes of the failing append survive (a torn write).
+    /// Clamped to the append's length; ignored unless
+    /// `crash_after_appends` fires.
+    pub torn_keep_bytes: usize,
+    /// Optionally flip a bit in the surviving torn prefix.
+    pub flip: Option<BitFlip>,
+    /// Fail the n-th `write_atomic` call (0-based) without writing
+    /// anything; `None` never crashes on atomic writes.
+    pub crash_on_atomic_write: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that never fires — the wrapper becomes a transparent proxy.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Crash cleanly after `n` appends have fully completed (the n-th
+    /// append itself fails with nothing surviving).
+    pub fn crash_at_append(n: usize) -> Self {
+        FaultPlan {
+            crash_after_appends: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// Crash on the n-th append, leaving `keep` bytes of it behind.
+    pub fn torn_append(n: usize, keep: usize) -> Self {
+        FaultPlan {
+            crash_after_appends: Some(n),
+            torn_keep_bytes: keep,
+            ..Self::default()
+        }
+    }
+}
+
+/// A [`Storage`] decorator executing a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyStorage<S: Storage> {
+    inner: S,
+    plan: FaultPlan,
+    appends_seen: usize,
+    atomic_writes_seen: usize,
+    dead: bool,
+}
+
+impl<S: Storage> FaultyStorage<S> {
+    /// Wrap `inner`, injecting the failures scheduled by `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyStorage {
+            inner,
+            plan,
+            appends_seen: 0,
+            atomic_writes_seen: 0,
+            dead: false,
+        }
+    }
+
+    /// Whether a failpoint has fired (the simulated machine is down).
+    pub fn crashed(&self) -> bool {
+        self.dead
+    }
+
+    /// Unwrap the (possibly torn) underlying storage for "reboot".
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.dead {
+            Err(DurableError::InjectedCrash)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<S: Storage> Storage for FaultyStorage<S> {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        self.check_alive()?;
+        self.inner.read(name)
+    }
+
+    fn write_atomic(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.check_alive()?;
+        let n = self.atomic_writes_seen;
+        self.atomic_writes_seen += 1;
+        if self.plan.crash_on_atomic_write == Some(n) {
+            // Rename-based atomic replacement: a crash before the rename
+            // leaves the previous content untouched.
+            self.dead = true;
+            return Err(DurableError::InjectedCrash);
+        }
+        self.inner.write_atomic(name, data)
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.check_alive()?;
+        let n = self.appends_seen;
+        self.appends_seen += 1;
+        if self.plan.crash_after_appends == Some(n) {
+            self.dead = true;
+            let keep = self.plan.torn_keep_bytes.min(data.len());
+            if keep > 0 {
+                let mut prefix = data[..keep].to_vec();
+                if let Some(flip) = self.plan.flip {
+                    let byte = flip.byte.min(keep - 1);
+                    prefix[byte] ^= 1 << (flip.bit % 8);
+                }
+                self.inner.append(name, &prefix)?;
+            }
+            return Err(DurableError::InjectedCrash);
+        }
+        self.inner.append(name, data)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        self.check_alive()?;
+        self.inner.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    #[test]
+    fn transparent_without_faults() {
+        let mem = MemStorage::new();
+        let mut s = FaultyStorage::new(mem.clone(), FaultPlan::none());
+        s.append("log", b"abc").unwrap();
+        s.write_atomic("snap", b"xyz").unwrap();
+        assert!(!s.crashed());
+        assert_eq!(mem.read("log").unwrap().unwrap(), b"abc");
+        assert_eq!(mem.read("snap").unwrap().unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn crash_on_append_keeps_torn_prefix_then_poisons() {
+        let mem = MemStorage::new();
+        let mut s = FaultyStorage::new(mem.clone(), FaultPlan::torn_append(1, 2));
+        s.append("log", b"first").unwrap();
+        let err = s.append("log", b"second").unwrap_err();
+        assert_eq!(err, DurableError::InjectedCrash);
+        assert!(s.crashed());
+        // Only the torn prefix of the failing append survived.
+        assert_eq!(mem.read("log").unwrap().unwrap(), b"firstse");
+        // Everything afterwards fails too.
+        assert_eq!(s.read("log").unwrap_err(), DurableError::InjectedCrash);
+        assert_eq!(
+            s.append("log", b"x").unwrap_err(),
+            DurableError::InjectedCrash
+        );
+        assert_eq!(s.remove("log").unwrap_err(), DurableError::InjectedCrash);
+    }
+
+    #[test]
+    fn torn_prefix_bit_flip() {
+        let mem = MemStorage::new();
+        let plan = FaultPlan {
+            crash_after_appends: Some(0),
+            torn_keep_bytes: 3,
+            flip: Some(BitFlip { byte: 1, bit: 0 }),
+            crash_on_atomic_write: None,
+        };
+        let mut s = FaultyStorage::new(mem.clone(), plan);
+        assert!(s.append("log", b"abcdef").is_err());
+        assert_eq!(mem.read("log").unwrap().unwrap(), b"acc"); // 'b'^1='c'
+    }
+
+    #[test]
+    fn crash_on_atomic_write_preserves_old_content() {
+        let mem = MemStorage::new();
+        let plan = FaultPlan {
+            crash_on_atomic_write: Some(1),
+            ..FaultPlan::default()
+        };
+        let mut s = FaultyStorage::new(mem.clone(), plan);
+        s.write_atomic("snap", b"v1").unwrap();
+        assert!(s.write_atomic("snap", b"v2").is_err());
+        assert_eq!(mem.read("snap").unwrap().unwrap(), b"v1");
+    }
+}

@@ -1,0 +1,45 @@
+//! # asr-durable — durability for access-support databases
+//!
+//! Kemper & Moerkotte's access support relations are *derived* data: the
+//! snapshot format (`asr-core/persist`) stores only their configuration
+//! and rebuilds them on load.  That makes cold recovery O(database).
+//! This crate adds the classical log-structured alternative so recovery
+//! is O(delta) instead:
+//!
+//! * a **write-ahead log** ([`wal`]) of logical schema/object mutations
+//!   and ASR maintenance operations — length-prefixed, CRC-32-checksummed
+//!   frames with monotonic LSNs and group flush ([`FlushPolicy`]);
+//! * **checkpoints** ([`db`]) that capture the whole database through the
+//!   existing snapshot format, record the LSN they cover, and truncate
+//!   the log;
+//! * **recovery** that loads the latest checkpoint and replays the WAL
+//!   tail through the incremental maintenance engine (Section 6 of the
+//!   paper) rather than rebuilding every ASR from scratch, detecting and
+//!   discarding torn tails by the CRC rule;
+//! * a **fault-injection harness** ([`fault`], [`storage`]): storage is a
+//!   trait with a real-file-system and an in-memory backend, and a
+//!   decorator that crashes after N writes, tears the final append, or
+//!   flips bits — driving the exhaustive crash-recovery test in
+//!   `tests/crash_recovery.rs`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc;
+pub mod db;
+pub mod error;
+pub mod fault;
+pub mod record;
+pub mod storage;
+pub mod wal;
+
+pub use crc::crc32;
+pub use db::{
+    DurableDatabase, OpenDurable, RecoveryReport, WalStatus, CHECKPOINT_FILE, MANIFEST_FILE,
+    WAL_FILE,
+};
+pub use error::{DurableError, Result};
+pub use fault::{BitFlip, FaultPlan, FaultyStorage};
+pub use record::{LogOp, Record};
+pub use storage::{FsStorage, MemStorage, Storage};
+pub use wal::{frame, scan_wal, FlushPolicy, TornReason, WalScan, WalWriter};

@@ -1,0 +1,921 @@
+//! Deterministic crash-recovery fuzzing: a scripted random workload runs
+//! over fault-injected storage, the machine "crashes" at every scheduled
+//! failpoint (clean, torn, bit-flipped, and mid-checkpoint), and the
+//! recovered database must be query-equivalent to a never-crashed oracle
+//! that applied exactly the durable prefix of the script.
+//!
+//! The WAL invariant that makes the oracle construction exact: every
+//! script operation is *effective* by construction (the generator filters
+//! no-ops against a shadow database), so operation `k` logs exactly one
+//! record with LSN `k + 1`.  The durable operation count after recovery
+//! is therefore `checkpoint_lsn + records_replayed`, and the oracle is a
+//! fresh load of the seed snapshot plus that prefix of the script.
+//!
+//! Seed: `ASR_FUZZ_SEED` (decimal u64) overrides the default, so CI can
+//! pin a seed while local runs can explore.
+
+use std::collections::BTreeSet;
+
+use asr_core::{AsrConfig, AsrId, Cell, Database, Decomposition, Extension};
+use asr_durable::{
+    BitFlip, DurableDatabase, DurableError, FaultPlan, FaultyStorage, FlushPolicy, MemStorage,
+    WAL_FILE,
+};
+use asr_gom::{ObjectBase, ObjectBody, Oid, Schema, Value};
+use rand::{Rng, SeedableRng};
+
+const PATH: &str = "Division.Manufactures.Composition.Name";
+const SCRIPT_LEN: usize = 24;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("ASR_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xA512_1990)
+}
+
+// ----------------------------------------------------------------------
+// Seed database (the paper's company schema, small scale)
+// ----------------------------------------------------------------------
+
+fn company_schema() -> Schema {
+    let mut s = Schema::new();
+    s.define_tuple(
+        "Division",
+        [("Name", "STRING"), ("Manufactures", "ProdSET")],
+    )
+    .unwrap();
+    s.define_set("ProdSET", "Product").unwrap();
+    s.define_tuple(
+        "Product",
+        [("Name", "STRING"), ("Composition", "BasePartSET")],
+    )
+    .unwrap();
+    s.define_set("BasePartSET", "BasePart").unwrap();
+    s.define_tuple("BasePart", [("Name", "STRING")]).unwrap();
+    s.validate().unwrap();
+    s
+}
+
+/// The seed snapshot `S0`: a small populated company database with all
+/// four extensions materialized over the full path, serialized once
+/// through save/load so type-id assignment is at its fixed point and
+/// every copy loaded from this text behaves identically (including OID
+/// generation order).
+fn seed_snapshot() -> String {
+    let mut db = Database::from_base(ObjectBase::new(company_schema()));
+    let d = db.instantiate("Division").unwrap();
+    db.set_attribute(d, "Name", Value::string("Auto")).unwrap();
+    let ps = db.instantiate("ProdSET").unwrap();
+    db.set_attribute(d, "Manufactures", Value::Ref(ps)).unwrap();
+    let prod = db.instantiate("Product").unwrap();
+    db.set_attribute(prod, "Name", Value::string("560 SEC"))
+        .unwrap();
+    db.insert_into_set(ps, Value::Ref(prod)).unwrap();
+    let bs = db.instantiate("BasePartSET").unwrap();
+    db.set_attribute(prod, "Composition", Value::Ref(bs))
+        .unwrap();
+    let part = db.instantiate("BasePart").unwrap();
+    db.set_attribute(part, "Name", Value::string("Door"))
+        .unwrap();
+    db.insert_into_set(bs, Value::Ref(part)).unwrap();
+    for ext in Extension::ALL {
+        db.create_asr_on(
+            PATH,
+            AsrConfig {
+                extension: ext,
+                decomposition: Decomposition::binary(3),
+                keep_set_oids: false,
+            },
+        )
+        .unwrap();
+    }
+    let fixed = Database::load_from_string(&db.save_to_string()).unwrap();
+    fixed.save_to_string()
+}
+
+// ----------------------------------------------------------------------
+// Script: guaranteed-effective operations
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    New {
+        ty: &'static str,
+    },
+    Set {
+        owner: Oid,
+        attr: &'static str,
+        value: Value,
+    },
+    Ins {
+        set: Oid,
+        elem: Value,
+    },
+    Rem {
+        set: Oid,
+        elem: Value,
+    },
+    Del {
+        oid: Oid,
+    },
+    Bind {
+        name: String,
+        value: Value,
+    },
+    Size {
+        ty: &'static str,
+        bytes: usize,
+    },
+    MkAsr {
+        config: AsrConfig,
+    },
+    RmAsr {
+        id: AsrId,
+    },
+}
+
+fn apply_plain(db: &mut Database, op: &Op) {
+    match op {
+        Op::New { ty } => {
+            db.instantiate(ty).unwrap();
+        }
+        Op::Set { owner, attr, value } => db.set_attribute(*owner, attr, value.clone()).unwrap(),
+        Op::Ins { set, elem } => assert!(db.insert_into_set(*set, elem.clone()).unwrap()),
+        Op::Rem { set, elem } => assert!(db.remove_from_set(*set, elem).unwrap()),
+        Op::Del { oid } => db.delete_object(*oid).unwrap(),
+        Op::Bind { name, value } => db.bind_variable(name, value.clone()),
+        Op::Size { ty, bytes } => {
+            let id = db.base().schema().resolve(ty).unwrap();
+            db.set_type_size(id, *bytes);
+        }
+        Op::MkAsr { config } => {
+            db.create_asr_on(PATH, config.clone()).unwrap();
+        }
+        Op::RmAsr { id } => db.drop_asr(*id).unwrap(),
+    }
+}
+
+fn apply_durable<S: asr_durable::Storage>(
+    dd: &mut DurableDatabase<S>,
+    op: &Op,
+) -> Result<(), DurableError> {
+    match op {
+        Op::New { ty } => dd.instantiate(ty).map(drop),
+        Op::Set { owner, attr, value } => dd.set_attribute(*owner, attr, value.clone()),
+        Op::Ins { set, elem } => dd.insert_into_set(*set, elem.clone()).map(|eff| {
+            assert!(eff, "script op generated as effective");
+        }),
+        Op::Rem { set, elem } => dd.remove_from_set(*set, elem).map(|eff| {
+            assert!(eff, "script op generated as effective");
+        }),
+        Op::Del { oid } => dd.delete_object(*oid),
+        Op::Bind { name, value } => dd.bind_variable(name, value.clone()),
+        Op::Size { ty, bytes } => dd.set_type_size(ty, *bytes),
+        Op::MkAsr { config } => dd.create_asr_on(PATH, config.clone()).map(drop),
+        Op::RmAsr { id } => dd.drop_asr(*id),
+    }
+}
+
+struct Generator {
+    db: Database, // shadow copy: tracks state so every op is effective
+    rng: rand::rngs::SmallRng,
+    pools: [Vec<Oid>; 5], // Division, ProdSET, Product, BasePartSET, BasePart
+    referenced: BTreeSet<Oid>,
+    live_asrs: Vec<AsrId>,
+    counter: u64,
+}
+
+const TYPES: [&str; 5] = ["Division", "ProdSET", "Product", "BasePartSET", "BasePart"];
+
+impl Generator {
+    fn new(s0: &str, seed: u64) -> Self {
+        let db = Database::load_from_string(s0).unwrap();
+        let mut pools: [Vec<Oid>; 5] = Default::default();
+        let mut referenced = BTreeSet::new();
+        for obj in db.base().objects() {
+            let name = db.base().schema().name(obj.ty).to_string();
+            let slot = TYPES.iter().position(|t| *t == name).unwrap();
+            pools[slot].push(obj.oid);
+            // Seed objects reference each other; treat them all as
+            // referenced so deletes only target fresh unlinked objects.
+            referenced.insert(obj.oid);
+        }
+        let live_asrs = db.asrs().map(|(id, _)| id).collect();
+        Generator {
+            db,
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+            pools,
+            referenced,
+            live_asrs,
+            counter: 0,
+        }
+    }
+
+    fn pick(&mut self, slot: usize) -> Option<Oid> {
+        if self.pools[slot].is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.pools[slot].len());
+        Some(self.pools[slot][i])
+    }
+
+    fn fresh_string(&mut self) -> Value {
+        self.counter += 1;
+        Value::string(format!("val {}%{}", self.counter, self.counter * 7))
+    }
+
+    fn set_elems(&self, set: Oid) -> Vec<Value> {
+        match &self.db.base().object(set).unwrap().body {
+            ObjectBody::Set(elems) => elems.iter().cloned().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Propose one effective operation (retrying internally).
+    fn next_op(&mut self) -> Op {
+        for _ in 0..100 {
+            let kind = self.rng.gen_range(0..12u32);
+            let op = match kind {
+                0 | 1 => {
+                    let slot = self.rng.gen_range(0..TYPES.len());
+                    Some(Op::New { ty: TYPES[slot] })
+                }
+                2 | 3 => {
+                    // Rename a tuple object to a fresh value: always effective.
+                    let slot = [0usize, 2, 4][self.rng.gen_range(0..3usize)];
+                    let value = self.fresh_string();
+                    self.pick(slot).map(|owner| Op::Set {
+                        owner,
+                        attr: "Name",
+                        value,
+                    })
+                }
+                4 => {
+                    // Link a division to a product set it doesn't point at.
+                    let (d, ps) = match (self.pick(0), self.pick(1)) {
+                        (Some(d), Some(ps)) => (d, ps),
+                        _ => continue,
+                    };
+                    let cur = self.db.base().get_attribute(d, "Manufactures").unwrap();
+                    if cur == Value::Ref(ps) {
+                        continue;
+                    }
+                    Some(Op::Set {
+                        owner: d,
+                        attr: "Manufactures",
+                        value: Value::Ref(ps),
+                    })
+                }
+                5 => {
+                    let (p, bs) = match (self.pick(2), self.pick(3)) {
+                        (Some(p), Some(bs)) => (p, bs),
+                        _ => continue,
+                    };
+                    let cur = self.db.base().get_attribute(p, "Composition").unwrap();
+                    if cur == Value::Ref(bs) {
+                        continue;
+                    }
+                    Some(Op::Set {
+                        owner: p,
+                        attr: "Composition",
+                        value: Value::Ref(bs),
+                    })
+                }
+                6 => {
+                    // Insert an absent element into a set.
+                    let (set_slot, elem_slot) = if self.rng.gen_bool(0.5) {
+                        (1, 2)
+                    } else {
+                        (3, 4)
+                    };
+                    let (set, elem) = match (self.pick(set_slot), self.pick(elem_slot)) {
+                        (Some(s), Some(e)) => (s, Value::Ref(e)),
+                        _ => continue,
+                    };
+                    if self.set_elems(set).contains(&elem) {
+                        continue;
+                    }
+                    Some(Op::Ins { set, elem })
+                }
+                7 => {
+                    // Remove a present element.
+                    let set_slot = if self.rng.gen_bool(0.5) { 1 } else { 3 };
+                    let set = match self.pick(set_slot) {
+                        Some(s) => s,
+                        None => continue,
+                    };
+                    let elems = self.set_elems(set);
+                    if elems.is_empty() {
+                        continue;
+                    }
+                    let elem = elems[self.rng.gen_range(0..elems.len())].clone();
+                    Some(Op::Rem { set, elem })
+                }
+                8 => {
+                    // Delete an object nothing ever referenced.
+                    let slot = self.rng.gen_range(0..TYPES.len());
+                    let candidates: Vec<Oid> = self.pools[slot]
+                        .iter()
+                        .copied()
+                        .filter(|o| !self.referenced.contains(o))
+                        .collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let oid = candidates[self.rng.gen_range(0..candidates.len())];
+                    Some(Op::Del { oid })
+                }
+                9 => {
+                    let value = if self.rng.gen_bool(0.5) {
+                        self.fresh_string()
+                    } else {
+                        match self.pick(2) {
+                            Some(p) => Value::Ref(p),
+                            None => continue,
+                        }
+                    };
+                    self.counter += 1;
+                    Some(Op::Bind {
+                        name: format!("Var{}", self.counter),
+                        value,
+                    })
+                }
+                10 => {
+                    let slot = self.rng.gen_range(0..TYPES.len());
+                    let bytes = self.rng.gen_range(100..2000usize);
+                    Some(Op::Size {
+                        ty: TYPES[slot],
+                        bytes,
+                    })
+                }
+                _ => {
+                    // Create or drop an access support relation.
+                    if self.rng.gen_bool(0.3) && !self.live_asrs.is_empty() {
+                        let i = self.rng.gen_range(0..self.live_asrs.len());
+                        Some(Op::RmAsr {
+                            id: self.live_asrs[i],
+                        })
+                    } else {
+                        let all = Decomposition::enumerate_all(3);
+                        let decomposition = all[self.rng.gen_range(0..all.len())].clone();
+                        let ext = Extension::ALL[self.rng.gen_range(0..4usize)];
+                        Some(Op::MkAsr {
+                            config: AsrConfig {
+                                extension: ext,
+                                decomposition,
+                                keep_set_oids: false,
+                            },
+                        })
+                    }
+                }
+            };
+            if let Some(op) = op {
+                self.track(&op);
+                return op;
+            }
+        }
+        unreachable!("generator failed to produce an effective op in 100 draws")
+    }
+
+    /// Apply to the shadow database and update the bookkeeping pools.
+    fn track(&mut self, op: &Op) {
+        match op {
+            Op::New { ty } => {
+                let oid = self.db.instantiate(ty).unwrap();
+                let slot = TYPES.iter().position(|t| t == ty).unwrap();
+                self.pools[slot].push(oid);
+                return;
+            }
+            Op::Set {
+                value: Value::Ref(target),
+                ..
+            }
+            | Op::Ins {
+                elem: Value::Ref(target),
+                ..
+            } => {
+                self.referenced.insert(*target);
+            }
+            Op::Bind {
+                value: Value::Ref(target),
+                ..
+            } => {
+                self.referenced.insert(*target);
+            }
+            Op::Del { oid } => {
+                for pool in &mut self.pools {
+                    pool.retain(|o| o != oid);
+                }
+            }
+            Op::MkAsr { .. } => {}
+            Op::RmAsr { id } => self.live_asrs.retain(|a| a != id),
+            _ => {}
+        }
+        if let Op::MkAsr { config } = op {
+            let id = self.db.create_asr_on(PATH, config.clone()).unwrap();
+            self.live_asrs.push(id);
+            return;
+        }
+        apply_plain(&mut self.db, op);
+    }
+}
+
+fn make_script(s0: &str, seed: u64) -> Vec<Op> {
+    let mut g = Generator::new(s0, seed);
+    (0..SCRIPT_LEN).map(|_| g.next_op()).collect()
+}
+
+// ----------------------------------------------------------------------
+// Equivalence
+// ----------------------------------------------------------------------
+
+/// Full structural + query equivalence between a recovered database and
+/// the oracle.
+fn assert_equivalent(recovered: &Database, oracle: &Database, ctx: &str) {
+    assert_eq!(
+        recovered.save_to_string(),
+        oracle.save_to_string(),
+        "snapshot divergence ({ctx})"
+    );
+    let rec: Vec<_> = recovered.asrs().collect();
+    let ora: Vec<_> = oracle.asrs().collect();
+    assert_eq!(rec.len(), ora.len(), "live ASR count ({ctx})");
+    // Collect every part name in the oracle for backward spot queries.
+    let part_names: Vec<Value> = oracle
+        .base()
+        .objects()
+        .filter(|o| oracle.base().schema().name(o.ty) == "BasePart")
+        .map(|o| o.attribute("Name").clone())
+        .filter(|v| *v != Value::Null)
+        .collect();
+    for ((rid, ra), (oid, oa)) in rec.iter().zip(ora.iter()) {
+        ra.check_consistency()
+            .unwrap_or_else(|e| panic!("recovered ASR {rid} inconsistent ({ctx}): {e}"));
+        assert_eq!(ra.config(), oa.config(), "ASR config order ({ctx})");
+        if !ra.supports(0, 3) {
+            continue;
+        }
+        for name in &part_names {
+            let target = Cell::Value(name.clone());
+            let mut r = recovered.backward(*rid, 0, 3, &target).unwrap();
+            let mut o = oracle.backward(*oid, 0, 3, &target).unwrap();
+            r.sort();
+            o.sort();
+            assert_eq!(r, o, "backward({name:?}) on ASR {rid} ({ctx})");
+        }
+    }
+}
+
+/// Build the oracle: seed snapshot plus the first `m` script operations.
+fn oracle_at(s0: &str, script: &[Op], m: usize) -> Database {
+    let mut db = Database::load_from_string(s0).unwrap();
+    for op in &script[..m] {
+        apply_plain(&mut db, op);
+    }
+    db
+}
+
+// ----------------------------------------------------------------------
+// One fuzz run
+// ----------------------------------------------------------------------
+
+struct RunOutcome {
+    durable_ops: usize,
+    acked_ops: usize,
+    attempted_ops: usize,
+    crashed: bool,
+    torn_reason: Option<&'static str>,
+    torn_bytes: u64,
+}
+
+/// Run the script under `plan`/`policy` (optionally checkpointing after
+/// `checkpoint_after` operations), crash, reboot, recover, and check the
+/// recovered state against the oracle.  Returns what happened for the
+/// caller's policy-specific assertions.
+fn run_crash_case(
+    s0: &str,
+    script: &[Op],
+    plan: FaultPlan,
+    policy: FlushPolicy,
+    checkpoint_after: Option<usize>,
+    ctx: &str,
+) -> RunOutcome {
+    let disk = MemStorage::new();
+    let faulty = FaultyStorage::new(disk.clone(), plan);
+    let seed_db = Database::load_from_string(s0).unwrap();
+    let mut dd = match DurableDatabase::create(faulty, seed_db, policy) {
+        Ok(dd) => dd,
+        Err(e) => {
+            // Create itself crashed: nothing durable may exist.
+            assert!(
+                matches!(e, DurableError::InjectedCrash | DurableError::Poisoned),
+                "unexpected create failure ({ctx}): {e}"
+            );
+            let err = DurableDatabase::open(disk.clone()).unwrap_err();
+            assert!(
+                matches!(err, DurableError::NotADatabase(_)),
+                "half-created database must not open ({ctx}): {err}"
+            );
+            return RunOutcome {
+                durable_ops: 0,
+                acked_ops: 0,
+                attempted_ops: 0,
+                crashed: true,
+                torn_reason: None,
+                torn_bytes: 0,
+            };
+        }
+    };
+
+    let mut acked = 0usize;
+    let mut attempted = 0usize;
+    let mut crashed = false;
+    for (i, op) in script.iter().enumerate() {
+        attempted += 1;
+        match apply_durable(&mut dd, op) {
+            Ok(()) => acked += 1,
+            Err(e) => {
+                assert!(
+                    matches!(e, DurableError::InjectedCrash | DurableError::Poisoned),
+                    "unexpected failure ({ctx}) at op {i}: {e}"
+                );
+                crashed = true;
+                break;
+            }
+        }
+        if checkpoint_after == Some(i + 1) {
+            if let Err(e) = dd.checkpoint() {
+                assert!(
+                    matches!(e, DurableError::InjectedCrash | DurableError::Poisoned),
+                    "unexpected checkpoint failure ({ctx}): {e}"
+                );
+                crashed = true;
+                break;
+            }
+        }
+    }
+    drop(dd); // the crash: whatever was not flushed is gone
+
+    let recovered = DurableDatabase::open(disk.clone())
+        .unwrap_or_else(|e| panic!("recovery failed ({ctx}): {e}"));
+    let report = recovered.recovery_report().clone();
+    let durable_ops = (report.checkpoint_lsn + report.records_replayed) as usize;
+    assert!(
+        durable_ops <= attempted,
+        "recovered more ops than were attempted ({ctx}): {durable_ops} > {attempted}"
+    );
+
+    let oracle = oracle_at(s0, script, durable_ops);
+    assert_equivalent(&recovered, &oracle, ctx);
+
+    // Recovery metrics must be observable through the metrics registry.
+    let metrics = recovered.tracer().metrics();
+    assert_eq!(
+        metrics.counter("wal.recovery.records_replayed"),
+        report.records_replayed,
+        "({ctx})"
+    );
+    assert_eq!(
+        metrics.counter("wal.recovery.torn_bytes"),
+        report.torn_bytes,
+        "({ctx})"
+    );
+    // The gauge tracks the *current* checkpoint (recovery checkpoints
+    // immediately when it had to translate ASR ids, advancing it past
+    // the one that was loaded).
+    assert_eq!(
+        metrics.gauge("wal.checkpoint_lsn"),
+        Some(recovered.wal_status().checkpoint_lsn as f64),
+        "({ctx})"
+    );
+
+    // A second open (after the truncating recovery) must see a clean log
+    // and reach the identical state.
+    drop(recovered);
+    let again = DurableDatabase::open(disk).unwrap();
+    assert_eq!(
+        again.recovery_report().torn_bytes,
+        0,
+        "tail truncated on recovery ({ctx})"
+    );
+    assert_equivalent(&again, &oracle, &format!("{ctx}, second open"));
+
+    RunOutcome {
+        durable_ops,
+        acked_ops: acked,
+        attempted_ops: attempted,
+        crashed,
+        torn_reason: report.torn_reason,
+        torn_bytes: report.torn_bytes,
+    }
+}
+
+// ----------------------------------------------------------------------
+// The fuzz matrix
+// ----------------------------------------------------------------------
+
+/// Clean crash after every possible append, flush-every-record: the
+/// durable prefix must be exactly the acknowledged prefix.
+#[test]
+fn crash_at_every_append_every_record_policy() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed());
+    for n in 0..=SCRIPT_LEN {
+        let ctx = format!("clean crash at append {n}");
+        let out = run_crash_case(
+            &s0,
+            &script,
+            FaultPlan::crash_at_append(n),
+            FlushPolicy::EveryRecord,
+            None,
+            &ctx,
+        );
+        if n < SCRIPT_LEN {
+            assert!(out.crashed, "{ctx}: plan must fire");
+            assert_eq!(out.durable_ops, n, "{ctx}: exactly the acked prefix");
+            assert_eq!(out.acked_ops, n, "{ctx}");
+        } else {
+            assert!(!out.crashed, "{ctx}: plan out of range never fires");
+            assert_eq!(out.durable_ops, SCRIPT_LEN, "{ctx}");
+        }
+    }
+}
+
+/// Torn writes at every append: keep 1 and 6 bytes (torn header), and 12
+/// bytes (header intact, payload cut short).  The torn record was never
+/// acknowledged, so recovery discards it and nothing else.
+#[test]
+fn torn_write_at_every_append() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x7071);
+    for n in 0..SCRIPT_LEN {
+        for keep in [1usize, 6, 12] {
+            let ctx = format!("torn append {n} keeping {keep} bytes");
+            let out = run_crash_case(
+                &s0,
+                &script,
+                FaultPlan::torn_append(n, keep),
+                FlushPolicy::EveryRecord,
+                None,
+                &ctx,
+            );
+            assert!(out.crashed, "{ctx}");
+            assert_eq!(out.durable_ops, n, "{ctx}");
+            assert_eq!(out.torn_bytes, keep as u64, "{ctx}");
+            assert!(
+                out.torn_reason.is_some(),
+                "{ctx}: scan must report the tear"
+            );
+        }
+    }
+}
+
+/// A bit flip inside the torn tail must not confuse the scanner either.
+#[test]
+fn torn_write_with_bit_flip() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xF11F);
+    for n in (0..SCRIPT_LEN).step_by(3) {
+        for (keep, byte) in [(6usize, 2usize), (12, 9)] {
+            let plan = FaultPlan {
+                crash_after_appends: Some(n),
+                torn_keep_bytes: keep,
+                flip: Some(BitFlip { byte, bit: 3 }),
+                crash_on_atomic_write: None,
+            };
+            let ctx = format!("torn+flip append {n} keep {keep} flip@{byte}");
+            let out = run_crash_case(&s0, &script, plan, FlushPolicy::EveryRecord, None, &ctx);
+            assert_eq!(out.durable_ops, n, "{ctx}");
+        }
+    }
+}
+
+/// Bit rot at rest: a *complete, acknowledged* record is corrupted after
+/// the crash.  The CRC detects it; recovery silently drops that record
+/// (it is the unacknowledgeable tail from the log's point of view) and
+/// recovers the prefix before it.
+#[test]
+fn bit_flip_on_complete_record_at_rest() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xB17F);
+    for n in 0..SCRIPT_LEN {
+        let disk = MemStorage::new();
+        let seed_db = Database::load_from_string(&s0).unwrap();
+        let mut dd = DurableDatabase::create(
+            FaultyStorage::new(disk.clone(), FaultPlan::crash_at_append(n + 1)),
+            seed_db,
+            FlushPolicy::EveryRecord,
+        )
+        .unwrap();
+        for op in script.iter() {
+            if apply_durable(&mut dd, op).is_err() {
+                break;
+            }
+        }
+        drop(dd);
+        // Records 0..=n are durable; rot the payload tail of record n.
+        let len = disk.len(WAL_FILE);
+        assert!(len > 0);
+        assert!(disk.flip_bit_at_rest(WAL_FILE, len - 1, 5));
+
+        let ctx = format!("bit rot in last record after {n} clean appends");
+        let recovered = DurableDatabase::open(disk).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        let report = recovered.recovery_report();
+        assert_eq!(report.torn_reason, Some("crc mismatch"), "{ctx}");
+        let m = (report.checkpoint_lsn + report.records_replayed) as usize;
+        assert_eq!(m, n, "{ctx}: rotted record dropped, prefix kept");
+        assert_equivalent(&recovered, &oracle_at(&s0, &script, n), &ctx);
+    }
+}
+
+/// Group commit: crashes land between group flushes, so up to N-1 acked
+/// operations may be lost — but the durable prefix is still an exact
+/// prefix, never a gap or reorder.
+#[test]
+fn crash_under_group_commit() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x96C0);
+    let group = 3usize;
+    for a in 0..=SCRIPT_LEN / group {
+        for keep in [0usize, 1, 40] {
+            let ctx = format!("group-commit crash at flush {a} keeping {keep}");
+            let plan = FaultPlan {
+                crash_after_appends: Some(a),
+                torn_keep_bytes: keep,
+                flip: None,
+                crash_on_atomic_write: None,
+            };
+            let out = run_crash_case(&s0, &script, plan, FlushPolicy::EveryN(group), None, &ctx);
+            if out.crashed {
+                // The durable prefix covers every fully flushed group and
+                // at most the torn group's surviving records.
+                assert!(
+                    out.durable_ops >= a * group,
+                    "{ctx}: {out:?} lost a flushed group",
+                );
+                assert!(
+                    out.durable_ops <= out.attempted_ops,
+                    "{ctx}: durable beyond attempts"
+                );
+                assert!(
+                    out.acked_ops + 1 == out.attempted_ops,
+                    "{ctx}: exactly the crashing op unacked"
+                );
+            } else {
+                // Plan never fired; pending tail (script len not divisible
+                // by the group) is lost with the process.
+                assert_eq!(out.durable_ops, (SCRIPT_LEN / group) * group, "{ctx}");
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "durable={} acked={} attempted={} crashed={} torn={:?}/{}",
+            self.durable_ops,
+            self.acked_ops,
+            self.attempted_ops,
+            self.crashed,
+            self.torn_reason,
+            self.torn_bytes
+        )
+    }
+}
+
+/// Explicit flush policy: nothing is durable until `flush()` (or a
+/// checkpoint); a crash loses exactly the unflushed suffix.
+#[test]
+fn explicit_policy_loses_unflushed_suffix() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xEE11);
+    for flush_at in [0usize, 5, SCRIPT_LEN] {
+        let disk = MemStorage::new();
+        let seed_db = Database::load_from_string(&s0).unwrap();
+        let mut dd = DurableDatabase::create(
+            FaultyStorage::new(disk.clone(), FaultPlan::none()),
+            seed_db,
+            FlushPolicy::Explicit,
+        )
+        .unwrap();
+        for (i, op) in script.iter().enumerate() {
+            apply_durable(&mut dd, op).unwrap();
+            if i + 1 == flush_at {
+                dd.flush().unwrap();
+            }
+        }
+        drop(dd); // crash with the suffix only in memory
+        let ctx = format!("explicit policy, flushed after {flush_at}");
+        let recovered = DurableDatabase::open(disk).unwrap();
+        let report = recovered.recovery_report();
+        let m = (report.checkpoint_lsn + report.records_replayed) as usize;
+        assert_eq!(m, flush_at, "{ctx}");
+        assert_equivalent(&recovered, &oracle_at(&s0, &script, flush_at), &ctx);
+    }
+}
+
+/// Crashes at every point around a mid-script checkpoint: while writing
+/// the snapshot (old checkpoint + full log recover), while writing the
+/// manifest (new snapshot's own LSN governs — no double replay), and at
+/// every append before/after.
+#[test]
+fn crash_around_mid_script_checkpoint() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xC4E7);
+    let ckpt_at = SCRIPT_LEN / 2;
+
+    // Atomic-write failpoints. Create consumes atomic writes 0 and 1;
+    // the mid-script checkpoint consumes 2 (snapshot) and 3 (manifest).
+    for atomic_n in [2usize, 3] {
+        let plan = FaultPlan {
+            crash_on_atomic_write: Some(atomic_n),
+            ..FaultPlan::default()
+        };
+        let ctx = format!("crash on atomic write {atomic_n} during checkpoint");
+        let out = run_crash_case(
+            &s0,
+            &script,
+            plan,
+            FlushPolicy::EveryRecord,
+            Some(ckpt_at),
+            &ctx,
+        );
+        assert!(out.crashed, "{ctx}");
+        // Whichever file the crash hit, every op logged before the
+        // checkpoint attempt is durable — no more, no less.
+        assert_eq!(out.durable_ops, ckpt_at, "{ctx}");
+    }
+
+    // Create-time failpoints: atomic writes 0 (snapshot) and 1 (manifest).
+    for atomic_n in [0usize, 1] {
+        let plan = FaultPlan {
+            crash_on_atomic_write: Some(atomic_n),
+            ..FaultPlan::default()
+        };
+        let ctx = format!("crash on atomic write {atomic_n} during create");
+        let out = run_crash_case(&s0, &script, plan, FlushPolicy::EveryRecord, None, &ctx);
+        assert!(out.crashed, "{ctx}");
+        assert_eq!(out.durable_ops, 0, "{ctx}");
+    }
+
+    // Append crashes across the checkpoint boundary: before it the full
+    // log recovers; after it the checkpoint plus the short tail does.
+    for n in 0..=SCRIPT_LEN {
+        let ctx = format!("checkpoint at {ckpt_at}, clean crash at append {n}");
+        let out = run_crash_case(
+            &s0,
+            &script,
+            FaultPlan::crash_at_append(n),
+            FlushPolicy::EveryRecord,
+            Some(ckpt_at),
+            &ctx,
+        );
+        assert_eq!(out.durable_ops, n.min(SCRIPT_LEN), "{ctx}");
+    }
+}
+
+/// No crash at all: a checkpointed database reopens with zero replay,
+/// and a non-checkpointed one replays its whole log — both equivalent to
+/// the full-script oracle.
+#[test]
+fn clean_shutdown_and_reopen() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xC1EA);
+    let oracle = oracle_at(&s0, &script, SCRIPT_LEN);
+
+    for final_checkpoint in [false, true] {
+        let disk = MemStorage::new();
+        let seed_db = Database::load_from_string(&s0).unwrap();
+        let mut dd =
+            DurableDatabase::create(disk.clone(), seed_db, FlushPolicy::EveryRecord).unwrap();
+        for op in &script {
+            apply_durable(&mut dd, op).unwrap();
+        }
+        if final_checkpoint {
+            dd.checkpoint().unwrap();
+        }
+        // The live session and the oracle agree even before any reboot.
+        assert_equivalent(&dd, &oracle, "live session");
+        drop(dd);
+
+        let recovered = DurableDatabase::open(disk).unwrap();
+        let report = recovered.recovery_report();
+        if final_checkpoint {
+            assert_eq!(report.records_replayed, 0, "checkpoint covers everything");
+            assert_eq!(report.checkpoint_lsn, SCRIPT_LEN as u64);
+        } else {
+            assert_eq!(
+                report.records_replayed, SCRIPT_LEN as u64,
+                "whole log replays"
+            );
+        }
+        assert_equivalent(
+            &recovered,
+            &oracle,
+            &format!("clean reopen, checkpoint={final_checkpoint}"),
+        );
+    }
+}

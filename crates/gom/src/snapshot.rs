@@ -33,7 +33,10 @@ const MAGIC: &str = "GOMSNAP 1";
 // Encoding
 // ----------------------------------------------------------------------
 
-fn escape(s: &str) -> String {
+/// Percent-escape a token so it survives the space-separated, line-based
+/// snapshot format (also used by the `asr-durable` write-ahead log, which
+/// shares this encoding for its record payloads).
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -48,7 +51,8 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Result<String> {
+/// Inverse of [`escape`].
+pub fn unescape(s: &str) -> Result<String> {
     let mut out = String::with_capacity(s.len());
     let bytes = s.as_bytes();
     let mut i = 0;
@@ -74,7 +78,9 @@ fn bad(msg: String) -> GomError {
     GomError::InvalidPath(format!("snapshot: {msg}"))
 }
 
-fn encode_value(v: &Value) -> String {
+/// Encode one [`Value`] in the snapshot's tagged text form
+/// (`N`, `I:<i64>`, `S:<escaped>`, `R:i<oid>`, …).
+pub fn encode_value(v: &Value) -> String {
     match v {
         Value::Null => "N".into(),
         Value::Integer(i) => format!("I:{i}"),
@@ -87,7 +93,8 @@ fn encode_value(v: &Value) -> String {
     }
 }
 
-fn decode_value(s: &str) -> Result<Value> {
+/// Inverse of [`encode_value`].
+pub fn decode_value(s: &str) -> Result<Value> {
     if s == "N" {
         return Ok(Value::Null);
     }

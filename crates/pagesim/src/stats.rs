@@ -53,6 +53,9 @@ pub enum StructureKind {
     ClusteredFile,
     /// A page-granular B+ tree (ASR partitions, directions).
     BTree,
+    /// A sequential durability structure: the write-ahead log or a
+    /// checkpoint snapshot file (`asr-durable`).
+    Wal,
     /// Anything else that charges page traffic.
     Other,
 }
@@ -63,6 +66,7 @@ impl StructureKind {
         match self {
             StructureKind::ClusteredFile => "clustered_file",
             StructureKind::BTree => "btree",
+            StructureKind::Wal => "wal",
             StructureKind::Other => "other",
         }
     }

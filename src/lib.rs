@@ -23,6 +23,10 @@
 //! * [`advisor`] — the Section-7 vision: derive the application profile
 //!   from the live base, record the usage pattern, and (semi-)
 //!   automatically adjust the physical design;
+//! * [`durable`] — the durability subsystem: a checksummed write-ahead
+//!   log of logical mutations, incremental checkpoint/recovery that
+//!   replays the WAL tail through the maintenance engine instead of
+//!   rebuilding ASRs, and a fault-injection harness for crash testing;
 //! * [`obs`] — the zero-dependency tracing and metrics layer (nested
 //!   spans with per-span I/O deltas, counters/gauges/histograms, and
 //!   pluggable event sinks) that powers `EXPLAIN ANALYZE` and the
@@ -55,6 +59,7 @@
 pub use asr_advisor as advisor;
 pub use asr_core as asr;
 pub use asr_costmodel as costmodel;
+pub use asr_durable as durable;
 pub use asr_gom as gom;
 pub use asr_obs as obs;
 pub use asr_oql as oql;
@@ -71,6 +76,7 @@ pub mod prelude {
         ObjectStore, Relation, Row,
     };
     pub use asr_costmodel::{best_design, CostModel, Dec, Ext, Mix, Op, Profile, QueryKind};
+    pub use asr_durable::{DurableDatabase, FlushPolicy, OpenDurable, RecoveryReport};
     pub use asr_gom::{ObjectBase, Oid, PathExpression, Schema, Value};
     pub use asr_obs::{MetricsRegistry, RingBufferSink, Tracer};
     pub use asr_oql::{

@@ -12,7 +12,9 @@
 //! \explain <query>         show the evaluation plan
 //! \analyze <query>         EXPLAIN ANALYZE: run it, measured vs predicted
 //! \advise <path> [p_up]    run the physical-design advisor
-//! \save <file> / \load <file>   snapshot persistence
+//! \save <file> / \load <file|dir>   snapshot persistence / recovery
+//! \wal on <dir>|off|status write-ahead logging for the open database
+//! \checkpoint              snapshot the durable state, truncate the log
 //! \stats / \reset          page-access accounting
 //! \trace on|off|show       capture finished spans in a ring buffer
 //! \help / \quit
@@ -33,16 +35,36 @@ use std::rc::Rc;
 use asr_advisor::{advise, RecorderSink, UsageRecorder};
 
 use asr_core::{AsrConfig, Database, Decomposition, Extension};
+use asr_durable::{DurableDatabase, FlushPolicy, FsStorage, OpenDurable, MANIFEST_FILE};
 use asr_gom::PathExpression;
 use asr_obs::{RingBufferSink, SinkId};
 use asr_oql as oql;
 use asr_workload::{company_database, robot_database};
 
+/// The session's open database: plain in-memory, or write-ahead logged.
+pub enum OpenDb {
+    /// In-memory only; mutations do not survive the session.
+    Plain(Box<Database>),
+    /// WAL-backed (`\wal on <dir>` or `\load <dir>`): every mutation is
+    /// logged and the directory is crash-recoverable.
+    Durable(Box<DurableDatabase<FsStorage>>),
+}
+
+impl OpenDb {
+    /// Read access, regardless of durability.
+    pub fn as_db(&self) -> &Database {
+        match self {
+            OpenDb::Plain(db) => db,
+            OpenDb::Durable(d) => d.database(),
+        }
+    }
+}
+
 /// Mutable shell session state.
 #[derive(Default)]
 pub struct ShellState {
     /// The open database, if any.
-    pub db: Option<Database>,
+    pub db: Option<OpenDb>,
     /// Name of what was opened (diagnostics).
     pub origin: String,
     /// Observed usage, fed by the trace-stream subscription; feeds
@@ -64,22 +86,31 @@ impl ShellState {
     fn db(&self) -> Result<&Database, String> {
         self.db
             .as_ref()
+            .map(OpenDb::as_db)
             .ok_or_else(|| "no database open — try `\\open company`".to_string())
     }
 
-    fn db_mut(&mut self) -> Result<&mut Database, String> {
+    fn open_mut(&mut self) -> Result<&mut OpenDb, String> {
         self.db
             .as_mut()
             .ok_or_else(|| "no database open — try `\\open company`".to_string())
     }
 
+    fn durable_mut(&mut self) -> Result<&mut DurableDatabase<FsStorage>, String> {
+        match self.open_mut()? {
+            OpenDb::Durable(d) => Ok(d),
+            OpenDb::Plain(_) => Err("WAL is off — `\\wal on <dir>` first".to_string()),
+        }
+    }
+
     /// Install `db` as the open database, subscribing the session's usage
     /// recorder (and re-attaching the trace ring if tracing was on).
-    fn install_db(&mut self, db: Database, origin: &str) {
-        db.tracer()
+    fn install_db(&mut self, db: OpenDb, origin: &str) {
+        db.as_db()
+            .tracer()
             .add_sink(Rc::new(RecorderSink::new(Rc::clone(&self.recorder))));
         if let Some((_, ring)) = self.trace.take() {
-            let id = db.tracer().add_sink(ring.clone());
+            let id = db.as_db().tracer().add_sink(ring.clone());
             self.trace = Some((Some(id), ring));
         }
         self.db = Some(db);
@@ -134,16 +165,9 @@ fn run_command(state: &mut ShellState, input: &str) -> Result<String, String> {
             db.save(rest).map_err(|e| e.to_string())?;
             Ok(format!("saved to {rest}"))
         }
-        "load" => {
-            let db = Database::load(rest).map_err(|e| e.to_string())?;
-            let summary = format!(
-                "loaded {rest}: {} objects, {} access relations",
-                db.base().object_count(),
-                db.asrs().count()
-            );
-            state.install_db(db, rest);
-            Ok(summary)
-        }
+        "load" => cmd_load(state, rest),
+        "wal" => cmd_wal(state, rest),
+        "checkpoint" => cmd_checkpoint(state),
         "stats" => cmd_stats(state),
         "reset" => {
             let db = state.db()?;
@@ -169,8 +193,138 @@ fn cmd_open(state: &mut ShellState, which: &str) -> Result<String, String> {
         }
     };
     let summary = format!("opened {desc} ({} objects)", db.base().object_count());
-    state.install_db(db, which);
+    state.install_db(OpenDb::Plain(Box::new(db)), which);
     Ok(summary)
+}
+
+/// `\load <file|dir>`: a plain snapshot file, or (when the path holds a
+/// `MANIFEST`) a durable directory — recovered via checkpoint + WAL
+/// replay, staying in WAL mode afterwards.
+fn cmd_load(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    if rest.is_empty() {
+        return Err("usage: \\load <file|dir>".to_string());
+    }
+    if std::path::Path::new(rest).join(MANIFEST_FILE).is_file() {
+        let d = Database::open_durable(rest).map_err(|e| e.to_string())?;
+        let r = d.recovery_report().clone();
+        let torn = match (r.torn_bytes, r.torn_reason) {
+            (0, _) => String::new(),
+            (n, reason) => format!(
+                ", {n} torn byte(s) discarded ({})",
+                reason.unwrap_or("unknown")
+            ),
+        };
+        let summary = format!(
+            "recovered {rest}: checkpoint LSN {}, {} record(s) replayed{torn}; \
+             {} objects, {} access relations (WAL on)",
+            r.checkpoint_lsn,
+            r.records_replayed,
+            d.base().object_count(),
+            d.asrs().count()
+        );
+        state.install_db(OpenDb::Durable(Box::new(d)), rest);
+        Ok(summary)
+    } else {
+        let db = Database::load(rest).map_err(|e| e.to_string())?;
+        let summary = format!(
+            "loaded {rest}: {} objects, {} access relations",
+            db.base().object_count(),
+            db.asrs().count()
+        );
+        state.install_db(OpenDb::Plain(Box::new(db)), rest);
+        Ok(summary)
+    }
+}
+
+fn policy_name(p: FlushPolicy) -> String {
+    match p {
+        FlushPolicy::EveryRecord => "every-record".to_string(),
+        FlushPolicy::EveryN(n) => format!("group({n})"),
+        FlushPolicy::Explicit => "explicit".to_string(),
+    }
+}
+
+fn cmd_wal(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    let mut parts = rest.split_whitespace();
+    match parts.next() {
+        Some("on") => {
+            let dir = parts
+                .next()
+                .ok_or("usage: \\wal on <dir> — the durable directory")?;
+            match state.open_mut()? {
+                OpenDb::Durable(_) => Ok("WAL already on — `\\wal status`".to_string()),
+                OpenDb::Plain(_) => {
+                    if std::path::Path::new(dir).join(MANIFEST_FILE).is_file() {
+                        return Err(format!(
+                            "{dir} already holds a durable database — `\\load {dir}` recovers it"
+                        ));
+                    }
+                    // `create` consumes the database (the initial
+                    // checkpoint takes ownership); the manifest pre-check
+                    // above keeps the common error from losing the session.
+                    let Some(OpenDb::Plain(db)) = state.db.take() else {
+                        unreachable!("matched Plain above");
+                    };
+                    let d = db.create_durable(dir).map_err(|e| e.to_string())?;
+                    let lsn = d.wal_status().checkpoint_lsn;
+                    state.db = Some(OpenDb::Durable(Box::new(d)));
+                    Ok(format!(
+                        "WAL on in {dir}: initial checkpoint written (LSN {lsn}); \
+                         mutations are now logged"
+                    ))
+                }
+            }
+        }
+        Some("off") => {
+            let d = state.durable_mut()?;
+            // A final checkpoint leaves the directory fully current; if
+            // the session is poisoned we detach anyway (the directory is
+            // consistent up to the last durable flush).
+            let parting = match d.checkpoint() {
+                Ok(()) => format!("final checkpoint at LSN {}", d.wal_status().checkpoint_lsn),
+                Err(e) => format!("final checkpoint failed ({e})"),
+            };
+            let Some(OpenDb::Durable(d)) = state.db.take() else {
+                unreachable!("durable_mut checked");
+            };
+            state.db = Some(OpenDb::Plain(Box::new(d.into_database())));
+            Ok(format!("WAL off — {parting}; session continues in memory"))
+        }
+        Some("status") => {
+            let d = state.durable_mut()?;
+            let s = d.wal_status();
+            let r = d.recovery_report();
+            let mut out = format!(
+                "WAL on: policy {}, last LSN {}, checkpoint LSN {}, \
+                 {} durable byte(s), {} pending record(s){}\n",
+                policy_name(s.policy),
+                s.last_lsn,
+                s.checkpoint_lsn,
+                s.durable_bytes,
+                s.pending_records,
+                if s.poisoned { " [POISONED]" } else { "" }
+            );
+            let _ = writeln!(
+                out,
+                "last recovery: {} record(s) replayed, {} skipped, {} torn byte(s){}",
+                r.records_replayed,
+                r.records_skipped,
+                r.torn_bytes,
+                r.torn_reason.map(|t| format!(" ({t})")).unwrap_or_default()
+            );
+            Ok(out)
+        }
+        _ => Err("usage: \\wal on <dir>|off|status".to_string()),
+    }
+}
+
+fn cmd_checkpoint(state: &mut ShellState) -> Result<String, String> {
+    let d = state.durable_mut()?;
+    d.checkpoint().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "checkpoint written at LSN {} (log truncated)",
+        d.wal_status().checkpoint_lsn
+    ))
 }
 
 fn cmd_stats(state: &ShellState) -> Result<String, String> {
@@ -246,14 +400,14 @@ fn cmd_trace(state: &mut ShellState, arg: &str) -> Result<String, String> {
             let id = state
                 .db
                 .as_ref()
-                .map(|db| db.tracer().add_sink(ring.clone()));
+                .map(|db| db.as_db().tracer().add_sink(ring.clone()));
             state.trace = Some((id, ring));
             Ok("tracing on (ring of 1024 spans; `\\trace show` to drain)".to_string())
         }
         "off" => match state.trace.take() {
             Some((id, ring)) => {
                 if let (Some(db), Some(id)) = (&state.db, id) {
-                    db.tracer().remove_sink(id);
+                    db.as_db().tracer().remove_sink(id);
                 }
                 Ok(format!(
                     "tracing off ({} buffered span(s) discarded)",
@@ -358,22 +512,24 @@ fn cmd_asr(state: &mut ShellState, rest: &str) -> Result<String, String> {
                 .to_string(),
         );
     };
-    let db = state.db_mut()?;
-    let path = PathExpression::parse(db.base().schema(), dotted).map_err(|e| e.to_string())?;
+    let open = state.open_mut()?;
+    let path =
+        PathExpression::parse(open.as_db().base().schema(), dotted).map_err(|e| e.to_string())?;
     let extension = parse_extension(ext)?;
     let m = path.arity(false) - 1;
     let decomposition = parse_decomposition(dec, m)?;
-    let id = db
-        .create_asr(
-            path,
-            AsrConfig {
-                extension,
-                decomposition,
-                keep_set_oids: false,
-            },
-        )
-        .map_err(|e| e.to_string())?;
-    let asr = db.asr(id).map_err(|e| e.to_string())?;
+    let config = AsrConfig {
+        extension,
+        decomposition,
+        keep_set_oids: false,
+    };
+    // In WAL mode the creation goes through the durable wrapper so it is
+    // logged (and replayed on recovery instead of rebuilt).
+    let id = match open {
+        OpenDb::Plain(db) => db.create_asr(path, config).map_err(|e| e.to_string())?,
+        OpenDb::Durable(d) => d.create_asr_on(dotted, config).map_err(|e| e.to_string())?,
+    };
+    let asr = open.as_db().asr(id).map_err(|e| e.to_string())?;
     Ok(format!(
         "ASR #{id}: {} {} over {} — {} rows, {} pages",
         asr.config().extension,
@@ -411,7 +567,10 @@ fn cmd_drop(state: &mut ShellState, rest: &str) -> Result<String, String> {
         .trim()
         .parse()
         .map_err(|_| format!("bad ASR id `{rest}`"))?;
-    state.db_mut()?.drop_asr(id).map_err(|e| e.to_string())?;
+    match state.open_mut()? {
+        OpenDb::Plain(db) => db.drop_asr(id).map_err(|e| e.to_string())?,
+        OpenDb::Durable(d) => d.drop_asr(id).map_err(|e| e.to_string())?,
+    }
     Ok(format!("dropped ASR #{id}"))
 }
 
@@ -487,7 +646,11 @@ fn run_query(state: &mut ShellState, text: &str) -> Result<String, String> {
 
 const HELP: &str = r#"commands:
   \open <company|robots>     load a built-in example database
-  \load <file> / \save <file>  snapshot persistence
+  \load <file|dir> / \save <file>  snapshot persistence; a directory
+                             with a MANIFEST is recovered (checkpoint
+                             + WAL replay) and stays in WAL mode
+  \wal on <dir>|off|status   write-ahead logging for the open database
+  \checkpoint                flush, snapshot, truncate the log
   \schema                    show types, extents and variables
   \asr <path> <ext> <dec>    materialize an access support relation
                              ext: canonical|full|left|right
@@ -617,6 +780,67 @@ mod tests {
         );
         assert!(q.contains("3 row(s)"), "{q}");
         std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn wal_mode_logs_recovers_and_detaches() {
+        let dir = std::env::temp_dir().join("asrdb_shell_wal_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open company");
+        // Durability commands demand WAL mode.
+        assert!(run_line(&mut s, "\\wal status").starts_with("error:"));
+        assert!(run_line(&mut s, "\\checkpoint").starts_with("error:"));
+        assert!(run_line(&mut s, "\\wal sideways").starts_with("error:"));
+        let on = run_line(&mut s, &format!("\\wal on {dir_str}"));
+        assert!(on.contains("WAL on"), "{on}");
+        assert!(on.contains("initial checkpoint"), "{on}");
+        // The ASR creation is logged, not just applied.
+        let out = run_line(
+            &mut s,
+            "\\asr Division.Manufactures.Composition.Name full binary",
+        );
+        assert!(out.contains("ASR #0"), "{out}");
+        let st = run_line(&mut s, "\\wal status");
+        assert!(st.contains("policy every-record"), "{st}");
+        assert!(st.contains("last LSN 1, checkpoint LSN 0"), "{st}");
+        let stats = run_line(&mut s, "\\stats");
+        assert!(stats.contains("wal.records"), "{stats}");
+        assert!(stats.contains("wal.log"), "{stats}");
+
+        // "Crash" (drop the session without a checkpoint); recovery
+        // replays the logged creation instead of silently rebuilding.
+        drop(s);
+        let mut s2 = ShellState::new();
+        let out = run_line(&mut s2, &format!("\\load {dir_str}"));
+        assert!(out.contains("recovered"), "{out}");
+        assert!(out.contains("1 record(s) replayed"), "{out}");
+        assert!(out.contains("1 access relations"), "{out}");
+        assert!(out.contains("(WAL on)"), "{out}");
+        let q = run_line(
+            &mut s2,
+            r#"select d.Name from d in Mercedes, b in d.Manufactures.Composition where b.Name = "Door""#,
+        );
+        assert!(q.contains("\"Auto\""), "{q}");
+        let st = run_line(&mut s2, "\\wal status");
+        assert!(st.contains("last recovery: 1 record(s) replayed"), "{st}");
+
+        // Checkpoint, then detach; the session keeps running in memory.
+        assert!(run_line(&mut s2, "\\checkpoint").contains("checkpoint written at LSN 1"));
+        let off = run_line(&mut s2, "\\wal off");
+        assert!(off.contains("WAL off"), "{off}");
+        assert!(run_line(&mut s2, "\\asrs").contains("#0"));
+        assert!(run_line(&mut s2, "\\wal status").starts_with("error:"));
+
+        // Enabling WAL into a directory that already holds a durable
+        // database is refused (the database would be lost) — `\load` it.
+        let mut s3 = ShellState::new();
+        run_line(&mut s3, "\\open company");
+        let err = run_line(&mut s3, &format!("\\wal on {dir_str}"));
+        assert!(err.starts_with("error:"), "{err}");
+        assert!(err.contains("\\load"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
