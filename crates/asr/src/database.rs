@@ -122,6 +122,13 @@ impl Database {
         Ok(self.asrs.len() - 1)
     }
 
+    /// Register an already-assembled ASR (the physical restore path of
+    /// `ASRDB 2` snapshots — no build runs).
+    pub(crate) fn attach_asr(&mut self, asr: AccessSupportRelation) -> AsrId {
+        self.asrs.push(Some(asr));
+        self.asrs.len() - 1
+    }
+
     /// Parse a dotted path and register an ASR over it.
     pub fn create_asr_on(&mut self, dotted: &str, config: AsrConfig) -> Result<AsrId> {
         let path = PathExpression::parse(self.base.schema(), dotted)?;

@@ -60,6 +60,7 @@ pub use decomposition::Decomposition;
 pub use error::{AsrError, Result};
 pub use extension::Extension;
 pub use manager::{AccessSupportRelation, AsrConfig};
+pub use persist::{AsrLoadMode, LoadReport};
 pub use relation::Relation;
 pub use row::Row;
 pub use store::ObjectStore;

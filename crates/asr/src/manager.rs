@@ -64,7 +64,12 @@ pub struct AccessSupportRelation {
     /// (removal of a row that is not in the extension is a no-op, and
     /// partition witness counts stay consistent with the number of
     /// extension rows projecting onto each partition row).
-    rows: std::collections::BTreeSet<crate::row::Row>,
+    ///
+    /// Lazily populated: queries run entirely off the partitions' B+
+    /// trees, so a physically restored ASR defers the reassembly join
+    /// (Theorem 3.9) until the first operation that actually needs the
+    /// mirror — an update, a consistency check, or an inspection.
+    rows: std::cell::OnceCell<std::collections::BTreeSet<crate::row::Row>>,
     stats: StatsHandle,
 }
 
@@ -88,11 +93,71 @@ impl AccessSupportRelation {
             path,
             config,
             partitions: Vec::new(),
-            rows: std::collections::BTreeSet::new(),
+            rows: std::cell::OnceCell::new(),
             stats,
         };
         asr.rebuild(base)?;
         Ok(asr)
+    }
+
+    /// Assemble an ASR from physically restored partitions — the `ASRDB 2`
+    /// load path.  No extension join runs at load time: queries serve
+    /// straight off the adopted trees, and the logical extension mirror is
+    /// re-derived from the partitions' (uncharged) row mirrors via
+    /// Theorem 3.9's lossless reassembly the first time maintenance or a
+    /// consistency check needs it — so incremental maintenance composes
+    /// exactly as it would on the originally built ASR.
+    pub(crate) fn from_restored(
+        path: PathExpression,
+        config: AsrConfig,
+        partitions: Vec<StoredPartition>,
+        stats: StatsHandle,
+    ) -> Result<Self> {
+        let m = path.arity(config.keep_set_oids) - 1;
+        if config.decomposition.m() != m {
+            return Err(AsrError::InvalidDecomposition(format!(
+                "decomposition {} does not span the relation width m = {m}",
+                config.decomposition
+            )));
+        }
+        let spans: Vec<(usize, usize)> = config.decomposition.partitions().collect();
+        let got: Vec<(usize, usize)> = partitions.iter().map(StoredPartition::span).collect();
+        if spans != got {
+            return Err(AsrError::Snapshot(format!(
+                "restored partitions span {got:?}, decomposition expects {spans:?}"
+            )));
+        }
+        Ok(AccessSupportRelation {
+            path,
+            config,
+            partitions,
+            rows: std::cell::OnceCell::new(),
+            stats,
+        })
+    }
+
+    /// Reassemble the logical extension from the partition mirrors
+    /// (Theorem 3.9) — the deferred half of [`Self::from_restored`].
+    fn derive_rows(&self) -> Result<std::collections::BTreeSet<crate::row::Row>> {
+        let parts: Vec<Relation> = self
+            .partitions
+            .iter()
+            .map(StoredPartition::mirror_relation)
+            .collect::<Result<_>>()?;
+        let extension = self
+            .config
+            .decomposition
+            .reassemble(&parts, self.config.extension)?;
+        Ok(extension.iter().cloned().collect())
+    }
+
+    /// The logical extension mirror, deriving it on first use.
+    fn extension_mirror(&self) -> Result<&std::collections::BTreeSet<crate::row::Row>> {
+        if let Some(rows) = self.rows.get() {
+            return Ok(rows);
+        }
+        let derived = self.derive_rows()?;
+        Ok(self.rows.get_or_init(|| derived))
     }
 
     /// Recompute the whole ASR from scratch (used after bulk loads; unit of
@@ -124,7 +189,9 @@ impl AccessSupportRelation {
                 Ok(sp)
             })
             .collect::<Result<_>>()?;
-        self.rows = extension.iter().cloned().collect();
+        let mirror = std::cell::OnceCell::new();
+        let _ = mirror.set(extension.iter().cloned().collect());
+        self.rows = mirror;
         Ok(())
     }
 
@@ -132,23 +199,30 @@ impl AccessSupportRelation {
     /// (each projection gains one witness).  Inserting a row already in the
     /// extension is a no-op.
     pub(crate) fn insert_full_row(&mut self, row: crate::row::Row) -> Result<bool> {
-        if row.is_all_null() || self.rows.contains(&row) {
+        if row.is_all_null() || self.extension_mirror()?.contains(&row) {
             return Ok(false);
         }
         for part in &mut self.partitions {
             let (a, b) = part.span();
             part.insert(row.project(a, b))?;
         }
-        self.rows.insert(row);
+        self.rows
+            .get_mut()
+            .expect("mirror just derived")
+            .insert(row);
         Ok(true)
     }
 
     /// Remove one extension row (each partition projection loses one
     /// witness).  Removing a row not in the extension is a no-op.
     pub(crate) fn remove_full_row(&mut self, row: &crate::row::Row) -> Result<bool> {
-        if !self.rows.remove(row) {
+        if !self.extension_mirror()?.contains(row) {
             return Ok(false);
         }
+        self.rows
+            .get_mut()
+            .expect("mirror just derived")
+            .remove(row);
         for part in &mut self.partitions {
             let (a, b) = part.span();
             part.remove(&row.project(a, b))?;
@@ -156,15 +230,24 @@ impl AccessSupportRelation {
         Ok(true)
     }
 
-    /// Is this exact row in the (logical) extension?
+    /// Is this exact row in the (logical) extension?  Derives the
+    /// extension mirror on first use; an ASR whose partitions cannot be
+    /// reassembled reports `false`.
     pub fn contains_full_row(&self, row: &crate::row::Row) -> bool {
-        self.rows.contains(row)
+        self.extension_mirror().is_ok_and(|rows| rows.contains(row))
     }
 
     /// Iterate the logical extension rows (uncharged; for tests and
-    /// inspection).
+    /// inspection).  Derives the extension mirror on first use.
+    ///
+    /// # Panics
+    ///
+    /// If the stored partitions cannot be reassembled — impossible for
+    /// any ASR that passed restore validation or was built here.
     pub fn full_rows(&self) -> impl Iterator<Item = &crate::row::Row> {
-        self.rows.iter()
+        self.extension_mirror()
+            .expect("stored partitions reassemble losslessly (Theorem 3.9)")
+            .iter()
     }
 
     /// The indexed path expression.
@@ -288,12 +371,13 @@ impl AccessSupportRelation {
     /// Verify partition invariants and that every partition's witness
     /// counts agree with the logical extension mirror (tests).
     pub fn check_consistency(&self) -> Result<()> {
+        let rows = self.extension_mirror()?;
         for p in &self.partitions {
             p.check_consistency()?;
             let (a, b) = p.span();
             let mut counts: std::collections::HashMap<crate::row::Row, u64> =
                 std::collections::HashMap::new();
-            for row in &self.rows {
+            for row in rows {
                 let proj = row.project(a, b);
                 if !proj.is_all_null() {
                     *counts.entry(proj).or_default() += 1;

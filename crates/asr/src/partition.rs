@@ -16,7 +16,10 @@ use std::collections::HashMap;
 use std::ops::Bound;
 use std::rc::Rc;
 
-use asr_pagesim::{build_bulk, BPlusTree, BulkNodes, IoStats, StatsHandle, OID_SIZE};
+use asr_pagesim::{
+    build_bulk, BPlusTree, BulkNodes, IoStats, NodeImage, StatsHandle, TreeImage, OID_SIZE,
+    PAGE_SIZE,
+};
 
 use crate::cell::Cell;
 use crate::error::{AsrError, Result};
@@ -361,6 +364,95 @@ impl StoredPartition {
         Ok(())
     }
 
+    /// Capture the partition's complete physical state for the snapshot
+    /// writer: the row mirror (sorted by row id) plus page-faithful images
+    /// of both clustering trees.  Charges nothing — the writer prices the
+    /// bytes it emits.
+    pub(crate) fn dump(&self) -> PartitionImage {
+        let mut rows: Vec<(Row, u64, u64)> = self
+            .rows
+            .iter()
+            .map(|(row, meta)| (row.clone(), meta.rowid, meta.count))
+            .collect();
+        rows.sort_by_key(|&(_, rowid, _)| rowid);
+        PartitionImage {
+            from: self.from,
+            to: self.to,
+            next_rowid: self.next_rowid,
+            rows,
+            fwd: RawTreeImage::from_tree(&self.fwd),
+            bwd: RawTreeImage::from_tree(&self.bwd),
+            fwd_bytes: 0,
+            bwd_bytes: 0,
+        }
+    }
+
+    /// Physically re-attach a partition from its snapshot image: register
+    /// both trees under `label` (so restore reads attribute to the same
+    /// `(kind, label)` structure ids as before the save), then adopt the
+    /// page images — each tree charged one read per page of its share of
+    /// the serialized physical section, no extension join, no bulk build.
+    ///
+    /// Leaf keys are not stored in the image; they are re-derived from the
+    /// row mirror as `(row.first|last, rowid)` — an invariant of both
+    /// [`Self::insert`] and [`Self::bulk_load`].  Any inconsistency
+    /// (unknown row ids, cardinality mismatches, corrupt page layouts)
+    /// yields a descriptive error and never panics.
+    pub(crate) fn restore(img: PartitionImage, stats: StatsHandle, label: &str) -> Result<Self> {
+        let corrupt = |msg: String| AsrError::Snapshot(format!("partition image: {msg}"));
+        if img.from >= img.to {
+            return Err(corrupt(format!("bad span ({}, {})", img.from, img.to)));
+        }
+        let mut p = StoredPartition::new(img.from, img.to, stats);
+        p.tag(label);
+        let arity = p.arity();
+        let mut by_rowid: HashMap<u64, &Row> = HashMap::with_capacity(img.rows.len());
+        for (row, rowid, count) in &img.rows {
+            if row.arity() != arity {
+                return Err(corrupt(format!("row {row} has arity {}", row.arity())));
+            }
+            if *count == 0 {
+                return Err(corrupt(format!("row {row} has witness count 0")));
+            }
+            if *rowid >= img.next_rowid {
+                return Err(corrupt(format!("row id {rowid} >= next_rowid")));
+            }
+            if by_rowid.insert(*rowid, row).is_some() {
+                return Err(corrupt(format!("row id {rowid} appears twice")));
+            }
+        }
+        let fwd = img.fwd.materialize(&by_rowid, Row::first)?;
+        let bwd = img.bwd.materialize(&by_rowid, Row::last)?;
+        p.fwd.adopt_image(fwd)?;
+        p.bwd.adopt_image(bwd)?;
+        if p.fwd.len() != img.rows.len() || p.bwd.len() != img.rows.len() {
+            return Err(corrupt(format!(
+                "tree/mirror cardinality mismatch: fwd={} bwd={} mirror={}",
+                p.fwd.len(),
+                p.bwd.len(),
+                img.rows.len()
+            )));
+        }
+        p.rows = img
+            .rows
+            .into_iter()
+            .map(|(row, rowid, count)| (row, RowMeta { rowid, count }))
+            .collect();
+        p.next_rowid = img.next_rowid;
+        // Price the restore: pulling each tree's serialized pages in from
+        // the snapshot, attributed per tree (at least one page each).
+        p.fwd.charge_restore_reads(restore_pages(img.fwd_bytes));
+        p.bwd.charge_restore_reads(restore_pages(img.bwd_bytes));
+        Ok(p)
+    }
+
+    /// The partition's logical content read from the uncharged row mirror
+    /// — the restore path's counterpart of [`Self::to_relation`], which
+    /// scans the tree and charges pages.
+    pub(crate) fn mirror_relation(&self) -> Result<Relation> {
+        Relation::from_rows(self.arity(), self.rows.keys().cloned())
+    }
+
     /// Witness count of a row (0 when absent) — for tests.
     pub fn witness_count(&self, row: &Row) -> u64 {
         self.rows.get(row).map(|m| m.count).unwrap_or(0)
@@ -392,6 +484,132 @@ impl StoredPartition {
             }
         }
         Ok(())
+    }
+}
+
+/// The serializable physical state of one [`StoredPartition`]: the row
+/// mirror with row ids and witness counts, plus raw page images of both
+/// clustering trees.  Produced by `StoredPartition::dump`, consumed by
+/// `StoredPartition::restore` and the `ASRDB 2` snapshot writer/reader.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PartitionImage {
+    /// First spanned column of the host relation.
+    pub from: usize,
+    /// Last spanned column (inclusive).
+    pub to: usize,
+    /// Row-id allocator position (preserves future id assignment).
+    pub next_rowid: u64,
+    /// `(row, rowid, witness count)`, sorted by row id.
+    pub rows: Vec<(Row, u64, u64)>,
+    /// Page image of the forward-clustered tree.
+    pub fwd: RawTreeImage,
+    /// Page image of the backward-clustered tree.
+    pub bwd: RawTreeImage,
+    /// Serialized snapshot bytes backing the forward tree (its `T`/`N`
+    /// lines plus half the shared row payload) — what its restore read
+    /// charge is based on.  Zero on the write path ([`StoredPartition::dump`]).
+    pub fwd_bytes: usize,
+    /// Serialized snapshot bytes backing the backward tree.
+    pub bwd_bytes: usize,
+}
+
+/// Pages a restored tree is charged for `bytes` of serialized image
+/// (never free: at least one page read).
+fn restore_pages(bytes: usize) -> u64 {
+    (bytes as u64).div_ceil(PAGE_SIZE as u64).max(1)
+}
+
+/// A [`TreeImage`] with rows referenced by id instead of stored inline:
+/// leaf entries carry only row ids (keys are re-derived on restore), while
+/// inner separator keys — which may outlive the leaf keys they were copied
+/// from — are kept verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RawTreeImage {
+    pub root: usize,
+    pub height: usize,
+    pub len: usize,
+    pub free: Vec<usize>,
+    pub nodes: Vec<RawNode>,
+}
+
+/// One page of a [`RawTreeImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RawNode {
+    Inner {
+        keys: Vec<PartitionKey>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        rowids: Vec<u64>,
+        next: Option<usize>,
+    },
+    Free,
+}
+
+impl RawTreeImage {
+    /// Strip a live tree's image down to its raw, id-referencing form.
+    fn from_tree(tree: &BPlusTree<PartitionKey, Row>) -> Self {
+        let img = tree.dump_image();
+        RawTreeImage {
+            root: img.root,
+            height: img.height,
+            len: img.len,
+            free: img.free,
+            nodes: img
+                .nodes
+                .into_iter()
+                .map(|n| match n {
+                    NodeImage::Inner { keys, children } => RawNode::Inner { keys, children },
+                    NodeImage::Leaf { entries, next } => RawNode::Leaf {
+                        rowids: entries.into_iter().map(|((_, rowid), _)| rowid).collect(),
+                        next,
+                    },
+                    NodeImage::Free => RawNode::Free,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rehydrate into a full [`TreeImage`], deriving each leaf entry's key
+    /// from the referenced row via `key_cell` (`Row::first` for the
+    /// forward tree, `Row::last` for the backward one).
+    fn materialize(
+        &self,
+        by_rowid: &HashMap<u64, &Row>,
+        key_cell: impl Fn(&Row) -> &Option<Cell>,
+    ) -> Result<TreeImage<PartitionKey, Row>> {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for raw in &self.nodes {
+            nodes.push(match raw {
+                RawNode::Inner { keys, children } => NodeImage::Inner {
+                    keys: keys.clone(),
+                    children: children.clone(),
+                },
+                RawNode::Leaf { rowids, next } => {
+                    let mut entries = Vec::with_capacity(rowids.len());
+                    for &rowid in rowids {
+                        let Some(&row) = by_rowid.get(&rowid) else {
+                            return Err(AsrError::Snapshot(format!(
+                                "partition image: leaf references unknown row id {rowid}"
+                            )));
+                        };
+                        entries.push(((key_cell(row).clone(), rowid), row.clone()));
+                    }
+                    NodeImage::Leaf {
+                        entries,
+                        next: *next,
+                    }
+                }
+                RawNode::Free => NodeImage::Free,
+            });
+        }
+        Ok(TreeImage {
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            free: self.free.clone(),
+            nodes,
+        })
     }
 }
 

@@ -1,40 +1,122 @@
-//! Whole-database persistence: the GOM snapshot plus the physical design
-//! (clustered sizes and access-support-relation configurations).
+//! Whole-database persistence: a layered, versioned snapshot pipeline.
+//!
+//! The `ASRDB 2` format stacks three sections:
+//!
+//! 1. **Design** — clustered type sizes (`S`) and access-support-relation
+//!    configurations (`A`), unchanged from v1;
+//! 2. **Physical** — every stored partition's row mirror (`P`/`R`) and
+//!    page-faithful images of its two clustering B+ trees (`T`/`N`):
+//!    node layout, separator keys, row ids, witness counts, leaf sibling
+//!    links, free list and tree geometry;
+//! 3. **Base** — the GOM object snapshot after `--BASE--`.
 //!
 //! ```text
-//! ASRDB 1
+//! ASRDB 2
 //! S ROBOT 500
 //! A ROBOT.Arm.MountedTool.ManufacturedBy.Location canonical 0,1,2,3,4 0
+//! P <asr#> <part#> <from> <to> <next_rowid> <nrows>
+//! R <rowid> <count> <cell> <cell> …
+//! T <asr#> <part#> f|b <root> <height> <len> <pages> <free-csv|->
+//! N f|b <page#> I <children-csv> <cell>=<rowid> …
+//! N f|b <page#> L <next|-> <rowid-csv|->
 //! --BASE--
 //! GOMSNAP 1
 //! …
 //! ```
 //!
-//! Access relations are *rebuilt* on load (they are derived data; the
-//! snapshot stores only their configuration — exactly how a production
-//! system would recover secondary indexes).
+//! Loading a v2 snapshot restores each ASR **physically**: both trees are
+//! re-registered under their original `(kind, label)` structure ids and
+//! re-attached page by page (one charged read per live node) — no
+//! extension join runs.  Leaf keys are not stored; they are re-derived
+//! from the row mirror as `(row.first|last, rowid)`, an invariant of the
+//! maintenance engine.  Version negotiation: the loader accepts `ASRDB 1`
+//! (ASRs rebuilt from their configuration, as before) and `ASRDB 2`; the
+//! writer emits v2.  A corrupt physical section degrades per ASR to the
+//! v1 rebuild path with a recorded reason — never a panic.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::rc::Rc;
 
-use asr_gom::{snapshot, PathExpression};
+use asr_gom::{snapshot, PathExpression, TypeRef, Value};
 
-use crate::database::Database;
+use crate::cell::Cell;
+use crate::database::{AsrId, Database};
 use crate::decomposition::Decomposition;
 use crate::error::{AsrError, Result};
 use crate::extension::Extension;
-use crate::manager::AsrConfig;
+use crate::manager::{AccessSupportRelation, AsrConfig};
+use crate::partition::{PartitionImage, RawNode, RawTreeImage, StoredPartition};
+use crate::row::Row;
 use crate::store::ObjectStore;
 
-const MAGIC: &str = "ASRDB 1";
+const MAGIC_V1: &str = "ASRDB 1";
+const MAGIC_V2: &str = "ASRDB 2";
 const BASE_MARKER: &str = "--BASE--";
 
+/// How one access support relation came back from a snapshot load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsrLoadMode {
+    /// Physically restored by adopting its partitions' B+-tree page
+    /// images (`ASRDB 2`).
+    Physical,
+    /// Rebuilt from its configuration via the extension join — a v1
+    /// snapshot, or a per-ASR fallback for the given reason.
+    Rebuilt(String),
+}
+
+impl AsrLoadMode {
+    /// `true` for [`AsrLoadMode::Physical`].
+    pub fn is_physical(&self) -> bool {
+        matches!(self, AsrLoadMode::Physical)
+    }
+}
+
+/// What a snapshot load did — returned by
+/// [`Database::load_from_string_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Snapshot format version (1 or 2).
+    pub version: u32,
+    /// Per-ASR outcome, in registration order.
+    pub asrs: Vec<(AsrId, AsrLoadMode)>,
+    /// Bytes of physical-section lines (newlines included) belonging to
+    /// physically restored ASRs.  The durability layer subtracts these
+    /// from its whole-file read charge: those bytes are the trees' page
+    /// images, and their reads are charged by the restore itself.
+    pub physical_bytes: usize,
+}
+
 impl Database {
-    /// Serialize the database (schema, objects, variables, physical
-    /// design) to the snapshot text format.
+    /// Serialize the database — schema, objects, variables, physical
+    /// design *and* the physical state of every ASR partition — to the
+    /// `ASRDB 2` snapshot format.
     pub fn save_to_string(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{MAGIC}");
+        let _ = writeln!(out, "{MAGIC_V2}");
+        self.write_design(&mut out);
+        self.write_physical(&mut out);
+        let _ = writeln!(out, "{BASE_MARKER}");
+        out.push_str(&snapshot::write_base(self.base()));
+        out
+    }
+
+    /// Serialize to the legacy `ASRDB 1` format (no physical section;
+    /// ASRs rebuild on load).  Kept for format-compat tests and for
+    /// benchmarking the physical restore against the rebuild path.
+    pub fn save_to_string_v1(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC_V1}");
+        self.write_design(&mut out);
+        let _ = writeln!(out, "{BASE_MARKER}");
+        out.push_str(&snapshot::write_base(self.base()));
+        out
+    }
+
+    /// The design section shared by both format versions: `S` lines
+    /// (clustered sizes) and `A` lines (ASR configurations).
+    fn write_design(&self, out: &mut String) {
         let mut sizes: Vec<(String, usize)> = self
             .store()
             .configured_sizes()
@@ -61,29 +143,62 @@ impl Database {
                 u8::from(asr.config().keep_set_oids)
             );
         }
-        let _ = writeln!(out, "{BASE_MARKER}");
-        out.push_str(&snapshot::write_base(self.base()));
-        out
+    }
+
+    /// The v2 physical section: per partition, the row mirror and both
+    /// tree images.  ASRs are numbered by their `A`-line ordinal.
+    fn write_physical(&self, out: &mut String) {
+        for (ordinal, (_, asr)) in self.asrs().enumerate() {
+            for (pidx, part) in asr.partitions().iter().enumerate() {
+                let img = part.dump();
+                let _ = writeln!(
+                    out,
+                    "P {ordinal} {pidx} {} {} {} {}",
+                    img.from,
+                    img.to,
+                    img.next_rowid,
+                    img.rows.len()
+                );
+                for (row, rowid, count) in &img.rows {
+                    let _ = write!(out, "R {rowid} {count}");
+                    for cell in row.cells() {
+                        let _ = write!(out, " {}", cell_token(cell));
+                    }
+                    out.push('\n');
+                }
+                write_tree(out, ordinal, pidx, 'f', &img.fwd);
+                write_tree(out, ordinal, pidx, 'b', &img.bwd);
+            }
+        }
     }
 
     /// Restore a database from snapshot text: objects keep their OIDs,
-    /// clustered files are sized as configured, and every access support
-    /// relation is rebuilt.
+    /// clustered files are sized as configured, and access support
+    /// relations come back physically (v2) or by rebuild (v1/fallback).
     pub fn load_from_string(text: &str) -> Result<Database> {
+        Ok(Self::load_from_string_report(text)?.0)
+    }
+
+    /// [`Database::load_from_string`] plus a [`LoadReport`] describing
+    /// the format version and how each ASR was restored.
+    pub fn load_from_string_report(text: &str) -> Result<(Database, LoadReport)> {
         let bad = |msg: String| AsrError::Snapshot(msg);
         let (head, base_text) = text
             .split_once(&format!("{BASE_MARKER}\n"))
             .ok_or_else(|| bad("missing --BASE-- marker".into()))?;
         let mut lines = head.lines();
         let first = lines.next().ok_or_else(|| bad("empty snapshot".into()))?;
-        if first.trim() != MAGIC {
-            return Err(bad(format!("bad magic `{first}`")));
-        }
+        let version: u32 = match first.trim() {
+            MAGIC_V1 => 1,
+            MAGIC_V2 => 2,
+            other => return Err(bad(format!("bad magic `{other}`"))),
+        };
         let base = snapshot::read_base(base_text)?;
 
         let stats = asr_pagesim::IoStats::new_handle();
-        let mut store = ObjectStore::new(std::rc::Rc::clone(&stats));
+        let mut store = ObjectStore::new(Rc::clone(&stats));
         let mut asr_lines: Vec<&str> = Vec::new();
+        let mut phys = PhysParser::default();
         for line in lines {
             let line = line.trim_end();
             if line.is_empty() || line.starts_with('#') {
@@ -102,40 +217,57 @@ impl Database {
                     store.set_type_size(ty, size);
                 }
                 Some("A") => asr_lines.push(line),
+                Some("P" | "R" | "T" | "N") if version == 2 => phys.feed(line)?,
                 other => return Err(bad(format!("unknown record `{other:?}`"))),
             }
+        }
+        phys.finish();
+        if let Some(&k) = phys
+            .done
+            .keys()
+            .chain(phys.poisoned.keys())
+            .find(|&&k| k >= asr_lines.len())
+        {
+            return Err(bad(format!(
+                "physical section references ASR {k} but only {} declared",
+                asr_lines.len()
+            )));
         }
         store.sync_with_base(&base)?;
         let mut db = Database::from_parts(base, store, stats);
 
-        for line in asr_lines {
-            let mut parts = line.split(' ');
-            let _a = parts.next();
-            let dotted = parts.next().ok_or_else(|| bad("A: missing path".into()))?;
-            let ext_name = parts
-                .next()
-                .ok_or_else(|| bad("A: missing extension".into()))?;
-            let cuts_str = parts.next().ok_or_else(|| bad("A: missing cuts".into()))?;
-            let keep = parts.next().ok_or_else(|| bad("A: missing flag".into()))? == "1";
-            let extension = Extension::ALL
-                .into_iter()
-                .find(|e| e.name() == ext_name)
-                .ok_or_else(|| bad(format!("unknown extension `{ext_name}`")))?;
-            let cuts: Vec<usize> = cuts_str
-                .split(',')
-                .map(|c| c.parse().map_err(|_| bad(format!("bad cut `{c}`"))))
-                .collect::<Result<_>>()?;
-            let path = PathExpression::parse(db.base().schema(), dotted)?;
-            db.create_asr(
-                path,
-                AsrConfig {
-                    extension,
-                    decomposition: Decomposition::new(cuts)?,
-                    keep_set_oids: keep,
-                },
-            )?;
+        let mut report = LoadReport {
+            version,
+            asrs: Vec::new(),
+            physical_bytes: 0,
+        };
+        for (ordinal, line) in asr_lines.into_iter().enumerate() {
+            let (path, config) = parse_a_line(&db, line)?;
+            let outcome: std::result::Result<AsrId, String> = if version == 1 {
+                Err("v1 snapshot".into())
+            } else if let Some(reason) = phys.poisoned.get(&ordinal) {
+                Err(reason.clone())
+            } else if let Some(images) = phys.done.remove(&ordinal) {
+                try_physical(&mut db, &path, &config, images).map_err(|e| e.to_string())
+            } else {
+                Err("no physical section for this ASR".into())
+            };
+            match outcome {
+                Ok(id) => {
+                    report.physical_bytes += phys.bytes.get(&ordinal).copied().unwrap_or(0);
+                    report.asrs.push((id, AsrLoadMode::Physical));
+                }
+                Err(reason) => {
+                    // Rebuild from configuration.  A cold recovery has to
+                    // read every extent along the path to recompute the
+                    // extension, so charge those scans explicitly.
+                    charge_path_scans(&db, &path);
+                    let id = db.create_asr(path, config)?;
+                    report.asrs.push((id, AsrLoadMode::Rebuilt(reason)));
+                }
+            }
         }
-        Ok(db)
+        Ok((db, report))
     }
 
     /// Save to a file.
@@ -145,9 +277,431 @@ impl Database {
 
     /// Load from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Database> {
+        Ok(Database::load_report(path)?.0)
+    }
+
+    /// Load from a file, also returning how each ASR was brought back
+    /// (physically from page images, or rebuilt from the base).
+    pub fn load_report(path: impl AsRef<Path>) -> Result<(Database, LoadReport)> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| AsrError::Snapshot(format!("cannot read file: {e}")))?;
-        Database::load_from_string(&text)
+        Database::load_from_string_report(&text)
+    }
+}
+
+/// Encode an optional cell as a single space-free token (the GOM value
+/// codec escapes spaces and `=`).
+fn cell_token(cell: &Option<Cell>) -> String {
+    match cell {
+        None => snapshot::encode_value(&Value::Null),
+        Some(Cell::Oid(oid)) => snapshot::encode_value(&Value::Ref(*oid)),
+        Some(Cell::Value(v)) => snapshot::encode_value(v),
+    }
+}
+
+/// Decode a [`cell_token`] back to an optional cell.
+fn parse_cell(tok: &str) -> Result<Option<Cell>> {
+    Ok(Cell::from_gom(&snapshot::decode_value(tok)?))
+}
+
+/// Emit one tree image as a `T` header plus one `N` line per live page.
+fn write_tree(out: &mut String, ordinal: usize, pidx: usize, dir: char, tree: &RawTreeImage) {
+    let free = if tree.free.is_empty() {
+        "-".to_string()
+    } else {
+        tree.free
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let _ = writeln!(
+        out,
+        "T {ordinal} {pidx} {dir} {} {} {} {} {free}",
+        tree.root,
+        tree.height,
+        tree.len,
+        tree.nodes.len()
+    );
+    for (id, node) in tree.nodes.iter().enumerate() {
+        match node {
+            RawNode::Free => {}
+            RawNode::Inner { keys, children } => {
+                let kids = children
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = write!(out, "N {dir} {id} I {kids}");
+                for (cell, rowid) in keys {
+                    let _ = write!(out, " {}={rowid}", cell_token(cell));
+                }
+                out.push('\n');
+            }
+            RawNode::Leaf { rowids, next } => {
+                let next = next.map_or("-".to_string(), |n| n.to_string());
+                let ids = if rowids.is_empty() {
+                    "-".to_string()
+                } else {
+                    rowids
+                        .iter()
+                        .map(|r| r.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let _ = writeln!(out, "N {dir} {id} L {next} {ids}");
+            }
+        }
+    }
+}
+
+/// Parse one `A` line into a path and configuration.
+fn parse_a_line(db: &Database, line: &str) -> Result<(PathExpression, AsrConfig)> {
+    let bad = |msg: String| AsrError::Snapshot(msg);
+    let mut parts = line.split(' ');
+    let _a = parts.next();
+    let dotted = parts.next().ok_or_else(|| bad("A: missing path".into()))?;
+    let ext_name = parts
+        .next()
+        .ok_or_else(|| bad("A: missing extension".into()))?;
+    let cuts_str = parts.next().ok_or_else(|| bad("A: missing cuts".into()))?;
+    let keep = parts.next().ok_or_else(|| bad("A: missing flag".into()))? == "1";
+    let extension = Extension::ALL
+        .into_iter()
+        .find(|e| e.name() == ext_name)
+        .ok_or_else(|| bad(format!("unknown extension `{ext_name}`")))?;
+    let cuts: Vec<usize> = cuts_str
+        .split(',')
+        .map(|c| c.parse().map_err(|_| bad(format!("bad cut `{c}`"))))
+        .collect::<Result<_>>()?;
+    let path = PathExpression::parse(db.base().schema(), dotted)?;
+    Ok((
+        path,
+        AsrConfig {
+            extension,
+            decomposition: Decomposition::new(cuts)?,
+            keep_set_oids: keep,
+        },
+    ))
+}
+
+/// Charge a full extent scan for every named type along `path` — the cost
+/// a cold recovery pays to recompute the extension before a rebuild.
+fn charge_path_scans(db: &Database, path: &PathExpression) {
+    for i in 0..=path.len() {
+        if let TypeRef::Named(ty) = path.type_at(i) {
+            db.store().charge_scan(ty);
+        }
+    }
+}
+
+/// Physically restore one ASR from its partition images: tag + adopt both
+/// trees of every partition and attach the ASR.  No extension join runs —
+/// the logical mirror derives lazily on first maintenance use.
+fn try_physical(
+    db: &mut Database,
+    path: &PathExpression,
+    config: &AsrConfig,
+    images: Vec<PartitionImage>,
+) -> Result<AsrId> {
+    let stats = Rc::clone(db.stats());
+    let mut parts = Vec::with_capacity(images.len());
+    for img in images {
+        let label = format!("asr[{path}].{}-{}", img.from, img.to);
+        parts.push(StoredPartition::restore(img, Rc::clone(&stats), &label)?);
+    }
+    let asr = AccessSupportRelation::from_restored(path.clone(), config.clone(), parts, stats)?;
+    Ok(db.attach_asr(asr))
+}
+
+/// Stateful parser for the v2 physical section.  A malformed line poisons
+/// the ASR it belongs to — that ASR falls back to a rebuild with the
+/// recorded reason — instead of failing the whole load; only lines with
+/// no attributable ASR context abort.
+#[derive(Default)]
+struct PhysParser {
+    /// Completed partition images per `A`-line ordinal.
+    done: BTreeMap<usize, Vec<PartitionImage>>,
+    /// Physical-section bytes per ordinal (newlines included).
+    bytes: BTreeMap<usize, usize>,
+    /// Poison reason per ordinal (first error wins).
+    poisoned: BTreeMap<usize, String>,
+    /// Partition currently being assembled.
+    current: Option<PartBuilder>,
+    /// Skip body lines until the next `P` record (after a poisoning).
+    skipping: bool,
+    /// Ordinal of the most recent `P` record.
+    last_asr: Option<usize>,
+}
+
+/// A partition image under construction.
+struct PartBuilder {
+    asr: usize,
+    from: usize,
+    to: usize,
+    next_rowid: u64,
+    nrows: usize,
+    rows: Vec<(Row, u64, u64)>,
+    /// Serialized bytes of the shared row payload (`P` + `R` lines) —
+    /// split between the two trees for restore-read pricing.
+    row_bytes: usize,
+    fwd: Option<TreeBuilder>,
+    bwd: Option<TreeBuilder>,
+}
+
+/// A tree image under construction; `assigned` guards duplicate `N`
+/// lines (everything else is validated by the adopting tree).
+struct TreeBuilder {
+    tree: RawTreeImage,
+    assigned: Vec<bool>,
+    /// Serialized bytes of this tree's `T`/`N` lines.
+    bytes: usize,
+}
+
+impl PhysParser {
+    fn feed(&mut self, line: &str) -> Result<()> {
+        let tag = line.split(' ').next().unwrap_or("");
+        if tag == "P" {
+            self.finalize_current();
+            match self.parse_p(line) {
+                Ok(pb) => {
+                    self.skipping = false;
+                    self.last_asr = Some(pb.asr);
+                    *self.bytes.entry(pb.asr).or_default() += line.len() + 1;
+                    self.current = Some(pb);
+                }
+                Err(e) => match self.last_asr {
+                    Some(asr) => self.poison(asr, e),
+                    None => {
+                        return Err(AsrError::Snapshot(format!(
+                            "first P record unreadable: {e}"
+                        )))
+                    }
+                },
+            }
+            return Ok(());
+        }
+        let Some(asr) = self.last_asr else {
+            return Err(AsrError::Snapshot(format!(
+                "physical record `{tag}` before any P record"
+            )));
+        };
+        *self.bytes.entry(asr).or_default() += line.len() + 1;
+        if self.skipping {
+            return Ok(());
+        }
+        if let Err(e) = self.body_line(tag, line) {
+            self.poison(asr, e);
+        }
+        Ok(())
+    }
+
+    /// Close the physical section: finalize the trailing partition.
+    fn finish(&mut self) {
+        self.finalize_current();
+    }
+
+    fn poison(&mut self, asr: usize, reason: String) {
+        self.poisoned.entry(asr).or_insert(reason);
+        self.current = None;
+        self.skipping = true;
+    }
+
+    fn finalize_current(&mut self) {
+        let Some(pb) = self.current.take() else {
+            return;
+        };
+        if pb.rows.len() != pb.nrows {
+            return self.poison(
+                pb.asr,
+                format!(
+                    "partition has {} R rows, expected {}",
+                    pb.rows.len(),
+                    pb.nrows
+                ),
+            );
+        }
+        let (Some(fwd), Some(bwd)) = (pb.fwd, pb.bwd) else {
+            return self.poison(pb.asr, "partition is missing a tree image".into());
+        };
+        // The row payload is each tree's leaf content, stored once for
+        // both: split it evenly for per-tree restore pricing.
+        let half = pb.row_bytes / 2;
+        self.done.entry(pb.asr).or_default().push(PartitionImage {
+            from: pb.from,
+            to: pb.to,
+            next_rowid: pb.next_rowid,
+            rows: pb.rows,
+            fwd_bytes: fwd.bytes + half,
+            bwd_bytes: bwd.bytes + (pb.row_bytes - half),
+            fwd: fwd.tree,
+            bwd: bwd.tree,
+        });
+    }
+
+    fn parse_p(&self, line: &str) -> std::result::Result<PartBuilder, String> {
+        let t: Vec<&str> = line.split(' ').collect();
+        if t.len() != 7 {
+            return Err(format!("P record has {} fields, expected 7", t.len()));
+        }
+        let num = |s: &str| s.parse::<usize>().map_err(|_| format!("bad number `{s}`"));
+        let asr = num(t[1])?;
+        let pidx = num(t[2])?;
+        let expected = self.done.get(&asr).map_or(0, Vec::len);
+        if pidx != expected {
+            return Err(format!(
+                "partition {pidx} out of order (expected {expected})"
+            ));
+        }
+        Ok(PartBuilder {
+            asr,
+            from: num(t[3])?,
+            to: num(t[4])?,
+            next_rowid: t[5].parse().map_err(|_| format!("bad number `{}`", t[5]))?,
+            nrows: num(t[6])?,
+            rows: Vec::new(),
+            row_bytes: line.len() + 1,
+            fwd: None,
+            bwd: None,
+        })
+    }
+
+    fn body_line(&mut self, tag: &str, line: &str) -> std::result::Result<(), String> {
+        let Some(pb) = self.current.as_mut() else {
+            return Err(format!("`{tag}` record outside a partition"));
+        };
+        match tag {
+            "R" => {
+                let mut it = line.split(' ');
+                it.next();
+                let rowid: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("R: bad row id")?;
+                let count: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("R: bad witness count")?;
+                let cells: Vec<Option<Cell>> = it
+                    .map(|tok| parse_cell(tok).map_err(|e| e.to_string()))
+                    .collect::<std::result::Result<_, _>>()?;
+                let arity = pb.to - pb.from + 1;
+                if cells.len() != arity {
+                    return Err(format!("R: {} cells for arity {arity}", cells.len()));
+                }
+                pb.rows.push((Row::new(cells), rowid, count));
+                pb.row_bytes += line.len() + 1;
+                Ok(())
+            }
+            "T" => {
+                let t: Vec<&str> = line.split(' ').collect();
+                if t.len() != 9 {
+                    return Err(format!("T record has {} fields, expected 9", t.len()));
+                }
+                let num = |s: &str| s.parse::<usize>().map_err(|_| format!("bad number `{s}`"));
+                let free: Vec<usize> = if t[8] == "-" {
+                    Vec::new()
+                } else {
+                    t[8].split(',')
+                        .map(num)
+                        .collect::<std::result::Result<_, _>>()?
+                };
+                let (root, height, len, pages) = (num(t[4])?, num(t[5])?, num(t[6])?, num(t[7])?);
+                // Bound the slab allocation before trusting the field: a
+                // legal tree has at most ~2·len live pages plus its free
+                // slots.
+                if pages > 2 * len + free.len() + 8 {
+                    return Err(format!("implausible page count {pages} for {len} entries"));
+                }
+                let builder = TreeBuilder {
+                    assigned: vec![false; pages],
+                    bytes: line.len() + 1,
+                    tree: RawTreeImage {
+                        root,
+                        height,
+                        len,
+                        free,
+                        nodes: vec![RawNode::Free; pages],
+                    },
+                };
+                match t[3] {
+                    "f" if pb.fwd.is_none() => pb.fwd = Some(builder),
+                    "b" if pb.bwd.is_none() => pb.bwd = Some(builder),
+                    "f" | "b" => return Err(format!("duplicate {} tree", t[3])),
+                    other => return Err(format!("bad tree direction `{other}`")),
+                }
+                Ok(())
+            }
+            "N" => {
+                let t: Vec<&str> = line.split(' ').collect();
+                if t.len() < 5 {
+                    return Err("N record too short".into());
+                }
+                let builder = match t[1] {
+                    "f" => pb.fwd.as_mut(),
+                    "b" => pb.bwd.as_mut(),
+                    other => return Err(format!("bad tree direction `{other}`")),
+                }
+                .ok_or("N record before its T header")?;
+                builder.bytes += line.len() + 1;
+                let id: usize = t[2]
+                    .parse()
+                    .map_err(|_| format!("bad page id `{}`", t[2]))?;
+                if id >= builder.tree.nodes.len() {
+                    return Err(format!("page id {id} out of bounds"));
+                }
+                if builder.assigned[id] {
+                    return Err(format!("page {id} written twice"));
+                }
+                builder.assigned[id] = true;
+                builder.tree.nodes[id] = match t[3] {
+                    "I" => {
+                        let children: Vec<usize> = t[4]
+                            .split(',')
+                            .map(|s| s.parse().map_err(|_| format!("bad child `{s}`")))
+                            .collect::<std::result::Result<_, _>>()?;
+                        let keys: Vec<(Option<Cell>, u64)> = t[5..]
+                            .iter()
+                            .map(|tok| {
+                                let (cell, rowid) = tok
+                                    .rsplit_once('=')
+                                    .ok_or_else(|| format!("bad key `{tok}`"))?;
+                                let rowid: u64 = rowid
+                                    .parse()
+                                    .map_err(|_| format!("bad key row id `{rowid}`"))?;
+                                let cell = parse_cell(cell).map_err(|e| e.to_string())?;
+                                Ok((cell, rowid))
+                            })
+                            .collect::<std::result::Result<_, String>>()?;
+                        RawNode::Inner { keys, children }
+                    }
+                    "L" => {
+                        if t.len() != 6 {
+                            return Err(format!("N L record has {} fields, expected 6", t.len()));
+                        }
+                        let next = if t[4] == "-" {
+                            None
+                        } else {
+                            Some(
+                                t[4].parse()
+                                    .map_err(|_| format!("bad sibling `{}`", t[4]))?,
+                            )
+                        };
+                        let rowids: Vec<u64> = if t[5] == "-" {
+                            Vec::new()
+                        } else {
+                            t[5].split(',')
+                                .map(|s| s.parse().map_err(|_| format!("bad row id `{s}`")))
+                                .collect::<std::result::Result<_, _>>()?
+                        };
+                        RawNode::Leaf { rowids, next }
+                    }
+                    other => return Err(format!("bad page kind `{other}`")),
+                };
+                Ok(())
+            }
+            other => Err(format!("unknown physical record `{other}`")),
+        }
     }
 }
 
@@ -180,10 +734,16 @@ mod tests {
     fn save_load_round_trip() {
         let db = sample_db();
         let text = db.save_to_string();
-        let restored = Database::load_from_string(&text).unwrap();
+        let (restored, report) = Database::load_from_string_report(&text).unwrap();
         assert_eq!(restored.base().object_count(), db.base().object_count());
         assert_eq!(restored.asrs().count(), 2);
-        // The rebuilt ASRs answer identically.
+        assert_eq!(report.version, 2);
+        assert!(
+            report.asrs.iter().all(|(_, mode)| mode.is_physical()),
+            "{report:?}"
+        );
+        assert!(report.physical_bytes > 0);
+        // The restored ASRs answer identically.
         for (id, asr) in restored.asrs() {
             if asr.supports(0, 3) {
                 let hits = restored
@@ -194,10 +754,63 @@ mod tests {
             asr.check_consistency().unwrap();
         }
         // Serialization reaches a fixed point after one load (type-id
-        // assignment follows file order from then on).
+        // assignment follows file order from then on; the physical
+        // section is restored page-for-page).
         let text2 = restored.save_to_string();
         let restored2 = Database::load_from_string(&text2).unwrap();
         assert_eq!(restored2.save_to_string(), text2);
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_by_rebuilding() {
+        let db = sample_db();
+        let text = db.save_to_string_v1();
+        assert!(text.starts_with("ASRDB 1\n"));
+        let (restored, report) = Database::load_from_string_report(&text).unwrap();
+        assert_eq!(report.version, 1);
+        assert_eq!(report.physical_bytes, 0);
+        assert!(report
+            .asrs
+            .iter()
+            .all(|(_, mode)| matches!(mode, AsrLoadMode::Rebuilt(r) if r == "v1 snapshot")));
+        for (id, asr) in restored.asrs() {
+            asr.check_consistency().unwrap();
+            if asr.supports(0, 3) {
+                let hits = restored
+                    .backward(id, 0, 3, &Cell::Value(Value::string("Door")))
+                    .unwrap();
+                assert_eq!(hits.len(), 2);
+            }
+        }
+        // The v1 rebuild load charges the extents it has to scan; the v2
+        // physical load of the same database does not touch them.
+        let loaded = Database::load_from_string(&text).unwrap();
+        assert!(loaded.stats().reads() > 0, "rebuild load scans extents");
+    }
+
+    #[test]
+    fn physical_restore_charges_reads_to_the_restored_trees() {
+        let db = sample_db();
+        let (restored, report) = Database::load_from_string_report(&db.save_to_string()).unwrap();
+        assert!(report.asrs.iter().all(|(_, m)| m.is_physical()));
+        let by_label = restored.stats().structures();
+        let mut tree_labels: Vec<&str> = by_label
+            .iter()
+            .filter(|s| s.label.ends_with(".fwd") || s.label.ends_with(".bwd"))
+            .map(|s| s.label.as_str())
+            .collect();
+        tree_labels.sort();
+        // Two ASRs over the 4-ary Figure-2 path: full/binary has spans
+        // 0-1, 1-2, 2-3 and canonical/{0,2,3} has 0-2, 2-3; the shared
+        // 2-3 label dedups to one (kind, label) id — 8 distinct labels.
+        assert_eq!(tree_labels.len(), 8, "{tree_labels:?}");
+        for s in by_label
+            .iter()
+            .filter(|s| s.label.ends_with(".fwd") || s.label.ends_with(".bwd"))
+        {
+            assert!(s.reads > 0, "restore reads must attribute to {}", s.label);
+            assert_eq!(s.writes, 0, "physical restore writes nothing: {}", s.label);
+        }
     }
 
     #[test]
@@ -246,7 +859,7 @@ mod tests {
     #[test]
     fn malformed_headers_rejected() {
         assert!(Database::load_from_string("").is_err());
-        assert!(Database::load_from_string("ASRDB 1\nno marker").is_err());
+        assert!(Database::load_from_string("ASRDB 2\nno marker").is_err());
         assert!(Database::load_from_string("WRONG\n--BASE--\nGOMSNAP 1\n").is_err());
         let db = sample_db();
         let text = db.save_to_string().replace("A Division", "A Nowhere");
@@ -264,7 +877,7 @@ mod tests {
         let good = sample_db().save_to_string();
 
         // Truncation at every line boundary: either a valid (possibly
-        // empty-config) database or a clean error, never a panic.
+        // degraded) database or a clean error, never a panic.
         let lines: Vec<&str> = good.lines().collect();
         for k in 0..lines.len() {
             let truncated = lines[..k].join("\n");
@@ -283,7 +896,7 @@ mod tests {
         assert!(err.to_string().contains("--BASE--"), "{err}");
 
         // Mangled magic header.
-        let bad_magic = good.replace("ASRDB 1", "ASRDB 999");
+        let bad_magic = good.replace("ASRDB 2", "ASRDB 999");
         let err = Database::load_from_string(&bad_magic).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
 
@@ -307,6 +920,75 @@ mod tests {
         let err = Database::load("/nonexistent/dir/db.snap").unwrap_err();
         assert!(matches!(err, AsrError::Snapshot(_)), "{err}");
         assert!(err.to_string().contains("cannot read file"), "{err}");
+    }
+
+    /// Corruption confined to the physical section degrades per ASR to a
+    /// rebuild — the load still succeeds and answers identically.
+    #[test]
+    fn corrupt_physical_section_falls_back_to_rebuild() {
+        let db = sample_db();
+        let good = db.save_to_string();
+        let door = Cell::Value(Value::string("Door"));
+        let expect: Vec<_> = {
+            let (clean, _) = Database::load_from_string_report(&good).unwrap();
+            clean.backward(0, 0, 3, &door).unwrap()
+        };
+
+        // A bit-flipped page id, a mangled tree header, a truncated R row
+        // count, an out-of-range child: each must fall back cleanly.
+        let first_n = good
+            .lines()
+            .find(|l| l.starts_with("N f"))
+            .unwrap()
+            .to_string();
+        let first_t = good
+            .lines()
+            .find(|l| l.starts_with("T 0"))
+            .unwrap()
+            .to_string();
+        for mangled in [
+            good.replace(&first_n, &first_n.replace(" L ", " X ")),
+            good.replace(&first_t, "T 0 0 f 999999 1 1 1 -"),
+            good.replace(&first_n, ""),
+            good.replacen("R 0 ", "R 999999 ", 1),
+        ] {
+            let (loaded, report) = Database::load_from_string_report(&mangled)
+                .unwrap_or_else(|e| panic!("must fall back, got {e}"));
+            assert!(
+                report
+                    .asrs
+                    .iter()
+                    .any(|(_, m)| matches!(m, AsrLoadMode::Rebuilt(_))),
+                "{report:?}"
+            );
+            assert_eq!(loaded.backward(0, 0, 3, &door).unwrap(), expect);
+            for (_, asr) in loaded.asrs() {
+                asr.check_consistency().unwrap();
+            }
+        }
+
+        // Physical section stripped entirely: every ASR rebuilds.  Only
+        // head lines are filtered — the GOM base section has its own
+        // records that may share these leading letters.
+        let (head, base) = good.split_once("--BASE--\n").unwrap();
+        let stripped: String = head
+            .lines()
+            .filter(|l| {
+                !(l.starts_with("P ")
+                    || l.starts_with("R ")
+                    || l.starts_with("T ")
+                    || l.starts_with("N "))
+            })
+            .map(|l| format!("{l}\n"))
+            .collect::<String>()
+            + "--BASE--\n"
+            + base;
+        let (loaded, report) = Database::load_from_string_report(&stripped).unwrap();
+        assert!(report
+            .asrs
+            .iter()
+            .all(|(_, m)| matches!(m, AsrLoadMode::Rebuilt(r) if r.contains("no physical"))));
+        assert_eq!(loaded.backward(0, 0, 3, &door).unwrap(), expect);
     }
 
     #[test]

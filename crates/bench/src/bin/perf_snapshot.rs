@@ -1,7 +1,8 @@
-//! Machine-readable performance snapshot (`BENCH_3.json`).
+//! Machine-readable performance snapshot (`BENCH_4.json`).
 //!
 //! ```text
 //! cargo run --release -p asr-bench --bin perf_snapshot -- [--out FILE]
+//! cargo run --release -p asr-bench --bin perf_snapshot -- --check-physical-load
 //! ```
 //!
 //! Captures the repository's perf trajectory in one JSON file:
@@ -13,11 +14,17 @@
 //!   counters (`batch_probes`, `batch_pages_saved`);
 //! * the crash-recovery comparison: marginal page I/O and wall-clock of
 //!   replaying a small WAL tail through incremental maintenance vs.
-//!   rebuilding the ASR from scratch (`asr_bench::recovery`);
+//!   rebuilding the ASR from scratch, plus loading a v2 checkpoint
+//!   (physical page-image restore) vs. the v1 rebuild-on-load pipeline
+//!   (`asr_bench::recovery`);
 //! * wall-clock of the full figure suite at `--jobs 1` vs `--jobs 4`,
 //!   alongside the machine's available parallelism — on a single-core
 //!   container the worker pool cannot beat the sequential run, and the
 //!   `cpus` field makes the speedup number interpretable.
+//!
+//! `--check-physical-load` runs only the recovery comparison and exits
+//! non-zero if physically loading the v2 checkpoint does not beat the
+//! rebuild-on-load pipeline in page cost — the CI perf gate.
 
 use std::time::Instant;
 
@@ -45,7 +52,8 @@ const RECOVERY_SCALE: f64 = 1.0;
 const RECOVERY_DELTA_OPS: usize = 16;
 
 fn main() {
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
+    let mut check_only = false;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -55,11 +63,36 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--check-physical-load" => check_only = true,
             other => {
-                eprintln!("unknown argument `{other}` — usage: perf_snapshot [--out FILE]");
+                eprintln!(
+                    "unknown argument `{other}` — usage: \
+                     perf_snapshot [--out FILE] [--check-physical-load]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    if check_only {
+        eprintln!("perf gate: physical checkpoint load vs rebuild-on-load ...");
+        let b = measure_recovery(RECOVERY_SCALE, RECOVERY_DELTA_OPS);
+        let physical = b.checkpoint_load.pages();
+        let rebuild = b.rebuild_load.pages();
+        println!(
+            "physical load: {physical} pages ({:.2} ms); rebuild-on-load: {rebuild} pages \
+             ({:.2} ms)",
+            b.checkpoint_load.wall_ms, b.rebuild_load.wall_ms
+        );
+        if physical >= rebuild {
+            eprintln!("FAIL: physical checkpoint load must undercut the v1 rebuild pipeline");
+            std::process::exit(1);
+        }
+        println!(
+            "OK: physical load undercuts rebuild by {} pages",
+            rebuild - physical
+        );
+        return;
     }
 
     let all = registry();
@@ -93,7 +126,7 @@ fn main() {
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"schema\": \"asr-bench-snapshot/2\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+        "{{\n  \"schema\": \"asr-bench-snapshot/3\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
          \"wall_ms\": {fig6_ms:.1},\n      \"workload\": \"Q_{{0,n}}(bw) x{QUERY_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }},\n    \"fig11\": {{\n      \
          \"wall_ms\": {fig11_ms:.1},\n      \"workload\": \"ins_3 x{UPDATE_COUNT} on the \
@@ -125,14 +158,18 @@ fn recovery_json(b: &RecoveryBench) -> String {
     format!(
         "{{\n    \"workload\": \"ins_3 x{RECOVERY_DELTA_OPS} delta on the 1/{RECOVERY_SCALE:.0}-scale \
          fig6 profile, full/binary ASR\",\n    \"delta_ops\": {},\n    \
-         \"records_replayed\": {},\n    \"checkpoint_load\": {},\n    \"wal_replay\": {},\n    \
-         \"full_rebuild\": {},\n    \"replay_rebuild_page_ratio\": {:.4}\n  }}",
+         \"records_replayed\": {},\n    \"checkpoint_load\": {},\n    \"rebuild_load\": {},\n    \
+         \"wal_replay\": {},\n    \
+         \"full_rebuild\": {},\n    \"replay_rebuild_page_ratio\": {:.4},\n    \
+         \"physical_rebuild_page_ratio\": {:.4}\n  }}",
         b.delta_ops,
         b.records_replayed,
         phase_json(&b.checkpoint_load),
+        phase_json(&b.rebuild_load),
         phase_json(&b.wal_replay),
         phase_json(&b.full_rebuild),
         b.wal_replay.pages() as f64 / b.full_rebuild.pages().max(1) as f64,
+        b.checkpoint_load.pages() as f64 / b.rebuild_load.pages().max(1) as f64,
     )
 }
 

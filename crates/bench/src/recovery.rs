@@ -1,9 +1,12 @@
-//! Recovery micro-benchmark: WAL-tail replay vs. full ASR rebuild.
+//! Recovery micro-benchmark: WAL-tail replay vs. full ASR rebuild, and
+//! physical (v2) checkpoint loading vs. the rebuild-on-load (v1) pipeline.
 //!
-//! The checkpoint snapshot stores only ASR *configurations* and rebuilds
-//! the relations on load, so every recovery strategy pays the same
-//! checkpoint-load cost.  What the write-ahead log changes is how the
-//! *delta* since the checkpoint is incorporated:
+//! Version-2 checkpoints carry each stored partition's B+ trees as page
+//! images, so loading one restores the ASRs physically in O(pages); the
+//! v1 pipeline stored only ASR *configurations* and re-derived every
+//! relation from the base on load.  Both are priced here.  What the
+//! write-ahead log changes is how the *delta* since the checkpoint is
+//! incorporated:
 //!
 //! * **WAL replay** (what `asr-durable` implements): scan the log tail
 //!   and push each surviving record through the incremental maintenance
@@ -23,6 +26,7 @@ use asr_core::{AsrConfig, Database, Decomposition, Extension};
 use asr_costmodel::{profiles, Mix, Op};
 use asr_durable::{DurableDatabase, FlushPolicy, MemStorage, Storage, CHECKPOINT_FILE};
 use asr_gom::{PathExpression, TypeRef, Value};
+use asr_pagesim::PAGE_SIZE;
 use asr_workload::{generate, generate_trace, scale_profile, GeneratorSpec, TraceOp};
 
 /// Measured cost of one recovery phase.
@@ -50,9 +54,13 @@ pub struct RecoveryBench {
     pub delta_ops: u64,
     /// Records the real recovery replayed — equals `delta_ops`.
     pub records_replayed: u64,
-    /// Loading the checkpoint snapshot (ASRs rebuilt from their config) —
-    /// the baseline every strategy pays.
+    /// Loading the checkpoint snapshot (v2: ASRs restored physically
+    /// from their page images) — the baseline every strategy pays.
     pub checkpoint_load: PhaseCost,
+    /// Loading the same state through the v1 snapshot pipeline, which
+    /// re-derives every ASR from the base — what checkpoint loading cost
+    /// before physical partition persistence.
+    pub rebuild_load: PhaseCost,
     /// Marginal cost of replaying the WAL tail through incremental
     /// maintenance (includes reading the log itself).
     pub wal_replay: PhaseCost,
@@ -122,6 +130,21 @@ pub fn measure_recovery(scale: f64, delta_ops: usize) -> RecoveryBench {
     let load_wall = t.elapsed().as_secs_f64() * 1e3;
     let load = loaded.stats().snapshot();
 
+    // (d) The pre-v2 pipeline on the same state: a v1 snapshot's load
+    // re-derives the ASR from the base.  Charge the file read (recovery
+    // would) plus everything the rebuild itself touches.
+    let v1_text = loaded.save_to_string_v1();
+    let t = Instant::now();
+    let rebuilt = Database::load_from_string(&v1_text).expect("v1 snapshot loads");
+    let v1_wall = t.elapsed().as_secs_f64() * 1e3;
+    let v1_stats = rebuilt.stats().snapshot();
+    drop(rebuilt);
+    let rebuild_load = PhaseCost {
+        wall_ms: v1_wall,
+        page_reads: v1_stats.reads + (v1_text.len() as u64).div_ceil(PAGE_SIZE as u64),
+        page_writes: v1_stats.writes,
+    };
+
     // (c) The naive alternative to replay: invalidate + rebuild the ASR
     // over the recovered final state.  The in-memory build walks the
     // object base directly and charges only the bulk-load writes; a cold
@@ -151,6 +174,7 @@ pub fn measure_recovery(scale: f64, delta_ops: usize) -> RecoveryBench {
             page_reads: load.reads + report.checkpoint_pages_read,
             page_writes: load.writes,
         },
+        rebuild_load,
         wal_replay: PhaseCost {
             wall_ms: (recover_wall - load_wall).max(0.0),
             page_reads: (total.reads - load.reads) - report.checkpoint_pages_read,

@@ -26,6 +26,27 @@ fn wal_replay_beats_full_rebuild_for_small_deltas() {
     assert!(b.checkpoint_load.pages() > 0);
 }
 
+/// The v2 acceptance criterion: restoring ASRs physically from the
+/// checkpoint's page images must cost strictly less page I/O than the
+/// v1 pipeline, which re-derives every relation from the base on load.
+#[test]
+fn physical_checkpoint_load_beats_rebuild_on_load() {
+    let b = measure_recovery(1.0, 16);
+    assert!(b.checkpoint_load.pages() > 0, "{:?}", b.checkpoint_load);
+    assert!(
+        b.checkpoint_load.pages() < b.rebuild_load.pages(),
+        "physical load {:?} should cost less than rebuild-on-load {:?}",
+        b.checkpoint_load,
+        b.rebuild_load
+    );
+    assert!(
+        b.checkpoint_load.page_reads < b.rebuild_load.page_reads,
+        "physical load {:?} should also read fewer pages than {:?}",
+        b.checkpoint_load,
+        b.rebuild_load
+    );
+}
+
 #[test]
 fn replay_cost_scales_with_delta_not_database() {
     // Double the delta: replay cost grows, rebuild cost stays in the same

@@ -55,7 +55,7 @@ use std::collections::BTreeMap;
 use std::ops::Deref;
 use std::path::Path;
 
-use asr_core::{AsrConfig, AsrId, Database, Decomposition, Extension};
+use asr_core::{AsrConfig, AsrId, AsrLoadMode, Database, Decomposition, Extension};
 use asr_gom::{Oid, Value};
 use asr_pagesim::{StructureId, StructureKind, PAGE_SIZE};
 
@@ -88,10 +88,16 @@ pub struct RecoveryReport {
     pub torn_bytes: u64,
     /// Why the tail was discarded, when it was.
     pub torn_reason: Option<&'static str>,
-    /// Modeled pages read to load the checkpoint.
+    /// Modeled pages read to load the checkpoint *file* (headers, design
+    /// and base sections).  Physical-section bytes are excluded: those
+    /// pages are the ASR trees' images, and restoring them charges one
+    /// read per node to the trees themselves.
     pub checkpoint_pages_read: u64,
     /// Modeled pages read to scan the WAL.
     pub wal_pages_read: u64,
+    /// How each ASR came back from the checkpoint, in id order —
+    /// physically adopted page images (`ASRDB 2`) or a rebuild.
+    pub asr_load_modes: Vec<(AsrId, AsrLoadMode)>,
 }
 
 /// Point-in-time WAL status (what `\wal status` prints).
@@ -217,7 +223,7 @@ impl<S: Storage> DurableDatabase<S> {
         let snap = storage.read(CHECKPOINT_FILE)?.ok_or_else(|| {
             DurableError::Corrupt("MANIFEST present but checkpoint.snap missing".into())
         })?;
-        let checkpoint_pages_read = pages(snap.len());
+        let snap_bytes = snap.len();
         let snap = String::from_utf8(snap)
             .map_err(|_| DurableError::Corrupt("checkpoint.snap is not UTF-8".into()))?;
         let (header, rest) = snap
@@ -242,7 +248,10 @@ impl<S: Storage> DurableDatabase<S> {
                     .map_err(|_| DurableError::Corrupt(format!("bad ASR id `{t}` in ASRIDS")))
             })
             .collect::<Result<_>>()?;
-        let mut db = Database::load_from_string(body)?;
+        let (mut db, load) = Database::load_from_string_report(body)?;
+        // The physical section's pages were just charged as tree restore
+        // reads by the load; the file charge covers the rest.
+        let checkpoint_pages_read = pages(snap_bytes - load.physical_bytes.min(snap_bytes));
 
         // Loading compacted the snapshot's ASRs into slots 0..k; seed the
         // replay translation from the session ids they had when logged.
@@ -283,6 +292,7 @@ impl<S: Storage> DurableDatabase<S> {
             torn_reason: scan.torn_reason.map(|r| r.label()),
             checkpoint_pages_read,
             wal_pages_read,
+            asr_load_modes: load.asrs,
         };
         // Surface recovery through the freshly-built database's
         // observability layer (page reads + metrics counters).

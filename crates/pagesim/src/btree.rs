@@ -99,6 +99,56 @@ struct BatchState<K> {
     pages_read: u64,
 }
 
+/// One page of a [`TreeImage`]: the physical content of a single slab
+/// slot, with sibling links expressed as `Option` instead of the private
+/// `NO_NODE` sentinel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeImage<K, V> {
+    /// An inner page: `keys.len() + 1` child page ids.
+    Inner {
+        /// Separator keys.
+        keys: Vec<K>,
+        /// Child slab slots, one more than `keys`.
+        children: Vec<usize>,
+    },
+    /// A leaf page with its right-sibling link.
+    Leaf {
+        /// Sorted `(key, value)` entries.
+        entries: Vec<(K, V)>,
+        /// Slab slot of the right sibling leaf, if any.
+        next: Option<usize>,
+    },
+    /// A free slab slot (must appear on the image's free list).
+    Free,
+}
+
+/// A page-faithful physical image of a B+ tree: the complete slab layout
+/// (including free slots), free list and geometry.  Produced by
+/// [`BPlusTree::dump_image`] and re-installed by
+/// [`BPlusTree::adopt_image`]; `dump ∘ adopt` is the identity, so a tree
+/// restored from its image is physically indistinguishable from the
+/// original — same pages, same sibling links, same future slot reuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeImage<K, V> {
+    /// Slab slot of the root page.
+    pub root: usize,
+    /// Tree height in levels, including the leaf level.
+    pub height: usize,
+    /// Number of stored entries.
+    pub len: usize,
+    /// Free slab slots in pop order (the last element is reused first).
+    pub free: Vec<usize>,
+    /// Every slab slot, free ones included.
+    pub nodes: Vec<NodeImage<K, V>>,
+}
+
+impl<K, V> TreeImage<K, V> {
+    /// Number of live (non-free) pages.
+    pub fn live_pages(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+}
+
 /// A node slab produced by [`build_bulk`]: the pure, stats-free output of
 /// a bottom-up bulk load.  Because it holds no
 /// [`StatsHandle`](crate::stats::StatsHandle), it can be built on a worker
@@ -862,6 +912,246 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         self.len = built.len;
         for node in 0..self.nodes.len() {
             self.charge_write(node);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Physical images (checkpoint dump / restore)
+    // ------------------------------------------------------------------
+
+    /// Capture the tree's complete physical state — slab layout, free
+    /// list, geometry — as a [`TreeImage`].  Charges nothing: dumping is
+    /// the serializer's concern; the writer layer prices the snapshot
+    /// bytes it emits.
+    pub fn dump_image(&self) -> TreeImage<K, V> {
+        TreeImage {
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            free: self.free.clone(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Inner { keys, children } => NodeImage::Inner {
+                        keys: keys.clone(),
+                        children: children.clone(),
+                    },
+                    Node::Leaf { entries, next } => NodeImage::Leaf {
+                        entries: entries.clone(),
+                        next: (*next != NO_NODE).then_some(*next),
+                    },
+                    Node::Free => NodeImage::Free,
+                })
+                .collect(),
+        }
+    }
+
+    /// Adopt a physical image into this empty tree.  Adoption itself
+    /// charges nothing: the image's bytes came off whatever medium the
+    /// caller read them from, and that read is the caller's to price —
+    /// typically via [`BPlusTree::charge_restore_reads`] so the cost
+    /// attributes to this tree's structure id (tag first).
+    ///
+    /// The image is validated with bounded, panic-proof checks before
+    /// anything is installed: out-of-range page references, reference
+    /// cycles, free-list inconsistencies, depth or capacity violations
+    /// and broken leaf chains all yield a descriptive
+    /// [`PageSimError::CorruptStructure`].  Semantic invariants (key
+    /// order, separator bounds, fill factors) are then verified via
+    /// [`BPlusTree::check_invariants`]; on failure the tree is rolled
+    /// back to pristine empty state — nothing charged — so the caller
+    /// can fall back to a rebuild.
+    pub fn adopt_image(&mut self, image: TreeImage<K, V>) -> Result<()> {
+        assert!(self.is_empty(), "adopt_image() requires an empty tree");
+        self.validate_image(&image)?;
+        let TreeImage {
+            root,
+            height,
+            len,
+            free,
+            nodes,
+        } = image;
+        self.buffer.borrow_mut().invalidate();
+        self.nodes = nodes
+            .into_iter()
+            .map(|n| match n {
+                NodeImage::Inner { keys, children } => Node::Inner { keys, children },
+                NodeImage::Leaf { entries, next } => Node::Leaf {
+                    entries,
+                    next: next.unwrap_or(NO_NODE),
+                },
+                NodeImage::Free => Node::Free,
+            })
+            .collect();
+        self.free = free;
+        self.root = root;
+        self.height = height;
+        self.len = len;
+        if let Err(e) = self.check_invariants() {
+            self.reset_to_empty();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Charge `pages` reads attributed to this tree's structure id —
+    /// how a snapshot loader prices pulling this tree's serialized image
+    /// in from the snapshot medium after [`BPlusTree::adopt_image`].
+    /// Bypasses the buffer pool: these are reads of the snapshot file,
+    /// not of the tree's own resident pages.
+    pub fn charge_restore_reads(&self, pages: u64) {
+        let sid = self.structure_id();
+        for _ in 0..pages {
+            self.stats.count_read_for(sid);
+        }
+    }
+
+    /// Roll back to the pristine empty state (single empty root leaf),
+    /// keeping stats handle, capacities and structure tag.
+    fn reset_to_empty(&mut self) {
+        self.nodes = vec![Node::Leaf {
+            entries: Vec::new(),
+            next: NO_NODE,
+        }];
+        self.free.clear();
+        self.root = 0;
+        self.height = 1;
+        self.len = 0;
+        self.buffer.borrow_mut().invalidate();
+    }
+
+    /// Structural safety checks on an untrusted image.  Every walk here is
+    /// bounded by the slab size, so adversarial images (cycles, shared
+    /// pages, runaway chains) terminate with an error instead of looping
+    /// or overflowing the stack.
+    fn validate_image(&self, image: &TreeImage<K, V>) -> Result<()> {
+        let corrupt =
+            |msg: String| Err(PageSimError::CorruptStructure(format!("tree image: {msg}")));
+        let n = image.nodes.len();
+        if n == 0 {
+            return corrupt("no pages".into());
+        }
+        if image.root >= n {
+            return corrupt(format!("root {} out of bounds ({n} pages)", image.root));
+        }
+        if image.height == 0 {
+            return corrupt("height 0".into());
+        }
+        // The free list and the slab must agree on which slots are free.
+        let mut is_free = vec![false; n];
+        for &f in &image.free {
+            if f >= n {
+                return corrupt(format!("free slot {f} out of bounds"));
+            }
+            if is_free[f] {
+                return corrupt(format!("free slot {f} listed twice"));
+            }
+            is_free[f] = true;
+        }
+        for (id, node) in image.nodes.iter().enumerate() {
+            if is_free[id] != matches!(node, NodeImage::Free) {
+                return corrupt(format!("slot {id}: free list and page kind disagree"));
+            }
+        }
+        // Bounded BFS from the root: every live page reachable exactly
+        // once, children in bounds, uniform leaf depth, page capacities
+        // respected, inner fan-out >= 2 (bounds the height of the later
+        // recursive invariant check).
+        let live = n - image.free.len();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((image.root, 1usize));
+        seen[image.root] = true;
+        let mut visited = 0usize;
+        let mut entry_count = 0usize;
+        let mut leaves = 0usize;
+        while let Some((id, depth)) = queue.pop_front() {
+            visited += 1;
+            match &image.nodes[id] {
+                NodeImage::Free => return corrupt(format!("page {id} reachable but free")),
+                NodeImage::Inner { keys, children } => {
+                    if depth >= image.height {
+                        return corrupt(format!("inner page {id} at or below leaf depth"));
+                    }
+                    if children.len() < 2 {
+                        return corrupt(format!("inner page {id} has {} children", children.len()));
+                    }
+                    if children.len() != keys.len() + 1 {
+                        return corrupt(format!(
+                            "inner page {id}: {} keys for {} children",
+                            keys.len(),
+                            children.len()
+                        ));
+                    }
+                    if children.len() > self.inner_capacity {
+                        return corrupt(format!("inner page {id} exceeds fan-out"));
+                    }
+                    for &c in children {
+                        if c >= n {
+                            return corrupt(format!("child {c} of page {id} out of bounds"));
+                        }
+                        if seen[c] {
+                            return corrupt(format!("page {c} referenced twice"));
+                        }
+                        seen[c] = true;
+                        queue.push_back((c, depth + 1));
+                    }
+                }
+                NodeImage::Leaf { entries, next } => {
+                    if depth != image.height {
+                        return corrupt(format!("leaf page {id} at depth {depth}"));
+                    }
+                    if entries.len() > self.leaf_capacity {
+                        return corrupt(format!("leaf page {id} overfull"));
+                    }
+                    entry_count += entries.len();
+                    leaves += 1;
+                    if let Some(nx) = next {
+                        if *nx >= n {
+                            return corrupt(format!("leaf {id} sibling link out of bounds"));
+                        }
+                    }
+                }
+            }
+        }
+        if visited != live {
+            return corrupt(format!("{live} live pages but {visited} reachable"));
+        }
+        if entry_count != image.len {
+            return corrupt(format!(
+                "len field {} != {entry_count} stored entries",
+                image.len
+            ));
+        }
+        // The sibling chain must walk every leaf exactly once, then end.
+        let mut node = image.root;
+        for _ in 0..image.height {
+            match &image.nodes[node] {
+                NodeImage::Inner { children, .. } => node = children[0],
+                NodeImage::Leaf { .. } => break,
+                NodeImage::Free => unreachable!("reachability validated above"),
+            }
+        }
+        let mut on_chain = vec![false; n];
+        let mut walked = 0usize;
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            match &image.nodes[id] {
+                NodeImage::Leaf { next, .. } => {
+                    if on_chain[id] {
+                        return corrupt("leaf sibling chain cycles".into());
+                    }
+                    on_chain[id] = true;
+                    walked += 1;
+                    cur = *next;
+                }
+                _ => return corrupt("leaf sibling chain hits a non-leaf page".into()),
+            }
+        }
+        if walked != leaves {
+            return corrupt(format!("sibling chain covers {walked} of {leaves} leaves"));
         }
         Ok(())
     }
@@ -1694,5 +1984,151 @@ mod tests {
         }
         assert!(t.nodes.len() <= peak + 1, "slab reuses freed pages");
         t.check_invariants().unwrap();
+    }
+
+    /// A tree with both history (splits, merges, freed slots) for image
+    /// round-trip tests.
+    fn weathered_tree() -> BPlusTree<u32, u32> {
+        let mut t = tiny_tree();
+        for k in 0..300u32 {
+            t.insert(k, k * 7).unwrap();
+        }
+        for k in (0..300).step_by(3) {
+            t.remove(&k);
+        }
+        t
+    }
+
+    #[test]
+    fn image_round_trip_is_physical_identity() {
+        let t = weathered_tree();
+        let image = t.dump_image();
+        assert!(
+            !image.free.is_empty(),
+            "weathered tree must have freed slots"
+        );
+
+        let stats = IoStats::new_handle();
+        let mut r: BPlusTree<u32, u32> = BPlusTree::with_capacities(4, 4, Rc::clone(&stats));
+        r.adopt_image(image.clone()).unwrap();
+
+        // Adoption itself is free — the caller prices the medium read.
+        assert_eq!(stats.reads(), 0);
+        assert_eq!(stats.writes(), 0);
+        r.charge_restore_reads(3);
+        assert_eq!(stats.reads(), 3, "restore reads charge through the tree");
+        assert_eq!(stats.writes(), 0);
+        stats.reset();
+        // Physical identity: re-dumping yields the same image.
+        assert_eq!(r.dump_image(), image);
+        // Query identity.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        t.scan_all(|k, v| a.push((*k, *v)));
+        r.scan_all(|k, v| b.push((*k, *v)));
+        assert_eq!(a, b);
+        // The restored tree keeps maintaining: future slot reuse matches
+        // the original tree's, operation for operation.
+        let mut t2 = t;
+        let mut r2 = r;
+        for k in [1000u32, 1001, 1002] {
+            t2.insert(k, k).unwrap();
+            r2.insert(k, k).unwrap();
+        }
+        assert_eq!(t2.dump_image(), r2.dump_image());
+    }
+
+    #[test]
+    fn empty_tree_image_round_trips() {
+        let t = tiny_tree();
+        let image = t.dump_image();
+        let mut r: BPlusTree<u32, u32> = tiny_tree();
+        r.adopt_image(image.clone()).unwrap();
+        assert_eq!(r.dump_image(), image);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn corrupt_images_error_without_panicking() {
+        let good = weathered_tree().dump_image();
+        let adopt = |img: TreeImage<u32, u32>| {
+            let mut r: BPlusTree<u32, u32> = tiny_tree();
+            let err = r.adopt_image(img).unwrap_err();
+            // The tree stays usable as an empty fallback target.
+            assert!(r.is_empty());
+            r.check_invariants().unwrap();
+            match err {
+                PageSimError::CorruptStructure(msg) => msg,
+                other => panic!("expected CorruptStructure, got {other:?}"),
+            }
+        };
+
+        // Root out of bounds.
+        let mut img = good.clone();
+        img.root = img.nodes.len();
+        assert!(adopt(img).contains("root"));
+
+        // Child reference cycle (point a child back at the root).
+        let mut img = good.clone();
+        let root = img.root;
+        for node in img.nodes.iter_mut() {
+            if let NodeImage::Inner { children, .. } = node {
+                children[0] = root;
+            }
+        }
+        adopt(img);
+
+        // Leaf sibling chain cycle.
+        let mut img = good.clone();
+        let mut first_leaf = None;
+        for (id, node) in img.nodes.iter().enumerate() {
+            if matches!(node, NodeImage::Leaf { .. }) {
+                first_leaf = Some(id);
+                break;
+            }
+        }
+        let target = first_leaf.unwrap();
+        for node in img.nodes.iter_mut() {
+            if let NodeImage::Leaf { next, .. } = node {
+                *next = Some(target);
+            }
+        }
+        adopt(img);
+
+        // Free list disagrees with the slab.
+        let mut img = good.clone();
+        img.free.pop();
+        assert!(adopt(img).contains("free"));
+
+        // Wrong entry count.
+        let mut img = good.clone();
+        img.len += 1;
+        assert!(adopt(img).contains("len"));
+
+        // Unsorted keys pass structural checks but fail the semantic
+        // invariant pass — tree must roll back cleanly.
+        let mut img = good.clone();
+        for node in img.nodes.iter_mut() {
+            if let NodeImage::Leaf { entries, .. } = node {
+                entries.reverse();
+            }
+        }
+        adopt(img);
+    }
+
+    #[test]
+    fn adopt_image_rejects_overfull_pages() {
+        // Five sequential inserts at capacity 4 leave a 3-entry leaf,
+        // overfull for a capacity-2 tree.
+        let mut t = tiny_tree();
+        for k in 0..5u32 {
+            t.insert(k, k).unwrap();
+        }
+        let big = t.dump_image();
+        let mut r: BPlusTree<u32, u32> = BPlusTree::with_capacities(2, 3, IoStats::new_handle());
+        assert!(matches!(
+            r.adopt_image(big),
+            Err(PageSimError::CorruptStructure(_))
+        ));
     }
 }

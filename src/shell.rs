@@ -34,7 +34,7 @@ use std::rc::Rc;
 
 use asr_advisor::{advise, RecorderSink, UsageRecorder};
 
-use asr_core::{AsrConfig, Database, Decomposition, Extension};
+use asr_core::{AsrConfig, AsrLoadMode, Database, Decomposition, Extension};
 use asr_durable::{DurableDatabase, FlushPolicy, FsStorage, OpenDurable, MANIFEST_FILE};
 use asr_gom::PathExpression;
 use asr_obs::{RingBufferSink, SinkId};
@@ -216,24 +216,44 @@ fn cmd_load(state: &mut ShellState, rest: &str) -> Result<String, String> {
         };
         let summary = format!(
             "recovered {rest}: checkpoint LSN {}, {} record(s) replayed{torn}; \
-             {} objects, {} access relations (WAL on)",
+             {} objects, {} access relations (WAL on){}",
             r.checkpoint_lsn,
             r.records_replayed,
             d.base().object_count(),
-            d.asrs().count()
+            d.asrs().count(),
+            describe_load_modes(&r.asr_load_modes),
         );
         state.install_db(OpenDb::Durable(Box::new(d)), rest);
         Ok(summary)
     } else {
-        let db = Database::load(rest).map_err(|e| e.to_string())?;
+        let (db, report) = Database::load_report(rest).map_err(|e| e.to_string())?;
         let summary = format!(
-            "loaded {rest}: {} objects, {} access relations",
+            "loaded {rest}: {} objects, {} access relations (snapshot v{}){}",
             db.base().object_count(),
-            db.asrs().count()
+            db.asrs().count(),
+            report.version,
+            describe_load_modes(&report.asrs),
         );
         state.install_db(OpenDb::Plain(Box::new(db)), rest);
         Ok(summary)
     }
+}
+
+/// One line per ASR: was it restored physically from page images, or
+/// rebuilt from the object base (and why)?
+fn describe_load_modes(modes: &[(asr_core::AsrId, AsrLoadMode)]) -> String {
+    let mut out = String::new();
+    for (id, mode) in modes {
+        match mode {
+            AsrLoadMode::Physical => {
+                let _ = write!(out, "\n  asr {id}: physical");
+            }
+            AsrLoadMode::Rebuilt(reason) => {
+                let _ = write!(out, "\n  asr {id}: rebuilt ({reason})");
+            }
+        }
+    }
+    out
 }
 
 fn policy_name(p: FlushPolicy) -> String {
@@ -774,6 +794,8 @@ mod tests {
         let mut s2 = ShellState::new();
         let out = run_line(&mut s2, &format!("\\load {file_str}"));
         assert!(out.contains("1 access relations"), "{out}");
+        assert!(out.contains("(snapshot v2)"), "{out}");
+        assert!(out.contains("asr 0: physical"), "{out}");
         let q = run_line(
             &mut s2,
             r#"select r.Name from r in OurRobots where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia""#,
@@ -832,6 +854,14 @@ mod tests {
         assert!(off.contains("WAL off"), "{off}");
         assert!(run_line(&mut s2, "\\asrs").contains("#0"));
         assert!(run_line(&mut s2, "\\wal status").starts_with("error:"));
+
+        // Reloading the checkpointed directory restores the ASR from its
+        // page images (the v2 physical section), not by re-joining.
+        let mut s4 = ShellState::new();
+        let out = run_line(&mut s4, &format!("\\load {dir_str}"));
+        assert!(out.contains("0 record(s) replayed"), "{out}");
+        assert!(out.contains("asr 0: physical"), "{out}");
+        drop(s4);
 
         // Enabling WAL into a directory that already holds a durable
         // database is refused (the database would be lost) — `\load` it.
