@@ -1,4 +1,4 @@
-//! Machine-readable performance snapshot (`BENCH_4.json`).
+//! Machine-readable performance snapshot (`BENCH_5.json`).
 //!
 //! ```text
 //! cargo run --release -p asr-bench --bin perf_snapshot -- [--out FILE]
@@ -17,6 +17,12 @@
 //!   rebuilding the ASR from scratch, plus loading a v2 checkpoint
 //!   (physical page-image restore) vs. the v1 rebuild-on-load pipeline
 //!   (`asr_bench::recovery`);
+//! * the replication comparison: shipped bytes/pages of a warm replica
+//!   catching up on a delta vs. a cold replica bootstrapping from the
+//!   checkpoint — the log-shipping analogue of replay-vs-rebuild;
+//! * the PITR cost curve: `recover_to_lsn` priced at bounds 0–100% of
+//!   the tip, showing replay cost growing with bound distance from the
+//!   covering checkpoint;
 //! * wall-clock of the full figure suite at `--jobs 1` vs `--jobs 4`,
 //!   alongside the machine's available parallelism — on a single-core
 //!   container the worker pool cannot beat the sequential run, and the
@@ -29,7 +35,10 @@
 use std::time::Instant;
 
 use asr_bench::experiments::{registry, run_entries};
-use asr_bench::recovery::{measure_recovery, PhaseCost, RecoveryBench};
+use asr_bench::recovery::{
+    measure_pitr, measure_recovery, measure_replication, PhaseCost, PitrBench, RecoveryBench,
+    ReplicationBench, ShipCost,
+};
 use asr_core::{AsrConfig, Decomposition, Extension};
 use asr_costmodel::{profiles, Mix, Op};
 use asr_workload::{execute_trace, generate, generate_trace, scale_profile, GeneratorSpec};
@@ -51,8 +60,12 @@ struct MeasuredIo {
 const RECOVERY_SCALE: f64 = 1.0;
 const RECOVERY_DELTA_OPS: usize = 16;
 
+// The PITR curve needs a longer delta so the five bounds land on
+// meaningfully different replay prefixes (and several sealed segments).
+const PITR_DELTA_OPS: usize = 64;
+
 fn main() {
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut check_only = false;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -115,6 +128,12 @@ fn main() {
     eprintln!("measuring crash recovery: WAL replay vs full rebuild ...");
     let recovery = measure_recovery(RECOVERY_SCALE, RECOVERY_DELTA_OPS);
 
+    eprintln!("measuring replication: warm catch-up vs cold bootstrap ...");
+    let replication = measure_replication(RECOVERY_SCALE, RECOVERY_DELTA_OPS);
+
+    eprintln!("measuring PITR: replay cost vs bound distance ...");
+    let pitr = measure_pitr(RECOVERY_SCALE, PITR_DELTA_OPS);
+
     eprintln!("timing the full suite, --jobs 1 ...");
     let jobs1 = Instant::now();
     run_entries(&all, 1);
@@ -126,17 +145,19 @@ fn main() {
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"schema\": \"asr-bench-snapshot/3\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+        "{{\n  \"schema\": \"asr-bench-snapshot/4\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
          \"wall_ms\": {fig6_ms:.1},\n      \"workload\": \"Q_{{0,n}}(bw) x{QUERY_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }},\n    \"fig11\": {{\n      \
          \"wall_ms\": {fig11_ms:.1},\n      \"workload\": \"ins_3 x{UPDATE_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }}\n  }},\n  \
-         \"recovery\": {},\n  \"all\": {{\n    \
+         \"recovery\": {},\n  \"replication\": {},\n  \"pitr\": {},\n  \"all\": {{\n    \
          \"figures\": {},\n    \"cpus\": {cpus},\n    \"jobs1_wall_ms\": {jobs1_ms:.1},\n    \
          \"jobs4_wall_ms\": {jobs4_ms:.1},\n    \"speedup_jobs4\": {:.2}\n  }}\n}}\n",
         io_json(&fig6_io),
         io_json(&fig11_io),
         recovery_json(&recovery),
+        replication_json(&replication),
+        pitr_json(&pitr),
         all.len(),
         jobs1_ms / jobs4_ms.max(1e-9),
     );
@@ -170,6 +191,48 @@ fn recovery_json(b: &RecoveryBench) -> String {
         phase_json(&b.full_rebuild),
         b.wal_replay.pages() as f64 / b.full_rebuild.pages().max(1) as f64,
         b.checkpoint_load.pages() as f64 / b.rebuild_load.pages().max(1) as f64,
+    )
+}
+
+fn ship_json(c: &ShipCost) -> String {
+    format!(
+        "{{ \"wall_ms\": {:.2}, \"bytes_shipped\": {}, \"pages\": {}, \"deliveries\": {}, \
+         \"records_applied\": {} }}",
+        c.wall_ms, c.bytes_shipped, c.pages, c.deliveries, c.records_applied
+    )
+}
+
+fn replication_json(b: &ReplicationBench) -> String {
+    format!(
+        "{{\n    \"workload\": \"ins_3 x{RECOVERY_DELTA_OPS} delta on the \
+         1/{RECOVERY_SCALE:.0}-scale fig6 profile, lossless channel\",\n    \
+         \"delta_ops\": {},\n    \"catchup\": {},\n    \"bootstrap\": {},\n    \
+         \"catchup_bootstrap_page_ratio\": {:.4}\n  }}",
+        b.delta_ops,
+        ship_json(&b.catchup),
+        ship_json(&b.bootstrap),
+        b.catchup.pages as f64 / b.bootstrap.pages.max(1) as f64,
+    )
+}
+
+fn pitr_json(b: &PitrBench) -> String {
+    let points = b
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{ \"bound\": {}, \"wall_ms\": {:.2}, \"pages_read\": {}, \
+                 \"records_replayed\": {}, \"segments_read\": {} }}",
+                p.bound, p.wall_ms, p.pages_read, p.records_replayed, p.segments_read
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n    \"workload\": \"ins_3 x{PITR_DELTA_OPS} delta on the \
+         1/{RECOVERY_SCALE:.0}-scale fig6 profile, 192-byte segment threshold\",\n    \
+         \"tip_lsn\": {},\n    \"points\": [\n{points}\n    ]\n  }}",
+        b.tip,
     )
 }
 

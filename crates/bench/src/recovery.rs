@@ -24,7 +24,10 @@ use std::time::Instant;
 
 use asr_core::{AsrConfig, Database, Decomposition, Extension};
 use asr_costmodel::{profiles, Mix, Op};
-use asr_durable::{DurableDatabase, FlushPolicy, MemStorage, Storage, CHECKPOINT_FILE};
+use asr_durable::{
+    recover_to_lsn, replicate, DurableDatabase, FlushPolicy, LosslessChannel, MemStorage,
+    ReplicaApplier, ReplicateOptions, Storage, CHECKPOINT_FILE,
+};
 use asr_gom::{PathExpression, TypeRef, Value};
 use asr_pagesim::PAGE_SIZE;
 use asr_workload::{generate, generate_trace, scale_profile, GeneratorSpec, TraceOp};
@@ -186,6 +189,193 @@ pub fn measure_recovery(scale: f64, delta_ops: usize) -> RecoveryBench {
             page_writes: after.writes - before.writes,
         },
     }
+}
+
+/// Shipping cost of bringing one replica to the primary's tip.
+#[derive(Debug, Clone, Copy)]
+pub struct ShipCost {
+    /// Wall-clock milliseconds for the whole pump.
+    pub wall_ms: f64,
+    /// Delivery bytes the replica received.
+    pub bytes_shipped: u64,
+    /// Those bytes in modeled pages.
+    pub pages: u64,
+    /// Deliveries the shipper sent.
+    pub deliveries: u64,
+    /// Records the applier replayed.
+    pub records_applied: u64,
+}
+
+/// Warm catch-up vs cold bootstrap: the replication analogue of
+/// WAL-replay vs full-rebuild.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationBench {
+    /// Effective (logged) operations in the delta.
+    pub delta_ops: u64,
+    /// A replica seeded before the delta catches up by shipping only the
+    /// delta's frames — cost proportional to the delta.
+    pub catchup: ShipCost,
+    /// A fresh replica must ship the checkpoint snapshot plus the delta —
+    /// cost proportional to the database.
+    pub bootstrap: ShipCost,
+}
+
+/// Stage a primary and measure both replica strategies.
+///
+/// Mirrors [`measure_recovery`]'s staging: scaled fig6 population, one
+/// full/binary ASR covered by the create-time checkpoint, then
+/// `delta_ops` logged `ins_3` operations.
+pub fn measure_replication(scale: f64, delta_ops: usize) -> ReplicationBench {
+    let (primary, applied) = stage_primary(scale, delta_ops, None);
+    let opts = ReplicateOptions::default();
+
+    // Cold bootstrap: checkpoint + all delta frames.
+    let mut cold = ReplicaApplier::new();
+    let mut channel = LosslessChannel::new();
+    let t = Instant::now();
+    let cold_report =
+        replicate(&primary, &mut cold, &mut channel, &opts).expect("lossless bootstrap");
+    let cold_wall = t.elapsed().as_secs_f64() * 1e3;
+    let cold_bytes = cold.status().bytes_received;
+
+    // Warm catch-up: seed a replica with the checkpoint delivery alone
+    // (the state before the delta — the create-time checkpoint), then
+    // measure shipping the remaining frames.  The shipper serves
+    // `Need::From` without re-sending the checkpoint as long as the log
+    // retains the history, which is exactly the warm path.
+    let mut warm = ReplicaApplier::new();
+    let shipper = asr_durable::LogShipper::new(primary.storage());
+    let seed = shipper
+        .deliveries_for(asr_durable::Need::Checkpoint)
+        .expect("shippable state");
+    warm.offer(&seed[0]).expect("checkpoint seeds the replica");
+    let seeded_bytes = warm.status().bytes_received;
+    let mut channel = LosslessChannel::new();
+    let t = Instant::now();
+    let warm_report =
+        replicate(&primary, &mut warm, &mut channel, &opts).expect("lossless catch-up");
+    let warm_wall = t.elapsed().as_secs_f64() * 1e3;
+    let warm_bytes = warm.status().bytes_received - seeded_bytes;
+
+    ReplicationBench {
+        delta_ops: applied,
+        catchup: ShipCost {
+            wall_ms: warm_wall,
+            bytes_shipped: warm_bytes,
+            pages: warm_bytes.div_ceil(PAGE_SIZE as u64),
+            deliveries: warm_report.deliveries_sent,
+            records_applied: warm_report.records_applied,
+        },
+        bootstrap: ShipCost {
+            wall_ms: cold_wall,
+            bytes_shipped: cold_bytes,
+            pages: cold_bytes.div_ceil(PAGE_SIZE as u64),
+            deliveries: cold_report.deliveries_sent,
+            records_applied: cold_report.records_applied,
+        },
+    }
+}
+
+/// One point on the PITR cost curve.
+#[derive(Debug, Clone, Copy)]
+pub struct PitrPoint {
+    /// The requested bound.
+    pub bound: u64,
+    /// Wall-clock milliseconds for `recover_to_lsn`.
+    pub wall_ms: f64,
+    /// Modeled pages read (checkpoint + segments + tail).
+    pub pages_read: u64,
+    /// Records replayed past the chosen checkpoint.
+    pub records_replayed: u64,
+    /// Sealed segments the replay had to read.
+    pub segments_read: u64,
+}
+
+/// Point-in-time recovery cost as a function of bound distance.
+#[derive(Debug, Clone)]
+pub struct PitrBench {
+    /// The primary's durable tip LSN.
+    pub tip: u64,
+    /// Cost at bounds 0%, 25%, 50%, 75% and 100% of the tip.
+    pub points: Vec<PitrPoint>,
+}
+
+/// Stage a primary whose history is segmented, then price
+/// [`recover_to_lsn`] at evenly spaced bounds.  Replay cost must grow
+/// with the distance from the (single, create-time) checkpoint.
+pub fn measure_pitr(scale: f64, delta_ops: usize) -> PitrBench {
+    // A small rotation threshold spreads the delta over sealed segments,
+    // the shape PITR pays for: nearer bounds read shorter prefixes.
+    let (primary, applied) = stage_primary(scale, delta_ops, Some(192));
+    let storage = primary.storage().clone();
+    drop(primary);
+
+    let mut points = Vec::new();
+    for quarter in 0..=4u64 {
+        let bound = applied * quarter / 4;
+        let t = Instant::now();
+        let (_db, report) = recover_to_lsn(&storage, bound).expect("bound is retained");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        points.push(PitrPoint {
+            bound,
+            wall_ms,
+            pages_read: report.pages_read,
+            records_replayed: report.records_replayed,
+            segments_read: report.segments_read,
+        });
+    }
+    PitrBench {
+        tip: applied,
+        points,
+    }
+}
+
+/// Shared staging for the replication and PITR benches: scaled fig6
+/// population with a full/binary ASR, made durable (the create-time
+/// checkpoint covers the built ASR), then `delta_ops` logged inserts.
+fn stage_primary(
+    scale: f64,
+    delta_ops: usize,
+    segment_threshold: Option<usize>,
+) -> (DurableDatabase<MemStorage>, u64) {
+    let scaled = scale_profile(&profiles::fig6_profile().profile, scale);
+    let spec = GeneratorSpec::from_profile(&scaled, 1.0);
+    let g = generate(&spec, 7);
+    let m = g.path.arity(false) - 1;
+    let config = AsrConfig {
+        extension: Extension::Full,
+        decomposition: Decomposition::binary(m),
+        keep_set_oids: false,
+    };
+    let mix = Mix::new(vec![], vec![(1.0, Op::ins(3))], 1.0);
+    let trace = generate_trace(&g, &mix, delta_ops, 11);
+    let dotted = g.path.to_string();
+    let mut db = g.db;
+    db.create_asr_on(&dotted, config).expect("ASR builds");
+    let mut durable =
+        DurableDatabase::create(MemStorage::new(), db, FlushPolicy::EveryRecord).expect("creates");
+    if let Some(bytes) = segment_threshold {
+        durable.set_segment_threshold(bytes);
+    }
+    let mut applied = 0u64;
+    for op in &trace {
+        if let TraceOp::Insert { i, owner, elem } = op {
+            let attr = format!("A{}", i + 1);
+            let Ok(value) = durable.base().get_attribute(*owner, &attr) else {
+                continue;
+            };
+            let Some(set) = value.as_ref_oid() else {
+                continue;
+            };
+            if durable
+                .insert_into_set(set, Value::Ref(*elem))
+                .expect("logged insert")
+            {
+                applied += 1;
+            }
+        }
+    }
+    (durable, applied)
 }
 
 /// The `Database::save_to_string` body inside the checkpoint file (after

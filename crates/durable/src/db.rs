@@ -3,15 +3,20 @@
 //!
 //! # Files
 //!
-//! A durable database directory holds three files:
+//! A durable database directory holds:
 //!
 //! * `MANIFEST` — marks the directory as a durable database
 //!   (`ASRWAL 1`) and mirrors the checkpoint LSN for diagnostics;
 //! * `checkpoint.snap` — a `CKPT <lsn>` header and an `ASRIDS` line
 //!   (the live session ASR ids, in snapshot order) followed by the
 //!   regular [`Database::save_to_string`] snapshot;
-//! * `wal.log` — checksummed frames of logical records since the
-//!   checkpoint ([`crate::wal`]).
+//! * `wal.log` — checksummed frames of logical records since the last
+//!   rotation ([`crate::wal`]);
+//! * `wal.NNNNNN.seg`, `ckpt.NNNNNNNNNNNN.snap`, `segments.manifest` —
+//!   sealed log segments and archived checkpoints for replication and
+//!   point-in-time recovery ([`crate::segment`]).  A directory without
+//!   `segments.manifest` (pre-segmentation, e.g. the v1 golden fixture)
+//!   recovers through the plain checkpoint + `wal.log` path.
 //!
 //! # Protocol
 //!
@@ -59,9 +64,11 @@ use asr_core::{AsrConfig, AsrId, AsrLoadMode, Database, Decomposition, Extension
 use asr_gom::{Oid, Value};
 use asr_pagesim::{StructureId, StructureKind, PAGE_SIZE};
 
+use crate::crc::crc32;
 use crate::error::{DurableError, Result};
-use crate::record::LogOp;
-use crate::storage::{FsStorage, Storage};
+use crate::record::{LogOp, Record};
+use crate::segment::{checkpoint_archive_name, SegmentManifest, SegmentMeta, READ_RETRIES};
+use crate::storage::{read_stable, FsStorage, Storage};
 use crate::wal::{scan_wal, FlushPolicy, WalWriter};
 
 /// Marker + diagnostics file.
@@ -74,6 +81,15 @@ pub const WAL_FILE: &str = "wal.log";
 const MANIFEST_MAGIC: &str = "ASRWAL 1";
 const CKPT_MAGIC: &str = "CKPT";
 const ASRIDS_MAGIC: &str = "ASRIDS";
+
+/// Structure-id label for modeled segment I/O.
+const SEG_STRUCTURE: &str = "wal.segments";
+
+/// Default size at which the active log rotates into a sealed segment.
+/// Large enough that small interactive sessions and the crash-recovery
+/// fuzzer never rotate unless they opt in via
+/// [`DurableDatabase::set_segment_threshold`].
+pub const DEFAULT_SEGMENT_THRESHOLD: usize = 64 * 1024;
 
 /// What [`DurableDatabase::open`] did to bring the database back.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -115,6 +131,46 @@ pub struct WalStatus {
     pub pending_records: usize,
     /// Whether a storage failure poisoned the session.
     pub poisoned: bool,
+    /// Sealed segments currently retained.
+    pub segment_count: usize,
+    /// Total bytes held in sealed segments.
+    pub archived_bytes: u64,
+    /// First LSN crash recovery would replay (everything at or below the
+    /// checkpoint LSN is prunable).
+    pub oldest_needed_lsn: u64,
+    /// The oldest LSN point-in-time recovery can still reach (the oldest
+    /// archived checkpoint), when any history is archived.
+    pub pitr_floor_lsn: Option<u64>,
+}
+
+/// What a [`recover_to_lsn`] replay did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PitrReport {
+    /// The LSN bound that was requested.
+    pub bound: u64,
+    /// The archived checkpoint the replay started from.
+    pub checkpoint_lsn: u64,
+    /// Records replayed on top of the checkpoint.
+    pub records_replayed: u64,
+    /// Records skipped as duplicates (already covered by the checkpoint
+    /// or an earlier segment — rotation crash windows can overlap).
+    pub records_skipped: u64,
+    /// Sealed segments read during the replay.
+    pub segments_read: u64,
+    /// Modeled pages read (checkpoint + segments + tail).
+    pub pages_read: u64,
+}
+
+/// What [`DurableDatabase::prune_segments`] reclaimed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Sealed segments deleted (all were fully covered by the newest
+    /// checkpoint).
+    pub segments_removed: u64,
+    /// Bytes those segments held.
+    pub bytes_reclaimed: u64,
+    /// Archived checkpoints older than the newest one deleted with them.
+    pub checkpoints_removed: u64,
 }
 
 /// A write-ahead-logged, checkpointed, crash-recoverable database.
@@ -131,7 +187,13 @@ pub struct DurableDatabase<S: Storage> {
     poisoned: bool,
     wal_sid: StructureId,
     ckpt_sid: StructureId,
+    seg_sid: StructureId,
     report: RecoveryReport,
+    manifest: SegmentManifest,
+    /// LSN of the first record in the active `wal.log` (the next LSN
+    /// when the file is empty) — the `first_lsn` a seal would record.
+    active_first_lsn: u64,
+    segment_threshold: usize,
 }
 
 fn pages(bytes: usize) -> u64 {
@@ -162,12 +224,18 @@ impl<S: Storage> DurableDatabase<S> {
             ckpt_sid: db
                 .stats()
                 .register_structure(StructureKind::Wal, CHECKPOINT_FILE),
+            seg_sid: db
+                .stats()
+                .register_structure(StructureKind::Wal, SEG_STRUCTURE),
             db,
             storage,
             wal: WalWriter::new(WAL_FILE, policy, 1, 0),
             checkpoint_lsn: 0,
             poisoned: false,
             report: RecoveryReport::default(),
+            manifest: SegmentManifest::default(),
+            active_first_lsn: 1,
+            segment_threshold: DEFAULT_SEGMENT_THRESHOLD,
         };
         this.checkpoint()?;
         Ok(this)
@@ -191,7 +259,11 @@ impl<S: Storage> DurableDatabase<S> {
             poisoned: false,
             wal_sid: r.wal_sid,
             ckpt_sid: r.ckpt_sid,
+            seg_sid: r.seg_sid,
             report: r.report,
+            manifest: r.manifest,
+            active_first_lsn: r.active_first_lsn,
+            segment_threshold: DEFAULT_SEGMENT_THRESHOLD,
         };
         if r.ids_remapped {
             // Replay translated ASR ids (dropped slots were compacted by
@@ -204,9 +276,11 @@ impl<S: Storage> DurableDatabase<S> {
     }
 
     fn recover(storage: &mut S, policy: FlushPolicy) -> Result<Recovered> {
-        // Manifest: the existence + version check.
-        let manifest = storage
-            .read(MANIFEST_FILE)?
+        // Manifest: the existence + version check.  Every recovery-side
+        // read is stabilized — a single read can be transiently mangled
+        // in flight, and recovery acting on it (truncating, re-writing)
+        // would turn a one-off fault into permanent loss.
+        let manifest = read_stable(storage, MANIFEST_FILE, READ_RETRIES)?
             .ok_or_else(|| DurableError::NotADatabase("no MANIFEST in storage".into()))?;
         let manifest = String::from_utf8(manifest)
             .map_err(|_| DurableError::Corrupt("MANIFEST is not UTF-8".into()))?;
@@ -216,108 +290,106 @@ impl<S: Storage> DurableDatabase<S> {
             )));
         }
 
-        // Checkpoint: a `CKPT <lsn>` header (authoritative — a crash
-        // between writing the snapshot and the manifest leaves the
-        // manifest stale), an `ASRIDS` session-id line, then a regular
-        // snapshot.
-        let snap = storage.read(CHECKPOINT_FILE)?.ok_or_else(|| {
+        // Checkpoint: its own `CKPT <lsn>` header is authoritative — a
+        // crash between writing the snapshot and the manifest leaves the
+        // manifest stale.
+        let snap = read_stable(storage, CHECKPOINT_FILE, READ_RETRIES)?.ok_or_else(|| {
             DurableError::Corrupt("MANIFEST present but checkpoint.snap missing".into())
         })?;
-        let snap_bytes = snap.len();
-        let snap = String::from_utf8(snap)
-            .map_err(|_| DurableError::Corrupt("checkpoint.snap is not UTF-8".into()))?;
-        let (header, rest) = snap
-            .split_once('\n')
-            .ok_or_else(|| DurableError::Corrupt("checkpoint.snap is empty".into()))?;
-        let checkpoint_lsn: u64 = header
-            .strip_prefix(CKPT_MAGIC)
-            .map(str::trim)
-            .and_then(|n| n.parse().ok())
-            .ok_or_else(|| DurableError::Corrupt(format!("bad checkpoint header `{header}`")))?;
-        let (ids_line, body) = rest
-            .split_once('\n')
-            .ok_or_else(|| DurableError::Corrupt("checkpoint.snap missing ASRIDS line".into()))?;
-        let session_ids: Vec<AsrId> = ids_line
-            .strip_prefix(ASRIDS_MAGIC)
-            .ok_or_else(|| DurableError::Corrupt(format!("bad ASRIDS line `{ids_line}`")))?
-            .split(',')
-            .map(str::trim)
-            .filter(|t| !t.is_empty())
-            .map(|t| {
-                t.parse()
-                    .map_err(|_| DurableError::Corrupt(format!("bad ASR id `{t}` in ASRIDS")))
-            })
-            .collect::<Result<_>>()?;
-        let (mut db, load) = Database::load_from_string_report(body)?;
-        // The physical section's pages were just charged as tree restore
-        // reads by the load; the file charge covers the rest.
-        let checkpoint_pages_read = pages(snap_bytes - load.physical_bytes.min(snap_bytes));
+        let parsed = parse_checkpoint(snap, CHECKPOINT_FILE)?;
+        let ParsedCheckpoint {
+            mut db,
+            lsn: checkpoint_lsn,
+            mut asr_remap,
+            pages_read: checkpoint_pages_read,
+            asr_load_modes,
+        } = parsed;
 
-        // Loading compacted the snapshot's ASRs into slots 0..k; seed the
-        // replay translation from the session ids they had when logged.
-        let mut asr_remap: BTreeMap<AsrId, AsrId> = BTreeMap::new();
-        for (slot, orig) in session_ids.iter().enumerate() {
-            if *orig != slot {
-                asr_remap.insert(*orig, slot);
+        // Sealed segments first (rotation/checkpoint crash windows can
+        // leave records both sealed and still in `wal.log`; the LSN
+        // cursor skips duplicates), then the active log under the
+        // torn-tail rule.
+        let seg_manifest = SegmentManifest::load(storage)?;
+        let mut cursor = ReplayCursor::new(checkpoint_lsn);
+        let mut seg_pages_read = 0u64;
+        for seg in &seg_manifest.segments {
+            if seg.last_lsn <= checkpoint_lsn {
+                continue; // fully covered; prunable, not needed
             }
+            let data = read_stable(storage, &seg.file_name(), READ_RETRIES)?.ok_or_else(|| {
+                DurableError::Corrupt(format!(
+                    "segment {} is in segments.manifest but missing",
+                    seg.file_name()
+                ))
+            })?;
+            seg.verify(&data)?;
+            seg_pages_read += pages(data.len());
+            let scan = scan_wal(&data)?;
+            if scan.torn_bytes > 0 {
+                // Sealed segments were fully acknowledged at seal time; a
+                // torn frame inside one is at-rest corruption, never an
+                // unacknowledged tail.
+                return Err(DurableError::Corrupt(format!(
+                    "sealed segment {} has an invalid frame",
+                    seg.file_name()
+                )));
+            }
+            cursor.apply(&mut db, &scan.records, &mut asr_remap, u64::MAX)?;
         }
 
-        // WAL tail: scan under the torn-tail rule, replay what the
-        // checkpoint does not already cover.
-        let wal_bytes = storage.read(WAL_FILE)?.unwrap_or_default();
+        let wal_bytes = read_stable(storage, WAL_FILE, READ_RETRIES)?.unwrap_or_default();
         let wal_pages_read = pages(wal_bytes.len());
         let scan = scan_wal(&wal_bytes)?;
         if scan.torn_bytes > 0 {
             // Truncate the garbage so future appends extend a valid log.
             storage.write_atomic(WAL_FILE, &wal_bytes[..scan.valid_bytes])?;
         }
-        let mut replayed = 0u64;
-        let mut skipped = 0u64;
-        let mut last_lsn = checkpoint_lsn;
-        for rec in &scan.records {
-            last_lsn = last_lsn.max(rec.lsn);
-            if rec.lsn <= checkpoint_lsn {
-                skipped += 1;
-                continue;
-            }
-            apply_op(&mut db, &rec.op, &mut asr_remap)?;
-            replayed += 1;
-        }
+        cursor.apply(&mut db, &scan.records, &mut asr_remap, u64::MAX)?;
+        let active_first_lsn = scan.records.first().map_or(cursor.tip + 1, |r| r.lsn);
 
         let report = RecoveryReport {
             checkpoint_lsn,
-            records_replayed: replayed,
-            records_skipped: skipped,
+            records_replayed: cursor.replayed,
+            records_skipped: cursor.skipped,
             torn_bytes: scan.torn_bytes as u64,
             torn_reason: scan.torn_reason.map(|r| r.label()),
             checkpoint_pages_read,
-            wal_pages_read,
-            asr_load_modes: load.asrs,
+            wal_pages_read: wal_pages_read + seg_pages_read,
+            asr_load_modes,
         };
         // Surface recovery through the freshly-built database's
         // observability layer (page reads + metrics counters).
         let stats = db.stats();
         let wal_sid = stats.register_structure(StructureKind::Wal, WAL_FILE);
         let ckpt_sid = stats.register_structure(StructureKind::Wal, CHECKPOINT_FILE);
+        let seg_sid = stats.register_structure(StructureKind::Wal, SEG_STRUCTURE);
         for _ in 0..checkpoint_pages_read {
             stats.count_read_for(ckpt_sid);
         }
         for _ in 0..wal_pages_read {
             stats.count_read_for(wal_sid);
         }
+        for _ in 0..seg_pages_read {
+            stats.count_read_for(seg_sid);
+        }
         let metrics = db.tracer().metrics();
-        metrics.inc_counter("wal.recovery.records_replayed", replayed);
-        metrics.inc_counter("wal.recovery.records_skipped", skipped);
+        metrics.inc_counter("wal.recovery.records_replayed", cursor.replayed);
+        metrics.inc_counter("wal.recovery.records_skipped", cursor.skipped);
         metrics.inc_counter("wal.recovery.torn_bytes", scan.torn_bytes as u64);
         metrics.set_gauge("wal.checkpoint_lsn", checkpoint_lsn as f64);
+        metrics.set_gauge("wal.segments.count", seg_manifest.segments.len() as f64);
+        metrics.set_gauge("wal.segments.bytes", seg_manifest.archived_bytes() as f64);
 
         Ok(Recovered {
             db,
-            wal: WalWriter::new(WAL_FILE, policy, last_lsn + 1, scan.valid_bytes),
+            wal: WalWriter::new(WAL_FILE, policy, cursor.tip + 1, scan.valid_bytes),
             checkpoint_lsn,
             wal_sid,
             ckpt_sid,
+            seg_sid,
             report,
+            manifest: seg_manifest,
+            active_first_lsn,
             ids_remapped: !asr_remap.is_empty(),
         })
     }
@@ -351,7 +423,28 @@ impl<S: Storage> DurableDatabase<S> {
             durable_bytes: self.wal.durable_bytes(),
             pending_records: self.wal.pending_records(),
             poisoned: self.poisoned,
+            segment_count: self.manifest.segments.len(),
+            archived_bytes: self.manifest.archived_bytes(),
+            oldest_needed_lsn: self.checkpoint_lsn + 1,
+            pitr_floor_lsn: self.manifest.checkpoints.first().copied(),
         }
+    }
+
+    /// The segment/checkpoint archive index.
+    pub fn segment_manifest(&self) -> &SegmentManifest {
+        &self.manifest
+    }
+
+    /// The storage backend (read access — e.g. for a
+    /// [`crate::ship::LogShipper`] streaming this database's history).
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Rotate the active log into a sealed segment once it holds at
+    /// least `bytes` durable bytes (checked after each flush).
+    pub fn set_segment_threshold(&mut self, bytes: usize) {
+        self.segment_threshold = bytes.max(1);
     }
 
     /// Change the group-flush policy (takes effect from the next record).
@@ -365,18 +458,28 @@ impl<S: Storage> DurableDatabase<S> {
         let before = self.wal.durable_bytes();
         let res = self.wal.flush(&mut self.storage);
         self.note_log_growth(before);
-        self.poison_on_err(res)
+        self.poison_on_err(res)?;
+        self.maybe_rotate()
     }
 
-    /// Checkpoint: flush the WAL, atomically write the snapshot and
-    /// manifest, then truncate the log.  Recovery afterwards starts from
-    /// this state.
+    /// Checkpoint: flush, seal the active log into a segment, archive a
+    /// PITR copy of the snapshot, publish the manifest, then atomically
+    /// replace `checkpoint.snap` and truncate the log.
+    ///
+    /// The ordering makes every crash window fall *backwards*: the
+    /// segment + archive + `segments.manifest` are all published before
+    /// the new `checkpoint.snap`, so a crash anywhere in between
+    /// recovers from the previous checkpoint with a longer replay
+    /// (duplicates between the fresh segment and the still-present
+    /// `wal.log` are skipped by LSN), never from a checkpoint whose
+    /// history is missing.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.check_alive()?;
         let before = self.wal.durable_bytes();
         let res = self.wal.flush(&mut self.storage);
         self.note_log_growth(before);
         self.poison_on_err(res)?;
+        let sealed = self.seal_active_log()?;
         let lsn = self.wal.last_lsn();
         let ids: Vec<String> = self.db.asrs().map(|(id, _)| id.to_string()).collect();
         let snap = format!(
@@ -384,6 +487,18 @@ impl<S: Storage> DurableDatabase<S> {
             ids.join(","),
             self.db.save_to_string()
         );
+        // Archive copy + manifest entry first (PITR history), then the
+        // authoritative checkpoint.snap as the commit point.
+        let res = self
+            .storage
+            .write_atomic(&checkpoint_archive_name(lsn), snap.as_bytes());
+        self.poison_on_err(res)?;
+        if let Some(meta) = sealed {
+            self.manifest.segments.push(meta);
+        }
+        self.manifest.add_checkpoint(lsn);
+        let res = self.manifest.store(&mut self.storage);
+        self.poison_on_err(res)?;
         let res = self.storage.write_atomic(CHECKPOINT_FILE, snap.as_bytes());
         self.poison_on_err(res)?;
         let res = self
@@ -394,12 +509,146 @@ impl<S: Storage> DurableDatabase<S> {
         self.poison_on_err(res)?;
         self.checkpoint_lsn = lsn;
         self.wal = WalWriter::new(WAL_FILE, self.wal.policy(), lsn + 1, 0);
-        for _ in 0..pages(snap.len()) {
+        self.active_first_lsn = lsn + 1;
+        for _ in 0..pages(2 * snap.len()) {
+            // checkpoint.snap + its archived copy
             self.db.stats().count_write_for(self.ckpt_sid);
         }
         let metrics = self.db.tracer().metrics();
         metrics.inc_counter("wal.checkpoints", 1);
         metrics.set_gauge("wal.checkpoint_lsn", lsn as f64);
+        metrics.set_gauge("wal.segments.count", self.manifest.segments.len() as f64);
+        metrics.set_gauge("wal.segments.bytes", self.manifest.archived_bytes() as f64);
+        Ok(())
+    }
+
+    /// Rotate now: seal the active log (flushing first) into a segment
+    /// and publish it in `segments.manifest`.  A no-op returning `None`
+    /// when the log holds no records.
+    pub fn rotate_segment(&mut self) -> Result<Option<SegmentMeta>> {
+        self.check_alive()?;
+        let before = self.wal.durable_bytes();
+        let res = self.wal.flush(&mut self.storage);
+        self.note_log_growth(before);
+        self.poison_on_err(res)?;
+        let Some(meta) = self.seal_active_log()? else {
+            return Ok(None);
+        };
+        self.manifest.segments.push(meta);
+        let res = self.manifest.store(&mut self.storage);
+        self.poison_on_err(res)?;
+        let res = self.storage.remove(WAL_FILE);
+        self.poison_on_err(res)?;
+        self.wal = WalWriter::new(WAL_FILE, self.wal.policy(), self.wal.next_lsn(), 0);
+        self.active_first_lsn = self.wal.next_lsn();
+        let metrics = self.db.tracer().metrics();
+        metrics.inc_counter("wal.segments.sealed", 1);
+        metrics.set_gauge("wal.segments.count", self.manifest.segments.len() as f64);
+        metrics.set_gauge("wal.segments.bytes", self.manifest.archived_bytes() as f64);
+        Ok(Some(meta))
+    }
+
+    /// Delete sealed segments fully covered by the newest checkpoint,
+    /// and archived checkpoints older than it.  Crash recovery never
+    /// needs them; point-in-time recovery below the current checkpoint
+    /// stops being served ([`recover_to_lsn`] then returns
+    /// [`DurableError::PitrUnavailable`] for pruned bounds).
+    pub fn prune_segments(&mut self) -> Result<PruneReport> {
+        self.check_alive()?;
+        let keep_lsn = self.checkpoint_lsn;
+        let pruned: Vec<SegmentMeta> = self
+            .manifest
+            .segments
+            .iter()
+            .copied()
+            .filter(|s| s.last_lsn <= keep_lsn)
+            .collect();
+        let dropped_ckpts: Vec<u64> = self
+            .manifest
+            .checkpoints
+            .iter()
+            .copied()
+            .filter(|c| *c < keep_lsn)
+            .collect();
+        if pruned.is_empty() && dropped_ckpts.is_empty() {
+            return Ok(PruneReport::default());
+        }
+        let mut next = self.manifest.clone();
+        next.segments.retain(|s| s.last_lsn > keep_lsn);
+        next.checkpoints.retain(|c| *c >= keep_lsn);
+        // Publish the shrunken manifest first: a crash after it leaves
+        // unreferenced files behind (harmless), a crash before it loses
+        // nothing.
+        let res = next.store(&mut self.storage);
+        self.poison_on_err(res)?;
+        self.manifest = next;
+        for seg in &pruned {
+            let res = self.storage.remove(&seg.file_name());
+            self.poison_on_err(res)?;
+        }
+        for lsn in &dropped_ckpts {
+            let res = self.storage.remove(&checkpoint_archive_name(*lsn));
+            self.poison_on_err(res)?;
+        }
+        let report = PruneReport {
+            segments_removed: pruned.len() as u64,
+            bytes_reclaimed: pruned.iter().map(|s| s.bytes).sum(),
+            checkpoints_removed: dropped_ckpts.len() as u64,
+        };
+        let metrics = self.db.tracer().metrics();
+        metrics.inc_counter("wal.segments.pruned", report.segments_removed);
+        metrics.set_gauge("wal.segments.count", self.manifest.segments.len() as f64);
+        metrics.set_gauge("wal.segments.bytes", self.manifest.archived_bytes() as f64);
+        Ok(report)
+    }
+
+    /// Write the active log's bytes out as a sealed segment file (no
+    /// manifest update, no log truncation — the caller sequences those
+    /// for its own crash-window guarantees).  `None` when the log is
+    /// empty.
+    fn seal_active_log(&mut self) -> Result<Option<SegmentMeta>> {
+        if self.wal.durable_bytes() == 0 {
+            return Ok(None);
+        }
+        let bytes = self
+            .poison_on_err(read_stable(&self.storage, WAL_FILE, READ_RETRIES))?
+            .unwrap_or_default();
+        let scan = scan_wal(&bytes)?;
+        if scan.torn_bytes > 0 || bytes.len() != self.wal.durable_bytes() {
+            // The writer acknowledged these bytes; disagreement here is
+            // lost durability, not a crash artefact.
+            self.poisoned = true;
+            return Err(DurableError::Corrupt(format!(
+                "active log holds {} valid of {} expected bytes at seal time",
+                scan.valid_bytes,
+                self.wal.durable_bytes()
+            )));
+        }
+        let Some(first) = scan.records.first() else {
+            return Ok(None);
+        };
+        let meta = SegmentMeta {
+            seqno: self.manifest.next_seqno(),
+            first_lsn: first.lsn,
+            last_lsn: scan.records.last().expect("non-empty").lsn,
+            bytes: bytes.len() as u64,
+            crc: crc32(&bytes),
+        };
+        let res = self.storage.write_atomic(&meta.file_name(), &bytes);
+        self.poison_on_err(res)?;
+        for _ in 0..pages(bytes.len()) {
+            self.db.stats().count_write_for(self.seg_sid);
+        }
+        Ok(Some(meta))
+    }
+
+    /// Auto-rotation hook: seal once the durable log crosses the
+    /// threshold and nothing is buffered (group-commit buffers flush on
+    /// their own schedule; rotation never forces them early).
+    fn maybe_rotate(&mut self) -> Result<()> {
+        if self.wal.pending_records() == 0 && self.wal.durable_bytes() >= self.segment_threshold {
+            self.rotate_segment()?;
+        }
         Ok(())
     }
 
@@ -569,7 +818,7 @@ impl<S: Storage> DurableDatabase<S> {
         self.note_log_growth(before);
         self.poison_on_err(res)?;
         self.db.tracer().metrics().inc_counter("wal.records", 1);
-        Ok(())
+        self.maybe_rotate()
     }
 
     /// Charge page writes for log growth from `before` to the current
@@ -603,7 +852,11 @@ impl<S: Storage> Deref for DurableDatabase<S> {
 /// ASR ids are remapped: checkpoint snapshots compact dropped slots away,
 /// so an id logged after a drop may differ from the id the re-creation
 /// yields; `asr_remap` carries logged-id → actual-id for later drops.
-fn apply_op(db: &mut Database, op: &LogOp, asr_remap: &mut BTreeMap<AsrId, AsrId>) -> Result<()> {
+pub(crate) fn apply_op(
+    db: &mut Database,
+    op: &LogOp,
+    asr_remap: &mut BTreeMap<AsrId, AsrId>,
+) -> Result<()> {
     match op {
         LogOp::New { ty, oid } => {
             // Forced-OID restore: replay must reproduce the logged OID
@@ -671,10 +924,216 @@ struct Recovered {
     checkpoint_lsn: u64,
     wal_sid: StructureId,
     ckpt_sid: StructureId,
+    seg_sid: StructureId,
     report: RecoveryReport,
+    manifest: SegmentManifest,
+    active_first_lsn: u64,
     /// Replay had to translate ASR ids — the log must restart in the new
     /// id space (open() checkpoints immediately).
     ids_remapped: bool,
+}
+
+/// A checkpoint file pulled apart: header LSN, ASR id translation seeded
+/// from the `ASRIDS` line, and the loaded database.
+pub(crate) struct ParsedCheckpoint {
+    pub(crate) db: Database,
+    pub(crate) lsn: u64,
+    pub(crate) asr_remap: BTreeMap<AsrId, AsrId>,
+    /// Modeled pages to read the checkpoint *file* (headers, design and
+    /// base sections — physical-section bytes are charged to the ASR
+    /// trees by the load itself).
+    pub(crate) pages_read: u64,
+    pub(crate) asr_load_modes: Vec<(AsrId, AsrLoadMode)>,
+}
+
+/// Parse a `CKPT <lsn>` + `ASRIDS` + snapshot checkpoint body (the
+/// current `checkpoint.snap`, an archived PITR copy, or a shipped
+/// bootstrap delivery).
+pub(crate) fn parse_checkpoint(bytes: Vec<u8>, what: &str) -> Result<ParsedCheckpoint> {
+    let snap_bytes = bytes.len();
+    let snap = String::from_utf8(bytes)
+        .map_err(|_| DurableError::Corrupt(format!("{what} is not UTF-8")))?;
+    let (header, rest) = snap
+        .split_once('\n')
+        .ok_or_else(|| DurableError::Corrupt(format!("{what} is empty")))?;
+    let lsn: u64 = header
+        .strip_prefix(CKPT_MAGIC)
+        .map(str::trim)
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| DurableError::Corrupt(format!("bad checkpoint header `{header}`")))?;
+    let (ids_line, body) = rest
+        .split_once('\n')
+        .ok_or_else(|| DurableError::Corrupt(format!("{what} missing ASRIDS line")))?;
+    let session_ids: Vec<AsrId> = ids_line
+        .strip_prefix(ASRIDS_MAGIC)
+        .ok_or_else(|| DurableError::Corrupt(format!("bad ASRIDS line `{ids_line}`")))?
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.parse()
+                .map_err(|_| DurableError::Corrupt(format!("bad ASR id `{t}` in ASRIDS")))
+        })
+        .collect::<Result<_>>()?;
+    let (db, load) = Database::load_from_string_report(body)?;
+    let pages_read = pages(snap_bytes - load.physical_bytes.min(snap_bytes));
+    // Loading compacted the snapshot's ASRs into slots 0..k; seed the
+    // replay translation from the session ids they had when logged.
+    let mut asr_remap: BTreeMap<AsrId, AsrId> = BTreeMap::new();
+    for (slot, orig) in session_ids.iter().enumerate() {
+        if *orig != slot {
+            asr_remap.insert(*orig, slot);
+        }
+    }
+    Ok(ParsedCheckpoint {
+        db,
+        lsn,
+        asr_remap,
+        pages_read,
+        asr_load_modes: load.asrs,
+    })
+}
+
+/// LSN-driven replay over possibly-overlapping record streams
+/// (checkpoint < segments < active log): duplicates are skipped, gaps
+/// are hard errors, records past `bound` are ignored.
+struct ReplayCursor {
+    /// Highest LSN applied (or covered by the starting checkpoint).
+    tip: u64,
+    replayed: u64,
+    skipped: u64,
+}
+
+impl ReplayCursor {
+    fn new(checkpoint_lsn: u64) -> Self {
+        ReplayCursor {
+            tip: checkpoint_lsn,
+            replayed: 0,
+            skipped: 0,
+        }
+    }
+
+    fn apply(
+        &mut self,
+        db: &mut Database,
+        records: &[Record],
+        asr_remap: &mut BTreeMap<AsrId, AsrId>,
+        bound: u64,
+    ) -> Result<()> {
+        for rec in records {
+            if rec.lsn > bound {
+                break; // records are in LSN order within a stream
+            }
+            if rec.lsn <= self.tip {
+                self.skipped += 1;
+                continue;
+            }
+            if rec.lsn != self.tip + 1 {
+                return Err(DurableError::Corrupt(format!(
+                    "LSN gap in replay: have {}, next record is {}",
+                    self.tip, rec.lsn
+                )));
+            }
+            apply_op(db, &rec.op, asr_remap)?;
+            self.tip = rec.lsn;
+            self.replayed += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Point-in-time recovery: rebuild the database as it stood at LSN
+/// `bound`.
+///
+/// Picks the newest archived checkpoint at or below the bound and
+/// replays sealed segments (whole-file CRC verified) plus the active log
+/// up to it.  Because the starting checkpoint is the *newest* one under
+/// the bound, the replayed range never crosses a checkpoint — so the
+/// `ASRIDS` id translation of that one checkpoint covers every replayed
+/// record.
+///
+/// Read-only: storage is not modified (a torn tail in the live log is
+/// tolerated, not truncated).  Returns [`DurableError::PitrUnavailable`]
+/// when no archived checkpoint at or below the bound survives (pruned or
+/// pre-segmentation database) or when retained history ends before the
+/// bound.
+pub fn recover_to_lsn<S: Storage>(storage: &S, bound: u64) -> Result<(Database, PitrReport)> {
+    let manifest = SegmentManifest::load(storage)?;
+    let ckpt_lsn = manifest
+        .newest_checkpoint_at_or_below(bound)
+        .ok_or_else(|| {
+            DurableError::PitrUnavailable(match manifest.checkpoints.first() {
+                Some(floor) => {
+                    format!("no archived checkpoint at or below LSN {bound} (floor is {floor})")
+                }
+                None => format!("no archived checkpoints exist (bound {bound})"),
+            })
+        })?;
+    let archive = checkpoint_archive_name(ckpt_lsn);
+    let snap = read_stable(storage, &archive, READ_RETRIES)?.ok_or_else(|| {
+        DurableError::PitrUnavailable(format!("archived checkpoint {archive} is missing"))
+    })?;
+    let mut pages_read = pages(snap.len());
+    let parsed = parse_checkpoint(snap, &archive)?;
+    let ParsedCheckpoint {
+        mut db,
+        lsn,
+        mut asr_remap,
+        ..
+    } = parsed;
+    if lsn != ckpt_lsn {
+        return Err(DurableError::Corrupt(format!(
+            "archived checkpoint {archive} claims LSN {lsn}"
+        )));
+    }
+
+    let mut cursor = ReplayCursor::new(ckpt_lsn);
+    let mut segments_read = 0u64;
+    for seg in &manifest.segments {
+        if seg.last_lsn <= ckpt_lsn || seg.first_lsn > bound {
+            continue;
+        }
+        let data = read_stable(storage, &seg.file_name(), READ_RETRIES)?.ok_or_else(|| {
+            DurableError::Corrupt(format!(
+                "segment {} is in segments.manifest but missing",
+                seg.file_name()
+            ))
+        })?;
+        seg.verify(&data)?;
+        let scan = scan_wal(&data)?;
+        if scan.torn_bytes > 0 {
+            return Err(DurableError::Corrupt(format!(
+                "sealed segment {} has an invalid frame",
+                seg.file_name()
+            )));
+        }
+        cursor.apply(&mut db, &scan.records, &mut asr_remap, bound)?;
+        segments_read += 1;
+        pages_read += pages(data.len());
+    }
+    if cursor.tip < bound {
+        let wal_bytes = read_stable(storage, WAL_FILE, READ_RETRIES)?.unwrap_or_default();
+        pages_read += pages(wal_bytes.len());
+        let scan = scan_wal(&wal_bytes)?;
+        cursor.apply(&mut db, &scan.records, &mut asr_remap, bound)?;
+    }
+    if cursor.tip < bound {
+        return Err(DurableError::PitrUnavailable(format!(
+            "retained history ends at LSN {}, bound {bound} is not reachable",
+            cursor.tip
+        )));
+    }
+    Ok((
+        db,
+        PitrReport {
+            bound,
+            checkpoint_lsn: ckpt_lsn,
+            records_replayed: cursor.replayed,
+            records_skipped: cursor.skipped,
+            segments_read,
+            pages_read,
+        },
+    ))
 }
 
 /// Extension trait putting `Database::open_durable(dir)` /

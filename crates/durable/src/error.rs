@@ -32,6 +32,13 @@ pub enum DurableError {
     /// produced a different OID than recorded) — the log and checkpoint
     /// disagree about history.
     ReplayMismatch(String),
+    /// The requested point-in-time bound cannot be served from the
+    /// retained checkpoints and segments (history was pruned, or no
+    /// checkpoint at or below the bound survives).
+    PitrUnavailable(String),
+    /// The shipping pump exhausted its round budget without converging
+    /// the replica — the channel lost or mangled too much, too often.
+    ReplicationStalled(String),
     /// An error from the database layer while applying an operation.
     Asr(AsrError),
 }
@@ -50,6 +57,10 @@ impl fmt::Display for DurableError {
                 write!(f, "durable database already exists: {msg}")
             }
             DurableError::ReplayMismatch(msg) => write!(f, "WAL replay mismatch: {msg}"),
+            DurableError::PitrUnavailable(msg) => {
+                write!(f, "point-in-time recovery unavailable: {msg}")
+            }
+            DurableError::ReplicationStalled(msg) => write!(f, "replication stalled: {msg}"),
             DurableError::Asr(e) => write!(f, "database error during replay/apply: {e}"),
         }
     }

@@ -18,6 +18,8 @@
 //! that stays down until the harness reboots it by reopening the
 //! underlying storage without the wrapper.
 
+use std::cell::Cell;
+
 use crate::error::{DurableError, Result};
 use crate::storage::Storage;
 
@@ -26,6 +28,21 @@ use crate::storage::Storage;
 pub struct BitFlip {
     /// Which byte of the surviving prefix to corrupt (clamped to its
     /// last byte when out of range).
+    pub byte: usize,
+    /// Which bit (0–7) of that byte to flip.
+    pub bit: u8,
+}
+
+/// Corrupt one bit of a single `read`'s *returned* bytes — a transient
+/// read-path fault (bad DMA, an in-flight flip).  The bytes at rest stay
+/// clean; only one delivery is mangled, then reads heal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFlip {
+    /// Which `read` call (0-based, counted across all files) to corrupt.
+    pub nth: usize,
+    /// Which byte of the returned content to corrupt (clamped to the last
+    /// byte when out of range; a `None`/empty read is left untouched and
+    /// the fault is spent).
     pub byte: usize,
     /// Which bit (0–7) of that byte to flip.
     pub bit: u8,
@@ -46,6 +63,10 @@ pub struct FaultPlan {
     /// Fail the n-th `write_atomic` call (0-based) without writing
     /// anything; `None` never crashes on atomic writes.
     pub crash_on_atomic_write: Option<usize>,
+    /// Optionally corrupt one read's returned bytes in flight (one-shot;
+    /// the machine does *not* crash — the caller just sees bad bytes
+    /// once).
+    pub flip_read: Option<ReadFlip>,
 }
 
 impl FaultPlan {
@@ -80,6 +101,8 @@ pub struct FaultyStorage<S: Storage> {
     plan: FaultPlan,
     appends_seen: usize,
     atomic_writes_seen: usize,
+    reads_seen: Cell<usize>,
+    read_flip_spent: Cell<bool>,
     dead: bool,
 }
 
@@ -91,6 +114,8 @@ impl<S: Storage> FaultyStorage<S> {
             plan,
             appends_seen: 0,
             atomic_writes_seen: 0,
+            reads_seen: Cell::new(0),
+            read_flip_spent: Cell::new(false),
             dead: false,
         }
     }
@@ -98,6 +123,26 @@ impl<S: Storage> FaultyStorage<S> {
     /// Whether a failpoint has fired (the simulated machine is down).
     pub fn crashed(&self) -> bool {
         self.dead
+    }
+
+    /// How many `append` calls the wrapper has observed so far.
+    pub fn appends_seen(&self) -> usize {
+        self.appends_seen
+    }
+
+    /// How many `write_atomic` calls the wrapper has observed so far.
+    pub fn atomic_writes_seen(&self) -> usize {
+        self.atomic_writes_seen
+    }
+
+    /// How many `read` calls the wrapper has observed so far.
+    pub fn reads_seen(&self) -> usize {
+        self.reads_seen.get()
+    }
+
+    /// Whether the scheduled transient read flip has already fired.
+    pub fn read_flip_spent(&self) -> bool {
+        self.read_flip_spent.get()
     }
 
     /// Unwrap the (possibly torn) underlying storage for "reboot".
@@ -117,7 +162,21 @@ impl<S: Storage> FaultyStorage<S> {
 impl<S: Storage> Storage for FaultyStorage<S> {
     fn read(&self, name: &str) -> Result<Option<Vec<u8>>> {
         self.check_alive()?;
-        self.inner.read(name)
+        let n = self.reads_seen.get();
+        self.reads_seen.set(n + 1);
+        let mut out = self.inner.read(name)?;
+        if let Some(flip) = self.plan.flip_read {
+            if flip.nth == n && !self.read_flip_spent.get() {
+                self.read_flip_spent.set(true);
+                if let Some(data) = out.as_mut() {
+                    if !data.is_empty() {
+                        let byte = flip.byte.min(data.len() - 1);
+                        data[byte] ^= 1 << (flip.bit % 8);
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn write_atomic(&mut self, name: &str, data: &[u8]) -> Result<()> {
@@ -201,11 +260,53 @@ mod tests {
             crash_after_appends: Some(0),
             torn_keep_bytes: 3,
             flip: Some(BitFlip { byte: 1, bit: 0 }),
-            crash_on_atomic_write: None,
+            ..FaultPlan::default()
         };
         let mut s = FaultyStorage::new(mem.clone(), plan);
         assert!(s.append("log", b"abcdef").is_err());
         assert_eq!(mem.read("log").unwrap().unwrap(), b"acc"); // 'b'^1='c'
+    }
+
+    #[test]
+    fn read_flip_is_transient_and_one_shot() {
+        let mem = MemStorage::new();
+        let plan = FaultPlan {
+            flip_read: Some(ReadFlip {
+                nth: 1,
+                byte: 0,
+                bit: 1,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut s = FaultyStorage::new(mem.clone(), plan);
+        s.append("snap", b"abc").unwrap();
+        assert_eq!(s.read("snap").unwrap().unwrap(), b"abc"); // read 0: clean
+        assert_eq!(s.read("snap").unwrap().unwrap(), b"cbc"); // read 1: flipped in flight
+        assert!(s.read_flip_spent());
+        assert_eq!(s.read("snap").unwrap().unwrap(), b"abc"); // healed
+        assert_eq!(mem.read("snap").unwrap().unwrap(), b"abc"); // at rest untouched
+        assert_eq!(s.reads_seen(), 3);
+        assert!(!s.crashed());
+    }
+
+    #[test]
+    fn read_stable_heals_transient_flip() {
+        use crate::storage::read_stable;
+        let mem = MemStorage::new();
+        let plan = FaultPlan {
+            flip_read: Some(ReadFlip {
+                nth: 0,
+                byte: 2,
+                bit: 7,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut s = FaultyStorage::new(mem.clone(), plan);
+        s.append("wal", b"hello").unwrap();
+        // First read is mangled, but the stable reader keeps going until
+        // two consecutive reads agree — and they agree on clean bytes.
+        assert_eq!(read_stable(&s, "wal", 4).unwrap().unwrap(), b"hello");
+        assert_eq!(read_stable(&s, "missing", 4).unwrap(), None);
     }
 
     #[test]

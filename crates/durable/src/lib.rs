@@ -19,8 +19,20 @@
 //! * a **fault-injection harness** ([`fault`], [`storage`]): storage is a
 //!   trait with a real-file-system and an in-memory backend, and a
 //!   decorator that crashes after N writes, tears the final append, or
-//!   flips bits — driving the exhaustive crash-recovery test in
-//!   `tests/crash_recovery.rs`.
+//!   flips bits (on the write *and* read paths) — driving the exhaustive
+//!   crash-recovery test in `tests/crash_recovery.rs`;
+//! * **WAL segmentation** ([`segment`]): the log rotates into sealed,
+//!   whole-file-checksummed segments indexed by `segments.manifest`,
+//!   with archived checkpoint copies retained for history;
+//! * **log shipping** ([`ship`], [`replica`]): a [`LogShipper`] streams
+//!   sealed segments and live tail frames over an in-process [`Channel`]
+//!   to a [`ReplicaApplier`], which detects gaps and corruption by LSN
+//!   and CRC, NACKs, and converges a warm standby even when the channel
+//!   drops, duplicates, reorders, truncates or bit-flips deliveries
+//!   ([`FaultyChannel`]);
+//! * **point-in-time recovery** ([`recover_to_lsn`]): rebuild the
+//!   database as of any retained LSN from the newest archived checkpoint
+//!   at or below the bound plus segment replay.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,16 +42,27 @@ pub mod db;
 pub mod error;
 pub mod fault;
 pub mod record;
+pub mod replica;
+pub mod segment;
+pub mod ship;
 pub mod storage;
 pub mod wal;
 
 pub use crc::crc32;
 pub use db::{
-    DurableDatabase, OpenDurable, RecoveryReport, WalStatus, CHECKPOINT_FILE, MANIFEST_FILE,
-    WAL_FILE,
+    recover_to_lsn, DurableDatabase, OpenDurable, PitrReport, PruneReport, RecoveryReport,
+    WalStatus, CHECKPOINT_FILE, DEFAULT_SEGMENT_THRESHOLD, MANIFEST_FILE, WAL_FILE,
 };
 pub use error::{DurableError, Result};
-pub use fault::{BitFlip, FaultPlan, FaultyStorage};
+pub use fault::{BitFlip, FaultPlan, FaultyStorage, ReadFlip};
 pub use record::{LogOp, Record};
-pub use storage::{FsStorage, MemStorage, Storage};
+pub use replica::{OfferOutcome, ReplicaApplier, ReplicaStatus};
+pub use segment::{
+    checkpoint_archive_name, segment_file_name, SegmentManifest, SegmentMeta, SEGMENT_MANIFEST_FILE,
+};
+pub use ship::{
+    replicate, BackoffPolicy, Channel, ChannelStats, ChaosProfile, FaultyChannel, LogShipper,
+    LosslessChannel, Need, ReplicateOptions, ShipReport,
+};
+pub use storage::{read_stable, FsStorage, MemStorage, Storage};
 pub use wal::{frame, scan_wal, FlushPolicy, TornReason, WalScan, WalWriter};

@@ -1,0 +1,223 @@
+//! The receiving side of log shipping: apply deliveries, detect gaps
+//! and corruption, and expose a NACK cursor.
+//!
+//! A [`ReplicaApplier`] is the warm standby's state machine.  It starts
+//! empty, bootstraps from a shipped checkpoint, then applies segment and
+//! tail frames strictly in LSN order through the same replay engine
+//! crash recovery uses.  Anything else — a damaged envelope, an LSN that
+//! skips ahead, a stale duplicate — is *classified*, counted, and
+//! reported back as an [`OfferOutcome`] so the shipping pump can NACK
+//! and re-ship; the applier's own state only ever advances along valid,
+//! contiguous history.  A replay that contradicts logged history (an
+//! insert recorded as effective replaying as a no-op) is a typed error,
+//! never a silent divergence.
+
+use std::collections::BTreeMap;
+
+use asr_core::{AsrId, Database};
+
+use crate::db::{apply_op, parse_checkpoint};
+use crate::error::Result;
+use crate::ship::{Need, ShipMessage};
+use crate::wal::scan_wal;
+
+/// How the applier classified one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// A checkpoint delivery seeded (or re-seeded) the replica at this
+    /// LSN.
+    Bootstrapped {
+        /// The checkpoint's covering LSN.
+        lsn: u64,
+    },
+    /// Frames applied; `records` advanced the replica (0 never occurs —
+    /// a delivery whose records are all old classifies as `Duplicate`).
+    Applied {
+        /// Records newly applied from this delivery.
+        records: u64,
+    },
+    /// Everything in the delivery was already applied (duplicated or
+    /// re-shipped history) — ignored.
+    Duplicate,
+    /// The delivery starts past the replica's frontier (something before
+    /// it was lost or reordered) — NACK, nothing applied.
+    Gap {
+        /// The replica's applied LSN.
+        have: u64,
+        /// The first LSN the delivery offered.
+        got: u64,
+    },
+    /// The envelope was damaged (truncated or failing its CRC), or
+    /// frames inside it were — NACK, nothing applied.
+    Corrupt,
+}
+
+/// A point-in-time summary of the applier (what `\replica status`
+/// prints, lag aside — lag needs the primary's tip).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Whether a checkpoint has seeded the replica yet.
+    pub bootstrapped: bool,
+    /// Highest contiguously applied LSN.
+    pub applied_lsn: u64,
+    /// Records applied over the replica's lifetime.
+    pub records_applied: u64,
+    /// Checkpoint bootstraps (1 normally; more after re-seeds).
+    pub bootstraps: u64,
+    /// Deliveries ignored as duplicates.
+    pub duplicates: u64,
+    /// Deliveries NACKed for an LSN gap.
+    pub gaps: u64,
+    /// Deliveries NACKed as corrupt.
+    pub corrupt: u64,
+    /// Total delivery bytes offered (including damaged ones).
+    pub bytes_received: u64,
+}
+
+/// The replica-side state machine (see module docs).
+#[derive(Debug, Default)]
+pub struct ReplicaApplier {
+    db: Option<Database>,
+    applied_lsn: u64,
+    asr_remap: BTreeMap<AsrId, AsrId>,
+    status: ReplicaStatus,
+}
+
+impl ReplicaApplier {
+    /// An empty, unseeded replica.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a checkpoint has seeded the replica.
+    pub fn is_bootstrapped(&self) -> bool {
+        self.db.is_some()
+    }
+
+    /// Highest contiguously applied LSN (0 before bootstrap).
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn
+    }
+
+    /// What the shipper should send next — the NACK/resume cursor.
+    pub fn needed(&self) -> Need {
+        if self.db.is_some() {
+            Need::From(self.applied_lsn + 1)
+        } else {
+            Need::Checkpoint
+        }
+    }
+
+    /// The replica database, once bootstrapped (read access for queries
+    /// and the convergence check).
+    pub fn db(&self) -> Option<&Database> {
+        self.db.as_ref()
+    }
+
+    /// Take the replica database out (e.g. to promote it).
+    pub fn into_database(self) -> Option<Database> {
+        self.db
+    }
+
+    /// The replica's snapshot serialization — the byte-identity oracle
+    /// tests compare against the primary's.
+    pub fn snapshot(&self) -> Option<String> {
+        self.db.as_ref().map(Database::save_to_string)
+    }
+
+    /// Current counters.
+    pub fn status(&self) -> ReplicaStatus {
+        self.status
+    }
+
+    /// Classify and (when valid and in order) apply one delivery.
+    ///
+    /// `Err` is reserved for conditions that must stop replication
+    /// loudly: a CRC-valid delivery whose replay contradicts logged
+    /// history, or a replay-side database failure.  Everything the
+    /// channel can cause — damage, loss-induced gaps, duplication —
+    /// comes back as an `Ok` outcome for the pump to retry.
+    pub fn offer(&mut self, delivery: &[u8]) -> Result<OfferOutcome> {
+        self.status.bytes_received += delivery.len() as u64;
+        let Some(msg) = ShipMessage::decode(delivery) else {
+            self.status.corrupt += 1;
+            return Ok(OfferOutcome::Corrupt);
+        };
+        let outcome = match msg {
+            ShipMessage::Checkpoint(bytes) => {
+                let parsed = match parse_checkpoint(bytes, "shipped checkpoint") {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // The envelope CRC passed but the snapshot does
+                        // not parse — a mangled delivery that the CRC
+                        // could not catch is still channel damage from
+                        // the replica's point of view: NACK and re-ship.
+                        self.status.corrupt += 1;
+                        return Ok(OfferOutcome::Corrupt);
+                    }
+                };
+                if self.db.is_some() && parsed.lsn <= self.applied_lsn {
+                    self.status.duplicates += 1;
+                    OfferOutcome::Duplicate
+                } else {
+                    self.applied_lsn = parsed.lsn;
+                    self.asr_remap = parsed.asr_remap;
+                    self.db = Some(parsed.db);
+                    self.status.bootstraps += 1;
+                    OfferOutcome::Bootstrapped { lsn: parsed.lsn }
+                }
+            }
+            ShipMessage::Segment { frames, .. } | ShipMessage::Frames(frames) => {
+                let Some(db) = self.db.as_mut() else {
+                    // Frames before any checkpoint: can't apply anything.
+                    self.status.gaps += 1;
+                    return Ok(OfferOutcome::Gap { have: 0, got: 0 });
+                };
+                let Ok(scan) = scan_wal(&frames) else {
+                    self.status.corrupt += 1;
+                    return Ok(OfferOutcome::Corrupt);
+                };
+                if scan.torn_bytes > 0 {
+                    // The shipper only ships valid prefixes; torn frames
+                    // inside a delivery mean the channel damaged it in a
+                    // way the envelope CRC did not cover (it did — but
+                    // stay defensive).
+                    self.status.corrupt += 1;
+                    return Ok(OfferOutcome::Corrupt);
+                }
+                let mut applied = 0u64;
+                for rec in &scan.records {
+                    if rec.lsn <= self.applied_lsn {
+                        continue; // overlap with already-applied history
+                    }
+                    if rec.lsn != self.applied_lsn + 1 {
+                        self.status.gaps += 1;
+                        return Ok(OfferOutcome::Gap {
+                            have: self.applied_lsn,
+                            got: rec.lsn,
+                        });
+                    }
+                    apply_op(db, &rec.op, &mut self.asr_remap)?;
+                    self.applied_lsn = rec.lsn;
+                    applied += 1;
+                }
+                self.status.records_applied += applied;
+                if applied == 0 {
+                    self.status.duplicates += 1;
+                    OfferOutcome::Duplicate
+                } else {
+                    OfferOutcome::Applied { records: applied }
+                }
+            }
+        };
+        self.status.bootstrapped = self.db.is_some();
+        self.status.applied_lsn = self.applied_lsn;
+        if let Some(db) = &self.db {
+            let metrics = db.tracer().metrics();
+            metrics.set_gauge("replica.applied_lsn", self.applied_lsn as f64);
+            metrics.set_gauge("replica.gaps", self.status.gaps as f64);
+            metrics.set_gauge("replica.corrupt", self.status.corrupt as f64);
+        }
+        Ok(outcome)
+    }
+}

@@ -1,0 +1,335 @@
+//! WAL segmentation: sealed log segments, archived checkpoints, and the
+//! manifest that indexes both.
+//!
+//! # Why segments
+//!
+//! A single `wal.log` is enough for crash recovery, but replication and
+//! point-in-time recovery need *history*: the shipper streams whole
+//! sealed files to a replica, and `recover_to_lsn` replays from an old
+//! checkpoint forward.  So the active log rotates into immutable
+//! segments:
+//!
+//! * `wal.000001.seg`, `wal.000002.seg`, … — each a byte-for-byte copy
+//!   of a retired `wal.log` (the same `[len][crc][payload]` frames),
+//!   whole-file checksummed at seal time;
+//! * `ckpt.000000000042.snap` — an archived copy of `checkpoint.snap`
+//!   as it stood at checkpoint LSN 42, kept so PITR can start below the
+//!   current checkpoint;
+//! * `segments.manifest` — the index over both.
+//!
+//! # Manifest grammar
+//!
+//! ```text
+//! SEGS 1
+//! S <seqno> <first_lsn> <last_lsn> <bytes> <crc32-hex>
+//! C <checkpoint_lsn>
+//! ```
+//!
+//! `S` lines are sealed segments in rotation (= LSN) order; `C` lines
+//! are archived checkpoints in ascending LSN order.  The manifest is
+//! replaced atomically, *before* the new `checkpoint.snap` is published
+//! during a checkpoint — every crash window then falls back to the old
+//! checkpoint plus a longer (duplicate-tolerant) replay, never to a
+//! manifest that references state which does not exist.
+//!
+//! A directory without `segments.manifest` is a pre-segmentation
+//! database: recovery treats it as an empty manifest (checkpoint +
+//! `wal.log` only), which keeps the v1 golden fixtures loading.
+
+use crate::crc::crc32;
+use crate::error::{DurableError, Result};
+use crate::storage::{read_stable, Storage};
+
+/// The segment/checkpoint index file.
+pub const SEGMENT_MANIFEST_FILE: &str = "segments.manifest";
+
+const SEG_MAGIC: &str = "SEGS 1";
+
+/// How many disagreeing read pairs [`read_stable`] tolerates before
+/// declaring the read path broken (shared by all recovery-side reads).
+pub(crate) const READ_RETRIES: usize = 4;
+
+/// The file name of sealed segment `seqno`.
+pub fn segment_file_name(seqno: u64) -> String {
+    format!("wal.{seqno:06}.seg")
+}
+
+/// The file name of the archived checkpoint covering `lsn`.
+pub fn checkpoint_archive_name(lsn: u64) -> String {
+    format!("ckpt.{lsn:012}.snap")
+}
+
+/// One sealed, immutable log segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Rotation sequence number (1-based, monotonic, never reused after
+    /// a successful seal).
+    pub seqno: u64,
+    /// LSN of the first record in the segment.
+    pub first_lsn: u64,
+    /// LSN of the last record in the segment.
+    pub last_lsn: u64,
+    /// Exact size of the segment file in bytes.
+    pub bytes: u64,
+    /// CRC-32 of the whole segment file.
+    pub crc: u32,
+}
+
+impl SegmentMeta {
+    /// The file this segment is stored under.
+    pub fn file_name(&self) -> String {
+        segment_file_name(self.seqno)
+    }
+
+    /// Check `data` against the sealed size and whole-file checksum.
+    /// Sealed segments were fully acknowledged, so a mismatch is at-rest
+    /// corruption — a hard error for the caller, never a silent discard.
+    pub fn verify(&self, data: &[u8]) -> Result<()> {
+        if data.len() as u64 != self.bytes {
+            return Err(DurableError::Corrupt(format!(
+                "segment {} is {} bytes, manifest says {}",
+                self.file_name(),
+                data.len(),
+                self.bytes
+            )));
+        }
+        let got = crc32(data);
+        if got != self.crc {
+            return Err(DurableError::Corrupt(format!(
+                "segment {} fails its whole-file CRC ({got:08x} != {:08x})",
+                self.file_name(),
+                self.crc
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The parsed `segments.manifest`: sealed segments plus archived
+/// checkpoint LSNs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentManifest {
+    /// Sealed segments in rotation (= LSN) order.
+    pub segments: Vec<SegmentMeta>,
+    /// Archived checkpoint LSNs, ascending; each has a
+    /// [`checkpoint_archive_name`] file.
+    pub checkpoints: Vec<u64>,
+}
+
+impl SegmentManifest {
+    /// Serialize to the manifest grammar.
+    pub fn encode(&self) -> String {
+        let mut out = String::from(SEG_MAGIC);
+        out.push('\n');
+        for s in &self.segments {
+            out.push_str(&format!(
+                "S {} {} {} {} {:08x}\n",
+                s.seqno, s.first_lsn, s.last_lsn, s.bytes, s.crc
+            ));
+        }
+        for c in &self.checkpoints {
+            out.push_str(&format!("C {c}\n"));
+        }
+        out
+    }
+
+    /// Parse the manifest grammar.
+    pub fn decode(text: &str) -> Result<Self> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(SEG_MAGIC) {
+            return Err(DurableError::Corrupt(format!(
+                "bad segments.manifest magic (expected `{SEG_MAGIC}`)"
+            )));
+        }
+        let bad =
+            |line: &str| DurableError::Corrupt(format!("bad segments.manifest line `{line}`"));
+        let mut manifest = SegmentManifest::default();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("S") => {
+                    let mut num = || -> Result<u64> {
+                        parts
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| bad(line))
+                    };
+                    let (seqno, first_lsn, last_lsn, bytes) = (num()?, num()?, num()?, num()?);
+                    let crc = parts
+                        .next()
+                        .and_then(|t| u32::from_str_radix(t, 16).ok())
+                        .ok_or_else(|| bad(line))?;
+                    if parts.next().is_some() || first_lsn > last_lsn {
+                        return Err(bad(line));
+                    }
+                    manifest.segments.push(SegmentMeta {
+                        seqno,
+                        first_lsn,
+                        last_lsn,
+                        bytes,
+                        crc,
+                    });
+                }
+                Some("C") => {
+                    let lsn = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad(line))?;
+                    if parts.next().is_some() {
+                        return Err(bad(line));
+                    }
+                    manifest.checkpoints.push(lsn);
+                }
+                _ => return Err(bad(line)),
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Load the manifest from `storage`; a missing file is an empty
+    /// manifest (a pre-segmentation database).  Reads are stabilized —
+    /// the manifest gates which history exists, so a transiently flipped
+    /// read must not be trusted.
+    pub fn load<S: Storage>(storage: &S) -> Result<Self> {
+        match read_stable(storage, SEGMENT_MANIFEST_FILE, READ_RETRIES)? {
+            None => Ok(SegmentManifest::default()),
+            Some(bytes) => {
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| DurableError::Corrupt("segments.manifest is not UTF-8".into()))?;
+                Self::decode(&text)
+            }
+        }
+    }
+
+    /// Atomically replace the manifest in `storage`.
+    pub fn store<S: Storage>(&self, storage: &mut S) -> Result<()> {
+        storage.write_atomic(SEGMENT_MANIFEST_FILE, self.encode().as_bytes())
+    }
+
+    /// The sequence number the next sealed segment should take.
+    pub fn next_seqno(&self) -> u64 {
+        self.segments.last().map_or(1, |s| s.seqno + 1)
+    }
+
+    /// Total bytes held in sealed segments.
+    pub fn archived_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// The newest archived checkpoint at or below `bound`, if any.
+    pub fn newest_checkpoint_at_or_below(&self, bound: u64) -> Option<u64> {
+        self.checkpoints
+            .iter()
+            .copied()
+            .filter(|c| *c <= bound)
+            .max()
+    }
+
+    /// Record an archived checkpoint LSN (idempotent, keeps order).
+    pub fn add_checkpoint(&mut self, lsn: u64) {
+        if !self.checkpoints.contains(&lsn) {
+            self.checkpoints.push(lsn);
+            self.checkpoints.sort_unstable();
+        }
+    }
+
+    /// The first LSN of the oldest retained history, if any segments
+    /// remain.
+    pub fn oldest_segment_first_lsn(&self) -> Option<u64> {
+        self.segments.first().map(|s| s.first_lsn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn sample() -> SegmentManifest {
+        SegmentManifest {
+            segments: vec![
+                SegmentMeta {
+                    seqno: 1,
+                    first_lsn: 1,
+                    last_lsn: 9,
+                    bytes: 420,
+                    crc: 0xdead_beef,
+                },
+                SegmentMeta {
+                    seqno: 2,
+                    first_lsn: 10,
+                    last_lsn: 17,
+                    bytes: 390,
+                    crc: 0x0000_00ff,
+                },
+            ],
+            checkpoints: vec![0, 9],
+        }
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let m = sample();
+        let text = m.encode();
+        assert!(text.starts_with("SEGS 1\n"));
+        assert!(text.contains("S 1 1 9 420 deadbeef\n"));
+        assert!(text.contains("C 9\n"));
+        assert_eq!(SegmentManifest::decode(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(SegmentManifest::decode("nope").is_err());
+        assert!(SegmentManifest::decode("SEGS 1\nS 1 2 1 9 00\n").is_err()); // first > last
+        assert!(SegmentManifest::decode("SEGS 1\nS 1 1\n").is_err());
+        assert!(SegmentManifest::decode("SEGS 1\nC x\n").is_err());
+        assert!(SegmentManifest::decode("SEGS 1\nX 1\n").is_err());
+        assert!(SegmentManifest::decode("SEGS 1\nC 1 2\n").is_err());
+    }
+
+    #[test]
+    fn load_store_and_missing_is_empty() {
+        let mut mem = MemStorage::new();
+        assert_eq!(
+            SegmentManifest::load(&mem).unwrap(),
+            SegmentManifest::default()
+        );
+        let m = sample();
+        m.store(&mut mem).unwrap();
+        assert_eq!(SegmentManifest::load(&mem).unwrap(), m);
+        assert_eq!(m.next_seqno(), 3);
+        assert_eq!(m.archived_bytes(), 810);
+        assert_eq!(m.newest_checkpoint_at_or_below(8), Some(0));
+        assert_eq!(m.newest_checkpoint_at_or_below(100), Some(9));
+        assert_eq!(
+            SegmentManifest::default().newest_checkpoint_at_or_below(5),
+            None
+        );
+    }
+
+    #[test]
+    fn verify_checks_size_and_crc() {
+        let data = b"framed bytes";
+        let meta = SegmentMeta {
+            seqno: 1,
+            first_lsn: 1,
+            last_lsn: 2,
+            bytes: data.len() as u64,
+            crc: crate::crc::crc32(data),
+        };
+        meta.verify(data).unwrap();
+        assert!(meta.verify(b"framed byteX").is_err());
+        assert!(meta.verify(b"short").is_err());
+    }
+
+    #[test]
+    fn names_are_zero_padded_and_sortable() {
+        assert_eq!(segment_file_name(7), "wal.000007.seg");
+        assert_eq!(checkpoint_archive_name(42), "ckpt.000000000042.snap");
+        assert!(segment_file_name(9) < segment_file_name(10));
+    }
+}

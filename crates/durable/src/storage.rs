@@ -25,6 +25,32 @@ use std::rc::Rc;
 
 use crate::error::{DurableError, Result};
 
+/// Read `name` until two consecutive reads agree, retrying a bounded
+/// number of times.
+///
+/// Recovery must not trust a single read: a transient fault on the read
+/// path (bad DMA, an in-flight bit flip — see
+/// [`crate::fault::FaultPlan::flip_read`]) can make durable, acknowledged
+/// bytes *look* torn, and a recovery that then truncates or re-persists
+/// what it read would turn a transient fault into permanent data loss.
+/// Double-reading heals one-shot corruption (the retry observes the clean
+/// bytes twice); persistent at-rest corruption passes through unchanged,
+/// where the CRC layers detect it.  After `retries` disagreeing pairs the
+/// read path itself is declared broken with [`DurableError::Storage`].
+pub fn read_stable<S: Storage>(storage: &S, name: &str, retries: usize) -> Result<Option<Vec<u8>>> {
+    let mut prev = storage.read(name)?;
+    for _ in 0..retries.max(1) {
+        let next = storage.read(name)?;
+        if next == prev {
+            return Ok(next);
+        }
+        prev = next;
+    }
+    Err(DurableError::Storage(format!(
+        "unstable reads of `{name}`: consecutive reads keep disagreeing"
+    )))
+}
+
 /// Durability primitives the WAL and checkpointer are written against.
 pub trait Storage {
     /// The whole content of `name`, or `None` if the file does not exist.

@@ -1,0 +1,304 @@
+//! End-to-end log-shipping chaos fuzzing: a primary built from a random
+//! effective script ships its history to a [`ReplicaApplier`] over a
+//! [`FaultyChannel`] that drops, duplicates, reorders, truncates, and
+//! bit-flips deliveries on a seeded schedule.  Every schedule must end
+//! in one of exactly two states:
+//!
+//! * **converged** — the replica's snapshot serialization is *byte
+//!   identical* to the primary's, or
+//! * **stalled loudly** — [`DurableError::ReplicationStalled`], with the
+//!   replica still on a valid prefix of the primary's history.
+//!
+//! Silent divergence — a replica that claims LSN `l` but differs from
+//! the oracle at `l` — fails the run.
+
+mod common;
+
+use asr_core::Database;
+use asr_durable::{
+    replicate, ChaosProfile, DurableDatabase, DurableError, FaultyChannel, FlushPolicy, LogShipper,
+    LosslessChannel, MemStorage, ReplicaApplier, ReplicateOptions,
+};
+use common::*;
+
+/// A primary with checkpoints and sealed segments, plus a live tail.
+fn build_primary(
+    s0: &str,
+    script: &[Op],
+    upto: usize,
+    ckpt_at: Option<usize>,
+) -> DurableDatabase<MemStorage> {
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(s0).unwrap();
+    let mut dd = DurableDatabase::create(disk, seed_db, FlushPolicy::EveryRecord).unwrap();
+    dd.set_segment_threshold(192);
+    for (i, op) in script.iter().enumerate().take(upto) {
+        apply_durable(&mut dd, op).unwrap();
+        if ckpt_at == Some(i + 1) {
+            dd.checkpoint().unwrap();
+        }
+    }
+    dd
+}
+
+/// The replica must either match the primary byte for byte (converged)
+/// or sit on an exact prefix of its history (stalled) — never elsewhere.
+fn assert_replica_on_history(applier: &ReplicaApplier, s0: &str, script: &[Op], ctx: &str) {
+    if !applier.is_bootstrapped() {
+        return; // an empty replica trivially has not diverged
+    }
+    let lsn = applier.applied_lsn() as usize;
+    assert!(lsn <= SCRIPT_LEN, "{ctx}: replica past the script");
+    let oracle = oracle_at(s0, script, lsn);
+    assert_eq!(
+        applier.snapshot().unwrap(),
+        oracle.save_to_string(),
+        "{ctx}: replica at LSN {lsn} diverged from that prefix"
+    );
+}
+
+/// A perfect channel converges in one round with zero NACKs, byte
+/// identical to the primary.
+#[test]
+fn lossless_channel_converges_exactly() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x5417);
+    let primary = build_primary(&s0, &script, SCRIPT_LEN, Some(SCRIPT_LEN / 2));
+
+    let mut applier = ReplicaApplier::new();
+    let mut channel = LosslessChannel::new();
+    let report = replicate(
+        &primary,
+        &mut applier,
+        &mut channel,
+        &ReplicateOptions::default(),
+    )
+    .unwrap();
+
+    assert_eq!(report.converged_lsn, SCRIPT_LEN as u64);
+    assert_eq!(report.gaps + report.corrupt, 0, "nothing to NACK");
+    assert_eq!(report.backoff_ticks, 0, "no fruitless rounds");
+    assert_eq!(
+        applier.snapshot().unwrap(),
+        primary.database().save_to_string(),
+        "byte-identical convergence"
+    );
+    assert_replica_on_history(&applier, &s0, &script, "lossless");
+
+    // The shipper agrees the replica is caught up.
+    let shipper = LogShipper::new(primary.storage());
+    assert_eq!(shipper.lag_bytes(applier.applied_lsn()).unwrap(), 0);
+}
+
+/// The chaos fuzzer proper: many seeded fault schedules, each of which
+/// must converge byte-identically or stall with the typed error — and in
+/// both cases the replica must be on the primary's history.
+#[test]
+fn seeded_chaos_schedules_converge_or_fail_loudly() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xC405);
+    let primary = build_primary(&s0, &script, SCRIPT_LEN, Some(SCRIPT_LEN / 2));
+    let opts = ReplicateOptions::default();
+
+    let mut converged = 0usize;
+    let mut stalled = 0usize;
+    for i in 0..32u64 {
+        let seed = fuzz_seed() ^ (i.wrapping_mul(0x9E37_79B9));
+        let profile = ChaosProfile::from_seed(seed);
+        let mut channel = FaultyChannel::new(profile, seed);
+        let mut applier = ReplicaApplier::new();
+        let ctx = format!("chaos seed {seed:#x} ({profile:?})");
+        match replicate(&primary, &mut applier, &mut channel, &opts) {
+            Ok(report) => {
+                converged += 1;
+                assert_eq!(report.converged_lsn, SCRIPT_LEN as u64, "{ctx}");
+                assert_eq!(
+                    applier.snapshot().unwrap(),
+                    primary.database().save_to_string(),
+                    "{ctx}: converged but not byte-identical"
+                );
+                // NACK accounting is consistent: every gap/corrupt NACK
+                // the pump counted is visible in the applier's status.
+                let status = applier.status();
+                assert_eq!(status.gaps, report.gaps, "{ctx}");
+                assert_eq!(status.corrupt, report.corrupt, "{ctx}");
+            }
+            Err(DurableError::ReplicationStalled(msg)) => {
+                stalled += 1;
+                assert!(msg.contains("rounds"), "{ctx}: uninformative stall: {msg}");
+            }
+            Err(e) => panic!("{ctx}: unexpected error class: {e}"),
+        }
+        // Converged or stalled, the replica never leaves the history.
+        assert_replica_on_history(&applier, &s0, &script, &ctx);
+    }
+    // The profile generator keeps fault rates below the stall-everything
+    // regime; most schedules must actually converge for the fuzzer to be
+    // exercising the happy recovery paths too.
+    assert!(
+        converged >= 16,
+        "only {converged}/32 schedules converged ({stalled} stalled) — chaos too hostile to test convergence"
+    );
+}
+
+/// A total blackout cannot converge and must say so with the typed
+/// error, after backing off exponentially between fruitless rounds.
+#[test]
+fn blackout_stalls_with_typed_error() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xB1AC);
+    let primary = build_primary(&s0, &script, SCRIPT_LEN, None);
+
+    let mut applier = ReplicaApplier::new();
+    let mut channel = FaultyChannel::new(ChaosProfile::blackout(), 1);
+    let opts = ReplicateOptions {
+        max_rounds: 10,
+        ..ReplicateOptions::default()
+    };
+    let err = replicate(&primary, &mut applier, &mut channel, &opts).unwrap_err();
+    assert!(
+        matches!(err, DurableError::ReplicationStalled(_)),
+        "got {err}"
+    );
+    assert!(!applier.is_bootstrapped(), "nothing ever arrived");
+    assert_eq!(channel.stats().dropped, channel.stats().sent);
+}
+
+/// Incremental catch-up: after converging once, new primary writes ship
+/// as frames from the replica's cursor — no re-bootstrap, no re-shipped
+/// checkpoint.
+#[test]
+fn incremental_catchup_reuses_the_cursor() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x14C0);
+    let half = SCRIPT_LEN / 2;
+    let mut primary = build_primary(&s0, &script, half, None);
+    let opts = ReplicateOptions::default();
+
+    let mut applier = ReplicaApplier::new();
+    let mut channel = LosslessChannel::new();
+    replicate(&primary, &mut applier, &mut channel, &opts).unwrap();
+    assert_eq!(applier.applied_lsn(), half as u64);
+    assert_eq!(applier.status().bootstraps, 1);
+
+    for op in &script[half..] {
+        apply_durable(&mut primary, op).unwrap();
+    }
+    let report = replicate(&primary, &mut applier, &mut channel, &opts).unwrap();
+    assert_eq!(report.converged_lsn, SCRIPT_LEN as u64);
+    assert_eq!(
+        applier.status().bootstraps,
+        1,
+        "catch-up must not re-seed from a checkpoint"
+    );
+    assert_eq!(
+        applier.snapshot().unwrap(),
+        primary.database().save_to_string()
+    );
+    assert_replica_on_history(&applier, &s0, &script, "incremental catch-up");
+}
+
+/// When the history a lagging replica needs has been pruned away, the
+/// shipper falls back to re-seeding it from the checkpoint — convergence
+/// survives retention.
+#[test]
+fn pruned_history_forces_a_rebootstrap() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x94E0);
+    let half = SCRIPT_LEN / 2;
+    let mut primary = build_primary(&s0, &script, half, None);
+    let opts = ReplicateOptions::default();
+
+    // Converge a replica on the first half.
+    let mut applier = ReplicaApplier::new();
+    let mut channel = LosslessChannel::new();
+    replicate(&primary, &mut applier, &mut channel, &opts).unwrap();
+    let first_lsn = applier.applied_lsn();
+    assert_eq!(first_lsn, half as u64);
+
+    // The primary moves on, checkpoints, and prunes its history.
+    for op in &script[half..] {
+        apply_durable(&mut primary, op).unwrap();
+    }
+    primary.checkpoint().unwrap();
+    primary.prune_segments().unwrap();
+
+    // Catch-up now *must* go through a fresh checkpoint: the segments
+    // holding LSNs first_lsn+1.. are gone.
+    let report = replicate(&primary, &mut applier, &mut channel, &opts).unwrap();
+    assert_eq!(report.converged_lsn, SCRIPT_LEN as u64);
+    assert_eq!(
+        applier.status().bootstraps,
+        2,
+        "pruned history must force a re-seed"
+    );
+    assert_eq!(
+        applier.snapshot().unwrap(),
+        primary.database().save_to_string()
+    );
+    assert_replica_on_history(&applier, &s0, &script, "post-prune catch-up");
+}
+
+/// Chaos against an *advancing* primary: converge, mutate, converge
+/// again over the same faulty channel, several times.  Steady-state
+/// replication under faults must track the moving tip.
+#[test]
+fn chaotic_steady_state_tracks_the_primary() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x57EA);
+    let chunk = SCRIPT_LEN / 4;
+    let seed = fuzz_seed() ^ 0xD1CE;
+    let mut primary = build_primary(&s0, &script, 0, None);
+    // Moderate chaos: hostile enough to force NACK/retry cycles, mild
+    // enough that each sync round budget suffices.
+    let profile = ChaosProfile {
+        drop_pct: 15,
+        dup_pct: 15,
+        reorder_pct: 15,
+        truncate_pct: 10,
+        flip_pct: 10,
+    };
+    let mut channel = FaultyChannel::new(profile, seed);
+    let mut applier = ReplicaApplier::new();
+    let opts = ReplicateOptions {
+        max_rounds: 256,
+        ..ReplicateOptions::default()
+    };
+
+    let mut applied = 0usize;
+    for step in 0..4 {
+        for op in &script[applied..applied + chunk] {
+            apply_durable(&mut primary, op).unwrap();
+        }
+        applied += chunk;
+        if step == 1 {
+            primary.checkpoint().unwrap();
+        }
+        let ctx = format!("steady-state step {step}");
+        match replicate(&primary, &mut applier, &mut channel, &opts) {
+            Ok(report) => {
+                assert_eq!(report.converged_lsn, applied as u64, "{ctx}");
+                assert_eq!(
+                    applier.snapshot().unwrap(),
+                    primary.database().save_to_string(),
+                    "{ctx}"
+                );
+            }
+            Err(DurableError::ReplicationStalled(_)) => {
+                // Permitted only as a loud stop; the replica must still be
+                // on the history and a lossless retry must finish the job.
+                assert_replica_on_history(&applier, &s0, &script, &ctx);
+                let mut clean = LosslessChannel::new();
+                replicate(&primary, &mut applier, &mut clean, &opts).unwrap();
+                assert_eq!(
+                    applier.snapshot().unwrap(),
+                    primary.database().save_to_string(),
+                    "{ctx}: lossless retry"
+                );
+            }
+            Err(e) => panic!("{ctx}: unexpected error class: {e}"),
+        }
+        assert_replica_on_history(&applier, &s0, &script, &ctx);
+    }
+    assert_eq!(applier.applied_lsn(), SCRIPT_LEN as u64);
+}

@@ -14,7 +14,10 @@
 //! \advise <path> [p_up]    run the physical-design advisor
 //! \save <file> / \load <file|dir>   snapshot persistence / recovery
 //! \wal on <dir>|off|status write-ahead logging for the open database
+//! \wal rotate|prune        segment maintenance for the log archive
 //! \checkpoint              snapshot the durable state, truncate the log
+//! \recover <lsn>           point-in-time recovery to an as-of view
+//! \replica on|off|sync|status  warm standby fed by log shipping
 //! \stats / \reset          page-access accounting
 //! \trace on|off|show       capture finished spans in a ring buffer
 //! \help / \quit
@@ -35,7 +38,10 @@ use std::rc::Rc;
 use asr_advisor::{advise, RecorderSink, UsageRecorder};
 
 use asr_core::{AsrConfig, AsrLoadMode, Database, Decomposition, Extension};
-use asr_durable::{DurableDatabase, FlushPolicy, FsStorage, OpenDurable, MANIFEST_FILE};
+use asr_durable::{
+    recover_to_lsn, replicate, DurableDatabase, FlushPolicy, FsStorage, LogShipper,
+    LosslessChannel, OpenDurable, ReplicaApplier, ReplicateOptions, MANIFEST_FILE,
+};
 use asr_gom::PathExpression;
 use asr_obs::{RingBufferSink, SinkId};
 use asr_oql as oql;
@@ -73,6 +79,8 @@ pub struct ShellState {
     /// The `\trace` ring buffer, while tracing is on.  The [`SinkId`] is
     /// `None` when tracing was enabled before any database was open.
     trace: Option<(Option<SinkId>, Rc<RingBufferSink>)>,
+    /// The in-process warm standby, while `\replica on` (WAL mode only).
+    replica: Option<ReplicaApplier>,
     /// Should the REPL terminate?
     pub done: bool,
 }
@@ -168,6 +176,8 @@ fn run_command(state: &mut ShellState, input: &str) -> Result<String, String> {
         "load" => cmd_load(state, rest),
         "wal" => cmd_wal(state, rest),
         "checkpoint" => cmd_checkpoint(state),
+        "recover" => cmd_recover(state, rest),
+        "replica" => cmd_replica(state, rest),
         "stats" => cmd_stats(state),
         "reset" => {
             let db = state.db()?;
@@ -326,6 +336,16 @@ fn cmd_wal(state: &mut ShellState, rest: &str) -> Result<String, String> {
             );
             let _ = writeln!(
                 out,
+                "segments: {} sealed, {} archived byte(s), oldest needed LSN {}{}",
+                s.segment_count,
+                s.archived_bytes,
+                s.oldest_needed_lsn,
+                s.pitr_floor_lsn
+                    .map(|f| format!(", PITR floor LSN {f}"))
+                    .unwrap_or_default()
+            );
+            let _ = writeln!(
+                out,
                 "last recovery: {} record(s) replayed, {} skipped, {} torn byte(s){}",
                 r.records_replayed,
                 r.records_skipped,
@@ -334,7 +354,156 @@ fn cmd_wal(state: &mut ShellState, rest: &str) -> Result<String, String> {
             );
             Ok(out)
         }
-        _ => Err("usage: \\wal on <dir>|off|status".to_string()),
+        Some("prune") => {
+            let d = state.durable_mut()?;
+            let report = d.prune_segments().map_err(|e| e.to_string())?;
+            if report.segments_removed == 0 && report.checkpoints_removed == 0 {
+                return Ok(
+                    "nothing to prune: every segment is newer than the checkpoint".to_string(),
+                );
+            }
+            Ok(format!(
+                "pruned {} segment(s) ({} byte(s) reclaimed) and {} archived checkpoint(s); \
+                 PITR floor is now LSN {}",
+                report.segments_removed,
+                report.bytes_reclaimed,
+                report.checkpoints_removed,
+                d.wal_status().pitr_floor_lsn.unwrap_or(0)
+            ))
+        }
+        Some("rotate") => {
+            let d = state.durable_mut()?;
+            match d.rotate_segment().map_err(|e| e.to_string())? {
+                Some(meta) => Ok(format!(
+                    "sealed segment {} covering LSNs {}..={} ({} byte(s))",
+                    meta.seqno, meta.first_lsn, meta.last_lsn, meta.bytes
+                )),
+                None => Ok("active log is empty — nothing to seal".to_string()),
+            }
+        }
+        _ => Err("usage: \\wal on <dir>|off|status|rotate|prune".to_string()),
+    }
+}
+
+/// `\recover <lsn>`: point-in-time recovery.  Reconstructs the database
+/// as of the bound from archived checkpoints and sealed segments, and
+/// installs it as an in-memory session — the durable directory itself is
+/// never modified.
+fn cmd_recover(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    let bound: u64 = rest
+        .trim()
+        .parse()
+        .map_err(|_| "usage: \\recover <lsn>".to_string())?;
+    let d = state.durable_mut()?;
+    let (db, report) = recover_to_lsn(d.storage(), bound).map_err(|e| e.to_string())?;
+    let summary = format!(
+        "recovered as of LSN {}: checkpoint LSN {} + {} record(s) replayed \
+         ({} segment(s), {} page(s) read); {} objects, {} access relations\n\
+         in-memory as-of view — the durable directory is untouched; \\load it to return to the tip",
+        report.bound,
+        report.checkpoint_lsn,
+        report.records_replayed,
+        report.segments_read,
+        report.pages_read,
+        db.base().object_count(),
+        db.asrs().count(),
+    );
+    state.install_db(OpenDb::Plain(Box::new(db)), &format!("pitr@{bound}"));
+    Ok(summary)
+}
+
+/// `\replica on|off|sync|status`: an in-process warm standby fed by log
+/// shipping from the open durable database.
+fn cmd_replica(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    match rest.trim() {
+        "on" => {
+            state.durable_mut()?; // replication needs a durable primary
+            if state.replica.is_some() {
+                return Ok("replica already on — `\\replica sync` to catch it up".to_string());
+            }
+            state.replica = Some(ReplicaApplier::new());
+            Ok("replica on (empty standby) — `\\replica sync` ships history to it".to_string())
+        }
+        "off" => match state.replica.take() {
+            Some(r) => Ok(format!(
+                "replica off (was at LSN {}, {} record(s) applied)",
+                r.applied_lsn(),
+                r.status().records_applied
+            )),
+            None => Ok("replica already off".to_string()),
+        },
+        "sync" => {
+            let Some(mut applier) = state.replica.take() else {
+                return Err("replica is off — `\\replica on` first".to_string());
+            };
+            let d = match state.durable_mut() {
+                Ok(d) => d,
+                Err(e) => {
+                    state.replica = Some(applier);
+                    return Err(e);
+                }
+            };
+            let mut channel = LosslessChannel::new();
+            let res = replicate(d, &mut applier, &mut channel, &ReplicateOptions::default());
+            let out = match res {
+                Ok(report) => Ok(format!(
+                    "replica caught up to LSN {}: {} round(s), {} delivery(ies), \
+                     {} record(s) applied",
+                    report.converged_lsn,
+                    report.rounds,
+                    report.deliveries_sent,
+                    report.records_applied
+                )),
+                Err(e) => Err(e.to_string()),
+            };
+            state.replica = Some(applier);
+            out
+        }
+        "status" => {
+            let Some(applier) = &state.replica else {
+                return Err("replica is off — `\\replica on` first".to_string());
+            };
+            let st = applier.status();
+            let d = state
+                .db
+                .as_ref()
+                .and_then(|db| match db {
+                    OpenDb::Durable(d) => Some(d),
+                    OpenDb::Plain(_) => None,
+                })
+                .ok_or("WAL is off — `\\wal on <dir>` first")?;
+            let shipper = LogShipper::new(d.storage());
+            let tip = shipper.tip().map_err(|e| e.to_string())?;
+            let lag_lsns = tip.saturating_sub(st.applied_lsn);
+            let lag_bytes = shipper
+                .lag_bytes(st.applied_lsn)
+                .map_err(|e| e.to_string())?;
+            let lag_pages = lag_bytes.div_ceil(asr_pagesim::PAGE_SIZE as u64);
+            let mut out = format!(
+                "replica: {}, applied LSN {} of {tip} (lag {lag_lsns} LSN(s), ~{lag_pages} page(s))\n",
+                if st.bootstrapped {
+                    "bootstrapped"
+                } else {
+                    "empty (never seeded)"
+                },
+                st.applied_lsn,
+            );
+            let _ = writeln!(
+                out,
+                "lifetime: {} record(s) applied, {} bootstrap(s), {} duplicate(s), \
+                 {} gap NACK(s), {} corrupt NACK(s), {} byte(s) received",
+                st.records_applied,
+                st.bootstraps,
+                st.duplicates,
+                st.gaps,
+                st.corrupt,
+                st.bytes_received
+            );
+            Ok(out)
+        }
+        other => Err(format!(
+            "usage: \\replica on|off|sync|status (got `{other}`)"
+        )),
     }
 }
 
@@ -670,7 +839,13 @@ const HELP: &str = r#"commands:
                              with a MANIFEST is recovered (checkpoint
                              + WAL replay) and stays in WAL mode
   \wal on <dir>|off|status   write-ahead logging for the open database
+  \wal rotate|prune          seal the active log / drop archived history
+                             fully covered by the newest checkpoint
   \checkpoint                flush, snapshot, truncate the log
+  \recover <lsn>             point-in-time recovery: rebuild the state as
+                             of that LSN (in-memory; directory untouched)
+  \replica on|off|sync|status  in-process warm standby via log shipping;
+                             status shows lag in LSNs and modeled pages
   \schema                    show types, extents and variables
   \asr <path> <ext> <dec>    materialize an access support relation
                              ext: canonical|full|left|right
@@ -871,6 +1046,87 @@ mod tests {
         assert!(err.starts_with("error:"), "{err}");
         assert!(err.contains("\\load"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_replica_and_prune_through_shell() {
+        let dir = std::env::temp_dir().join("asrdb_shell_pitr_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open company");
+        // PITR and replication demand WAL mode.
+        assert!(run_line(&mut s, "\\recover 0").starts_with("error:"));
+        assert!(run_line(&mut s, "\\replica on").starts_with("error:"));
+        run_line(&mut s, &format!("\\wal on {dir_str}"));
+
+        // LSN 1: create an ASR.  LSN 2 would be the next mutation.
+        run_line(
+            &mut s,
+            "\\asr Division.Manufactures.Composition.Name full binary",
+        );
+        let st = run_line(&mut s, "\\wal status");
+        assert!(st.contains("segments: 0 sealed"), "{st}");
+        assert!(st.contains("oldest needed LSN 1"), "{st}");
+        assert!(st.contains("PITR floor LSN 0"), "{st}");
+
+        // Replica: seed it, verify it matches the primary byte for byte.
+        assert!(run_line(&mut s, "\\replica status").starts_with("error:"));
+        assert!(run_line(&mut s, "\\replica on").contains("replica on"));
+        let status = run_line(&mut s, "\\replica status");
+        assert!(status.contains("empty (never seeded)"), "{status}");
+        assert!(
+            status.contains("applied LSN 0 of 1 (lag 1 LSN(s)"),
+            "{status}"
+        );
+        let sync = run_line(&mut s, "\\replica sync");
+        assert!(sync.contains("caught up to LSN 1"), "{sync}");
+        let status = run_line(&mut s, "\\replica status");
+        assert!(
+            status.contains("bootstrapped, applied LSN 1 of 1"),
+            "{status}"
+        );
+        assert!(status.contains("lag 0 LSN(s), ~0 page(s)"), "{status}");
+        assert!(run_line(&mut s, "\\replica sideways").starts_with("error:"));
+
+        // Rotate + checkpoint + prune: segment lifecycle over the shell.
+        let rot = run_line(&mut s, "\\wal rotate");
+        assert!(
+            rot.contains("sealed segment 1 covering LSNs 1..=1"),
+            "{rot}"
+        );
+        assert!(run_line(&mut s, "\\wal rotate").contains("nothing to seal"));
+        run_line(&mut s, "\\checkpoint");
+        let pruned = run_line(&mut s, "\\wal prune");
+        assert!(pruned.contains("pruned 1 segment(s)"), "{pruned}");
+        assert!(pruned.contains("PITR floor is now LSN 1"), "{pruned}");
+        assert!(run_line(&mut s, "\\wal prune").contains("nothing to prune"));
+
+        // PITR below the floor is refused loudly; at the floor it works
+        // and installs an in-memory as-of view.
+        assert!(
+            run_line(&mut s, "\\recover 0").contains("point-in-time recovery unavailable"),
+            "pruned bound must be refused"
+        );
+        assert!(run_line(&mut s, "\\recover oops").starts_with("error:"));
+        let rec = run_line(&mut s, "\\recover 1");
+        assert!(rec.contains("recovered as of LSN 1"), "{rec}");
+        assert!(rec.contains("1 access relations"), "{rec}");
+        assert!(rec.contains("in-memory as-of view"), "{rec}");
+        // The as-of view is plain: durable commands are gone until \load.
+        assert!(run_line(&mut s, "\\wal status").starts_with("error:"));
+        assert!(run_line(&mut s, "\\asrs").contains("#0"));
+        let out = run_line(&mut s, &format!("\\load {dir_str}"));
+        assert!(out.contains("recovered"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replica_off_and_usage_errors() {
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open company");
+        assert!(run_line(&mut s, "\\replica sync").starts_with("error:"));
+        assert_eq!(run_line(&mut s, "\\replica off"), "replica already off");
     }
 
     #[test]
