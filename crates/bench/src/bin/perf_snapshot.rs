@@ -1,8 +1,10 @@
-//! Machine-readable performance snapshot (`BENCH_5.json`).
+//! Machine-readable performance snapshot (`BENCH_6.json`) and the
+//! perf-trend gate over the whole `BENCH_*.json` series.
 //!
 //! ```text
 //! cargo run --release -p asr-bench --bin perf_snapshot -- [--out FILE]
 //! cargo run --release -p asr-bench --bin perf_snapshot -- --check-physical-load
+//! cargo run --release -p asr-bench --bin perf_snapshot -- --trend [--dir D] [--tolerance T]
 //! ```
 //!
 //! Captures the repository's perf trajectory in one JSON file:
@@ -30,11 +32,17 @@
 //!
 //! `--check-physical-load` runs only the recovery comparison and exits
 //! non-zero if physically loading the v2 checkpoint does not beat the
-//! rebuild-on-load pipeline in page cost — the CI perf gate.
+//! rebuild-on-load pipeline in page cost — a CI perf gate.
+//!
+//! `--trend` parses every `BENCH_*.json` under `--dir` (default `.`),
+//! prints the per-metric trajectory table, and exits non-zero if any
+//! deterministic metric (page counts, shipped bytes, page ratios — never
+//! wall-clock) regressed past `--tolerance` (default 0.10) in the newest
+//! snapshot.  This is the regression gate CI runs over bench history.
 
 use std::time::Instant;
 
-use asr_bench::experiments::{registry, run_entries};
+use asr_bench::experiments::{registry, run_entries, run_entries_sharded};
 use asr_bench::recovery::{
     measure_pitr, measure_recovery, measure_replication, PhaseCost, PitrBench, RecoveryBench,
     ReplicationBench, ShipCost,
@@ -65,8 +73,11 @@ const RECOVERY_DELTA_OPS: usize = 16;
 const PITR_DELTA_OPS: usize = 64;
 
 fn main() {
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut check_only = false;
+    let mut trend_mode = false;
+    let mut trend_dir = String::from(".");
+    let mut tolerance = 0.10f64;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -77,14 +88,41 @@ fn main() {
                 });
             }
             "--check-physical-load" => check_only = true,
+            "--trend" => trend_mode = true,
+            "--dir" => {
+                trend_dir = iter.next().unwrap_or_else(|| {
+                    eprintln!("--dir needs a directory argument");
+                    std::process::exit(2);
+                });
+            }
+            "--tolerance" => {
+                tolerance = iter.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a fractional argument, e.g. 0.10");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!(
                     "unknown argument `{other}` — usage: \
-                     perf_snapshot [--out FILE] [--check-physical-load]"
+                     perf_snapshot [--out FILE] [--check-physical-load] \
+                     [--trend [--dir D] [--tolerance T]]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    if trend_mode {
+        let report = asr_bench::trend::run_trend(std::path::Path::new(&trend_dir), tolerance)
+            .unwrap_or_else(|e| {
+                eprintln!("trend analysis failed: {e}");
+                std::process::exit(2);
+            });
+        print!("{}", report.render(tolerance));
+        if !report.regressions.is_empty() {
+            std::process::exit(1);
+        }
+        return;
     }
 
     if check_only {
@@ -136,23 +174,32 @@ fn main() {
 
     eprintln!("timing the full suite, --jobs 1 ...");
     let jobs1 = Instant::now();
-    run_entries(&all, 1);
+    let (_, suite_io1) = run_entries_sharded(&all, 1);
     let jobs1_ms = jobs1.elapsed().as_secs_f64() * 1e3;
     eprintln!("timing the full suite, --jobs 4 ...");
     let jobs4 = Instant::now();
-    run_entries(&all, 4);
+    let (_, suite_io4) = run_entries_sharded(&all, 4);
     let jobs4_ms = jobs4.elapsed().as_secs_f64() * 1e3;
+    // The sharded counters are a correctness claim, not just a number:
+    // the per-worker shards merged on scope join must reconstruct the
+    // exact sequential totals.
+    assert_eq!(
+        suite_io1, suite_io4,
+        "sharded I/O aggregate must not depend on --jobs"
+    );
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"schema\": \"asr-bench-snapshot/4\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+        "{{\n  \"schema\": \"asr-bench-snapshot/5\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
          \"wall_ms\": {fig6_ms:.1},\n      \"workload\": \"Q_{{0,n}}(bw) x{QUERY_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }},\n    \"fig11\": {{\n      \
          \"wall_ms\": {fig11_ms:.1},\n      \"workload\": \"ins_3 x{UPDATE_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }}\n  }},\n  \
          \"recovery\": {},\n  \"replication\": {},\n  \"pitr\": {},\n  \"all\": {{\n    \
          \"figures\": {},\n    \"cpus\": {cpus},\n    \"jobs1_wall_ms\": {jobs1_ms:.1},\n    \
-         \"jobs4_wall_ms\": {jobs4_ms:.1},\n    \"speedup_jobs4\": {:.2}\n  }}\n}}\n",
+         \"jobs4_wall_ms\": {jobs4_ms:.1},\n    \"speedup_jobs4\": {:.2},\n    \
+         \"suite_io\": {{ \"page_reads\": {}, \"page_writes\": {}, \"buffer_hits\": {}, \
+         \"jobs_invariant\": true }}\n  }}\n}}\n",
         io_json(&fig6_io),
         io_json(&fig11_io),
         recovery_json(&recovery),
@@ -160,6 +207,9 @@ fn main() {
         pitr_json(&pitr),
         all.len(),
         jobs1_ms / jobs4_ms.max(1e-9),
+        suite_io1.reads,
+        suite_io1.writes,
+        suite_io1.buffer_hits,
     );
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("could not write {out_path}: {e}");

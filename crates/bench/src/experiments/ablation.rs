@@ -16,6 +16,7 @@
 
 use asr_core::{AsrConfig, Decomposition, Extension};
 use asr_costmodel::{Mix, Op};
+use asr_pagesim::IoSnapshot;
 use asr_workload::{execute_trace, generate, generate_trace, GeneratorSpec};
 
 use crate::experiments::ExperimentOutput;
@@ -33,7 +34,7 @@ fn spec() -> GeneratorSpec {
 const BUFFER_SIZES: [usize; 5] = [0, 8, 32, 128, 1024];
 const OPS: usize = 40;
 
-fn measure(buffer_pages: usize, indexed: bool) -> f64 {
+fn measure(buffer_pages: usize, indexed: bool, io: &mut IoSnapshot) -> f64 {
     let mut g = generate(&spec(), 77);
     let mix = Mix::new(vec![(1.0, Op::bw(0, 4))], vec![], 0.0);
     let id = if indexed {
@@ -56,7 +57,9 @@ fn measure(buffer_pages: usize, indexed: bool) -> f64 {
     let trace = generate_trace(&g, &mix, OPS, 5);
     g.db.stats().reset();
     let path = g.path.clone();
-    execute_trace(&mut g.db, id, &path, &trace).mean_cost()
+    let mean = execute_trace(&mut g.db, id, &path, &trace).mean_cost();
+    io.merge(&g.db.stats().snapshot());
+    mean
 }
 
 /// Run the experiment.
@@ -69,8 +72,8 @@ pub fn run() -> ExperimentOutput {
     let mut first_adv = 0.0;
     let mut last_naive = 0.0;
     for pages in BUFFER_SIZES {
-        let naive = measure(pages, false);
-        let asr = measure(pages, true);
+        let naive = measure(pages, false, &mut out.io);
+        let asr = measure(pages, true, &mut out.io);
         let adv = naive / asr.max(f64::EPSILON);
         if pages == 0 {
             first_adv = adv;
@@ -99,20 +102,23 @@ mod tests {
     #[test]
     fn asr_advantage_survives_moderate_buffers() {
         // Small-scale version of the experiment.
+        let mut io = IoSnapshot::default();
         for pages in [0usize, 32] {
-            let naive = measure(pages, false);
-            let asr = measure(pages, true);
+            let naive = measure(pages, false, &mut io);
+            let asr = measure(pages, true, &mut io);
             assert!(
                 asr * 2.0 < naive,
                 "buffer={pages}: ASR {asr:.1}/op must stay well below naive {naive:.1}/op"
             );
         }
+        assert!(io.accesses() > 0, "measurement must count real page I/O");
     }
 
     #[test]
     fn buffering_reduces_disk_accesses_monotonically_for_naive() {
-        let unbuffered = measure(0, false);
-        let buffered = measure(1024, false);
+        let mut io = IoSnapshot::default();
+        let unbuffered = measure(0, false, &mut io);
+        let buffered = measure(1024, false, &mut io);
         assert!(buffered < unbuffered, "{buffered} !< {unbuffered}");
     }
 }

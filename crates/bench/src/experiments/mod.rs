@@ -25,6 +25,8 @@ pub mod validate;
 
 use std::path::Path;
 
+use asr_pagesim::IoSnapshot;
+
 use crate::table::Table;
 
 /// A finished experiment: its rendered tables plus free-form notes.
@@ -34,6 +36,12 @@ pub struct ExperimentOutput {
     pub tables: Vec<Table>,
     /// Shape observations ("who wins, by what factor").
     pub notes: Vec<String>,
+    /// Modeled page I/O this experiment performed against a real
+    /// generated database (zero for purely analytic figures).  Runners
+    /// count into a private, worker-local [`asr_pagesim::IoStats`] and
+    /// export the plain snapshot here; the harness folds the shards into
+    /// one aggregate when the worker scope joins.
+    pub io: IoSnapshot,
 }
 
 impl ExperimentOutput {
@@ -75,41 +83,67 @@ pub type ExperimentEntry = (&'static str, &'static str, fn() -> ExperimentOutput
 /// Run every entry on a pool of `jobs` worker threads, returning
 /// `(output, elapsed_ms)` per entry **in input order**.
 ///
+/// Convenience wrapper over [`run_entries_sharded`] that discards the
+/// merged I/O aggregate.
+pub fn run_entries(entries: &[ExperimentEntry], jobs: usize) -> Vec<(ExperimentOutput, f64)> {
+    run_entries_sharded(entries, jobs).0
+}
+
+/// Run every entry on a pool of `jobs` worker threads, returning
+/// `(output, elapsed_ms)` per entry **in input order** plus the merged
+/// page-I/O aggregate across all figures.
+///
 /// Workers pull the next un-started figure from a shared cursor.  Every
 /// runner builds its own database and [`asr_pagesim::IoStats`] counter
-/// (the stats handle is an `Rc` and never crosses threads), so page
-/// accounting stays exact per figure; nothing is printed or written here,
-/// which keeps downstream emission deterministic regardless of `jobs`.
-pub fn run_entries(entries: &[ExperimentEntry], jobs: usize) -> Vec<(ExperimentOutput, f64)> {
+/// (the stats handle is an `Rc` and never crosses threads), so the hot
+/// counting path stays `Cell`-based with no atomics or locks.  Each
+/// worker folds the figures it ran into a private [`IoSnapshot`] shard;
+/// shards are merged into the shared aggregate exactly once per worker,
+/// under the mutex, when that worker exits — merging on scope join
+/// rather than per figure keeps lock traffic off the measurement path.
+/// Nothing is printed or written here, which keeps downstream emission
+/// deterministic regardless of `jobs`.
+pub fn run_entries_sharded(
+    entries: &[ExperimentEntry],
+    jobs: usize,
+) -> (Vec<(ExperimentOutput, f64)>, IoSnapshot) {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     use std::time::Instant;
 
     let cursor = AtomicUsize::new(0);
+    let aggregate = Mutex::new(IoSnapshot::default());
     let results: Vec<Mutex<Option<(ExperimentOutput, f64)>>> =
         entries.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..jobs.max(1).min(entries.len()) {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some((_, _, runner)) = entries.get(i) else {
-                    break;
-                };
-                let started = Instant::now();
-                let output = runner();
-                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-                *results[i].lock().expect("result slot poisoned") = Some((output, elapsed_ms));
+            s.spawn(|| {
+                let mut shard = IoSnapshot::default();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((_, _, runner)) = entries.get(i) else {
+                        break;
+                    };
+                    let started = Instant::now();
+                    let output = runner();
+                    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                    shard.merge(&output.io);
+                    *results[i].lock().expect("result slot poisoned") = Some((output, elapsed_ms));
+                }
+                aggregate.lock().expect("aggregate poisoned").merge(&shard);
             });
         }
     });
-    results
+    let outputs = results
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("result slot poisoned")
                 .expect("worker pool finished every figure")
         })
-        .collect()
+        .collect();
+    let io = *aggregate.lock().expect("aggregate poisoned");
+    (outputs, io)
 }
 
 /// The registry of all experiments.

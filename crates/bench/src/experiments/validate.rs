@@ -12,6 +12,7 @@
 
 use asr_core::{AsrConfig, Decomposition, Extension};
 use asr_costmodel::{profiles, CostModel, Dec, Ext, Mix, Op};
+use asr_pagesim::IoSnapshot;
 use asr_workload::{execute_trace, generate, generate_trace, scale_profile, GeneratorSpec};
 
 use crate::experiments::ExperimentOutput;
@@ -33,8 +34,12 @@ fn core_ext(ext: Ext) -> Extension {
 /// Run the experiment.
 pub fn run() -> ExperimentOutput {
     let mut out = ExperimentOutput::default();
-    out.push(validate_queries());
-    out.push(validate_updates());
+    let (table, io) = validate_queries();
+    out.push(table);
+    out.io.merge(&io);
+    let (table, io) = validate_updates();
+    out.push(table);
+    out.io.merge(&io);
     out.note(format!(
         "measurements on 1/{SCALE:.0}-scale databases; predictions from the model on the \
          same scaled profile — agreement is judged on ordering and rough magnitude"
@@ -43,7 +48,8 @@ pub fn run() -> ExperimentOutput {
 }
 
 /// Backward whole-chain query, every extension + no support.
-fn validate_queries() -> Table {
+fn validate_queries() -> (Table, IoSnapshot) {
+    let mut io = IoSnapshot::default();
     let scaled = scale_profile(&profiles::fig6_profile().profile, SCALE);
     let model = CostModel::new(scaled.clone());
     let n = model.n();
@@ -61,6 +67,7 @@ fn validate_queries() -> Table {
         let trace = generate_trace(&g, &mix, QUERY_COUNT, 2);
         let path = g.path.clone();
         let report = execute_trace(&mut g.db, None, &path, &trace);
+        io.merge(&g.db.stats().snapshot());
         let predicted = model.qnas_bw(0, n);
         table.row(vec![
             "no support".into(),
@@ -87,6 +94,7 @@ fn validate_queries() -> Table {
         g.db.stats().reset();
         let path = g.path.clone();
         let report = execute_trace(&mut g.db, Some(id), &path, &trace);
+        io.merge(&g.db.stats().snapshot());
         let predicted = model.qsup_bw(ext, 0, n, &Dec::binary(n));
         table.row(vec![
             format!("{} (binary)", ext.name()),
@@ -95,11 +103,12 @@ fn validate_queries() -> Table {
             format!("{:.2}", report.mean_cost() / predicted.max(1.0)),
         ]);
     }
-    table
+    (table, io)
 }
 
 /// `ins_3` updates, every extension.
-fn validate_updates() -> Table {
+fn validate_updates() -> (Table, IoSnapshot) {
+    let mut io = IoSnapshot::default();
     let scaled = scale_profile(&profiles::fig11_profile().profile, SCALE);
     let model = CostModel::new(scaled.clone());
     let spec = GeneratorSpec::from_profile(&scaled, 1.0);
@@ -126,6 +135,7 @@ fn validate_updates() -> Table {
         g.db.stats().reset();
         let path = g.path.clone();
         let report = execute_trace(&mut g.db, Some(id), &path, &trace);
+        io.merge(&g.db.stats().snapshot());
         g.db.asr(id)
             .unwrap()
             .check_consistency()
@@ -138,7 +148,7 @@ fn validate_updates() -> Table {
             format!("{:.2}", report.mean_cost() / predicted.max(1.0)),
         ]);
     }
-    table
+    (table, io)
 }
 
 #[cfg(test)]

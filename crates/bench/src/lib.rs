@@ -19,5 +19,6 @@
 pub mod experiments;
 pub mod recovery;
 pub mod table;
+pub mod trend;
 
 pub use table::Table;

@@ -1,0 +1,563 @@
+//! Performance-trend analysis over the repository's `BENCH_*.json`
+//! history — the first regression gate in CI.
+//!
+//! Every PR that re-measures performance appends a `BENCH_<n>.json`
+//! snapshot at the repository root.  This module parses the whole
+//! series with a small hand-rolled JSON reader (the workspace has no
+//! serde and takes no new dependencies), flattens every numeric leaf to
+//! a dotted path (`recovery.wal_replay.page_reads`,
+//! `pitr.points.2.pages_read`), prints the per-metric trajectory, and
+//! fails when a *deterministic* metric regresses past a tolerance.
+//!
+//! Only metrics whose values are decided by the modeled page-I/O layer
+//! are gated: page read/write counts, shipped bytes and pages, and the
+//! derived page ratios.  Wall-clock milliseconds and thread speedups
+//! vary with the host and are reported but never gated.  Snapshots are
+//! also allowed to *gain* metrics over time (the schema has grown from
+//! `asr-bench-snapshot/1` onward); a metric is judged against the most
+//! recent earlier snapshot that has it, and metrics seen only once pass
+//! trivially.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::table::Table;
+
+/// A parsed JSON value (just enough of the grammar for the snapshots).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (held as `f64`; snapshot values all fit).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in key order of first appearance.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse a complete JSON document, rejecting trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", char::from(ch), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err("unexpected end of input".to_string());
+    };
+    match b {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => Ok(Json::Str(parse_string(bytes, pos)?)),
+        b't' => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        b'n' => parse_literal(bytes, pos, "null", Json::Null),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(format!(
+            "unexpected byte '{}' at {}",
+            char::from(other),
+            *pos
+        )),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes[*pos] == b'-' {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape".to_string());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        *pos += 4;
+                        // Snapshots are ASCII; surrogate pairs are out of
+                        // scope — map unpaired surrogates to U+FFFD.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape '\\{}'", char::from(other))),
+                }
+            }
+            _ => {
+                // Copy the full UTF-8 sequence starting here.
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Flatten every numeric leaf to `(dotted.path, value)`, indexing array
+/// elements by position (`pitr.points.0.pages_read`).
+pub fn flatten(value: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &Json, prefix: String, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Json::Num(n) => {
+            out.insert(prefix, *n);
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                walk(item, join(&prefix, &i.to_string()), out);
+            }
+        }
+        Json::Obj(fields) => {
+            for (key, item) in fields {
+                walk(item, join(&prefix, key), out);
+            }
+        }
+        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+    }
+}
+
+fn join(prefix: &str, key: &str) -> String {
+    if prefix.is_empty() {
+        key.to_string()
+    } else {
+        format!("{prefix}.{key}")
+    }
+}
+
+/// One loaded snapshot: its file stem and flattened metrics.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `BENCH_<n>` (no extension).
+    pub name: String,
+    /// Ordering key parsed from the suffix.
+    pub index: u64,
+    /// Flattened numeric leaves.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Is this metric gated — deterministic under the modeled I/O layer,
+/// lower-is-better, so growth past tolerance is a real regression?
+///
+/// Wall-clock (`wall_ms`, `speedup_*`, `*_wall_ms`) and environment
+/// facts (`cpus`, `figures`, LSNs, op counts) are informational only.
+pub fn is_gated(path: &str) -> bool {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    matches!(
+        leaf,
+        "page_reads" | "page_writes" | "pages_read" | "pages" | "bytes_shipped" | "deliveries"
+    ) || leaf.ends_with("_page_ratio")
+}
+
+/// One gated metric that grew past tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted metric path.
+    pub metric: String,
+    /// Snapshot the baseline came from.
+    pub baseline_snapshot: String,
+    /// Baseline value (most recent earlier snapshot with the metric).
+    pub baseline: f64,
+    /// Value in the newest snapshot.
+    pub current: f64,
+}
+
+/// The full trend analysis: trajectory table plus gate verdict.
+#[derive(Debug)]
+pub struct TrendReport {
+    /// Snapshots in series order.
+    pub snapshots: Vec<String>,
+    /// Per-metric trajectory (every numeric leaf seen anywhere).
+    pub table: Table,
+    /// Gated metrics that regressed in the newest snapshot.
+    pub regressions: Vec<Regression>,
+}
+
+impl TrendReport {
+    /// Render the table plus one line per regression.
+    pub fn render(&self, tolerance: f64) -> String {
+        let mut out = self.table.render();
+        if self.regressions.is_empty() {
+            let _ = writeln!(
+                out,
+                "trend gate: OK — no gated metric grew more than {:.0}% over its baseline",
+                tolerance * 100.0
+            );
+        } else {
+            for r in &self.regressions {
+                let _ = writeln!(
+                    out,
+                    "trend gate: REGRESSION {} rose {} -> {} ({:+.1}% vs {}, tolerance {:.0}%)",
+                    r.metric,
+                    fmt_value(r.baseline),
+                    fmt_value(r.current),
+                    (r.current / r.baseline - 1.0) * 100.0,
+                    r.baseline_snapshot,
+                    tolerance * 100.0
+                );
+            }
+        }
+        out
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Load every `BENCH_<n>.json` under `dir`, sorted by `<n>`.
+pub fn load_snapshots(dir: &Path) -> Result<Vec<Snapshot>, String> {
+    let mut files: Vec<(u64, PathBuf, String)> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name.strip_suffix(".json") else {
+            continue;
+        };
+        let Some(n) = stem.strip_prefix("BENCH_") else {
+            continue;
+        };
+        let Ok(index) = n.parse::<u64>() else {
+            continue;
+        };
+        files.push((index, path.clone(), stem.to_string()));
+    }
+    files.sort_by_key(|(i, _, _)| *i);
+    let mut snapshots = Vec::new();
+    for (index, path, name) in files {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let value = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        snapshots.push(Snapshot {
+            name,
+            index,
+            metrics: flatten(&value),
+        });
+    }
+    Ok(snapshots)
+}
+
+/// Analyze a loaded series: build the trajectory table and run the gate
+/// on the newest snapshot.
+pub fn analyze(snapshots: &[Snapshot], tolerance: f64) -> Result<TrendReport, String> {
+    if snapshots.is_empty() {
+        return Err("no BENCH_*.json snapshots found".to_string());
+    }
+    let names: Vec<String> = snapshots.iter().map(|s| s.name.clone()).collect();
+
+    let mut all_metrics: Vec<&str> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for snap in snapshots {
+        for key in snap.metrics.keys() {
+            if seen.insert(key.as_str()) {
+                all_metrics.push(key);
+            }
+        }
+    }
+    all_metrics.sort_unstable();
+
+    let mut header: Vec<&str> = vec!["metric", "gate"];
+    header.extend(names.iter().map(String::as_str));
+    let mut table = Table::new("perf trend across bench snapshots", &header);
+    for metric in &all_metrics {
+        let mut row = vec![
+            metric.to_string(),
+            if is_gated(metric) { "*" } else { "" }.to_string(),
+        ];
+        for snap in snapshots {
+            row.push(
+                snap.metrics
+                    .get(*metric)
+                    .map_or_else(|| "-".to_string(), |v| fmt_value(*v)),
+            );
+        }
+        table.row(row);
+    }
+
+    let mut regressions = Vec::new();
+    let (newest, history) = snapshots.split_last().expect("non-empty checked above");
+    for (metric, &current) in &newest.metrics {
+        if !is_gated(metric) {
+            continue;
+        }
+        let Some((base_snap, baseline)) = history
+            .iter()
+            .rev()
+            .find_map(|s| s.metrics.get(metric).map(|v| (s.name.clone(), *v)))
+        else {
+            continue; // first appearance — nothing to compare against
+        };
+        // Allow an absolute slack of 1 page/unit so tiny counts (0, 1, 2
+        // pages) don't trip a percentage gate on noise-free but coarse
+        // integers.
+        let allowed = (baseline * (1.0 + tolerance)).max(baseline + 1.0);
+        if current > allowed {
+            regressions.push(Regression {
+                metric: metric.clone(),
+                baseline_snapshot: base_snap,
+                baseline,
+                current,
+            });
+        }
+    }
+    regressions.sort_by(|a, b| a.metric.cmp(&b.metric));
+
+    Ok(TrendReport {
+        snapshots: names,
+        table,
+        regressions,
+    })
+}
+
+/// Convenience: load + analyze in one call.
+pub fn run_trend(dir: &Path, tolerance: f64) -> Result<TrendReport, String> {
+    let snapshots = load_snapshots(dir)?;
+    analyze(&snapshots, tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(name: &str, index: u64, metrics: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            name: name.to_string(),
+            index,
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn parser_handles_the_snapshot_grammar() {
+        let doc = r#"{
+            "schema": "asr-bench-snapshot/4",
+            "neg": -2.5e1,
+            "arr": [1, {"x": 2}, null, true, "s"],
+            "esc": "a\"b\\c\nA"
+        }"#;
+        let v = parse_json(doc).expect("parses");
+        let flat = flatten(&v);
+        assert_eq!(flat.get("neg"), Some(&-25.0));
+        assert_eq!(flat.get("arr.0"), Some(&1.0));
+        assert_eq!(flat.get("arr.1.x"), Some(&2.0));
+        match v {
+            Json::Obj(fields) => {
+                assert_eq!(
+                    fields.iter().find(|(k, _)| k == "esc").map(|(_, v)| v),
+                    Some(&Json::Str("a\"b\\c\nA".to_string()))
+                );
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage_and_truncation() {
+        assert!(parse_json("{\"a\": 1} x").is_err());
+        assert!(parse_json("{\"a\": ").is_err());
+        assert!(parse_json("[1, 2").is_err());
+    }
+
+    #[test]
+    fn gate_ignores_wall_clock_and_flags_page_growth() {
+        let history = vec![
+            snap(
+                "BENCH_1",
+                1,
+                &[
+                    ("figures.fig6.wall_ms", 10.0),
+                    ("figures.fig6.measured.page_reads", 100.0),
+                ],
+            ),
+            snap(
+                "BENCH_2",
+                2,
+                &[
+                    ("figures.fig6.wall_ms", 500.0), // wall-clock: never gated
+                    ("figures.fig6.measured.page_reads", 130.0),
+                ],
+            ),
+        ];
+        let report = analyze(&history, 0.10).expect("analyzes");
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert_eq!(r.metric, "figures.fig6.measured.page_reads");
+        assert_eq!(r.baseline, 100.0);
+        assert_eq!(r.current, 130.0);
+    }
+
+    #[test]
+    fn gate_tolerates_small_absolute_growth_and_new_metrics() {
+        let history = vec![
+            snap("BENCH_1", 1, &[("replication.catchup.pages", 1.0)]),
+            snap(
+                "BENCH_2",
+                2,
+                &[
+                    ("replication.catchup.pages", 2.0), // +1 page: within slack
+                    ("recovery.full_rebuild.page_reads", 700.0), // new metric
+                ],
+            ),
+        ];
+        let report = analyze(&history, 0.10).expect("analyzes");
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn baseline_is_the_most_recent_snapshot_with_the_metric() {
+        let history = vec![
+            snap("BENCH_1", 1, &[("a.page_reads", 100.0)]),
+            snap("BENCH_2", 2, &[]), // metric absent (schema gap)
+            snap("BENCH_3", 3, &[("a.page_reads", 200.0)]),
+        ];
+        let report = analyze(&history, 0.10).expect("analyzes");
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].baseline_snapshot, "BENCH_1");
+    }
+
+    #[test]
+    fn repository_history_parses_and_passes() {
+        // The real series committed at the repo root must stay green.
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = run_trend(&dir, 0.10).expect("history loads");
+        assert!(report.snapshots.len() >= 4, "{:?}", report.snapshots);
+        assert!(
+            report.regressions.is_empty(),
+            "committed history must not regress: {:?}",
+            report.regressions
+        );
+    }
+}

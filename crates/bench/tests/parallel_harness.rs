@@ -2,7 +2,7 @@
 //! optimization: running figures on worker threads may not change a
 //! single byte of what they produce.
 
-use asr_bench::experiments::{registry, run_entries, ExperimentEntry};
+use asr_bench::experiments::{registry, run_entries, run_entries_sharded, ExperimentEntry};
 
 /// Render every table and note of a run into one comparable string —
 /// the same data `emit` prints and `save_csv` writes.
@@ -38,5 +38,26 @@ fn jobs4_output_is_byte_identical_to_jobs1() {
         fingerprint(&sequential),
         fingerprint(&parallel),
         "worker threads must not change any table or note"
+    );
+}
+
+#[test]
+fn sharded_io_aggregate_is_independent_of_jobs() {
+    // `validate` and `ablation` are the entries that drive the real
+    // engine; each worker folds its figures' I/O into a private shard
+    // merged on scope join, so the aggregate must be exact and identical
+    // whether one worker runs both or two workers race for them.
+    let subset: Vec<ExperimentEntry> = registry()
+        .into_iter()
+        .filter(|(id, _, _)| matches!(*id, "ablation"))
+        .collect();
+    assert_eq!(subset.len(), 1);
+
+    let (_, io_seq) = run_entries_sharded(&subset, 1);
+    let (_, io_par) = run_entries_sharded(&subset, 4);
+    assert!(io_seq.accesses() > 0, "ablation performs real page I/O");
+    assert_eq!(
+        io_seq, io_par,
+        "shard merging must reconstruct the exact sequential totals"
     );
 }

@@ -1,0 +1,80 @@
+//! The perf-trend gate must actually gate: a synthetic regression in a
+//! deterministic metric has to turn into a non-empty regression list
+//! (and a non-zero exit in CI), while wall-clock noise must not.
+
+use std::fs;
+use std::path::PathBuf;
+
+use asr_bench::trend::{run_trend, Regression};
+
+/// A scratch directory that cleans up after itself.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("asr-trend-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn write_snapshot(dir: &Scratch, n: u32, page_reads: u64, wall_ms: f64) {
+    let body = format!(
+        "{{\n  \"schema\": \"asr-bench-snapshot/5\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+         \"wall_ms\": {wall_ms:.1},\n      \"measured\": {{ \"page_reads\": {page_reads}, \
+         \"page_writes\": 0 }}\n    }}\n  }}\n}}\n"
+    );
+    fs::write(dir.0.join(format!("BENCH_{n}.json")), body).expect("write snapshot");
+}
+
+#[test]
+fn synthetic_regression_fails_the_gate() {
+    let dir = Scratch::new("neg");
+    write_snapshot(&dir, 1, 100, 10.0);
+    write_snapshot(&dir, 2, 100, 12.0);
+    write_snapshot(&dir, 3, 150, 11.0); // +50% page reads: a real regression
+
+    let report = run_trend(&dir.0, 0.10).expect("series loads");
+    assert_eq!(report.snapshots, vec!["BENCH_1", "BENCH_2", "BENCH_3"]);
+    let [Regression {
+        metric,
+        baseline_snapshot,
+        baseline,
+        current,
+    }] = report.regressions.as_slice()
+    else {
+        panic!(
+            "expected exactly one regression, got {:?}",
+            report.regressions
+        );
+    };
+    assert_eq!(metric, "figures.fig6.measured.page_reads");
+    assert_eq!(baseline_snapshot, "BENCH_2");
+    assert_eq!((*baseline, *current), (100.0, 150.0));
+    let rendered = report.render(0.10);
+    assert!(rendered.contains("REGRESSION"), "{rendered}");
+}
+
+#[test]
+fn wall_clock_noise_and_flat_history_pass_the_gate() {
+    let dir = Scratch::new("pos");
+    write_snapshot(&dir, 1, 100, 10.0);
+    write_snapshot(&dir, 2, 100, 500.0); // 50x slower wall-clock: not gated
+    write_snapshot(&dir, 3, 90, 11.0); // page reads improved
+
+    let report = run_trend(&dir.0, 0.10).expect("series loads");
+    assert!(
+        report.regressions.is_empty(),
+        "nothing deterministic regressed: {:?}",
+        report.regressions
+    );
+    let rendered = report.render(0.10);
+    assert!(rendered.contains("trend gate: OK"), "{rendered}");
+}

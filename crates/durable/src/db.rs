@@ -59,9 +59,11 @@
 use std::collections::BTreeMap;
 use std::ops::Deref;
 use std::path::Path;
+use std::rc::Rc;
 
 use asr_core::{AsrConfig, AsrId, AsrLoadMode, Database, Decomposition, Extension};
 use asr_gom::{Oid, Value};
+use asr_obs::FlightRecorder;
 use asr_pagesim::{StructureId, StructureKind, PAGE_SIZE};
 
 use crate::crc::crc32;
@@ -91,6 +93,11 @@ const SEG_STRUCTURE: &str = "wal.segments";
 /// [`DurableDatabase::set_segment_threshold`].
 pub const DEFAULT_SEGMENT_THRESHOLD: usize = 64 * 1024;
 
+/// How many flight-recorder events failure paths attach to their report
+/// or error message ([`RecoveryReport::flight_tail`], the
+/// [`DurableError::ReplicationStalled`] text).
+pub const FLIGHT_TAIL_EVENTS: usize = 12;
+
 /// What [`DurableDatabase::open`] did to bring the database back.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -114,6 +121,11 @@ pub struct RecoveryReport {
     /// How each ASR came back from the checkpoint, in id order —
     /// physically adopted page images (`ASRDB 2`) or a rebuild.
     pub asr_load_modes: Vec<(AsrId, AsrLoadMode)>,
+    /// The flight recorder's last events when recovery finished, compact
+    /// one-line summaries oldest first.  When the session's recorder was
+    /// shared with a fault injector (the crash-recovery harness does
+    /// this), the tail names the injected fault that forced recovery.
+    pub flight_tail: Vec<String>,
 }
 
 /// Point-in-time WAL status (what `\wal status` prints).
@@ -194,6 +206,9 @@ pub struct DurableDatabase<S: Storage> {
     /// when the file is empty) — the `first_lsn` a seal would record.
     active_first_lsn: u64,
     segment_threshold: usize,
+    /// Black-box recorder subscribed to the database's tracer; failure
+    /// paths read their last-N-events tail from here.
+    flightrec: Rc<FlightRecorder>,
 }
 
 fn pages(bytes: usize) -> u64 {
@@ -219,6 +234,8 @@ impl<S: Storage> DurableDatabase<S> {
                 "manifest present; use open() instead".into(),
             ));
         }
+        let flightrec = FlightRecorder::shared();
+        db.tracer().add_sink(flightrec.clone());
         let mut this = DurableDatabase {
             wal_sid: db.stats().register_structure(StructureKind::Wal, WAL_FILE),
             ckpt_sid: db
@@ -236,6 +253,7 @@ impl<S: Storage> DurableDatabase<S> {
             manifest: SegmentManifest::default(),
             active_first_lsn: 1,
             segment_threshold: DEFAULT_SEGMENT_THRESHOLD,
+            flightrec,
         };
         this.checkpoint()?;
         Ok(this)
@@ -249,8 +267,21 @@ impl<S: Storage> DurableDatabase<S> {
     }
 
     /// [`Self::open`] with an explicit flush policy for the new session.
-    pub fn open_with(mut storage: S, policy: FlushPolicy) -> Result<Self> {
-        let r = Self::recover(&mut storage, policy)?;
+    pub fn open_with(storage: S, policy: FlushPolicy) -> Result<Self> {
+        Self::open_with_recorder(storage, policy, FlightRecorder::shared())
+    }
+
+    /// [`Self::open_with`] recovering into a caller-supplied flight
+    /// recorder.  The crash-recovery harness shares one recorder between
+    /// a [`crate::FaultyStorage`] and the reopening database, so the
+    /// recovery report's [`RecoveryReport::flight_tail`] names the
+    /// injected fault alongside the recovery phases it forced.
+    pub fn open_with_recorder(
+        mut storage: S,
+        policy: FlushPolicy,
+        flightrec: Rc<FlightRecorder>,
+    ) -> Result<Self> {
+        let r = Self::recover(&mut storage, policy, &flightrec)?;
         let mut this = DurableDatabase {
             db: r.db,
             storage,
@@ -264,6 +295,7 @@ impl<S: Storage> DurableDatabase<S> {
             manifest: r.manifest,
             active_first_lsn: r.active_first_lsn,
             segment_threshold: DEFAULT_SEGMENT_THRESHOLD,
+            flightrec,
         };
         if r.ids_remapped {
             // Replay translated ASR ids (dropped slots were compacted by
@@ -275,7 +307,11 @@ impl<S: Storage> DurableDatabase<S> {
         Ok(this)
     }
 
-    fn recover(storage: &mut S, policy: FlushPolicy) -> Result<Recovered> {
+    fn recover(
+        storage: &mut S,
+        policy: FlushPolicy,
+        flightrec: &Rc<FlightRecorder>,
+    ) -> Result<Recovered> {
         // Manifest: the existence + version check.  Every recovery-side
         // read is stabilized — a single read can be transiently mangled
         // in flight, and recovery acting on it (truncating, re-writing)
@@ -305,6 +341,18 @@ impl<S: Storage> DurableDatabase<S> {
             asr_load_modes,
         } = parsed;
 
+        // The tracer only exists once the checkpoint-built database does,
+        // so the black box attaches here and the checkpoint load itself
+        // is recorded as an after-the-fact event rather than a span.
+        db.tracer().add_sink(flightrec.clone());
+        db.tracer().event(
+            "recovery.checkpoint_loaded",
+            &[
+                ("lsn", checkpoint_lsn.to_string()),
+                ("pages", checkpoint_pages_read.to_string()),
+            ],
+        );
+
         // Sealed segments first (rotation/checkpoint crash windows can
         // leave records both sealed and still in `wal.log`; the LSN
         // cursor skips duplicates), then the active log under the
@@ -312,6 +360,7 @@ impl<S: Storage> DurableDatabase<S> {
         let seg_manifest = SegmentManifest::load(storage)?;
         let mut cursor = ReplayCursor::new(checkpoint_lsn);
         let mut seg_pages_read = 0u64;
+        let mut seg_span = db.tracer().span("recovery.segment_replay");
         for seg in &seg_manifest.segments {
             if seg.last_lsn <= checkpoint_lsn {
                 continue; // fully covered; prunable, not needed
@@ -334,17 +383,44 @@ impl<S: Storage> DurableDatabase<S> {
                     seg.file_name()
                 )));
             }
+            db.tracer().event(
+                "recovery.segment_replayed",
+                &[
+                    ("seqno", seg.seqno.to_string()),
+                    ("first_lsn", seg.first_lsn.to_string()),
+                    ("last_lsn", seg.last_lsn.to_string()),
+                ],
+            );
             cursor.apply(&mut db, &scan.records, &mut asr_remap, u64::MAX)?;
         }
+        let seg_replayed = cursor.replayed;
+        seg_span.add_attr("replayed", seg_replayed.to_string());
+        seg_span.finish();
 
         let wal_bytes = read_stable(storage, WAL_FILE, READ_RETRIES)?.unwrap_or_default();
         let wal_pages_read = pages(wal_bytes.len());
+        let mut wal_span = db.tracer().span("recovery.wal_replay");
         let scan = scan_wal(&wal_bytes)?;
         if scan.torn_bytes > 0 {
+            db.tracer().event(
+                "recovery.torn_tail",
+                &[
+                    (
+                        "reason",
+                        scan.torn_reason
+                            .map_or("unknown", |r| r.label())
+                            .to_string(),
+                    ),
+                    ("bytes", scan.torn_bytes.to_string()),
+                ],
+            );
             // Truncate the garbage so future appends extend a valid log.
             storage.write_atomic(WAL_FILE, &wal_bytes[..scan.valid_bytes])?;
         }
         cursor.apply(&mut db, &scan.records, &mut asr_remap, u64::MAX)?;
+        wal_span.add_attr("replayed", (cursor.replayed - seg_replayed).to_string());
+        wal_span.add_attr("skipped", cursor.skipped.to_string());
+        wal_span.finish();
         let active_first_lsn = scan.records.first().map_or(cursor.tip + 1, |r| r.lsn);
 
         let report = RecoveryReport {
@@ -356,6 +432,7 @@ impl<S: Storage> DurableDatabase<S> {
             checkpoint_pages_read,
             wal_pages_read: wal_pages_read + seg_pages_read,
             asr_load_modes,
+            flight_tail: flightrec.tail_summaries(FLIGHT_TAIL_EVENTS),
         };
         // Surface recovery through the freshly-built database's
         // observability layer (page reads + metrics counters).
@@ -398,6 +475,16 @@ impl<S: Storage> DurableDatabase<S> {
     /// for a freshly created database).
     pub fn recovery_report(&self) -> &RecoveryReport {
         &self.report
+    }
+
+    /// The black-box recorder subscribed to this database's tracer.
+    /// Holds the last [`FlightRecorder::capacity`] spans/events; failure
+    /// paths ([`crate::ship::replicate`] stalls, recovery reports) embed
+    /// its tail.  Share it with a [`crate::FaultyChannel`] /
+    /// [`crate::FaultyStorage`] so injected faults land in the same
+    /// timeline.
+    pub fn flight_recorder(&self) -> &Rc<FlightRecorder> {
+        &self.flightrec
     }
 
     /// Give up durability and keep the in-memory database.
@@ -455,10 +542,12 @@ impl<S: Storage> DurableDatabase<S> {
     /// Force buffered records to storage.
     pub fn flush(&mut self) -> Result<()> {
         self.check_alive()?;
+        let span = self.db.tracer().span("wal.flush");
         let before = self.wal.durable_bytes();
         let res = self.wal.flush(&mut self.storage);
         self.note_log_growth(before);
         self.poison_on_err(res)?;
+        span.finish();
         self.maybe_rotate()
     }
 
@@ -475,6 +564,7 @@ impl<S: Storage> DurableDatabase<S> {
     /// history is missing.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.check_alive()?;
+        let mut span = self.db.tracer().span("wal.checkpoint");
         let before = self.wal.durable_bytes();
         let res = self.wal.flush(&mut self.storage);
         self.note_log_growth(before);
@@ -519,6 +609,9 @@ impl<S: Storage> DurableDatabase<S> {
         metrics.set_gauge("wal.checkpoint_lsn", lsn as f64);
         metrics.set_gauge("wal.segments.count", self.manifest.segments.len() as f64);
         metrics.set_gauge("wal.segments.bytes", self.manifest.archived_bytes() as f64);
+        span.add_attr("lsn", lsn.to_string());
+        span.add_attr("bytes", snap.len().to_string());
+        span.finish();
         Ok(())
     }
 
@@ -527,6 +620,7 @@ impl<S: Storage> DurableDatabase<S> {
     /// when the log holds no records.
     pub fn rotate_segment(&mut self) -> Result<Option<SegmentMeta>> {
         self.check_alive()?;
+        let mut span = self.db.tracer().span("wal.rotate");
         let before = self.wal.durable_bytes();
         let res = self.wal.flush(&mut self.storage);
         self.note_log_growth(before);
@@ -545,6 +639,10 @@ impl<S: Storage> DurableDatabase<S> {
         metrics.inc_counter("wal.segments.sealed", 1);
         metrics.set_gauge("wal.segments.count", self.manifest.segments.len() as f64);
         metrics.set_gauge("wal.segments.bytes", self.manifest.archived_bytes() as f64);
+        span.add_attr("seqno", meta.seqno.to_string());
+        span.add_attr("first_lsn", meta.first_lsn.to_string());
+        span.add_attr("last_lsn", meta.last_lsn.to_string());
+        span.finish();
         Ok(Some(meta))
     }
 
@@ -555,6 +653,7 @@ impl<S: Storage> DurableDatabase<S> {
     /// [`DurableError::PitrUnavailable`] for pruned bounds).
     pub fn prune_segments(&mut self) -> Result<PruneReport> {
         self.check_alive()?;
+        let mut span = self.db.tracer().span("wal.prune");
         let keep_lsn = self.checkpoint_lsn;
         let pruned: Vec<SegmentMeta> = self
             .manifest
@@ -599,6 +698,9 @@ impl<S: Storage> DurableDatabase<S> {
         metrics.inc_counter("wal.segments.pruned", report.segments_removed);
         metrics.set_gauge("wal.segments.count", self.manifest.segments.len() as f64);
         metrics.set_gauge("wal.segments.bytes", self.manifest.archived_bytes() as f64);
+        span.add_attr("segments_removed", report.segments_removed.to_string());
+        span.add_attr("bytes_reclaimed", report.bytes_reclaimed.to_string());
+        span.finish();
         Ok(report)
     }
 
@@ -813,11 +915,14 @@ impl<S: Storage> DurableDatabase<S> {
     /// attributing modeled page writes to the log's tail pages (group
     /// commit writes the shared tail page once, not once per record).
     fn log(&mut self, op: LogOp) -> Result<()> {
+        let mut span = self.db.tracer().span("wal.append");
         let before = self.wal.durable_bytes();
         let res = self.wal.append(&mut self.storage, op);
         self.note_log_growth(before);
         self.poison_on_err(res)?;
         self.db.tracer().metrics().inc_counter("wal.records", 1);
+        span.add_attr("lsn", self.wal.last_lsn().to_string());
+        span.finish();
         self.maybe_rotate()
     }
 

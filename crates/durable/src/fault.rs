@@ -19,6 +19,9 @@
 //! underlying storage without the wrapper.
 
 use std::cell::Cell;
+use std::rc::Rc;
+
+use asr_obs::FlightRecorder;
 
 use crate::error::{DurableError, Result};
 use crate::storage::Storage;
@@ -104,6 +107,7 @@ pub struct FaultyStorage<S: Storage> {
     reads_seen: Cell<usize>,
     read_flip_spent: Cell<bool>,
     dead: bool,
+    recorder: Option<Rc<FlightRecorder>>,
 }
 
 impl<S: Storage> FaultyStorage<S> {
@@ -117,6 +121,30 @@ impl<S: Storage> FaultyStorage<S> {
             reads_seen: Cell::new(0),
             read_flip_spent: Cell::new(false),
             dead: false,
+            recorder: None,
+        }
+    }
+
+    /// Record every injected fault as a typed event in `recorder`.
+    ///
+    /// The injector writes to the black box directly (it sits *below*
+    /// the database, which may not exist yet when a fault fires during
+    /// open); sharing the recorder that a later
+    /// [`crate::DurableDatabase::open_with_recorder`] recovers into puts
+    /// the fault and the recovery it forced on one timeline.
+    pub fn set_recorder(&mut self, recorder: Rc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Builder form of [`Self::set_recorder`].
+    pub fn with_recorder(mut self, recorder: Rc<FlightRecorder>) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    fn note(&self, name: &str, attrs: &[(&str, String)]) {
+        if let Some(recorder) = &self.recorder {
+            recorder.note(name, attrs);
         }
     }
 
@@ -168,6 +196,15 @@ impl<S: Storage> Storage for FaultyStorage<S> {
         if let Some(flip) = self.plan.flip_read {
             if flip.nth == n && !self.read_flip_spent.get() {
                 self.read_flip_spent.set(true);
+                self.note(
+                    "fault.read_flip",
+                    &[
+                        ("file", name.to_string()),
+                        ("nth", n.to_string()),
+                        ("byte", flip.byte.to_string()),
+                        ("bit", flip.bit.to_string()),
+                    ],
+                );
                 if let Some(data) = out.as_mut() {
                     if !data.is_empty() {
                         let byte = flip.byte.min(data.len() - 1);
@@ -187,6 +224,10 @@ impl<S: Storage> Storage for FaultyStorage<S> {
             // Rename-based atomic replacement: a crash before the rename
             // leaves the previous content untouched.
             self.dead = true;
+            self.note(
+                "fault.crash.atomic_write",
+                &[("file", name.to_string()), ("nth", n.to_string())],
+            );
             return Err(DurableError::InjectedCrash);
         }
         self.inner.write_atomic(name, data)
@@ -199,6 +240,20 @@ impl<S: Storage> Storage for FaultyStorage<S> {
         if self.plan.crash_after_appends == Some(n) {
             self.dead = true;
             let keep = self.plan.torn_keep_bytes.min(data.len());
+            self.note(
+                "fault.crash.append",
+                &[
+                    ("file", name.to_string()),
+                    ("nth", n.to_string()),
+                    ("torn_keep", keep.to_string()),
+                    (
+                        "flip",
+                        self.plan
+                            .flip
+                            .map_or("none".to_string(), |f| format!("{}:{}", f.byte, f.bit)),
+                    ),
+                ],
+            );
             if keep > 0 {
                 let mut prefix = data[..keep].to_vec();
                 if let Some(flip) = self.plan.flip {
@@ -307,6 +362,46 @@ mod tests {
         // two consecutive reads agree — and they agree on clean bytes.
         assert_eq!(read_stable(&s, "wal", 4).unwrap().unwrap(), b"hello");
         assert_eq!(read_stable(&s, "missing", 4).unwrap(), None);
+    }
+
+    #[test]
+    fn injected_faults_land_in_the_flight_recorder() {
+        let rec = Rc::new(FlightRecorder::new(16));
+        let plan = FaultPlan {
+            crash_after_appends: Some(1),
+            torn_keep_bytes: 2,
+            flip: Some(BitFlip { byte: 0, bit: 1 }),
+            flip_read: Some(ReadFlip {
+                nth: 0,
+                byte: 3,
+                bit: 7,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut s = FaultyStorage::new(MemStorage::new(), plan).with_recorder(rec.clone());
+        s.append("wal.log", b"first").unwrap();
+        let _ = s.read("wal.log").unwrap();
+        assert!(s.append("wal.log", b"second").is_err());
+        let tail = rec.tail_summaries(10);
+        assert_eq!(tail.len(), 2, "one event per injected fault: {tail:?}");
+        assert!(tail[0].contains("fault.read_flip"), "{tail:?}");
+        assert!(tail[0].contains("nth=0"), "{tail:?}");
+        assert!(tail[1].contains("fault.crash.append"), "{tail:?}");
+        assert!(
+            tail[1].contains("torn_keep=2") && tail[1].contains("flip=0:1"),
+            "{tail:?}"
+        );
+
+        let mut s2 = FaultyStorage::new(
+            MemStorage::new(),
+            FaultPlan {
+                crash_on_atomic_write: Some(0),
+                ..FaultPlan::default()
+            },
+        );
+        s2.set_recorder(rec.clone());
+        assert!(s2.write_atomic("snap", b"v").is_err());
+        assert!(rec.tail_summaries(1)[0].contains("fault.crash.atomic_write"));
     }
 
     #[test]

@@ -170,11 +170,19 @@ impl ReplicaApplier {
             ShipMessage::Segment { frames, .. } | ShipMessage::Frames(frames) => {
                 let Some(db) = self.db.as_mut() else {
                     // Frames before any checkpoint: can't apply anything.
+                    // (No database yet means no tracer to record the NACK
+                    // on — the shipping pump records it on the primary.)
                     self.status.gaps += 1;
                     return Ok(OfferOutcome::Gap { have: 0, got: 0 });
                 };
+                // The replica records its side of the round on its own
+                // tracer; an early NACK return drops the span, which
+                // still finalizes with whatever was applied so far.
+                let mut span = db.tracer().span("replica.apply");
                 let Ok(scan) = scan_wal(&frames) else {
                     self.status.corrupt += 1;
+                    db.tracer()
+                        .event("replica.nack", &[("kind", "corrupt".to_string())]);
                     return Ok(OfferOutcome::Corrupt);
                 };
                 if scan.torn_bytes > 0 {
@@ -183,6 +191,8 @@ impl ReplicaApplier {
                     // way the envelope CRC did not cover (it did — but
                     // stay defensive).
                     self.status.corrupt += 1;
+                    db.tracer()
+                        .event("replica.nack", &[("kind", "corrupt".to_string())]);
                     return Ok(OfferOutcome::Corrupt);
                 }
                 let mut applied = 0u64;
@@ -192,6 +202,14 @@ impl ReplicaApplier {
                     }
                     if rec.lsn != self.applied_lsn + 1 {
                         self.status.gaps += 1;
+                        db.tracer().event(
+                            "replica.nack",
+                            &[
+                                ("kind", "gap".to_string()),
+                                ("have", self.applied_lsn.to_string()),
+                                ("got", rec.lsn.to_string()),
+                            ],
+                        );
                         return Ok(OfferOutcome::Gap {
                             have: self.applied_lsn,
                             got: rec.lsn,
@@ -202,6 +220,8 @@ impl ReplicaApplier {
                     applied += 1;
                 }
                 self.status.records_applied += applied;
+                span.add_attr("applied", applied.to_string());
+                span.finish();
                 if applied == 0 {
                     self.status.duplicates += 1;
                     OfferOutcome::Duplicate

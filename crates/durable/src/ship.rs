@@ -42,8 +42,11 @@
 //! wall-clock flakiness.
 
 use std::collections::VecDeque;
+use std::rc::Rc;
 
-use crate::db::{DurableDatabase, CHECKPOINT_FILE, WAL_FILE};
+use asr_obs::FlightRecorder;
+
+use crate::db::{DurableDatabase, CHECKPOINT_FILE, FLIGHT_TAIL_EVENTS, WAL_FILE};
 use crate::error::{DurableError, Result};
 use crate::replica::{OfferOutcome, ReplicaApplier};
 use crate::segment::{SegmentManifest, READ_RETRIES};
@@ -270,6 +273,7 @@ pub struct FaultyChannel {
     rng: SplitMix64,
     profile: ChaosProfile,
     stats: ChannelStats,
+    recorder: Option<Rc<FlightRecorder>>,
 }
 
 impl FaultyChannel {
@@ -280,7 +284,24 @@ impl FaultyChannel {
             rng: SplitMix64(seed),
             profile,
             stats: ChannelStats::default(),
+            recorder: None,
         }
+    }
+
+    /// Record every injected fault as a typed `chaos.*` event in
+    /// `recorder`.  Wiring in the primary's
+    /// [`DurableDatabase::flight_recorder`] puts channel damage on the
+    /// same timeline as the shipping rounds it disturbs — a
+    /// [`DurableError::ReplicationStalled`] tail then names the faults
+    /// that starved the replica.
+    pub fn set_recorder(&mut self, recorder: Rc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Builder form of [`Self::set_recorder`].
+    pub fn with_recorder(mut self, recorder: Rc<FlightRecorder>) -> Self {
+        self.set_recorder(recorder);
+        self
     }
 
     /// Delivery accounting so far.
@@ -296,37 +317,70 @@ impl FaultyChannel {
     fn roll(&mut self, pct: u8) -> bool {
         (self.rng.next() % 100) < u64::from(pct.min(100))
     }
+
+    fn note(&self, name: &str, attrs: &[(&str, String)]) {
+        if let Some(recorder) = &self.recorder {
+            recorder.note(name, attrs);
+        }
+    }
 }
 
 impl Channel for FaultyChannel {
     fn send(&mut self, mut delivery: Vec<u8>) {
         self.stats.sent += 1;
+        let delivery_no = self.stats.sent;
+        let delivery_attr = |n: u64| [("delivery", n.to_string())];
         if self.roll(self.profile.drop_pct) {
             self.stats.dropped += 1;
+            self.note("chaos.drop", &delivery_attr(delivery_no));
             return;
         }
         if self.roll(self.profile.truncate_pct) && !delivery.is_empty() {
             let keep = (self.rng.next() as usize) % delivery.len();
+            let lost = delivery.len() - keep;
             delivery.truncate(keep);
             self.stats.truncated += 1;
+            self.note(
+                "chaos.truncate",
+                &[
+                    ("delivery", delivery_no.to_string()),
+                    ("bytes_lost", lost.to_string()),
+                ],
+            );
         }
         if self.roll(self.profile.flip_pct) && !delivery.is_empty() {
             let byte = (self.rng.next() as usize) % delivery.len();
             let bit = (self.rng.next() % 8) as u8;
             delivery[byte] ^= 1 << bit;
             self.stats.flipped += 1;
+            self.note(
+                "chaos.flip",
+                &[
+                    ("delivery", delivery_no.to_string()),
+                    ("byte", byte.to_string()),
+                    ("bit", bit.to_string()),
+                ],
+            );
         }
         let dup = self.roll(self.profile.dup_pct);
         if self.roll(self.profile.reorder_pct) && !self.queue.is_empty() {
             let at = (self.rng.next() as usize) % self.queue.len();
             self.queue.insert(at, delivery.clone());
             self.stats.reordered += 1;
+            self.note(
+                "chaos.reorder",
+                &[
+                    ("delivery", delivery_no.to_string()),
+                    ("at", at.to_string()),
+                ],
+            );
         } else {
             self.queue.push_back(delivery.clone());
         }
         if dup {
             self.queue.push_back(delivery);
             self.stats.duplicated += 1;
+            self.note("chaos.dup", &delivery_attr(delivery_no));
         }
     }
 
@@ -574,15 +628,26 @@ pub struct ShipReport {
     pub converged_lsn: u64,
 }
 
+/// Histogram bounds for records applied per shipping round.
+const FRAMES_PER_ROUND_BOUNDS: [f64; 7] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+/// Histogram bounds for bytes per shipped delivery.
+const BYTES_PER_DELIVERY_BOUNDS: [f64; 6] = [256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0];
+/// Histogram bounds for per-round modeled backoff charges.
+const BACKOFF_DELAY_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
 /// Drive shipping rounds until the replica's applied LSN reaches the
 /// primary's durable tip, or the round budget runs out
 /// ([`DurableError::ReplicationStalled`]).
 ///
 /// Each round ships what the applier says it needs, drains the channel
 /// through [`ReplicaApplier::offer`], and — when nothing made progress —
-/// charges modeled backoff ticks.  Emits `wal.ship.*` counters on the
-/// primary's metrics and leaves `replica.*` gauges on the replica's own
-/// database.
+/// charges modeled backoff ticks.  Emits `wal.ship.*` counters and
+/// histograms on the primary's metrics and leaves `replica.*` gauges on
+/// the replica's own database.  Every round is a `ship.round` span on
+/// the primary's tracer, every NACK a `ship.nack` event (gap vs corrupt,
+/// by LSN) and every fruitless round a `ship.backoff` event — so a
+/// stall's error message carries the flight-recorder tail of what
+/// actually happened ([`DurableDatabase::flight_recorder`]).
 pub fn replicate<S: Storage, C: Channel>(
     primary: &DurableDatabase<S>,
     applier: &mut ReplicaApplier,
@@ -590,6 +655,8 @@ pub fn replicate<S: Storage, C: Channel>(
     opts: &ReplicateOptions,
 ) -> Result<ShipReport> {
     let shipper = LogShipper::new(primary.storage());
+    let tracer = primary.database().tracer();
+    let metrics = tracer.metrics();
     let mut report = ShipReport::default();
     let mut failures: u32 = 0;
     loop {
@@ -598,16 +665,30 @@ pub fn replicate<S: Storage, C: Channel>(
             break;
         }
         if report.rounds >= opts.max_rounds {
+            let tail = primary
+                .flight_recorder()
+                .tail_summaries(FLIGHT_TAIL_EVENTS)
+                .join(" | ");
             return Err(DurableError::ReplicationStalled(format!(
-                "replica at LSN {} of {tip} after {} rounds ({} corrupt, {} gapped)",
+                "replica at LSN {} of {tip} after {} rounds ({} corrupt, {} gapped); \
+                 flight tail: {}",
                 applier.applied_lsn(),
                 report.rounds,
                 report.corrupt,
-                report.gaps
+                report.gaps,
+                if tail.is_empty() { "<empty>" } else { &tail },
             )));
         }
         report.rounds += 1;
+        let mut span = tracer.span_with("ship.round", &[("round", report.rounds.to_string())]);
+        let sent_before = report.deliveries_sent;
+        let applied_before = report.records_applied;
         for delivery in shipper.deliveries_for(applier.needed())? {
+            metrics.observe(
+                "wal.ship.bytes_per_delivery",
+                &BYTES_PER_DELIVERY_BOUNDS,
+                delivery.len() as f64,
+            );
             channel.send(delivery);
             report.deliveries_sent += 1;
         }
@@ -615,25 +696,68 @@ pub fn replicate<S: Storage, C: Channel>(
         while let Some(delivery) = channel.recv() {
             report.deliveries_received += 1;
             match applier.offer(&delivery)? {
-                OfferOutcome::Bootstrapped { .. } => progress = true,
+                OfferOutcome::Bootstrapped { lsn } => {
+                    progress = true;
+                    tracer.event("ship.bootstrap", &[("lsn", lsn.to_string())]);
+                }
                 OfferOutcome::Applied { records } => {
                     report.records_applied += records;
                     progress |= records > 0;
                 }
                 OfferOutcome::Duplicate => report.duplicates += 1,
-                OfferOutcome::Gap { .. } => report.gaps += 1,
-                OfferOutcome::Corrupt => report.corrupt += 1,
+                OfferOutcome::Gap { have, got } => {
+                    report.gaps += 1;
+                    tracer.event(
+                        "ship.nack",
+                        &[
+                            ("kind", "gap".to_string()),
+                            ("have", have.to_string()),
+                            ("got", got.to_string()),
+                        ],
+                    );
+                }
+                OfferOutcome::Corrupt => {
+                    report.corrupt += 1;
+                    tracer.event(
+                        "ship.nack",
+                        &[
+                            ("kind", "corrupt".to_string()),
+                            ("have", applier.applied_lsn().to_string()),
+                        ],
+                    );
+                }
             }
         }
+        let round_applied = report.records_applied - applied_before;
+        metrics.observe(
+            "wal.ship.frames_per_round",
+            &FRAMES_PER_ROUND_BOUNDS,
+            round_applied as f64,
+        );
         if progress {
             failures = 0;
         } else {
             failures += 1;
-            report.backoff_ticks += opts.backoff.delay_for(failures);
+            let ticks = opts.backoff.delay_for(failures);
+            report.backoff_ticks += ticks;
+            metrics.observe(
+                "wal.ship.backoff_delay",
+                &BACKOFF_DELAY_BOUNDS,
+                ticks as f64,
+            );
+            tracer.event(
+                "ship.backoff",
+                &[
+                    ("failures", failures.to_string()),
+                    ("ticks", ticks.to_string()),
+                ],
+            );
         }
+        span.add_attr("sent", (report.deliveries_sent - sent_before).to_string());
+        span.add_attr("applied", round_applied.to_string());
+        span.finish();
     }
     report.converged_lsn = applier.applied_lsn();
-    let metrics = primary.database().tracer().metrics();
     metrics.inc_counter("wal.ship.rounds", report.rounds);
     metrics.inc_counter("wal.ship.deliveries", report.deliveries_sent);
     metrics.inc_counter("wal.ship.records", report.records_applied);

@@ -1,0 +1,113 @@
+//! Failures must carry their own trace: a pinned-seed replication stall
+//! and a crash-recovery report each have to arrive with a non-empty
+//! flight-recorder tail that *names the injected fault* that caused
+//! them.  These are the acceptance tests for the observability layer —
+//! if they fail, a production postmortem would be staring at a bare
+//! error string again.
+
+mod common;
+
+use asr_core::Database;
+use asr_durable::{
+    replicate, ChaosProfile, DurableDatabase, DurableError, FaultPlan, FaultyChannel,
+    FaultyStorage, FlushPolicy, MemStorage, ReplicaApplier, ReplicateOptions,
+};
+use asr_obs::FlightRecorder;
+use common::*;
+
+/// A blackout stall must embed the flight tail — including the typed
+/// `chaos.drop` events for the injected faults — in the error message
+/// itself.
+#[test]
+fn stalled_replication_names_the_injected_fault() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, 0xB1AC_u64); // fixed script
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut primary = DurableDatabase::create(disk, seed_db, FlushPolicy::EveryRecord).unwrap();
+    for op in script.iter().take(8) {
+        apply_durable(&mut primary, op).unwrap();
+    }
+
+    let mut applier = ReplicaApplier::new();
+    // Pinned seed: the blackout drops every delivery, deterministically.
+    let mut channel = FaultyChannel::new(ChaosProfile::blackout(), 1)
+        .with_recorder(primary.flight_recorder().clone());
+    let opts = ReplicateOptions {
+        max_rounds: 6,
+        ..ReplicateOptions::default()
+    };
+    let err = replicate(&primary, &mut applier, &mut channel, &opts).unwrap_err();
+    let DurableError::ReplicationStalled(msg) = err else {
+        panic!("expected ReplicationStalled, got {err}");
+    };
+    assert!(msg.contains("flight tail"), "no tail in stall error: {msg}");
+    assert!(
+        msg.contains("chaos.drop"),
+        "stall error must name the injected fault: {msg}"
+    );
+    assert!(
+        msg.contains("ship.backoff"),
+        "stall error should show the backoff ticks too: {msg}"
+    );
+}
+
+/// A crash-recovery report must carry a tail that spans the crash
+/// boundary: the fault event recorded by the dying session and the
+/// recovery phases of the reboot, on one timeline.
+#[test]
+fn recovery_report_names_the_injected_fault() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xF11C);
+    let disk = MemStorage::new();
+    let recorder = FlightRecorder::shared();
+
+    // Session 1: a torn-append crash at the 4th WAL append, with the
+    // shared recorder watching the storage layer.
+    let faulty = FaultyStorage::new(disk.clone(), FaultPlan::torn_append(4, 2))
+        .with_recorder(recorder.clone());
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut dd = DurableDatabase::create(faulty, seed_db, FlushPolicy::EveryRecord).unwrap();
+    let mut crashed = false;
+    for op in &script {
+        match apply_durable(&mut dd, op) {
+            Ok(()) => {}
+            Err(e) => {
+                assert!(
+                    matches!(e, DurableError::InjectedCrash | DurableError::Poisoned),
+                    "unexpected failure class: {e}"
+                );
+                crashed = true;
+                break;
+            }
+        }
+    }
+    assert!(crashed, "the fault plan must fire within the script");
+    drop(dd); // the crash
+
+    // Session 2: reboot sharing the same recorder, so the report's tail
+    // reaches back into the crashed session.
+    let recovered =
+        DurableDatabase::open_with_recorder(disk, FlushPolicy::EveryRecord, recorder.clone())
+            .unwrap();
+    let report = recovered.recovery_report().clone();
+    assert!(
+        !report.flight_tail.is_empty(),
+        "recovery report must carry a flight tail"
+    );
+    let tail = report.flight_tail.join("\n");
+    assert!(
+        tail.contains("fault.crash.append"),
+        "tail must name the injected fault:\n{tail}"
+    );
+    assert!(
+        tail.contains("recovery.torn_tail"),
+        "tail must show the torn tail the crash left:\n{tail}"
+    );
+    assert!(
+        tail.contains("recovery.wal_replay"),
+        "tail must show the replay phase:\n{tail}"
+    );
+    // The same tail is available live on the recorder the shell queries.
+    assert!(recovered.flight_recorder().recorded() > 0);
+}

@@ -14,11 +14,15 @@
 
 mod common;
 
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
 use asr_core::Database;
 use asr_durable::{
     replicate, ChaosProfile, DurableDatabase, DurableError, FaultyChannel, FlushPolicy, LogShipper,
     LosslessChannel, MemStorage, ReplicaApplier, ReplicateOptions,
 };
+use asr_obs::FlightRecorder;
 use common::*;
 
 /// A primary with checkpoints and sealed segments, plus a live tail.
@@ -102,10 +106,14 @@ fn seeded_chaos_schedules_converge_or_fail_loudly() {
 
     let mut converged = 0usize;
     let mut stalled = 0usize;
+    let mut artifact = String::new();
     for i in 0..32u64 {
         let seed = fuzz_seed() ^ (i.wrapping_mul(0x9E37_79B9));
         let profile = ChaosProfile::from_seed(seed);
-        let mut channel = FaultyChannel::new(profile, seed);
+        // Every schedule gets its own recorder, sized so nothing can be
+        // evicted: each injected fault must appear as a typed event.
+        let recorder = Rc::new(FlightRecorder::new(1 << 16));
+        let mut channel = FaultyChannel::new(profile, seed).with_recorder(recorder.clone());
         let mut applier = ReplicaApplier::new();
         let ctx = format!("chaos seed {seed:#x} ({profile:?})");
         match replicate(&primary, &mut applier, &mut channel, &opts) {
@@ -131,6 +139,34 @@ fn seeded_chaos_schedules_converge_or_fail_loudly() {
         }
         // Converged or stalled, the replica never leaves the history.
         assert_replica_on_history(&applier, &s0, &script, &ctx);
+
+        // No silent injections: every fault the channel counted must be
+        // visible as a typed `chaos.*` flight-recorder event.
+        assert_eq!(recorder.dropped(), 0, "{ctx}: recorder sized too small");
+        let mut events: BTreeMap<String, u64> = BTreeMap::new();
+        for ev in recorder.tail(recorder.len()) {
+            *events.entry(ev.record.name.clone()).or_insert(0) += 1;
+        }
+        let stats = channel.stats();
+        for (event, injected) in [
+            ("chaos.drop", stats.dropped),
+            ("chaos.dup", stats.duplicated),
+            ("chaos.reorder", stats.reordered),
+            ("chaos.truncate", stats.truncated),
+            ("chaos.flip", stats.flipped),
+        ] {
+            assert_eq!(
+                events.get(event).copied().unwrap_or(0),
+                injected,
+                "{ctx}: `{event}` events must match the channel's count"
+            );
+        }
+        artifact.push_str(&recorder.dump_jsonl());
+    }
+    // CI uploads the full fault timeline of the pinned-seed run as a
+    // build artifact.
+    if let Ok(path) = std::env::var("ASR_FLIGHTREC_OUT") {
+        std::fs::write(&path, &artifact).expect("write flight-recorder artifact");
     }
     // The profile generator keeps fault rates below the stall-everything
     // regime; most schedules must actually converge for the fuzzer to be

@@ -16,8 +16,10 @@
 //!   histograms with human-table, JSONL and Prometheus-style text
 //!   exposition;
 //! * [`EventSink`] — pluggable span/event consumers: an in-memory
-//!   [`sink::RingBufferSink`], a [`sink::WriterSink`] emitting JSONL, and
-//!   an arbitrary-closure [`sink::FnSink`].
+//!   [`sink::RingBufferSink`], a [`sink::WriterSink`] emitting JSONL, an
+//!   arbitrary-closure [`sink::FnSink`], and the bounded, sequence-
+//!   numbered [`FlightRecorder`] black box that failure paths attach
+//!   their last-N-events tail from.
 //!
 //! A [`Tracer`] bundles one metrics registry and any number of sinks and
 //! clones cheaply (`Rc` inside), so one instance threads through a whole
@@ -26,11 +28,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod flightrec;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
+pub use flightrec::{FlightEvent, FlightRecorder, FlightStatus};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use sink::{EventSink, FnSink, RingBufferSink, WriterSink};
 pub use span::{SinkId, SpanGuard, SpanRecord, Tracer};

@@ -294,6 +294,47 @@ impl IoStats {
     pub fn accesses_since(&self, before: &IoSnapshot) -> u64 {
         self.accesses() - (before.reads + before.writes)
     }
+
+    /// Add a snapshot's totals into this counter's global tallies.
+    ///
+    /// This is the cheap half of the sharding contract (see [`absorb`]
+    /// [`IoStats::absorb`]): worker threads count into private handles and
+    /// ship plain [`IoSnapshot`] values (which are `Send`) back to the
+    /// coordinator, which folds them in here when the scope joins.
+    pub fn absorb_snapshot(&self, shard: &IoSnapshot) {
+        self.reads.set(self.reads.get() + shard.reads);
+        self.writes.set(self.writes.get() + shard.writes);
+        self.buffer_hits
+            .set(self.buffer_hits.get() + shard.buffer_hits);
+        self.batch_probes
+            .set(self.batch_probes.get() + shard.batch_probes);
+        self.batch_pages_saved
+            .set(self.batch_pages_saved.get() + shard.batch_pages_saved);
+    }
+
+    /// Merge another counter — globals, batch tallies *and* per-structure
+    /// attribution — into this one.
+    ///
+    /// `IoStats` is deliberately `Cell`-based and single-threaded: a
+    /// parallel harness gives each worker thread its own *shard* (a
+    /// private handle that never crosses threads, so the hot counting
+    /// path stays free of atomics), then merges the shards into one
+    /// aggregate when the scope joins.  Structures are matched by
+    /// `(kind, label)` — the same identity [`register_structure`]
+    /// [`IoStats::register_structure`] dedups on — and registered here on
+    /// first sight, so shard-local [`StructureId`]s never leak across
+    /// counters.
+    pub fn absorb(&self, shard: &IoStats) {
+        self.absorb_snapshot(&shard.snapshot());
+        for io in shard.structures() {
+            let id = self.register_structure(io.kind, io.label);
+            self.with_entry(id, |e| {
+                e.reads.set(e.reads.get() + io.reads);
+                e.writes.set(e.writes.get() + io.writes);
+                e.buffer_hits.set(e.buffer_hits.get() + io.buffer_hits);
+            });
+        }
+    }
 }
 
 /// A point-in-time copy of the counters.
@@ -315,6 +356,15 @@ impl IoSnapshot {
     /// Total accesses in the snapshot.
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes
+    }
+
+    /// Fold another snapshot's tallies into this one (shard merging).
+    pub fn merge(&mut self, other: &IoSnapshot) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.buffer_hits += other.buffer_hits;
+        self.batch_probes += other.batch_probes;
+        self.batch_pages_saved += other.batch_pages_saved;
     }
 }
 
@@ -391,6 +441,67 @@ mod tests {
         stats.reset();
         assert_eq!(stats.structure(tree).unwrap().accesses(), 0);
         assert_eq!(stats.structures().len(), 2, "registrations survive reset");
+    }
+
+    #[test]
+    fn snapshot_merge_adds_fieldwise() {
+        let a = IoStats::new_handle();
+        a.count_read();
+        a.count_batch(3, 5);
+        let b = IoStats::new_handle();
+        b.count_write();
+        b.count_buffer_hit();
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!((total.reads, total.writes, total.buffer_hits), (1, 1, 1));
+        assert_eq!((total.batch_probes, total.batch_pages_saved), (3, 5));
+    }
+
+    #[test]
+    fn absorb_merges_shards_including_structures() {
+        // Two worker shards charging the same logical structure plus one
+        // shard-private structure each.
+        let shard_a = IoStats::new_handle();
+        let wal_a = shard_a.register_structure(StructureKind::Wal, "wal.log");
+        let file_a = shard_a.register_structure(StructureKind::ClusteredFile, "EMP");
+        shard_a.count_read_for(wal_a);
+        shard_a.count_write_for(file_a);
+
+        let shard_b = IoStats::new_handle();
+        // Opposite registration order: ids differ per shard, identity is
+        // (kind, label).
+        let tree_b = shard_b.register_structure(StructureKind::BTree, "asr fwd");
+        let wal_b = shard_b.register_structure(StructureKind::Wal, "wal.log");
+        shard_b.count_write_for(wal_b);
+        shard_b.count_write_for(wal_b);
+        shard_b.count_buffer_hit_for(tree_b);
+
+        let total = IoStats::new_handle();
+        total.absorb(&shard_a);
+        total.absorb(&shard_b);
+
+        assert_eq!(total.reads(), 1);
+        assert_eq!(total.writes(), 3);
+        assert_eq!(total.buffer_hits(), 1);
+        let per = total.structures();
+        assert_eq!(per.len(), 3, "wal.log deduped across shards");
+        let wal = per
+            .iter()
+            .find(|s| s.kind == StructureKind::Wal && s.label == "wal.log")
+            .unwrap();
+        assert_eq!((wal.reads, wal.writes), (1, 2));
+    }
+
+    #[test]
+    fn absorb_snapshot_hits_only_globals() {
+        let total = IoStats::new_handle();
+        total.register_structure(StructureKind::Other, "x");
+        let shard = IoStats::new_handle();
+        shard.count_read();
+        shard.count_write();
+        total.absorb_snapshot(&shard.snapshot());
+        assert_eq!(total.accesses(), 2);
+        assert_eq!(total.structures()[0].accesses(), 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! \replica on|off|sync|status  warm standby fed by log shipping
 //! \stats / \reset          page-access accounting
 //! \trace on|off|show       capture finished spans in a ring buffer
+//! \flightrec status|dump|tail <n>  inspect the always-on flight recorder
 //! \help / \quit
 //! ```
 //!
@@ -43,7 +44,7 @@ use asr_durable::{
     LosslessChannel, OpenDurable, ReplicaApplier, ReplicateOptions, MANIFEST_FILE,
 };
 use asr_gom::PathExpression;
-use asr_obs::{RingBufferSink, SinkId};
+use asr_obs::{FlightRecorder, RingBufferSink, SinkId};
 use asr_oql as oql;
 use asr_workload::{company_database, robot_database};
 
@@ -79,6 +80,10 @@ pub struct ShellState {
     /// The `\trace` ring buffer, while tracing is on.  The [`SinkId`] is
     /// `None` when tracing was enabled before any database was open.
     trace: Option<(Option<SinkId>, Rc<RingBufferSink>)>,
+    /// The always-on flight recorder of the open database (`\flightrec`).
+    /// Durable databases bring their own; plain ones get one attached at
+    /// install time.
+    flightrec: Option<Rc<FlightRecorder>>,
     /// The in-process warm standby, while `\replica on` (WAL mode only).
     replica: Option<ReplicaApplier>,
     /// Should the REPL terminate?
@@ -121,6 +126,14 @@ impl ShellState {
             let id = db.as_db().tracer().add_sink(ring.clone());
             self.trace = Some((Some(id), ring));
         }
+        self.flightrec = Some(match &db {
+            OpenDb::Durable(d) => d.flight_recorder().clone(),
+            OpenDb::Plain(p) => {
+                let rec = FlightRecorder::shared();
+                p.tracer().add_sink(rec.clone());
+                rec
+            }
+        });
         self.db = Some(db);
         self.origin = origin.to_string();
     }
@@ -185,6 +198,7 @@ fn run_command(state: &mut ShellState, input: &str) -> Result<String, String> {
             Ok("counters reset".to_string())
         }
         "trace" => cmd_trace(state, rest),
+        "flightrec" => cmd_flightrec(state, rest),
         other => Err(format!("unknown command `\\{other}` — try `\\help`")),
     }
 }
@@ -297,6 +311,9 @@ fn cmd_wal(state: &mut ShellState, rest: &str) -> Result<String, String> {
                     };
                     let d = db.create_durable(dir).map_err(|e| e.to_string())?;
                     let lsn = d.wal_status().checkpoint_lsn;
+                    // The durable wrapper attached its own recorder; point
+                    // `\flightrec` at it so the tail covers WAL activity.
+                    state.flightrec = Some(d.flight_recorder().clone());
                     state.db = Some(OpenDb::Durable(Box::new(d)));
                     Ok(format!(
                         "WAL on in {dir}: initial checkpoint written (LSN {lsn}); \
@@ -624,6 +641,51 @@ fn cmd_trace(state: &mut ShellState, arg: &str) -> Result<String, String> {
     }
 }
 
+fn cmd_flightrec(state: &mut ShellState, arg: &str) -> Result<String, String> {
+    let rec = state
+        .flightrec
+        .as_ref()
+        .ok_or_else(|| "no database open — the flight recorder starts with one".to_string())?;
+    let mut parts = arg.split_whitespace();
+    match parts.next().unwrap_or("status") {
+        "status" => {
+            let s = rec.status();
+            let span = match (s.first_seq, s.last_seq) {
+                (Some(a), Some(b)) => format!("seq {a}..{b}"),
+                _ => "empty".to_string(),
+            };
+            Ok(format!(
+                "flight recorder: {}/{} event(s) buffered, {} recorded, {} dropped, {span}",
+                s.len, s.capacity, s.recorded, s.dropped
+            ))
+        }
+        "dump" => {
+            let dump = rec.dump_jsonl();
+            if dump.is_empty() {
+                Ok("flight recorder empty".to_string())
+            } else {
+                Ok(dump)
+            }
+        }
+        "tail" => {
+            let n = parts
+                .next()
+                .unwrap_or("10")
+                .parse::<usize>()
+                .map_err(|_| "usage: \\flightrec tail <n>".to_string())?;
+            let lines = rec.tail_summaries(n);
+            if lines.is_empty() {
+                Ok("flight recorder empty".to_string())
+            } else {
+                Ok(lines.join("\n"))
+            }
+        }
+        other => Err(format!(
+            "usage: \\flightrec status|dump|tail <n> (got `{other}`)"
+        )),
+    }
+}
+
 fn cmd_schema(state: &ShellState) -> Result<String, String> {
     let db = state.db()?;
     let schema = db.base().schema();
@@ -857,6 +919,8 @@ const HELP: &str = r#"commands:
   \advise <path> [p_up]      physical-design advisor (default p_up 0.1)
   \stats / \reset            page-access counters, per structure
   \trace on|off|show         buffer finished trace spans, dump as JSONL
+  \flightrec status|dump|tail <n>  the always-on bounded event recorder:
+                             recent spans/events as summaries or JSONL
   \quit
 anything else is executed as a query:
   select d.Name from d in Mercedes, b in d.Manufactures.Composition
@@ -1184,6 +1248,22 @@ mod tests {
         // Detached: new queries no longer buffer anywhere.
         assert!(run_line(&mut s, "\\trace show").starts_with("error:"));
         assert!(run_line(&mut s, "\\trace sideways").starts_with("error:"));
+    }
+
+    #[test]
+    fn flightrec_records_query_spans() {
+        let mut s = ShellState::new();
+        assert!(run_line(&mut s, "\\flightrec status").starts_with("error: no database"));
+        run_line(&mut s, "\\open company");
+        run_line(&mut s, r#"select d.Name from d in Mercedes"#);
+        let status = run_line(&mut s, "\\flightrec status");
+        assert!(status.contains("flight recorder:"), "{status}");
+        assert!(!status.contains(" 0 recorded"), "{status}");
+        let tail = run_line(&mut s, "\\flightrec tail 5");
+        assert!(tail.contains("oql.query"), "{tail}");
+        let dump = run_line(&mut s, "\\flightrec dump");
+        assert!(dump.contains("\"seq\":"), "{dump}");
+        assert!(run_line(&mut s, "\\flightrec sideways").starts_with("error:"));
     }
 
     #[test]
