@@ -6,6 +6,7 @@
 //! object representation and access relations alike — lands in one shared
 //! [`asr_pagesim::IoStats`] counter.
 
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use asr_gom::{ObjectBase, Oid, PathExpression, Schema, TypeId, Value};
@@ -30,6 +31,16 @@ pub struct Database {
     asrs: Vec<Option<AccessSupportRelation>>,
     stats: StatsHandle,
     tracer: Tracer,
+    /// OIDs whose object state changed since the last checkpoint fence
+    /// ([`Database::mark_clean`]) — the object half of a delta checkpoint.
+    dirty_oids: BTreeSet<Oid>,
+    /// OIDs deleted since the fence.
+    dead_oids: BTreeSet<Oid>,
+    /// Variables rebound since the fence.
+    dirty_vars: BTreeSet<String>,
+    /// Did the physical design (registered ASRs, type sizes, schema) change
+    /// since the fence?  Delta checkpoints never span design changes.
+    design_dirty: bool,
 }
 
 impl Database {
@@ -55,6 +66,10 @@ impl Database {
             asrs: Vec::new(),
             stats,
             tracer,
+            dirty_oids: BTreeSet::new(),
+            dead_oids: BTreeSet::new(),
+            dirty_vars: BTreeSet::new(),
+            design_dirty: true,
         }
     }
 
@@ -70,6 +85,10 @@ impl Database {
             asrs: Vec::new(),
             stats,
             tracer,
+            dirty_oids: BTreeSet::new(),
+            dead_oids: BTreeSet::new(),
+            dirty_vars: BTreeSet::new(),
+            design_dirty: true,
         }
     }
 
@@ -98,6 +117,7 @@ impl Database {
     /// Configure the clustered size `size_i` for a type's objects.
     /// Only affects objects registered afterwards.
     pub fn set_type_size(&mut self, ty: TypeId, size: usize) {
+        self.design_dirty = true;
         self.store.set_type_size(ty, size);
     }
 
@@ -118,6 +138,7 @@ impl Database {
     /// Build and register an access support relation.
     pub fn create_asr(&mut self, path: PathExpression, config: AsrConfig) -> Result<AsrId> {
         let asr = AccessSupportRelation::build(&self.base, path, config, Rc::clone(&self.stats))?;
+        self.design_dirty = true;
         self.asrs.push(Some(asr));
         Ok(self.asrs.len() - 1)
     }
@@ -140,6 +161,7 @@ impl Database {
         match self.asrs.get_mut(id) {
             Some(slot @ Some(_)) => {
                 *slot = None;
+                self.design_dirty = true;
                 Ok(())
             }
             _ => Err(AsrError::InvalidDecomposition(format!(
@@ -331,6 +353,8 @@ impl Database {
         let oid = self.base.instantiate(type_name)?;
         let ty = self.base.type_of(oid)?;
         self.store.register_object(ty, oid)?;
+        self.dirty_oids.insert(oid);
+        self.dead_oids.remove(&oid);
         Ok(oid)
     }
 
@@ -343,6 +367,8 @@ impl Database {
         self.base.restore_object(oid, type_name)?;
         let ty = self.base.type_of(oid)?;
         self.store.register_object(ty, oid)?;
+        self.dirty_oids.insert(oid);
+        self.dead_oids.remove(&oid);
         Ok(())
     }
 
@@ -366,6 +392,7 @@ impl Database {
             .tracer
             .span_with("maintain.set_attribute", &[("attr", attr.to_string())]);
         self.base.set_attribute(owner, attr, value.clone())?;
+        self.dirty_oids.insert(owner);
         let owner_ty = self.base.type_of(owner)?;
         self.store.charge_update(owner_ty, owner);
 
@@ -512,6 +539,7 @@ impl Database {
         if !self.base.insert_into_set(set, elem.clone())? {
             return Ok(false);
         }
+        self.dirty_oids.insert(set);
         let _span = self.tracer.span("maintain.insert_into_set");
         let was_empty = self.base.object(set)?.body.len() == 1;
         self.charge_set_update(set)?;
@@ -525,6 +553,7 @@ impl Database {
         if !self.base.remove_from_set(set, elem)? {
             return Ok(false);
         }
+        self.dirty_oids.insert(set);
         let _span = self.tracer.span("maintain.remove_from_set");
         let now_empty = self.base.object(set)?.body.is_empty();
         self.charge_set_update(set)?;
@@ -684,6 +713,8 @@ impl Database {
     /// rebuilt (documented trade-off; see DESIGN.md).
     pub fn delete_object(&mut self, oid: Oid) -> Result<()> {
         self.base.delete(oid)?;
+        self.dirty_oids.remove(&oid);
+        self.dead_oids.insert(oid);
         for slot in self.asrs.iter_mut().flatten() {
             slot.rebuild(&self.base)?;
         }
@@ -692,7 +723,61 @@ impl Database {
 
     /// Bind a database variable (root).
     pub fn bind_variable(&mut self, name: &str, value: Value) {
+        self.dirty_vars.insert(name.to_string());
         self.base.bind_variable(name, value);
+    }
+
+    // ------------------------------------------------------------------
+    // Delta-checkpoint change tracking
+    // ------------------------------------------------------------------
+
+    /// Forget all change tracking and fence every partition's page epochs:
+    /// the state as of *now* becomes the base the next delta checkpoint is
+    /// measured against.  Called after a checkpoint is written (full or
+    /// delta) and after a snapshot/delta chain is loaded.
+    pub fn mark_clean(&mut self) {
+        self.dirty_oids.clear();
+        self.dead_oids.clear();
+        self.dirty_vars.clear();
+        self.design_dirty = false;
+        for asr in self.asrs.iter_mut().flatten() {
+            asr.mark_clean();
+        }
+    }
+
+    /// Did the physical design (registered ASRs, type sizes) change since
+    /// the last [`Database::mark_clean`] fence?  Delta checkpoints refuse
+    /// to span design changes — callers fall back to a full checkpoint.
+    pub fn is_design_dirty(&self) -> bool {
+        self.design_dirty
+    }
+
+    /// Change-tracking summary since the fence: `(dirty objects, deleted
+    /// objects, rebound variables, changed partition rows)` — powers the
+    /// shell's checkpoint-lineage display.
+    pub fn dirty_summary(&self) -> (usize, usize, usize, usize) {
+        let rows = self
+            .asrs()
+            .map(|(_, asr)| asr.changed_rows())
+            .sum::<usize>();
+        (
+            self.dirty_oids.len(),
+            self.dead_oids.len(),
+            self.dirty_vars.len(),
+            rows,
+        )
+    }
+
+    pub(crate) fn dirty_oids(&self) -> &BTreeSet<Oid> {
+        &self.dirty_oids
+    }
+
+    pub(crate) fn dead_oids(&self) -> &BTreeSet<Oid> {
+        &self.dead_oids
+    }
+
+    pub(crate) fn dirty_vars(&self) -> &BTreeSet<String> {
+        &self.dirty_vars
     }
 }
 

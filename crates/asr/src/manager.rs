@@ -265,6 +265,22 @@ impl AccessSupportRelation {
         &self.partitions
     }
 
+    /// Fence every partition's delta change tracking (see
+    /// [`StoredPartition::mark_clean`]).
+    pub(crate) fn mark_clean(&mut self) {
+        for p in &mut self.partitions {
+            p.mark_clean();
+        }
+    }
+
+    /// Distinct rows changed across all partitions since the fence.
+    pub(crate) fn changed_rows(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(StoredPartition::changed_rows)
+            .sum()
+    }
+
     /// The shared page-access counter.
     pub fn stats(&self) -> &StatsHandle {
         &self.stats

@@ -12,7 +12,7 @@
 //! reference-counts its rows so that incremental maintenance can remove a
 //! projected row only when its last witness disappears.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
 use std::rc::Rc;
 
@@ -42,6 +42,17 @@ pub struct StoredPartition {
     /// carry the page costs.
     rows: HashMap<Row, RowMeta>,
     next_rowid: u64,
+    /// Row ids whose mirror entry changed (inserted, or witness count
+    /// bumped) since the last [`Self::mark_clean`] fence — the row half of
+    /// a delta checkpoint.
+    dirty_rows: BTreeSet<u64>,
+    /// Row ids physically removed since the fence.
+    dead_rows: BTreeSet<u64>,
+    /// Page-epoch fence of the forward tree at the last checkpoint: pages
+    /// stamped at or after this epoch are part of the next delta.
+    fwd_fence: u64,
+    /// Page-epoch fence of the backward tree.
+    bwd_fence: u64,
     stats: StatsHandle,
 }
 
@@ -64,6 +75,10 @@ impl StoredPartition {
             bwd: BPlusTree::new(tuple_size, OID_SIZE, Rc::clone(&stats)),
             rows: HashMap::new(),
             next_rowid: 0,
+            dirty_rows: BTreeSet::new(),
+            dead_rows: BTreeSet::new(),
+            fwd_fence: 0,
+            bwd_fence: 0,
             stats,
         }
     }
@@ -163,6 +178,7 @@ impl StoredPartition {
         match self.rows.get_mut(&row) {
             Some(meta) => {
                 meta.count += 1;
+                self.dirty_rows.insert(meta.rowid);
                 // Touch the stored tuples to persist the new count.
                 let fkey = (row.first().clone(), meta.rowid);
                 let bkey = (row.last().clone(), meta.rowid);
@@ -174,6 +190,7 @@ impl StoredPartition {
             None => {
                 let rowid = self.next_rowid;
                 self.next_rowid += 1;
+                self.dirty_rows.insert(rowid);
                 self.fwd.insert((row.first().clone(), rowid), row.clone())?;
                 self.bwd.insert((row.last().clone(), rowid), row.clone())?;
                 self.rows.insert(row, RowMeta { rowid, count: 1 });
@@ -197,6 +214,7 @@ impl StoredPartition {
         };
         if meta.count > 1 {
             meta.count -= 1;
+            self.dirty_rows.insert(meta.rowid);
             let fkey = (row.first().clone(), meta.rowid);
             let bkey = (row.last().clone(), meta.rowid);
             let _ = self.fwd.get(&fkey);
@@ -206,6 +224,8 @@ impl StoredPartition {
         } else {
             let rowid = meta.rowid;
             self.rows.remove(row);
+            self.dirty_rows.remove(&rowid);
+            self.dead_rows.insert(rowid);
             self.fwd.remove(&(row.first().clone(), rowid));
             self.bwd.remove(&(row.last().clone(), rowid));
         }
@@ -335,6 +355,7 @@ impl StoredPartition {
             }
             let rowid = self.next_rowid;
             self.next_rowid += 1;
+            self.dirty_rows.insert(rowid);
             fwd_entries.push(((row.first().clone(), rowid), row.clone()));
             bwd_entries.push(((row.last().clone(), rowid), row.clone()));
             self.rows.insert(row, RowMeta { rowid, count });
@@ -385,6 +406,49 @@ impl StoredPartition {
             fwd_bytes: 0,
             bwd_bytes: 0,
         }
+    }
+
+    /// Capture only what changed since the last [`Self::mark_clean`]
+    /// fence: dirty/dead row-mirror entries plus the tree pages stamped at
+    /// or after each tree's fence epoch.  Charges nothing — the delta
+    /// writer prices the bytes it emits.
+    pub(crate) fn dump_delta(&self) -> PartitionDelta {
+        let mut upserts: Vec<(Row, u64, u64)> = self
+            .rows
+            .iter()
+            .filter(|(_, meta)| self.dirty_rows.contains(&meta.rowid))
+            .map(|(row, meta)| (row.clone(), meta.rowid, meta.count))
+            .collect();
+        upserts.sort_by_key(|&(_, rowid, _)| rowid);
+        PartitionDelta {
+            from: self.from,
+            to: self.to,
+            next_rowid: self.next_rowid,
+            nrows: self.rows.len(),
+            upserts,
+            deletes: self.dead_rows.iter().copied().collect(),
+            fwd: RawTreeDelta::from_tree(&self.fwd, self.fwd_fence),
+            bwd: RawTreeDelta::from_tree(&self.bwd, self.bwd_fence),
+            fwd_bytes: 0,
+            bwd_bytes: 0,
+        }
+    }
+
+    /// Establish a new delta fence: forget the dirty/dead row sets and
+    /// advance both trees' page epochs, so the next [`Self::dump_delta`]
+    /// captures exactly the changes made after this call.  Invoked when a
+    /// checkpoint (full or delta) of this partition is taken or loaded.
+    pub(crate) fn mark_clean(&mut self) {
+        self.dirty_rows.clear();
+        self.dead_rows.clear();
+        self.fwd_fence = self.fwd.advance_epoch();
+        self.bwd_fence = self.bwd.advance_epoch();
+    }
+
+    /// How many distinct rows changed (dirty + dead) since the fence —
+    /// the shell's "pages saved" summary uses this.
+    pub(crate) fn changed_rows(&self) -> usize {
+        self.dirty_rows.len() + self.dead_rows.len()
     }
 
     /// Physically re-attach a partition from its snapshot image: register
@@ -439,6 +503,10 @@ impl StoredPartition {
             .map(|(row, rowid, count)| (row, RowMeta { rowid, count }))
             .collect();
         p.next_rowid = img.next_rowid;
+        // A freshly restored partition is fully dirty relative to the
+        // fence-0 default; the loader calls `mark_clean` once the whole
+        // database is attached, making the snapshot itself the base.
+        p.dirty_rows = p.rows.values().map(|m| m.rowid).collect();
         // Price the restore: pulling each tree's serialized pages in from
         // the snapshot, attributed per tree (at least one page each).
         p.fwd.charge_restore_reads(restore_pages(img.fwd_bytes));
@@ -519,6 +587,123 @@ fn restore_pages(bytes: usize) -> u64 {
     (bytes as u64).div_ceil(PAGE_SIZE as u64).max(1)
 }
 
+/// The incremental counterpart of [`PartitionImage`]: only the rows and
+/// tree pages that changed since the partition's last clean fence, plus
+/// enough geometry (root, height, free list, slab size) to patch a base
+/// image into the current state.  Produced by `StoredPartition::dump_delta`,
+/// consumed by the `ASRDB 3` snapshot writer and `PartitionImage::apply_delta`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PartitionDelta {
+    pub from: usize,
+    pub to: usize,
+    pub next_rowid: u64,
+    /// Expected distinct-row count *after* applying this delta (integrity
+    /// check on the patched mirror).
+    pub nrows: usize,
+    /// `(row, rowid, witness count)` for rows inserted or re-counted since
+    /// the fence, sorted by row id.
+    pub upserts: Vec<(Row, u64, u64)>,
+    /// Row ids physically removed since the fence (ascending).
+    pub deletes: Vec<u64>,
+    /// Changed pages of the forward-clustered tree.
+    pub fwd: RawTreeDelta,
+    /// Changed pages of the backward-clustered tree.
+    pub bwd: RawTreeDelta,
+    /// Serialized delta bytes attributed to each tree (set by the parser;
+    /// zero on the write path) — the patched image's restore-read charge.
+    pub fwd_bytes: usize,
+    pub bwd_bytes: usize,
+}
+
+/// Changed pages of one clustering tree since an epoch fence, with the
+/// full post-change geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RawTreeDelta {
+    pub root: usize,
+    pub height: usize,
+    pub len: usize,
+    pub free: Vec<usize>,
+    /// Slab size after the change — a patched base image grows (never
+    /// shrinks) to this many pages.
+    pub total_nodes: usize,
+    /// `(page id, new content)` for every page stamped at or after the
+    /// fence, including pages that became `Free`.
+    pub pages: Vec<(usize, RawNode)>,
+}
+
+impl RawTreeDelta {
+    fn from_tree(tree: &BPlusTree<PartitionKey, Row>, fence: u64) -> Self {
+        let d = tree.dump_image_since(fence);
+        RawTreeDelta {
+            root: d.root,
+            height: d.height,
+            len: d.len,
+            free: d.free,
+            total_nodes: d.total_nodes,
+            pages: d
+                .pages
+                .into_iter()
+                .map(|(id, n)| (id, RawNode::from_image(n)))
+                .collect(),
+        }
+    }
+}
+
+impl PartitionImage {
+    /// Patch this (base-checkpoint) image with a delta, yielding the image
+    /// the primary would have dumped at the delta's fence.  Rows are merged
+    /// by row id; tree slabs grow to the delta's size and changed pages are
+    /// overwritten.  Fails with a descriptive error on any inconsistency —
+    /// the caller falls back to a rebuild or NACKs the delivery.
+    pub(crate) fn apply_delta(self, d: &PartitionDelta) -> Result<PartitionImage> {
+        let corrupt = |msg: String| AsrError::Snapshot(format!("partition delta: {msg}"));
+        if (self.from, self.to) != (d.from, d.to) {
+            return Err(corrupt(format!(
+                "span mismatch: base ({}, {}), delta ({}, {})",
+                self.from, self.to, d.from, d.to
+            )));
+        }
+        if d.next_rowid < self.next_rowid {
+            return Err(corrupt(format!(
+                "next_rowid went backwards ({} -> {})",
+                self.next_rowid, d.next_rowid
+            )));
+        }
+        let mut by_rowid: std::collections::BTreeMap<u64, (Row, u64)> = self
+            .rows
+            .into_iter()
+            .map(|(row, rowid, count)| (rowid, (row, count)))
+            .collect();
+        // Deleted rows may predate the base (never shipped): tolerate.
+        for rowid in &d.deletes {
+            by_rowid.remove(rowid);
+        }
+        for (row, rowid, count) in &d.upserts {
+            by_rowid.insert(*rowid, (row.clone(), *count));
+        }
+        if by_rowid.len() != d.nrows {
+            return Err(corrupt(format!(
+                "patched mirror has {} rows, delta expects {}",
+                by_rowid.len(),
+                d.nrows
+            )));
+        }
+        Ok(PartitionImage {
+            from: d.from,
+            to: d.to,
+            next_rowid: d.next_rowid,
+            rows: by_rowid
+                .into_iter()
+                .map(|(rowid, (row, count))| (row, rowid, count))
+                .collect(),
+            fwd: self.fwd.apply_delta(&d.fwd)?,
+            bwd: self.bwd.apply_delta(&d.bwd)?,
+            fwd_bytes: d.fwd_bytes,
+            bwd_bytes: d.bwd_bytes,
+        })
+    }
+}
+
 /// A [`TreeImage`] with rows referenced by id instead of stored inline:
 /// leaf entries carry only row ids (keys are re-derived on restore), while
 /// inner separator keys — which may outlive the leaf keys they were copied
@@ -546,6 +731,20 @@ pub(crate) enum RawNode {
     Free,
 }
 
+impl RawNode {
+    /// Strip one page image down to its raw, id-referencing form.
+    fn from_image(n: NodeImage<PartitionKey, Row>) -> Self {
+        match n {
+            NodeImage::Inner { keys, children } => RawNode::Inner { keys, children },
+            NodeImage::Leaf { entries, next } => RawNode::Leaf {
+                rowids: entries.into_iter().map(|((_, rowid), _)| rowid).collect(),
+                next,
+            },
+            NodeImage::Free => RawNode::Free,
+        }
+    }
+}
+
 impl RawTreeImage {
     /// Strip a live tree's image down to its raw, id-referencing form.
     fn from_tree(tree: &BPlusTree<PartitionKey, Row>) -> Self {
@@ -555,19 +754,35 @@ impl RawTreeImage {
             height: img.height,
             len: img.len,
             free: img.free,
-            nodes: img
-                .nodes
-                .into_iter()
-                .map(|n| match n {
-                    NodeImage::Inner { keys, children } => RawNode::Inner { keys, children },
-                    NodeImage::Leaf { entries, next } => RawNode::Leaf {
-                        rowids: entries.into_iter().map(|((_, rowid), _)| rowid).collect(),
-                        next,
-                    },
-                    NodeImage::Free => RawNode::Free,
-                })
-                .collect(),
+            nodes: img.nodes.into_iter().map(RawNode::from_image).collect(),
         }
+    }
+
+    /// Overlay a delta's changed pages onto this base image and adopt its
+    /// geometry.  The slab only ever grows; changed-page ids must fall
+    /// inside the delta's declared slab size.
+    fn apply_delta(mut self, d: &RawTreeDelta) -> Result<RawTreeImage> {
+        let corrupt = |msg: String| AsrError::Snapshot(format!("tree delta: {msg}"));
+        if d.total_nodes < self.nodes.len() {
+            return Err(corrupt(format!(
+                "slab shrank ({} -> {} pages)",
+                self.nodes.len(),
+                d.total_nodes
+            )));
+        }
+        self.nodes.resize(d.total_nodes, RawNode::Free);
+        for (id, node) in &d.pages {
+            let slot = self
+                .nodes
+                .get_mut(*id)
+                .ok_or_else(|| corrupt(format!("page {id} outside slab of {}", d.total_nodes)))?;
+            *slot = node.clone();
+        }
+        self.root = d.root;
+        self.height = d.height;
+        self.len = d.len;
+        self.free = d.free.clone();
+        Ok(self)
     }
 
     /// Rehydrate into a full [`TreeImage`], deriving each leaf entry's key
@@ -738,6 +953,69 @@ mod tests {
         let mut p = part();
         p.load(&rel).unwrap();
         assert_eq!(p.to_relation().unwrap(), rel);
+    }
+
+    #[test]
+    fn delta_patches_base_image_to_current_state() {
+        let mut p = part();
+        for k in 0..3000u64 {
+            p.insert(row![c(k), c(k + 10000), c(k % 7)]).unwrap();
+        }
+        let base = p.dump();
+        p.mark_clean();
+        for k in 3000..3010u64 {
+            p.insert(row![c(k), c(k + 10000), c(k % 7)]).unwrap();
+        }
+        p.insert(row![c(5), c(10005), c(5)]).unwrap(); // witness bump
+        for k in 0..4u64 {
+            p.remove(&row![c(k), c(k + 10000), c(k % 7)]).unwrap();
+        }
+        let delta = p.dump_delta();
+        assert!(
+            delta.fwd.pages.len() < delta.fwd.total_nodes,
+            "delta ships a strict subset of pages ({} of {})",
+            delta.fwd.pages.len(),
+            delta.fwd.total_nodes
+        );
+        let patched = base.apply_delta(&delta).unwrap();
+        assert_eq!(patched, p.dump(), "patched base == freshly dumped state");
+        let restored = StoredPartition::restore(patched, fresh_stats(), "t").unwrap();
+        restored.check_consistency().unwrap();
+        assert_eq!(restored.len(), p.len());
+        assert_eq!(restored.witness_count(&row![c(5), c(10005), c(5)]), 2);
+    }
+
+    #[test]
+    fn clean_partition_produces_empty_delta() {
+        let mut p = part();
+        for k in 0..50u64 {
+            p.insert(row![c(k), c(k + 100), c(k % 3)]).unwrap();
+        }
+        p.mark_clean();
+        let delta = p.dump_delta();
+        assert!(delta.upserts.is_empty());
+        assert!(delta.deletes.is_empty());
+        assert!(delta.fwd.pages.is_empty());
+        assert!(delta.bwd.pages.is_empty());
+        let patched = p.dump().apply_delta(&delta).unwrap();
+        assert_eq!(patched, p.dump(), "empty delta is the identity patch");
+    }
+
+    #[test]
+    fn delta_rejects_inconsistent_geometry() {
+        let mut p = part();
+        for k in 0..50u64 {
+            p.insert(row![c(k), c(k + 100), c(k % 3)]).unwrap();
+        }
+        let base = p.dump();
+        p.mark_clean();
+        p.insert(row![c(99), c(199), c(1)]).unwrap();
+        let mut delta = p.dump_delta();
+        delta.nrows += 1; // claim a row that never arrives
+        assert!(base.clone().apply_delta(&delta).is_err());
+        let mut delta = p.dump_delta();
+        delta.fwd.total_nodes = 0; // slab cannot shrink
+        assert!(base.apply_delta(&delta).is_err());
     }
 
     #[test]

@@ -33,13 +33,46 @@
 //! (ASRs rebuilt from their configuration, as before) and `ASRDB 2`; the
 //! writer emits v2.  A corrupt physical section degrades per ASR to the
 //! v1 rebuild path with a recorded reason — never a panic.
+//!
+//! ## `ASRDB 3` — delta snapshots
+//!
+//! A v3 document is not self-contained: it carries only what changed since
+//! a named **base** checkpoint and is applied on top of a database holding
+//! that base's state ([`Database::apply_delta_from_string_report`]):
+//!
+//! ```text
+//! ASRDB 3
+//! DELTA <base-id>
+//! S … / A …                                  (design, must match the base)
+//! D <asr#> <part#> <from> <to> <next_rowid> <nrows> <nupserts>
+//! R <rowid> <count> <cell> …                 (changed/new mirror rows)
+//! X <rowid-csv|->                            (rows physically removed)
+//! U <asr#> <part#> f|b <root> <height> <len> <total-pages> <npages> <free-csv|->
+//! N f|b <page#> I|L …                        (pages stamped since the fence)
+//! N f|b <page#> F                            (pages freed since the fence)
+//! --BASE--
+//! GOMDELTA 1 <object-count>
+//! X i<oid-csv>|-                             (objects deleted)
+//! O …                                        (objects changed, GOMSNAP syntax)
+//! V …                                        (variables rebound)
+//! --END--
+//! ```
+//!
+//! A per-ASR section degrades to the full v2 grammar (`P`/`R`/`T`/`N`)
+//! whenever the delta would exceed [`DELTA_FULL_FRACTION`] of the full
+//! section — rebuilt or freshly created ASRs therefore ship full even
+//! inside a delta document.  The writer refuses entirely (returns `None`)
+//! when the physical design changed since the fence.  Applying patches the
+//! base's partition page images and text-merges the object section, then
+//! reloads through the v2 restore machinery, so every structural invariant
+//! is re-validated; the input database is never modified.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 use std::rc::Rc;
 
-use asr_gom::{snapshot, PathExpression, TypeRef, Value};
+use asr_gom::{snapshot, Oid, PathExpression, TypeRef, Value};
 
 use crate::cell::Cell;
 use crate::database::{AsrId, Database};
@@ -47,13 +80,26 @@ use crate::decomposition::Decomposition;
 use crate::error::{AsrError, Result};
 use crate::extension::Extension;
 use crate::manager::{AccessSupportRelation, AsrConfig};
-use crate::partition::{PartitionImage, RawNode, RawTreeImage, StoredPartition};
+use crate::partition::{
+    PartitionDelta, PartitionImage, RawNode, RawTreeDelta, RawTreeImage, StoredPartition,
+};
 use crate::row::Row;
 use crate::store::ObjectStore;
 
 const MAGIC_V1: &str = "ASRDB 1";
 const MAGIC_V2: &str = "ASRDB 2";
+const MAGIC_V3: &str = "ASRDB 3";
 const BASE_MARKER: &str = "--BASE--";
+/// Trailer closing an `ASRDB 3` document.  A delta's base section has no
+/// inherent length (`O`/`V` upserts are optional), so without an explicit
+/// end marker a truncated document could apply "successfully" while
+/// silently dropping tail records.
+const END_MARKER: &str = "--END--";
+
+/// A per-ASR delta section is only worth shipping when it is at most this
+/// fraction of the equivalent full section; otherwise the writer falls
+/// back to full physical for that ASR.
+pub const DELTA_FULL_FRACTION: f64 = 0.5;
 
 /// How one access support relation came back from a snapshot load.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +107,12 @@ pub enum AsrLoadMode {
     /// Physically restored by adopting its partitions' B+-tree page
     /// images (`ASRDB 2`).
     Physical,
+    /// Physically restored by patching the base checkpoint's page images
+    /// with an `ASRDB 3` delta section that shipped `pages` changed pages.
+    Delta {
+        /// Changed tree pages carried by the delta section.
+        pages: usize,
+    },
     /// Rebuilt from its configuration via the extension join — a v1
     /// snapshot, or a per-ASR fallback for the given reason.
     Rebuilt(String),
@@ -71,21 +123,30 @@ impl AsrLoadMode {
     pub fn is_physical(&self) -> bool {
         matches!(self, AsrLoadMode::Physical)
     }
+
+    /// `true` for [`AsrLoadMode::Delta`].
+    pub fn is_delta(&self) -> bool {
+        matches!(self, AsrLoadMode::Delta { .. })
+    }
 }
 
 /// What a snapshot load did — returned by
 /// [`Database::load_from_string_report`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadReport {
-    /// Snapshot format version (1 or 2).
+    /// Snapshot format version (1, 2, or 3 for a delta application).
     pub version: u32,
-    /// Per-ASR outcome, in registration order.
+    /// Per-ASR outcome, in registration order.  After a chain load this
+    /// reflects the final application.
     pub asrs: Vec<(AsrId, AsrLoadMode)>,
     /// Bytes of physical-section lines (newlines included) belonging to
     /// physically restored ASRs.  The durability layer subtracts these
     /// from its whole-file read charge: those bytes are the trees' page
     /// images, and their reads are charged by the restore itself.
     pub physical_bytes: usize,
+    /// Number of `ASRDB 3` deltas applied on top of the base snapshot
+    /// (0 for a plain full load).
+    pub delta_chain: usize,
 }
 
 impl Database {
@@ -112,6 +173,252 @@ impl Database {
         let _ = writeln!(out, "{BASE_MARKER}");
         out.push_str(&snapshot::write_base(self.base()));
         out
+    }
+
+    /// Serialize only what changed since the last
+    /// [`Database::mark_clean`] fence as an `ASRDB 3` delta on top of the
+    /// checkpoint identified by `base_id` (an opaque caller token — the
+    /// durability layer uses the base checkpoint's LSN).
+    ///
+    /// Returns `None` when the physical design (ASRs, type sizes) changed
+    /// since the fence: deltas never span design changes, so the caller
+    /// must take a full checkpoint instead.  Individual ASRs whose delta
+    /// would exceed [`DELTA_FULL_FRACTION`] of their full section are
+    /// embedded in full v2 form.
+    pub fn save_delta_to_string(&self, base_id: u64) -> Option<String> {
+        if self.is_design_dirty() {
+            return None;
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC_V3}");
+        let _ = writeln!(out, "DELTA {base_id}");
+        self.write_design(&mut out);
+        for (ordinal, (_, asr)) in self.asrs().enumerate() {
+            let mut delta = String::new();
+            write_asr_delta(&mut delta, ordinal, asr);
+            // An unchanged ASR always ships as an (empty) delta — the size
+            // fraction only arbitrates when there is real change to carry.
+            if asr.changed_rows() == 0 {
+                out.push_str(&delta);
+                continue;
+            }
+            let mut full = String::new();
+            write_asr_physical(&mut full, ordinal, asr);
+            if (delta.len() as f64) <= (full.len() as f64) * DELTA_FULL_FRACTION {
+                out.push_str(&delta);
+            } else {
+                out.push_str(&full);
+            }
+        }
+        let _ = writeln!(out, "{BASE_MARKER}");
+        self.write_base_delta(&mut out);
+        Some(out)
+    }
+
+    /// The `GOMDELTA 1` section: the snapshot lines of every object
+    /// changed since the fence (exact `GOMSNAP` syntax, filtered from a
+    /// full serialization so the merge on the other side reproduces the
+    /// canonical text byte-for-byte), the deleted OIDs, and rebound
+    /// variables.
+    fn write_base_delta(&self, out: &mut String) {
+        let _ = writeln!(out, "GOMDELTA 1 {}", self.base().object_count());
+        let dead = self.dead_oids();
+        if dead.is_empty() {
+            let _ = writeln!(out, "X -");
+        } else {
+            let csv: Vec<String> = dead.iter().map(|o| format!("i{}", o.as_raw())).collect();
+            let _ = writeln!(out, "X {}", csv.join(","));
+        }
+        let full = snapshot::write_base(self.base());
+        for line in full.lines() {
+            if let Some(oid) = parse_o_line_oid(line) {
+                if self.dirty_oids().contains(&oid) {
+                    let _ = writeln!(out, "{line}");
+                }
+            } else if let Some(name) = parse_v_line_name(line) {
+                if self.dirty_vars().contains(&name) {
+                    let _ = writeln!(out, "{line}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{END_MARKER}");
+    }
+
+    /// The base-checkpoint id named by an `ASRDB 3` document's `DELTA`
+    /// header — how chain loaders resolve lineage without applying.
+    pub fn delta_base_id(text: &str) -> Result<u64> {
+        let bad = |msg: String| AsrError::Snapshot(msg);
+        let mut lines = text.lines();
+        let first = lines.next().ok_or_else(|| bad("empty delta".into()))?;
+        if first.trim() != MAGIC_V3 {
+            return Err(bad(format!("bad magic `{first}` (expected `{MAGIC_V3}`)")));
+        }
+        let second = lines
+            .next()
+            .ok_or_else(|| bad("missing DELTA header".into()))?;
+        second
+            .strip_prefix("DELTA ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad(format!("bad DELTA header `{second}`")))
+    }
+
+    /// `true` when `text` is an `ASRDB 3` delta document.
+    pub fn is_delta_snapshot(text: &str) -> bool {
+        text.lines().next().map(str::trim) == Some(MAGIC_V3)
+    }
+
+    /// Apply an `ASRDB 3` delta on top of this database's state, which
+    /// must hold the delta's base checkpoint (the caller verifies lineage
+    /// via [`Database::delta_base_id`]).  Strict: any inconsistency is an
+    /// error — the replication path NACKs instead of silently rebuilding.
+    pub fn apply_delta_from_string(&self, text: &str) -> Result<Database> {
+        Ok(self.apply_delta_from_string_report(text, true)?.0)
+    }
+
+    /// [`Database::apply_delta_from_string`] with a [`LoadReport`] and a
+    /// strictness switch: when `strict` is false (crash recovery), an ASR
+    /// whose images cannot be patched falls back to a charged rebuild from
+    /// the merged base instead of failing the whole application.
+    ///
+    /// `self` is never modified — on error the caller still holds the
+    /// base state.
+    pub fn apply_delta_from_string_report(
+        &self,
+        text: &str,
+        strict: bool,
+    ) -> Result<(Database, LoadReport)> {
+        let doc = parse_delta_doc(text)?;
+        let mut want_design = String::new();
+        self.write_design(&mut want_design);
+        if doc.design != want_design {
+            return Err(AsrError::Snapshot(
+                "delta design section does not match the base database".into(),
+            ));
+        }
+
+        // ---- base section: canonical text merge --------------------
+        let full = snapshot::write_base(self.base());
+        let mut schema_lines: Vec<&str> = Vec::new();
+        let mut objects: BTreeMap<u64, &str> = BTreeMap::new();
+        let mut vars: BTreeMap<String, &str> = BTreeMap::new();
+        for line in full.lines().skip(1) {
+            if let Some(oid) = parse_o_line_oid(line) {
+                objects.insert(oid.as_raw(), line);
+            } else if let Some(name) = parse_v_line_name(line) {
+                vars.insert(name, line);
+            } else {
+                schema_lines.push(line);
+            }
+        }
+        for oid in &doc.dead_oids {
+            // Rows deleted after the base may never have shipped: tolerate.
+            objects.remove(oid);
+        }
+        for (oid, line) in &doc.o_upserts {
+            objects.insert(*oid, *line);
+        }
+        for (name, line) in &doc.v_upserts {
+            vars.insert(name.clone(), *line);
+        }
+        if objects.len() != doc.object_count {
+            return Err(AsrError::Snapshot(format!(
+                "patched base has {} objects, delta expects {}",
+                objects.len(),
+                doc.object_count
+            )));
+        }
+        let mut merged = String::from("GOMSNAP 1\n");
+        for line in schema_lines {
+            let _ = writeln!(merged, "{line}");
+        }
+        for line in objects.values() {
+            let _ = writeln!(merged, "{line}");
+        }
+        for line in vars.values() {
+            let _ = writeln!(merged, "{line}");
+        }
+        let base = snapshot::read_base(&merged)?;
+
+        // ---- reassemble, mirroring the v2 load tail ----------------
+        let stats = asr_pagesim::IoStats::new_handle();
+        let mut store = ObjectStore::new(Rc::clone(&stats));
+        for line in doc.design.lines() {
+            if let Some(rest) = line.strip_prefix("S ") {
+                let (name, size) = rest
+                    .split_once(' ')
+                    .and_then(|(n, s)| s.parse::<usize>().ok().map(|s| (n, s)))
+                    .ok_or_else(|| AsrError::Snapshot(format!("bad S line `{line}`")))?;
+                store.set_type_size(base.schema().require(name)?, size);
+            }
+        }
+        store.sync_with_base(&base)?;
+        let mut db = Database::from_parts(base, store, stats);
+
+        let mut report = LoadReport {
+            version: 3,
+            asrs: Vec::new(),
+            physical_bytes: 0,
+            delta_chain: 1,
+        };
+        let mut sections = doc.sections;
+        for (ordinal, (_, old_asr)) in self.asrs().enumerate() {
+            let path = old_asr.path().clone();
+            let config = old_asr.config().clone();
+            let outcome: std::result::Result<(AsrId, AsrLoadMode, usize), String> =
+                match sections.remove(&ordinal) {
+                    Some((DeltaSection::Full(images), bytes)) => {
+                        try_physical(&mut db, &path, &config, images)
+                            .map(|id| (id, AsrLoadMode::Physical, bytes))
+                            .map_err(|e| e.to_string())
+                    }
+                    Some((DeltaSection::Delta(deltas), bytes)) => {
+                        patch_and_restore(&mut db, old_asr, &deltas)
+                            .map(|(id, pages)| (id, AsrLoadMode::Delta { pages }, bytes))
+                            .map_err(|e| e.to_string())
+                    }
+                    None => Err("no delta section for this ASR".into()),
+                };
+            match outcome {
+                Ok((id, mode, bytes)) => {
+                    report.physical_bytes += bytes;
+                    report.asrs.push((id, mode));
+                }
+                Err(reason) if strict => {
+                    return Err(AsrError::Snapshot(format!(
+                        "delta section for ASR {ordinal} ({path}): {reason}"
+                    )));
+                }
+                Err(reason) => {
+                    charge_path_scans(&db, &path);
+                    let id = db.create_asr(path, config)?;
+                    report.asrs.push((id, AsrLoadMode::Rebuilt(reason)));
+                }
+            }
+        }
+        if let Some((&ordinal, _)) = sections.iter().next() {
+            return Err(AsrError::Snapshot(format!(
+                "delta section references ASR {ordinal} but the base has only {}",
+                self.asrs().count()
+            )));
+        }
+        db.mark_clean();
+        Ok((db, report))
+    }
+
+    /// Load a full snapshot plus a chain of deltas, each applied on top of
+    /// the previous state (crash recovery: lenient per-ASR fallback).  The
+    /// report aggregates the chain: `asrs` reflects the final application,
+    /// `physical_bytes` sums every link.
+    pub fn load_from_chain_report(base: &str, deltas: &[&str]) -> Result<(Database, LoadReport)> {
+        let (mut db, mut report) = Database::load_from_string_report(base)?;
+        for text in deltas {
+            let (next, step) = db.apply_delta_from_string_report(text, false)?;
+            db = next;
+            report.asrs = step.asrs;
+            report.physical_bytes += step.physical_bytes;
+            report.delta_chain += 1;
+        }
+        Ok((db, report))
     }
 
     /// The design section shared by both format versions: `S` lines
@@ -149,26 +456,7 @@ impl Database {
     /// tree images.  ASRs are numbered by their `A`-line ordinal.
     fn write_physical(&self, out: &mut String) {
         for (ordinal, (_, asr)) in self.asrs().enumerate() {
-            for (pidx, part) in asr.partitions().iter().enumerate() {
-                let img = part.dump();
-                let _ = writeln!(
-                    out,
-                    "P {ordinal} {pidx} {} {} {} {}",
-                    img.from,
-                    img.to,
-                    img.next_rowid,
-                    img.rows.len()
-                );
-                for (row, rowid, count) in &img.rows {
-                    let _ = write!(out, "R {rowid} {count}");
-                    for cell in row.cells() {
-                        let _ = write!(out, " {}", cell_token(cell));
-                    }
-                    out.push('\n');
-                }
-                write_tree(out, ordinal, pidx, 'f', &img.fwd);
-                write_tree(out, ordinal, pidx, 'b', &img.bwd);
-            }
+            write_asr_physical(out, ordinal, asr);
         }
     }
 
@@ -240,6 +528,7 @@ impl Database {
             version,
             asrs: Vec::new(),
             physical_bytes: 0,
+            delta_chain: 0,
         };
         for (ordinal, line) in asr_lines.into_iter().enumerate() {
             let (path, config) = parse_a_line(&db, line)?;
@@ -267,6 +556,9 @@ impl Database {
                 }
             }
         }
+        // The loaded snapshot is the fence the next delta checkpoint is
+        // measured against.
+        db.mark_clean();
         Ok((db, report))
     }
 
@@ -324,34 +616,116 @@ fn write_tree(out: &mut String, ordinal: usize, pidx: usize, dir: char, tree: &R
         tree.nodes.len()
     );
     for (id, node) in tree.nodes.iter().enumerate() {
-        match node {
-            RawNode::Free => {}
-            RawNode::Inner { keys, children } => {
-                let kids = children
-                    .iter()
-                    .map(|c| c.to_string())
-                    .collect::<Vec<_>>()
-                    .join(",");
-                let _ = write!(out, "N {dir} {id} I {kids}");
-                for (cell, rowid) in keys {
-                    let _ = write!(out, " {}={rowid}", cell_token(cell));
-                }
-                out.push('\n');
-            }
-            RawNode::Leaf { rowids, next } => {
-                let next = next.map_or("-".to_string(), |n| n.to_string());
-                let ids = if rowids.is_empty() {
-                    "-".to_string()
-                } else {
-                    rowids
-                        .iter()
-                        .map(|r| r.to_string())
-                        .collect::<Vec<_>>()
-                        .join(",")
-                };
-                let _ = writeln!(out, "N {dir} {id} L {next} {ids}");
+        write_node_line(out, dir, id, node, false);
+    }
+}
+
+/// Emit one page as an `N` line.  Free pages are skipped in full images
+/// (restore pre-fills the slab with `Free`) but named explicitly in delta
+/// sections when `emit_free` — a patch must overwrite released pages.
+fn write_node_line(out: &mut String, dir: char, id: usize, node: &RawNode, emit_free: bool) {
+    match node {
+        RawNode::Free => {
+            if emit_free {
+                let _ = writeln!(out, "N {dir} {id} F");
             }
         }
+        RawNode::Inner { keys, children } => {
+            let kids = children
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = write!(out, "N {dir} {id} I {kids}");
+            for (cell, rowid) in keys {
+                let _ = write!(out, " {}={rowid}", cell_token(cell));
+            }
+            out.push('\n');
+        }
+        RawNode::Leaf { rowids, next } => {
+            let next = next.map_or("-".to_string(), |n| n.to_string());
+            let ids = csv_or_dash(rowids.iter());
+            let _ = writeln!(out, "N {dir} {id} L {next} {ids}");
+        }
+    }
+}
+
+/// `a,b,c` or `-` when empty.
+fn csv_or_dash<T: std::fmt::Display>(items: impl ExactSizeIterator<Item = T>) -> String {
+    if items.len() == 0 {
+        "-".to_string()
+    } else {
+        items.map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+    }
+}
+
+/// One ASR's full physical section in the v2 grammar (`P`/`R`/`T`/`N`) —
+/// the whole-snapshot writer and the per-ASR fallback inside v3 deltas.
+fn write_asr_physical(out: &mut String, ordinal: usize, asr: &AccessSupportRelation) {
+    for (pidx, part) in asr.partitions().iter().enumerate() {
+        let img = part.dump();
+        let _ = writeln!(
+            out,
+            "P {ordinal} {pidx} {} {} {} {}",
+            img.from,
+            img.to,
+            img.next_rowid,
+            img.rows.len()
+        );
+        for (row, rowid, count) in &img.rows {
+            let _ = write!(out, "R {rowid} {count}");
+            for cell in row.cells() {
+                let _ = write!(out, " {}", cell_token(cell));
+            }
+            out.push('\n');
+        }
+        write_tree(out, ordinal, pidx, 'f', &img.fwd);
+        write_tree(out, ordinal, pidx, 'b', &img.bwd);
+    }
+}
+
+/// One ASR's delta section (`D`/`R`/`X`/`U`/`N`): rows changed since the
+/// fence, rows physically removed, and the pages each tree stamped.
+fn write_asr_delta(out: &mut String, ordinal: usize, asr: &AccessSupportRelation) {
+    for (pidx, part) in asr.partitions().iter().enumerate() {
+        let d = part.dump_delta();
+        let _ = writeln!(
+            out,
+            "D {ordinal} {pidx} {} {} {} {} {}",
+            d.from,
+            d.to,
+            d.next_rowid,
+            d.nrows,
+            d.upserts.len()
+        );
+        for (row, rowid, count) in &d.upserts {
+            let _ = write!(out, "R {rowid} {count}");
+            for cell in row.cells() {
+                let _ = write!(out, " {}", cell_token(cell));
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "X {}", csv_or_dash(d.deletes.iter()));
+        write_tree_delta(out, ordinal, pidx, 'f', &d.fwd);
+        write_tree_delta(out, ordinal, pidx, 'b', &d.bwd);
+    }
+}
+
+/// Emit one tree delta as a `U` header plus one `N` line per changed page
+/// (freed pages included, as kind `F`).
+fn write_tree_delta(out: &mut String, ordinal: usize, pidx: usize, dir: char, d: &RawTreeDelta) {
+    let _ = writeln!(
+        out,
+        "U {ordinal} {pidx} {dir} {} {} {} {} {} {}",
+        d.root,
+        d.height,
+        d.len,
+        d.total_nodes,
+        d.pages.len(),
+        csv_or_dash(d.free.iter())
+    );
+    for (id, node) in &d.pages {
+        write_node_line(out, dir, *id, node, true);
     }
 }
 
@@ -412,6 +786,508 @@ fn try_physical(
     }
     let asr = AccessSupportRelation::from_restored(path.clone(), config.clone(), parts, stats)?;
     Ok(db.attach_asr(asr))
+}
+
+/// Patch one ASR's base images with its delta section and restore the
+/// result — the v3 counterpart of [`try_physical`].  Returns the new id
+/// and the number of tree pages the delta carried.
+fn patch_and_restore(
+    db: &mut Database,
+    base_asr: &AccessSupportRelation,
+    deltas: &[PartitionDelta],
+) -> Result<(AsrId, usize)> {
+    let parts = base_asr.partitions();
+    if deltas.len() != parts.len() {
+        return Err(AsrError::Snapshot(format!(
+            "delta has {} partitions, base has {}",
+            deltas.len(),
+            parts.len()
+        )));
+    }
+    let mut pages = 0;
+    let mut images = Vec::with_capacity(deltas.len());
+    for (part, d) in parts.iter().zip(deltas) {
+        pages += d.fwd.pages.len() + d.bwd.pages.len();
+        images.push(part.dump().apply_delta(d)?);
+    }
+    let id = try_physical(db, base_asr.path(), base_asr.config(), images)?;
+    Ok((id, pages))
+}
+
+/// Parse an `R` line into a `(row, rowid, witness count)` triple for a
+/// partition spanning `arity` columns.
+fn parse_r_line(line: &str, arity: usize) -> std::result::Result<(Row, u64, u64), String> {
+    let mut it = line.split(' ');
+    it.next();
+    let rowid: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("R: bad row id")?;
+    let count: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("R: bad witness count")?;
+    let cells: Vec<Option<Cell>> = it
+        .map(|tok| parse_cell(tok).map_err(|e| e.to_string()))
+        .collect::<std::result::Result<_, _>>()?;
+    if cells.len() != arity {
+        return Err(format!("R: {} cells for arity {arity}", cells.len()));
+    }
+    Ok((Row::new(cells), rowid, count))
+}
+
+/// Parse the page payload of an `N` line (whole token slice, kind at
+/// `t[3]`).  Kind `F` — an explicitly freed page — only occurs in delta
+/// sections.
+fn parse_node_body(t: &[&str]) -> std::result::Result<RawNode, String> {
+    match t[3] {
+        "F" => {
+            if t.len() != 4 {
+                return Err(format!("N F record has {} fields, expected 4", t.len()));
+            }
+            Ok(RawNode::Free)
+        }
+        "I" => {
+            if t.len() < 5 {
+                return Err("N I record too short".into());
+            }
+            let children: Vec<usize> = t[4]
+                .split(',')
+                .map(|s| s.parse().map_err(|_| format!("bad child `{s}`")))
+                .collect::<std::result::Result<_, _>>()?;
+            let keys: Vec<(Option<Cell>, u64)> = t[5..]
+                .iter()
+                .map(|tok| {
+                    let (cell, rowid) = tok
+                        .rsplit_once('=')
+                        .ok_or_else(|| format!("bad key `{tok}`"))?;
+                    let rowid: u64 = rowid
+                        .parse()
+                        .map_err(|_| format!("bad key row id `{rowid}`"))?;
+                    let cell = parse_cell(cell).map_err(|e| e.to_string())?;
+                    Ok((cell, rowid))
+                })
+                .collect::<std::result::Result<_, String>>()?;
+            Ok(RawNode::Inner { keys, children })
+        }
+        "L" => {
+            if t.len() != 6 {
+                return Err(format!("N L record has {} fields, expected 6", t.len()));
+            }
+            let next = if t[4] == "-" {
+                None
+            } else {
+                Some(
+                    t[4].parse()
+                        .map_err(|_| format!("bad sibling `{}`", t[4]))?,
+                )
+            };
+            let rowids: Vec<u64> = if t[5] == "-" {
+                Vec::new()
+            } else {
+                t[5].split(',')
+                    .map(|s| s.parse().map_err(|_| format!("bad row id `{s}`")))
+                    .collect::<std::result::Result<_, _>>()?
+            };
+            Ok(RawNode::Leaf { rowids, next })
+        }
+        other => Err(format!("bad page kind `{other}`")),
+    }
+}
+
+/// The OID named by a `GOMSNAP` object line (`O i<oid> …`), if `line` is
+/// one.
+fn parse_o_line_oid(line: &str) -> Option<Oid> {
+    let rest = line.strip_prefix("O i")?;
+    let (num, _) = rest.split_once(' ')?;
+    num.parse::<u64>().ok().map(Oid::from_raw)
+}
+
+/// The (unescaped) variable name bound by a `GOMSNAP` variable line
+/// (`V <name> <value>`), if `line` is one.
+fn parse_v_line_name(line: &str) -> Option<String> {
+    let rest = line.strip_prefix("V ")?;
+    let (name, _) = rest.split_once(' ')?;
+    snapshot::unescape(name).ok()
+}
+
+/// One ASR's physical payload inside a v3 document.
+enum DeltaSection {
+    /// Full v2 `P`/`R`/`T`/`N` fallback — the delta was not worth it.
+    Full(Vec<PartitionImage>),
+    /// True `D`/`R`/`X`/`U`/`N` delta, one entry per partition.
+    Delta(Vec<PartitionDelta>),
+}
+
+/// A parsed, not-yet-applied `ASRDB 3` document.
+struct DeltaDoc<'a> {
+    /// The design section verbatim (newline-terminated `S`/`A` lines),
+    /// compared byte-wise against the base database's own design.
+    design: String,
+    /// Physical payload and serialized byte count per `A`-line ordinal.
+    sections: BTreeMap<usize, (DeltaSection, usize)>,
+    /// Expected object count after patching the base section.
+    object_count: usize,
+    /// Raw OIDs deleted since the base checkpoint.
+    dead_oids: Vec<u64>,
+    /// Changed objects: `(raw oid, full O line)`.
+    o_upserts: Vec<(u64, &'a str)>,
+    /// Rebound variables: `(name, full V line)`.
+    v_upserts: Vec<(String, &'a str)>,
+}
+
+/// Parse a v3 document.  Unlike the v2 loader there is no per-ASR poison
+/// pool: a delta that cannot be parsed in full is rejected outright, and
+/// the *apply* step decides between failing (strict) and rebuilding
+/// (lenient).
+fn parse_delta_doc(text: &str) -> Result<DeltaDoc<'_>> {
+    let bad = |msg: String| AsrError::Snapshot(msg);
+    let (head, base_text) = text
+        .split_once(&format!("{BASE_MARKER}\n"))
+        .ok_or_else(|| bad("missing --BASE-- marker".into()))?;
+    let mut lines = head.lines();
+    let first = lines.next().ok_or_else(|| bad("empty delta".into()))?;
+    if first.trim() != MAGIC_V3 {
+        return Err(bad(format!("bad magic `{first}` (expected `{MAGIC_V3}`)")));
+    }
+    let second = lines
+        .next()
+        .ok_or_else(|| bad("missing DELTA header".into()))?;
+    let _base_id: u64 = second
+        .strip_prefix("DELTA ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| bad(format!("bad DELTA header `{second}`")))?;
+
+    let mut design = String::new();
+    let mut phys = PhysParser::default();
+    let mut deltas: BTreeMap<usize, Vec<PartitionDelta>> = BTreeMap::new();
+    let mut delta_bytes: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut current: Option<DeltaPartBuilder> = None;
+    // Which grammar the shared `R`/`N` tags currently belong to.
+    let mut in_full = false;
+    let finalize = |cur: &mut Option<DeltaPartBuilder>,
+                    deltas: &mut BTreeMap<usize, Vec<PartitionDelta>>|
+     -> Result<()> {
+        if let Some(pb) = cur.take() {
+            let (asr, delta) = pb.finish().map_err(AsrError::Snapshot)?;
+            deltas.entry(asr).or_default().push(delta);
+        }
+        Ok(())
+    };
+    for line in lines {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tag = line.split(' ').next().unwrap_or("");
+        match tag {
+            "S" | "A" => {
+                let _ = writeln!(design, "{line}");
+            }
+            "P" => {
+                finalize(&mut current, &mut deltas)?;
+                in_full = true;
+                phys.feed(line)?;
+            }
+            "D" => {
+                phys.finish();
+                finalize(&mut current, &mut deltas)?;
+                in_full = false;
+                let pb = DeltaPartBuilder::parse(line, &deltas).map_err(AsrError::Snapshot)?;
+                *delta_bytes.entry(pb.asr).or_default() += line.len() + 1;
+                current = Some(pb);
+            }
+            "R" | "N" if in_full => phys.feed(line)?,
+            "T" => {
+                if !in_full {
+                    return Err(bad("T record outside a full section".into()));
+                }
+                phys.feed(line)?;
+            }
+            "R" | "N" | "X" | "U" => {
+                let pb = current
+                    .as_mut()
+                    .ok_or_else(|| bad(format!("`{tag}` record outside a delta partition")))?;
+                *delta_bytes.entry(pb.asr).or_default() += line.len() + 1;
+                pb.body_line(tag, line).map_err(AsrError::Snapshot)?;
+            }
+            other => return Err(bad(format!("unknown record `{other}`"))),
+        }
+    }
+    phys.finish();
+    finalize(&mut current, &mut deltas)?;
+    if let Some((ordinal, reason)) = phys.poisoned.iter().next() {
+        // v3 full fallbacks get no second chance at parse time: strictness
+        // is decided at apply.
+        return Err(bad(format!("full section for ASR {ordinal}: {reason}")));
+    }
+
+    let mut sections: BTreeMap<usize, (DeltaSection, usize)> = BTreeMap::new();
+    let phys_bytes = phys.bytes;
+    for (ordinal, images) in phys.done {
+        let bytes = phys_bytes.get(&ordinal).copied().unwrap_or(0);
+        sections.insert(ordinal, (DeltaSection::Full(images), bytes));
+    }
+    for (ordinal, parts) in deltas {
+        if sections.contains_key(&ordinal) {
+            return Err(bad(format!(
+                "ASR {ordinal} has both a full and a delta section"
+            )));
+        }
+        let bytes = delta_bytes.get(&ordinal).copied().unwrap_or(0);
+        sections.insert(ordinal, (DeltaSection::Delta(parts), bytes));
+    }
+
+    // ---- base section ----------------------------------------------
+    let mut blines = base_text.lines();
+    let header = blines
+        .next()
+        .ok_or_else(|| bad("missing GOMDELTA header".into()))?;
+    let object_count: usize = header
+        .strip_prefix("GOMDELTA 1 ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| bad(format!("bad GOMDELTA header `{header}`")))?;
+    let xline = blines
+        .next()
+        .ok_or_else(|| bad("missing deleted-OID record".into()))?;
+    let rest = xline
+        .strip_prefix("X ")
+        .ok_or_else(|| bad(format!("bad deleted-OID record `{xline}`")))?;
+    let mut dead_oids = Vec::new();
+    if rest != "-" {
+        for tok in rest.split(',') {
+            let oid: u64 = tok
+                .strip_prefix('i')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(format!("bad deleted OID `{tok}`")))?;
+            dead_oids.push(oid);
+        }
+    }
+    let mut o_upserts = Vec::new();
+    let mut v_upserts = Vec::new();
+    let mut ended = false;
+    for line in blines {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if ended {
+            return Err(bad(format!("record after {END_MARKER}: `{line}`")));
+        }
+        if line == END_MARKER {
+            ended = true;
+        } else if let Some(oid) = parse_o_line_oid(line) {
+            o_upserts.push((oid.as_raw(), line));
+        } else if let Some(name) = parse_v_line_name(line) {
+            v_upserts.push((name, line));
+        } else {
+            return Err(bad(format!("unknown base delta record `{line}`")));
+        }
+    }
+    if !ended {
+        return Err(bad(format!("truncated delta: missing {END_MARKER}")));
+    }
+    Ok(DeltaDoc {
+        design,
+        sections,
+        object_count,
+        dead_oids,
+        o_upserts,
+        v_upserts,
+    })
+}
+
+/// A delta partition section under construction.
+struct DeltaPartBuilder {
+    asr: usize,
+    from: usize,
+    to: usize,
+    next_rowid: u64,
+    nrows: usize,
+    nupserts: usize,
+    upserts: Vec<(Row, u64, u64)>,
+    deletes: Vec<u64>,
+    seen_x: bool,
+    /// Bytes of the shared row payload (`D`/`R`/`X` lines), split between
+    /// the trees at finish like the v2 parser does.
+    row_bytes: usize,
+    fwd: Option<DeltaTreeBuilder>,
+    bwd: Option<DeltaTreeBuilder>,
+}
+
+/// One tree delta under construction; `assigned` guards duplicate pages.
+struct DeltaTreeBuilder {
+    delta: RawTreeDelta,
+    expected_pages: usize,
+    assigned: Vec<bool>,
+    bytes: usize,
+}
+
+impl DeltaPartBuilder {
+    fn parse(
+        line: &str,
+        done: &BTreeMap<usize, Vec<PartitionDelta>>,
+    ) -> std::result::Result<DeltaPartBuilder, String> {
+        let t: Vec<&str> = line.split(' ').collect();
+        if t.len() != 8 {
+            return Err(format!("D record has {} fields, expected 8", t.len()));
+        }
+        let num = |s: &str| s.parse::<usize>().map_err(|_| format!("bad number `{s}`"));
+        let asr = num(t[1])?;
+        let pidx = num(t[2])?;
+        let expected = done.get(&asr).map_or(0, Vec::len);
+        if pidx != expected {
+            return Err(format!(
+                "delta partition {pidx} out of order (expected {expected})"
+            ));
+        }
+        Ok(DeltaPartBuilder {
+            asr,
+            from: num(t[3])?,
+            to: num(t[4])?,
+            next_rowid: t[5].parse().map_err(|_| format!("bad number `{}`", t[5]))?,
+            nrows: num(t[6])?,
+            nupserts: num(t[7])?,
+            upserts: Vec::new(),
+            deletes: Vec::new(),
+            seen_x: false,
+            row_bytes: line.len() + 1,
+            fwd: None,
+            bwd: None,
+        })
+    }
+
+    fn body_line(&mut self, tag: &str, line: &str) -> std::result::Result<(), String> {
+        match tag {
+            "R" => {
+                let arity = self.to - self.from + 1;
+                self.upserts.push(parse_r_line(line, arity)?);
+                self.row_bytes += line.len() + 1;
+                Ok(())
+            }
+            "X" => {
+                if self.seen_x {
+                    return Err("duplicate X record".into());
+                }
+                self.seen_x = true;
+                self.row_bytes += line.len() + 1;
+                let rest = line.strip_prefix("X ").ok_or("bad X record")?;
+                if rest != "-" {
+                    for tok in rest.split(',') {
+                        self.deletes
+                            .push(tok.parse().map_err(|_| format!("bad row id `{tok}`"))?);
+                    }
+                }
+                Ok(())
+            }
+            "U" => {
+                let t: Vec<&str> = line.split(' ').collect();
+                if t.len() != 10 {
+                    return Err(format!("U record has {} fields, expected 10", t.len()));
+                }
+                let num = |s: &str| s.parse::<usize>().map_err(|_| format!("bad number `{s}`"));
+                let free: Vec<usize> = if t[9] == "-" {
+                    Vec::new()
+                } else {
+                    t[9].split(',')
+                        .map(num)
+                        .collect::<std::result::Result<_, _>>()?
+                };
+                let (root, height, len) = (num(t[4])?, num(t[5])?, num(t[6])?);
+                let (total, npages) = (num(t[7])?, num(t[8])?);
+                // Same slab-size plausibility bound as the v2 `T` record.
+                if total > 2 * len + free.len() + 8 {
+                    return Err(format!("implausible page count {total} for {len} entries"));
+                }
+                if npages > total {
+                    return Err(format!("delta ships {npages} of {total} pages"));
+                }
+                let builder = DeltaTreeBuilder {
+                    expected_pages: npages,
+                    assigned: vec![false; total],
+                    bytes: line.len() + 1,
+                    delta: RawTreeDelta {
+                        root,
+                        height,
+                        len,
+                        free,
+                        total_nodes: total,
+                        pages: Vec::new(),
+                    },
+                };
+                match t[3] {
+                    "f" if self.fwd.is_none() => self.fwd = Some(builder),
+                    "b" if self.bwd.is_none() => self.bwd = Some(builder),
+                    "f" | "b" => return Err(format!("duplicate {} tree delta", t[3])),
+                    other => return Err(format!("bad tree direction `{other}`")),
+                }
+                Ok(())
+            }
+            "N" => {
+                let t: Vec<&str> = line.split(' ').collect();
+                if t.len() < 4 {
+                    return Err("N record too short".into());
+                }
+                let builder = match t[1] {
+                    "f" => self.fwd.as_mut(),
+                    "b" => self.bwd.as_mut(),
+                    other => return Err(format!("bad tree direction `{other}`")),
+                }
+                .ok_or("N record before its U header")?;
+                builder.bytes += line.len() + 1;
+                let id: usize = t[2]
+                    .parse()
+                    .map_err(|_| format!("bad page id `{}`", t[2]))?;
+                if id >= builder.delta.total_nodes {
+                    return Err(format!("page id {id} out of bounds"));
+                }
+                if builder.assigned[id] {
+                    return Err(format!("page {id} written twice"));
+                }
+                builder.assigned[id] = true;
+                builder.delta.pages.push((id, parse_node_body(&t)?));
+                Ok(())
+            }
+            other => Err(format!("unknown delta record `{other}`")),
+        }
+    }
+
+    fn finish(self) -> std::result::Result<(usize, PartitionDelta), String> {
+        if self.upserts.len() != self.nupserts {
+            return Err(format!(
+                "delta partition has {} R rows, expected {}",
+                self.upserts.len(),
+                self.nupserts
+            ));
+        }
+        if !self.seen_x {
+            return Err("delta partition is missing its X record".into());
+        }
+        let (Some(fwd), Some(bwd)) = (self.fwd, self.bwd) else {
+            return Err("delta partition is missing a tree delta".into());
+        };
+        if fwd.delta.pages.len() != fwd.expected_pages
+            || bwd.delta.pages.len() != bwd.expected_pages
+        {
+            return Err("tree delta page count does not match its U header".into());
+        }
+        let half = self.row_bytes / 2;
+        Ok((
+            self.asr,
+            PartitionDelta {
+                from: self.from,
+                to: self.to,
+                next_rowid: self.next_rowid,
+                nrows: self.nrows,
+                upserts: self.upserts,
+                deletes: self.deletes,
+                fwd_bytes: fwd.bytes + half,
+                bwd_bytes: bwd.bytes + (self.row_bytes - half),
+                fwd: fwd.delta,
+                bwd: bwd.delta,
+            },
+        ))
+    }
 }
 
 /// Stateful parser for the v2 physical section.  A malformed line poisons
@@ -572,24 +1448,8 @@ impl PhysParser {
         };
         match tag {
             "R" => {
-                let mut it = line.split(' ');
-                it.next();
-                let rowid: u64 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("R: bad row id")?;
-                let count: u64 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("R: bad witness count")?;
-                let cells: Vec<Option<Cell>> = it
-                    .map(|tok| parse_cell(tok).map_err(|e| e.to_string()))
-                    .collect::<std::result::Result<_, _>>()?;
                 let arity = pb.to - pb.from + 1;
-                if cells.len() != arity {
-                    return Err(format!("R: {} cells for arity {arity}", cells.len()));
-                }
-                pb.rows.push((Row::new(cells), rowid, count));
+                pb.rows.push(parse_r_line(line, arity)?);
                 pb.row_bytes += line.len() + 1;
                 Ok(())
             }
@@ -654,50 +1514,7 @@ impl PhysParser {
                     return Err(format!("page {id} written twice"));
                 }
                 builder.assigned[id] = true;
-                builder.tree.nodes[id] = match t[3] {
-                    "I" => {
-                        let children: Vec<usize> = t[4]
-                            .split(',')
-                            .map(|s| s.parse().map_err(|_| format!("bad child `{s}`")))
-                            .collect::<std::result::Result<_, _>>()?;
-                        let keys: Vec<(Option<Cell>, u64)> = t[5..]
-                            .iter()
-                            .map(|tok| {
-                                let (cell, rowid) = tok
-                                    .rsplit_once('=')
-                                    .ok_or_else(|| format!("bad key `{tok}`"))?;
-                                let rowid: u64 = rowid
-                                    .parse()
-                                    .map_err(|_| format!("bad key row id `{rowid}`"))?;
-                                let cell = parse_cell(cell).map_err(|e| e.to_string())?;
-                                Ok((cell, rowid))
-                            })
-                            .collect::<std::result::Result<_, String>>()?;
-                        RawNode::Inner { keys, children }
-                    }
-                    "L" => {
-                        if t.len() != 6 {
-                            return Err(format!("N L record has {} fields, expected 6", t.len()));
-                        }
-                        let next = if t[4] == "-" {
-                            None
-                        } else {
-                            Some(
-                                t[4].parse()
-                                    .map_err(|_| format!("bad sibling `{}`", t[4]))?,
-                            )
-                        };
-                        let rowids: Vec<u64> = if t[5] == "-" {
-                            Vec::new()
-                        } else {
-                            t[5].split(',')
-                                .map(|s| s.parse().map_err(|_| format!("bad row id `{s}`")))
-                                .collect::<std::result::Result<_, _>>()?
-                        };
-                        RawNode::Leaf { rowids, next }
-                    }
-                    other => return Err(format!("bad page kind `{other}`")),
-                };
+                builder.tree.nodes[id] = parse_node_body(&t)?;
                 Ok(())
             }
             other => Err(format!("unknown physical record `{other}`")),
@@ -997,5 +1814,263 @@ mod tests {
         let restored = Database::load_from_string(&db.save_to_string()).unwrap();
         let div_ty = restored.base().schema().resolve("Division").unwrap();
         assert_eq!(restored.store().type_size(div_ty), 500);
+    }
+
+    // ---- ASRDB 3 delta snapshots -----------------------------------
+
+    /// A clean database at its serialization fixed point: `db.save ==
+    /// text` exactly, and every dirty set is fenced.
+    fn settled(db: Database) -> (Database, String) {
+        let db = Database::load_from_string(&db.save_to_string()).unwrap();
+        let text = db.save_to_string();
+        (Database::load_from_string(&text).unwrap(), text)
+    }
+
+    /// The `BasePartSET` behind the 560 SEC product — the deepest set on
+    /// the Figure-2 path, so inserts there flow into every ASR.
+    fn sec_composition(db: &Database) -> (Oid, Oid) {
+        let pepper = db
+            .base()
+            .objects()
+            .find(|o| o.attribute("Name") == &Value::string("Pepper"))
+            .map(|o| o.oid)
+            .unwrap();
+        let set = db
+            .base()
+            .objects()
+            .find(|o| o.attribute("Name") == &Value::string("560 SEC"))
+            .and_then(|o| o.attribute("Composition").as_ref_oid())
+            .unwrap();
+        (set, pepper)
+    }
+
+    /// Figure 2 grown by `extra` additional base parts in the 560 SEC
+    /// composition — big enough that one more insert touches only a few
+    /// tree pages.
+    fn bulk_db(extra: usize) -> Database {
+        let (base, path) = crate::testutil::figure2_base();
+        let mut db = Database::from_base(base);
+        db.create_asr(path.clone(), AsrConfig::binary(Extension::Full, &path))
+            .unwrap();
+        let (set, _) = sec_composition(&db);
+        for k in 0..extra {
+            let p = db.instantiate("BasePart").unwrap();
+            db.set_attribute(p, "Name", Value::string(format!("Part{k}")))
+                .unwrap();
+            db.insert_into_set(set, Value::Ref(p)).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn delta_apply_reproduces_the_primary_byte_for_byte() {
+        let (mut primary, base_text) = settled(sample_db());
+        let (set, pepper) = sec_composition(&primary);
+        primary.insert_into_set(set, Value::Ref(pepper)).unwrap();
+        primary.bind_variable("epoch", Value::string("two"));
+
+        let delta = primary.save_delta_to_string(41).unwrap();
+        assert!(delta.starts_with("ASRDB 3\nDELTA 41\n"), "{delta}");
+        assert_eq!(Database::delta_base_id(&delta).unwrap(), 41);
+        assert!(Database::is_delta_snapshot(&delta));
+        assert!(!Database::is_delta_snapshot(&base_text));
+
+        let replica = Database::load_from_string(&base_text).unwrap();
+        let (patched, report) = replica
+            .apply_delta_from_string_report(&delta, true)
+            .unwrap();
+        assert_eq!(report.version, 3);
+        assert_eq!(report.delta_chain, 1);
+        assert!(report.physical_bytes > 0);
+        assert_eq!(patched.save_to_string(), primary.save_to_string());
+        for (_, asr) in patched.asrs() {
+            asr.check_consistency().unwrap();
+        }
+        // The delta fenced the patched replica: an immediate re-delta on
+        // the primary side applies cleanly on top of it.
+        assert_eq!(patched.dirty_summary(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn clean_database_ships_an_empty_delta() {
+        let (db, text) = settled(sample_db());
+        let delta = db.save_delta_to_string(7).unwrap();
+        assert!(
+            delta.len() * 2 < text.len(),
+            "empty delta {} vs full {}",
+            delta.len(),
+            text.len()
+        );
+        let (patched, report) = db.apply_delta_from_string_report(&delta, true).unwrap();
+        assert!(
+            report
+                .asrs
+                .iter()
+                .all(|(_, m)| matches!(m, AsrLoadMode::Delta { pages: 0 })),
+            "{report:?}"
+        );
+        assert_eq!(patched.save_to_string(), text);
+    }
+
+    #[test]
+    fn small_delta_on_large_database_stays_delta_mode() {
+        let (mut primary, base_text) = settled(bulk_db(400));
+        let (set, _) = sec_composition(&primary);
+        let p = primary.instantiate("BasePart").unwrap();
+        primary
+            .set_attribute(p, "Name", Value::string("Hinge"))
+            .unwrap();
+        primary.insert_into_set(set, Value::Ref(p)).unwrap();
+
+        let full = primary.save_to_string();
+        let delta = primary.save_delta_to_string(9).unwrap();
+        assert!(
+            delta.len() * 4 < full.len(),
+            "delta {} vs full {}",
+            delta.len(),
+            full.len()
+        );
+
+        let replica = Database::load_from_string(&base_text).unwrap();
+        let (patched, report) = replica
+            .apply_delta_from_string_report(&delta, true)
+            .unwrap();
+        assert!(
+            report.asrs.iter().all(|(_, m)| m.is_delta()),
+            "one insert must not degrade to full sections: {report:?}"
+        );
+        let shipped: usize = report
+            .asrs
+            .iter()
+            .map(|(_, m)| match m {
+                AsrLoadMode::Delta { pages } => *pages,
+                _ => 0,
+            })
+            .sum();
+        assert!(shipped > 0, "a real change ships at least one page");
+        assert_eq!(patched.save_to_string(), full);
+        for (_, asr) in patched.asrs() {
+            asr.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn design_change_forces_a_full_checkpoint() {
+        let (mut db, _) = settled(sample_db());
+        assert!(db.save_delta_to_string(1).is_some());
+        let div = db.base().schema().resolve("Division").unwrap();
+        db.set_type_size(div, 300);
+        assert!(
+            db.save_delta_to_string(1).is_none(),
+            "deltas never span design changes"
+        );
+    }
+
+    #[test]
+    fn delta_chain_replays_object_lifecycle() {
+        let (mut primary, base_text) = settled(sample_db());
+        let washer = primary.instantiate("BasePart").unwrap();
+        primary
+            .set_attribute(washer, "Name", Value::string("Washer"))
+            .unwrap();
+        let d1 = primary.save_delta_to_string(0).unwrap();
+        primary.mark_clean();
+
+        primary.delete_object(washer).unwrap();
+        primary.bind_variable("gone", Value::string("yes"));
+        let d2 = primary.save_delta_to_string(1).unwrap();
+        primary.mark_clean();
+        assert!(
+            d2.lines().any(|l| l.starts_with("X i")),
+            "the delete must ship as a dead OID: {d2}"
+        );
+
+        let (chained, report) = Database::load_from_chain_report(&base_text, &[&d1, &d2]).unwrap();
+        assert_eq!(report.delta_chain, 2);
+        assert_eq!(chained.save_to_string(), primary.save_to_string());
+    }
+
+    #[test]
+    fn tampered_delta_nacks_strictly_and_rebuilds_leniently() {
+        let (mut primary, base_text) = settled(bulk_db(400));
+        let (set, pepper) = sec_composition(&primary);
+        primary.insert_into_set(set, Value::Ref(pepper)).unwrap();
+        let delta = primary.save_delta_to_string(3).unwrap();
+
+        // Bump the expected row count of the first delta partition: the
+        // document still parses, but the patched mirror cannot satisfy it.
+        let mut tampered = String::new();
+        let mut done = false;
+        for line in delta.lines() {
+            if !done && line.starts_with("D ") {
+                let mut t: Vec<String> = line.split(' ').map(str::to_string).collect();
+                let n: usize = t[6].parse().unwrap();
+                t[6] = (n + 1).to_string();
+                tampered.push_str(&t.join(" "));
+                done = true;
+            } else {
+                tampered.push_str(line);
+            }
+            tampered.push('\n');
+        }
+        assert!(done, "expected at least one delta partition: {delta}");
+
+        let replica = Database::load_from_string(&base_text).unwrap();
+        let err = replica.apply_delta_from_string(&tampered).unwrap_err();
+        assert!(err.to_string().contains("delta section"), "{err}");
+
+        // Lenient recovery rebuilds the damaged ASR from the patched base:
+        // not byte-identical (fresh row ids) but query-identical.
+        let (patched, report) = replica
+            .apply_delta_from_string_report(&tampered, false)
+            .unwrap();
+        assert!(
+            report
+                .asrs
+                .iter()
+                .any(|(_, m)| matches!(m, AsrLoadMode::Rebuilt(_))),
+            "{report:?}"
+        );
+        let door = Cell::Value(Value::string("Door"));
+        for (id, asr) in patched.asrs() {
+            asr.check_consistency().unwrap();
+            if asr.supports(0, 3) {
+                assert_eq!(
+                    patched.backward(id, 0, 3, &door).unwrap(),
+                    primary.backward(id, 0, 3, &door).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_deltas_error_without_panicking() {
+        let (mut primary, base_text) = settled(bulk_db(60));
+        let (set, pepper) = sec_composition(&primary);
+        primary.insert_into_set(set, Value::Ref(pepper)).unwrap();
+        let delta = primary.save_delta_to_string(5).unwrap();
+        let replica = Database::load_from_string(&base_text).unwrap();
+        let full = {
+            let (patched, _) = replica
+                .apply_delta_from_string_report(&delta, true)
+                .unwrap();
+            patched.save_to_string()
+        };
+        // Cut the document after every line: each prefix must either be
+        // rejected descriptively or (only if still complete enough to
+        // parse) apply to a consistent database — never panic.
+        let cuts: Vec<usize> = delta
+            .char_indices()
+            .filter(|&(_, c)| c == '\n')
+            .map(|(i, _)| i + 1)
+            .collect();
+        for cut in cuts {
+            match replica.apply_delta_from_string_report(&delta[..cut], true) {
+                Err(e) => assert!(!e.to_string().is_empty()),
+                Ok((patched, _)) => {
+                    assert_eq!(patched.save_to_string(), full, "cut at {cut}");
+                }
+            }
+        }
     }
 }

@@ -101,6 +101,60 @@ fn build_db(desc: &RandomDb) -> Database {
     db
 }
 
+/// One random post-checkpoint mutation.  `(kind, a, b)` selects operands
+/// modulo the relevant extents, so any triple is admissible on any
+/// database (inapplicable ops are skipped).
+fn apply_op(db: &mut Database, op: (u8, u8, u8)) {
+    let resolve = |db: &Database, ty: &str| db.base().schema().resolve(ty).unwrap();
+    let extent = |db: &Database, ty: &str| -> Vec<Oid> {
+        db.base()
+            .extent_closure(resolve(db, ty))
+            .into_iter()
+            .collect()
+    };
+    let pick = |v: &[Oid], i: u8| -> Option<Oid> {
+        if v.is_empty() {
+            None
+        } else {
+            Some(v[i as usize % v.len()])
+        }
+    };
+    let (kind, a, b) = op;
+    match kind {
+        // ins_3: a fresh named T3 joins a random S3 set.
+        0 => {
+            if let Some(set) = pick(&extent(db, "S3"), a) {
+                let t3 = db.instantiate("T3").unwrap();
+                db.set_attribute(t3, "Name", Value::string(format!("D{}", b % 5)))
+                    .unwrap();
+                db.insert_into_set(set, Value::Ref(t3)).unwrap();
+            }
+        }
+        // Rename an existing T3.
+        1 => {
+            if let Some(t3) = pick(&extent(db, "T3"), a) {
+                db.set_attribute(t3, "Name", Value::string(format!("R{}", b % 5)))
+                    .unwrap();
+            }
+        }
+        // Rebind a T1's A2 reference.
+        2 => {
+            if let (Some(t1), Some(t2)) = (pick(&extent(db, "T1"), a), pick(&extent(db, "T2"), b)) {
+                db.set_attribute(t1, "A2", Value::Ref(t2)).unwrap();
+            }
+        }
+        // Remove a T3 from an S3 set (no-op when not a member).
+        3 => {
+            if let (Some(set), Some(t3)) = (pick(&extent(db, "S3"), a), pick(&extent(db, "T3"), b))
+            {
+                db.remove_from_set(set, &Value::Ref(t3)).unwrap();
+            }
+        }
+        // Rebind a variable.
+        _ => db.bind_variable(&format!("v{}", a % 3), Value::string(format!("x{b}"))),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -207,5 +261,62 @@ proptest! {
             asr.check_consistency().unwrap();
         }
         prop_assert_eq!(reloaded.save_to_string(), db.save_to_string());
+    }
+
+    /// A base v2 snapshot plus a chain of `ASRDB 3` deltas loads to a
+    /// database *byte-identical* to the primary's own full snapshot —
+    /// for random databases, random decompositions, and random mutation
+    /// batches between checkpoints.
+    #[test]
+    fn delta_chain_matches_full_snapshot(
+        desc in random_db_strategy(),
+        dec_seed in any::<u8>(),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u8..5, any::<u8>(), any::<u8>()), 0..16),
+            1..4,
+        ),
+    ) {
+        let mut db = build_db(&desc);
+        let path = PathExpression::parse(db.base().schema(), PATH).unwrap();
+        let all_decs = Decomposition::enumerate_all(path.len());
+        for (e, ext) in Extension::ALL.into_iter().enumerate() {
+            let dec = all_decs[(dec_seed as usize + e) % all_decs.len()].clone();
+            db.create_asr(path.clone(), AsrConfig {
+                extension: ext,
+                decomposition: dec,
+                keep_set_oids: false,
+            }).unwrap();
+        }
+
+        // Settle to the snapshot fixed point; this is the base checkpoint.
+        let db = Database::load_from_string(&db.save_to_string()).unwrap();
+        let base_text = db.save_to_string();
+        let mut primary = Database::load_from_string(&base_text).unwrap();
+
+        let mut deltas: Vec<String> = Vec::new();
+        for batch in &batches {
+            for &op in batch {
+                apply_op(&mut primary, op);
+            }
+            let delta = primary.save_delta_to_string(deltas.len() as u64).unwrap();
+            prop_assert_eq!(Database::delta_base_id(&delta).unwrap(), deltas.len() as u64);
+            deltas.push(delta);
+            primary.mark_clean();
+        }
+
+        let refs: Vec<&str> = deltas.iter().map(String::as_str).collect();
+        let (chained, report) = Database::load_from_chain_report(&base_text, &refs).unwrap();
+        prop_assert_eq!(report.delta_chain, refs.len());
+        // No link of a healthy chain may degrade to a rebuild.
+        for (id, mode) in &report.asrs {
+            prop_assert!(
+                !matches!(mode, asr_core::AsrLoadMode::Rebuilt(_)),
+                "asr {} rebuilt: {:?}", id, mode
+            );
+        }
+        for (_, asr) in chained.asrs() {
+            asr.check_consistency().unwrap();
+        }
+        prop_assert_eq!(chained.save_to_string(), primary.save_to_string());
     }
 }

@@ -1,4 +1,4 @@
-//! Machine-readable performance snapshot (`BENCH_6.json`) and the
+//! Machine-readable performance snapshot (`BENCH_7.json`) and the
 //! perf-trend gate over the whole `BENCH_*.json` series.
 //!
 //! ```text
@@ -22,13 +22,18 @@
 //! * the replication comparison: shipped bytes/pages of a warm replica
 //!   catching up on a delta vs. a cold replica bootstrapping from the
 //!   checkpoint — the log-shipping analogue of replay-vs-rebuild;
+//! * the delta-checkpoint comparison: pages a copy-on-write delta
+//!   checkpoint writes vs. an equivalent full checkpoint, and bytes a
+//!   delta re-bootstrap (`Need::DeltaBootstrap`) ships vs. a full
+//!   bootstrap of the same state;
 //! * the PITR cost curve: `recover_to_lsn` priced at bounds 0–100% of
 //!   the tip, showing replay cost growing with bound distance from the
 //!   covering checkpoint;
 //! * wall-clock of the full figure suite at `--jobs 1` vs `--jobs 4`,
-//!   alongside the machine's available parallelism — on a single-core
-//!   container the worker pool cannot beat the sequential run, and the
-//!   `cpus` field makes the speedup number interpretable.
+//!   alongside the machine's available parallelism — on a single-CPU
+//!   container the worker pool cannot beat the sequential run, so the
+//!   speedup is reported as `null` with a note instead of a misleading
+//!   sub-1.0 number (the `suite_io` jobs-invariance is still checked).
 //!
 //! `--check-physical-load` runs only the recovery comparison and exits
 //! non-zero if physically loading the v2 checkpoint does not beat the
@@ -44,8 +49,8 @@ use std::time::Instant;
 
 use asr_bench::experiments::{registry, run_entries, run_entries_sharded};
 use asr_bench::recovery::{
-    measure_pitr, measure_recovery, measure_replication, PhaseCost, PitrBench, RecoveryBench,
-    ReplicationBench, ShipCost,
+    measure_delta_checkpoint, measure_pitr, measure_recovery, measure_replication,
+    DeltaCheckpointBench, PhaseCost, PitrBench, RecoveryBench, ReplicationBench, ShipCost,
 };
 use asr_core::{AsrConfig, Decomposition, Extension};
 use asr_costmodel::{profiles, Mix, Op};
@@ -73,7 +78,7 @@ const RECOVERY_DELTA_OPS: usize = 16;
 const PITR_DELTA_OPS: usize = 64;
 
 fn main() {
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut check_only = false;
     let mut trend_mode = false;
     let mut trend_dir = String::from(".");
@@ -169,6 +174,9 @@ fn main() {
     eprintln!("measuring replication: warm catch-up vs cold bootstrap ...");
     let replication = measure_replication(RECOVERY_SCALE, RECOVERY_DELTA_OPS);
 
+    eprintln!("measuring delta checkpoints: delta vs full write and re-seed ...");
+    let delta_ckpt = measure_delta_checkpoint(RECOVERY_SCALE, RECOVERY_DELTA_OPS);
+
     eprintln!("measuring PITR: replay cost vs bound distance ...");
     let pitr = measure_pitr(RECOVERY_SCALE, PITR_DELTA_OPS);
 
@@ -189,24 +197,36 @@ fn main() {
     );
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // On a single-CPU container the jobs-4 wall comparison measures
+    // scheduler overhead, not the worker pool: report `null` with a note
+    // rather than a misleading sub-1.0 speedup.
+    let speedup = if cpus < 2 {
+        format!(
+            "\"speedup_jobs4\": null,\n    \"speedup_note\": \"cpus={cpus}: jobs-4 wall \
+             comparison skipped on a single-CPU machine (suite_io invariance still checked)\""
+        )
+    } else {
+        format!("\"speedup_jobs4\": {:.2}", jobs1_ms / jobs4_ms.max(1e-9))
+    };
     let json = format!(
-        "{{\n  \"schema\": \"asr-bench-snapshot/5\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+        "{{\n  \"schema\": \"asr-bench-snapshot/6\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
          \"wall_ms\": {fig6_ms:.1},\n      \"workload\": \"Q_{{0,n}}(bw) x{QUERY_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }},\n    \"fig11\": {{\n      \
          \"wall_ms\": {fig11_ms:.1},\n      \"workload\": \"ins_3 x{UPDATE_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }}\n  }},\n  \
-         \"recovery\": {},\n  \"replication\": {},\n  \"pitr\": {},\n  \"all\": {{\n    \
+         \"recovery\": {},\n  \"replication\": {},\n  \"delta_checkpoint\": {},\n  \
+         \"pitr\": {},\n  \"all\": {{\n    \
          \"figures\": {},\n    \"cpus\": {cpus},\n    \"jobs1_wall_ms\": {jobs1_ms:.1},\n    \
-         \"jobs4_wall_ms\": {jobs4_ms:.1},\n    \"speedup_jobs4\": {:.2},\n    \
+         \"jobs4_wall_ms\": {jobs4_ms:.1},\n    {speedup},\n    \
          \"suite_io\": {{ \"page_reads\": {}, \"page_writes\": {}, \"buffer_hits\": {}, \
          \"jobs_invariant\": true }}\n  }}\n}}\n",
         io_json(&fig6_io),
         io_json(&fig11_io),
         recovery_json(&recovery),
         replication_json(&replication),
+        delta_checkpoint_json(&delta_ckpt),
         pitr_json(&pitr),
         all.len(),
-        jobs1_ms / jobs4_ms.max(1e-9),
         suite_io1.reads,
         suite_io1.writes,
         suite_io1.buffer_hits,
@@ -262,6 +282,30 @@ fn replication_json(b: &ReplicationBench) -> String {
         ship_json(&b.catchup),
         ship_json(&b.bootstrap),
         b.catchup.pages as f64 / b.bootstrap.pages.max(1) as f64,
+    )
+}
+
+fn delta_checkpoint_json(b: &DeltaCheckpointBench) -> String {
+    format!(
+        "{{\n    \"workload\": \"ins_3 x{RECOVERY_DELTA_OPS} delta on the \
+         1/{RECOVERY_SCALE:.0}-scale fig6 profile, delta checkpoint on the create-time base\",\n    \
+         \"delta_ops\": {},\n    \"chain_depth\": {},\n    \"delta_reseeds\": {},\n    \
+         \"checkpoint\": {{ \"wall_ms\": {:.2}, \"delta\": {{ \"page_writes\": {}, \
+         \"bytes\": {} }}, \"full\": {{ \"page_writes\": {} }}, \
+         \"delta_full_page_ratio\": {:.4} }},\n    \
+         \"bootstrap\": {{ \"delta\": {}, \"full\": {}, \
+         \"delta_full_page_ratio\": {:.4} }}\n  }}",
+        b.delta_ops,
+        b.chain_depth,
+        b.delta_reseeds,
+        b.checkpoint_wall_ms,
+        b.delta_pages,
+        b.delta_bytes,
+        b.full_pages,
+        b.delta_pages as f64 / b.full_pages.max(1) as f64,
+        ship_json(&b.delta_bootstrap),
+        ship_json(&b.full_bootstrap),
+        b.delta_bootstrap.pages as f64 / b.full_bootstrap.pages.max(1) as f64,
     )
 }
 

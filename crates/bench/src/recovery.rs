@@ -276,6 +276,113 @@ pub fn measure_replication(scale: f64, delta_ops: usize) -> ReplicationBench {
     }
 }
 
+/// Delta checkpointing and delta re-bootstrap: both write/ship costs
+/// proportional to the *delta*, priced against their full-state
+/// counterparts on the same staged state.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaCheckpointBench {
+    /// Effective (logged) operations in the delta.
+    pub delta_ops: u64,
+    /// Wall-clock of the delta checkpoint itself.
+    pub checkpoint_wall_ms: f64,
+    /// Pages the delta checkpoint wrote (snapshot + archived copy).
+    pub delta_pages: u64,
+    /// Delta checkpoint document bytes.
+    pub delta_bytes: u64,
+    /// Pages a *full* checkpoint of the same state would have written.
+    pub full_pages: u64,
+    /// Delta chain depth after the checkpoint (1 = one delta on a full
+    /// base).
+    pub chain_depth: usize,
+    /// Re-seeding a replica that retains the base checkpoint, after the
+    /// replay history is pruned: ships only the delta chain above the
+    /// base.
+    pub delta_bootstrap: ShipCost,
+    /// Bootstrapping a fresh replica from the same primary: ships the
+    /// full chain (base + deltas).
+    pub full_bootstrap: ShipCost,
+    /// Delta re-seeds the lagging replica went through (must be 1 —
+    /// proof the measurement exercised `Need::DeltaBootstrap`).
+    pub delta_reseeds: u64,
+}
+
+/// Stage the delta-checkpoint comparison.
+///
+/// Staging mirrors [`measure_recovery`]: scaled fig6 population, one
+/// full/binary ASR covered by the create-time (full) checkpoint, then
+/// `delta_ops` logged `ins_3` inserts.  A replica converges on the base
+/// state first; the primary then applies the delta, takes a *delta*
+/// checkpoint, and prunes its segments — so the replica's catch-up must
+/// renegotiate a delta re-bootstrap, while a fresh replica pays for the
+/// full chain.
+pub fn measure_delta_checkpoint(scale: f64, delta_ops: usize) -> DeltaCheckpointBench {
+    let (mut primary, trace) = stage_parts(scale, delta_ops);
+    let opts = ReplicateOptions::default();
+
+    // Converge a replica on the create-time checkpoint alone — it
+    // retains that full base, which is what the delta re-seed patches.
+    let mut warm = ReplicaApplier::new();
+    let mut channel = LosslessChannel::new();
+    replicate(&primary, &mut warm, &mut channel, &opts).expect("base bootstrap");
+
+    let applied = apply_trace(&mut primary, &trace);
+    let t = Instant::now();
+    let report = primary.checkpoint_delta().expect("delta checkpoint");
+    let checkpoint_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        report.is_delta(),
+        "staged ins_3 delta must take the delta checkpoint path"
+    );
+    primary.prune_segments().expect("prunes");
+
+    // Warm leg: the segments the replica would replay are gone, so the
+    // pump renegotiates `Need::DeltaBootstrap` and ships only the delta.
+    let seeded_bytes = warm.status().bytes_received;
+    let mut channel = LosslessChannel::new();
+    let t = Instant::now();
+    let warm_report = replicate(&primary, &mut warm, &mut channel, &opts).expect("delta re-seed");
+    let warm_wall = t.elapsed().as_secs_f64() * 1e3;
+    let warm_bytes = warm.status().bytes_received - seeded_bytes;
+
+    // Cold leg: a fresh replica ships the whole chain.
+    let mut cold = ReplicaApplier::new();
+    let mut channel = LosslessChannel::new();
+    let t = Instant::now();
+    let cold_report = replicate(&primary, &mut cold, &mut channel, &opts).expect("full bootstrap");
+    let cold_wall = t.elapsed().as_secs_f64() * 1e3;
+    let cold_bytes = cold.status().bytes_received;
+
+    assert_eq!(
+        warm.snapshot(),
+        cold.snapshot(),
+        "both bootstrap strategies must converge identically"
+    );
+
+    DeltaCheckpointBench {
+        delta_ops: applied,
+        checkpoint_wall_ms,
+        delta_pages: report.pages_written,
+        delta_bytes: report.snapshot_bytes,
+        full_pages: report.pages_full,
+        chain_depth: report.chain_depth,
+        delta_bootstrap: ShipCost {
+            wall_ms: warm_wall,
+            bytes_shipped: warm_bytes,
+            pages: warm_bytes.div_ceil(PAGE_SIZE as u64),
+            deliveries: warm_report.deliveries_sent,
+            records_applied: warm_report.records_applied,
+        },
+        full_bootstrap: ShipCost {
+            wall_ms: cold_wall,
+            bytes_shipped: cold_bytes,
+            pages: cold_bytes.div_ceil(PAGE_SIZE as u64),
+            deliveries: cold_report.deliveries_sent,
+            records_applied: cold_report.records_applied,
+        },
+        delta_reseeds: warm.status().delta_bootstraps,
+    }
+}
+
 /// One point on the PITR cost curve.
 #[derive(Debug, Clone, Copy)]
 pub struct PitrPoint {
@@ -338,6 +445,18 @@ fn stage_primary(
     delta_ops: usize,
     segment_threshold: Option<usize>,
 ) -> (DurableDatabase<MemStorage>, u64) {
+    let (mut durable, trace) = stage_parts(scale, delta_ops);
+    if let Some(bytes) = segment_threshold {
+        durable.set_segment_threshold(bytes);
+    }
+    let applied = apply_trace(&mut durable, &trace);
+    (durable, applied)
+}
+
+/// [`stage_primary`] split at the create-time checkpoint: the durable
+/// database before any delta op, plus the trace to apply.  Lets the
+/// delta-checkpoint bench converge a replica on the base state first.
+fn stage_parts(scale: f64, delta_ops: usize) -> (DurableDatabase<MemStorage>, Vec<TraceOp>) {
     let scaled = scale_profile(&profiles::fig6_profile().profile, scale);
     let spec = GeneratorSpec::from_profile(&scaled, 1.0);
     let g = generate(&spec, 7);
@@ -352,13 +471,16 @@ fn stage_primary(
     let dotted = g.path.to_string();
     let mut db = g.db;
     db.create_asr_on(&dotted, config).expect("ASR builds");
-    let mut durable =
+    let durable =
         DurableDatabase::create(MemStorage::new(), db, FlushPolicy::EveryRecord).expect("creates");
-    if let Some(bytes) = segment_threshold {
-        durable.set_segment_threshold(bytes);
-    }
+    (durable, trace)
+}
+
+/// Apply the staged `ins_3` trace, returning how many inserts were
+/// effective (= logged).
+fn apply_trace(durable: &mut DurableDatabase<MemStorage>, trace: &[TraceOp]) -> u64 {
     let mut applied = 0u64;
-    for op in &trace {
+    for op in trace {
         if let TraceOp::Insert { i, owner, elem } = op {
             let attr = format!("A{}", i + 1);
             let Ok(value) = durable.base().get_attribute(*owner, &attr) else {
@@ -375,7 +497,7 @@ fn stage_primary(
             }
         }
     }
-    (durable, applied)
+    applied
 }
 
 /// The `Database::save_to_string` body inside the checkpoint file (after

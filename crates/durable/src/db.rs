@@ -81,8 +81,8 @@ pub const CHECKPOINT_FILE: &str = "checkpoint.snap";
 pub const WAL_FILE: &str = "wal.log";
 
 const MANIFEST_MAGIC: &str = "ASRWAL 1";
-const CKPT_MAGIC: &str = "CKPT";
-const ASRIDS_MAGIC: &str = "ASRIDS";
+pub(crate) const CKPT_MAGIC: &str = "CKPT";
+pub(crate) const ASRIDS_MAGIC: &str = "ASRIDS";
 
 /// Structure-id label for modeled segment I/O.
 const SEG_STRUCTURE: &str = "wal.segments";
@@ -97,6 +97,12 @@ pub const DEFAULT_SEGMENT_THRESHOLD: usize = 64 * 1024;
 /// or error message ([`RecoveryReport::flight_tail`], the
 /// [`DurableError::ReplicationStalled`] text).
 pub const FLIGHT_TAIL_EVENTS: usize = 12;
+
+/// Longest base→delta lineage [`DurableDatabase::checkpoint_delta`] will
+/// extend before falling back to a full checkpoint.  Bounds both the
+/// recovery chain walk and how much history a chain pins against
+/// [`DurableDatabase::prune_segments`].
+pub const DELTA_CHAIN_LIMIT: usize = 8;
 
 /// What [`DurableDatabase::open`] did to bring the database back.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -119,8 +125,12 @@ pub struct RecoveryReport {
     /// Modeled pages read to scan the WAL.
     pub wal_pages_read: u64,
     /// How each ASR came back from the checkpoint, in id order —
-    /// physically adopted page images (`ASRDB 2`) or a rebuild.
+    /// physically adopted page images (`ASRDB 2`), delta-patched images
+    /// (`ASRDB 3`), or a rebuild.
     pub asr_load_modes: Vec<(AsrId, AsrLoadMode)>,
+    /// Deltas applied on top of the full base to resolve the checkpoint
+    /// (0 when `checkpoint.snap` was itself a full snapshot).
+    pub delta_chain: usize,
     /// The flight recorder's last events when recovery finished, compact
     /// one-line summaries oldest first.  When the session's recorder was
     /// shared with a fault injector (the crash-recovery harness does
@@ -153,6 +163,44 @@ pub struct WalStatus {
     /// The oldest LSN point-in-time recovery can still reach (the oldest
     /// archived checkpoint), when any history is archived.
     pub pitr_floor_lsn: Option<u64>,
+    /// Base of the current checkpoint when it is a delta (`None` for a
+    /// full snapshot).
+    pub delta_base_lsn: Option<u64>,
+    /// Deltas between the current checkpoint and its full base (0 for a
+    /// full snapshot).
+    pub delta_chain_depth: usize,
+    /// Modeled pages the last checkpoint of this session wrote (0 before
+    /// the first one).
+    pub last_checkpoint_pages: u64,
+    /// Modeled pages an equivalent *full* checkpoint would have written
+    /// (equals `last_checkpoint_pages` when the last one was full).
+    pub last_checkpoint_pages_full: u64,
+}
+
+/// What [`DurableDatabase::checkpoint_delta`] wrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaCheckpointReport {
+    /// LSN the new checkpoint covers.
+    pub lsn: u64,
+    /// The base checkpoint the delta applies to (`None` when the call
+    /// fell back to a full checkpoint).
+    pub base_lsn: Option<u64>,
+    /// Bytes of the published snapshot document.
+    pub snapshot_bytes: u64,
+    /// Modeled pages written (`checkpoint.snap` + its archived copy).
+    pub pages_written: u64,
+    /// Modeled pages an equivalent full checkpoint would have written.
+    pub pages_full: u64,
+    /// Deltas between the new checkpoint and its full base (0 when the
+    /// call wrote a full snapshot).
+    pub chain_depth: usize,
+}
+
+impl DeltaCheckpointReport {
+    /// `true` when the checkpoint was written as a delta.
+    pub fn is_delta(&self) -> bool {
+        self.base_lsn.is_some()
+    }
 }
 
 /// What a [`recover_to_lsn`] replay did.
@@ -206,6 +254,9 @@ pub struct DurableDatabase<S: Storage> {
     /// when the file is empty) — the `first_lsn` a seal would record.
     active_first_lsn: u64,
     segment_threshold: usize,
+    /// Modeled pages the last checkpoint wrote and what a full one would
+    /// have cost — the `\wal status` "pages saved vs full" line.
+    last_ckpt_pages: (u64, u64),
     /// Black-box recorder subscribed to the database's tracer; failure
     /// paths read their last-N-events tail from here.
     flightrec: Rc<FlightRecorder>,
@@ -253,6 +304,7 @@ impl<S: Storage> DurableDatabase<S> {
             manifest: SegmentManifest::default(),
             active_first_lsn: 1,
             segment_threshold: DEFAULT_SEGMENT_THRESHOLD,
+            last_ckpt_pages: (0, 0),
             flightrec,
         };
         this.checkpoint()?;
@@ -295,6 +347,7 @@ impl<S: Storage> DurableDatabase<S> {
             manifest: r.manifest,
             active_first_lsn: r.active_first_lsn,
             segment_threshold: DEFAULT_SEGMENT_THRESHOLD,
+            last_ckpt_pages: (0, 0),
             flightrec,
         };
         if r.ids_remapped {
@@ -332,13 +385,15 @@ impl<S: Storage> DurableDatabase<S> {
         let snap = read_stable(storage, CHECKPOINT_FILE, READ_RETRIES)?.ok_or_else(|| {
             DurableError::Corrupt("MANIFEST present but checkpoint.snap missing".into())
         })?;
-        let parsed = parse_checkpoint(snap, CHECKPOINT_FILE)?;
+        let parsed = parse_checkpoint_chain(storage, snap, CHECKPOINT_FILE)?;
         let ParsedCheckpoint {
             mut db,
             lsn: checkpoint_lsn,
             mut asr_remap,
             pages_read: checkpoint_pages_read,
             asr_load_modes,
+            delta_chain,
+            ..
         } = parsed;
 
         // The tracer only exists once the checkpoint-built database does,
@@ -350,6 +405,7 @@ impl<S: Storage> DurableDatabase<S> {
             &[
                 ("lsn", checkpoint_lsn.to_string()),
                 ("pages", checkpoint_pages_read.to_string()),
+                ("delta_chain", delta_chain.to_string()),
             ],
         );
 
@@ -432,6 +488,7 @@ impl<S: Storage> DurableDatabase<S> {
             checkpoint_pages_read,
             wal_pages_read: wal_pages_read + seg_pages_read,
             asr_load_modes,
+            delta_chain,
             flight_tail: flightrec.tail_summaries(FLIGHT_TAIL_EVENTS),
         };
         // Surface recovery through the freshly-built database's
@@ -514,6 +571,10 @@ impl<S: Storage> DurableDatabase<S> {
             archived_bytes: self.manifest.archived_bytes(),
             oldest_needed_lsn: self.checkpoint_lsn + 1,
             pitr_floor_lsn: self.manifest.checkpoints.first().copied(),
+            delta_base_lsn: self.manifest.delta_base_of(self.checkpoint_lsn),
+            delta_chain_depth: self.manifest.delta_depth(self.checkpoint_lsn),
+            last_checkpoint_pages: self.last_ckpt_pages.0,
+            last_checkpoint_pages_full: self.last_ckpt_pages.1,
         }
     }
 
@@ -563,22 +624,66 @@ impl<S: Storage> DurableDatabase<S> {
     /// `wal.log` are skipped by LSN), never from a checkpoint whose
     /// history is missing.
     pub fn checkpoint(&mut self) -> Result<()> {
+        self.checkpoint_inner(false).map(|_| ())
+    }
+
+    /// [`Self::checkpoint`], but write only what changed since the
+    /// current checkpoint: an `ASRDB 3` delta whose base is the previous
+    /// checkpoint, with lineage recorded as a `D` record in
+    /// `segments.manifest`.  Falls back to a full checkpoint — reported,
+    /// never an error — when the physical design changed (deltas never
+    /// span ASR creation/drop or type-size changes), when the base
+    /// archive is gone, or when the chain would exceed
+    /// [`DELTA_CHAIN_LIMIT`].  A call with nothing logged since the
+    /// current checkpoint is a no-op (republishing a same-LSN delta
+    /// would overwrite its own base archive).
+    pub fn checkpoint_delta(&mut self) -> Result<DeltaCheckpointReport> {
+        self.checkpoint_inner(true)
+    }
+
+    fn checkpoint_inner(&mut self, want_delta: bool) -> Result<DeltaCheckpointReport> {
         self.check_alive()?;
         let mut span = self.db.tracer().span("wal.checkpoint");
         let before = self.wal.durable_bytes();
         let res = self.wal.flush(&mut self.storage);
         self.note_log_growth(before);
         self.poison_on_err(res)?;
+        if want_delta && self.wal.last_lsn() == self.checkpoint_lsn {
+            // Nothing logged since the current checkpoint: a delta here
+            // would take the same LSN — and the same archive file name —
+            // as its own base.  Report the standing lineage instead.
+            span.add_attr("mode", "noop".to_string());
+            span.finish();
+            return Ok(DeltaCheckpointReport {
+                lsn: self.checkpoint_lsn,
+                base_lsn: self.manifest.delta_base_of(self.checkpoint_lsn),
+                chain_depth: self.manifest.delta_depth(self.checkpoint_lsn),
+                ..DeltaCheckpointReport::default()
+            });
+        }
         let sealed = self.seal_active_log()?;
         let lsn = self.wal.last_lsn();
         let ids: Vec<String> = self.db.asrs().map(|(id, _)| id.to_string()).collect();
-        let snap = format!(
-            "{CKPT_MAGIC} {lsn}\n{ASRIDS_MAGIC} {}\n{}",
-            ids.join(","),
-            self.db.save_to_string()
-        );
-        // Archive copy + manifest entry first (PITR history), then the
-        // authoritative checkpoint.snap as the commit point.
+        let base = self.checkpoint_lsn;
+        let full_body = self.db.save_to_string();
+        let delta_body = if want_delta
+            && self.manifest.checkpoints.contains(&base)
+            && self.manifest.delta_depth(base) < DELTA_CHAIN_LIMIT
+        {
+            self.db.save_delta_to_string(base)
+        } else {
+            None
+        };
+        let (body, base_lsn) = match delta_body {
+            Some(body) => (body, Some(base)),
+            None => (full_body.clone(), None),
+        };
+        let header = format!("{CKPT_MAGIC} {lsn}\n{ASRIDS_MAGIC} {}\n", ids.join(","));
+        let snap = format!("{header}{body}");
+        let full_snap_len = header.len() + full_body.len();
+        // Archive copy + manifest entry first (PITR history + delta
+        // lineage), then the authoritative checkpoint.snap as the commit
+        // point.
         let res = self
             .storage
             .write_atomic(&checkpoint_archive_name(lsn), snap.as_bytes());
@@ -586,7 +691,10 @@ impl<S: Storage> DurableDatabase<S> {
         if let Some(meta) = sealed {
             self.manifest.segments.push(meta);
         }
-        self.manifest.add_checkpoint(lsn);
+        match base_lsn {
+            Some(b) => self.manifest.add_delta_checkpoint(lsn, b),
+            None => self.manifest.add_checkpoint(lsn),
+        }
         let res = self.manifest.store(&mut self.storage);
         self.poison_on_err(res)?;
         let res = self.storage.write_atomic(CHECKPOINT_FILE, snap.as_bytes());
@@ -600,19 +708,44 @@ impl<S: Storage> DurableDatabase<S> {
         self.checkpoint_lsn = lsn;
         self.wal = WalWriter::new(WAL_FILE, self.wal.policy(), lsn + 1, 0);
         self.active_first_lsn = lsn + 1;
-        for _ in 0..pages(2 * snap.len()) {
+        // The checkpoint is the new dirty fence: the next delta carries
+        // only changes made after this point.
+        self.db.mark_clean();
+        let pages_written = pages(2 * snap.len());
+        let pages_full = pages(2 * full_snap_len);
+        for _ in 0..pages_written {
             // checkpoint.snap + its archived copy
             self.db.stats().count_write_for(self.ckpt_sid);
         }
+        self.last_ckpt_pages = (pages_written, pages_full);
+        let chain_depth = self.manifest.delta_depth(lsn);
         let metrics = self.db.tracer().metrics();
         metrics.inc_counter("wal.checkpoints", 1);
+        if base_lsn.is_some() {
+            metrics.inc_counter("wal.checkpoints.delta", 1);
+        }
         metrics.set_gauge("wal.checkpoint_lsn", lsn as f64);
+        metrics.set_gauge("wal.checkpoint.chain_depth", chain_depth as f64);
         metrics.set_gauge("wal.segments.count", self.manifest.segments.len() as f64);
         metrics.set_gauge("wal.segments.bytes", self.manifest.archived_bytes() as f64);
         span.add_attr("lsn", lsn.to_string());
         span.add_attr("bytes", snap.len().to_string());
+        span.add_attr(
+            "mode",
+            if base_lsn.is_some() { "delta" } else { "full" }.to_string(),
+        );
+        if let Some(b) = base_lsn {
+            span.add_attr("base", b.to_string());
+        }
         span.finish();
-        Ok(())
+        Ok(DeltaCheckpointReport {
+            lsn,
+            base_lsn,
+            snapshot_bytes: snap.len() as u64,
+            pages_written,
+            pages_full,
+            chain_depth,
+        })
     }
 
     /// Rotate now: seal the active log (flushing first) into a segment
@@ -647,14 +780,18 @@ impl<S: Storage> DurableDatabase<S> {
     }
 
     /// Delete sealed segments fully covered by the newest checkpoint,
-    /// and archived checkpoints older than it.  Crash recovery never
-    /// needs them; point-in-time recovery below the current checkpoint
-    /// stops being served ([`recover_to_lsn`] then returns
+    /// and archived checkpoints older than it — except checkpoints a
+    /// retained delta chain still needs as bases (the PITR floor is
+    /// delta-chain aware: pruning never orphans a delta).  Crash
+    /// recovery never needs the pruned history; point-in-time recovery
+    /// below the current checkpoint stops being served
+    /// ([`recover_to_lsn`] then returns
     /// [`DurableError::PitrUnavailable`] for pruned bounds).
     pub fn prune_segments(&mut self) -> Result<PruneReport> {
         self.check_alive()?;
         let mut span = self.db.tracer().span("wal.prune");
         let keep_lsn = self.checkpoint_lsn;
+        let required = self.manifest.required_checkpoints(keep_lsn);
         let pruned: Vec<SegmentMeta> = self
             .manifest
             .segments
@@ -667,14 +804,15 @@ impl<S: Storage> DurableDatabase<S> {
             .checkpoints
             .iter()
             .copied()
-            .filter(|c| *c < keep_lsn)
+            .filter(|c| !required.contains(c))
             .collect();
         if pruned.is_empty() && dropped_ckpts.is_empty() {
             return Ok(PruneReport::default());
         }
         let mut next = self.manifest.clone();
         next.segments.retain(|s| s.last_lsn > keep_lsn);
-        next.checkpoints.retain(|c| *c >= keep_lsn);
+        next.checkpoints.retain(|c| required.contains(c));
+        next.deltas.retain(|(l, _)| required.contains(l));
         // Publish the shrunken manifest first: a crash after it leaves
         // unreferenced files behind (harmless), a crash before it loses
         // nothing.
@@ -1044,18 +1182,30 @@ pub(crate) struct ParsedCheckpoint {
     pub(crate) db: Database,
     pub(crate) lsn: u64,
     pub(crate) asr_remap: BTreeMap<AsrId, AsrId>,
-    /// Modeled pages to read the checkpoint *file* (headers, design and
-    /// base sections — physical-section bytes are charged to the ASR
-    /// trees by the load itself).
+    /// Modeled pages to read the checkpoint *file(s)* (headers, design
+    /// and base sections — physical-section bytes are charged to the ASR
+    /// trees by the load itself).  A delta chain sums every link.
     pub(crate) pages_read: u64,
     pub(crate) asr_load_modes: Vec<(AsrId, AsrLoadMode)>,
+    /// Deltas applied on top of the full base (0 for a full snapshot).
+    pub(crate) delta_chain: usize,
+    /// Raw bytes of every checkpoint file read (the top document plus
+    /// any chain links).
+    pub(crate) total_bytes: usize,
 }
 
-/// Parse a `CKPT <lsn>` + `ASRIDS` + snapshot checkpoint body (the
-/// current `checkpoint.snap`, an archived PITR copy, or a shipped
-/// bootstrap delivery).
-pub(crate) fn parse_checkpoint(bytes: Vec<u8>, what: &str) -> Result<ParsedCheckpoint> {
-    let snap_bytes = bytes.len();
+/// A checkpoint document split at its header: the `CKPT` LSN, the
+/// `ASRIDS` session ids, and the snapshot body (full or delta).
+pub(crate) struct CheckpointParts {
+    pub(crate) lsn: u64,
+    pub(crate) session_ids: Vec<AsrId>,
+    pub(crate) body: String,
+    pub(crate) total_bytes: usize,
+}
+
+/// Split a `CKPT <lsn>` + `ASRIDS` + body document without loading it.
+pub(crate) fn split_checkpoint(bytes: Vec<u8>, what: &str) -> Result<CheckpointParts> {
+    let total_bytes = bytes.len();
     let snap = String::from_utf8(bytes)
         .map_err(|_| DurableError::Corrupt(format!("{what} is not UTF-8")))?;
     let (header, rest) = snap
@@ -1080,23 +1230,129 @@ pub(crate) fn parse_checkpoint(bytes: Vec<u8>, what: &str) -> Result<ParsedCheck
                 .map_err(|_| DurableError::Corrupt(format!("bad ASR id `{t}` in ASRIDS")))
         })
         .collect::<Result<_>>()?;
-    let (db, load) = Database::load_from_string_report(body)?;
-    let pages_read = pages(snap_bytes - load.physical_bytes.min(snap_bytes));
-    // Loading compacted the snapshot's ASRs into slots 0..k; seed the
-    // replay translation from the session ids they had when logged.
+    Ok(CheckpointParts {
+        lsn,
+        session_ids,
+        body: body.to_string(),
+        total_bytes,
+    })
+}
+
+/// Loading compacts the snapshot's ASRs into slots 0..k; seed the replay
+/// translation from the session ids they had when logged.
+pub(crate) fn remap_from_ids(session_ids: &[AsrId]) -> BTreeMap<AsrId, AsrId> {
     let mut asr_remap: BTreeMap<AsrId, AsrId> = BTreeMap::new();
     for (slot, orig) in session_ids.iter().enumerate() {
         if *orig != slot {
             asr_remap.insert(*orig, slot);
         }
     }
-    Ok(ParsedCheckpoint {
+    asr_remap
+}
+
+fn assemble_parsed(
+    lsn: u64,
+    session_ids: &[AsrId],
+    db: Database,
+    load: asr_core::LoadReport,
+    total_bytes: usize,
+) -> ParsedCheckpoint {
+    ParsedCheckpoint {
         db,
         lsn,
-        asr_remap,
-        pages_read,
+        asr_remap: remap_from_ids(session_ids),
+        pages_read: pages(total_bytes - load.physical_bytes.min(total_bytes)),
         asr_load_modes: load.asrs,
-    })
+        delta_chain: load.delta_chain,
+        total_bytes,
+    }
+}
+
+/// Parse a `CKPT <lsn>` + `ASRIDS` + *full* snapshot checkpoint body (a
+/// shipped bootstrap delivery, or any checkpoint known to be full).  A
+/// delta body is an error — it cannot be loaded without its base chain
+/// (see [`parse_checkpoint_chain`]).
+pub(crate) fn parse_checkpoint(bytes: Vec<u8>, what: &str) -> Result<ParsedCheckpoint> {
+    let parts = split_checkpoint(bytes, what)?;
+    if Database::is_delta_snapshot(&parts.body) {
+        return Err(DurableError::Corrupt(format!(
+            "{what} is a delta checkpoint; its base chain is required to load it"
+        )));
+    }
+    let (db, load) = Database::load_from_string_report(&parts.body)?;
+    Ok(assemble_parsed(
+        parts.lsn,
+        &parts.session_ids,
+        db,
+        load,
+        parts.total_bytes,
+    ))
+}
+
+/// Parse a checkpoint document, resolving `ASRDB 3` delta bodies through
+/// their archived base chain: each delta names its base checkpoint LSN,
+/// whose [`checkpoint_archive_name`] file is read from `storage`, down
+/// to a full snapshot; the chain is then applied oldest-first (leniently
+/// — a patch that cannot apply falls back to a charged rebuild, as crash
+/// recovery must come back up).
+pub(crate) fn parse_checkpoint_chain<S: Storage>(
+    storage: &S,
+    snap: Vec<u8>,
+    what: &str,
+) -> Result<ParsedCheckpoint> {
+    let top = split_checkpoint(snap, what)?;
+    if !Database::is_delta_snapshot(&top.body) {
+        let (db, load) = Database::load_from_string_report(&top.body)?;
+        return Ok(assemble_parsed(
+            top.lsn,
+            &top.session_ids,
+            db,
+            load,
+            top.total_bytes,
+        ));
+    }
+    let mut total_bytes = top.total_bytes;
+    let mut delta_texts: Vec<String> = Vec::new(); // newest first
+    let mut visited = std::collections::BTreeSet::from([top.lsn]);
+    let mut base_id = Database::delta_base_id(&top.body)?;
+    delta_texts.push(top.body);
+    let base_parts = loop {
+        if !visited.insert(base_id) {
+            return Err(DurableError::Corrupt(format!(
+                "delta checkpoint chain under {what} is cyclic at LSN {base_id}"
+            )));
+        }
+        let name = checkpoint_archive_name(base_id);
+        let bytes = read_stable(storage, &name, READ_RETRIES)?.ok_or_else(|| {
+            DurableError::Corrupt(format!(
+                "{what} is a delta over checkpoint LSN {base_id}, but its archive {name} is missing"
+            ))
+        })?;
+        let parts = split_checkpoint(bytes, &name)?;
+        if parts.lsn != base_id {
+            return Err(DurableError::Corrupt(format!(
+                "archived checkpoint {name} claims LSN {}",
+                parts.lsn
+            )));
+        }
+        total_bytes += parts.total_bytes;
+        if Database::is_delta_snapshot(&parts.body) {
+            base_id = Database::delta_base_id(&parts.body)?;
+            delta_texts.push(parts.body);
+        } else {
+            break parts;
+        }
+    };
+    delta_texts.reverse();
+    let refs: Vec<&str> = delta_texts.iter().map(String::as_str).collect();
+    let (db, load) = Database::load_from_chain_report(&base_parts.body, &refs)?;
+    Ok(assemble_parsed(
+        top.lsn,
+        &top.session_ids,
+        db,
+        load,
+        total_bytes,
+    ))
 }
 
 /// LSN-driven replay over possibly-overlapping record streams
@@ -1178,8 +1434,8 @@ pub fn recover_to_lsn<S: Storage>(storage: &S, bound: u64) -> Result<(Database, 
     let snap = read_stable(storage, &archive, READ_RETRIES)?.ok_or_else(|| {
         DurableError::PitrUnavailable(format!("archived checkpoint {archive} is missing"))
     })?;
-    let mut pages_read = pages(snap.len());
-    let parsed = parse_checkpoint(snap, &archive)?;
+    let parsed = parse_checkpoint_chain(storage, snap, &archive)?;
+    let mut pages_read = pages(parsed.total_bytes);
     let ParsedCheckpoint {
         mut db,
         lsn,

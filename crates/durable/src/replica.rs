@@ -11,12 +11,21 @@
 //! contiguous history.  A replay that contradicts logged history (an
 //! insert recorded as effective replaying as a no-op) is a typed error,
 //! never a silent divergence.
+//!
+//! The applier retains the byte image of the last full-state checkpoint
+//! it absorbed.  When the primary has pruned the segments the replica
+//! would otherwise replay, the pump renegotiates with
+//! [`Need::DeltaBootstrap`] carrying that base's LSN, and the shipper
+//! sends only the delta checkpoints above it — each applied strictly
+//! against the retained base, which is then re-synthesized from the
+//! patched database so the byte-identity oracle keeps holding.
 
 use std::collections::BTreeMap;
 
 use asr_core::{AsrId, Database};
 
-use crate::db::{apply_op, parse_checkpoint};
+use crate::db::{apply_op, parse_checkpoint, remap_from_ids, split_checkpoint};
+use crate::db::{ASRIDS_MAGIC, CKPT_MAGIC};
 use crate::error::Result;
 use crate::ship::{Need, ShipMessage};
 use crate::wal::scan_wal;
@@ -64,6 +73,9 @@ pub struct ReplicaStatus {
     pub records_applied: u64,
     /// Checkpoint bootstraps (1 normally; more after re-seeds).
     pub bootstraps: u64,
+    /// Bootstraps served by delta checkpoints patched onto a retained
+    /// base (a subset of `bootstraps`).
+    pub delta_bootstraps: u64,
     /// Deliveries ignored as duplicates.
     pub duplicates: u64,
     /// Deliveries NACKed for an LSN gap.
@@ -74,12 +86,21 @@ pub struct ReplicaStatus {
     pub bytes_received: u64,
 }
 
+/// The byte image of the last full-state checkpoint the replica
+/// absorbed — what a delta checkpoint patches against.
+#[derive(Debug)]
+struct RetainedBase {
+    lsn: u64,
+    snap: Vec<u8>,
+}
+
 /// The replica-side state machine (see module docs).
 #[derive(Debug, Default)]
 pub struct ReplicaApplier {
     db: Option<Database>,
     applied_lsn: u64,
     asr_remap: BTreeMap<AsrId, AsrId>,
+    base: Option<RetainedBase>,
     status: ReplicaStatus,
 }
 
@@ -105,6 +126,16 @@ impl ReplicaApplier {
             Need::From(self.applied_lsn + 1)
         } else {
             Need::Checkpoint
+        }
+    }
+
+    /// What to ask for when [`Self::needed`]'s cursor can no longer be
+    /// served (the primary pruned that history): a delta bootstrap on
+    /// the retained base when there is one, a full checkpoint otherwise.
+    pub fn reseed_need(&self) -> Need {
+        match &self.base {
+            Some(b) => Need::DeltaBootstrap(b.lsn),
+            None => Need::Checkpoint,
         }
     }
 
@@ -145,7 +176,7 @@ impl ReplicaApplier {
         };
         let outcome = match msg {
             ShipMessage::Checkpoint(bytes) => {
-                let parsed = match parse_checkpoint(bytes, "shipped checkpoint") {
+                let parsed = match parse_checkpoint(bytes.clone(), "shipped checkpoint") {
                     Ok(p) => p,
                     Err(_) => {
                         // The envelope CRC passed but the snapshot does
@@ -163,10 +194,15 @@ impl ReplicaApplier {
                     self.applied_lsn = parsed.lsn;
                     self.asr_remap = parsed.asr_remap;
                     self.db = Some(parsed.db);
+                    self.base = Some(RetainedBase {
+                        lsn: parsed.lsn,
+                        snap: bytes,
+                    });
                     self.status.bootstraps += 1;
                     OfferOutcome::Bootstrapped { lsn: parsed.lsn }
                 }
             }
+            ShipMessage::DeltaCheckpoint(bytes) => self.offer_delta(bytes)?,
             ShipMessage::Segment { frames, .. } | ShipMessage::Frames(frames) => {
                 let Some(db) = self.db.as_mut() else {
                     // Frames before any checkpoint: can't apply anything.
@@ -239,5 +275,77 @@ impl ReplicaApplier {
             metrics.set_gauge("replica.corrupt", self.status.corrupt as f64);
         }
         Ok(outcome)
+    }
+
+    /// Classify and apply a delta checkpoint delivery against the
+    /// retained base.  Lineage decides: a delta whose embedded base is
+    /// the retained base applies even when its LSN trails `applied_lsn`
+    /// (the replica may have replayed frames past the base); a delta on
+    /// some *other* base is stale history (duplicate) or a lost link in
+    /// the chain (gap).
+    fn offer_delta(&mut self, bytes: Vec<u8>) -> Result<OfferOutcome> {
+        let corrupt = |status: &mut ReplicaStatus| {
+            status.corrupt += 1;
+            Ok(OfferOutcome::Corrupt)
+        };
+        let Ok(parts) = split_checkpoint(bytes, "shipped delta checkpoint") else {
+            return corrupt(&mut self.status);
+        };
+        let Ok(base_id) = Database::delta_base_id(&parts.body) else {
+            return corrupt(&mut self.status);
+        };
+        if parts.lsn <= base_id {
+            // A delta claiming to cover no more history than its own
+            // base is self-referential damage, not valid lineage.
+            return corrupt(&mut self.status);
+        }
+        let Some(base) = &self.base else {
+            self.status.gaps += 1;
+            return Ok(OfferOutcome::Gap {
+                have: 0,
+                got: parts.lsn,
+            });
+        };
+        if base.lsn != base_id {
+            return Ok(if parts.lsn <= self.applied_lsn {
+                self.status.duplicates += 1;
+                OfferOutcome::Duplicate
+            } else {
+                self.status.gaps += 1;
+                OfferOutcome::Gap {
+                    have: base.lsn,
+                    got: parts.lsn,
+                }
+            });
+        }
+        // The retained base came from a delivery that already parsed (or
+        // from our own serialization): failure here is replica-local
+        // state damage, which must stop replication loudly.
+        let base_parsed = parse_checkpoint(base.snap.clone(), "retained base checkpoint")?;
+        let Ok(patched) = base_parsed.db.apply_delta_from_string(&parts.body) else {
+            // Strict apply refused the delta (page damage, unknown ASR,
+            // …): channel damage from the replica's point of view.
+            return corrupt(&mut self.status);
+        };
+        self.applied_lsn = parts.lsn;
+        self.asr_remap = remap_from_ids(&parts.session_ids);
+        // Re-synthesize the retained base from the patched database so
+        // the next delta in the chain lands on full-state bytes — and so
+        // byte-identity with the primary's serialization keeps holding.
+        let ids: Vec<String> = parts.session_ids.iter().map(AsrId::to_string).collect();
+        let snap = format!(
+            "{CKPT_MAGIC} {}\n{ASRIDS_MAGIC} {}\n{}",
+            parts.lsn,
+            ids.join(","),
+            patched.save_to_string()
+        );
+        self.base = Some(RetainedBase {
+            lsn: parts.lsn,
+            snap: snap.into_bytes(),
+        });
+        self.db = Some(patched);
+        self.status.bootstraps += 1;
+        self.status.delta_bootstraps += 1;
+        Ok(OfferOutcome::Bootstrapped { lsn: parts.lsn })
     }
 }

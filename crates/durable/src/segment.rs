@@ -23,10 +23,14 @@
 //! SEGS 1
 //! S <seqno> <first_lsn> <last_lsn> <bytes> <crc32-hex>
 //! C <checkpoint_lsn>
+//! D <checkpoint_lsn> <base_lsn>
 //! ```
 //!
 //! `S` lines are sealed segments in rotation (= LSN) order; `C` lines
-//! are archived checkpoints in ascending LSN order.  The manifest is
+//! are archived checkpoints in ascending LSN order.  A `D` line marks an
+//! archived checkpoint as an `ASRDB 3` *delta* whose application needs
+//! the archived checkpoint at `base_lsn` (which may itself be a delta —
+//! lineage chains down to a full snapshot).  The manifest is
 //! replaced atomically, *before* the new `checkpoint.snap` is published
 //! during a checkpoint — every crash window then falls back to the old
 //! checkpoint plus a longer (duplicate-tolerant) replay, never to a
@@ -114,6 +118,10 @@ pub struct SegmentManifest {
     /// Archived checkpoint LSNs, ascending; each has a
     /// [`checkpoint_archive_name`] file.
     pub checkpoints: Vec<u64>,
+    /// Delta lineage: `(checkpoint_lsn, base_lsn)` pairs, ascending by
+    /// checkpoint LSN.  A checkpoint LSN absent from this list is a full
+    /// snapshot.
+    pub deltas: Vec<(u64, u64)>,
 }
 
 impl SegmentManifest {
@@ -129,6 +137,9 @@ impl SegmentManifest {
         }
         for c in &self.checkpoints {
             out.push_str(&format!("C {c}\n"));
+        }
+        for (lsn, base) in &self.deltas {
+            out.push_str(&format!("D {lsn} {base}\n"));
         }
         out
     }
@@ -184,6 +195,21 @@ impl SegmentManifest {
                     }
                     manifest.checkpoints.push(lsn);
                 }
+                Some("D") => {
+                    let mut num = || -> Result<u64> {
+                        parts
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| bad(line))
+                    };
+                    let (lsn, base) = (num()?, num()?);
+                    // A delta based on itself (or the future) can never
+                    // resolve — reject the lineage at parse time.
+                    if parts.next().is_some() || base >= lsn {
+                        return Err(bad(line));
+                    }
+                    manifest.deltas.push((lsn, base));
+                }
                 _ => return Err(bad(line)),
             }
         }
@@ -237,6 +263,74 @@ impl SegmentManifest {
         }
     }
 
+    /// Record an archived *delta* checkpoint at `lsn` whose application
+    /// needs the archived checkpoint at `base` (idempotent, keeps order).
+    pub fn add_delta_checkpoint(&mut self, lsn: u64, base: u64) {
+        self.add_checkpoint(lsn);
+        if !self.deltas.iter().any(|(l, _)| *l == lsn) {
+            self.deltas.push((lsn, base));
+            self.deltas.sort_unstable();
+        }
+    }
+
+    /// The base the archived checkpoint at `lsn` is a delta over, if it
+    /// is one (`None` means a full snapshot).
+    pub fn delta_base_of(&self, lsn: u64) -> Option<u64> {
+        self.deltas
+            .iter()
+            .find(|(l, _)| *l == lsn)
+            .map(|(_, base)| *base)
+    }
+
+    /// How many deltas sit between the checkpoint at `lsn` and its full
+    /// base (0 for a full snapshot).  A broken lineage (cycle or a base
+    /// whose record is gone) is reported as the walk length so far —
+    /// callers that must *resolve* the chain surface the error when they
+    /// read the missing archive.
+    pub fn delta_depth(&self, lsn: u64) -> usize {
+        self.chain_to_full(lsn).map_or(0, |c| c.len() - 1)
+    }
+
+    /// The checkpoint LSNs from the full base up to (and including)
+    /// `lsn`, oldest first: `[full, delta, …, lsn]`.  A full checkpoint
+    /// resolves to `[lsn]`.  Errors on a cyclic lineage.
+    pub fn chain_to_full(&self, lsn: u64) -> Result<Vec<u64>> {
+        let mut chain = vec![lsn];
+        let mut cur = lsn;
+        while let Some(base) = self.delta_base_of(cur) {
+            if chain.contains(&base) || chain.len() > self.deltas.len() + 1 {
+                return Err(DurableError::Corrupt(format!(
+                    "delta checkpoint lineage for LSN {lsn} is cyclic at {base}"
+                )));
+            }
+            chain.push(base);
+            cur = base;
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// The archived checkpoints that must survive a prune keeping
+    /// `keep_lsn`: every checkpoint at or above the floor, plus —
+    /// transitively — every base a retained delta needs.
+    pub fn required_checkpoints(&self, keep_lsn: u64) -> std::collections::BTreeSet<u64> {
+        let mut required: std::collections::BTreeSet<u64> = self
+            .checkpoints
+            .iter()
+            .copied()
+            .filter(|c| *c >= keep_lsn)
+            .collect();
+        let mut frontier: Vec<u64> = required.iter().copied().collect();
+        while let Some(lsn) = frontier.pop() {
+            if let Some(base) = self.delta_base_of(lsn) {
+                if required.insert(base) {
+                    frontier.push(base);
+                }
+            }
+        }
+        required
+    }
+
     /// The first LSN of the oldest retained history, if any segments
     /// remain.
     pub fn oldest_segment_first_lsn(&self) -> Option<u64> {
@@ -268,6 +362,7 @@ mod tests {
                 },
             ],
             checkpoints: vec![0, 9],
+            deltas: vec![(9, 0)],
         }
     }
 
@@ -278,6 +373,7 @@ mod tests {
         assert!(text.starts_with("SEGS 1\n"));
         assert!(text.contains("S 1 1 9 420 deadbeef\n"));
         assert!(text.contains("C 9\n"));
+        assert!(text.contains("D 9 0\n"));
         assert_eq!(SegmentManifest::decode(&text).unwrap(), m);
     }
 
@@ -289,6 +385,50 @@ mod tests {
         assert!(SegmentManifest::decode("SEGS 1\nC x\n").is_err());
         assert!(SegmentManifest::decode("SEGS 1\nX 1\n").is_err());
         assert!(SegmentManifest::decode("SEGS 1\nC 1 2\n").is_err());
+        assert!(SegmentManifest::decode("SEGS 1\nD 5\n").is_err());
+        assert!(SegmentManifest::decode("SEGS 1\nD 5 5\n").is_err()); // self-based
+        assert!(SegmentManifest::decode("SEGS 1\nD 5 9\n").is_err()); // future base
+        assert!(SegmentManifest::decode("SEGS 1\nD 9 5 1\n").is_err());
+    }
+
+    #[test]
+    fn delta_lineage_resolves_and_guards_cycles() {
+        let mut m = SegmentManifest::default();
+        m.add_checkpoint(3);
+        m.add_delta_checkpoint(7, 3);
+        m.add_delta_checkpoint(12, 7);
+        assert_eq!(m.delta_base_of(12), Some(7));
+        assert_eq!(m.delta_base_of(3), None);
+        assert_eq!(m.chain_to_full(12).unwrap(), vec![3, 7, 12]);
+        assert_eq!(m.chain_to_full(3).unwrap(), vec![3]);
+        assert_eq!(m.delta_depth(12), 2);
+        assert_eq!(m.delta_depth(3), 0);
+        // add_delta_checkpoint is idempotent per checkpoint LSN.
+        m.add_delta_checkpoint(12, 7);
+        assert_eq!(m.deltas, vec![(7, 3), (12, 7)]);
+        // A hand-corrupted cyclic lineage (only constructible in memory —
+        // decode rejects `base >= lsn`) is a typed error, not a hang.
+        let cyclic = SegmentManifest {
+            deltas: vec![(3, 7), (7, 3)],
+            checkpoints: vec![3, 7],
+            segments: vec![],
+        };
+        assert!(cyclic.chain_to_full(7).is_err());
+    }
+
+    #[test]
+    fn required_checkpoints_keep_delta_bases() {
+        let mut m = SegmentManifest::default();
+        m.add_checkpoint(0);
+        m.add_checkpoint(3);
+        m.add_delta_checkpoint(7, 3);
+        m.add_delta_checkpoint(12, 7);
+        // Keeping LSN 12 keeps its whole lineage but drops checkpoint 0.
+        let req = m.required_checkpoints(12);
+        assert!(req.contains(&12) && req.contains(&7) && req.contains(&3));
+        assert!(!req.contains(&0));
+        // A floor below everything keeps everything.
+        assert_eq!(m.required_checkpoints(0).len(), 4);
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //!              Need From(l) ─────────────┘              │
 //!                 │                                     │
 //!                 ├─ history ≥ l retained: Segment*, Frames
-//!                 └─ history pruned below l: Checkpoint, Segment*, Frames
+//!                 └─ history pruned below l — the pump renegotiates:
+//!                      · replica retains base B, B in the primary's
+//!                        delta lineage: Need DeltaBootstrap(B) →
+//!                        DeltaCheckpoint*, Segment*, Frames
+//!                        (only the changed pages since B are shipped)
+//!                      · otherwise: Checkpoint, DeltaCheckpoint*,
+//!                        Segment*, Frames (the full chain)
 //!
 //!   delivery outcomes at the applier:
 //!     Applied / Bootstrapped  → progress, reset backoff
@@ -24,6 +30,14 @@
 //!     Gap / Corrupt           → NACK: next round re-ships from
 //!                               `needed()`, after exponential backoff
 //! ```
+//!
+//! A `DeltaCheckpoint` delivery carries an `ASRDB 3` checkpoint whose
+//! `DELTA <base>` header names the checkpoint state it patches.  The
+//! applier retains its last full-state checkpoint text; a delta whose
+//! base matches is applied strictly (any inconsistency NACKs — the
+//! replica never silently rebuilds), a delta over an unknown base NACKs
+//! as a gap, and the shipper answers a base it no longer has in its
+//! lineage with the full chain instead.
 //!
 //! Every delivery is one [`ShipMessage`] wrapped in the WAL's
 //! `[len][crc32][payload]` envelope ([`crate::wal::frame`]), so a
@@ -46,10 +60,12 @@ use std::rc::Rc;
 
 use asr_obs::FlightRecorder;
 
-use crate::db::{DurableDatabase, CHECKPOINT_FILE, FLIGHT_TAIL_EVENTS, WAL_FILE};
+use asr_core::Database;
+
+use crate::db::{split_checkpoint, DurableDatabase, CHECKPOINT_FILE, FLIGHT_TAIL_EVENTS, WAL_FILE};
 use crate::error::{DurableError, Result};
 use crate::replica::{OfferOutcome, ReplicaApplier};
-use crate::segment::{SegmentManifest, READ_RETRIES};
+use crate::segment::{checkpoint_archive_name, SegmentManifest, READ_RETRIES};
 use crate::storage::{read_stable, Storage};
 use crate::wal::{frame, scan_wal};
 
@@ -60,6 +76,7 @@ use crate::wal::{frame, scan_wal};
 const TAG_CHECKPOINT: u8 = b'C';
 const TAG_SEGMENT: u8 = b'S';
 const TAG_FRAMES: u8 = b'F';
+const TAG_DELTA_CHECKPOINT: u8 = b'D';
 
 /// One unit of shipped history (a delivery on the [`Channel`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +84,10 @@ pub enum ShipMessage {
     /// A full checkpoint snapshot (`checkpoint.snap` bytes) seeding or
     /// re-seeding the replica.
     Checkpoint(Vec<u8>),
+    /// An `ASRDB 3` delta checkpoint (same `CKPT`/`ASRIDS` header) that
+    /// patches the checkpoint state its `DELTA` header names — shipped
+    /// instead of a full snapshot when the replica holds the base.
+    DeltaCheckpoint(Vec<u8>),
     /// A sealed segment: its manifest coordinates plus the raw frames.
     Segment {
         /// Rotation sequence number.
@@ -90,6 +111,10 @@ impl ShipMessage {
         match self {
             ShipMessage::Checkpoint(bytes) => {
                 payload.push(TAG_CHECKPOINT);
+                payload.extend_from_slice(bytes);
+            }
+            ShipMessage::DeltaCheckpoint(bytes) => {
+                payload.push(TAG_DELTA_CHECKPOINT);
                 payload.extend_from_slice(bytes);
             }
             ShipMessage::Segment {
@@ -130,6 +155,7 @@ impl ShipMessage {
         let body = &payload[1..];
         match payload[0] {
             TAG_CHECKPOINT => Some(ShipMessage::Checkpoint(body.to_vec())),
+            TAG_DELTA_CHECKPOINT => Some(ShipMessage::DeltaCheckpoint(body.to_vec())),
             TAG_FRAMES => Some(ShipMessage::Frames(body.to_vec())),
             TAG_SEGMENT => {
                 let nl = body.iter().position(|b| *b == b'\n')?;
@@ -164,6 +190,11 @@ pub enum Need {
     Checkpoint,
     /// Ship records with LSN `>= .0` (the applier's `applied + 1`).
     From(u64),
+    /// Re-seed a replica that still holds the full checkpoint state at
+    /// LSN `.0`: ship only the delta checkpoints above that base (plus
+    /// history after the newest one).  A base the shipper's lineage no
+    /// longer contains degrades to the full-chain answer.
+    DeltaBootstrap(u64),
 }
 
 // ----------------------------------------------------------------------
@@ -492,21 +523,89 @@ impl<'a, S: Storage> LogShipper<'a, S> {
         Ok(bytes)
     }
 
-    /// Deliveries satisfying `need`: either sealed segments + live tail
-    /// from the requested LSN, or — when that history is gone (pruned)
-    /// or the replica has nothing — a checkpoint followed by everything
-    /// after it.
-    pub fn deliveries_for(&self, need: Need) -> Result<Vec<Vec<u8>>> {
-        let st = self.load_state()?;
-        let (ship_from, include_ckpt) = match need {
-            Need::From(l) if st.oldest_record().is_some_and(|o| l >= o) => (l, false),
-            Need::From(_) | Need::Checkpoint => (st.ckpt_lsn + 1, st.ckpt_bytes.is_some()),
+    /// Whether records from `lsn` onward are still on disk — when not,
+    /// the pump renegotiates a (delta) re-seed instead of asking for
+    /// history the shipper no longer has.
+    pub fn can_serve_from(&self, lsn: u64) -> Result<bool> {
+        Ok(self.load_state()?.oldest_record().is_some_and(|o| lsn >= o))
+    }
+
+    /// The current checkpoint's lineage, oldest first: the full base,
+    /// then every delta up to (and including) `checkpoint.snap` itself.
+    /// A full `checkpoint.snap` resolves to a single-element chain; no
+    /// checkpoint at all to an empty one.
+    fn checkpoint_chain(&self, st: &ShipperState) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut chain: Vec<(u64, Vec<u8>)> = Vec::new();
+        let Some(mut cur) = st.ckpt_bytes.clone() else {
+            return Ok(chain);
         };
-        let mut out = Vec::new();
-        if include_ckpt {
-            let bytes = st.ckpt_bytes.expect("checked above");
+        let mut cur_lsn = st.ckpt_lsn;
+        loop {
+            let parts = split_checkpoint(cur.clone(), "checkpoint")?;
+            let base = if Database::is_delta_snapshot(&parts.body) {
+                Some(Database::delta_base_id(&parts.body)?)
+            } else {
+                None
+            };
+            chain.push((cur_lsn, cur));
+            let Some(base) = base else { break };
+            if chain.iter().any(|(l, _)| *l == base) {
+                return Err(DurableError::Corrupt(format!(
+                    "delta checkpoint chain is cyclic at LSN {base}"
+                )));
+            }
+            let name = checkpoint_archive_name(base);
+            cur = read_stable(self.storage, &name, READ_RETRIES)?.ok_or_else(|| {
+                DurableError::Corrupt(format!(
+                    "checkpoint chain needs archive {name}, which is missing"
+                ))
+            })?;
+            cur_lsn = base;
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// Encode a full re-seed: the chain's full base as a `Checkpoint`
+    /// delivery, every delta above it as a `DeltaCheckpoint`.
+    fn push_chain(out: &mut Vec<Vec<u8>>, chain: Vec<(u64, Vec<u8>)>) {
+        let mut links = chain.into_iter();
+        if let Some((_, bytes)) = links.next() {
             out.push(ShipMessage::Checkpoint(bytes).encode());
         }
+        for (_, bytes) in links {
+            out.push(ShipMessage::DeltaCheckpoint(bytes).encode());
+        }
+    }
+
+    /// Deliveries satisfying `need`: sealed segments + live tail from
+    /// the requested LSN; or — when that history is gone (pruned) or the
+    /// replica has nothing — the checkpoint chain followed by everything
+    /// after it.  [`Need::DeltaBootstrap`] ships only the deltas above
+    /// the replica's retained base when that base is in the lineage.
+    pub fn deliveries_for(&self, need: Need) -> Result<Vec<Vec<u8>>> {
+        let st = self.load_state()?;
+        let mut out = Vec::new();
+        let ship_from = match need {
+            Need::From(l) if st.oldest_record().is_some_and(|o| l >= o) => l,
+            Need::DeltaBootstrap(base) => {
+                let chain = self.checkpoint_chain(&st)?;
+                match chain.iter().position(|(l, _)| *l == base) {
+                    Some(pos) => {
+                        for (_, bytes) in chain.into_iter().skip(pos + 1) {
+                            out.push(ShipMessage::DeltaCheckpoint(bytes).encode());
+                        }
+                    }
+                    // The replica's base left our lineage: full re-seed.
+                    None => Self::push_chain(&mut out, chain),
+                }
+                st.ckpt_lsn + 1
+            }
+            Need::From(_) | Need::Checkpoint => {
+                Self::push_chain(&mut out, self.checkpoint_chain(&st)?);
+                st.ckpt_lsn + 1
+            }
+        };
         for seg in &st.manifest.segments {
             if seg.last_lsn < ship_from {
                 continue;
@@ -683,7 +782,21 @@ pub fn replicate<S: Storage, C: Channel>(
         let mut span = tracer.span_with("ship.round", &[("round", report.rounds.to_string())]);
         let sent_before = report.deliveries_sent;
         let applied_before = report.records_applied;
-        for delivery in shipper.deliveries_for(applier.needed())? {
+        let mut need = applier.needed();
+        if let Need::From(l) = need {
+            if !shipper.can_serve_from(l)? {
+                // The segments the replica wants are pruned: renegotiate
+                // a re-seed — delta when the replica still holds a base
+                // checkpoint, full otherwise.
+                need = applier.reseed_need();
+                let kind = match need {
+                    Need::DeltaBootstrap(_) => "delta",
+                    _ => "full",
+                };
+                tracer.event("ship.reseed", &[("kind", kind.to_string())]);
+            }
+        }
+        for delivery in shipper.deliveries_for(need)? {
             metrics.observe(
                 "wal.ship.bytes_per_delivery",
                 &BYTES_PER_DELIVERY_BOUNDS,

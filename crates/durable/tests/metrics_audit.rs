@@ -21,6 +21,7 @@ const WAL_COUNTERS: &[&str] = &[
     "wal.flushes",
     "wal.bytes",
     "wal.checkpoints",
+    "wal.checkpoints.delta",
     "wal.segments.sealed",
     "wal.segments.pruned",
     "wal.recovery.records_replayed",
@@ -34,6 +35,7 @@ const WAL_COUNTERS: &[&str] = &[
 ];
 const WAL_GAUGES: &[&str] = &[
     "wal.checkpoint_lsn",
+    "wal.checkpoint.chain_depth",
     "wal.segments.count",
     "wal.segments.bytes",
     "wal.ship.replica_lsn",
@@ -128,7 +130,14 @@ fn every_registered_metric_is_exposed_after_a_full_workload() {
     for op in script.iter().skip(half) {
         apply_durable(&mut primary, op).unwrap();
     }
-    primary.checkpoint().unwrap();
+    // A delta checkpoint populates the delta counter and chain-depth
+    // gauge (and recovery below walks the chain).  The script may have
+    // dirtied the ASR design (which falls back to a full checkpoint), so
+    // follow with a plain object op and a second delta — that one is
+    // guaranteed to take the delta path.
+    primary.checkpoint_delta().unwrap();
+    primary.instantiate("BasePart").unwrap();
+    assert!(primary.checkpoint_delta().unwrap().is_delta());
     primary.prune_segments().unwrap();
 
     // A converging replication populates the shipping counters and the

@@ -275,6 +275,240 @@ fn pruned_history_forces_a_rebootstrap() {
     assert_replica_on_history(&applier, &s0, &script, "post-prune catch-up");
 }
 
+// ----------------------------------------------------------------------
+// Delta bootstrap (`Need::DeltaBootstrap`)
+// ----------------------------------------------------------------------
+
+/// A primary/replica pair poised for a delta re-seed: the replica is
+/// converged and retains the full checkpoint at `base_lsn`; the primary
+/// has moved on with plain object ops, taken a *delta* checkpoint, and
+/// pruned the segments the replica would otherwise replay — so the next
+/// catch-up must renegotiate.  Also returns per-LSN oracle snapshots
+/// (index = LSN) so a stalled replica can be placed on the history.
+fn stage_delta_reseed(
+    s0: &str,
+    script: &[Op],
+    extra_ops: usize,
+    tail_ops: usize,
+) -> (DurableDatabase<MemStorage>, ReplicaApplier, Vec<String>) {
+    let half = SCRIPT_LEN / 2;
+    let mut primary = build_primary(s0, script, half, None);
+    primary.checkpoint().unwrap(); // full base at LSN `half`
+
+    let mut applier = ReplicaApplier::new();
+    let mut lossless = LosslessChannel::new();
+    replicate(
+        &primary,
+        &mut applier,
+        &mut lossless,
+        &ReplicateOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(applier.applied_lsn(), half as u64);
+
+    // Advance with plain object creations (never design ops, so the
+    // checkpoint below is guaranteed to take the delta path), then cut
+    // the replica's replay history out from under it.
+    for _ in 0..extra_ops {
+        primary.instantiate("BasePart").unwrap();
+    }
+    assert!(
+        primary.checkpoint_delta().unwrap().is_delta(),
+        "plain object ops must yield a delta checkpoint"
+    );
+    primary.prune_segments().unwrap();
+    // A live WAL tail past the delta checkpoint keeps frames in flight
+    // alongside the delta deliveries (reordering fodder for the chaos
+    // schedules).
+    for _ in 0..tail_ops {
+        primary.instantiate("BasePart").unwrap();
+    }
+
+    // Oracle snapshots at every LSN of this custom history.
+    let mut oracle = Database::load_from_string(s0).unwrap();
+    let mut oracles = vec![oracle.save_to_string()];
+    for op in &script[..half] {
+        apply_plain(&mut oracle, op);
+        oracles.push(oracle.save_to_string());
+    }
+    for _ in 0..extra_ops + tail_ops {
+        oracle.instantiate("BasePart").unwrap();
+        oracles.push(oracle.save_to_string());
+    }
+    (primary, applier, oracles)
+}
+
+/// Converged or stalled, the replica must sit exactly on one of the
+/// oracle snapshots for its claimed LSN.
+fn assert_on_oracles(applier: &ReplicaApplier, oracles: &[String], ctx: &str) {
+    if !applier.is_bootstrapped() {
+        return;
+    }
+    let lsn = applier.applied_lsn() as usize;
+    assert!(lsn < oracles.len(), "{ctx}: replica past the history");
+    assert_eq!(
+        applier.snapshot().unwrap(),
+        oracles[lsn],
+        "{ctx}: replica at LSN {lsn} diverged from that prefix"
+    );
+}
+
+/// When the replica still retains the base checkpoint the primary's
+/// delta chain grew from, a post-prune catch-up renegotiates
+/// `Need::DeltaBootstrap` and ships only the delta — far fewer bytes
+/// than the full snapshot — yet lands byte-identical.
+#[test]
+fn delta_bootstrap_ships_only_the_deltas() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xDE17);
+    let (primary, mut applier, oracles) = stage_delta_reseed(&s0, &script, 4, 2);
+
+    let full_len = primary.database().save_to_string().len() as u64;
+    let received_before = applier.status().bytes_received;
+    let mut channel = LosslessChannel::new();
+    let report = replicate(
+        &primary,
+        &mut applier,
+        &mut channel,
+        &ReplicateOptions::default(),
+    )
+    .unwrap();
+
+    assert_eq!(report.converged_lsn as usize, oracles.len() - 1);
+    assert_eq!(
+        applier.snapshot().unwrap(),
+        primary.database().save_to_string(),
+        "delta re-seed must converge byte-identically"
+    );
+    let status = applier.status();
+    assert_eq!(status.bootstraps, 2, "exactly one re-seed");
+    assert_eq!(
+        status.delta_bootstraps, 1,
+        "the re-seed must go through the delta path, not a full checkpoint"
+    );
+    let received = status.bytes_received - received_before;
+    assert!(
+        received < full_len,
+        "delta catch-up shipped {received} bytes, >= the {full_len}-byte full snapshot"
+    );
+    // The renegotiation is visible on the primary's flight recorder.
+    let tail = primary.flight_recorder().tail_summaries(64).join(" | ");
+    assert!(
+        tail.contains("ship.reseed"),
+        "no ship.reseed event in flight tail: {tail}"
+    );
+    assert_on_oracles(&applier, &oracles, "delta re-seed");
+}
+
+/// A replica whose retained base has left the primary's lineage (the
+/// primary re-checkpointed *fully* since) still converges — the shipper
+/// detects the divergence and falls back to the full chain.
+#[test]
+fn stale_base_falls_back_to_full_reseed() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x5A1E);
+    let (mut primary, mut applier, _) = stage_delta_reseed(&s0, &script, 4, 0);
+
+    // A *full* checkpoint rebases the lineage away from the replica's
+    // retained base, and pruning unpins that base's archive.
+    primary.instantiate("BasePart").unwrap();
+    primary.checkpoint().unwrap();
+    primary.prune_segments().unwrap();
+
+    let mut channel = LosslessChannel::new();
+    replicate(
+        &primary,
+        &mut applier,
+        &mut channel,
+        &ReplicateOptions::default(),
+    )
+    .unwrap();
+    let status = applier.status();
+    assert_eq!(
+        status.delta_bootstraps, 0,
+        "a base outside the lineage must not be patched"
+    );
+    assert_eq!(status.bootstraps, 2, "full re-seed instead");
+    assert_eq!(
+        applier.snapshot().unwrap(),
+        primary.database().save_to_string()
+    );
+}
+
+/// The chaos fuzzer over the delta-bootstrap path: 32 seeded schedules
+/// drop, duplicate, reorder, truncate, and bit-flip the *delta*
+/// deliveries (and the tail frames around them).  Every schedule must
+/// converge byte-identically or stall with the typed error; every
+/// injected fault must surface as a typed flight-recorder event; and a
+/// corrupted delta must be NACKed, never silently applied.
+#[test]
+fn delta_bootstrap_chaos_converges_or_fails_loudly() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xDB07);
+    let opts = ReplicateOptions::default();
+
+    let mut converged = 0usize;
+    let mut stalled = 0usize;
+    let mut delta_reseeds = 0u64;
+    for i in 0..32u64 {
+        let seed = fuzz_seed() ^ 0xDE17A ^ (i.wrapping_mul(0x9E37_79B9));
+        let (primary, mut applier, oracles) = stage_delta_reseed(&s0, &script, 4, 2);
+        let profile = ChaosProfile::from_seed(seed);
+        let recorder = Rc::new(FlightRecorder::new(1 << 16));
+        let mut channel = FaultyChannel::new(profile, seed).with_recorder(recorder.clone());
+        let ctx = format!("delta chaos seed {seed:#x} ({profile:?})");
+        match replicate(&primary, &mut applier, &mut channel, &opts) {
+            Ok(report) => {
+                converged += 1;
+                assert_eq!(report.converged_lsn as usize, oracles.len() - 1, "{ctx}");
+                assert_eq!(
+                    applier.snapshot().unwrap(),
+                    primary.database().save_to_string(),
+                    "{ctx}: converged but not byte-identical"
+                );
+            }
+            Err(DurableError::ReplicationStalled(msg)) => {
+                stalled += 1;
+                assert!(msg.contains("rounds"), "{ctx}: uninformative stall: {msg}");
+            }
+            Err(e) => panic!("{ctx}: unexpected error class: {e}"),
+        }
+        // Converged or stalled, never silently diverged.
+        assert_on_oracles(&applier, &oracles, &ctx);
+        delta_reseeds += applier.status().delta_bootstraps;
+
+        // Every injection must be a typed flight-recorder event.
+        assert_eq!(recorder.dropped(), 0, "{ctx}: recorder sized too small");
+        let mut events: BTreeMap<String, u64> = BTreeMap::new();
+        for ev in recorder.tail(recorder.len()) {
+            *events.entry(ev.record.name.clone()).or_insert(0) += 1;
+        }
+        let stats = channel.stats();
+        for (event, injected) in [
+            ("chaos.drop", stats.dropped),
+            ("chaos.dup", stats.duplicated),
+            ("chaos.reorder", stats.reordered),
+            ("chaos.truncate", stats.truncated),
+            ("chaos.flip", stats.flipped),
+        ] {
+            assert_eq!(
+                events.get(event).copied().unwrap_or(0),
+                injected,
+                "{ctx}: `{event}` events must match the channel's count"
+            );
+        }
+    }
+    assert!(
+        converged >= 16,
+        "only {converged}/32 delta schedules converged ({stalled} stalled)"
+    );
+    assert!(
+        delta_reseeds >= 16,
+        "only {delta_reseeds} delta re-seeds across 32 schedules — \
+         the chaos sweep is not actually exercising Need::DeltaBootstrap"
+    );
+}
+
 /// Chaos against an *advancing* primary: converge, mutate, converge
 /// again over the same faulty channel, several times.  Steady-state
 /// replication under faults must track the moving tip.

@@ -375,7 +375,9 @@ fn golden_v1_fixture_recovers_on_current_code() {
                     "asr {id}: unexpected reason {reason}"
                 )
             }
-            AsrLoadMode::Physical => panic!("asr {id}: v1 snapshot cannot restore physically"),
+            AsrLoadMode::Physical | AsrLoadMode::Delta { .. } => {
+                panic!("asr {id}: v1 snapshot cannot restore physically")
+            }
         }
     }
 

@@ -18,7 +18,7 @@
 //! Composite keys (e.g. `(column value, row id)`) are expressed through the
 //! ordinary `Ord` bound; prefix scans become half-open ranges.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt::Debug;
 use std::ops::Bound;
 
@@ -146,6 +146,39 @@ impl<K, V> TreeImage<K, V> {
     /// Number of live (non-free) pages.
     pub fn live_pages(&self) -> usize {
         self.nodes.len() - self.free.len()
+    }
+}
+
+/// A copy-on-write delta image: the pages of a tree written at or after a
+/// dirty-epoch fence, plus the full (cheap) geometry needed to patch a
+/// base [`TreeImage`] into the current physical state.  Produced by
+/// [`BPlusTree::dump_image_since`]; applying `pages` over a base image of
+/// the fence epoch — after growing its slab to `total_nodes` slots — and
+/// installing `root`/`height`/`len`/`free` reproduces
+/// [`BPlusTree::dump_image`] exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeDelta<K, V> {
+    /// Slab slot of the root page.
+    pub root: usize,
+    /// Tree height in levels, including the leaf level.
+    pub height: usize,
+    /// Number of stored entries.
+    pub len: usize,
+    /// Free slab slots in pop order (complete list, not a delta).
+    pub free: Vec<usize>,
+    /// Total slab slots the tree currently occupies (the slab never
+    /// shrinks, so this is ≥ the base image's slot count).
+    pub total_nodes: usize,
+    /// `(slot, page content)` for every page stamped at or after the
+    /// fence, ascending by slot.  Includes pages that became [`NodeImage::Free`]
+    /// since the fence.
+    pub pages: Vec<(usize, NodeImage<K, V>)>,
+}
+
+impl<K, V> TreeDelta<K, V> {
+    /// Pages carried by the delta.
+    pub fn changed_pages(&self) -> usize {
+        self.pages.len()
     }
 }
 
@@ -302,6 +335,13 @@ pub struct BPlusTree<K, V> {
     len: usize,
     stats: StatsHandle,
     buffer: RefCell<BufferPool>,
+    /// Current dirty epoch; every page modification stamps the page with
+    /// this value.  Interior-mutable because write charging happens behind
+    /// `&self` (see [`BPlusTree::charge_write`]).
+    epoch: Cell<u64>,
+    /// Per-slot epoch stamps, parallel to `nodes` (`epochs[slot]` = epoch
+    /// of the slot's last modification).
+    epochs: RefCell<Vec<u64>>,
 }
 
 impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
@@ -339,6 +379,8 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             len: 0,
             stats,
             buffer: RefCell::new(BufferPool::unbuffered()),
+            epoch: Cell::new(0),
+            epochs: RefCell::new(vec![0]),
         }
     }
 
@@ -435,22 +477,39 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     }
 
     fn charge_write(&self, node: usize) {
+        self.stamp(node);
         self.buffer.borrow_mut().write(node as u64, &self.stats);
+    }
+
+    /// Record that `node` was modified in the current dirty epoch.  Buffer
+    /// hits may absorb the I/O charge, but the page content still changed,
+    /// so stamping is unconditional.
+    fn stamp(&self, node: usize) {
+        let mut epochs = self.epochs.borrow_mut();
+        let e = self.epoch.get();
+        if epochs.len() <= node {
+            epochs.resize(node + 1, e);
+        }
+        epochs[node] = e;
     }
 
     fn alloc(&mut self, node: Node<K, V>) -> usize {
         if let Some(id) = self.free.pop() {
             self.nodes[id] = node;
+            self.stamp(id);
             id
         } else {
             self.nodes.push(node);
-            self.nodes.len() - 1
+            let id = self.nodes.len() - 1;
+            self.stamp(id);
+            id
         }
     }
 
     fn release(&mut self, id: usize) {
         self.nodes[id] = Node::Free;
         self.free.push(id);
+        self.stamp(id);
     }
 
     // ------------------------------------------------------------------
@@ -910,6 +969,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         self.root = built.root;
         self.height = built.height;
         self.len = built.len;
+        self.epochs.borrow_mut().clear();
         for node in 0..self.nodes.len() {
             self.charge_write(node);
         }
@@ -945,6 +1005,65 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                     Node::Free => NodeImage::Free,
                 })
                 .collect(),
+        }
+    }
+
+    /// The current dirty epoch.  Pages modified from now on are stamped
+    /// with this value (until [`BPlusTree::advance_epoch`] bumps it).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Start a new dirty epoch and return it.  The typical checkpoint
+    /// protocol: serialize [`BPlusTree::dump_image_since`]`(fence)`, then
+    /// record `advance_epoch()` as the fence of the *next* checkpoint —
+    /// pages written afterwards carry the new epoch and fall inside it.
+    pub fn advance_epoch(&self) -> u64 {
+        let next = self.epoch.get() + 1;
+        self.epoch.set(next);
+        next
+    }
+
+    /// Epoch of `slot`'s last modification.  Slots the stamp vector has
+    /// not caught up with (freshly grown slab) count as modified in the
+    /// current epoch.
+    pub fn page_epoch(&self, slot: usize) -> u64 {
+        self.epochs
+            .borrow()
+            .get(slot)
+            .copied()
+            .unwrap_or_else(|| self.epoch.get())
+    }
+
+    /// Capture only the pages stamped at or after `fence`, plus the full
+    /// geometry — the copy-on-write counterpart of
+    /// [`BPlusTree::dump_image`].  Charges nothing, like `dump_image`:
+    /// the writer layer prices the (delta) bytes it emits.
+    pub fn dump_image_since(&self, fence: u64) -> TreeDelta<K, V> {
+        let pages = (0..self.nodes.len())
+            .filter(|&id| self.page_epoch(id) >= fence)
+            .map(|id| {
+                let img = match &self.nodes[id] {
+                    Node::Inner { keys, children } => NodeImage::Inner {
+                        keys: keys.clone(),
+                        children: children.clone(),
+                    },
+                    Node::Leaf { entries, next } => NodeImage::Leaf {
+                        entries: entries.clone(),
+                        next: (*next != NO_NODE).then_some(*next),
+                    },
+                    Node::Free => NodeImage::Free,
+                };
+                (id, img)
+            })
+            .collect();
+        TreeDelta {
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            free: self.free.clone(),
+            total_nodes: self.nodes.len(),
+            pages,
         }
     }
 
@@ -989,6 +1108,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         self.root = root;
         self.height = height;
         self.len = len;
+        // Adoption rewrites the whole slab: every slot is dirty relative
+        // to any pre-adoption fence.
+        *self.epochs.borrow_mut() = vec![self.epoch.get(); self.nodes.len()];
         if let Err(e) = self.check_invariants() {
             self.reset_to_empty();
             return Err(e);
@@ -1019,6 +1141,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
         self.root = 0;
         self.height = 1;
         self.len = 0;
+        *self.epochs.borrow_mut() = vec![self.epoch.get()];
         self.buffer.borrow_mut().invalidate();
     }
 
@@ -1414,6 +1537,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             Node::Free => unreachable!(),
         }
         self.free.push(right);
+        self.stamp(right);
         self.charge_write(left);
         self.charge_write(parent);
     }
@@ -2130,5 +2254,119 @@ mod tests {
             r.adopt_image(big),
             Err(PageSimError::CorruptStructure(_))
         ));
+    }
+
+    /// Patch `base` with `delta` the way a snapshot reader would: grow the
+    /// slab, overwrite changed pages, install geometry.
+    fn apply_delta(base: &TreeImage<u32, u32>, delta: &TreeDelta<u32, u32>) -> TreeImage<u32, u32> {
+        let mut nodes = base.nodes.clone();
+        assert!(delta.total_nodes >= nodes.len(), "slab never shrinks");
+        nodes.resize(delta.total_nodes, NodeImage::Free);
+        for (id, page) in &delta.pages {
+            nodes[*id] = page.clone();
+        }
+        TreeImage {
+            root: delta.root,
+            height: delta.height,
+            len: delta.len,
+            free: delta.free.clone(),
+            nodes,
+        }
+    }
+
+    #[test]
+    fn epoch_fence_bounds_delta_pages() {
+        let mut t = tiny_tree();
+        for k in 0..500u32 {
+            t.insert(k, k).unwrap();
+        }
+        // Before any fence: everything is dirty.
+        assert_eq!(
+            t.dump_image_since(0).changed_pages() as u64,
+            t.page_count() + t.dump_image().free.len() as u64
+        );
+        let fence = t.advance_epoch();
+        assert!(t.dump_image_since(fence).pages.is_empty());
+        // One point update touches at most a root-to-leaf path of pages.
+        t.remove(&250).unwrap();
+        t.insert(250, 999).unwrap();
+        let delta = t.dump_image_since(fence);
+        assert!(!delta.pages.is_empty());
+        assert!(
+            delta.changed_pages() <= 2 * t.height(),
+            "point update dirtied {} of {} pages",
+            delta.changed_pages(),
+            t.page_count()
+        );
+    }
+
+    #[test]
+    fn delta_applied_to_base_matches_full_image() {
+        let mut t = tiny_tree();
+        for k in 0..400u32 {
+            t.insert(k, k).unwrap();
+        }
+        let base = t.dump_image();
+        let fence = t.advance_epoch();
+        // A mixed workload: inserts (splits grow the slab), removals
+        // (merges free pages), and value updates.
+        for k in 400..480u32 {
+            t.insert(k, k).unwrap();
+        }
+        for k in (0..200u32).step_by(3) {
+            t.remove(&k).unwrap();
+        }
+        t.remove(&399).unwrap();
+        t.insert(399, 1).unwrap();
+        let delta = t.dump_image_since(fence);
+        assert!(delta.changed_pages() < delta.total_nodes);
+        assert_eq!(apply_delta(&base, &delta), t.dump_image());
+    }
+
+    #[test]
+    fn delta_covers_pages_freed_since_fence() {
+        let mut t = tiny_tree();
+        for k in 0..300u32 {
+            t.insert(k, k).unwrap();
+        }
+        let base = t.dump_image();
+        let fence = t.advance_epoch();
+        for k in 0..300u32 {
+            t.remove(&k).unwrap();
+        }
+        let delta = t.dump_image_since(fence);
+        assert!(
+            delta
+                .pages
+                .iter()
+                .any(|(_, p)| matches!(p, NodeImage::Free)),
+            "mass deletion must report freed pages"
+        );
+        let patched = apply_delta(&base, &delta);
+        assert_eq!(patched, t.dump_image());
+        // The patched image adopts cleanly into a fresh tree.
+        let mut r = tiny_tree();
+        r.adopt_image(patched).unwrap();
+        r.check_invariants().unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn epochs_reset_on_adoption() {
+        let mut t = tiny_tree();
+        for k in 0..100u32 {
+            t.insert(k, k).unwrap();
+        }
+        let img = t.dump_image();
+        let mut r = tiny_tree();
+        let fence = r.advance_epoch();
+        r.adopt_image(img).unwrap();
+        // Every adopted page is dirty relative to the pre-adoption fence.
+        assert_eq!(
+            r.dump_image_since(fence).changed_pages(),
+            r.dump_image().nodes.len()
+        );
+        let fence = r.advance_epoch();
+        assert!(r.dump_image_since(fence).pages.is_empty());
     }
 }
