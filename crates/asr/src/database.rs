@@ -18,6 +18,7 @@ use crate::error::{AsrError, Result};
 use crate::maintenance::{maintain_edge, EdgeEvent};
 use crate::manager::{AccessSupportRelation, AsrConfig};
 use crate::naive;
+use crate::row::Row;
 use crate::store::ObjectStore;
 
 /// Identifier of a registered access support relation.
@@ -114,6 +115,15 @@ impl Database {
         &self.tracer
     }
 
+    /// Replace this database's tracer with `tracer`, re-binding span I/O
+    /// capture to this database's own stats handle.  Coordinators that
+    /// rebuild their catalog from a fresh snapshot use this to carry
+    /// accumulated metrics and attached sinks across the rebuild.
+    pub fn adopt_tracer(&mut self, tracer: Tracer) {
+        tracer.attach_stats(Rc::clone(&self.stats));
+        self.tracer = tracer;
+    }
+
     /// Configure the clustered size `size_i` for a type's objects.
     /// Only affects objects registered afterwards.
     pub fn set_type_size(&mut self, ty: TypeId, size: usize) {
@@ -168,6 +178,31 @@ impl Database {
                 "no ASR with id {id}"
             ))),
         }
+    }
+
+    /// Restrict one ASR's stored partitions to the rows `keep` accepts —
+    /// shard placement (see
+    /// [`AccessSupportRelation::retain_partition_rows`]).  Returns the
+    /// number of stored rows placed here.
+    pub fn retain_asr_rows(
+        &mut self,
+        id: AsrId,
+        keep: impl FnMut(usize, &Row) -> bool,
+    ) -> Result<u64> {
+        let mut span = self
+            .tracer
+            .span_with("shard.place", &[("asr", id.to_string())]);
+        let asr = match self.asrs.get_mut(id) {
+            Some(Some(asr)) => asr,
+            _ => {
+                return Err(AsrError::InvalidDecomposition(format!(
+                    "no ASR with id {id}"
+                )))
+            }
+        };
+        let placed = asr.retain_partition_rows(keep)?;
+        span.set_rows(placed);
+        Ok(placed)
     }
 
     /// Access a registered ASR.

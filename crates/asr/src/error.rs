@@ -56,6 +56,9 @@ pub enum AsrError {
     /// files, garbled headers, bad `A`-lines, a missing `--BASE--`
     /// marker.  Loading corrupt input returns this — it never panics.
     Snapshot(String),
+    /// A scatter-gather shard operation failed: a shard link stayed down
+    /// past its retry budget, or a shard answered with a remote error.
+    Shard(String),
 }
 
 impl fmt::Display for AsrError {
@@ -76,6 +79,7 @@ impl fmt::Display for AsrError {
             }
             AsrError::BadUpdatePosition(msg) => write!(f, "bad update position: {msg}"),
             AsrError::Snapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            AsrError::Shard(msg) => write!(f, "shard error: {msg}"),
         }
     }
 }

@@ -195,6 +195,48 @@ impl AccessSupportRelation {
         Ok(())
     }
 
+    /// Restrict every stored partition to the rows `keep` accepts — the
+    /// shard-placement primitive.  `keep` sees the partition index and the
+    /// stored (projected) row; surviving rows keep their witness counts.
+    ///
+    /// The result is a *placement slice*, not a smaller extension: span
+    /// queries against a slice return exactly the slice's fragments, and a
+    /// scatter-gather coordinator that broadcasts each partition probe to
+    /// every slice and unions the fragments reconstructs the unrestricted
+    /// answer (placement partitions each partition's row set, so the union
+    /// over slices is the original partition content).  Incremental
+    /// maintenance is **not** supported on a slice — the extension mirror
+    /// is dropped so nothing silently reassembles cross-slice rows;
+    /// mutations flow through the primary and re-seed placements via the
+    /// replication substrate.
+    ///
+    /// Returns the number of stored rows retained across all partitions.
+    pub fn retain_partition_rows(
+        &mut self,
+        mut keep: impl FnMut(usize, &crate::row::Row) -> bool,
+    ) -> Result<u64> {
+        let spans: Vec<(usize, usize)> = self.config.decomposition.partitions().collect();
+        let mut placed = 0u64;
+        for (idx, &(a, b)) in spans.iter().enumerate() {
+            let mut kept: Vec<(crate::row::Row, u64)> = Vec::new();
+            {
+                let old = &self.partitions[idx];
+                old.scan(|row| {
+                    if keep(idx, row) {
+                        kept.push((row.clone(), old.witness_count(row)));
+                    }
+                });
+            }
+            placed += kept.len() as u64;
+            let mut sp = StoredPartition::new(a, b, Rc::clone(&self.stats));
+            sp.tag(&format!("asr[{}].{a}-{b}", self.path));
+            sp.bulk_load(kept)?;
+            self.partitions[idx] = sp;
+        }
+        self.rows = std::cell::OnceCell::new();
+        Ok(placed)
+    }
+
     /// Insert one extension row, projecting it onto every partition
     /// (each projection gains one witness).  Inserting a row already in the
     /// extension is a no-op.

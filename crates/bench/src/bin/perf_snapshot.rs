@@ -1,4 +1,4 @@
-//! Machine-readable performance snapshot (`BENCH_7.json`) and the
+//! Machine-readable performance snapshot (`BENCH_8.json`) and the
 //! perf-trend gate over the whole `BENCH_*.json` series.
 //!
 //! ```text
@@ -29,6 +29,11 @@
 //! * the PITR cost curve: `recover_to_lsn` priced at bounds 0–100% of
 //!   the tip, showing replay cost growing with bound distance from the
 //!   covering checkpoint;
+//! * the serving comparison (`asr_bench::serving`): scatter-gather
+//!   span-query throughput at shard counts 1/2/4 with the fleet's merged
+//!   and hottest-shard page accounting (deterministic, gated), plus a
+//!   seeded chaos leg pricing the hostile-wire retry bill and the
+//!   p50/p95/p99 per-query latency tail (host-dependent, informational);
 //! * wall-clock of the full figure suite at `--jobs 1` vs `--jobs 4`,
 //!   alongside the machine's available parallelism — on a single-CPU
 //!   container the worker pool cannot beat the sequential run, so the
@@ -52,6 +57,7 @@ use asr_bench::recovery::{
     measure_delta_checkpoint, measure_pitr, measure_recovery, measure_replication,
     DeltaCheckpointBench, PhaseCost, PitrBench, RecoveryBench, ReplicationBench, ShipCost,
 };
+use asr_bench::serving::{measure_serving, ServingBench, ServingPoint};
 use asr_core::{AsrConfig, Decomposition, Extension};
 use asr_costmodel::{profiles, Mix, Op};
 use asr_workload::{execute_trace, generate, generate_trace, scale_profile, GeneratorSpec};
@@ -78,7 +84,7 @@ const RECOVERY_DELTA_OPS: usize = 16;
 const PITR_DELTA_OPS: usize = 64;
 
 fn main() {
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut check_only = false;
     let mut trend_mode = false;
     let mut trend_dir = String::from(".");
@@ -180,6 +186,9 @@ fn main() {
     eprintln!("measuring PITR: replay cost vs bound distance ...");
     let pitr = measure_pitr(RECOVERY_SCALE, PITR_DELTA_OPS);
 
+    eprintln!("measuring serving: scatter-gather throughput at 1/2/4 shards + chaos leg ...");
+    let serving = measure_serving();
+
     eprintln!("timing the full suite, --jobs 1 ...");
     let jobs1 = Instant::now();
     let (_, suite_io1) = run_entries_sharded(&all, 1);
@@ -209,13 +218,13 @@ fn main() {
         format!("\"speedup_jobs4\": {:.2}", jobs1_ms / jobs4_ms.max(1e-9))
     };
     let json = format!(
-        "{{\n  \"schema\": \"asr-bench-snapshot/6\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+        "{{\n  \"schema\": \"asr-bench-snapshot/7\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
          \"wall_ms\": {fig6_ms:.1},\n      \"workload\": \"Q_{{0,n}}(bw) x{QUERY_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }},\n    \"fig11\": {{\n      \
          \"wall_ms\": {fig11_ms:.1},\n      \"workload\": \"ins_3 x{UPDATE_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }}\n  }},\n  \
          \"recovery\": {},\n  \"replication\": {},\n  \"delta_checkpoint\": {},\n  \
-         \"pitr\": {},\n  \"all\": {{\n    \
+         \"pitr\": {},\n  \"serving\": {},\n  \"all\": {{\n    \
          \"figures\": {},\n    \"cpus\": {cpus},\n    \"jobs1_wall_ms\": {jobs1_ms:.1},\n    \
          \"jobs4_wall_ms\": {jobs4_ms:.1},\n    {speedup},\n    \
          \"suite_io\": {{ \"page_reads\": {}, \"page_writes\": {}, \"buffer_hits\": {}, \
@@ -226,6 +235,7 @@ fn main() {
         replication_json(&replication),
         delta_checkpoint_json(&delta_ckpt),
         pitr_json(&pitr),
+        serving_json(&serving),
         all.len(),
         suite_io1.reads,
         suite_io1.writes,
@@ -327,6 +337,34 @@ fn pitr_json(b: &PitrBench) -> String {
          1/{RECOVERY_SCALE:.0}-scale fig6 profile, 192-byte segment threshold\",\n    \
          \"tip_lsn\": {},\n    \"points\": [\n{points}\n    ]\n  }}",
         b.tip,
+    )
+}
+
+fn serving_point_json(p: &ServingPoint) -> String {
+    // `pages`-named leaves are deterministic (exact page simulation,
+    // lossless links) and hence trend-gated; wall/qps are informational.
+    format!(
+        "      {{ \"shards\": {}, \"queries\": {}, \"rows\": {}, \"wall_ms\": {:.2}, \
+         \"qps\": {:.0}, \"merged\": {{ \"pages\": {} }}, \"hot_shard\": {{ \"pages\": {} }} }}",
+        p.shards, p.queries, p.rows, p.wall_ms, p.qps, p.merged_pages, p.hot_shard_pages
+    )
+}
+
+fn serving_json(b: &ServingBench) -> String {
+    let points = b
+        .points
+        .iter()
+        .map(serving_point_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let c = &b.chaos;
+    format!(
+        "{{\n    \"workload\": \"full-path fw+bw span scatter-gather on a 48/96/192/384 chain, \
+         full/binary ASR, fleet seeded via replication\",\n    \"points\": [\n{points}\n    ],\n    \
+         \"chaos\": {{ \"seed\": {}, \"shards\": 2, \"queries\": {}, \"retries\": {}, \
+         \"injected_faults\": {}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \
+         \"p99\": {:.3} }} }}\n  }}",
+        c.seed, c.queries, c.retries, c.injected, c.p50_ms, c.p95_ms, c.p99_ms
     )
 }
 

@@ -18,6 +18,7 @@
 
 pub mod experiments;
 pub mod recovery;
+pub mod serving;
 pub mod table;
 pub mod trend;
 

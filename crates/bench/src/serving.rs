@@ -1,0 +1,284 @@
+//! Serving micro-benchmark: scatter-gather span-query throughput on the
+//! sharded coordinator, at shard counts 1/2/4, plus a chaos leg that
+//! prices the retry/backoff tail of a hostile wire.
+//!
+//! Each point stages the same chain primary (generated object base, one
+//! full binary-decomposed ASR, wrapped in a WAL-backed
+//! [`DurableDatabase`]), seeds an N-shard fleet through the replication
+//! substrate, and drives a fixed span-query script — every full-path
+//! forward and backward query over a bounded start/target sample.  The
+//! page accounting comes from [`Fleet::take_io`]: the merged scatter
+//! I/O across all shards plus the hottest single shard's share.  Both
+//! are deterministic (the page simulation is exact and chaos is
+//! seeded), so they are safe to gate in trend comparisons;
+//! wall-clock/throughput numbers are host-dependent and informational.
+//!
+//! The chaos leg runs the same script over 2 shards behind seeded
+//! [`ChaosProfile`] channels, observing each query's wall latency into
+//! an [`asr_obs::MetricsRegistry`] histogram and reporting the
+//! p50/p95/p99 tail alongside the client-side retry bill.
+//!
+//! [`Fleet::take_io`]: asr_server::Fleet::take_io
+
+use std::time::Instant;
+
+use asr_core::{AsrConfig, AsrId, Cell, Decomposition, Extension};
+use asr_durable::{ChaosProfile, DurableDatabase, FlushPolicy, MemStorage};
+use asr_gom::Oid;
+use asr_obs::MetricsRegistry;
+use asr_server::ShardedDatabase;
+use asr_workload::{generate, GeneratorSpec};
+
+/// Latency histogram buckets (milliseconds).
+const LATENCY_BOUNDS_MS: &[f64] = &[
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+];
+
+/// One lossless throughput point at a fixed shard count.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingPoint {
+    /// Fleet size.
+    pub shards: usize,
+    /// Span queries executed.
+    pub queries: u64,
+    /// Result cells/oids gathered across all queries.
+    pub rows: u64,
+    /// Wall-clock for the whole script (host-dependent).
+    pub wall_ms: f64,
+    /// Queries per second (host-dependent).
+    pub qps: f64,
+    /// Merged scatter page accesses across the fleet (deterministic).
+    pub merged_pages: u64,
+    /// Page accesses on the hottest single shard (deterministic).
+    pub hot_shard_pages: u64,
+}
+
+/// The hostile-wire leg: same script, chaotic channels.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosLeg {
+    /// Chaos seed (drives [`ChaosProfile::from_seed`] and the channels).
+    pub seed: u64,
+    /// Span queries executed.
+    pub queries: u64,
+    /// Client-side frame resends across the fleet.
+    pub retries: u64,
+    /// Fault events injected across every shard's channel pair.
+    pub injected: u64,
+    /// Median per-query latency, milliseconds (host-dependent).
+    pub p50_ms: f64,
+    /// 95th-percentile per-query latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-query latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The full serving benchmark result.
+#[derive(Debug, Clone)]
+pub struct ServingBench {
+    /// Lossless throughput at shard counts 1/2/4.
+    pub points: Vec<ServingPoint>,
+    /// The chaotic 2-shard leg.
+    pub chaos: ChaosLeg,
+}
+
+/// The staged primary shared by every point.
+struct Staged {
+    primary: DurableDatabase<MemStorage>,
+    asr: AsrId,
+    /// Path length `n`.
+    n: usize,
+    /// Full-path forward starts and backward targets.
+    starts: Vec<Oid>,
+    targets: Vec<Oid>,
+}
+
+/// Stage a chain primary: `scale` multiplies the level populations, so
+/// tests can run a miniature of the published configuration.
+fn stage(scale: usize) -> Staged {
+    let s = scale.max(1);
+    let spec = GeneratorSpec {
+        counts: vec![12 * s, 24 * s, 48 * s, 96 * s],
+        defined: vec![12 * s, 24 * s, 48 * s],
+        fan: vec![2, 2, 2],
+        sizes: vec![128, 128, 128, 128],
+    };
+    let g = generate(&spec, 0xA55E);
+    let n = g.path.arity(false) - 1;
+    let mut db = g.db;
+    let dotted = g.path.to_string();
+    let asr = db
+        .create_asr_on(
+            &dotted,
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(n),
+                keep_set_oids: false,
+            },
+        )
+        .expect("ASR builds");
+    let primary =
+        DurableDatabase::create(MemStorage::new(), db, FlushPolicy::EveryRecord).expect("creates");
+    const SAMPLE: usize = 24;
+    Staged {
+        primary,
+        asr,
+        n,
+        starts: g.levels[0].iter().copied().take(SAMPLE).collect(),
+        targets: g.levels[n].iter().copied().take(SAMPLE).collect(),
+    }
+}
+
+/// Drive the full-path span script once; per-query latency lands in
+/// `latency_ms` when a registry is supplied.  Returns `(queries, rows)`.
+fn drive(
+    sharded: &mut ShardedDatabase,
+    staged: &Staged,
+    latency: Option<&MetricsRegistry>,
+) -> (u64, u64) {
+    let (mut queries, mut rows) = (0u64, 0u64);
+    let mut timed = |sharded: &mut ShardedDatabase,
+                     q: &mut dyn FnMut(&mut ShardedDatabase) -> u64| {
+        let started = Instant::now();
+        let got = q(sharded);
+        if let Some(reg) = latency {
+            reg.observe(
+                "serving.query.ms",
+                LATENCY_BOUNDS_MS,
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+        queries += 1;
+        rows += got;
+    };
+    for &start in &staged.starts {
+        timed(sharded, &mut |s| {
+            s.forward(staged.asr, 0, staged.n, start)
+                .expect("forward span")
+                .len() as u64
+        });
+    }
+    for &target in &staged.targets {
+        let cell = Cell::Oid(target);
+        timed(sharded, &mut |s| {
+            s.backward(staged.asr, 0, staged.n, &cell)
+                .expect("backward span")
+                .len() as u64
+        });
+    }
+    (queries, rows)
+}
+
+/// One lossless point at `shards` shards.
+fn run_point(staged: &Staged, shards: usize) -> ServingPoint {
+    let mut sharded =
+        ShardedDatabase::from_primary(&staged.primary, shards, None).expect("fleet seeds");
+    sharded.fleet_mut().take_io(); // discard seeding-era I/O
+    let started = Instant::now();
+    let (queries, rows) = drive(&mut sharded, staged, None);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let (merged, hot) = sharded.fleet_mut().take_io();
+    ServingPoint {
+        shards,
+        queries,
+        rows,
+        wall_ms,
+        qps: queries as f64 / (wall_ms / 1e3).max(1e-9),
+        merged_pages: merged.accesses(),
+        hot_shard_pages: hot,
+    }
+}
+
+/// The chaotic 2-shard leg under `seed`.
+fn run_chaos(staged: &Staged, seed: u64) -> ChaosLeg {
+    let chaos = Some((ChaosProfile::from_seed(seed), seed));
+    let mut sharded =
+        ShardedDatabase::from_primary(&staged.primary, 2, chaos).expect("fleet seeds");
+    let registry = MetricsRegistry::new();
+    let (queries, _) = drive(&mut sharded, staged, Some(&registry));
+    let retries: u64 = sharded
+        .fleet()
+        .client_stats()
+        .iter()
+        .map(|s| s.retries)
+        .sum();
+    let injected: u64 = sharded
+        .fleet()
+        .channel_stats()
+        .iter()
+        .map(|(rx, tx)| {
+            rx.dropped
+                + rx.duplicated
+                + rx.reordered
+                + rx.truncated
+                + rx.flipped
+                + tx.dropped
+                + tx.duplicated
+                + tx.reordered
+                + tx.truncated
+                + tx.flipped
+        })
+        .sum();
+    let (p50_ms, p95_ms, p99_ms) = registry
+        .histogram("serving.query.ms")
+        .and_then(|h| h.tail_summary())
+        .expect("latency histogram is populated");
+    ChaosLeg {
+        seed,
+        queries,
+        retries,
+        injected,
+        p50_ms,
+        p95_ms,
+        p99_ms,
+    }
+}
+
+/// Measure serving throughput at `scale` (see [`stage`]).
+pub fn measure_serving_at(scale: usize) -> ServingBench {
+    let staged = stage(scale);
+    let points = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| run_point(&staged, shards))
+        .collect();
+    let chaos = run_chaos(&staged, 0xC4A0);
+    ServingBench { points, chaos }
+}
+
+/// The published configuration: the scale the snapshot binary records.
+pub fn measure_serving() -> ServingBench {
+    measure_serving_at(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature run must produce all three points, a non-trivial
+    /// workload, and a chaos leg that actually injected faults and
+    /// paid retries — with identical gather sizes at every shard count.
+    #[test]
+    fn miniature_serving_bench_is_well_formed() {
+        let bench = measure_serving_at(1);
+        assert_eq!(bench.points.len(), 3);
+        let rows0 = bench.points[0].rows;
+        for p in &bench.points {
+            assert!(p.queries > 0, "shards={}: empty script", p.shards);
+            assert_eq!(
+                p.rows, rows0,
+                "shards={}: scatter-gather changed the answer size",
+                p.shards
+            );
+            assert!(p.merged_pages > 0, "shards={}: no pages counted", p.shards);
+            assert!(
+                p.hot_shard_pages <= p.merged_pages,
+                "shards={}: hottest shard exceeds the merged total",
+                p.shards
+            );
+            assert!(p.qps > 0.0);
+        }
+        assert_eq!(bench.chaos.queries, bench.points[0].queries);
+        assert!(bench.chaos.injected > 0, "chaos profile injected nothing");
+        assert!(bench.chaos.retries > 0, "damage cost no retries");
+        assert!(bench.chaos.p99_ms >= bench.chaos.p50_ms);
+    }
+}

@@ -79,6 +79,48 @@ impl HistogramSnapshot {
             })
             .collect()
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket containing the target rank — the classic
+    /// Prometheus `histogram_quantile` estimator.  The lower edge of the
+    /// first bucket is taken as 0; a rank landing in the implicit `+Inf`
+    /// bucket clamps to the last finite bound (the estimator cannot see
+    /// past it).  `None` when the histogram is empty or `q` is out of
+    /// range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.total as f64;
+        let mut below = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            let upto = below + count;
+            if rank <= upto as f64 || idx == self.counts.len() - 1 {
+                if idx >= self.bounds.len() {
+                    // +Inf bucket: clamp to the last finite bound.
+                    return Some(self.bounds.last().copied().unwrap_or(0.0));
+                }
+                let lower = if idx == 0 { 0.0 } else { self.bounds[idx - 1] };
+                let upper = self.bounds[idx];
+                if count == 0 {
+                    return Some(upper);
+                }
+                let within = (rank - below as f64) / count as f64;
+                return Some(lower + (upper - lower) * within.clamp(0.0, 1.0));
+            }
+            below = upto;
+        }
+        None
+    }
+
+    /// The p50/p95/p99 tail summary used by serving benchmarks.
+    pub fn tail_summary(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ))
+    }
 }
 
 /// Point-in-time copy of the whole registry.
@@ -412,6 +454,34 @@ mod tests {
         assert!(prom.contains("lat_bucket{le=\"2\"} 1"));
         assert!(prom.contains("lat_bucket{le=\"+Inf\"} 1"));
         assert!(prom.contains("lat_count 1"));
+    }
+
+    #[test]
+    fn quantile_estimates_interpolate_and_clamp() {
+        let m = MetricsRegistry::new();
+        let bounds = [1.0, 2.0, 4.0, 8.0];
+        // 100 observations uniformly on (0, 4]: 25 per finite bucket ≤ 4.
+        for i in 0..100 {
+            m.observe("lat", &bounds, (i as f64 + 1.0) * 0.04);
+        }
+        let h = m.histogram("lat").unwrap();
+        let (p50, p95, p99) = h.tail_summary().unwrap();
+        assert!((p50 - 2.0).abs() < 0.25, "p50 ≈ 2.0, got {p50}");
+        assert!((p95 - 3.8).abs() < 0.25, "p95 ≈ 3.8, got {p95}");
+        assert!(p99 <= 4.0 && p99 > 3.8, "p99 in (3.8, 4.0], got {p99}");
+        // Everything beyond the last finite bound clamps to it.
+        m.observe("hot", &[1.0], 50.0);
+        let hot = m.histogram("hot").unwrap();
+        assert_eq!(hot.quantile(0.99), Some(1.0));
+        // Empty and out-of-range are None.
+        assert_eq!(h.quantile(1.5), None);
+        let empty = HistogramSnapshot {
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            sum: 0.0,
+            total: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Span-query routing: the executor's pluggable navigation backend.
+//!
+//! Every page the executor touches flows through two primitives — a
+//! forward span navigation (bindings, projections, unindexed predicates)
+//! and a backward span query (indexed predicates).  [`SpanRouter`]
+//! abstracts those two calls so the same plan runs single-node (the
+//! default [`LocalRouter`] delegates straight to the [`Database`]) or
+//! scattered across placement shards (a coordinator implements the trait
+//! by broadcasting partition probes and unioning fragments; see
+//! `asr-server`'s `ShardedDatabase`).
+
+use asr_core::{AsrId, Cell, Database};
+use asr_gom::{Oid, PathExpression};
+
+/// Where span queries execute.  `db` is the planning/catalog database —
+/// local routers navigate it directly; remote routers use it only for
+/// metadata (ASR configs, naive fallback over the object base).
+pub trait SpanRouter {
+    /// Forward span navigation `Q_{i,j}(fw)` with automatic ASR routing.
+    fn forward_span(
+        &mut self,
+        db: &Database,
+        path: &PathExpression,
+        i: usize,
+        j: usize,
+        start: Oid,
+    ) -> asr_core::Result<Vec<Cell>>;
+
+    /// Backward span query `Q_{i,j}(bw)` through the planned ASR.
+    fn backward_span(
+        &mut self,
+        db: &Database,
+        asr: AsrId,
+        i: usize,
+        j: usize,
+        target: &Cell,
+    ) -> asr_core::Result<Vec<Oid>>;
+}
+
+/// The single-node router: spans run on the local database.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalRouter;
+
+impl SpanRouter for LocalRouter {
+    fn forward_span(
+        &mut self,
+        db: &Database,
+        path: &PathExpression,
+        i: usize,
+        j: usize,
+        start: Oid,
+    ) -> asr_core::Result<Vec<Cell>> {
+        db.navigate_forward(path, i, j, start)
+    }
+
+    fn backward_span(
+        &mut self,
+        db: &Database,
+        asr: AsrId,
+        i: usize,
+        j: usize,
+        target: &Cell,
+    ) -> asr_core::Result<Vec<Oid>> {
+        db.backward(asr, i, j, target)
+    }
+}

@@ -1,0 +1,229 @@
+//! Request execution against the serving database.
+//!
+//! [`ServerDb`] abstracts over a plain in-memory [`Database`] (shard
+//! nodes, tests) and a [`DurableDatabase`] (the primary behind `\serve`):
+//! mutations on the durable flavour flow through its WAL-logging wrappers
+//! so served writes are as durable as shell writes.  Execution returns
+//! `Err(String)` for *request* failures — the session survives; only
+//! frame damage (handled a layer up) NACKs.
+
+use asr_core::{AsrConfig, Cell, Database, Decomposition, Extension, Row};
+use asr_durable::{DurableDatabase, Storage};
+use asr_gom::PathExpression;
+use asr_net::{RequestBody, ResponseBody, ShardHealth};
+use std::collections::BTreeSet;
+
+/// The serving view of a database: plain or durable.
+pub enum ServerDb<'a, S: Storage> {
+    /// An in-memory database (shard slices, chaos tests).
+    Plain(&'a mut Database),
+    /// A WAL-backed database (the served primary).
+    Durable(&'a mut DurableDatabase<S>),
+}
+
+impl<S: Storage> ServerDb<'_, S> {
+    /// Read-only view for queries and stats.
+    pub fn db(&self) -> &Database {
+        match self {
+            ServerDb::Plain(db) => db,
+            ServerDb::Durable(db) => db.database(),
+        }
+    }
+}
+
+fn parse_extension(name: &str) -> Result<Extension, String> {
+    match name {
+        "canonical" | "can" => Ok(Extension::Canonical),
+        "full" => Ok(Extension::Full),
+        "left" => Ok(Extension::LeftComplete),
+        "right" => Ok(Extension::RightComplete),
+        other => Err(format!(
+            "unknown extension {other:?} (canonical|full|left|right)"
+        )),
+    }
+}
+
+/// Execute one request body.  `Ok` carries the response; `Err` a
+/// request-level failure message.
+pub(crate) fn execute<S: Storage>(
+    db: &mut ServerDb<'_, S>,
+    body: &RequestBody,
+) -> Result<ResponseBody, String> {
+    match body {
+        RequestBody::Ping => Ok(ResponseBody::Ok),
+        RequestBody::Query(text) => {
+            let result = asr_oql::execute(db.db(), text).map_err(|e| e.to_string())?;
+            Ok(ResponseBody::Table {
+                columns: result.columns,
+                rows: result.rows,
+            })
+        }
+        RequestBody::Analyze(text) => {
+            let report = asr_oql::explain_analyze(db.db(), text).map_err(|e| e.to_string())?;
+            Ok(ResponseBody::Text(format!(
+                "{}{}",
+                report.result,
+                report.render()
+            )))
+        }
+        RequestBody::Instantiate { type_name } => {
+            let oid = match db {
+                ServerDb::Plain(d) => d.instantiate(type_name).map_err(|e| e.to_string())?,
+                ServerDb::Durable(d) => d.instantiate(type_name).map_err(|e| e.to_string())?,
+            };
+            Ok(ResponseBody::Id(oid.as_raw()))
+        }
+        RequestBody::SetAttr { owner, attr, value } => {
+            match db {
+                ServerDb::Plain(d) => d
+                    .set_attribute(*owner, attr, value.clone())
+                    .map_err(|e| e.to_string())?,
+                ServerDb::Durable(d) => d
+                    .set_attribute(*owner, attr, value.clone())
+                    .map_err(|e| e.to_string())?,
+            }
+            Ok(ResponseBody::Ok)
+        }
+        RequestBody::InsertIntoAttrSet { owner, attr, elem } => {
+            let fresh = match db {
+                ServerDb::Plain(d) => d
+                    .insert_into_attr_set(*owner, attr, elem.clone())
+                    .map_err(|e| e.to_string())?,
+                ServerDb::Durable(d) => d
+                    .insert_into_attr_set(*owner, attr, elem.clone())
+                    .map_err(|e| e.to_string())?,
+            };
+            Ok(ResponseBody::Flag(fresh))
+        }
+        RequestBody::BindVar { name, value } => {
+            match db {
+                ServerDb::Plain(d) => d.bind_variable(name, value.clone()),
+                ServerDb::Durable(d) => d
+                    .bind_variable(name, value.clone())
+                    .map_err(|e| e.to_string())?,
+            }
+            Ok(ResponseBody::Ok)
+        }
+        RequestBody::CreateAsr {
+            dotted,
+            extension,
+            cuts,
+        } => {
+            let extension = parse_extension(extension)?;
+            let path = PathExpression::parse(db.db().base().schema(), dotted)
+                .map_err(|e| e.to_string())?;
+            let decomposition = if cuts.is_empty() {
+                Decomposition::binary(path.arity(false) - 1)
+            } else {
+                Decomposition::new(cuts.iter().map(|&c| c as usize).collect::<Vec<_>>())
+                    .map_err(|e| e.to_string())?
+            };
+            let config = AsrConfig {
+                extension,
+                decomposition,
+                keep_set_oids: false,
+            };
+            let id = match db {
+                ServerDb::Plain(d) => d.create_asr_on(dotted, config).map_err(|e| e.to_string())?,
+                ServerDb::Durable(d) => {
+                    d.create_asr_on(dotted, config).map_err(|e| e.to_string())?
+                }
+            };
+            Ok(ResponseBody::Id(id as u64))
+        }
+        RequestBody::DropAsr { asr } => {
+            match db {
+                ServerDb::Plain(d) => d.drop_asr(*asr as usize).map_err(|e| e.to_string())?,
+                ServerDb::Durable(d) => d.drop_asr(*asr as usize).map_err(|e| e.to_string())?,
+            }
+            Ok(ResponseBody::Ok)
+        }
+        RequestBody::ListAsrs => {
+            let mut out = String::new();
+            for (id, asr) in db.db().asrs() {
+                out.push_str(&format!(
+                    "[{id}] {} ext={} dec={} rows={} pages={}\n",
+                    asr.path(),
+                    asr.config().extension.name(),
+                    asr.config().decomposition,
+                    asr.total_rows(),
+                    asr.total_pages(),
+                ));
+            }
+            if out.is_empty() {
+                out.push_str("no access support relations\n");
+            }
+            Ok(ResponseBody::Text(out))
+        }
+        RequestBody::Stats => Ok(ResponseBody::Text(
+            db.db().tracer().metrics().render_table(),
+        )),
+        RequestBody::Checkpoint { delta } => match db {
+            ServerDb::Plain(_) => Err("WAL is off — serve a durable database".to_string()),
+            ServerDb::Durable(d) => {
+                if *delta {
+                    d.checkpoint_delta().map_err(|e| e.to_string())?;
+                } else {
+                    d.checkpoint().map_err(|e| e.to_string())?;
+                }
+                Ok(ResponseBody::Ok)
+            }
+        },
+        RequestBody::ShardProbe {
+            asr,
+            part,
+            forward,
+            keys,
+        } => {
+            let asr = db.db().asr(*asr as usize).map_err(|e| e.to_string())?;
+            let part = asr
+                .partitions()
+                .get(*part as usize)
+                .ok_or_else(|| format!("no partition {part}"))?;
+            let rows = if *forward {
+                part.lookup_first_many(keys.iter())
+            } else {
+                part.lookup_last_many(keys.iter())
+            };
+            Ok(ResponseBody::Rows(rows))
+        }
+        RequestBody::ShardScan {
+            asr,
+            part,
+            offset,
+            frontier,
+        } => {
+            let asr = db.db().asr(*asr as usize).map_err(|e| e.to_string())?;
+            let part = asr
+                .partitions()
+                .get(*part as usize)
+                .ok_or_else(|| format!("no partition {part}"))?;
+            let offset = *offset as usize;
+            if offset >= part.arity() {
+                return Err(format!("offset {offset} outside partition"));
+            }
+            let wanted: BTreeSet<&Cell> = frontier.iter().collect();
+            let mut hits: Vec<Row> = Vec::new();
+            part.scan(|row| {
+                if let Some(cell) = row.cell(offset) {
+                    if wanted.contains(cell) {
+                        hits.push(row.clone());
+                    }
+                }
+            });
+            Ok(ResponseBody::Rows(hits))
+        }
+        RequestBody::ShardStatus => {
+            let d = db.db();
+            let mut health = ShardHealth::default();
+            for (_, asr) in d.asrs() {
+                health.placed_rows += asr.total_rows() as u64;
+                health.pages += asr.total_pages();
+            }
+            // `applied_lsn` and `requests` are stamped by the session
+            // layer, which knows the replication position and counters.
+            Ok(ResponseBody::ShardStatusReply(health))
+        }
+        RequestBody::Shutdown => Ok(ResponseBody::Ok),
+    }
+}

@@ -1,0 +1,341 @@
+//! The multi-client session multiplexer.
+//!
+//! [`NetServer`] owns no database and no channels — the host (shell,
+//! shard node, TCP loop) hands it a [`ServerDb`] view and the session's
+//! receive/send channels each pump.  What it does own is the per-session
+//! exactly-once state: the highest executed request id and the encoded
+//! response it produced.  The rules, in request-id space:
+//!
+//! * `id == last_executed` — a duplicate of the request just served
+//!   (response lost or the frame duplicated): **replay** the cached
+//!   response, executing nothing.
+//! * `id < last_executed` — a stale straggler the client has moved past:
+//!   drop it.
+//! * `id > last_executed` — fresh: execute, cache, respond.
+//!
+//! A delivery that fails [`asr_net::decode_frame`] (truncated, bit-flipped,
+//! or not a request at all) is answered with a NACK carrying
+//! `last_executed`, so the client re-sends — damage delays a request but
+//! can never mis-execute it.
+
+use asr_durable::{Channel, Storage};
+use asr_net::{decode_frame, RequestBody, Response, ResponseBody, WireMessage};
+use asr_pagesim::IoSnapshot;
+
+use crate::exec::{self, ServerDb};
+
+/// Per-session exactly-once state.
+#[derive(Debug, Default)]
+struct SessionState {
+    last_executed: u64,
+    cached: Option<Vec<u8>>,
+    closed: bool,
+}
+
+/// What one pump pass did (for tests and status lines).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Fresh requests executed.
+    pub executed: u64,
+    /// Duplicate requests answered from the response cache.
+    pub replayed: u64,
+    /// Damaged deliveries NACKed.
+    pub nacked: u64,
+    /// Stale deliveries dropped.
+    pub dropped_stale: u64,
+}
+
+/// The serving front: session table + exactly-once bookkeeping.
+#[derive(Debug, Default)]
+pub struct NetServer {
+    sessions: Vec<SessionState>,
+    requests_executed: u64,
+    applied_lsn: u64,
+}
+
+impl NetServer {
+    /// A server with no sessions yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a session; the returned id indexes every later pump.
+    pub fn open_session(&mut self) -> usize {
+        self.sessions.push(SessionState::default());
+        self.sessions.len() - 1
+    }
+
+    /// Number of sessions ever opened.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Is the session still serving (a handled `Shutdown` closes it)?
+    pub fn session_open(&self, sid: usize) -> bool {
+        self.sessions.get(sid).is_some_and(|s| !s.closed)
+    }
+
+    /// Total fresh requests executed across all sessions.
+    pub fn requests_executed(&self) -> u64 {
+        self.requests_executed
+    }
+
+    /// Record the replication LSN this server's database has applied —
+    /// stamped into `ShardStatus` replies (shard nodes set it after each
+    /// reseed; a served primary leaves it 0).
+    pub fn set_applied_lsn(&mut self, lsn: u64) {
+        self.applied_lsn = lsn;
+    }
+
+    /// Drain `rx`, executing fresh requests against `db` and pushing every
+    /// response onto `tx`.
+    pub fn pump_session<S: Storage>(
+        &mut self,
+        sid: usize,
+        db: &mut ServerDb<'_, S>,
+        rx: &mut dyn Channel,
+        tx: &mut dyn Channel,
+    ) -> PumpReport {
+        let tracer = db.db().tracer().clone();
+        let metrics = tracer.metrics();
+        let mut report = PumpReport::default();
+        while let Some(delivery) = rx.recv() {
+            let req = match decode_frame(&delivery) {
+                Some(WireMessage::Request(req)) => req,
+                _ => {
+                    // Damaged (or cross-wired) frame: NACK with the resume
+                    // point.  The id is unreadable, so the NACK carries 0.
+                    let last = self.sessions.get(sid).map_or(0, |s| s.last_executed);
+                    report.nacked += 1;
+                    metrics.inc_counter("server.nacks", 1);
+                    tracer.event(
+                        "server.nack",
+                        &[("session", sid.to_string()), ("last", last.to_string())],
+                    );
+                    tx.send(
+                        Response {
+                            id: 0,
+                            body: ResponseBody::Nack {
+                                last_executed: last,
+                            },
+                            io: IoSnapshot::default(),
+                        }
+                        .encode(),
+                    );
+                    continue;
+                }
+            };
+            let Some(sess) = self.sessions.get_mut(sid) else {
+                continue;
+            };
+            if sess.closed {
+                tx.send(
+                    Response {
+                        id: req.id,
+                        body: ResponseBody::Err("session closed".to_string()),
+                        io: IoSnapshot::default(),
+                    }
+                    .encode(),
+                );
+                continue;
+            }
+            if req.id == sess.last_executed {
+                if let Some(frame) = &sess.cached {
+                    report.replayed += 1;
+                    metrics.inc_counter("server.replays", 1);
+                    tx.send(frame.clone());
+                }
+                continue;
+            }
+            if req.id < sess.last_executed {
+                report.dropped_stale += 1;
+                metrics.inc_counter("server.stale_dropped", 1);
+                continue;
+            }
+            // Fresh request: execute exactly once.
+            let shutdown = matches!(req.body, RequestBody::Shutdown);
+            let before = db.db().stats().snapshot();
+            let outcome = exec::execute(db, &req.body);
+            let after = db.db().stats().snapshot();
+            let io = IoSnapshot {
+                reads: after.reads - before.reads,
+                writes: after.writes - before.writes,
+                buffer_hits: after.buffer_hits - before.buffer_hits,
+                batch_probes: after.batch_probes - before.batch_probes,
+                batch_pages_saved: after.batch_pages_saved - before.batch_pages_saved,
+            };
+            let body = match outcome {
+                Ok(mut body) => {
+                    if let ResponseBody::ShardStatusReply(health) = &mut body {
+                        health.applied_lsn = self.applied_lsn;
+                        health.requests = self.requests_executed + 1;
+                    }
+                    body
+                }
+                Err(msg) => {
+                    metrics.inc_counter("server.errors", 1);
+                    ResponseBody::Err(msg)
+                }
+            };
+            let frame = Response {
+                id: req.id,
+                body,
+                io,
+            }
+            .encode();
+            let sess = self
+                .sessions
+                .get_mut(sid)
+                .expect("session existed before execute");
+            sess.last_executed = req.id;
+            sess.cached = Some(frame.clone());
+            if shutdown {
+                sess.closed = true;
+                tracer.event("server.session_close", &[("session", sid.to_string())]);
+            }
+            self.requests_executed += 1;
+            report.executed += 1;
+            metrics.inc_counter("server.requests", 1);
+            metrics.inc_counter(&format!("server.requests.{}", req.body.label()), 1);
+            metrics.observe(
+                "server.request.pages",
+                &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0],
+                io.accesses() as f64,
+            );
+            tx.send(frame);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use asr_core::Database;
+    use asr_durable::{LosslessChannel, MemStorage};
+    use asr_net::Request;
+
+    use super::*;
+
+    fn tiny_db() -> Database {
+        asr_workload::company_database().db
+    }
+
+    fn plain<'a>(db: &'a mut Database) -> ServerDb<'a, MemStorage> {
+        ServerDb::Plain(db)
+    }
+
+    fn send_req(ch: &mut LosslessChannel, id: u64, body: RequestBody) {
+        ch.send(Request { id, body }.encode());
+    }
+
+    fn recv_resp(ch: &mut LosslessChannel) -> Response {
+        match decode_frame(&ch.recv().expect("delivery")) {
+            Some(WireMessage::Response(resp)) => resp,
+            other => panic!("expected response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_requests_execute_and_respond() {
+        let mut db = tiny_db();
+        let mut server = NetServer::new();
+        let sid = server.open_session();
+        let (mut rx, mut tx) = (LosslessChannel::new(), LosslessChannel::new());
+        send_req(&mut rx, 1, RequestBody::Ping);
+        send_req(&mut rx, 2, RequestBody::ListAsrs);
+        let report = server.pump_session(sid, &mut plain(&mut db), &mut rx, &mut tx);
+        assert_eq!(report.executed, 2);
+        assert_eq!(recv_resp(&mut tx).body, ResponseBody::Ok);
+        match recv_resp(&mut tx).body {
+            ResponseBody::Text(_) => {}
+            other => panic!("expected text, got {other:?}"),
+        }
+        assert_eq!(db.tracer().metrics().counter("server.requests"), 2);
+    }
+
+    #[test]
+    fn duplicate_replays_without_reexecution() {
+        let mut db = tiny_db();
+        let mut server = NetServer::new();
+        let sid = server.open_session();
+        let (mut rx, mut tx) = (LosslessChannel::new(), LosslessChannel::new());
+        let body = RequestBody::Instantiate {
+            type_name: "EMP".into(),
+        };
+        send_req(&mut rx, 1, body.clone());
+        send_req(&mut rx, 1, body.clone());
+        send_req(&mut rx, 1, body);
+        let report = server.pump_session(sid, &mut plain(&mut db), &mut rx, &mut tx);
+        assert_eq!(report.executed, 1);
+        assert_eq!(report.replayed, 2);
+        // All three responses are byte-identical: one object, not three.
+        let first = recv_resp(&mut tx);
+        assert_eq!(recv_resp(&mut tx), first);
+        assert_eq!(recv_resp(&mut tx), first);
+        assert_eq!(server.requests_executed(), 1);
+    }
+
+    #[test]
+    fn damaged_frame_nacks_and_stale_drops() {
+        let mut db = tiny_db();
+        let mut server = NetServer::new();
+        let sid = server.open_session();
+        let (mut rx, mut tx) = (LosslessChannel::new(), LosslessChannel::new());
+        // Execute ids 1 and 2, then replay id 1 (stale) and damage a frame.
+        send_req(&mut rx, 1, RequestBody::Ping);
+        send_req(&mut rx, 2, RequestBody::Ping);
+        send_req(&mut rx, 1, RequestBody::Ping);
+        let mut bad = Request {
+            id: 3,
+            body: RequestBody::Ping,
+        }
+        .encode();
+        let len = bad.len();
+        bad[len - 1] ^= 0x01;
+        rx.send(bad);
+        let report = server.pump_session(sid, &mut plain(&mut db), &mut rx, &mut tx);
+        assert_eq!(report.executed, 2);
+        assert_eq!(report.dropped_stale, 1);
+        assert_eq!(report.nacked, 1);
+        recv_resp(&mut tx);
+        recv_resp(&mut tx);
+        let nack = recv_resp(&mut tx);
+        assert_eq!(nack.id, 0);
+        assert_eq!(nack.body, ResponseBody::Nack { last_executed: 2 });
+    }
+
+    #[test]
+    fn shutdown_closes_session() {
+        let mut db = tiny_db();
+        let mut server = NetServer::new();
+        let sid = server.open_session();
+        let (mut rx, mut tx) = (LosslessChannel::new(), LosslessChannel::new());
+        send_req(&mut rx, 1, RequestBody::Shutdown);
+        send_req(&mut rx, 2, RequestBody::Ping);
+        server.pump_session(sid, &mut plain(&mut db), &mut rx, &mut tx);
+        assert!(!server.session_open(sid));
+        assert_eq!(recv_resp(&mut tx).body, ResponseBody::Ok);
+        match recv_resp(&mut tx).body {
+            ResponseBody::Err(msg) => assert!(msg.contains("closed")),
+            other => panic!("expected err, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_errors_keep_session_usable() {
+        let mut db = tiny_db();
+        let mut server = NetServer::new();
+        let sid = server.open_session();
+        let (mut rx, mut tx) = (LosslessChannel::new(), LosslessChannel::new());
+        send_req(&mut rx, 1, RequestBody::Query("select nonsense".into()));
+        send_req(&mut rx, 2, RequestBody::Ping);
+        let report = server.pump_session(sid, &mut plain(&mut db), &mut rx, &mut tx);
+        assert_eq!(report.executed, 2);
+        match recv_resp(&mut tx).body {
+            ResponseBody::Err(_) => {}
+            other => panic!("expected err, got {other:?}"),
+        }
+        assert_eq!(recv_resp(&mut tx).body, ResponseBody::Ok);
+        assert_eq!(db.tracer().metrics().counter("server.errors"), 1);
+    }
+}

@@ -1,0 +1,689 @@
+//! Sharded scatter-gather serving: hash placement plus a coordinator
+//! that replays the partition walk over the wire.
+//!
+//! A [`ShardedDatabase`] is built *from* a durable primary: each of the
+//! N [`ShardNode`]s is seeded through the replication substrate (its own
+//! [`ReplicaApplier`] fed by [`replicate`]), then cut down to a
+//! **placement slice** — for every ASR partition, a row lives on exactly
+//! one shard, chosen by a deterministic hash of `(asr, partition, row)`
+//! over the row's wire encoding.  The coordinator keeps a **catalog**
+//! copy whose ASRs are retained to *zero* rows: it contributes schema,
+//! decomposition metadata and the naive fallback over the (complete)
+//! object base, but every supported span answer must come off the
+//! shards.
+//!
+//! Scatter-gather replays `forward_supported` / `backward_supported`
+//! (see `asr-core`'s `query.rs`) partition by partition: each border
+//! probe or interior scan is broadcast to **all** shards as a
+//! [`RequestBody::ShardProbe`] / [`RequestBody::ShardScan`], and the row
+//! fragments are unioned before the next frontier is computed.
+//! Broadcasting (rather than routing) is what makes the walk correct
+//! under *any* row placement: the frontier join between partitions is by
+//! value, so the rows that continue a path can live anywhere.  Because
+//! shard slices partition each stored partition's row set exactly, the
+//! union equals the single-node row set and the final projection is
+//! bit-identical to the unsharded answer.
+//!
+//! Every broadcast rides the exactly-once wire client, so a chaotic
+//! shard link (dropped, flipped, duplicated frames) costs retries and
+//! backoff ticks — never a wrong answer.  Per-shard I/O comes back in
+//! each response envelope and is merged via [`IoSnapshot::merge`];
+//! [`Fleet::take_io`] exposes the merged cost and the per-shard maximum
+//! (the scatter critical path) to benchmarks and `\shards status`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use asr_core::{AsrError, AsrId, Cell, Database, Row};
+use asr_durable::{
+    replicate, Channel, ChannelStats, ChaosProfile, DurableDatabase, FaultyChannel,
+    LosslessChannel, MemStorage, ReplicaApplier, ReplicateOptions, Storage,
+};
+use asr_gom::{Oid, PathExpression};
+use asr_net::{
+    ClientError, ClientStats, RequestBody, ResponseBody, ShardHealth, Transport, Writer,
+};
+use asr_oql::SpanRouter;
+use asr_pagesim::IoSnapshot;
+
+use crate::exec::ServerDb;
+use crate::session::NetServer;
+
+/// A scatter-gather failure: seeding, a shard link, or a remote error.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Seeding or re-seeding a shard through replication failed.
+    Seed(String),
+    /// A shard link stayed down past the wire client's retry budget.
+    Link {
+        /// Which shard.
+        shard: usize,
+        /// The client-side failure.
+        error: ClientError,
+    },
+    /// A shard executed the request and answered with an error.
+    Remote {
+        /// Which shard.
+        shard: usize,
+        /// The remote error message.
+        message: String,
+    },
+    /// A shard answered with a response body of the wrong shape.
+    Protocol {
+        /// Which shard.
+        shard: usize,
+        /// What came back.
+        got: &'static str,
+    },
+    /// A catalog-side ASR error.
+    Asr(AsrError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Seed(msg) => write!(f, "shard seeding failed: {msg}"),
+            ShardError::Link { shard, error } => write!(f, "shard {shard} link failed: {error}"),
+            ShardError::Remote { shard, message } => write!(f, "shard {shard} error: {message}"),
+            ShardError::Protocol { shard, got } => {
+                write!(f, "shard {shard} protocol error: unexpected {got}")
+            }
+            ShardError::Asr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<AsrError> for ShardError {
+    fn from(e: AsrError) -> Self {
+        ShardError::Asr(e)
+    }
+}
+
+impl From<ShardError> for AsrError {
+    fn from(e: ShardError) -> Self {
+        match e {
+            ShardError::Asr(e) => e,
+            other => AsrError::Shard(other.to_string()),
+        }
+    }
+}
+
+/// Which shard of `n` owns `row` of `(asr, partition)` — a deterministic
+/// hash of the row's wire encoding, so placement is stable across
+/// re-seeds and independent of insertion order.
+pub fn placement_shard(asr: AsrId, partition: usize, row: &Row, n: usize) -> usize {
+    let mut w = Writer::new();
+    w.u64(asr as u64);
+    w.u64(partition as u64);
+    w.row(row);
+    let mut h = DefaultHasher::new();
+    w.into_bytes().hash(&mut h);
+    (h.finish() % n.max(1) as u64) as usize
+}
+
+/// One in-process shard: a placement-slice database behind its own
+/// exactly-once server, reached through a pair of (optionally chaotic)
+/// channels.  Implements [`Transport`], so a [`asr_net::WireClient`] can
+/// drive it like a remote peer: `send` enqueues the request frame,
+/// `poll` pumps the server once and dequeues a response frame.
+pub struct ShardNode {
+    index: usize,
+    db: Database,
+    applier: ReplicaApplier,
+    server: NetServer,
+    sid: usize,
+    inbox: FaultyChannel,
+    outbox: FaultyChannel,
+    placed_rows: u64,
+}
+
+impl ShardNode {
+    /// The shard's serving slice (tests and status inspection).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Rows this shard kept at the last placement.
+    pub fn placed_rows(&self) -> u64 {
+        self.placed_rows
+    }
+
+    /// The replication LSN the shard's applier has applied.
+    pub fn applied_lsn(&self) -> u64 {
+        self.applier.status().applied_lsn
+    }
+
+    /// Fault accounting for the (request, response) channel pair.
+    pub fn channel_stats(&self) -> (ChannelStats, ChannelStats) {
+        (self.inbox.stats(), self.outbox.stats())
+    }
+
+    /// Rebuild the serving slice from the applier's current snapshot:
+    /// reload, then retain only this shard's placement share.
+    fn replace_slice(&mut self, n: usize) -> Result<(), ShardError> {
+        let snap = self
+            .applier
+            .snapshot()
+            .ok_or_else(|| ShardError::Seed("applier has no snapshot".to_string()))?;
+        let mut db =
+            Database::load_from_string(&snap).map_err(|e| ShardError::Seed(e.to_string()))?;
+        let ids: Vec<AsrId> = db.asrs().map(|(id, _)| id).collect();
+        let me = self.index;
+        let mut placed = 0u64;
+        for id in ids {
+            placed += db
+                .retain_asr_rows(id, |part, row| placement_shard(id, part, row, n) == me)
+                .map_err(|e| ShardError::Seed(e.to_string()))?;
+        }
+        self.placed_rows = placed;
+        self.db = db;
+        let lsn = self.applied_lsn();
+        self.server.set_applied_lsn(lsn);
+        Ok(())
+    }
+}
+
+impl Transport for ShardNode {
+    fn send(&mut self, frame: Vec<u8>) {
+        self.inbox.send(frame);
+    }
+
+    fn poll(&mut self) -> Option<Vec<u8>> {
+        let mut view = ServerDb::<MemStorage>::Plain(&mut self.db);
+        self.server
+            .pump_session(self.sid, &mut view, &mut self.inbox, &mut self.outbox);
+        self.outbox.recv()
+    }
+}
+
+/// The coordinator's client side: one exactly-once wire client per
+/// shard, plus merged scatter I/O accounting.  Implements
+/// [`SpanRouter`], so `asr_oql::execute_routed` runs whole OQL plans
+/// scatter-gather — the `db` the executor passes in is the catalog.
+pub struct Fleet {
+    shards: Vec<asr_net::WireClient<ShardNode>>,
+    io: IoSnapshot,
+    shard_pages: Vec<u64>,
+}
+
+impl Fleet {
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the fleet has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Per-shard wire-client stats (retries, NACKs, backoff ticks).
+    pub fn client_stats(&self) -> Vec<ClientStats> {
+        self.shards.iter().map(|c| c.stats()).collect()
+    }
+
+    /// Per-shard channel fault stats.
+    pub fn channel_stats(&self) -> Vec<(ChannelStats, ChannelStats)> {
+        self.shards
+            .iter()
+            .map(|c| c.transport().channel_stats())
+            .collect()
+    }
+
+    /// Direct access to a shard node (tests).
+    pub fn node(&self, i: usize) -> &ShardNode {
+        self.shards[i].transport()
+    }
+
+    /// Take the merged scatter I/O and the per-shard page maximum
+    /// accumulated since the last call — `(merged, max_per_shard)`.
+    pub fn take_io(&mut self) -> (IoSnapshot, u64) {
+        let merged = self.io;
+        let max = self.shard_pages.iter().copied().max().unwrap_or(0);
+        self.io = IoSnapshot::default();
+        self.shard_pages.iter_mut().for_each(|p| *p = 0);
+        (merged, max)
+    }
+
+    /// Broadcast one request to every shard, union the row fragments,
+    /// and fold each shard's I/O into the scatter accounting.
+    fn broadcast_rows(
+        &mut self,
+        db: &Database,
+        body: &RequestBody,
+    ) -> Result<BTreeSet<Row>, ShardError> {
+        let metrics = db.tracer().metrics();
+        metrics.inc_counter("shard.scatter.broadcasts", 1);
+        let mut union: BTreeSet<Row> = BTreeSet::new();
+        for (i, client) in self.shards.iter_mut().enumerate() {
+            let resp = client
+                .call(body.clone())
+                .map_err(|error| ShardError::Link { shard: i, error })?;
+            self.io.merge(&resp.io);
+            self.shard_pages[i] += resp.io.accesses();
+            match resp.body {
+                ResponseBody::Rows(rows) => union.extend(rows),
+                ResponseBody::Err(message) => return Err(ShardError::Remote { shard: i, message }),
+                other => {
+                    return Err(ShardError::Protocol {
+                        shard: i,
+                        got: other.label(),
+                    })
+                }
+            }
+        }
+        metrics.inc_counter("shard.scatter.rows", union.len() as u64);
+        Ok(union)
+    }
+
+    /// Scatter-gather forward span query `Q_{i,j}(fw)` through ASR `id`,
+    /// falling back to the catalog (naive evaluation over the full
+    /// object base) exactly where single-node evaluation would.
+    pub fn forward(
+        &mut self,
+        db: &Database,
+        id: AsrId,
+        i: usize,
+        j: usize,
+        start: Oid,
+    ) -> asr_core::Result<Vec<Cell>> {
+        let asr = db.asr(id)?;
+        if !asr.supports(i, j) {
+            // Invalid spans error and unsupported spans fall back to
+            // naive traversal — identically to `Database::forward`,
+            // which sees the same (complete) object base.
+            return db.forward(id, i, j, start);
+        }
+        let metrics = db.tracer().metrics();
+        metrics.inc_counter("shard.scatter.queries", 1);
+        let io_before = self.io;
+        let ci = asr.column_of(i);
+        let cj = asr.column_of(j);
+        let dec = asr.config().decomposition.clone();
+        let mut frontier: BTreeSet<Cell> = BTreeSet::from([Cell::Oid(start)]);
+        let mut result: Vec<Cell> = Vec::new();
+        for (idx, (a, b)) in dec.partitions().enumerate() {
+            if b <= ci {
+                continue;
+            }
+            if a >= cj {
+                break;
+            }
+            let keys: Vec<Cell> = frontier.iter().cloned().collect();
+            let body = if a < ci {
+                RequestBody::ShardScan {
+                    asr: id as u32,
+                    part: idx as u32,
+                    offset: (ci - a) as u32,
+                    frontier: keys,
+                }
+            } else {
+                RequestBody::ShardProbe {
+                    asr: id as u32,
+                    part: idx as u32,
+                    forward: true,
+                    keys,
+                }
+            };
+            let rows = self.broadcast_rows(db, &body).map_err(AsrError::from)?;
+            if cj <= b {
+                let offset = cj - a;
+                let out: BTreeSet<Cell> =
+                    rows.iter().filter_map(|r| r.cell(offset).clone()).collect();
+                result = out.into_iter().collect();
+                break;
+            }
+            frontier = rows.iter().filter_map(|r| r.last().clone()).collect();
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        self.note_scatter_pages(db, &io_before);
+        Ok(result)
+    }
+
+    /// Scatter-gather backward span query `Q_{i,j}(bw)` through ASR
+    /// `id`, with the same catalog fallback as [`Fleet::forward`].
+    pub fn backward(
+        &mut self,
+        db: &Database,
+        id: AsrId,
+        i: usize,
+        j: usize,
+        target: &Cell,
+    ) -> asr_core::Result<Vec<Oid>> {
+        let asr = db.asr(id)?;
+        if !asr.supports(i, j) {
+            return db.backward(id, i, j, target);
+        }
+        let metrics = db.tracer().metrics();
+        metrics.inc_counter("shard.scatter.queries", 1);
+        let io_before = self.io;
+        let ci = asr.column_of(i);
+        let cj = asr.column_of(j);
+        let dec = asr.config().decomposition.clone();
+        let spans: Vec<(usize, usize)> = dec.partitions().collect();
+        let mut frontier: BTreeSet<Cell> = BTreeSet::from([target.clone()]);
+        let mut result: Vec<Cell> = Vec::new();
+        for (idx, &(a, b)) in spans.iter().enumerate().rev() {
+            if a >= cj {
+                continue;
+            }
+            if b <= ci {
+                break;
+            }
+            let keys: Vec<Cell> = frontier.iter().cloned().collect();
+            let body = if b > cj {
+                RequestBody::ShardScan {
+                    asr: id as u32,
+                    part: idx as u32,
+                    offset: (cj - a) as u32,
+                    frontier: keys,
+                }
+            } else {
+                RequestBody::ShardProbe {
+                    asr: id as u32,
+                    part: idx as u32,
+                    forward: false,
+                    keys,
+                }
+            };
+            let rows = self.broadcast_rows(db, &body).map_err(AsrError::from)?;
+            if ci >= a {
+                let offset = ci - a;
+                let out: BTreeSet<Cell> =
+                    rows.iter().filter_map(|r| r.cell(offset).clone()).collect();
+                result = out.into_iter().collect();
+                break;
+            }
+            frontier = rows.iter().filter_map(|r| r.first().clone()).collect();
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        self.note_scatter_pages(db, &io_before);
+        Ok(result.into_iter().filter_map(|c| c.as_oid()).collect())
+    }
+
+    fn note_scatter_pages(&self, db: &Database, before: &IoSnapshot) {
+        let pages = (self.io.reads + self.io.writes) - (before.reads + before.writes);
+        db.tracer().metrics().observe(
+            "shard.scatter.pages",
+            &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0],
+            pages as f64,
+        );
+    }
+
+    /// Broadcast a status probe; one health record per shard.
+    pub fn status(&mut self) -> Result<Vec<ShardHealth>, ShardError> {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for (i, client) in self.shards.iter_mut().enumerate() {
+            let resp = client
+                .call(RequestBody::ShardStatus)
+                .map_err(|error| ShardError::Link { shard: i, error })?;
+            match resp.body {
+                ResponseBody::ShardStatusReply(health) => out.push(health),
+                ResponseBody::Err(message) => return Err(ShardError::Remote { shard: i, message }),
+                other => {
+                    return Err(ShardError::Protocol {
+                        shard: i,
+                        got: other.label(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl SpanRouter for Fleet {
+    fn forward_span(
+        &mut self,
+        db: &Database,
+        path: &PathExpression,
+        i: usize,
+        j: usize,
+        start: Oid,
+    ) -> asr_core::Result<Vec<Cell>> {
+        match db.find_supporting_asr(path, i, j) {
+            Some(id) => self.forward(db, id, i, j, start),
+            // No supporting ASR anywhere: unindexed traversal over the
+            // catalog's complete object base, like `navigate_forward`.
+            None => db.navigate_forward(path, i, j, start),
+        }
+    }
+
+    fn backward_span(
+        &mut self,
+        db: &Database,
+        asr: AsrId,
+        i: usize,
+        j: usize,
+        target: &Cell,
+    ) -> asr_core::Result<Vec<Oid>> {
+        self.backward(db, asr, i, j, target)
+    }
+}
+
+/// The scatter-gather coordinator: a zero-row catalog plus a [`Fleet`]
+/// of placement shards, together answering the same span queries (and
+/// whole OQL statements) as the primary they were seeded from.
+pub struct ShardedDatabase {
+    catalog: Database,
+    fleet: Fleet,
+}
+
+impl ShardedDatabase {
+    /// Seed `n` shards (and the catalog) from a durable primary through
+    /// the replication substrate.  `chaos` arms every shard's serving
+    /// channels with a fault profile (seeding links stay lossless);
+    /// queries then pay retries, never correctness.
+    pub fn from_primary<S: Storage>(
+        primary: &DurableDatabase<S>,
+        n: usize,
+        chaos: Option<(ChaosProfile, u64)>,
+    ) -> Result<Self, ShardError> {
+        if n == 0 {
+            return Err(ShardError::Seed("need at least one shard".to_string()));
+        }
+        let catalog = Self::seed_catalog(primary)?;
+        let tracer = catalog.tracer().clone();
+        let mut shards = Vec::with_capacity(n);
+        for index in 0..n {
+            let mut applier = ReplicaApplier::new();
+            let mut link = LosslessChannel::new();
+            replicate(
+                primary,
+                &mut applier,
+                &mut link,
+                &ReplicateOptions::default(),
+            )
+            .map_err(|e| ShardError::Seed(e.to_string()))?;
+            let (inbox_profile, inbox_seed, outbox_profile, outbox_seed) = match chaos {
+                Some((profile, seed)) => {
+                    let base = seed ^ ((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    (profile, base, profile, base.wrapping_add(1))
+                }
+                None => (ChaosProfile::default(), 0, ChaosProfile::default(), 0),
+            };
+            let mut server = NetServer::new();
+            let sid = server.open_session();
+            let mut node = ShardNode {
+                index,
+                db: Database::new(primary.database().base().schema().clone()),
+                applier,
+                server,
+                sid,
+                inbox: FaultyChannel::new(inbox_profile, inbox_seed),
+                outbox: FaultyChannel::new(outbox_profile, outbox_seed),
+                placed_rows: 0,
+            };
+            node.replace_slice(n)?;
+            tracer.event(
+                "shard.place",
+                &[
+                    ("shard", index.to_string()),
+                    ("rows", node.placed_rows.to_string()),
+                    ("lsn", node.applied_lsn().to_string()),
+                ],
+            );
+            tracer
+                .metrics()
+                .inc_counter("shard.place.rows", node.placed_rows);
+            shards.push(asr_net::WireClient::new(node));
+        }
+        tracer.metrics().set_gauge("shard.count", n as f64);
+        let shard_pages = vec![0; n];
+        Ok(ShardedDatabase {
+            catalog,
+            fleet: Fleet {
+                shards,
+                io: IoSnapshot::default(),
+                shard_pages,
+            },
+        })
+    }
+
+    /// Replicate the primary into a catalog copy and retain every ASR to
+    /// zero rows: metadata and naive fallback only — supported span
+    /// answers must come off the shards.
+    fn seed_catalog<S: Storage>(primary: &DurableDatabase<S>) -> Result<Database, ShardError> {
+        let mut applier = ReplicaApplier::new();
+        let mut link = LosslessChannel::new();
+        replicate(
+            primary,
+            &mut applier,
+            &mut link,
+            &ReplicateOptions::default(),
+        )
+        .map_err(|e| ShardError::Seed(e.to_string()))?;
+        let snap = applier
+            .snapshot()
+            .ok_or_else(|| ShardError::Seed("catalog applier has no snapshot".to_string()))?;
+        let mut catalog =
+            Database::load_from_string(&snap).map_err(|e| ShardError::Seed(e.to_string()))?;
+        let ids: Vec<AsrId> = catalog.asrs().map(|(id, _)| id).collect();
+        for id in ids {
+            catalog
+                .retain_asr_rows(id, |_, _| false)
+                .map_err(|e| ShardError::Seed(e.to_string()))?;
+        }
+        Ok(catalog)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// The catalog database (metadata + naive fallback).
+    pub fn catalog(&self) -> &Database {
+        &self.catalog
+    }
+
+    /// The shard fleet (I/O accounting, client stats, nodes).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Mutable fleet access (taking I/O, tests).
+    pub fn fleet_mut(&mut self) -> &mut Fleet {
+        &mut self.fleet
+    }
+
+    /// Scatter-gather forward span query — same contract as
+    /// [`Database::forward`] on the primary.
+    pub fn forward(
+        &mut self,
+        id: AsrId,
+        i: usize,
+        j: usize,
+        start: Oid,
+    ) -> asr_core::Result<Vec<Cell>> {
+        let Self { catalog, fleet } = self;
+        fleet.forward(catalog, id, i, j, start)
+    }
+
+    /// Scatter-gather backward span query — same contract as
+    /// [`Database::backward`] on the primary.
+    pub fn backward(
+        &mut self,
+        id: AsrId,
+        i: usize,
+        j: usize,
+        target: &Cell,
+    ) -> asr_core::Result<Vec<Oid>> {
+        let Self { catalog, fleet } = self;
+        fleet.backward(catalog, id, i, j, target)
+    }
+
+    /// Run a whole OQL statement scatter-gather: the plan executes on
+    /// the catalog, every span it touches routes through the fleet.
+    pub fn query(&mut self, text: &str) -> asr_oql::Result<asr_oql::ResultSet> {
+        let Self { catalog, fleet } = self;
+        asr_oql::execute_routed(catalog, text, fleet)
+    }
+
+    /// Broadcast a health probe to every shard.
+    pub fn status(&mut self) -> Result<Vec<ShardHealth>, ShardError> {
+        self.fleet.status()
+    }
+
+    /// Render `\shards status` lines.
+    pub fn render_status(&mut self) -> Result<String, ShardError> {
+        let healths = self.status()?;
+        let mut out = String::new();
+        for (i, h) in healths.iter().enumerate() {
+            out.push_str(&format!(
+                "shard {i}: rows={} pages={} applied_lsn={} requests={}\n",
+                h.placed_rows, h.pages, h.applied_lsn, h.requests
+            ));
+        }
+        let (merged, max) = self.fleet.take_io();
+        out.push_str(&format!(
+            "scatter: merged_pages={} max_shard_pages={max}\n",
+            merged.accesses()
+        ));
+        Ok(out)
+    }
+
+    /// Catch every shard (and the catalog) up to the primary's current
+    /// durable tip: each applier replays the missing WAL suffix (or a
+    /// delta bootstrap when segments were pruned), then the serving
+    /// slice is rebuilt and re-placed.  Mutations flow through the
+    /// primary; this is how they reach the fleet.
+    pub fn reseed<S: Storage>(&mut self, primary: &DurableDatabase<S>) -> Result<(), ShardError> {
+        // The rebuilt catalog adopts the old tracer so accumulated
+        // `shard.*` metrics and attached sinks survive the reseed.
+        let tracer = self.catalog.tracer().clone();
+        let mut catalog = Self::seed_catalog(primary)?;
+        catalog.adopt_tracer(tracer.clone());
+        self.catalog = catalog;
+        let n = self.fleet.len();
+        for client in &mut self.fleet.shards {
+            let node = client.transport_mut();
+            let mut link = LosslessChannel::new();
+            replicate(
+                primary,
+                &mut node.applier,
+                &mut link,
+                &ReplicateOptions::default(),
+            )
+            .map_err(|e| ShardError::Seed(e.to_string()))?;
+            node.replace_slice(n)?;
+            tracer.event(
+                "shard.reseed",
+                &[
+                    ("shard", node.index.to_string()),
+                    ("rows", node.placed_rows.to_string()),
+                    ("lsn", node.applied_lsn().to_string()),
+                ],
+            );
+            tracer.metrics().inc_counter("shard.reseeds", 1);
+        }
+        Ok(())
+    }
+}

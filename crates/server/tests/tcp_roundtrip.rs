@@ -1,0 +1,133 @@
+//! The TCP front door: the same frames over real sockets.  One test
+//! drives the nonblocking server single-threaded (loopback connect
+//! completes without an accept); the other runs the server in a thread
+//! and a full exactly-once [`WireClient`] on this side.
+
+mod common;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use asr_durable::MemStorage;
+use asr_net::{
+    decode_frame, Request, RequestBody, ResponseBody, Transport, WireClient, WireMessage,
+};
+use asr_server::{ServerDb, TcpServer, TcpTransport};
+
+#[test]
+fn single_threaded_poll_serves_a_connection() {
+    let mut db = asr_workload::company_database().db;
+    let mut server = TcpServer::bind("127.0.0.1:0").expect("binds");
+    let addr = server.local_addr().expect("addr");
+
+    // Loopback connect completes against the listener backlog — no
+    // accept needed yet.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("timeout");
+    stream
+        .write_all(
+            &Request {
+                id: 1,
+                body: RequestBody::Ping,
+            }
+            .encode(),
+        )
+        .expect("writes");
+
+    // Give the kernel a beat to move the bytes, then poll.
+    let mut report = Default::default();
+    for _ in 0..50 {
+        report = server
+            .poll(&mut ServerDb::<MemStorage>::Plain(&mut db))
+            .expect("polls");
+        if report.executed > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(report.executed, 1, "the ping must execute");
+    assert_eq!(server.connection_count(), 1);
+
+    let mut transport = TcpTransport::connect(&addr).expect("second connection");
+    transport.send(
+        Request {
+            id: 1,
+            body: RequestBody::ListAsrs,
+        }
+        .encode(),
+    );
+    let mut frame = None;
+    for _ in 0..50 {
+        server
+            .poll(&mut ServerDb::<MemStorage>::Plain(&mut db))
+            .expect("polls");
+        if let Some(f) = transport.poll() {
+            frame = Some(f);
+            break;
+        }
+    }
+    let frame = frame.expect("a response arrives");
+    match decode_frame(&frame) {
+        Some(WireMessage::Response(resp)) => {
+            assert_eq!(resp.id, 1);
+            assert!(matches!(resp.body, ResponseBody::Text(_)));
+        }
+        other => panic!("expected response, got {other:?}"),
+    }
+    assert_eq!(
+        server.server().session_count(),
+        2,
+        "one session per connection"
+    );
+}
+
+#[test]
+fn threaded_client_round_trips_exactly_once() {
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        // The database lives entirely inside the serving thread (it is
+        // deliberately not Send); only the bound address crosses over.
+        let mut db = asr_workload::company_database().db;
+        let mut server = TcpServer::bind("127.0.0.1:0").expect("binds");
+        addr_tx
+            .send(server.local_addr().expect("addr"))
+            .expect("sends");
+        let report = server
+            .serve_until_shutdown(&mut ServerDb::<MemStorage>::Plain(&mut db))
+            .expect("serves");
+        (report, db.tracer().metrics().counter("server.tcp.accepts"))
+    });
+
+    let addr = addr_rx.recv().expect("server thread reports its address");
+    let transport = TcpTransport::connect(&addr).expect("connects");
+    let mut client = WireClient::new(transport);
+
+    assert_eq!(
+        client.call(RequestBody::Ping).expect("ping").body,
+        ResponseBody::Ok
+    );
+    let resp = client
+        .call(RequestBody::Query(
+            "select d.Name from d in Division".to_string(),
+        ))
+        .expect("query");
+    match resp.body {
+        ResponseBody::Table { columns, rows } => {
+            assert_eq!(columns, vec!["d.Name".to_string()]);
+            assert_eq!(rows.len(), 3, "three divisions");
+        }
+        other => panic!("expected table, got {other:?}"),
+    }
+    assert_eq!(
+        client.call(RequestBody::Shutdown).expect("shutdown").body,
+        ResponseBody::Ok
+    );
+
+    let (report, accepts) = handle.join().expect("server thread exits cleanly");
+    assert_eq!(report.executed, 3, "three requests, each exactly once");
+    assert_eq!(accepts, 1, "one TCP accept");
+}

@@ -22,6 +22,11 @@
 //! \stats / \reset          page-access accounting
 //! \trace on|off|show       capture finished spans in a ring buffer
 //! \flightrec status|dump|tail <n>  inspect the always-on flight recorder
+//! \serve <addr>            serve the open database over TCP until shutdown
+//! \connect [chaos <seed>]  loopback wire mode: route queries through an
+//!                          in-process server over (chaotic) channels
+//! \shards on <n> [chaos <seed>]|off|status|reseed  scatter-gather serving
+//!                          over a hash-partitioned in-process fleet
 //! \help / \quit
 //! ```
 //!
@@ -41,12 +46,15 @@ use asr_advisor::{advise, RecorderSink, UsageRecorder};
 
 use asr_core::{AsrConfig, AsrLoadMode, Database, Decomposition, Extension};
 use asr_durable::{
-    recover_to_lsn, replicate, DurableDatabase, FlushPolicy, FsStorage, LogShipper,
-    LosslessChannel, OpenDurable, ReplicaApplier, ReplicateOptions, MANIFEST_FILE,
+    recover_to_lsn, replicate, Channel, ChaosProfile, DurableDatabase, FaultyChannel, FlushPolicy,
+    FsStorage, LogShipper, LosslessChannel, OpenDurable, ReplicaApplier, ReplicateOptions,
+    MANIFEST_FILE,
 };
 use asr_gom::PathExpression;
+use asr_net::{decode_frame, Request, RequestBody, Response, ResponseBody, WireMessage};
 use asr_obs::{FlightRecorder, RingBufferSink, SinkId};
 use asr_oql as oql;
+use asr_server::{NetServer, ServerDb, ShardedDatabase, TcpServer};
 use asr_workload::{company_database, robot_database};
 
 /// The session's open database: plain in-memory, or write-ahead logged.
@@ -87,8 +95,95 @@ pub struct ShellState {
     flightrec: Option<Rc<FlightRecorder>>,
     /// The in-process warm standby, while `\replica on` (WAL mode only).
     replica: Option<ReplicaApplier>,
+    /// Loopback wire mode, while `\connect` (queries route through an
+    /// in-process server session over possibly chaotic channels).
+    wire: Option<WireSession>,
+    /// The scatter-gather fleet, while `\shards on` (WAL mode only).
+    sharded: Option<ShardedDatabase>,
     /// Should the REPL terminate?
     pub done: bool,
+}
+
+/// One loopback wire session: a [`NetServer`] session plus the chaotic
+/// request/response channels, with the client half of the exactly-once
+/// protocol (ids, retries, NACK handling) inlined so the served database
+/// can stay in [`ShellState::db`].
+struct WireSession {
+    server: NetServer,
+    sid: usize,
+    inbox: FaultyChannel,
+    outbox: FaultyChannel,
+    next_id: u64,
+    frames_sent: u64,
+    retries: u64,
+    nacks: u64,
+    damaged: u64,
+    chaos_seed: Option<u64>,
+}
+
+impl WireSession {
+    fn new(chaos_seed: Option<u64>) -> Self {
+        let (profile, seed) = match chaos_seed {
+            Some(seed) => (ChaosProfile::from_seed(seed), seed),
+            None => (ChaosProfile::default(), 0),
+        };
+        let mut server = NetServer::new();
+        let sid = server.open_session();
+        WireSession {
+            server,
+            sid,
+            inbox: FaultyChannel::new(profile, seed),
+            outbox: FaultyChannel::new(profile, seed.wrapping_add(1)),
+            next_id: 1,
+            frames_sent: 0,
+            retries: 0,
+            nacks: 0,
+            damaged: 0,
+            chaos_seed,
+        }
+    }
+
+    /// Issue `body` against the session, retrying through damage — the
+    /// same at-least-once-plus-dedup loop as `asr_net::WireClient`.
+    fn call(
+        &mut self,
+        view: &mut ServerDb<'_, FsStorage>,
+        body: RequestBody,
+    ) -> Result<Response, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = Request { id, body }.encode();
+        for attempt in 1..=64u32 {
+            self.inbox.send(frame.clone());
+            self.frames_sent += 1;
+            if attempt > 1 {
+                self.retries += 1;
+            }
+            self.server
+                .pump_session(self.sid, view, &mut self.inbox, &mut self.outbox);
+            while let Some(delivery) = self.outbox.recv() {
+                match decode_frame(&delivery) {
+                    Some(WireMessage::Response(resp)) if resp.id == id => {
+                        if matches!(resp.body, ResponseBody::Nack { .. }) {
+                            self.nacks += 1;
+                            break; // re-send the same frame
+                        }
+                        return Ok(resp);
+                    }
+                    Some(WireMessage::Response(resp)) if resp.id == 0 => {
+                        self.nacks += 1; // NACK to an unreadable id
+                        break;
+                    }
+                    Some(WireMessage::Response(_)) => {} // stale duplicate
+                    Some(WireMessage::Request(_)) | None => self.damaged += 1,
+                }
+            }
+        }
+        Err(
+            "wire link exhausted after 64 attempts — `\\connect off` to leave wire mode"
+                .to_string(),
+        )
+    }
 }
 
 impl ShellState {
@@ -119,7 +214,10 @@ impl ShellState {
 
     /// Install `db` as the open database, subscribing the session's usage
     /// recorder (and re-attaching the trace ring if tracing was on).
+    /// Serving modes bound to the previous database are torn down.
     fn install_db(&mut self, db: OpenDb, origin: &str) {
+        self.wire = None;
+        self.sharded = None;
         db.as_db()
             .tracer()
             .add_sink(Rc::new(RecorderSink::new(Rc::clone(&self.recorder))));
@@ -200,6 +298,9 @@ fn run_command(state: &mut ShellState, input: &str) -> Result<String, String> {
         }
         "trace" => cmd_trace(state, rest),
         "flightrec" => cmd_flightrec(state, rest),
+        "serve" => cmd_serve(state, rest),
+        "connect" => cmd_connect(state, rest),
+        "shards" => cmd_shards(state, rest),
         other => Err(format!("unknown command `\\{other}` — try `\\help`")),
     }
 }
@@ -745,6 +846,204 @@ fn cmd_flightrec(state: &mut ShellState, arg: &str) -> Result<String, String> {
     }
 }
 
+/// `\serve <addr>`: serve the open database over TCP.  Blocks this
+/// session until a client sends `Shutdown` (every connection gets its
+/// own exactly-once session).
+fn cmd_serve(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    let addr = rest.trim();
+    if addr.is_empty() {
+        return Err("usage: \\serve <addr:port> — e.g. \\serve 127.0.0.1:7070".to_string());
+    }
+    let open = state.open_mut()?;
+    let mut tcp = TcpServer::bind(addr).map_err(|e| e.to_string())?;
+    let local = tcp.local_addr().map_err(|e| e.to_string())?;
+    let report = match open {
+        OpenDb::Plain(db) => tcp.serve_until_shutdown(&mut ServerDb::<FsStorage>::Plain(db)),
+        OpenDb::Durable(d) => tcp.serve_until_shutdown(&mut ServerDb::Durable(d)),
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "served {local}: {} session(s), {} request(s) executed, {} replayed, {} NACKed",
+        tcp.server().session_count(),
+        report.executed,
+        report.replayed,
+        report.nacked
+    ))
+}
+
+/// `\connect [chaos <seed>]` / `\connect status` / `\connect off`:
+/// loopback wire mode.  While connected, query lines are framed as wire
+/// requests and pumped through an in-process server session — with
+/// `chaos`, over seeded fault-injecting channels, paying retries.
+fn cmd_connect(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    let mut parts = rest.split_whitespace();
+    match parts.next() {
+        None => {
+            state.db()?;
+            if state.sharded.is_some() {
+                return Err("sharding is on — `\\shards off` first".to_string());
+            }
+            if state.wire.is_some() {
+                return Ok("already connected — `\\connect status`".to_string());
+            }
+            state.wire = Some(WireSession::new(None));
+            Ok(
+                "wire mode on (lossless loopback): queries now route through the \
+                server session — `\\connect off` to leave"
+                    .to_string(),
+            )
+        }
+        Some("chaos") => {
+            state.db()?;
+            if state.sharded.is_some() {
+                return Err("sharding is on — `\\shards off` first".to_string());
+            }
+            let seed: u64 = parts
+                .next()
+                .ok_or("usage: \\connect chaos <seed>")?
+                .parse()
+                .map_err(|_| "usage: \\connect chaos <seed>".to_string())?;
+            state.wire = Some(WireSession::new(Some(seed)));
+            Ok(format!(
+                "wire mode on (chaos seed {seed}): frames are dropped, damaged, \
+                 duplicated and reordered; every query still executes exactly once"
+            ))
+        }
+        Some("off") => match state.wire.take() {
+            Some(w) => Ok(format!(
+                "wire mode off — {} request(s), {} frame(s) sent, {} retry(ies), \
+                 {} NACK(s), {} damaged response(s)",
+                w.next_id - 1,
+                w.frames_sent,
+                w.retries,
+                w.nacks,
+                w.damaged
+            )),
+            None => Ok("wire mode already off".to_string()),
+        },
+        Some("status") => {
+            let Some(w) = &state.wire else {
+                return Err("wire mode is off — `\\connect` first".to_string());
+            };
+            let (rx, tx) = (w.inbox.stats(), w.outbox.stats());
+            let mut out = format!(
+                "wire mode: {}, {} request(s), {} frame(s) sent, {} retry(ies), \
+                 {} NACK(s), {} damaged response(s)\n",
+                match w.chaos_seed {
+                    Some(seed) => format!("chaos seed {seed}"),
+                    None => "lossless".to_string(),
+                },
+                w.next_id - 1,
+                w.frames_sent,
+                w.retries,
+                w.nacks,
+                w.damaged
+            );
+            let _ = writeln!(
+                out,
+                "requests:  {} sent, {} delivered, {} dropped, {} dup, {} reordered, \
+                 {} truncated, {} flipped",
+                rx.sent,
+                rx.delivered,
+                rx.dropped,
+                rx.duplicated,
+                rx.reordered,
+                rx.truncated,
+                rx.flipped
+            );
+            let _ = writeln!(
+                out,
+                "responses: {} sent, {} delivered, {} dropped, {} dup, {} reordered, \
+                 {} truncated, {} flipped",
+                tx.sent,
+                tx.delivered,
+                tx.dropped,
+                tx.duplicated,
+                tx.reordered,
+                tx.truncated,
+                tx.flipped
+            );
+            Ok(out)
+        }
+        Some(other) => Err(format!(
+            "usage: \\connect [chaos <seed>]|off|status (got `{other}`)"
+        )),
+    }
+}
+
+/// `\shards on <n> [chaos <seed>]|off|status|reseed`: scatter-gather
+/// serving.  Requires WAL mode — the fleet is seeded from the durable
+/// primary through the replication substrate, and `reseed` replays the
+/// WAL suffix after mutations.
+fn cmd_shards(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    let mut parts = rest.split_whitespace();
+    match parts.next() {
+        Some("on") => {
+            if state.wire.is_some() {
+                return Err("wire mode is on — `\\connect off` first".to_string());
+            }
+            let n: usize = parts
+                .next()
+                .ok_or("usage: \\shards on <n> [chaos <seed>]")?
+                .parse()
+                .map_err(|_| "usage: \\shards on <n> [chaos <seed>]".to_string())?;
+            let chaos = match parts.next() {
+                Some("chaos") => {
+                    let seed: u64 = parts
+                        .next()
+                        .ok_or("usage: \\shards on <n> chaos <seed>")?
+                        .parse()
+                        .map_err(|_| "usage: \\shards on <n> chaos <seed>".to_string())?;
+                    Some((ChaosProfile::from_seed(seed), seed))
+                }
+                Some(other) => return Err(format!("unknown option `{other}`")),
+                None => None,
+            };
+            let d = state.durable_mut()?;
+            let sharded = ShardedDatabase::from_primary(d, n, chaos).map_err(|e| e.to_string())?;
+            let placed: u64 = (0..n).map(|i| sharded.fleet().node(i).placed_rows()).sum();
+            state.sharded = Some(sharded);
+            Ok(format!(
+                "sharding on: {n} shard(s) seeded via replication, {placed} row(s) \
+                 hash-placed{}; queries now run scatter-gather — `\\shards reseed` \
+                 after mutations",
+                match chaos {
+                    Some((_, seed)) => format!(", serving channels under chaos seed {seed}"),
+                    None => String::new(),
+                }
+            ))
+        }
+        Some("off") => match state.sharded.take() {
+            Some(_) => Ok("sharding off — queries run on the primary again".to_string()),
+            None => Ok("sharding already off".to_string()),
+        },
+        Some("status") => match &mut state.sharded {
+            Some(s) => s.render_status().map_err(|e| e.to_string()),
+            None => Err("sharding is off — `\\shards on <n>` first".to_string()),
+        },
+        Some("reseed") => {
+            let Some(mut sharded) = state.sharded.take() else {
+                return Err("sharding is off — `\\shards on <n>` first".to_string());
+            };
+            let d = match state.durable_mut() {
+                Ok(d) => d,
+                Err(e) => {
+                    state.sharded = Some(sharded);
+                    return Err(e);
+                }
+            };
+            let res = sharded.reseed(d).map_err(|e| e.to_string());
+            let out = res.map(|()| {
+                let lsn = sharded.fleet().node(0).applied_lsn();
+                format!("fleet reseeded: every shard caught up to LSN {lsn}")
+            });
+            state.sharded = Some(sharded);
+            out
+        }
+        _ => Err("usage: \\shards on <n> [chaos <seed>]|off|status|reseed".to_string()),
+    }
+}
+
 fn cmd_schema(state: &ShellState) -> Result<String, String> {
     let db = state.db()?;
     let schema = db.base().schema();
@@ -942,6 +1241,12 @@ fn cmd_advise(state: &mut ShellState, rest: &str) -> Result<String, String> {
 }
 
 fn run_query(state: &mut ShellState, text: &str) -> Result<String, String> {
+    if state.sharded.is_some() {
+        return run_query_sharded(state, text);
+    }
+    if state.wire.is_some() {
+        return run_query_wire(state, text);
+    }
     let db = state.db()?;
     let before = db.stats().accesses();
     let query = oql::parse(text).map_err(|e| e.to_string())?;
@@ -951,6 +1256,56 @@ fn run_query(state: &mut ShellState, text: &str) -> Result<String, String> {
     let cost = db.stats().accesses() - before;
     let mut out = result.to_string();
     let _ = writeln!(out, "({} row(s), {cost} page accesses)", result.rows.len());
+    Ok(out)
+}
+
+/// A query line while `\connect` is on: frame it, push it through the
+/// chaotic loopback session, decode the response table.
+fn run_query_wire(state: &mut ShellState, text: &str) -> Result<String, String> {
+    let ShellState { db, wire, .. } = state;
+    let Some(open) = db.as_mut() else {
+        return Err("no database open — try `\\open company`".to_string());
+    };
+    let wire = wire.as_mut().expect("checked by run_query");
+    let mut view = match open {
+        OpenDb::Plain(db) => ServerDb::<FsStorage>::Plain(db),
+        OpenDb::Durable(d) => ServerDb::Durable(d),
+    };
+    let sent_before = wire.frames_sent;
+    let resp = wire.call(&mut view, RequestBody::Query(text.to_string()))?;
+    let attempts = wire.frames_sent - sent_before;
+    match resp.body {
+        ResponseBody::Table { columns, rows } => {
+            let nrows = rows.len();
+            let result = oql::ResultSet { columns, rows };
+            let mut out = result.to_string();
+            let _ = writeln!(
+                out,
+                "({nrows} row(s) over the wire, {} server page accesses, {attempts} frame(s))",
+                resp.io.accesses()
+            );
+            Ok(out)
+        }
+        ResponseBody::Err(msg) => Err(msg),
+        other => Err(format!("unexpected response `{}`", other.label())),
+    }
+}
+
+/// A query line while `\shards on`: execute on the coordinator, every
+/// span scattered across the fleet and gathered back.
+fn run_query_sharded(state: &mut ShellState, text: &str) -> Result<String, String> {
+    let sharded = state.sharded.as_mut().expect("checked by run_query");
+    let result = sharded.query(text).map_err(|e| e.to_string())?;
+    let (merged, max_shard) = sharded.fleet_mut().take_io();
+    let mut out = result.to_string();
+    let _ = writeln!(
+        out,
+        "({} row(s) scatter-gathered over {} shard(s): {} merged page accesses, \
+         {max_shard} on the hottest shard)",
+        result.rows.len(),
+        sharded.shard_count(),
+        merged.accesses()
+    );
     Ok(out)
 }
 
@@ -982,6 +1337,15 @@ const HELP: &str = r#"commands:
   \trace on|off|show         buffer finished trace spans, dump as JSONL
   \flightrec status|dump|tail <n>  the always-on bounded event recorder:
                              recent spans/events as summaries or JSONL
+  \serve <addr:port>         serve the open database over TCP (blocks
+                             until a client sends Shutdown)
+  \connect [chaos <seed>]    loopback wire mode: queries go through an
+                             in-process server session; `chaos` injects
+                             frame damage (CRC-caught, retried, never
+                             mis-executed).  \connect off|status
+  \shards on <n> [chaos <seed>]  scatter-gather serving over n shards
+                             seeded from the WAL-mode primary; queries
+                             fan out and union.  \shards off|status|reseed
   \quit
 anything else is executed as a query:
   select d.Name from d in Mercedes, b in d.Manufactures.Composition
@@ -1391,5 +1755,148 @@ mod tests {
         assert!(run_line(&mut s, "\\help").contains("\\asr"));
         assert_eq!(run_line(&mut s, "   "), "");
         assert!(run_line(&mut s, "\\stats").starts_with("error: no database"));
+    }
+
+    #[test]
+    fn wire_mode_routes_queries_exactly_once() {
+        let query =
+            r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#;
+        let mut s = ShellState::new();
+        assert!(run_line(&mut s, "\\connect").starts_with("error: no database"));
+        run_line(&mut s, "\\open company");
+        run_line(
+            &mut s,
+            "\\asr Division.Manufactures.Composition.Name full binary",
+        );
+        let direct = run_line(&mut s, query);
+
+        // Lossless loopback first: same rows, wire-annotated trailer.
+        assert!(run_line(&mut s, "\\connect").contains("wire mode on"));
+        let wired = run_line(&mut s, query);
+        assert!(wired.contains("Auto"), "{wired}");
+        assert!(wired.contains("over the wire"), "{wired}");
+        assert_eq!(
+            wired.lines().next(),
+            direct.lines().next(),
+            "wire rows must match direct execution"
+        );
+        let off = run_line(&mut s, "\\connect off");
+        assert!(off.contains("wire mode off"), "{off}");
+        assert!(off.contains("1 request(s)"), "{off}");
+
+        // Chaotic loopback: still the right rows, damage paid in retries.
+        assert!(run_line(&mut s, "\\connect chaos 7").contains("chaos seed 7"));
+        for _ in 0..6 {
+            let wired = run_line(&mut s, query);
+            assert!(wired.contains("Auto"), "{wired}");
+        }
+        let status = run_line(&mut s, "\\connect status");
+        assert!(status.contains("chaos seed 7"), "{status}");
+        assert!(status.contains("6 request(s)"), "{status}");
+        // A server error stays a request error, not a broken session.
+        assert!(run_line(&mut s, "select nonsense").starts_with("error:"));
+        assert!(run_line(&mut s, query).contains("Auto"));
+        run_line(&mut s, "\\connect off");
+        assert!(run_line(&mut s, "\\connect off").contains("already off"));
+        assert!(run_line(&mut s, "\\connect status").starts_with("error:"));
+        assert!(run_line(&mut s, "\\connect sideways").starts_with("error:"));
+    }
+
+    #[test]
+    fn shards_mode_scatter_gathers_and_reseeds() {
+        let query =
+            r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#;
+        let dir = std::env::temp_dir().join("asrdb_shell_shards_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open company");
+        // Sharding needs a durable primary to seed from.
+        assert!(run_line(&mut s, "\\shards on 2").starts_with("error: WAL is off"));
+        run_line(&mut s, &format!("\\wal on {dir_str}"));
+        run_line(
+            &mut s,
+            "\\asr Division.Manufactures.Composition.Name full binary",
+        );
+        let direct = run_line(&mut s, query);
+
+        let on = run_line(&mut s, "\\shards on 2 chaos 5");
+        assert!(on.contains("2 shard(s) seeded"), "{on}");
+        assert!(on.contains("chaos seed 5"), "{on}");
+        let sharded = run_line(&mut s, query);
+        assert!(
+            sharded.contains("scatter-gathered over 2 shard(s)"),
+            "{sharded}"
+        );
+        assert_eq!(
+            sharded.lines().next(),
+            direct.lines().next(),
+            "sharded rows must match the primary"
+        );
+        let status = run_line(&mut s, "\\shards status");
+        assert!(status.contains("shard 0:"), "{status}");
+        assert!(status.contains("shard 1:"), "{status}");
+        assert!(status.contains("applied_lsn"), "{status}");
+
+        // Mutate through the primary (a logged ASR drop + re-create),
+        // then catch the fleet up.
+        run_line(&mut s, "\\drop 0");
+        run_line(
+            &mut s,
+            "\\asr Division.Manufactures.Composition.Name full binary",
+        );
+        let reseed = run_line(&mut s, "\\shards reseed");
+        assert!(reseed.contains("caught up to LSN"), "{reseed}");
+        assert!(run_line(&mut s, query).contains("Auto"));
+
+        assert!(run_line(&mut s, "\\shards off").contains("sharding off"));
+        assert!(run_line(&mut s, "\\shards off").contains("already off"));
+        assert!(run_line(&mut s, "\\shards status").starts_with("error:"));
+        assert!(run_line(&mut s, "\\shards reseed").starts_with("error:"));
+        assert!(run_line(&mut s, "\\shards sideways").starts_with("error:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_answers_a_tcp_client_until_shutdown() {
+        // A fixed state inside the serving thread (Database is not Send);
+        // only the port crosses over.
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe binds");
+            let port = probe.local_addr().expect("addr").port();
+            drop(probe);
+            let mut s = ShellState::new();
+            assert!(run_line(&mut s, "\\serve 127.0.0.1:0").starts_with("error: no database"));
+            run_line(&mut s, "\\open company");
+            assert!(run_line(&mut s, "\\serve").starts_with("error: usage"));
+            addr_tx.send(port).expect("port crosses");
+            run_line(&mut s, &format!("\\serve 127.0.0.1:{port}"))
+        });
+        let port = addr_rx.recv().expect("server thread reports its port");
+        let addr = format!("127.0.0.1:{port}").parse().expect("addr parses");
+        // The probe listener just closed; retry briefly while the serve
+        // command rebinds.
+        let mut transport = None;
+        for _ in 0..100 {
+            match asr_server::TcpTransport::connect(&addr) {
+                Ok(t) => {
+                    transport = Some(t);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let mut client = asr_net::WireClient::new(transport.expect("connects"));
+        let resp = client
+            .call(RequestBody::Query(
+                "select d.Name from d in Division".to_string(),
+            ))
+            .expect("query");
+        assert!(matches!(resp.body, ResponseBody::Table { ref rows, .. } if rows.len() == 3));
+        client.call(RequestBody::Shutdown).expect("shutdown");
+        let summary = handle.join().expect("server thread exits");
+        assert!(summary.contains("served 127.0.0.1"), "{summary}");
+        assert!(summary.contains("2 request(s) executed"), "{summary}");
     }
 }
