@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use asr_gom::{ObjectBase, Oid, PathExpression, Schema, TypeId, Value};
 use asr_obs::Tracer;
@@ -19,6 +20,7 @@ use crate::maintenance::{maintain_edge, EdgeEvent};
 use crate::manager::{AccessSupportRelation, AsrConfig};
 use crate::naive;
 use crate::row::Row;
+use crate::snapshot::EpochRegistry;
 use crate::store::ObjectStore;
 
 /// Identifier of a registered access support relation.
@@ -27,9 +29,12 @@ pub type AsrId = usize;
 /// An object base with maintained access support relations.
 #[derive(Debug)]
 pub struct Database {
-    base: ObjectBase,
+    /// The object base, shared with pinned MVCC snapshots.  The writer
+    /// mutates through [`Database::base_mut`], which copies lazily
+    /// (`Arc::make_mut`) when readers still hold the published state.
+    pub(crate) base: Arc<ObjectBase>,
     store: ObjectStore,
-    asrs: Vec<Option<AccessSupportRelation>>,
+    pub(crate) asrs: Vec<Option<AccessSupportRelation>>,
     stats: StatsHandle,
     tracer: Tracer,
     /// OIDs whose object state changed since the last checkpoint fence
@@ -42,6 +47,15 @@ pub struct Database {
     /// Did the physical design (registered ASRs, type sizes, schema) change
     /// since the fence?  Delta checkpoints never span design changes.
     design_dirty: bool,
+    /// MVCC commit epoch: bumped lazily by [`Database::snapshot`] when
+    /// anything visible changed since the last publish.
+    pub(crate) commit_epoch: u64,
+    /// Did visible state change since the last published epoch?
+    pub(crate) snap_stale: bool,
+    /// Epoch pin table shared with every published snapshot.
+    pub(crate) epochs: Arc<EpochRegistry>,
+    /// Reclamation counter already reported to the metrics registry.
+    pub(crate) reclaimed_seen: u64,
 }
 
 impl Database {
@@ -62,7 +76,7 @@ impl Database {
             .expect("fresh store sync cannot fail");
         let tracer = Tracer::with_stats(Rc::clone(&stats));
         Database {
-            base,
+            base: Arc::new(base),
             store,
             asrs: Vec::new(),
             stats,
@@ -71,6 +85,10 @@ impl Database {
             dead_oids: BTreeSet::new(),
             dirty_vars: BTreeSet::new(),
             design_dirty: true,
+            commit_epoch: 0,
+            snap_stale: true,
+            epochs: Arc::new(EpochRegistry::default()),
+            reclaimed_seen: 0,
         }
     }
 
@@ -81,7 +99,7 @@ impl Database {
         store.label_from_schema(base.schema());
         let tracer = Tracer::with_stats(Rc::clone(&stats));
         Database {
-            base,
+            base: Arc::new(base),
             store,
             asrs: Vec::new(),
             stats,
@@ -90,12 +108,25 @@ impl Database {
             dead_oids: BTreeSet::new(),
             dirty_vars: BTreeSet::new(),
             design_dirty: true,
+            commit_epoch: 0,
+            snap_stale: true,
+            epochs: Arc::new(EpochRegistry::default()),
+            reclaimed_seen: 0,
         }
     }
 
     /// The underlying object base (read-only; use the update methods).
     pub fn base(&self) -> &ObjectBase {
         &self.base
+    }
+
+    /// Mutable access to the object base.  Marks the published MVCC state
+    /// stale and copies the base lazily when live snapshots still pin it
+    /// (copy-on-write: readers keep the old `Arc`, the writer gets a
+    /// private clone).
+    fn base_mut(&mut self) -> &mut ObjectBase {
+        self.snap_stale = true;
+        Arc::make_mut(&mut self.base)
     }
 
     /// The page-accounted object store.
@@ -149,6 +180,7 @@ impl Database {
     pub fn create_asr(&mut self, path: PathExpression, config: AsrConfig) -> Result<AsrId> {
         let asr = AccessSupportRelation::build(&self.base, path, config, Rc::clone(&self.stats))?;
         self.design_dirty = true;
+        self.snap_stale = true;
         self.asrs.push(Some(asr));
         Ok(self.asrs.len() - 1)
     }
@@ -156,6 +188,7 @@ impl Database {
     /// Register an already-assembled ASR (the physical restore path of
     /// `ASRDB 2` snapshots — no build runs).
     pub(crate) fn attach_asr(&mut self, asr: AccessSupportRelation) -> AsrId {
+        self.snap_stale = true;
         self.asrs.push(Some(asr));
         self.asrs.len() - 1
     }
@@ -172,6 +205,7 @@ impl Database {
             Some(slot @ Some(_)) => {
                 *slot = None;
                 self.design_dirty = true;
+                self.snap_stale = true;
                 Ok(())
             }
             _ => Err(AsrError::InvalidDecomposition(format!(
@@ -201,6 +235,7 @@ impl Database {
             }
         };
         let placed = asr.retain_partition_rows(keep)?;
+        self.snap_stale = true;
         span.set_rows(placed);
         Ok(placed)
     }
@@ -385,7 +420,7 @@ impl Database {
     /// Instantiate a type (fresh objects participate in no path yet, so no
     /// ASR maintenance is required).
     pub fn instantiate(&mut self, type_name: &str) -> Result<Oid> {
-        let oid = self.base.instantiate(type_name)?;
+        let oid = self.base_mut().instantiate(type_name)?;
         let ty = self.base.type_of(oid)?;
         self.store.register_object(ty, oid)?;
         self.dirty_oids.insert(oid);
@@ -399,7 +434,7 @@ impl Database {
     /// snapshot's maximum (e.g. the newest object was deleted before the
     /// checkpoint).  Fails if the OID is already live.
     pub fn instantiate_with_oid(&mut self, type_name: &str, oid: Oid) -> Result<()> {
-        self.base.restore_object(oid, type_name)?;
+        self.base_mut().restore_object(oid, type_name)?;
         let ty = self.base.type_of(oid)?;
         self.store.register_object(ty, oid)?;
         self.dirty_oids.insert(oid);
@@ -426,7 +461,7 @@ impl Database {
         let _span = self
             .tracer
             .span_with("maintain.set_attribute", &[("attr", attr.to_string())]);
-        self.base.set_attribute(owner, attr, value.clone())?;
+        self.base_mut().set_attribute(owner, attr, value.clone())?;
         self.dirty_oids.insert(owner);
         let owner_ty = self.base.type_of(owner)?;
         self.store.charge_update(owner_ty, owner);
@@ -571,7 +606,7 @@ impl Database {
     /// included) have their paths maintained.  Returns `false` when the
     /// element was already a member.
     pub fn insert_into_set(&mut self, set: Oid, elem: Value) -> Result<bool> {
-        if !self.base.insert_into_set(set, elem.clone())? {
+        if !self.base_mut().insert_into_set(set, elem.clone())? {
             return Ok(false);
         }
         self.dirty_oids.insert(set);
@@ -585,7 +620,7 @@ impl Database {
 
     /// Remove `elem` from the set instance `set`, maintaining all ASRs.
     pub fn remove_from_set(&mut self, set: Oid, elem: &Value) -> Result<bool> {
-        if !self.base.remove_from_set(set, elem)? {
+        if !self.base_mut().remove_from_set(set, elem)? {
             return Ok(false);
         }
         self.dirty_oids.insert(set);
@@ -747,7 +782,7 @@ impl Database {
     /// referenced from arbitrarily many places, so every registered ASR is
     /// rebuilt (documented trade-off; see DESIGN.md).
     pub fn delete_object(&mut self, oid: Oid) -> Result<()> {
-        self.base.delete(oid)?;
+        self.base_mut().delete(oid)?;
         self.dirty_oids.remove(&oid);
         self.dead_oids.insert(oid);
         for slot in self.asrs.iter_mut().flatten() {
@@ -759,7 +794,7 @@ impl Database {
     /// Bind a database variable (root).
     pub fn bind_variable(&mut self, name: &str, value: Value) {
         self.dirty_vars.insert(name.to_string());
-        self.base.bind_variable(name, value);
+        self.base_mut().bind_variable(name, value);
     }
 
     // ------------------------------------------------------------------

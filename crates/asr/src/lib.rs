@@ -49,6 +49,7 @@ pub mod query;
 pub mod relation;
 pub mod row;
 pub mod sharing;
+pub mod snapshot;
 pub mod store;
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -60,7 +61,8 @@ pub use decomposition::Decomposition;
 pub use error::{AsrError, Result};
 pub use extension::Extension;
 pub use manager::{AccessSupportRelation, AsrConfig};
-pub use persist::{AsrLoadMode, LoadReport};
+pub use persist::{AsrLoadMode, CheckpointSource, LoadReport};
 pub use relation::Relation;
 pub use row::Row;
+pub use snapshot::{Snapshot, TxnStatus};
 pub use store::ObjectStore;

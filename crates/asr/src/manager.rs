@@ -307,6 +307,12 @@ impl AccessSupportRelation {
         &self.partitions
     }
 
+    /// Mutable partition access for MVCC version publishing
+    /// ([`crate::Database::snapshot`]).
+    pub(crate) fn partitions_mut(&mut self) -> &mut [StoredPartition] {
+        &mut self.partitions
+    }
+
     /// Fence every partition's delta change tracking (see
     /// [`StoredPartition::mark_clean`]).
     pub(crate) fn mark_clean(&mut self) {

@@ -15,6 +15,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use asr_pagesim::{
     build_bulk, BPlusTree, BulkNodes, IoStats, NodeImage, StatsHandle, TreeImage, OID_SIZE,
@@ -25,6 +26,7 @@ use crate::cell::Cell;
 use crate::error::{AsrError, Result};
 use crate::relation::Relation;
 use crate::row::Row;
+use crate::snapshot::PartitionVersion;
 
 /// Tree key: clustering cell (first or last column) plus a row id making
 /// the key unique.  `None` (NULL) clusters before all defined cells.
@@ -53,6 +55,14 @@ pub struct StoredPartition {
     fwd_fence: u64,
     /// Page-epoch fence of the backward tree.
     bwd_fence: u64,
+    /// The last published immutable MVCC version of this partition
+    /// ([`Self::publish_version`]) — shared with every snapshot pinned to
+    /// it.  Copy-on-write at partition granularity: any mutation marks it
+    /// stale and the next publish captures a fresh version; clean
+    /// partitions keep handing out the same `Arc`.
+    version: Option<Arc<PartitionVersion>>,
+    /// Has the partition changed since `version` was captured?
+    version_stale: bool,
     stats: StatsHandle,
 }
 
@@ -79,7 +89,25 @@ impl StoredPartition {
             dead_rows: BTreeSet::new(),
             fwd_fence: 0,
             bwd_fence: 0,
+            version: None,
+            version_stale: true,
             stats,
+        }
+    }
+
+    /// The current immutable version of this partition, capturing a fresh
+    /// one only when the partition changed since the last publish (the
+    /// copy-on-write half of [`crate::Database::snapshot`]).  Returns the
+    /// version and whether it was freshly captured.
+    pub(crate) fn publish_version(&mut self) -> (Arc<PartitionVersion>, bool) {
+        match &self.version {
+            Some(v) if !self.version_stale => (Arc::clone(v), false),
+            _ => {
+                let v = Arc::new(PartitionVersion::capture(self));
+                self.version = Some(Arc::clone(&v));
+                self.version_stale = false;
+                (v, true)
+            }
         }
     }
 
@@ -175,6 +203,7 @@ impl StoredPartition {
         if row.is_all_null() {
             return Ok(());
         }
+        self.version_stale = true;
         match self.rows.get_mut(&row) {
             Some(meta) => {
                 meta.count += 1;
@@ -212,6 +241,7 @@ impl StoredPartition {
         let Some(meta) = self.rows.get_mut(row) else {
             return Ok(false);
         };
+        self.version_stale = true;
         if meta.count > 1 {
             meta.count -= 1;
             self.dirty_rows.insert(meta.rowid);
@@ -346,6 +376,7 @@ impl StoredPartition {
     /// The partition must be empty; all-NULL rows are skipped.
     pub fn bulk_load(&mut self, rows: impl IntoIterator<Item = (Row, u64)>) -> Result<()> {
         assert!(self.is_empty(), "bulk_load requires an empty partition");
+        self.version_stale = true;
         let mut fwd_entries: Vec<(PartitionKey, Row)> = Vec::new();
         let mut bwd_entries: Vec<(PartitionKey, Row)> = Vec::new();
         for (row, count) in rows {

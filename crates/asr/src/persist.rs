@@ -67,12 +67,12 @@
 //! reloads through the v2 restore machinery, so every structural invariant
 //! is re-validated; the input database is never modified.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::rc::Rc;
 
-use asr_gom::{snapshot, Oid, PathExpression, TypeRef, Value};
+use asr_gom::{snapshot, ObjectBase, Oid, PathExpression, TypeRef, Value};
 
 use crate::cell::Cell;
 use crate::database::{AsrId, Database};
@@ -84,6 +84,7 @@ use crate::partition::{
     PartitionDelta, PartitionImage, RawNode, RawTreeDelta, RawTreeImage, StoredPartition,
 };
 use crate::row::Row;
+use crate::snapshot::Snapshot;
 use crate::store::ObjectStore;
 
 const MAGIC_V1: &str = "ASRDB 1";
@@ -221,27 +222,13 @@ impl Database {
     /// canonical text byte-for-byte), the deleted OIDs, and rebound
     /// variables.
     fn write_base_delta(&self, out: &mut String) {
-        let _ = writeln!(out, "GOMDELTA 1 {}", self.base().object_count());
-        let dead = self.dead_oids();
-        if dead.is_empty() {
-            let _ = writeln!(out, "X -");
-        } else {
-            let csv: Vec<String> = dead.iter().map(|o| format!("i{}", o.as_raw())).collect();
-            let _ = writeln!(out, "X {}", csv.join(","));
-        }
-        let full = snapshot::write_base(self.base());
-        for line in full.lines() {
-            if let Some(oid) = parse_o_line_oid(line) {
-                if self.dirty_oids().contains(&oid) {
-                    let _ = writeln!(out, "{line}");
-                }
-            } else if let Some(name) = parse_v_line_name(line) {
-                if self.dirty_vars().contains(&name) {
-                    let _ = writeln!(out, "{line}");
-                }
-            }
-        }
-        let _ = writeln!(out, "{END_MARKER}");
+        write_base_delta_from(
+            out,
+            self.base(),
+            self.dead_oids(),
+            self.dirty_oids(),
+            self.dirty_vars(),
+        );
     }
 
     /// The base-checkpoint id named by an `ASRDB 3` document's `DELTA`
@@ -579,6 +566,162 @@ impl Database {
             .map_err(|e| AsrError::Snapshot(format!("cannot read file: {e}")))?;
         Database::load_from_string_report(&text)
     }
+
+    /// Begin a fuzzy checkpoint: capture everything the serializers need
+    /// — a pinned [`Snapshot`] (partition images ride its published
+    /// versions), the design section, per-ASR change deltas and the base
+    /// dirty sets — then advance the change-tracking fence
+    /// ([`Database::mark_clean`]).
+    ///
+    /// The returned [`CheckpointSource`] renders the `ASRDB 2` / `ASRDB 3`
+    /// documents **byte-identical** to what [`Database::save_to_string`] /
+    /// [`Database::save_delta_to_string`] would have produced at this
+    /// instant, but without holding the database: the session keeps
+    /// mutating (and serving snapshot readers) while the checkpoint text
+    /// is composed and written out.
+    pub fn begin_checkpoint(&mut self) -> CheckpointSource {
+        let snap = self.snapshot();
+        let mut design = String::new();
+        self.write_design(&mut design);
+        let asrs = self
+            .asrs()
+            .map(|(_, asr)| AsrCheckpoint {
+                deltas: asr
+                    .partitions()
+                    .iter()
+                    .map(StoredPartition::dump_delta)
+                    .collect(),
+                changed_rows: asr.changed_rows(),
+            })
+            .collect();
+        let source = CheckpointSource {
+            snapshot: snap,
+            design,
+            design_dirty: self.is_design_dirty(),
+            asrs,
+            dead_oids: self.dead_oids().clone(),
+            dirty_oids: self.dirty_oids().clone(),
+            dirty_vars: self.dirty_vars().clone(),
+        };
+        self.mark_clean();
+        source
+    }
+}
+
+/// One ASR's change payload captured at [`Database::begin_checkpoint`]:
+/// the per-partition deltas since the previous fence, plus how many
+/// mirror rows they carry (the full-vs-delta arbitration input).
+#[derive(Debug)]
+struct AsrCheckpoint {
+    deltas: Vec<PartitionDelta>,
+    changed_rows: usize,
+}
+
+/// Everything needed to serialize a checkpoint **after** the fence: a
+/// pinned [`Snapshot`] (immutable partition images + object base) and the
+/// change-tracking state that was current when the fence advanced.
+///
+/// Produced by [`Database::begin_checkpoint`]; consumed by the durability
+/// layer, which composes the document and writes it out while the live
+/// session keeps executing.  Holding a `CheckpointSource` pins its epoch
+/// like any other snapshot reader.
+#[derive(Debug)]
+pub struct CheckpointSource {
+    snapshot: Snapshot,
+    /// The design section verbatim (`S`/`A` lines, newline-terminated).
+    design: String,
+    design_dirty: bool,
+    /// Per `A`-line ordinal, matching the snapshot's ASR order.
+    asrs: Vec<AsrCheckpoint>,
+    dead_oids: BTreeSet<Oid>,
+    dirty_oids: BTreeSet<Oid>,
+    dirty_vars: BTreeSet<String>,
+}
+
+impl CheckpointSource {
+    /// The pinned snapshot backing this checkpoint — also answers reads
+    /// that overlap the checkpoint write.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// `true` when the physical design changed since the previous fence —
+    /// [`CheckpointSource::save_delta`] will refuse and the caller must
+    /// take a full checkpoint.
+    pub fn is_design_dirty(&self) -> bool {
+        self.design_dirty
+    }
+
+    /// `true` when nothing changed since the previous fence: a delta
+    /// rendered from this source would carry no rows, pages, objects or
+    /// variables.
+    pub fn is_noop_delta(&self) -> bool {
+        !self.design_dirty
+            && self.dead_oids.is_empty()
+            && self.dirty_oids.is_empty()
+            && self.dirty_vars.is_empty()
+            && self.asrs.iter().all(|a| a.changed_rows == 0)
+    }
+
+    /// Render the full `ASRDB 2` document from the captured state —
+    /// byte-identical to [`Database::save_to_string`] at the fence.
+    pub fn save_full(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC_V2}");
+        out.push_str(&self.design);
+        for (ordinal, images) in self.snapshot.asr_images().iter().enumerate() {
+            for (pidx, img) in images.iter().enumerate() {
+                write_partition_image(&mut out, ordinal, pidx, img);
+            }
+        }
+        let _ = writeln!(out, "{BASE_MARKER}");
+        out.push_str(&snapshot::write_base(self.snapshot.base()));
+        out
+    }
+
+    /// Render the `ASRDB 3` delta document on top of `base_id` — byte-
+    /// identical to [`Database::save_delta_to_string`] at the fence.
+    /// `None` when the design changed since the previous fence.
+    pub fn save_delta(&self, base_id: u64) -> Option<String> {
+        if self.design_dirty {
+            return None;
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC_V3}");
+        let _ = writeln!(out, "DELTA {base_id}");
+        out.push_str(&self.design);
+        let images = self.snapshot.asr_images();
+        for (ordinal, asr) in self.asrs.iter().enumerate() {
+            let mut delta = String::new();
+            for (pidx, d) in asr.deltas.iter().enumerate() {
+                write_partition_delta(&mut delta, ordinal, pidx, d);
+            }
+            // Same arbitration as the live writer: unchanged ASRs always
+            // ship as (empty) deltas; otherwise size decides.
+            if asr.changed_rows == 0 {
+                out.push_str(&delta);
+                continue;
+            }
+            let mut full = String::new();
+            for (pidx, img) in images[ordinal].iter().enumerate() {
+                write_partition_image(&mut full, ordinal, pidx, img);
+            }
+            if (delta.len() as f64) <= (full.len() as f64) * DELTA_FULL_FRACTION {
+                out.push_str(&delta);
+            } else {
+                out.push_str(&full);
+            }
+        }
+        let _ = writeln!(out, "{BASE_MARKER}");
+        write_base_delta_from(
+            &mut out,
+            self.snapshot.base(),
+            &self.dead_oids,
+            &self.dirty_oids,
+            &self.dirty_vars,
+        );
+        Some(out)
+    }
 }
 
 /// Encode an optional cell as a single space-free token (the GOM value
@@ -663,52 +806,63 @@ fn csv_or_dash<T: std::fmt::Display>(items: impl ExactSizeIterator<Item = T>) ->
 /// the whole-snapshot writer and the per-ASR fallback inside v3 deltas.
 fn write_asr_physical(out: &mut String, ordinal: usize, asr: &AccessSupportRelation) {
     for (pidx, part) in asr.partitions().iter().enumerate() {
-        let img = part.dump();
-        let _ = writeln!(
-            out,
-            "P {ordinal} {pidx} {} {} {} {}",
-            img.from,
-            img.to,
-            img.next_rowid,
-            img.rows.len()
-        );
-        for (row, rowid, count) in &img.rows {
-            let _ = write!(out, "R {rowid} {count}");
-            for cell in row.cells() {
-                let _ = write!(out, " {}", cell_token(cell));
-            }
-            out.push('\n');
-        }
-        write_tree(out, ordinal, pidx, 'f', &img.fwd);
-        write_tree(out, ordinal, pidx, 'b', &img.bwd);
+        write_partition_image(out, ordinal, pidx, &part.dump());
     }
+}
+
+/// One partition's `P`/`R`/`T`/`N` lines from an already-captured image —
+/// shared by the live writer and checkpoint-from-snapshot serialization.
+fn write_partition_image(out: &mut String, ordinal: usize, pidx: usize, img: &PartitionImage) {
+    let _ = writeln!(
+        out,
+        "P {ordinal} {pidx} {} {} {} {}",
+        img.from,
+        img.to,
+        img.next_rowid,
+        img.rows.len()
+    );
+    for (row, rowid, count) in &img.rows {
+        let _ = write!(out, "R {rowid} {count}");
+        for cell in row.cells() {
+            let _ = write!(out, " {}", cell_token(cell));
+        }
+        out.push('\n');
+    }
+    write_tree(out, ordinal, pidx, 'f', &img.fwd);
+    write_tree(out, ordinal, pidx, 'b', &img.bwd);
 }
 
 /// One ASR's delta section (`D`/`R`/`X`/`U`/`N`): rows changed since the
 /// fence, rows physically removed, and the pages each tree stamped.
 fn write_asr_delta(out: &mut String, ordinal: usize, asr: &AccessSupportRelation) {
     for (pidx, part) in asr.partitions().iter().enumerate() {
-        let d = part.dump_delta();
-        let _ = writeln!(
-            out,
-            "D {ordinal} {pidx} {} {} {} {} {}",
-            d.from,
-            d.to,
-            d.next_rowid,
-            d.nrows,
-            d.upserts.len()
-        );
-        for (row, rowid, count) in &d.upserts {
-            let _ = write!(out, "R {rowid} {count}");
-            for cell in row.cells() {
-                let _ = write!(out, " {}", cell_token(cell));
-            }
-            out.push('\n');
-        }
-        let _ = writeln!(out, "X {}", csv_or_dash(d.deletes.iter()));
-        write_tree_delta(out, ordinal, pidx, 'f', &d.fwd);
-        write_tree_delta(out, ordinal, pidx, 'b', &d.bwd);
+        write_partition_delta(out, ordinal, pidx, &part.dump_delta());
     }
+}
+
+/// One partition's `D`/`R`/`X`/`U`/`N` lines from an already-captured
+/// delta — shared by the live writer and checkpoint-from-snapshot
+/// serialization.
+fn write_partition_delta(out: &mut String, ordinal: usize, pidx: usize, d: &PartitionDelta) {
+    let _ = writeln!(
+        out,
+        "D {ordinal} {pidx} {} {} {} {} {}",
+        d.from,
+        d.to,
+        d.next_rowid,
+        d.nrows,
+        d.upserts.len()
+    );
+    for (row, rowid, count) in &d.upserts {
+        let _ = write!(out, "R {rowid} {count}");
+        for cell in row.cells() {
+            let _ = write!(out, " {}", cell_token(cell));
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "X {}", csv_or_dash(d.deletes.iter()));
+    write_tree_delta(out, ordinal, pidx, 'f', &d.fwd);
+    write_tree_delta(out, ordinal, pidx, 'b', &d.bwd);
 }
 
 /// Emit one tree delta as a `U` header plus one `N` line per changed page
@@ -727,6 +881,42 @@ fn write_tree_delta(out: &mut String, ordinal: usize, pidx: usize, dir: char, d:
     for (id, node) in &d.pages {
         write_node_line(out, dir, *id, node, true);
     }
+}
+
+/// The `GOMDELTA 1` section from captured state: deleted OIDs, changed
+/// objects and rebound variables filtered out of a full serialization of
+/// `base` (exact `GOMSNAP` syntax, so the merge on the other side
+/// reproduces the canonical text byte-for-byte).
+fn write_base_delta_from(
+    out: &mut String,
+    base: &ObjectBase,
+    dead_oids: &BTreeSet<Oid>,
+    dirty_oids: &BTreeSet<Oid>,
+    dirty_vars: &BTreeSet<String>,
+) {
+    let _ = writeln!(out, "GOMDELTA 1 {}", base.object_count());
+    if dead_oids.is_empty() {
+        let _ = writeln!(out, "X -");
+    } else {
+        let csv: Vec<String> = dead_oids
+            .iter()
+            .map(|o| format!("i{}", o.as_raw()))
+            .collect();
+        let _ = writeln!(out, "X {}", csv.join(","));
+    }
+    let full = snapshot::write_base(base);
+    for line in full.lines() {
+        if let Some(oid) = parse_o_line_oid(line) {
+            if dirty_oids.contains(&oid) {
+                let _ = writeln!(out, "{line}");
+            }
+        } else if let Some(name) = parse_v_line_name(line) {
+            if dirty_vars.contains(&name) {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+    let _ = writeln!(out, "{END_MARKER}");
 }
 
 /// Parse one `A` line into a path and configuration.
@@ -2072,5 +2262,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_source_matches_live_serialization_byte_for_byte() {
+        let (mut db, _) = settled(sample_db());
+        let (set, pepper) = sec_composition(&db);
+        db.insert_into_set(set, Value::Ref(pepper)).unwrap();
+        db.bind_variable("epoch", Value::string("two"));
+
+        let want_full = db.save_to_string();
+        let want_delta = db.save_delta_to_string(7).unwrap();
+        let source = db.begin_checkpoint();
+        assert!(!source.is_noop_delta());
+        assert!(!source.is_design_dirty());
+        assert_eq!(source.save_full(), want_full);
+        assert_eq!(source.save_delta(7).unwrap(), want_delta);
+
+        // Fuzzy: the fence advanced and the writer moves on, but the
+        // pinned source still renders the state as of the fence.
+        db.set_attribute(pepper, "Name", Value::string("Salt"))
+            .unwrap();
+        assert_eq!(source.save_full(), want_full);
+        assert_eq!(source.save_delta(7).unwrap(), want_delta);
+        assert_ne!(db.save_to_string(), want_full, "the live state moved on");
+
+        // The rendered document is a real checkpoint: it loads.
+        let restored = Database::load_from_string(&source.save_full()).unwrap();
+        assert_eq!(restored.base().object_count(), db.base().object_count());
+
+        // And the fence is live: a fresh source right after one is a noop.
+        drop(source);
+        let idle = db.begin_checkpoint();
+        assert!(!idle.is_noop_delta(), "the Salt rename is still pending");
+        let idle2 = db.begin_checkpoint();
+        assert!(idle2.is_noop_delta());
+    }
+
+    #[test]
+    fn checkpoint_source_refuses_delta_after_design_change() {
+        let (mut db, _) = settled(sample_db());
+        let id = db.asrs().next().unwrap().0;
+        db.drop_asr(id).unwrap();
+        assert!(db.save_delta_to_string(1).is_none());
+        let source = db.begin_checkpoint();
+        assert!(source.is_design_dirty());
+        assert!(source.save_delta(1).is_none());
+        // The full document still renders and loads without the ASR.
+        let restored = Database::load_from_string(&source.save_full()).unwrap();
+        assert_eq!(restored.asrs().count(), db.asrs().count());
+    }
+
+    #[test]
+    fn checkpoint_source_pins_an_epoch_until_dropped() {
+        let (mut db, _) = settled(sample_db());
+        let before = db.txn_status().active_snapshots;
+        let source = db.begin_checkpoint();
+        assert_eq!(db.txn_status().active_snapshots, before + 1);
+        assert!(source.snapshot().asr_ids().len() == db.asrs().count());
+        drop(source);
+        assert_eq!(db.txn_status().active_snapshots, before);
     }
 }

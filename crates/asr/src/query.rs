@@ -23,10 +23,50 @@ use crate::decomposition::Decomposition;
 use crate::partition::StoredPartition;
 use crate::row::Row;
 
+/// One partition as the span-query walk sees it: batched border probes
+/// through a clustering direction, and exhaustive interior scans.
+/// Implemented by live [`StoredPartition`]s (page costs land on the shared
+/// stats handle) and by the immutable MVCC partition versions behind
+/// [`crate::Snapshot`] (modeled page costs land on the snapshot's own
+/// counter), so both evaluate `Q_{i,j}` through the same machinery.
+pub trait SpanSource {
+    /// Batched clustered probe over an **ascending** frontier: `forward`
+    /// probes the first-column clustering, otherwise the last-column one.
+    /// Rows come back grouped per probe cell in frontier order, matching
+    /// [`StoredPartition::lookup_first_many`] bit for bit.
+    fn probe_border(&self, forward: bool, frontier: &BTreeSet<Cell>) -> Vec<Row>;
+
+    /// Exhaustive scan keeping the rows whose column `offset` is in
+    /// `frontier`, in first-column clustering order.
+    fn scan_matching(&self, offset: usize, frontier: &BTreeSet<Cell>) -> Vec<Row>;
+}
+
+impl SpanSource for StoredPartition {
+    fn probe_border(&self, forward: bool, frontier: &BTreeSet<Cell>) -> Vec<Row> {
+        if forward {
+            self.lookup_first_many(frontier.iter())
+        } else {
+            self.lookup_last_many(frontier.iter())
+        }
+    }
+
+    fn scan_matching(&self, offset: usize, frontier: &BTreeSet<Cell>) -> Vec<Row> {
+        let mut hits = Vec::new();
+        self.scan(|row| {
+            if let Some(cell) = row.cell(offset) {
+                if frontier.contains(cell) {
+                    hits.push(row.clone());
+                }
+            }
+        });
+        hits
+    }
+}
+
 /// Evaluate a forward span query: all cells at column `cj` reachable from
 /// `start` at column `ci` through the stored rows.
-pub fn forward_supported(
-    partitions: &[StoredPartition],
+pub fn forward_supported<P: SpanSource>(
+    partitions: &[P],
     dec: &Decomposition,
     ci: usize,
     cj: usize,
@@ -44,21 +84,12 @@ pub fn forward_supported(
         let part = &partitions[idx];
         let rows: Vec<Row> = if a < ci {
             // Entry column strictly inside the partition: exhaustive scan.
-            let offset = ci - a;
-            let mut hits = Vec::new();
-            part.scan(|row| {
-                if let Some(cell) = row.cell(offset) {
-                    if frontier.contains(cell) {
-                        hits.push(row.clone());
-                    }
-                }
-            });
-            hits
+            part.scan_matching(ci - a, &frontier)
         } else {
             // Entry at the partition border: one batched clustered probe
             // over the whole (sorted) frontier — each tree page is read at
             // most once however many frontier cells share it.
-            part.lookup_first_many(frontier.iter())
+            part.probe_border(true, &frontier)
         };
         if cj <= b {
             let offset = cj - a;
@@ -75,8 +106,8 @@ pub fn forward_supported(
 
 /// Evaluate a backward span query: all cells at column `ci` from which the
 /// stored rows reach `target` at column `cj`.
-pub fn backward_supported(
-    partitions: &[StoredPartition],
+pub fn backward_supported<P: SpanSource>(
+    partitions: &[P],
     dec: &Decomposition,
     ci: usize,
     cj: usize,
@@ -95,20 +126,11 @@ pub fn backward_supported(
         let part = &partitions[idx];
         let rows: Vec<Row> = if b > cj {
             // Exit column strictly inside the partition: exhaustive scan.
-            let offset = cj - a;
-            let mut hits = Vec::new();
-            part.scan(|row| {
-                if let Some(cell) = row.cell(offset) {
-                    if frontier.contains(cell) {
-                        hits.push(row.clone());
-                    }
-                }
-            });
-            hits
+            part.scan_matching(cj - a, &frontier)
         } else {
             // Exit at the partition border: one batched reverse-clustered
             // probe over the whole (sorted) frontier.
-            part.lookup_last_many(frontier.iter())
+            part.probe_border(false, &frontier)
         };
         if ci >= a {
             let offset = ci - a;

@@ -1,0 +1,736 @@
+//! MVCC snapshots: immutable, `Send` read-only views of a [`Database`]
+//! pinned to a commit epoch.
+//!
+//! The paper prices ASRs as *shared* access paths; this module supplies
+//! the sharing.  [`Database::snapshot`] publishes every stored partition
+//! as an immutable [`PartitionVersion`] (copy-on-write: only partitions
+//! mutated since their last publish are re-captured — clean ones keep
+//! handing out the same `Arc`) and hands back a [`Snapshot`] that answers
+//! span queries, border probes, and partition scans with results
+//! bit-identical to the live database, while the single writer keeps
+//! mutating its private working set.
+//!
+//! Lifecycle: **publish** (a snapshot pins the current commit epoch),
+//! **pin** (clones share the pin; the epoch stays registered while any
+//! reader holds it), **reclaim** (the last reader's drop retires the
+//! epoch in the [`EpochRegistry`], visible as `txn.epochs_reclaimed`).
+//!
+//! Page accounting: the live database charges real modeled I/O to its
+//! shared [`asr_pagesim::IoStats`].  A snapshot is detached from that
+//! handle (it must be `Send`), so it meters its own reads — tree height
+//! plus distinct leaves per batched probe, leaf pages per scan — on an
+//! internal atomic counter exposed as [`Snapshot::pages_read`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use asr_gom::{ObjectBase, Oid, PathExpression};
+
+use crate::cell::Cell;
+use crate::database::{AsrId, Database};
+use crate::error::{AsrError, Result};
+use crate::manager::AsrConfig;
+use crate::naive::check_span;
+use crate::partition::{PartitionImage, StoredPartition};
+use crate::query::{self, SpanSource};
+use crate::row::Row;
+
+// ---------------------------------------------------------------------
+// Epoch registry: pin / reclaim
+// ---------------------------------------------------------------------
+
+/// Tracks which commit epochs still have live readers.  Shared between
+/// the owning [`Database`] and every [`Snapshot`] it publishes; epochs
+/// are reclaimed (retired from the pin table) when their last reader
+/// drops.
+#[derive(Debug, Default)]
+pub struct EpochRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// epoch → live reader count.
+    pins: BTreeMap<u64, usize>,
+    /// Epochs fully released so far.
+    reclaimed: u64,
+}
+
+impl EpochRegistry {
+    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        // A reader thread that panics mid-drop must not cascade: recover
+        // the guard rather than poisoning every later `\txn status`.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn pin(self: &Arc<Self>, epoch: u64) -> EpochPin {
+        *self.lock().pins.entry(epoch).or_insert(0) += 1;
+        EpochPin {
+            epoch,
+            registry: Arc::clone(self),
+        }
+    }
+
+    /// Live snapshot handles across all pinned epochs.
+    pub fn active(&self) -> usize {
+        self.lock().pins.values().sum()
+    }
+
+    /// The oldest epoch still pinned by a reader.
+    pub fn oldest(&self) -> Option<u64> {
+        self.lock().pins.keys().next().copied()
+    }
+
+    /// Epochs whose last reader has dropped.
+    pub fn reclaimed(&self) -> u64 {
+        self.lock().reclaimed
+    }
+}
+
+/// One epoch reference held by a snapshot; dropping the last clone of a
+/// snapshot drops the pin and may reclaim the epoch.
+#[derive(Debug)]
+struct EpochPin {
+    epoch: u64,
+    registry: Arc<EpochRegistry>,
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        let mut inner = self.registry.lock();
+        if let Some(count) = inner.pins.get_mut(&self.epoch) {
+            *count -= 1;
+            if *count == 0 {
+                inner.pins.remove(&self.epoch);
+                inner.reclaimed += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Immutable partition versions
+// ---------------------------------------------------------------------
+
+/// An immutable published version of one [`StoredPartition`]: the full
+/// physical image (reused verbatim by checkpoint serialization) plus two
+/// sorted access vectors standing in for the redundant clustering trees.
+/// `by_first`/`by_last` order is exactly the trees' key order
+/// `(cell, rowid)` with NULL first, so scans and probes reproduce the
+/// live partition's row order bit for bit.
+#[derive(Debug)]
+pub(crate) struct PartitionVersion {
+    /// `(clustering cell, rowid, index into image.rows)` sorted ascending
+    /// — the forward (first-column) clustering.
+    by_first: Vec<(Option<Cell>, u64, u32)>,
+    /// The backward (last-column) clustering.
+    by_last: Vec<(Option<Cell>, u64, u32)>,
+    fwd_height: u64,
+    bwd_height: u64,
+    /// Tuples per leaf page (formula 14) — converts hit runs into the
+    /// modeled leaf-page charge.
+    leaf_capacity: u64,
+    fwd_leaf_pages: u64,
+    /// The page-faithful physical image ([`StoredPartition::dump`]).
+    image: PartitionImage,
+}
+
+impl PartitionVersion {
+    /// Capture the partition's current state as an immutable version.
+    pub(crate) fn capture(part: &StoredPartition) -> Self {
+        let image = part.dump();
+        let order = |key: fn(&Row) -> &Option<Cell>| {
+            let mut v: Vec<(Option<Cell>, u64, u32)> = image
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(idx, (row, rowid, _))| (key(row).clone(), *rowid, idx as u32))
+                .collect();
+            v.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+            v
+        };
+        PartitionVersion {
+            by_first: order(Row::first),
+            by_last: order(Row::last),
+            fwd_height: image.fwd.height as u64,
+            bwd_height: image.bwd.height as u64,
+            leaf_capacity: (part.forward_tree().leaf_capacity() as u64).max(1),
+            fwd_leaf_pages: part.leaf_pages(),
+            image,
+        }
+    }
+
+    /// Columns spanned (`to − from + 1`).
+    pub(crate) fn arity(&self) -> usize {
+        self.image.to - self.image.from + 1
+    }
+
+    /// The captured physical image (checkpoint serialization).
+    pub(crate) fn image(&self) -> &PartitionImage {
+        &self.image
+    }
+
+    /// Distinct stored rows.
+    pub(crate) fn len(&self) -> usize {
+        self.image.rows.len()
+    }
+
+    fn row(&self, idx: u32) -> &Row {
+        &self.image.rows[idx as usize].0
+    }
+
+    /// Batched clustered probe in the order `keys` arrive (ascending for
+    /// frontier probes), concatenating per-key hit runs — the immutable
+    /// counterpart of [`StoredPartition::lookup_first_many`].  Charges one
+    /// descent plus each distinct leaf page once per batch.
+    fn probe_cells<'a>(
+        &self,
+        forward: bool,
+        keys: impl Iterator<Item = &'a Cell>,
+        reads: &AtomicU64,
+    ) -> Vec<Row> {
+        let (list, height) = if forward {
+            (&self.by_first, self.fwd_height)
+        } else {
+            (&self.by_last, self.bwd_height)
+        };
+        let mut out = Vec::new();
+        let mut leaves: BTreeSet<u64> = BTreeSet::new();
+        let mut probed = false;
+        for cell in keys {
+            probed = true;
+            let key = Some(cell.clone());
+            let mut at = list.partition_point(|e| (&e.0, e.1) < (&key, 0));
+            while at < list.len() && list[at].0 == key {
+                leaves.insert(at as u64 / self.leaf_capacity);
+                out.push(self.row(list[at].2).clone());
+                at += 1;
+            }
+        }
+        if probed {
+            reads.fetch_add(height + leaves.len() as u64, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Exhaustive scan in forward clustering order, keeping rows whose
+    /// column `offset` matches `wanted` — the immutable counterpart of
+    /// [`StoredPartition::scan`].  Charges the leaf pages of one tree.
+    fn scan_cells(&self, offset: usize, wanted: &BTreeSet<&Cell>, reads: &AtomicU64) -> Vec<Row> {
+        reads.fetch_add(self.fwd_leaf_pages, Ordering::Relaxed);
+        let mut hits = Vec::new();
+        for &(_, _, idx) in &self.by_first {
+            let row = self.row(idx);
+            if let Some(cell) = row.cell(offset) {
+                if wanted.contains(cell) {
+                    hits.push(row.clone());
+                }
+            }
+        }
+        hits
+    }
+}
+
+/// A partition version bound to a snapshot's read counter, so the span
+/// query machinery can charge modeled I/O somewhere.
+struct SnapView<'a> {
+    version: &'a PartitionVersion,
+    reads: &'a AtomicU64,
+}
+
+impl SpanSource for SnapView<'_> {
+    fn probe_border(&self, forward: bool, frontier: &BTreeSet<Cell>) -> Vec<Row> {
+        self.version
+            .probe_cells(forward, frontier.iter(), self.reads)
+    }
+
+    fn scan_matching(&self, offset: usize, frontier: &BTreeSet<Cell>) -> Vec<Row> {
+        let wanted: BTreeSet<&Cell> = frontier.iter().collect();
+        self.version.scan_cells(offset, &wanted, self.reads)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The snapshot
+// ---------------------------------------------------------------------
+
+/// One ASR as published into a snapshot: design (path + config) plus the
+/// pinned partition versions.
+#[derive(Debug)]
+struct SnapAsr {
+    path: PathExpression,
+    config: AsrConfig,
+    versions: Vec<Arc<PartitionVersion>>,
+}
+
+impl SnapAsr {
+    fn supports(&self, i: usize, j: usize) -> bool {
+        i < j && j <= self.path.len() && self.config.extension.supports(i, j, self.path.len())
+    }
+
+    fn column_of(&self, pos: usize) -> usize {
+        self.path.column_of(pos, self.config.keep_set_oids)
+    }
+}
+
+/// A read-only view of a [`Database`] pinned to a commit epoch.
+///
+/// Cheap to clone (clones share the pin) and `Send`: readers on other
+/// threads answer supported span queries, batched border probes, and
+/// partition scans against the pinned state while the writer continues.
+/// There is no object store and no naive traversal here — unsupported
+/// spans return [`AsrError::Unsupported`] exactly where the live ASR
+/// would, and the caller decides whether to fall back on the primary.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    base: Arc<ObjectBase>,
+    asrs: Vec<Option<Arc<SnapAsr>>>,
+    /// Modeled page reads charged by this snapshot's queries.
+    reads: Arc<AtomicU64>,
+    _pin: Arc<EpochPin>,
+}
+
+impl Snapshot {
+    /// The commit epoch this snapshot is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Modeled page reads charged against this snapshot so far.
+    pub fn pages_read(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// The pinned object base (variables, extents, objects as of the
+    /// epoch).
+    pub fn base(&self) -> &ObjectBase {
+        &self.base
+    }
+
+    /// Living objects as of the epoch.
+    pub fn object_count(&self) -> usize {
+        self.base.object_count()
+    }
+
+    /// IDs of the ASRs registered as of the epoch.
+    pub fn asr_ids(&self) -> Vec<AsrId> {
+        self.asrs
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|_| id))
+            .collect()
+    }
+
+    fn snap_asr(&self, id: AsrId) -> Result<&SnapAsr> {
+        self.asrs
+            .get(id)
+            .and_then(Option::as_ref)
+            .map(Arc::as_ref)
+            .ok_or_else(|| AsrError::InvalidDecomposition(format!("no ASR with id {id}")))
+    }
+
+    /// The path of ASR `id` as of the epoch.
+    pub fn asr_path(&self, id: AsrId) -> Result<&PathExpression> {
+        Ok(&self.snap_asr(id)?.path)
+    }
+
+    /// Stored partitions of ASR `id`.
+    pub fn partition_count(&self, id: AsrId) -> Result<usize> {
+        Ok(self.snap_asr(id)?.versions.len())
+    }
+
+    /// Columns of partition `part` of ASR `id`.
+    pub fn partition_arity(&self, id: AsrId, part: usize) -> Result<usize> {
+        Ok(self.partition(id, part)?.arity())
+    }
+
+    fn partition(&self, id: AsrId, part: usize) -> Result<&PartitionVersion> {
+        self.snap_asr(id)?
+            .versions
+            .get(part)
+            .map(Arc::as_ref)
+            .ok_or_else(|| AsrError::InvalidDecomposition(format!("no partition {part}")))
+    }
+
+    /// Forward span query `Q_{i,j}(fw)` against the pinned versions —
+    /// result bit-identical to the live ASR's supported evaluation.
+    pub fn forward(&self, id: AsrId, i: usize, j: usize, start: Oid) -> Result<Vec<Cell>> {
+        let asr = self.snap_asr(id)?;
+        check_span(&asr.path, i, j)?;
+        if !asr.supports(i, j) {
+            return Err(AsrError::Unsupported {
+                extension: asr.config.extension.name(),
+                i,
+                j,
+                n: asr.path.len(),
+            });
+        }
+        let views: Vec<SnapView<'_>> = asr
+            .versions
+            .iter()
+            .map(|v| SnapView {
+                version: v,
+                reads: &self.reads,
+            })
+            .collect();
+        Ok(query::forward_supported(
+            &views,
+            &asr.config.decomposition,
+            asr.column_of(i),
+            asr.column_of(j),
+            &Cell::Oid(start),
+        ))
+    }
+
+    /// Backward span query `Q_{i,j}(bw)` against the pinned versions.
+    pub fn backward(&self, id: AsrId, i: usize, j: usize, target: &Cell) -> Result<Vec<Oid>> {
+        let asr = self.snap_asr(id)?;
+        check_span(&asr.path, i, j)?;
+        if !asr.supports(i, j) {
+            return Err(AsrError::Unsupported {
+                extension: asr.config.extension.name(),
+                i,
+                j,
+                n: asr.path.len(),
+            });
+        }
+        let views: Vec<SnapView<'_>> = asr
+            .versions
+            .iter()
+            .map(|v| SnapView {
+                version: v,
+                reads: &self.reads,
+            })
+            .collect();
+        let cells = query::backward_supported(
+            &views,
+            &asr.config.decomposition,
+            asr.column_of(i),
+            asr.column_of(j),
+            target,
+        );
+        Ok(cells.into_iter().filter_map(|c| c.as_oid()).collect())
+    }
+
+    /// Batched clustered probe of one partition in the order `keys`
+    /// arrive — the snapshot counterpart of the scatter-gather
+    /// `ShardProbe` request (`lookup_first_many` / `lookup_last_many`).
+    pub fn probe(&self, id: AsrId, part: usize, forward: bool, keys: &[Cell]) -> Result<Vec<Row>> {
+        Ok(self
+            .partition(id, part)?
+            .probe_cells(forward, keys.iter(), &self.reads))
+    }
+
+    /// Exhaustive scan of one partition keeping rows whose column
+    /// `offset` is in `frontier` — the snapshot counterpart of the
+    /// scatter-gather `ShardScan` request.
+    pub fn scan_filter(
+        &self,
+        id: AsrId,
+        part: usize,
+        offset: usize,
+        frontier: &[Cell],
+    ) -> Result<Vec<Row>> {
+        let version = self.partition(id, part)?;
+        if offset >= version.arity() {
+            return Err(AsrError::InvalidDecomposition(format!(
+                "offset {offset} outside partition"
+            )));
+        }
+        let wanted: BTreeSet<&Cell> = frontier.iter().collect();
+        Ok(version.scan_cells(offset, &wanted, &self.reads))
+    }
+
+    /// Total distinct rows across all partitions of ASR `id`.
+    pub fn total_rows(&self, id: AsrId) -> Result<usize> {
+        Ok(self.snap_asr(id)?.versions.iter().map(|v| v.len()).sum())
+    }
+
+    /// The pinned partition images of every present ASR, in `A`-line
+    /// ordinal order — what checkpoint serialization renders instead of
+    /// re-dumping the live trees.
+    pub(crate) fn asr_images(&self) -> Vec<Vec<&PartitionImage>> {
+        self.asrs
+            .iter()
+            .flatten()
+            .map(|asr| asr.versions.iter().map(|v| v.image()).collect())
+            .collect()
+    }
+}
+
+// Snapshots must be shareable across reader threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<EpochRegistry>();
+};
+
+/// Point-in-time MVCC bookkeeping for `\txn status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnStatus {
+    /// Current commit epoch (bumps when a snapshot is taken after
+    /// mutations).
+    pub commit_epoch: u64,
+    /// Live snapshot handles.
+    pub active_snapshots: usize,
+    /// Oldest epoch still pinned by a reader.
+    pub oldest_pinned: Option<u64>,
+    /// Epochs whose last reader has dropped.
+    pub epochs_reclaimed: u64,
+}
+
+impl Database {
+    /// Publish the current state as an immutable [`Snapshot`] pinned to
+    /// the current commit epoch.
+    ///
+    /// Copy-on-write at partition granularity: only partitions mutated
+    /// since their last publish are re-captured; repeated snapshots of an
+    /// unchanged database share every version (and the epoch).  The
+    /// object base travels as an `Arc` — the writer's next base mutation
+    /// clones it lazily (`Arc::make_mut`), never the readers.
+    pub fn snapshot(&mut self) -> Snapshot {
+        if self.snap_stale {
+            self.commit_epoch += 1;
+            self.snap_stale = false;
+        }
+        let mut published = 0u64;
+        let mut asrs: Vec<Option<Arc<SnapAsr>>> = Vec::with_capacity(self.asrs.len());
+        for slot in self.asrs.iter_mut() {
+            match slot {
+                Some(asr) => {
+                    let path = asr.path().clone();
+                    let config = asr.config().clone();
+                    let versions = asr
+                        .partitions_mut()
+                        .iter_mut()
+                        .map(|p| {
+                            let (version, fresh) = p.publish_version();
+                            published += u64::from(fresh);
+                            version
+                        })
+                        .collect();
+                    asrs.push(Some(Arc::new(SnapAsr {
+                        path,
+                        config,
+                        versions,
+                    })));
+                }
+                None => asrs.push(None),
+            }
+        }
+        let pin = self.epochs.pin(self.commit_epoch);
+        let newly_reclaimed = self.epochs.reclaimed() - self.reclaimed_seen;
+        self.reclaimed_seen += newly_reclaimed;
+        let metrics = self.tracer().metrics();
+        metrics.inc_counter("txn.snapshots", 1);
+        metrics.inc_counter("txn.partitions_published", published);
+        metrics.inc_counter("txn.epochs_reclaimed", newly_reclaimed);
+        metrics.set_gauge("txn.commit_epoch", self.commit_epoch as f64);
+        metrics.set_gauge("txn.active_snapshots", self.epochs.active() as f64);
+        metrics.set_gauge(
+            "txn.oldest_pinned_epoch",
+            self.epochs.oldest().unwrap_or(self.commit_epoch) as f64,
+        );
+        Snapshot {
+            epoch: self.commit_epoch,
+            base: Arc::clone(&self.base),
+            asrs,
+            reads: Arc::new(AtomicU64::new(0)),
+            _pin: Arc::new(pin),
+        }
+    }
+
+    /// MVCC bookkeeping: epoch, live readers, oldest pin, reclamations.
+    pub fn txn_status(&self) -> TxnStatus {
+        TxnStatus {
+            commit_epoch: self.commit_epoch,
+            active_snapshots: self.epochs.active(),
+            oldest_pinned: self.epochs.oldest(),
+            epochs_reclaimed: self.epochs.reclaimed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::Decomposition;
+    use crate::extension::Extension;
+    use asr_gom::{Schema, Value};
+
+    fn company_db() -> Database {
+        let mut s = Schema::new();
+        s.define_set("Company", "Division").unwrap();
+        s.define_tuple(
+            "Division",
+            [("Name", "STRING"), ("Manufactures", "ProdSET")],
+        )
+        .unwrap();
+        s.define_set("ProdSET", "Product").unwrap();
+        s.define_tuple(
+            "Product",
+            [("Name", "STRING"), ("Composition", "BasePartSET")],
+        )
+        .unwrap();
+        s.define_set("BasePartSET", "BasePart").unwrap();
+        s.define_tuple("BasePart", [("Name", "STRING"), ("Price", "DECIMAL")])
+            .unwrap();
+        s.validate().unwrap();
+        Database::new(s)
+    }
+
+    /// A small instance with one division → product → part chain.
+    fn populated() -> (Database, AsrId, Oid, Oid) {
+        let mut db = company_db();
+        let division = db.instantiate("Division").unwrap();
+        let prodset = db.instantiate("ProdSET").unwrap();
+        let product = db.instantiate("Product").unwrap();
+        let partset = db.instantiate("BasePartSET").unwrap();
+        let part = db.instantiate("BasePart").unwrap();
+        db.set_attribute(division, "Manufactures", Value::Ref(prodset))
+            .unwrap();
+        db.insert_into_set(prodset, Value::Ref(product)).unwrap();
+        db.set_attribute(product, "Composition", Value::Ref(partset))
+            .unwrap();
+        db.insert_into_set(partset, Value::Ref(part)).unwrap();
+        db.set_attribute(part, "Name", Value::string("Door"))
+            .unwrap();
+        let path =
+            PathExpression::parse(db.base().schema(), "Division.Manufactures.Composition.Name")
+                .unwrap();
+        let config = AsrConfig {
+            extension: Extension::Full,
+            decomposition: Decomposition::binary(path.arity(false) - 1),
+            keep_set_oids: false,
+        };
+        let id = db.create_asr(path, config).unwrap();
+        (db, id, division, part)
+    }
+
+    #[test]
+    fn snapshot_matches_live_queries() {
+        let (mut db, id, division, _) = populated();
+        let snap = db.snapshot();
+        let n = snap.asr_path(id).unwrap().len();
+        for i in 0..n {
+            for j in (i + 1)..=n {
+                let live = db.asr(id).unwrap().forward(i, j, division);
+                let snapped = snap.forward(id, i, j, division);
+                match (live, snapped) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "forward {i}..{j}"),
+                    (Err(AsrError::Unsupported { .. }), Err(AsrError::Unsupported { .. })) => {}
+                    (a, b) => panic!("forward {i}..{j} diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        let target = Cell::Value(Value::string("Door"));
+        assert_eq!(
+            db.asr(id).unwrap().backward(0, n, &target).unwrap(),
+            snap.backward(id, 0, n, &target).unwrap()
+        );
+        assert!(snap.pages_read() > 0, "snapshot queries charge modeled I/O");
+    }
+
+    #[test]
+    fn snapshot_isolation_and_cow_publishing() {
+        let (mut db, id, division, _) = populated();
+        let before = db.txn_status().commit_epoch;
+        let s1 = db.snapshot();
+        let s2 = db.snapshot();
+        assert_eq!(s1.epoch(), s2.epoch(), "unchanged state shares the epoch");
+        assert_eq!(db.txn_status().active_snapshots, 2);
+        let n = s1.asr_path(id).unwrap().len();
+        let old = s1.forward(id, 0, n, division).unwrap();
+
+        // Writer moves on: a new part appears under the same product.
+        let product = s1
+            .forward(id, 0, 1, division)
+            .unwrap()
+            .first()
+            .and_then(|c| c.as_oid())
+            .unwrap();
+        let extra = db.instantiate("BasePart").unwrap();
+        db.set_attribute(extra, "Name", Value::string("Window"))
+            .unwrap();
+        let comp = db
+            .base()
+            .get_attribute(product, "Composition")
+            .unwrap()
+            .as_ref_oid()
+            .unwrap();
+        db.insert_into_set(comp, Value::Ref(extra)).unwrap();
+
+        // Pinned readers still see the old state.
+        assert_eq!(s1.forward(id, 0, n, division).unwrap(), old);
+        let s3 = db.snapshot();
+        assert!(s3.epoch() > before, "mutation bumps the epoch");
+        assert!(
+            s3.forward(id, 0, n, division).unwrap().len() > old.len(),
+            "new snapshot sees the new row"
+        );
+
+        // Reclamation: dropping the readers of the old epoch retires it.
+        let reclaimed = db.txn_status().epochs_reclaimed;
+        drop(s1);
+        drop(s2);
+        let status = db.txn_status();
+        assert_eq!(status.epochs_reclaimed, reclaimed + 1);
+        assert_eq!(status.active_snapshots, 1);
+        assert_eq!(status.oldest_pinned, Some(s3.epoch()));
+    }
+
+    #[test]
+    fn probe_and_scan_match_the_live_partition() {
+        let (mut db, id, division, _) = populated();
+        let snap = db.snapshot();
+        let asr = db.asr(id).unwrap();
+        for (pidx, part) in asr.partitions().iter().enumerate() {
+            // Probe on every first-column cell that exists.
+            let mut firsts: BTreeSet<Cell> = BTreeSet::new();
+            part.scan(|row| {
+                if let Some(c) = row.first() {
+                    firsts.insert(c.clone());
+                }
+            });
+            let keys: Vec<Cell> = firsts.into_iter().collect();
+            assert_eq!(
+                part.lookup_first_many(keys.iter()),
+                snap.probe(id, pidx, true, &keys).unwrap(),
+                "forward probe partition {pidx}"
+            );
+            // Full scan parity at offset 0 with a frontier of everything.
+            let rows_live: Vec<Row> = {
+                let mut v = Vec::new();
+                part.scan(|r| v.push(r.clone()));
+                v
+            };
+            let wanted: Vec<Cell> = keys.clone();
+            let scanned = snap.scan_filter(id, pidx, 0, &wanted).unwrap();
+            let expect: Vec<Row> = rows_live
+                .iter()
+                .filter(|r| {
+                    r.cell(0)
+                        .as_ref()
+                        .map(|c| wanted.contains(c))
+                        .unwrap_or(false)
+                })
+                .cloned()
+                .collect();
+            assert_eq!(expect, scanned, "scan partition {pidx}");
+        }
+        let _ = division;
+    }
+
+    #[test]
+    fn dropped_asr_is_absent_from_later_snapshots() {
+        let (mut db, id, _, _) = populated();
+        let s1 = db.snapshot();
+        db.drop_asr(id).unwrap();
+        let s2 = db.snapshot();
+        assert!(s1.asr_ids().contains(&id));
+        assert!(!s2.asr_ids().contains(&id));
+        assert!(s2.forward(id, 0, 1, Oid::from_raw(0)).is_err());
+    }
+}

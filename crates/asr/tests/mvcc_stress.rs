@@ -1,0 +1,347 @@
+//! Seeded multi-threaded MVCC stress fuzz: one writer mutates the
+//! database and publishes a snapshot after every batch while N reader
+//! threads continuously re-answer span queries from randomly sampled
+//! pinned snapshots.  Every published epoch must stay bit-identical
+//! under concurrent writes (prefix consistency), every epoch must equal
+//! the serial oracle built by replaying that prefix onto a fresh
+//! database, and the final writer state must equal the full-script
+//! oracle.
+//!
+//! Seed with `ASR_FUZZ_SEED` to reproduce a failure.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use asr_core::{AsrConfig, AsrId, Cell, Database, Decomposition, Extension, Snapshot};
+use asr_gom::{Oid, PathExpression, Schema, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const BATCHES: usize = 12;
+const BATCH: usize = 8;
+const READERS: usize = 4;
+const NAMES: [&str; 4] = ["ceo", "ant", "bee", "cat"];
+
+fn fuzz_seed() -> u64 {
+    std::env::var("ASR_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xA512_1990)
+}
+
+/// The tuple chain `T0.A1.A2.Name` — three maintained positions, no
+/// sets, so every mutation is a plain attribute assignment.
+fn chain_db() -> (Database, PathExpression) {
+    let mut s = Schema::new();
+    s.define_tuple("T0", [("A1", "T1")]).unwrap();
+    s.define_tuple("T1", [("A2", "T2")]).unwrap();
+    s.define_tuple("T2", [("Name", "STRING")]).unwrap();
+    s.validate().unwrap();
+    let path = PathExpression::parse(&s, "T0.A1.A2.Name").unwrap();
+    (Database::new(s), path)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Instantiate a fresh object at chain level 0/1/2.
+    New(usize),
+    /// `pool[level][from].attr = pool[level+1][to]` (or NULL).
+    Edge {
+        level: usize,
+        from: usize,
+        to: Option<usize>,
+    },
+    /// Rename `pool[2][idx]`.
+    Name { idx: usize, name: &'static str },
+}
+
+/// Object pools per chain level, mirrored identically by the stress
+/// writer and the serial oracle.
+#[derive(Default)]
+struct Pools {
+    levels: [Vec<Oid>; 3],
+}
+
+fn apply(db: &mut Database, pools: &mut Pools, op: &Op) {
+    match op {
+        Op::New(level) => {
+            let oid = db.instantiate(&format!("T{level}")).unwrap();
+            pools.levels[*level].push(oid);
+        }
+        Op::Edge { level, from, to } => {
+            let owner = pools.levels[*level][*from];
+            let attr = if *level == 0 { "A1" } else { "A2" };
+            let value = match to {
+                Some(t) => Value::Ref(pools.levels[*level + 1][*t]),
+                None => Value::Null,
+            };
+            db.set_attribute(owner, attr, value).unwrap();
+        }
+        Op::Name { idx, name } => {
+            let owner = pools.levels[2][*idx];
+            db.set_attribute(owner, "Name", Value::string(*name))
+                .unwrap();
+        }
+    }
+}
+
+/// A seeded script whose ops are always valid against the mirrored
+/// pools (indices are generated modulo the pool size at that point).
+fn make_script(seed: u64) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sizes = [0usize; 3];
+    let mut script = Vec::new();
+    // Seed every level so edges and renames always have targets.
+    for (level, size) in sizes.iter_mut().enumerate() {
+        for _ in 0..4 {
+            script.push(Op::New(level));
+            *size += 1;
+        }
+    }
+    while script.len() < BATCHES * BATCH {
+        let roll = rng.gen_range(0u32..10);
+        let op = if roll < 3 {
+            let level = rng.gen_range(0usize..3);
+            sizes[level] += 1;
+            Op::New(level)
+        } else if roll < 8 {
+            let level = rng.gen_range(0usize..2);
+            Op::Edge {
+                level,
+                from: rng.gen_range(0..sizes[level]),
+                to: if rng.gen_range(0u32..10) < 8 {
+                    Some(rng.gen_range(0..sizes[level + 1]))
+                } else {
+                    None
+                },
+            }
+        } else {
+            Op::Name {
+                idx: rng.gen_range(0..sizes[2]),
+                name: NAMES[rng.gen_range(0..NAMES.len())],
+            }
+        };
+        script.push(op);
+    }
+    script.truncate(BATCHES * BATCH);
+    script
+}
+
+/// Everything a reader needs to re-answer one epoch bit-identically:
+/// the pinned view, the query inputs valid at publish time, and the
+/// writer's own answer digest.
+struct Published {
+    snap: Snapshot,
+    starts: Vec<Oid>,
+    digest: String,
+}
+
+/// Deterministic answer digest over a pinned view: row/object counts,
+/// every forward chain from `starts`, every backward chain to the
+/// candidate names.  Epoch is deliberately excluded so the serial
+/// oracle (whose epoch counter starts fresh) can be compared.
+fn digest(snap: &Snapshot, asr: AsrId, starts: &[Oid]) -> String {
+    let mut out = format!(
+        "objects={};rows={}",
+        snap.object_count(),
+        snap.total_rows(asr).unwrap()
+    );
+    for &start in starts {
+        out.push_str(&format!(
+            ";fw {start:?}={:?}",
+            snap.forward(asr, 0, 3, start).unwrap()
+        ));
+    }
+    for name in NAMES {
+        out.push_str(&format!(
+            ";bw {name}={:?}",
+            snap.backward(asr, 0, 3, &Cell::Value(Value::string(name)))
+                .unwrap()
+        ));
+    }
+    out
+}
+
+#[test]
+fn concurrent_readers_see_prefix_consistent_epochs() {
+    let seed = fuzz_seed();
+    let script = make_script(seed);
+    let (mut db, path) = chain_db();
+    let asr = db
+        .create_asr(
+            path.clone(),
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(3),
+                keep_set_oids: false,
+            },
+        )
+        .unwrap();
+
+    let published: Arc<Mutex<Vec<Arc<Published>>>> = Arc::new(Mutex::new(Vec::new()));
+    let done = AtomicBool::new(false);
+
+    // `Database` is intentionally single-owner (its tracer is `Rc`-based
+    // and !Send); only `Snapshot` crosses threads.  So the writer runs
+    // on this thread while the spawned readers race it.
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let published_r = Arc::clone(&published);
+                let done_ref = &done;
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed ^ (r as u64 + 1));
+                    let mut checks = 0usize;
+                    // Race the writer: sample random live epochs.
+                    while !done_ref.load(Ordering::SeqCst) {
+                        let pick = {
+                            let shelf = published_r.lock().unwrap();
+                            if shelf.is_empty() {
+                                None
+                            } else {
+                                Some(Arc::clone(&shelf[rng.gen_range(0..shelf.len())]))
+                            }
+                        };
+                        if let Some(p) = pick {
+                            assert_eq!(
+                                digest(&p.snap, asr, &p.starts),
+                                p.digest,
+                                "reader {r}: a pinned epoch moved under concurrent writes"
+                            );
+                            checks += 1;
+                        }
+                        std::thread::yield_now();
+                    }
+                    // Final sweep: every epoch verified by every reader.
+                    let shelf: Vec<Arc<Published>> =
+                        published_r.lock().unwrap().iter().cloned().collect();
+                    assert_eq!(shelf.len(), BATCHES);
+                    for (k, p) in shelf.iter().enumerate() {
+                        assert_eq!(
+                            digest(&p.snap, asr, &p.starts),
+                            p.digest,
+                            "reader {r}: epoch of batch {k} drifted"
+                        );
+                    }
+                    checks
+                })
+            })
+            .collect();
+
+        let mut pools = Pools::default();
+        let mut last_epoch = 0;
+        for (k, chunk) in script.chunks(BATCH).enumerate() {
+            for op in chunk {
+                apply(&mut db, &mut pools, op);
+            }
+            let snap = db.snapshot();
+            assert!(
+                snap.epoch() > last_epoch,
+                "batch {k}: epochs must advance past mutations"
+            );
+            last_epoch = snap.epoch();
+            let starts = pools.levels[0].clone();
+            let d = digest(&snap, asr, &starts);
+            published.lock().unwrap().push(Arc::new(Published {
+                snap,
+                starts,
+                digest: d,
+            }));
+            // Give readers a slice of every epoch's lifetime.
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::SeqCst);
+
+        for reader in readers {
+            reader.join().expect("reader panicked");
+        }
+    });
+    let final_state = db;
+
+    // Serial oracle: every published epoch equals a fresh replay of its
+    // prefix, and the final state equals the full-script replay.
+    let script = make_script(seed);
+    let (mut oracle, path) = chain_db();
+    let oracle_asr = oracle
+        .create_asr(
+            path,
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(3),
+                keep_set_oids: false,
+            },
+        )
+        .unwrap();
+    assert_eq!(oracle_asr, asr);
+    let mut pools = Pools::default();
+    let shelf = published.lock().unwrap();
+    for (k, chunk) in script.chunks(BATCH).enumerate() {
+        for op in chunk {
+            apply(&mut oracle, &mut pools, op);
+        }
+        let oracle_snap = oracle.snapshot();
+        assert_eq!(
+            digest(&oracle_snap, asr, &pools.levels[0]),
+            shelf[k].digest,
+            "batch {k}: published epoch diverged from the serial prefix oracle"
+        );
+    }
+    assert_eq!(
+        final_state.save_to_string(),
+        oracle.save_to_string(),
+        "final writer state diverged from the serial oracle"
+    );
+}
+
+/// Epoch pins actually hold memory consistent: a snapshot taken before
+/// a rename keeps answering with the old name from another thread, and
+/// reclamation only counts epochs whose readers are gone.
+#[test]
+fn pinned_epoch_survives_rename_and_reclaims_after_drop() {
+    let (mut db, path) = chain_db();
+    let asr = db
+        .create_asr(
+            path,
+            AsrConfig {
+                extension: Extension::Full,
+                decomposition: Decomposition::binary(3),
+                keep_set_oids: false,
+            },
+        )
+        .unwrap();
+    let t0 = db.instantiate("T0").unwrap();
+    let t1 = db.instantiate("T1").unwrap();
+    let t2 = db.instantiate("T2").unwrap();
+    db.set_attribute(t0, "A1", Value::Ref(t1)).unwrap();
+    db.set_attribute(t1, "A2", Value::Ref(t2)).unwrap();
+    db.set_attribute(t2, "Name", Value::string("old")).unwrap();
+
+    let old_view = db.snapshot();
+    db.set_attribute(t2, "Name", Value::string("new")).unwrap();
+    let new_view = db.snapshot();
+    assert!(new_view.epoch() > old_view.epoch());
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            (
+                old_view.forward(asr, 0, 3, t0).unwrap(),
+                new_view.forward(asr, 0, 3, t0).unwrap(),
+            )
+        });
+        let (old_cells, new_cells) = handle.join().unwrap();
+        assert_eq!(old_cells, vec![Cell::Value(Value::string("old"))]);
+        assert_eq!(new_cells, vec![Cell::Value(Value::string("new"))]);
+    });
+
+    let before = db.txn_status();
+    assert_eq!(before.active_snapshots, 2);
+    drop(old_view);
+    drop(new_view);
+    let _fresh = db.snapshot();
+    let after = db.txn_status();
+    assert!(
+        after.epochs_reclaimed > before.epochs_reclaimed,
+        "dropped pins must be reclaimed"
+    );
+    assert_eq!(after.active_snapshots, 1);
+}

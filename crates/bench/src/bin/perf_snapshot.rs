@@ -1,4 +1,4 @@
-//! Machine-readable performance snapshot (`BENCH_8.json`) and the
+//! Machine-readable performance snapshot (`BENCH_9.json`) and the
 //! perf-trend gate over the whole `BENCH_*.json` series.
 //!
 //! ```text
@@ -29,6 +29,12 @@
 //! * the PITR cost curve: `recover_to_lsn` priced at bounds 0–100% of
 //!   the tip, showing replay cost growing with bound distance from the
 //!   covering checkpoint;
+//! * the concurrency comparison (`asr_bench::concurrency`): group-commit
+//!   fsyncs per committed op at session counts 1/2/4/8 (deterministic:
+//!   one modeled fsync per full group, so the ratio is `1/sessions`),
+//!   and snapshot-isolated reader throughput at reader counts 1/2/4/8
+//!   racing a live committing writer (row counts deterministic,
+//!   wall/qps informational);
 //! * the serving comparison (`asr_bench::serving`): scatter-gather
 //!   span-query throughput at shard counts 1/2/4 with the fleet's merged
 //!   and hottest-shard page accounting (deterministic, gated), plus a
@@ -52,6 +58,7 @@
 
 use std::time::Instant;
 
+use asr_bench::concurrency::{measure_concurrency, ConcurrencyBench, ReadPoint, WritePoint};
 use asr_bench::experiments::{registry, run_entries, run_entries_sharded};
 use asr_bench::recovery::{
     measure_delta_checkpoint, measure_pitr, measure_recovery, measure_replication,
@@ -84,7 +91,7 @@ const RECOVERY_DELTA_OPS: usize = 16;
 const PITR_DELTA_OPS: usize = 64;
 
 fn main() {
-    let mut out_path = String::from("BENCH_8.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut check_only = false;
     let mut trend_mode = false;
     let mut trend_dir = String::from(".");
@@ -189,6 +196,9 @@ fn main() {
     eprintln!("measuring serving: scatter-gather throughput at 1/2/4 shards + chaos leg ...");
     let serving = measure_serving();
 
+    eprintln!("measuring concurrency: group-commit fsyncs/op + snapshot readers at 1/2/4/8 ...");
+    let concurrency = measure_concurrency();
+
     eprintln!("timing the full suite, --jobs 1 ...");
     let jobs1 = Instant::now();
     let (_, suite_io1) = run_entries_sharded(&all, 1);
@@ -218,13 +228,13 @@ fn main() {
         format!("\"speedup_jobs4\": {:.2}", jobs1_ms / jobs4_ms.max(1e-9))
     };
     let json = format!(
-        "{{\n  \"schema\": \"asr-bench-snapshot/7\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+        "{{\n  \"schema\": \"asr-bench-snapshot/8\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
          \"wall_ms\": {fig6_ms:.1},\n      \"workload\": \"Q_{{0,n}}(bw) x{QUERY_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }},\n    \"fig11\": {{\n      \
          \"wall_ms\": {fig11_ms:.1},\n      \"workload\": \"ins_3 x{UPDATE_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }}\n  }},\n  \
          \"recovery\": {},\n  \"replication\": {},\n  \"delta_checkpoint\": {},\n  \
-         \"pitr\": {},\n  \"serving\": {},\n  \"all\": {{\n    \
+         \"pitr\": {},\n  \"serving\": {},\n  \"concurrency\": {},\n  \"all\": {{\n    \
          \"figures\": {},\n    \"cpus\": {cpus},\n    \"jobs1_wall_ms\": {jobs1_ms:.1},\n    \
          \"jobs4_wall_ms\": {jobs4_ms:.1},\n    {speedup},\n    \
          \"suite_io\": {{ \"page_reads\": {}, \"page_writes\": {}, \"buffer_hits\": {}, \
@@ -236,6 +246,7 @@ fn main() {
         delta_checkpoint_json(&delta_ckpt),
         pitr_json(&pitr),
         serving_json(&serving),
+        concurrency_json(&concurrency, cpus),
         all.len(),
         suite_io1.reads,
         suite_io1.writes,
@@ -365,6 +376,59 @@ fn serving_json(b: &ServingBench) -> String {
          \"injected_faults\": {}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \
          \"p99\": {:.3} }} }}\n  }}",
         c.seed, c.queries, c.retries, c.injected, c.p50_ms, c.p95_ms, c.p99_ms
+    )
+}
+
+fn write_point_json(p: &WritePoint) -> String {
+    // `fsyncs` and `fsyncs_per_op` are deterministic (one modeled fsync
+    // per full group) and trend-gated; wall-clock is informational.
+    format!(
+        "      {{ \"sessions\": {}, \"commits\": {}, \"records\": {}, \"fsyncs\": {}, \
+         \"fsyncs_per_op\": {:.4}, \"wall_ms\": {:.2} }}",
+        p.sessions,
+        p.commits,
+        p.records,
+        p.fsyncs,
+        p.fsyncs_per_op(),
+        p.wall_ms
+    )
+}
+
+fn read_point_json(p: &ReadPoint, cpus: usize) -> String {
+    // Row totals are deterministic (every reader answers from the same
+    // pinned epoch); wall/qps are host-dependent.  On a single-CPU
+    // container aggregate qps cannot scale with reader count, so it is
+    // reported as `null` there — the same honesty rule as
+    // `speedup_jobs4`.
+    let qps = if cpus < 2 {
+        "null".to_string()
+    } else {
+        format!("{:.0}", p.qps)
+    };
+    format!(
+        "      {{ \"readers\": {}, \"queries\": {}, \"rows\": {}, \"writer_commits\": {}, \
+         \"wall_ms\": {:.2}, \"qps\": {qps} }}",
+        p.readers, p.queries, p.rows, p.writer_commits, p.wall_ms
+    )
+}
+
+fn concurrency_json(b: &ConcurrencyBench, cpus: usize) -> String {
+    let write = b
+        .write_points
+        .iter()
+        .map(write_point_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let read = b
+        .read_points
+        .iter()
+        .map(|p| read_point_json(p, cpus))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n    \"workload\": \"group-commit ins-leaf commits and pinned-snapshot span sweeps \
+         on the 12/24/48/96 chain, full/binary ASR, sessions/readers 1-8\",\n    \
+         \"write\": [\n{write}\n    ],\n    \"read\": [\n{read}\n    ]\n  }}"
     )
 }
 

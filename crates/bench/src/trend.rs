@@ -216,7 +216,11 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 }
 
 /// Flatten every numeric leaf to `(dotted.path, value)`, indexing array
-/// elements by position (`pitr.points.0.pages_read`).
+/// elements by position (`pitr.points.0.pages_read`).  JSON `null`
+/// leaves are kept as `NaN` so the gate can tell "measured as
+/// unavailable" (e.g. `speedup_jobs4: null` on a single-CPU host) apart
+/// from "metric absent": a null baseline means *skip*, never "diff
+/// against an older snapshot that did have a number".
 pub fn flatten(value: &Json) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     walk(value, String::new(), &mut out);
@@ -228,6 +232,9 @@ fn walk(value: &Json, prefix: String, out: &mut BTreeMap<String, f64>) {
         Json::Num(n) => {
             out.insert(prefix, *n);
         }
+        Json::Null => {
+            out.insert(prefix, f64::NAN);
+        }
         Json::Arr(items) => {
             for (i, item) in items.iter().enumerate() {
                 walk(item, join(&prefix, &i.to_string()), out);
@@ -238,7 +245,7 @@ fn walk(value: &Json, prefix: String, out: &mut BTreeMap<String, f64>) {
                 walk(item, join(&prefix, key), out);
             }
         }
-        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+        Json::Bool(_) | Json::Str(_) => {}
     }
 }
 
@@ -270,8 +277,15 @@ pub fn is_gated(path: &str) -> bool {
     let leaf = path.rsplit('.').next().unwrap_or(path);
     matches!(
         leaf,
-        "page_reads" | "page_writes" | "pages_read" | "pages" | "bytes_shipped" | "deliveries"
+        "page_reads"
+            | "page_writes"
+            | "pages_read"
+            | "pages"
+            | "bytes_shipped"
+            | "deliveries"
+            | "fsyncs"
     ) || leaf.ends_with("_page_ratio")
+        || leaf.ends_with("_per_op")
 }
 
 /// One gated metric that grew past tolerance.
@@ -327,7 +341,9 @@ impl TrendReport {
 }
 
 fn fmt_value(v: f64) -> String {
-    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e15 {
+    if v.is_nan() {
+        "null".to_string()
+    } else if (v - v.round()).abs() < 1e-9 && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
         format!("{v:.4}")
@@ -410,7 +426,7 @@ pub fn analyze(snapshots: &[Snapshot], tolerance: f64) -> Result<TrendReport, St
     let mut regressions = Vec::new();
     let (newest, history) = snapshots.split_last().expect("non-empty checked above");
     for (metric, &current) in &newest.metrics {
-        if !is_gated(metric) {
+        if !is_gated(metric) || current.is_nan() {
             continue;
         }
         let Some((base_snap, baseline)) = history
@@ -420,6 +436,12 @@ pub fn analyze(snapshots: &[Snapshot], tolerance: f64) -> Result<TrendReport, St
         else {
             continue; // first appearance — nothing to compare against
         };
+        if baseline.is_nan() {
+            // The most recent measurement was `null` (e.g. a single-CPU
+            // host skipping the speedup): skip, don't reach further back
+            // and diff against a stale number.
+            continue;
+        }
         // Allow an absolute slack of 1 page/unit so tiny counts (0, 1, 2
         // pages) don't trip a percentage gate on noise-free but coarse
         // integers.
@@ -531,6 +553,37 @@ mod tests {
                     ("recovery.full_rebuild.page_reads", 700.0), // new metric
                 ],
             ),
+        ];
+        let report = analyze(&history, 0.10).expect("analyzes");
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn gate_skips_null_baselines_instead_of_reaching_further_back() {
+        // BENCH_2 measured the metric as `null` (single-CPU host): the
+        // gate must skip it, not diff BENCH_3 against BENCH_1's number.
+        let doc = r#"{"scaling": {"pages": null}}"#;
+        let nulled = flatten(&parse_json(doc).expect("parses"));
+        assert!(nulled.get("scaling.pages").expect("kept").is_nan());
+        let history = vec![
+            snap("BENCH_1", 1, &[("scaling.pages", 100.0)]),
+            Snapshot {
+                name: "BENCH_2".to_string(),
+                index: 2,
+                metrics: nulled.clone(),
+            },
+            snap("BENCH_3", 3, &[("scaling.pages", 500.0)]),
+        ];
+        let report = analyze(&history, 0.10).expect("analyzes");
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        // A null *current* value is never a regression either.
+        let history = vec![
+            snap("BENCH_1", 1, &[("scaling.pages", 100.0)]),
+            Snapshot {
+                name: "BENCH_2".to_string(),
+                index: 2,
+                metrics: nulled,
+            },
         ];
         let report = analyze(&history, 0.10).expect("analyzes");
         assert!(report.regressions.is_empty(), "{:?}", report.regressions);

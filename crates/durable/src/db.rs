@@ -31,12 +31,15 @@
 //! either way, and a failed append poisons the session so nothing
 //! unlogged can be acknowledged afterwards.
 //!
-//! A checkpoint flushes the WAL, atomically writes the snapshot (with its
-//! covering LSN in the header), rewrites the manifest, and removes the
-//! log.  The snapshot's *own* header LSN is authoritative during
-//! recovery, so every crash window is safe: a new snapshot next to a
-//! stale manifest or a not-yet-removed log merely causes records with
-//! `lsn <= checkpoint LSN` to be skipped.
+//! A checkpoint is *fuzzy*: `begin_checkpoint` flushes the WAL, takes
+//! the fence LSN, and pins the state at the fence in an immutable
+//! snapshot ([`asr_core::CheckpointSource`]); `complete_checkpoint`
+//! serializes from that pin — concurrently with new commits — and
+//! atomically writes the snapshot (with the fence LSN in its header)
+//! before rewriting the manifest.  The log is never truncated by a
+//! checkpoint: the snapshot's *own* header LSN is authoritative during
+//! recovery, so records with `lsn <= checkpoint LSN` are simply skipped
+//! and the next rotation seals them away.
 //!
 //! # Recovery
 //!
@@ -60,9 +63,12 @@ use std::collections::BTreeMap;
 use std::ops::Deref;
 use std::path::Path;
 use std::rc::Rc;
+use std::time::Instant;
 
-use asr_core::{AsrConfig, AsrId, AsrLoadMode, Database, Decomposition, Extension};
-use asr_gom::{Oid, Value};
+use asr_core::{
+    AsrConfig, AsrId, AsrLoadMode, CheckpointSource, Database, Decomposition, Extension, Snapshot,
+};
+use asr_gom::{Oid, Schema, Value};
 use asr_obs::FlightRecorder;
 use asr_pagesim::{StructureId, StructureKind, PAGE_SIZE};
 
@@ -175,6 +181,8 @@ pub struct WalStatus {
     /// Modeled pages an equivalent *full* checkpoint would have written
     /// (equals `last_checkpoint_pages` when the last one was full).
     pub last_checkpoint_pages_full: u64,
+    /// Group-commit pipeline counters, when the pipeline is enabled.
+    pub group: Option<GroupCommitStatus>,
 }
 
 /// What [`DurableDatabase::checkpoint_delta`] wrote.
@@ -200,6 +208,104 @@ impl DeltaCheckpointReport {
     /// `true` when the checkpoint was written as a delta.
     pub fn is_delta(&self) -> bool {
         self.base_lsn.is_some()
+    }
+}
+
+/// Histogram bounds for group-commit batch sizes (records and sessions
+/// per flushed group).
+const GROUP_BATCH_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+/// Histogram bounds for group-commit latency (milliseconds from the
+/// first pending commit to the flush that made it durable).
+const GROUP_COMMIT_MS_BOUNDS: [f64; 6] = [0.05, 0.1, 0.5, 1.0, 5.0, 20.0];
+
+/// Live state of the cross-session group-commit pipeline.
+///
+/// While enabled, the WAL runs under [`FlushPolicy::Explicit`] and
+/// sessions announce commit points through
+/// [`DurableDatabase::submit_commit`]; the pipeline flushes once per
+/// *group* of commits — one `storage.append` (the modeled fsync) covers
+/// every record of every session in the batch.
+#[derive(Debug)]
+struct GroupCommit {
+    /// Flush once this many sessions have a commit pending.
+    target: usize,
+    /// Sessions with a commit submitted but not yet durable.
+    pending: usize,
+    /// When the oldest pending commit arrived (drives the commit-latency
+    /// histogram); `None` while the group is empty.
+    opened: Option<Instant>,
+    /// Policy to restore when the pipeline is disabled.
+    prev_policy: FlushPolicy,
+    /// Groups flushed (batches that carried at least one record).
+    groups: u64,
+    /// Session commits made durable.
+    commits: u64,
+    /// Records made durable through the pipeline.
+    records: u64,
+    /// Modeled fsyncs (non-empty flushes) the pipeline performed.
+    fsyncs: u64,
+}
+
+/// Point-in-time counters of the group-commit pipeline (the
+/// `wal.group.*` slice of [`WalStatus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitStatus {
+    /// Sessions per group the pipeline waits for before flushing.
+    pub target: usize,
+    /// Sessions with a commit pending in the currently open group.
+    pub pending_sessions: usize,
+    /// Groups flushed so far.
+    pub groups: u64,
+    /// Session commits made durable so far.
+    pub commits: u64,
+    /// Records made durable through the pipeline so far.
+    pub records: u64,
+    /// Modeled fsyncs the pipeline performed so far.
+    pub fsyncs: u64,
+}
+
+impl GroupCommitStatus {
+    /// Fsyncs per committed session — the group-commit win (`< 1.0`
+    /// whenever batches carry more than one session's commit).
+    pub fn fsyncs_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.fsyncs as f64 / self.commits as f64
+        }
+    }
+}
+
+/// A checkpoint that has been *begun* but not yet published.
+///
+/// [`DurableDatabase::begin_checkpoint`] takes the WAL fence LSN and
+/// pins the database state at that fence in an immutable
+/// [`CheckpointSource`]; the session may keep committing — and readers
+/// may keep querying [`PendingCheckpoint::snapshot`] — while the caller
+/// serializes and publishes the image with
+/// [`DurableDatabase::complete_checkpoint`].
+#[derive(Debug)]
+pub struct PendingCheckpoint {
+    fence: u64,
+    base_lsn: u64,
+    want_delta: bool,
+    ids: Vec<String>,
+    source: CheckpointSource,
+}
+
+impl PendingCheckpoint {
+    /// The LSN this checkpoint will cover once published: every record
+    /// at or below the fence is inside the pinned image, every record
+    /// above it stays in the log for replay.
+    pub fn fence(&self) -> u64 {
+        self.fence
+    }
+
+    /// The pinned read-only view the checkpoint serializes from.
+    /// Queries against it run concurrently with the session's writes
+    /// *and* with [`DurableDatabase::complete_checkpoint`] itself.
+    pub fn snapshot(&self) -> &Snapshot {
+        self.source.snapshot()
     }
 }
 
@@ -257,6 +363,15 @@ pub struct DurableDatabase<S: Storage> {
     /// Modeled pages the last checkpoint wrote and what a full one would
     /// have cost — the `\wal status` "pages saved vs full" line.
     last_ckpt_pages: (u64, u64),
+    /// The cross-session group-commit pipeline, when enabled.
+    group: Option<GroupCommit>,
+    /// Highest fence a [`Self::begin_checkpoint`] ever took.  Beginning
+    /// a checkpoint resets the database's dirty tracking at the fence,
+    /// so if a pending checkpoint is abandoned (never completed) the
+    /// next delta would silently miss the pre-fence changes — deltas are
+    /// therefore refused until a *full* checkpoint republishes past the
+    /// orphaned fence.
+    fuzzy_fence: u64,
     /// Black-box recorder subscribed to the database's tracer; failure
     /// paths read their last-N-events tail from here.
     flightrec: Rc<FlightRecorder>,
@@ -305,6 +420,8 @@ impl<S: Storage> DurableDatabase<S> {
             active_first_lsn: 1,
             segment_threshold: DEFAULT_SEGMENT_THRESHOLD,
             last_ckpt_pages: (0, 0),
+            group: None,
+            fuzzy_fence: 0,
             flightrec,
         };
         this.checkpoint()?;
@@ -348,6 +465,8 @@ impl<S: Storage> DurableDatabase<S> {
             active_first_lsn: r.active_first_lsn,
             segment_threshold: DEFAULT_SEGMENT_THRESHOLD,
             last_ckpt_pages: (0, 0),
+            group: None,
+            fuzzy_fence: r.checkpoint_lsn,
             flightrec,
         };
         if r.ids_remapped {
@@ -544,14 +663,27 @@ impl<S: Storage> DurableDatabase<S> {
         &self.flightrec
     }
 
-    /// Give up durability and keep the in-memory database.
-    pub fn into_database(self) -> Database {
-        self.db
+    /// Give up durability and keep the in-memory database.  When the
+    /// group-commit pipeline is on, buffered records are flushed first
+    /// (best effort) so a clean teardown loses nothing.
+    pub fn into_database(mut self) -> Database {
+        if self.group.is_some() && !self.poisoned && self.wal.pending_records() > 0 {
+            let _ = self.flush_wal_accounted();
+        }
+        std::mem::replace(&mut self.db, Database::new(Schema::new()))
     }
 
     /// The wrapped database (also available through `Deref`).
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// Pin a snapshot-isolated read view at the current commit epoch
+    /// (see [`Database::snapshot`]).  The view is `Send` — readers on
+    /// other threads keep answering from it, bit-identically, while
+    /// this session continues to apply and log mutations.
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.db.snapshot()
     }
 
     // ------------------------------------------------------------------
@@ -575,6 +707,7 @@ impl<S: Storage> DurableDatabase<S> {
             delta_chain_depth: self.manifest.delta_depth(self.checkpoint_lsn),
             last_checkpoint_pages: self.last_ckpt_pages.0,
             last_checkpoint_pages_full: self.last_ckpt_pages.1,
+            group: self.group_commit_status(),
         }
     }
 
@@ -604,73 +737,236 @@ impl<S: Storage> DurableDatabase<S> {
     pub fn flush(&mut self) -> Result<()> {
         self.check_alive()?;
         let span = self.db.tracer().span("wal.flush");
-        let before = self.wal.durable_bytes();
-        let res = self.wal.flush(&mut self.storage);
-        self.note_log_growth(before);
-        self.poison_on_err(res)?;
+        self.flush_wal_accounted()?;
         span.finish();
         self.maybe_rotate()
     }
 
-    /// Checkpoint: flush, seal the active log into a segment, archive a
-    /// PITR copy of the snapshot, publish the manifest, then atomically
-    /// replace `checkpoint.snap` and truncate the log.
+    // ------------------------------------------------------------------
+    // Group commit
+    // ------------------------------------------------------------------
+
+    /// Turn on the cross-session group-commit pipeline: the WAL switches
+    /// to [`FlushPolicy::Explicit`] and commits submitted through
+    /// [`Self::submit_commit`] are batched — the group flushes (one
+    /// `storage.append`, the modeled fsync) once `target` sessions have
+    /// a commit pending, amortizing one fsync over the whole batch.
     ///
-    /// The ordering makes every crash window fall *backwards*: the
-    /// segment + archive + `segments.manifest` are all published before
-    /// the new `checkpoint.snap`, so a crash anywhere in between
-    /// recovers from the previous checkpoint with a longer replay
-    /// (duplicates between the fresh segment and the still-present
-    /// `wal.log` are skipped by LSN), never from a checkpoint whose
-    /// history is missing.
-    pub fn checkpoint(&mut self) -> Result<()> {
-        self.checkpoint_inner(false).map(|_| ())
+    /// Explicit [`Self::flush`], checkpoints, and rotation still flush
+    /// immediately; they close (and account) the open group.  Dropping
+    /// the database or calling [`Self::into_database`] with the pipeline
+    /// on flushes buffered records, so a clean teardown loses nothing.
+    pub fn enable_group_commit(&mut self, target: usize) {
+        let target = target.max(1);
+        match self.group.as_mut() {
+            Some(g) => g.target = target,
+            None => {
+                let prev_policy = self.wal.policy();
+                self.wal.set_policy(FlushPolicy::Explicit);
+                self.group = Some(GroupCommit {
+                    target,
+                    pending: 0,
+                    opened: None,
+                    prev_policy,
+                    groups: 0,
+                    commits: 0,
+                    records: 0,
+                    fsyncs: 0,
+                });
+            }
+        }
     }
 
-    /// [`Self::checkpoint`], but write only what changed since the
-    /// current checkpoint: an `ASRDB 3` delta whose base is the previous
-    /// checkpoint, with lineage recorded as a `D` record in
-    /// `segments.manifest`.  Falls back to a full checkpoint — reported,
-    /// never an error — when the physical design changed (deltas never
-    /// span ASR creation/drop or type-size changes), when the base
-    /// archive is gone, or when the chain would exceed
-    /// [`DELTA_CHAIN_LIMIT`].  A call with nothing logged since the
-    /// current checkpoint is a no-op (republishing a same-LSN delta
-    /// would overwrite its own base archive).
-    pub fn checkpoint_delta(&mut self) -> Result<DeltaCheckpointReport> {
-        self.checkpoint_inner(true)
-    }
-
-    fn checkpoint_inner(&mut self, want_delta: bool) -> Result<DeltaCheckpointReport> {
+    /// Turn the pipeline off: flush whatever the open group holds, then
+    /// restore the flush policy that was active before
+    /// [`Self::enable_group_commit`].
+    pub fn disable_group_commit(&mut self) -> Result<()> {
+        if self.group.is_none() {
+            return Ok(());
+        }
         self.check_alive()?;
-        let mut span = self.db.tracer().span("wal.checkpoint");
+        self.flush_wal_accounted()?;
+        let g = self.group.take().expect("checked above");
+        self.wal.set_policy(g.prev_policy);
+        self.maybe_rotate()
+    }
+
+    /// Announce a session's commit point to the group-commit pipeline.
+    ///
+    /// Returns `Ok(true)` when the commit is durable on return (the
+    /// group reached its target and flushed, or the pipeline is off and
+    /// this degenerated to [`Self::flush`]); `Ok(false)` when the commit
+    /// is parked in the open group, to be made durable by the flush that
+    /// closes it.
+    pub fn submit_commit(&mut self) -> Result<bool> {
+        self.check_alive()?;
+        if self.group.is_none() {
+            self.flush()?;
+            return Ok(true);
+        }
+        let (pending, target) = {
+            let g = self.group.as_mut().expect("checked above");
+            g.pending += 1;
+            if g.opened.is_none() {
+                g.opened = Some(Instant::now());
+            }
+            (g.pending, g.target)
+        };
+        if pending >= target {
+            self.flush()?;
+            return Ok(true);
+        }
+        self.db
+            .tracer()
+            .metrics()
+            .set_gauge("wal.group.pending_sessions", pending as f64);
+        Ok(false)
+    }
+
+    /// Pipeline counters, `None` while group commit is off.
+    pub fn group_commit_status(&self) -> Option<GroupCommitStatus> {
+        self.group.as_ref().map(|g| GroupCommitStatus {
+            target: g.target,
+            pending_sessions: g.pending,
+            groups: g.groups,
+            commits: g.commits,
+            records: g.records,
+            fsyncs: g.fsyncs,
+        })
+    }
+
+    /// Flush the WAL and settle the group-commit ledger: the pending
+    /// commits (and the records that carried them) are durable after
+    /// the single `storage.append` a flush performs, so the open group
+    /// closes here and the `wal.group.*` metrics record the batch.
+    fn flush_wal_accounted(&mut self) -> Result<()> {
+        let records = self.wal.pending_records() as u64;
         let before = self.wal.durable_bytes();
         let res = self.wal.flush(&mut self.storage);
         self.note_log_growth(before);
         self.poison_on_err(res)?;
-        if want_delta && self.wal.last_lsn() == self.checkpoint_lsn {
-            // Nothing logged since the current checkpoint: a delta here
-            // would take the same LSN — and the same archive file name —
-            // as its own base.  Report the standing lineage instead.
-            span.add_attr("mode", "noop".to_string());
-            span.finish();
-            return Ok(DeltaCheckpointReport {
-                lsn: self.checkpoint_lsn,
-                base_lsn: self.manifest.delta_base_of(self.checkpoint_lsn),
-                chain_depth: self.manifest.delta_depth(self.checkpoint_lsn),
-                ..DeltaCheckpointReport::default()
-            });
+        let Some(g) = self.group.as_mut() else {
+            return Ok(());
+        };
+        let sessions = g.pending as u64;
+        let elapsed_ms = g
+            .opened
+            .take()
+            .map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
+        g.pending = 0;
+        g.commits += sessions;
+        g.records += records;
+        if records > 0 {
+            g.groups += 1;
+            g.fsyncs += 1;
         }
-        let sealed = self.seal_active_log()?;
-        let lsn = self.wal.last_lsn();
+        let metrics = self.db.tracer().metrics();
+        metrics.set_gauge("wal.group.pending_sessions", 0.0);
+        if sessions > 0 {
+            metrics.inc_counter("wal.group.commits", sessions);
+            metrics.observe(
+                "wal.group.batch_sessions",
+                &GROUP_BATCH_BOUNDS,
+                sessions as f64,
+            );
+            metrics.observe("wal.group.commit_ms", &GROUP_COMMIT_MS_BOUNDS, elapsed_ms);
+        }
+        if records > 0 {
+            metrics.inc_counter("wal.group.records", records);
+            metrics.inc_counter("wal.group.fsyncs", 1);
+            metrics.observe(
+                "wal.group.batch_records",
+                &GROUP_BATCH_BOUNDS,
+                records as f64,
+            );
+        }
+        Ok(())
+    }
+
+    /// Checkpoint: flush, pin the state at the WAL fence, archive a PITR
+    /// copy of the snapshot, publish the manifest, then atomically
+    /// replace `checkpoint.snap`.
+    ///
+    /// Composes [`Self::begin_checkpoint`] + [`Self::complete_checkpoint`];
+    /// see them for the fence/crash-window reasoning.  The log is *not*
+    /// truncated — records at or below the fence are skipped by LSN
+    /// during recovery and reclaimed by the next rotation.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let pending = self.begin_checkpoint(false)?;
+        self.complete_checkpoint(pending).map(|_| ())
+    }
+
+    /// Start a fuzzy checkpoint: flush the WAL, take the fence LSN, and
+    /// pin the database state at that fence in an immutable
+    /// [`CheckpointSource`] snapshot — without pausing the session.
+    ///
+    /// Performs **no storage writes** of its own, so there is no new
+    /// crash window: until [`Self::complete_checkpoint`] publishes the
+    /// image, recovery sees the previous checkpoint plus the full log.
+    /// Commits logged after `begin` carry LSNs above the fence and stay
+    /// in the log for replay over the published image.
+    ///
+    /// Abandoning the returned [`PendingCheckpoint`] is safe but resets
+    /// the delta fence: the next checkpoints fall back to full snapshots
+    /// until one publishes past the orphaned fence (beginning a
+    /// checkpoint clears the dirty tracking a delta would need).
+    pub fn begin_checkpoint(&mut self, want_delta: bool) -> Result<PendingCheckpoint> {
+        self.check_alive()?;
+        self.flush_wal_accounted()?;
+        let fence = self.wal.last_lsn();
+        let base_lsn = self.checkpoint_lsn;
+        // A delta's dirty sets are only complete when every earlier
+        // fence was published (or covered by a published checkpoint).
+        let want_delta = want_delta && self.fuzzy_fence <= base_lsn;
+        self.fuzzy_fence = fence;
         let ids: Vec<String> = self.db.asrs().map(|(id, _)| id.to_string()).collect();
-        let base = self.checkpoint_lsn;
-        let full_body = self.db.save_to_string();
+        let source = self.db.begin_checkpoint();
+        Ok(PendingCheckpoint {
+            fence,
+            base_lsn,
+            want_delta,
+            ids,
+            source,
+        })
+    }
+
+    /// Publish a begun checkpoint: archive copy + manifest entry first
+    /// (PITR history + delta lineage), then the authoritative
+    /// `checkpoint.snap` as the commit point, then the diagnostics
+    /// `MANIFEST`.
+    ///
+    /// Every crash window falls *backwards*: until `checkpoint.snap` is
+    /// replaced, recovery starts from the previous checkpoint and
+    /// replays the longer log; after it, records at or below the fence
+    /// are skipped by LSN.  Serialization reads only the pinned
+    /// [`CheckpointSource`], so commits that landed between `begin` and
+    /// `complete` are invisible to the image — they stay in the log,
+    /// above the fence.
+    pub fn complete_checkpoint(
+        &mut self,
+        pending: PendingCheckpoint,
+    ) -> Result<DeltaCheckpointReport> {
+        self.check_alive()?;
+        let PendingCheckpoint {
+            fence: lsn,
+            base_lsn: base,
+            want_delta,
+            ids,
+            source,
+        } = pending;
+        if lsn < self.checkpoint_lsn {
+            return Err(DurableError::Corrupt(format!(
+                "stale checkpoint: fence {lsn} is behind the published checkpoint {}",
+                self.checkpoint_lsn
+            )));
+        }
+        let mut span = self.db.tracer().span("wal.checkpoint");
+        let full_body = source.save_full();
         let delta_body = if want_delta
             && self.manifest.checkpoints.contains(&base)
             && self.manifest.delta_depth(base) < DELTA_CHAIN_LIMIT
         {
-            self.db.save_delta_to_string(base)
+            source.save_delta(base)
         } else {
             None
         };
@@ -681,16 +977,10 @@ impl<S: Storage> DurableDatabase<S> {
         let header = format!("{CKPT_MAGIC} {lsn}\n{ASRIDS_MAGIC} {}\n", ids.join(","));
         let snap = format!("{header}{body}");
         let full_snap_len = header.len() + full_body.len();
-        // Archive copy + manifest entry first (PITR history + delta
-        // lineage), then the authoritative checkpoint.snap as the commit
-        // point.
         let res = self
             .storage
             .write_atomic(&checkpoint_archive_name(lsn), snap.as_bytes());
         self.poison_on_err(res)?;
-        if let Some(meta) = sealed {
-            self.manifest.segments.push(meta);
-        }
         match base_lsn {
             Some(b) => self.manifest.add_delta_checkpoint(lsn, b),
             None => self.manifest.add_checkpoint(lsn),
@@ -703,14 +993,7 @@ impl<S: Storage> DurableDatabase<S> {
             .storage
             .write_atomic(MANIFEST_FILE, manifest_text(lsn).as_bytes());
         self.poison_on_err(res)?;
-        let res = self.storage.remove(WAL_FILE);
-        self.poison_on_err(res)?;
         self.checkpoint_lsn = lsn;
-        self.wal = WalWriter::new(WAL_FILE, self.wal.policy(), lsn + 1, 0);
-        self.active_first_lsn = lsn + 1;
-        // The checkpoint is the new dirty fence: the next delta carries
-        // only changes made after this point.
-        self.db.mark_clean();
         let pages_written = pages(2 * snap.len());
         let pages_full = pages(2 * full_snap_len);
         for _ in 0..pages_written {
@@ -748,16 +1031,44 @@ impl<S: Storage> DurableDatabase<S> {
         })
     }
 
+    /// [`Self::checkpoint`], but write only what changed since the
+    /// current checkpoint: an `ASRDB 3` delta whose base is the previous
+    /// checkpoint, with lineage recorded as a `D` record in
+    /// `segments.manifest`.  Falls back to a full checkpoint — reported,
+    /// never an error — when the physical design changed (deltas never
+    /// span ASR creation/drop or type-size changes), when the base
+    /// archive is gone, or when the chain would exceed
+    /// [`DELTA_CHAIN_LIMIT`].  A call with nothing logged since the
+    /// current checkpoint is a no-op (republishing a same-LSN delta
+    /// would overwrite its own base archive).
+    pub fn checkpoint_delta(&mut self) -> Result<DeltaCheckpointReport> {
+        self.check_alive()?;
+        self.flush_wal_accounted()?;
+        if self.wal.last_lsn() == self.checkpoint_lsn {
+            // Nothing logged since the current checkpoint: a delta here
+            // would take the same LSN — and the same archive file name —
+            // as its own base.  Report the standing lineage instead.
+            let mut span = self.db.tracer().span("wal.checkpoint");
+            span.add_attr("mode", "noop".to_string());
+            span.finish();
+            return Ok(DeltaCheckpointReport {
+                lsn: self.checkpoint_lsn,
+                base_lsn: self.manifest.delta_base_of(self.checkpoint_lsn),
+                chain_depth: self.manifest.delta_depth(self.checkpoint_lsn),
+                ..DeltaCheckpointReport::default()
+            });
+        }
+        let pending = self.begin_checkpoint(true)?;
+        self.complete_checkpoint(pending)
+    }
+
     /// Rotate now: seal the active log (flushing first) into a segment
     /// and publish it in `segments.manifest`.  A no-op returning `None`
     /// when the log holds no records.
     pub fn rotate_segment(&mut self) -> Result<Option<SegmentMeta>> {
         self.check_alive()?;
         let mut span = self.db.tracer().span("wal.rotate");
-        let before = self.wal.durable_bytes();
-        let res = self.wal.flush(&mut self.storage);
-        self.note_log_growth(before);
-        self.poison_on_err(res)?;
+        self.flush_wal_accounted()?;
         let Some(meta) = self.seal_active_log()? else {
             return Ok(None);
         };
@@ -1087,6 +1398,20 @@ impl<S: Storage> Deref for DurableDatabase<S> {
 
     fn deref(&self) -> &Database {
         &self.db
+    }
+}
+
+impl<S: Storage> Drop for DurableDatabase<S> {
+    /// Clean-shutdown durability for the group-commit pipeline: records
+    /// parked in an open group are flushed (best effort) so dropping a
+    /// session that batched its commits loses nothing.  Sessions
+    /// *without* the pipeline keep the historical semantics — dropping
+    /// one models a process crash, and the unflushed suffix is lost
+    /// (the crash-recovery harness relies on exactly that).
+    fn drop(&mut self) {
+        if self.group.is_some() && !self.poisoned && self.wal.pending_records() > 0 {
+            let _ = self.flush_wal_accounted();
+        }
     }
 }
 

@@ -50,9 +50,9 @@ pub mod wal;
 
 pub use crc::crc32;
 pub use db::{
-    recover_to_lsn, DeltaCheckpointReport, DurableDatabase, OpenDurable, PitrReport, PruneReport,
-    RecoveryReport, WalStatus, CHECKPOINT_FILE, DEFAULT_SEGMENT_THRESHOLD, DELTA_CHAIN_LIMIT,
-    FLIGHT_TAIL_EVENTS, MANIFEST_FILE, WAL_FILE,
+    recover_to_lsn, DeltaCheckpointReport, DurableDatabase, GroupCommitStatus, OpenDurable,
+    PendingCheckpoint, PitrReport, PruneReport, RecoveryReport, WalStatus, CHECKPOINT_FILE,
+    DEFAULT_SEGMENT_THRESHOLD, DELTA_CHAIN_LIMIT, FLIGHT_TAIL_EVENTS, MANIFEST_FILE, WAL_FILE,
 };
 pub use error::{DurableError, Result};
 pub use fault::{BitFlip, FaultPlan, FaultyStorage, ReadFlip};

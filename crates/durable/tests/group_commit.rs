@@ -1,0 +1,227 @@
+//! The cross-session commit pipeline and fuzzy checkpoints: group
+//! commit batches many sessions' commits into one modeled fsync, clean
+//! teardown never loses a parked commit, and `begin_checkpoint` /
+//! `complete_checkpoint` publish a consistent image while readers and
+//! the writer keep going.
+
+mod common;
+
+use asr_core::Database;
+use asr_durable::{DurableDatabase, FlushPolicy, MemStorage};
+use common::*;
+
+/// Commits submitted under group commit seal exactly at the target, and
+/// the whole batch rides one fsync — `fsyncs_per_commit` lands at
+/// `1/target`, not `1`.
+#[test]
+fn group_commit_batches_sessions_into_one_fsync() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x96C0);
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut dd = DurableDatabase::create(disk.clone(), seed_db, FlushPolicy::EveryRecord).unwrap();
+    const TARGET: usize = 4;
+    dd.enable_group_commit(TARGET);
+    for (i, op) in script.iter().enumerate() {
+        apply_durable(&mut dd, op).unwrap();
+        let sealed = dd.submit_commit().unwrap();
+        assert_eq!(
+            sealed,
+            (i + 1) % TARGET == 0,
+            "group must seal exactly when the {TARGET}th commit arrives (commit {i})"
+        );
+    }
+    let status = dd.group_commit_status().unwrap();
+    assert_eq!(status.commits, SCRIPT_LEN as u64);
+    assert_eq!(status.records, SCRIPT_LEN as u64, "one record per commit");
+    assert_eq!(status.fsyncs, (SCRIPT_LEN / TARGET) as u64);
+    assert_eq!(status.groups, status.fsyncs);
+    assert_eq!(status.pending_sessions, 0);
+    assert!(
+        (status.fsyncs_per_commit() - 1.0 / TARGET as f64).abs() < 1e-9,
+        "expected 1/{TARGET} fsyncs per commit, got {}",
+        status.fsyncs_per_commit()
+    );
+    assert_eq!(dd.wal_status().group, Some(status));
+    drop(dd);
+    let recovered = DurableDatabase::open(disk).unwrap();
+    assert_equivalent(
+        &recovered,
+        &oracle_at(&s0, &script, SCRIPT_LEN),
+        "group-commit recovery",
+    );
+}
+
+/// The drop-flush satellite: a session whose group never reached its
+/// target is dropped with every record still in the in-memory buffer —
+/// clean teardown flushes the open group, so recovery loses nothing.
+#[test]
+fn dropped_group_commit_session_loses_nothing() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xD80B);
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut dd = DurableDatabase::create(disk.clone(), seed_db, FlushPolicy::EveryRecord).unwrap();
+    dd.enable_group_commit(8);
+    let n = 5; // strictly below the target: the group never seals itself
+    for op in script.iter().take(n) {
+        apply_durable(&mut dd, op).unwrap();
+        assert!(!dd.submit_commit().unwrap(), "group must stay open");
+    }
+    assert_eq!(
+        dd.wal_status().pending_records,
+        n,
+        "the whole suffix is still in memory"
+    );
+    drop(dd);
+    let recovered = DurableDatabase::open(disk).unwrap();
+    assert_eq!(recovered.recovery_report().records_replayed, n as u64);
+    assert_equivalent(
+        &recovered,
+        &oracle_at(&s0, &script, n),
+        "dropped-but-not-flushed group-commit session",
+    );
+}
+
+/// `into_database` under group commit flushes the open group before
+/// surrendering the in-memory database, same as drop.
+#[test]
+fn into_database_flushes_the_open_group() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x17D8);
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut dd = DurableDatabase::create(disk.clone(), seed_db, FlushPolicy::EveryRecord).unwrap();
+    dd.enable_group_commit(8);
+    let n = 3;
+    for op in script.iter().take(n) {
+        apply_durable(&mut dd, op).unwrap();
+        assert!(!dd.submit_commit().unwrap());
+    }
+    let oracle = oracle_at(&s0, &script, n);
+    let db = dd.into_database();
+    assert_eq!(
+        db.save_to_string(),
+        oracle.save_to_string(),
+        "into_database must hand back the current state"
+    );
+    let recovered = DurableDatabase::open(disk).unwrap();
+    assert_equivalent(&recovered, &oracle, "into_database teardown");
+}
+
+/// The fuzzy-checkpoint acceptance test: a checkpoint no longer blocks
+/// concurrent snapshot reads.  The pinned view answers identically
+/// while the writer keeps committing and while `complete_checkpoint`
+/// publishes; commits that landed after the fence stay in the log and
+/// replay over the published image.
+#[test]
+fn checkpoint_overlaps_snapshot_reads_and_new_commits() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xF022);
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut dd = DurableDatabase::create(disk.clone(), seed_db, FlushPolicy::EveryRecord).unwrap();
+    let half = SCRIPT_LEN / 2;
+    for op in script.iter().take(half) {
+        apply_durable(&mut dd, op).unwrap();
+    }
+
+    let pending = dd.begin_checkpoint(false).unwrap();
+    assert_eq!(pending.fence(), half as u64, "one LSN per script op");
+    let snap = pending.snapshot().clone();
+    let pinned = (snap.object_count(), snap.asr_ids());
+
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            (0..200)
+                .map(|_| (snap.object_count(), snap.asr_ids()))
+                .collect::<Vec<_>>()
+        });
+        // The writer session keeps committing while the checkpoint is
+        // pending — these records carry LSNs above the fence.
+        for op in script.iter().skip(half) {
+            apply_durable(&mut dd, op).unwrap();
+        }
+        let report = dd.complete_checkpoint(pending).unwrap();
+        assert_eq!(report.lsn, half as u64, "image covers the fence, not HEAD");
+        for view in reader.join().unwrap() {
+            assert_eq!(view, pinned, "pinned view must never move");
+        }
+    });
+
+    drop(dd);
+    let recovered = DurableDatabase::open(disk).unwrap();
+    let report = recovered.recovery_report();
+    assert_eq!(report.checkpoint_lsn, half as u64);
+    assert_eq!(
+        report.records_replayed,
+        (SCRIPT_LEN - half) as u64,
+        "post-fence commits replay over the published image"
+    );
+    assert_equivalent(
+        &recovered,
+        &oracle_at(&s0, &script, SCRIPT_LEN),
+        "fuzzy checkpoint with concurrent commits",
+    );
+}
+
+/// Abandoning a pending checkpoint resets the dirty tracking a delta
+/// would need, so the next delta checkpoint must fall back to a full
+/// snapshot — and recovery through it must still match the oracle.
+#[test]
+fn abandoned_pending_checkpoint_forces_full_fallback() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0xABA2);
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut dd = DurableDatabase::create(disk.clone(), seed_db, FlushPolicy::EveryRecord).unwrap();
+    let n = 6;
+    for op in script.iter().take(n) {
+        apply_durable(&mut dd, op).unwrap();
+    }
+    let pending = dd.begin_checkpoint(true).unwrap();
+    drop(pending); // never completed: its fence is now orphaned
+    for op in script.iter().skip(n).take(2) {
+        apply_durable(&mut dd, op).unwrap();
+    }
+    let report = dd.checkpoint_delta().unwrap();
+    assert!(
+        !report.is_delta(),
+        "a delta over the orphaned fence would miss the pre-fence changes"
+    );
+    assert_eq!(report.lsn, (n + 2) as u64);
+    drop(dd);
+    let recovered = DurableDatabase::open(disk).unwrap();
+    assert_equivalent(
+        &recovered,
+        &oracle_at(&s0, &script, n + 2),
+        "full fallback after an abandoned begin",
+    );
+}
+
+/// A stale `PendingCheckpoint` — one whose fence is behind a checkpoint
+/// published after it was begun — is refused instead of rolling the
+/// authoritative LSN backwards.
+#[test]
+fn stale_pending_checkpoint_is_refused() {
+    let s0 = seed_snapshot();
+    let script = make_script(&s0, fuzz_seed() ^ 0x57A1);
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut dd = DurableDatabase::create(disk, seed_db, FlushPolicy::EveryRecord).unwrap();
+    for op in script.iter().take(4) {
+        apply_durable(&mut dd, op).unwrap();
+    }
+    let stale = dd.begin_checkpoint(false).unwrap();
+    for op in script.iter().skip(4).take(4) {
+        apply_durable(&mut dd, op).unwrap();
+    }
+    dd.checkpoint().unwrap(); // publishes at LSN 8, past the stale fence
+    let err = dd.complete_checkpoint(stale).unwrap_err();
+    assert!(
+        err.to_string().contains("stale checkpoint"),
+        "unexpected error: {err}"
+    );
+    // The session itself is still healthy — staleness poisons nothing.
+    dd.flush().unwrap();
+}

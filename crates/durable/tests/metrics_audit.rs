@@ -27,6 +27,9 @@ const WAL_COUNTERS: &[&str] = &[
     "wal.recovery.records_replayed",
     "wal.recovery.records_skipped",
     "wal.recovery.torn_bytes",
+    "wal.group.commits",
+    "wal.group.records",
+    "wal.group.fsyncs",
     "wal.ship.rounds",
     "wal.ship.deliveries",
     "wal.ship.records",
@@ -39,11 +42,15 @@ const WAL_GAUGES: &[&str] = &[
     "wal.segments.count",
     "wal.segments.bytes",
     "wal.ship.replica_lsn",
+    "wal.group.pending_sessions",
 ];
 const WAL_HISTOGRAMS: &[&str] = &[
     "wal.ship.bytes_per_delivery",
     "wal.ship.frames_per_round",
     "wal.ship.backoff_delay",
+    "wal.group.batch_sessions",
+    "wal.group.batch_records",
+    "wal.group.commit_ms",
 ];
 const REPLICA_GAUGES: &[&str] = &["replica.applied_lsn", "replica.gaps", "replica.corrupt"];
 
@@ -126,6 +133,14 @@ fn every_registered_metric_is_exposed_after_a_full_workload() {
     for op in script.iter().take(half) {
         apply_durable(&mut primary, op).unwrap();
     }
+    // The group-commit pipeline: two submitted commits share one fsync,
+    // populating the wal.group.* counters, gauge, and histograms.
+    primary.enable_group_commit(2);
+    primary.instantiate("BasePart").unwrap();
+    assert!(!primary.submit_commit().unwrap());
+    primary.instantiate("BasePart").unwrap();
+    assert!(primary.submit_commit().unwrap());
+    primary.disable_group_commit().unwrap();
     primary.checkpoint().unwrap();
     for op in script.iter().skip(half) {
         apply_durable(&mut primary, op).unwrap();

@@ -7,7 +7,7 @@
 //! `Err(String)` for *request* failures — the session survives; only
 //! frame damage (handled a layer up) NACKs.
 
-use asr_core::{AsrConfig, Cell, Database, Decomposition, Extension, Row};
+use asr_core::{AsrConfig, Cell, Database, Decomposition, Extension, Row, Snapshot};
 use asr_durable::{DurableDatabase, Storage};
 use asr_gom::PathExpression;
 use asr_net::{RequestBody, ResponseBody, ShardHealth};
@@ -28,6 +28,60 @@ impl<S: Storage> ServerDb<'_, S> {
             ServerDb::Plain(db) => db,
             ServerDb::Durable(db) => db.database(),
         }
+    }
+
+    /// Pin a snapshot-isolated read view at the current commit epoch —
+    /// the MVCC handle concurrent readers answer from while this view
+    /// keeps executing mutations.
+    pub fn snapshot(&mut self) -> Snapshot {
+        match self {
+            ServerDb::Plain(db) => db.snapshot(),
+            ServerDb::Durable(db) => db.snapshot(),
+        }
+    }
+}
+
+/// True when [`execute_snapshot`] can answer `body` without the live
+/// database: pure partition reads a pinned [`Snapshot`] serves
+/// bit-identically, plus `Ping`.
+pub(crate) fn is_snapshot_read(body: &RequestBody) -> bool {
+    matches!(
+        body,
+        RequestBody::Ping | RequestBody::ShardProbe { .. } | RequestBody::ShardScan { .. }
+    )
+}
+
+/// Execute a snapshot-eligible read against a pinned view, charging
+/// modeled page I/O to the snapshot's meter.  Returns `None` for bodies
+/// that need the live database (mutations, OQL plans, durable control) —
+/// the caller must route those through [`execute`].
+pub(crate) fn execute_snapshot(
+    snap: &Snapshot,
+    body: &RequestBody,
+) -> Option<Result<ResponseBody, String>> {
+    match body {
+        RequestBody::Ping => Some(Ok(ResponseBody::Ok)),
+        RequestBody::ShardProbe {
+            asr,
+            part,
+            forward,
+            keys,
+        } => Some(
+            snap.probe(*asr as usize, *part as usize, *forward, keys)
+                .map(ResponseBody::Rows)
+                .map_err(|e| e.to_string()),
+        ),
+        RequestBody::ShardScan {
+            asr,
+            part,
+            offset,
+            frontier,
+        } => Some(
+            snap.scan_filter(*asr as usize, *part as usize, *offset as usize, frontier)
+                .map(ResponseBody::Rows)
+                .map_err(|e| e.to_string()),
+        ),
+        _ => None,
     }
 }
 

@@ -18,11 +18,16 @@
 //! `last_executed`, so the client re-sends — damage delays a request but
 //! can never mis-execute it.
 
+use asr_core::Snapshot;
 use asr_durable::{Channel, Storage};
-use asr_net::{decode_frame, RequestBody, Response, ResponseBody, WireMessage};
+use asr_net::{decode_frame, Request, RequestBody, Response, ResponseBody, WireMessage};
+use asr_obs::Tracer;
 use asr_pagesim::IoSnapshot;
 
 use crate::exec::{self, ServerDb};
+
+/// Histogram bounds for per-request (and per-batch) page counts.
+const PAGE_BOUNDS: [f64; 6] = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0];
 
 /// Per-session exactly-once state.
 #[derive(Debug, Default)]
@@ -87,6 +92,180 @@ impl NetServer {
         self.applied_lsn = lsn;
     }
 
+    /// Settle a decoded request against the session's exactly-once
+    /// state: closed sessions refuse, duplicates replay the cache, stale
+    /// ids drop.  Returns the request only when it is fresh and must
+    /// execute *now* — callers that defer execution must re-admit at
+    /// execution time.
+    fn admit(
+        &mut self,
+        sid: usize,
+        req: Request,
+        tracer: &Tracer,
+        tx: &mut dyn Channel,
+        report: &mut PumpReport,
+    ) -> Option<Request> {
+        let metrics = tracer.metrics();
+        let sess = self.sessions.get_mut(sid)?;
+        if sess.closed {
+            tx.send(
+                Response {
+                    id: req.id,
+                    body: ResponseBody::Err("session closed".to_string()),
+                    io: IoSnapshot::default(),
+                }
+                .encode(),
+            );
+            return None;
+        }
+        if req.id == sess.last_executed {
+            if let Some(frame) = &sess.cached {
+                report.replayed += 1;
+                metrics.inc_counter("server.replays", 1);
+                tx.send(frame.clone());
+            }
+            return None;
+        }
+        if req.id < sess.last_executed {
+            report.dropped_stale += 1;
+            metrics.inc_counter("server.stale_dropped", 1);
+            return None;
+        }
+        Some(req)
+    }
+
+    /// Decode one delivery and [`admit`](Self::admit) it: damaged frames
+    /// NACK with the resume point, everything else settles against the
+    /// exactly-once state.
+    fn triage(
+        &mut self,
+        sid: usize,
+        delivery: &[u8],
+        tracer: &Tracer,
+        tx: &mut dyn Channel,
+        report: &mut PumpReport,
+    ) -> Option<Request> {
+        let req = match decode_frame(delivery) {
+            Some(WireMessage::Request(req)) => req,
+            _ => {
+                // Damaged (or cross-wired) frame: NACK with the resume
+                // point.  The id is unreadable, so the NACK carries 0.
+                let last = self.sessions.get(sid).map_or(0, |s| s.last_executed);
+                report.nacked += 1;
+                tracer.metrics().inc_counter("server.nacks", 1);
+                tracer.event(
+                    "server.nack",
+                    &[("session", sid.to_string()), ("last", last.to_string())],
+                );
+                tx.send(
+                    Response {
+                        id: 0,
+                        body: ResponseBody::Nack {
+                            last_executed: last,
+                        },
+                        io: IoSnapshot::default(),
+                    }
+                    .encode(),
+                );
+                return None;
+            }
+        };
+        self.admit(sid, req, tracer, tx, report)
+    }
+
+    /// Exactly-once bookkeeping for a fresh request whose outcome is
+    /// already computed: stamp, cache, count, respond.  Shared by the
+    /// serial execution path and both snapshot-read paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_fresh(
+        &mut self,
+        sid: usize,
+        tracer: &Tracer,
+        req_id: u64,
+        label: &str,
+        shutdown: bool,
+        outcome: Result<ResponseBody, String>,
+        io: IoSnapshot,
+        from_snapshot: bool,
+        tx: &mut dyn Channel,
+        report: &mut PumpReport,
+    ) {
+        let metrics = tracer.metrics();
+        let body = match outcome {
+            Ok(mut body) => {
+                if let ResponseBody::ShardStatusReply(health) = &mut body {
+                    health.applied_lsn = self.applied_lsn;
+                    health.requests = self.requests_executed + 1;
+                }
+                body
+            }
+            Err(msg) => {
+                metrics.inc_counter("server.errors", 1);
+                ResponseBody::Err(msg)
+            }
+        };
+        let frame = Response {
+            id: req_id,
+            body,
+            io,
+        }
+        .encode();
+        let sess = self
+            .sessions
+            .get_mut(sid)
+            .expect("session existed before execute");
+        sess.last_executed = req_id;
+        sess.cached = Some(frame.clone());
+        if shutdown {
+            sess.closed = true;
+            tracer.event("server.session_close", &[("session", sid.to_string())]);
+        }
+        self.requests_executed += 1;
+        report.executed += 1;
+        metrics.inc_counter("server.requests", 1);
+        metrics.inc_counter(&format!("server.requests.{label}"), 1);
+        if from_snapshot {
+            metrics.inc_counter("server.snapshot.reads", 1);
+        }
+        metrics.observe("server.request.pages", &PAGE_BOUNDS, io.accesses() as f64);
+        tx.send(frame);
+    }
+
+    /// Execute one fresh request against the live database and respond.
+    fn respond_fresh<S: Storage>(
+        &mut self,
+        sid: usize,
+        db: &mut ServerDb<'_, S>,
+        req: Request,
+        tx: &mut dyn Channel,
+        report: &mut PumpReport,
+    ) {
+        let tracer = db.db().tracer().clone();
+        let shutdown = matches!(req.body, RequestBody::Shutdown);
+        let before = db.db().stats().snapshot();
+        let outcome = exec::execute(db, &req.body);
+        let after = db.db().stats().snapshot();
+        let io = IoSnapshot {
+            reads: after.reads - before.reads,
+            writes: after.writes - before.writes,
+            buffer_hits: after.buffer_hits - before.buffer_hits,
+            batch_probes: after.batch_probes - before.batch_probes,
+            batch_pages_saved: after.batch_pages_saved - before.batch_pages_saved,
+        };
+        self.finish_fresh(
+            sid,
+            &tracer,
+            req.id,
+            req.body.label(),
+            shutdown,
+            outcome,
+            io,
+            false,
+            tx,
+            report,
+        );
+    }
+
     /// Drain `rx`, executing fresh requests against `db` and pushing every
     /// response onto `tx`.
     pub fn pump_session<S: Storage>(
@@ -97,112 +276,191 @@ impl NetServer {
         tx: &mut dyn Channel,
     ) -> PumpReport {
         let tracer = db.db().tracer().clone();
-        let metrics = tracer.metrics();
         let mut report = PumpReport::default();
         while let Some(delivery) = rx.recv() {
-            let req = match decode_frame(&delivery) {
-                Some(WireMessage::Request(req)) => req,
-                _ => {
-                    // Damaged (or cross-wired) frame: NACK with the resume
-                    // point.  The id is unreadable, so the NACK carries 0.
-                    let last = self.sessions.get(sid).map_or(0, |s| s.last_executed);
-                    report.nacked += 1;
-                    metrics.inc_counter("server.nacks", 1);
-                    tracer.event(
-                        "server.nack",
-                        &[("session", sid.to_string()), ("last", last.to_string())],
-                    );
-                    tx.send(
-                        Response {
-                            id: 0,
-                            body: ResponseBody::Nack {
-                                last_executed: last,
-                            },
-                            io: IoSnapshot::default(),
-                        }
-                        .encode(),
-                    );
+            let Some(req) = self.triage(sid, &delivery, &tracer, tx, &mut report) else {
+                continue;
+            };
+            self.respond_fresh(sid, db, req, tx, &mut report);
+        }
+        report
+    }
+
+    /// Like [`NetServer::pump_session`], but fresh snapshot-eligible
+    /// reads (`Ping`, `ShardProbe`, `ShardScan`) are answered from the
+    /// pinned `snap` — charging modeled pages to the snapshot's meter,
+    /// which rides back in the response envelope — while everything else
+    /// still executes against the live `db`.
+    pub fn pump_session_snapshot<S: Storage>(
+        &mut self,
+        sid: usize,
+        db: &mut ServerDb<'_, S>,
+        snap: &Snapshot,
+        rx: &mut dyn Channel,
+        tx: &mut dyn Channel,
+    ) -> PumpReport {
+        let tracer = db.db().tracer().clone();
+        let mut report = PumpReport::default();
+        while let Some(delivery) = rx.recv() {
+            let Some(req) = self.triage(sid, &delivery, &tracer, tx, &mut report) else {
+                continue;
+            };
+            if exec::is_snapshot_read(&req.body) {
+                let before = snap.pages_read();
+                let outcome =
+                    exec::execute_snapshot(snap, &req.body).expect("eligibility checked above");
+                let io = IoSnapshot {
+                    reads: snap.pages_read() - before,
+                    ..IoSnapshot::default()
+                };
+                self.finish_fresh(
+                    sid,
+                    &tracer,
+                    req.id,
+                    req.body.label(),
+                    false,
+                    outcome,
+                    io,
+                    true,
+                    tx,
+                    &mut report,
+                );
+            } else {
+                self.respond_fresh(sid, db, req, tx, &mut report);
+            }
+        }
+        report
+    }
+
+    /// Pump many sessions in one pass, executing each session's leading
+    /// run of snapshot-eligible reads **concurrently** on a pool of
+    /// `workers` OS threads against a single pinned [`Snapshot`], then
+    /// the remaining requests (mutations, plans, durable control)
+    /// serially in arrival order.
+    ///
+    /// Per-session ordering is exactly what serial execution would give:
+    /// a session's concurrent reads all precede its first non-read, so
+    /// they observe the commit epoch in force when the session's turn
+    /// began, and the exactly-once cache is maintained in intake order
+    /// by the serial completion phase.  Cross-session interleaving
+    /// carries no ordering guarantee in either pump, so answering every
+    /// read at one pinned epoch is indistinguishable from some serial
+    /// schedule.
+    pub fn pump_sessions_parallel<S: Storage>(
+        &mut self,
+        db: &mut ServerDb<'_, S>,
+        sessions: &mut [(usize, &mut dyn Channel, &mut dyn Channel)],
+        workers: usize,
+    ) -> PumpReport {
+        let tracer = db.db().tracer().clone();
+        let mut report = PumpReport::default();
+        // Phase 1 — serial intake: triage every delivery (damage,
+        // duplicates and staleness settle immediately); fresh requests
+        // split into the concurrent read prefix and the serial tail.
+        let mut reads: Vec<(usize, Request)> = Vec::new();
+        let mut tail: Vec<(usize, Request)> = Vec::new();
+        for (slot, (sid, rx, tx)) in sessions.iter_mut().enumerate() {
+            let mut in_tail = false;
+            // Highest id already admitted from this drain.  A repeat at
+            // or below it (a duplicated or reordered frame) must NOT be
+            // admitted again — it goes to the tail, where re-admission
+            // at execution time replays or drops it exactly as the
+            // serial pump would.  Without this, an in-batch duplicate
+            // would execute twice.
+            let mut admitted: Option<u64> = None;
+            while let Some(delivery) = rx.recv() {
+                let Some(req) = self.triage(*sid, &delivery, &tracer, *tx, &mut report) else {
+                    continue;
+                };
+                if admitted.is_some_and(|high| req.id <= high) {
+                    tail.push((slot, req));
                     continue;
                 }
-            };
-            let Some(sess) = self.sessions.get_mut(sid) else {
-                continue;
-            };
-            if sess.closed {
-                tx.send(
-                    Response {
-                        id: req.id,
-                        body: ResponseBody::Err("session closed".to_string()),
-                        io: IoSnapshot::default(),
-                    }
-                    .encode(),
-                );
-                continue;
-            }
-            if req.id == sess.last_executed {
-                if let Some(frame) = &sess.cached {
-                    report.replayed += 1;
-                    metrics.inc_counter("server.replays", 1);
-                    tx.send(frame.clone());
+                admitted = Some(req.id);
+                if !in_tail && exec::is_snapshot_read(&req.body) {
+                    reads.push((slot, req));
+                } else {
+                    in_tail = true;
+                    tail.push((slot, req));
                 }
-                continue;
             }
-            if req.id < sess.last_executed {
-                report.dropped_stale += 1;
-                metrics.inc_counter("server.stale_dropped", 1);
-                continue;
+        }
+
+        // Phase 2 — the worker pool: one snapshot pin serves every read.
+        // Workers pull indices off a shared cursor; results are slotted
+        // back by index so completion order never leaks into responses.
+        let mut outcomes: Vec<Option<Result<ResponseBody, String>>> = Vec::new();
+        if !reads.is_empty() {
+            let snap = db.snapshot();
+            outcomes.resize_with(reads.len(), || None);
+            let pool = workers.clamp(1, reads.len());
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let done: Vec<(usize, Result<ResponseBody, String>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..pool)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= reads.len() {
+                                    break local;
+                                }
+                                let outcome = exec::execute_snapshot(&snap, &reads[i].1.body)
+                                    .expect("phase 1 admits only snapshot reads");
+                                local.push((i, outcome));
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("snapshot reader panicked"))
+                    .collect()
+            });
+            for (i, outcome) in done {
+                outcomes[i] = Some(outcome);
             }
-            // Fresh request: execute exactly once.
-            let shutdown = matches!(req.body, RequestBody::Shutdown);
-            let before = db.db().stats().snapshot();
-            let outcome = exec::execute(db, &req.body);
-            let after = db.db().stats().snapshot();
-            let io = IoSnapshot {
-                reads: after.reads - before.reads,
-                writes: after.writes - before.writes,
-                buffer_hits: after.buffer_hits - before.buffer_hits,
-                batch_probes: after.batch_probes - before.batch_probes,
-                batch_pages_saved: after.batch_pages_saved - before.batch_pages_saved,
-            };
-            let body = match outcome {
-                Ok(mut body) => {
-                    if let ResponseBody::ShardStatusReply(health) = &mut body {
-                        health.applied_lsn = self.applied_lsn;
-                        health.requests = self.requests_executed + 1;
-                    }
-                    body
-                }
-                Err(msg) => {
-                    metrics.inc_counter("server.errors", 1);
-                    ResponseBody::Err(msg)
-                }
-            };
-            let frame = Response {
-                id: req.id,
-                body,
-                io,
-            }
-            .encode();
-            let sess = self
-                .sessions
-                .get_mut(sid)
-                .expect("session existed before execute");
-            sess.last_executed = req.id;
-            sess.cached = Some(frame.clone());
-            if shutdown {
-                sess.closed = true;
-                tracer.event("server.session_close", &[("session", sid.to_string())]);
-            }
-            self.requests_executed += 1;
-            report.executed += 1;
-            metrics.inc_counter("server.requests", 1);
-            metrics.inc_counter(&format!("server.requests.{}", req.body.label()), 1);
+            let metrics = tracer.metrics();
+            metrics.inc_counter("server.snapshot.batches", 1);
+            metrics.set_gauge("server.snapshot.epoch", snap.epoch() as f64);
             metrics.observe(
-                "server.request.pages",
-                &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0],
-                io.accesses() as f64,
+                "server.snapshot.batch_pages",
+                &PAGE_BOUNDS,
+                snap.pages_read() as f64,
             );
-            tx.send(frame);
+        }
+
+        // Phase 3 — serial completion: stamp, cache and send every read
+        // response in intake order (page I/O is metered per batch, not
+        // per request — the envelope carries zero), then run the tail.
+        for ((slot, req), outcome) in reads.into_iter().zip(outcomes) {
+            let outcome = outcome.expect("every admitted read executed");
+            let label = req.body.label();
+            let (sid, _, tx) = &mut sessions[slot];
+            let sid = *sid;
+            self.finish_fresh(
+                sid,
+                &tracer,
+                req.id,
+                label,
+                false,
+                outcome,
+                IoSnapshot::default(),
+                true,
+                &mut **tx,
+                &mut report,
+            );
+        }
+        for (slot, req) in tail {
+            let (sid, _, tx) = &mut sessions[slot];
+            let sid = *sid;
+            // Re-admit against the state as of *execution* time: a
+            // Shutdown earlier in this tail may have closed the session,
+            // and deferred duplicates must replay or drop, not re-run.
+            let Some(req) = self.admit(sid, req, &tracer, &mut **tx, &mut report) else {
+                continue;
+            };
+            self.respond_fresh(sid, db, req, &mut **tx, &mut report);
         }
         report
     }

@@ -35,7 +35,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 
-use asr_core::{AsrError, AsrId, Cell, Database, Row};
+use asr_core::{AsrError, AsrId, Cell, Database, Row, Snapshot};
 use asr_durable::{
     replicate, Channel, ChannelStats, ChaosProfile, DurableDatabase, FaultyChannel,
     LosslessChannel, MemStorage, ReplicaApplier, ReplicateOptions, Storage,
@@ -138,12 +138,21 @@ pub struct ShardNode {
     inbox: FaultyChannel,
     outbox: FaultyChannel,
     placed_rows: u64,
+    /// When set, probe/scan reads answer from this pinned MVCC view of
+    /// the slice instead of the live database (opt-in, see
+    /// [`ShardedDatabase::enable_snapshot_reads`]).
+    snap: Option<Snapshot>,
 }
 
 impl ShardNode {
     /// The shard's serving slice (tests and status inspection).
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// The commit epoch reads are pinned to, when snapshot serving is on.
+    pub fn snapshot_epoch(&self) -> Option<u64> {
+        self.snap.as_ref().map(|s| s.epoch())
     }
 
     /// Rows this shard kept at the last placement.
@@ -182,6 +191,11 @@ impl ShardNode {
         self.db = db;
         let lsn = self.applied_lsn();
         self.server.set_applied_lsn(lsn);
+        // Snapshot serving pins the *new* slice: a reseed moves the
+        // epoch forward, it never leaves readers on the stale image.
+        if self.snap.is_some() {
+            self.snap = Some(self.db.snapshot());
+        }
         Ok(())
     }
 }
@@ -192,10 +206,21 @@ impl Transport for ShardNode {
     }
 
     fn poll(&mut self) -> Option<Vec<u8>> {
-        let mut view = ServerDb::<MemStorage>::Plain(&mut self.db);
-        self.server
-            .pump_session(self.sid, &mut view, &mut self.inbox, &mut self.outbox);
-        self.outbox.recv()
+        let Self {
+            db,
+            server,
+            sid,
+            inbox,
+            outbox,
+            snap,
+            ..
+        } = self;
+        let mut view = ServerDb::<MemStorage>::Plain(db);
+        match snap {
+            Some(snap) => server.pump_session_snapshot(*sid, &mut view, snap, inbox, outbox),
+            None => server.pump_session(*sid, &mut view, inbox, outbox),
+        };
+        outbox.recv()
     }
 }
 
@@ -520,6 +545,7 @@ impl ShardedDatabase {
                 inbox: FaultyChannel::new(inbox_profile, inbox_seed),
                 outbox: FaultyChannel::new(outbox_profile, outbox_seed),
                 placed_rows: 0,
+                snap: None,
             };
             node.replace_slice(n)?;
             tracer.event(
@@ -577,6 +603,18 @@ impl ShardedDatabase {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.fleet.len()
+    }
+
+    /// Serve every shard's probe/scan reads from a pinned MVCC snapshot
+    /// of its slice instead of the live database.  Opt-in, so existing
+    /// charged-I/O profiles are unchanged unless asked for; the pin is
+    /// refreshed on every reseed so reads track the durable tip at
+    /// reseed granularity.
+    pub fn enable_snapshot_reads(&mut self) {
+        for client in &mut self.fleet.shards {
+            let node = client.transport_mut();
+            node.snap = Some(node.db.snapshot());
+        }
     }
 
     /// The catalog database (metadata + naive fallback).

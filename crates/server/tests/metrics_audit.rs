@@ -21,7 +21,10 @@ const SERVER_COUNTERS: &[&str] = &[
     "server.stale_dropped",
     "server.errors",
     "server.tcp.accepts",
+    "server.snapshot.reads",
+    "server.snapshot.batches",
 ];
+const SERVER_GAUGES: &[&str] = &["server.snapshot.epoch"];
 const SHARD_COUNTERS: &[&str] = &[
     "shard.place.rows",
     "shard.reseeds",
@@ -30,7 +33,11 @@ const SHARD_COUNTERS: &[&str] = &[
     "shard.scatter.rows",
 ];
 const SHARD_GAUGES: &[&str] = &["shard.count"];
-const HISTOGRAMS: &[&str] = &["server.request.pages", "shard.scatter.pages"];
+const HISTOGRAMS: &[&str] = &[
+    "server.request.pages",
+    "server.snapshot.batch_pages",
+    "shard.scatter.pages",
+];
 
 /// Extract the first string literal argument of every `method(` call in
 /// `source` (computed names are skipped by construction).
@@ -77,7 +84,10 @@ fn registry_matches_every_emit_site_in_the_sources() {
             .copied()
             .collect(),
     );
-    check("set_gauge", SHARD_GAUGES.to_vec());
+    check(
+        "set_gauge",
+        SERVER_GAUGES.iter().chain(SHARD_GAUGES).copied().collect(),
+    );
     check("observe", HISTOGRAMS.to_vec());
 }
 
@@ -133,6 +143,35 @@ fn every_registered_metric_is_exposed_after_a_serving_workload() {
         &mut rx,
         &mut tx,
     );
+    // server.snapshot.*: a parallel pump whose two sessions' read
+    // prefixes ride one pinned snapshot on the worker pool.
+    let sid2 = server.open_session();
+    let (mut rx2, mut tx2) = (
+        asr_durable::LosslessChannel::new(),
+        asr_durable::LosslessChannel::new(),
+    );
+    rx.send(
+        Request {
+            id: 3,
+            body: RequestBody::Ping,
+        }
+        .encode(),
+    );
+    rx2.send(
+        Request {
+            id: 1,
+            body: RequestBody::Ping,
+        }
+        .encode(),
+    );
+    let mut sessions: Vec<(usize, &mut dyn Channel, &mut dyn Channel)> =
+        vec![(sid, &mut rx, &mut tx), (sid2, &mut rx2, &mut tx2)];
+    server.pump_sessions_parallel(
+        &mut ServerDb::<MemStorage>::Plain(&mut db),
+        &mut sessions,
+        2,
+    );
+
     // server.tcp.accepts: a real loopback accept on the same tracer.
     let mut tcp = asr_server::TcpServer::bind("127.0.0.1:0").expect("binds");
     let _conn = std::net::TcpStream::connect(tcp.local_addr().expect("addr")).expect("connects");
@@ -152,7 +191,13 @@ fn every_registered_metric_is_exposed_after_a_serving_workload() {
         "served database",
     );
     assert_all_present(
-        &["server.request.pages"],
+        SERVER_GAUGES,
+        &metrics.render_table(),
+        &metrics.to_prometheus(),
+        "served database",
+    );
+    assert_all_present(
+        &["server.request.pages", "server.snapshot.batch_pages"],
         &metrics.render_table(),
         &metrics.to_prometheus(),
         "served database",

@@ -291,6 +291,7 @@ fn run_command(state: &mut ShellState, input: &str) -> Result<String, String> {
         "recover" => cmd_recover(state, rest),
         "replica" => cmd_replica(state, rest),
         "stats" => cmd_stats(state),
+        "txn" => cmd_txn(state, rest),
         "reset" => {
             let db = state.db()?;
             db.stats().reset();
@@ -466,6 +467,19 @@ fn cmd_wal(state: &mut ShellState, rest: &str) -> Result<String, String> {
                     .map(|f| format!(", PITR floor LSN {f}"))
                     .unwrap_or_default()
             );
+            if let Some(g) = d.group_commit_status() {
+                let _ = writeln!(
+                    out,
+                    "group commit: target {} session(s), {} pending, {} group(s) flushed, \
+                     {} commit(s) over {} fsync(s) ({:.2} fsyncs/commit)",
+                    g.target,
+                    g.pending_sessions,
+                    g.groups,
+                    g.commits,
+                    g.fsyncs,
+                    g.fsyncs_per_commit()
+                );
+            }
             let lineage = match s.delta_base_lsn {
                 Some(base) => format!(
                     "delta on base LSN {base}, chain depth {}",
@@ -498,6 +512,37 @@ fn cmd_wal(state: &mut ShellState, rest: &str) -> Result<String, String> {
             );
             Ok(out)
         }
+        Some("group") => {
+            let d = state.durable_mut()?;
+            match parts.next() {
+                Some("off") => {
+                    let parting = d
+                        .group_commit_status()
+                        .map(|g| {
+                            format!(
+                                " — {} commit(s) over {} fsync(s) while on",
+                                g.commits, g.fsyncs
+                            )
+                        })
+                        .unwrap_or_default();
+                    d.disable_group_commit().map_err(|e| e.to_string())?;
+                    Ok(format!(
+                        "group commit off{parting}; previous flush policy restored"
+                    ))
+                }
+                Some(n) => {
+                    let target: usize = n
+                        .parse()
+                        .map_err(|_| "usage: \\wal group <sessions>|off".to_string())?;
+                    d.enable_group_commit(target);
+                    Ok(format!(
+                        "group commit on: one fsync once {target} session(s) have a \
+                         commit pending (`\\wal status` shows the pipeline)"
+                    ))
+                }
+                None => Err("usage: \\wal group <sessions>|off".to_string()),
+            }
+        }
         Some("prune") => {
             let d = state.durable_mut()?;
             let report = d.prune_segments().map_err(|e| e.to_string())?;
@@ -525,7 +570,28 @@ fn cmd_wal(state: &mut ShellState, rest: &str) -> Result<String, String> {
                 None => Ok("active log is empty — nothing to seal".to_string()),
             }
         }
-        _ => Err("usage: \\wal on <dir>|off|status|rotate|prune".to_string()),
+        _ => Err("usage: \\wal on <dir>|off|status|group <n>|rotate|prune".to_string()),
+    }
+}
+
+/// `\txn status`: the MVCC epoch/pin counters of the open database —
+/// commit epoch, live snapshot pins, and reclamation progress.
+fn cmd_txn(state: &mut ShellState, rest: &str) -> Result<String, String> {
+    match rest.trim() {
+        "" | "status" => {
+            let t = state.db()?.txn_status();
+            Ok(format!(
+                "commit epoch {}, {} active snapshot(s), oldest pinned epoch {}, \
+                 {} epoch(s) reclaimed",
+                t.commit_epoch,
+                t.active_snapshots,
+                t.oldest_pinned
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "none".to_string()),
+                t.epochs_reclaimed
+            ))
+        }
+        _ => Err("usage: \\txn status".to_string()),
     }
 }
 
@@ -1315,8 +1381,12 @@ const HELP: &str = r#"commands:
                              with a MANIFEST is recovered (checkpoint
                              + WAL replay) and stays in WAL mode
   \wal on <dir>|off|status   write-ahead logging for the open database
+  \wal group <n>|off         group commit: one fsync per n pending session
+                             commits (status shows the pipeline counters)
   \wal rotate|prune          seal the active log / drop archived history
                              fully covered by the newest checkpoint
+  \txn status                MVCC epochs: commit epoch, snapshot pins,
+                             reclamation progress
   \checkpoint [delta]        flush, snapshot, truncate the log; `delta`
                              writes only pages changed since the base
                              checkpoint (falls back to full when needed)
@@ -1534,6 +1604,50 @@ mod tests {
         let err = run_line(&mut s3, &format!("\\wal on {dir_str}"));
         assert!(err.starts_with("error:"), "{err}");
         assert!(err.contains("\\load"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn txn_status_and_group_commit_through_shell() {
+        let mut s = ShellState::new();
+        assert!(run_line(&mut s, "\\txn status").starts_with("error:"));
+        run_line(&mut s, "\\open company");
+        // `\txn` works on a plain in-memory database too.
+        let t = run_line(&mut s, "\\txn status");
+        assert!(t.contains("commit epoch 0"), "{t}");
+        assert!(t.contains("0 active snapshot(s)"), "{t}");
+        assert!(t.contains("oldest pinned epoch none"), "{t}");
+        assert!(run_line(&mut s, "\\txn sideways").starts_with("error:"));
+
+        // Group commit demands WAL mode.
+        assert!(run_line(&mut s, "\\wal group 4").starts_with("error:"));
+        let dir = std::env::temp_dir().join("asrdb_shell_group_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        run_line(&mut s, &format!("\\wal on {dir_str}"));
+        assert!(run_line(&mut s, "\\wal group").starts_with("error:"));
+        assert!(run_line(&mut s, "\\wal group sideways").starts_with("error:"));
+        let on = run_line(&mut s, "\\wal group 4");
+        assert!(on.contains("group commit on"), "{on}");
+        let st = run_line(&mut s, "\\wal status");
+        assert!(st.contains("policy explicit"), "{st}");
+        assert!(st.contains("group commit: target 4 session(s)"), "{st}");
+
+        // A logged mutation parks in the open group ...
+        run_line(
+            &mut s,
+            "\\asr Division.Manufactures.Composition.Name full binary",
+        );
+        let st = run_line(&mut s, "\\wal status");
+        assert!(st.contains("1 pending record(s)"), "{st}");
+
+        // ... and `\wal group off` flushes it and restores the policy.
+        let off = run_line(&mut s, "\\wal group off");
+        assert!(off.contains("group commit off"), "{off}");
+        let st = run_line(&mut s, "\\wal status");
+        assert!(st.contains("policy every-record"), "{st}");
+        assert!(st.contains("0 pending record(s)"), "{st}");
+        assert!(!st.contains("group commit: target"), "{st}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
