@@ -1,4 +1,4 @@
-//! Machine-readable performance snapshot (`BENCH_9.json`) and the
+//! Machine-readable performance snapshot (`BENCH_10.json`) and the
 //! perf-trend gate over the whole `BENCH_*.json` series.
 //!
 //! ```text
@@ -39,7 +39,11 @@
 //!   span-query throughput at shard counts 1/2/4 with the fleet's merged
 //!   and hottest-shard page accounting (deterministic, gated), plus a
 //!   seeded chaos leg pricing the hostile-wire retry bill and the
-//!   p50/p95/p99 per-query latency tail (host-dependent, informational);
+//!   p50/p95/p99 per-query latency tail (host-dependent, informational),
+//!   plus an availability leg pricing a shard outage: queries answered
+//!   degraded (flagged, subset of the healthy answer) while the primary
+//!   keeps committing, the self-healing reseed's shipping bill in both
+//!   bootstrap modes (delta vs full), and coordinator ticks to recover;
 //! * wall-clock of the full figure suite at `--jobs 1` vs `--jobs 4`,
 //!   alongside the machine's available parallelism — on a single-CPU
 //!   container the worker pool cannot beat the sequential run, so the
@@ -91,7 +95,7 @@ const RECOVERY_DELTA_OPS: usize = 16;
 const PITR_DELTA_OPS: usize = 64;
 
 fn main() {
-    let mut out_path = String::from("BENCH_9.json");
+    let mut out_path = String::from("BENCH_10.json");
     let mut check_only = false;
     let mut trend_mode = false;
     let mut trend_dir = String::from(".");
@@ -228,7 +232,7 @@ fn main() {
         format!("\"speedup_jobs4\": {:.2}", jobs1_ms / jobs4_ms.max(1e-9))
     };
     let json = format!(
-        "{{\n  \"schema\": \"asr-bench-snapshot/8\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
+        "{{\n  \"schema\": \"asr-bench-snapshot/9\",\n  \"figures\": {{\n    \"fig6\": {{\n      \
          \"wall_ms\": {fig6_ms:.1},\n      \"workload\": \"Q_{{0,n}}(bw) x{QUERY_COUNT} on the \
          1/{SCALE:.0}-scale profile\",\n      \"measured\": {}\n    }},\n    \"fig11\": {{\n      \
          \"wall_ms\": {fig11_ms:.1},\n      \"workload\": \"ins_3 x{UPDATE_COUNT} on the \
@@ -361,6 +365,16 @@ fn serving_point_json(p: &ServingPoint) -> String {
     )
 }
 
+fn reseed_cost_json(c: &asr_bench::serving::ReseedCost) -> String {
+    // `deliveries`/`bytes_shipped`/`pages` are deterministic (lossless
+    // reseed links, exact page model) and trend-gated.
+    format!(
+        "{{ \"deliveries\": {}, \"bytes_shipped\": {}, \"pages\": {}, \
+         \"ticks_to_recover\": {} }}",
+        c.deliveries, c.bytes, c.pages, c.ticks_to_recover
+    )
+}
+
 fn serving_json(b: &ServingBench) -> String {
     let points = b
         .points
@@ -369,13 +383,31 @@ fn serving_json(b: &ServingBench) -> String {
         .collect::<Vec<_>>()
         .join(",\n");
     let c = &b.chaos;
+    let a = &b.availability;
     format!(
         "{{\n    \"workload\": \"full-path fw+bw span scatter-gather on a 48/96/192/384 chain, \
          full/binary ASR, fleet seeded via replication\",\n    \"points\": [\n{points}\n    ],\n    \
          \"chaos\": {{ \"seed\": {}, \"shards\": 2, \"queries\": {}, \"retries\": {}, \
          \"injected_faults\": {}, \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \
-         \"p99\": {:.3} }} }}\n  }}",
-        c.seed, c.queries, c.retries, c.injected, c.p50_ms, c.p95_ms, c.p99_ms
+         \"p99\": {:.3} }} }},\n    \
+         \"availability\": {{ \"shards\": {}, \"outage_queries\": {}, \"degraded_queries\": {}, \
+         \"degraded_rows\": {}, \"healthy_rows\": {}, \"reseed\": {{ \"delta\": {}, \
+         \"full\": {}, \"delta_full_page_ratio\": {:.4} }} }}\n  }}",
+        c.seed,
+        c.queries,
+        c.retries,
+        c.injected,
+        c.p50_ms,
+        c.p95_ms,
+        c.p99_ms,
+        a.shards,
+        a.outage_queries,
+        a.degraded_queries,
+        a.degraded_rows,
+        a.healthy_rows,
+        reseed_cost_json(&a.delta_reseed),
+        reseed_cost_json(&a.full_reseed),
+        a.delta_reseed.pages as f64 / a.full_reseed.pages.max(1) as f64,
     )
 }
 

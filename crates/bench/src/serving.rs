@@ -20,13 +20,15 @@
 //!
 //! [`Fleet::take_io`]: asr_server::Fleet::take_io
 
+use std::rc::Rc;
 use std::time::Instant;
 
 use asr_core::{AsrConfig, AsrId, Cell, Decomposition, Extension};
 use asr_durable::{ChaosProfile, DurableDatabase, FlushPolicy, MemStorage};
 use asr_gom::Oid;
-use asr_obs::MetricsRegistry;
-use asr_server::ShardedDatabase;
+use asr_obs::{FlightRecorder, MetricsRegistry};
+use asr_pagesim::PAGE_SIZE;
+use asr_server::{ShardFaultPlan, ShardedDatabase};
 use asr_workload::{generate, GeneratorSpec};
 
 /// Latency histogram buckets (milliseconds).
@@ -72,6 +74,44 @@ pub struct ChaosLeg {
     pub p99_ms: f64,
 }
 
+/// What one self-healing reseed cost, read off the `shard.reseed.end`
+/// flight event (all deterministic: lossless links, exact page model).
+#[derive(Debug, Clone, Copy)]
+pub struct ReseedCost {
+    /// Shipper deliveries into the replacement node.
+    pub deliveries: u64,
+    /// Bytes the replacement's applier received during the bootstrap.
+    pub bytes: u64,
+    /// Those bytes expressed in modeled pages.
+    pub pages: u64,
+    /// Coordinator ticks from the crash to the recovered `Up`.
+    pub ticks_to_recover: u64,
+}
+
+/// The availability leg: a 2-shard fleet loses one shard mid-script,
+/// keeps answering degraded (flagged, never silently wrong), and heals
+/// through the tick loop — priced for both reseed modes.
+#[derive(Debug, Clone, Copy)]
+pub struct AvailabilityLeg {
+    /// Fleet size.
+    pub shards: usize,
+    /// Span queries issued while the shard was out.
+    pub outage_queries: u64,
+    /// Of those, answered with the explicit `partial` marker.
+    pub degraded_queries: u64,
+    /// Rows still gathered from the surviving shard while degraded.
+    pub degraded_rows: u64,
+    /// Rows the same script gathers on a healthy fleet (the subset
+    /// denominator: degraded ≤ healthy, never a superset).
+    pub healthy_rows: u64,
+    /// Reseed cost when the crash retained the replica base (delta
+    /// bootstrap: ship only the tail past the retained state).
+    pub delta_reseed: ReseedCost,
+    /// Reseed cost when the crash lost the node's disk (full
+    /// bootstrap: checkpoint + entire tail).
+    pub full_reseed: ReseedCost,
+}
+
 /// The full serving benchmark result.
 #[derive(Debug, Clone)]
 pub struct ServingBench {
@@ -79,6 +119,8 @@ pub struct ServingBench {
     pub points: Vec<ServingPoint>,
     /// The chaotic 2-shard leg.
     pub chaos: ChaosLeg,
+    /// The shard-outage availability leg.
+    pub availability: AvailabilityLeg,
 }
 
 /// The staged primary shared by every point.
@@ -233,15 +275,135 @@ fn run_chaos(staged: &Staged, seed: u64) -> ChaosLeg {
     }
 }
 
+/// One outage scenario: crash shard 0 on its first post-arm op
+/// (optionally losing its retained replica base, which forces the full
+/// bootstrap path), replay the span script degraded, then tick until
+/// the fleet heals.  Returns `(queries, degraded, rows, reseed bill)`.
+/// Lossless links and the exact page model make every figure
+/// deterministic.
+/// Ops the primary commits while the shard is out: the delta the
+/// replacement must catch up on (a delta reseed ships only these; a
+/// full one re-ships the checkpoint too).
+const OUTAGE_DELTA_OPS: usize = 12;
+
+fn run_outage(staged: &mut Staged, lose_applier: bool) -> (u64, u64, u64, ReseedCost) {
+    let mut sharded = ShardedDatabase::from_primary(&staged.primary, 2, None).expect("fleet seeds");
+    let recorder = Rc::new(FlightRecorder::new(1 << 14));
+    sharded.catalog().tracer().add_sink(recorder.clone());
+    sharded.set_fault_plan(
+        0,
+        ShardFaultPlan {
+            crash_at_op: Some(1),
+            lose_applier,
+            ..ShardFaultPlan::default()
+        },
+    );
+    let (mut queries, mut degraded, mut rows) = (0u64, 0u64, 0u64);
+    sharded.take_degraded();
+    let mut note = |sharded: &mut ShardedDatabase, got: u64| {
+        queries += 1;
+        rows += got;
+        if !sharded.take_degraded().is_empty() {
+            degraded += 1;
+        }
+    };
+    for &start in &staged.starts {
+        let got = sharded
+            .forward(staged.asr, 0, staged.n, start)
+            .expect("degraded forward span")
+            .len() as u64;
+        note(&mut sharded, got);
+    }
+    for &target in &staged.targets {
+        let cell = Cell::Oid(target);
+        let got = sharded
+            .backward(staged.asr, 0, staged.n, &cell)
+            .expect("degraded backward span")
+            .len() as u64;
+        note(&mut sharded, got);
+    }
+    // The primary keeps committing through the outage — the leaf
+    // instantiations are the delta the replacement must catch up on.
+    let leaf = format!("T{}", staged.n);
+    for _ in 0..OUTAGE_DELTA_OPS {
+        staged.primary.instantiate(&leaf).expect("outage delta op");
+    }
+    let mut ticks = 0u64;
+    while !sharded.all_up() {
+        assert!(ticks < 64, "tick loop failed to heal the outage fleet");
+        sharded.tick(&staged.primary);
+        ticks += 1;
+    }
+    let attr = |ev: &asr_obs::FlightEvent, key: &str| -> Option<String> {
+        ev.record
+            .attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let end = recorder
+        .tail(recorder.len())
+        .into_iter()
+        .find(|e| {
+            e.record.name == "shard.reseed.end" && attr(e, "outcome").as_deref() == Some("ok")
+        })
+        .expect("the healed fleet recorded a successful reseed");
+    let want_mode = if lose_applier { "full" } else { "delta" };
+    assert_eq!(
+        attr(&end, "mode").as_deref(),
+        Some(want_mode),
+        "reseed took the wrong bootstrap path"
+    );
+    let num = |key: &str| -> u64 {
+        attr(&end, key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("reseed.end missing numeric `{key}`"))
+    };
+    let bytes = num("bytes");
+    (
+        queries,
+        degraded,
+        rows,
+        ReseedCost {
+            deliveries: num("deliveries"),
+            bytes,
+            pages: bytes.div_ceil(PAGE_SIZE as u64),
+            ticks_to_recover: num("ticks_down"),
+        },
+    )
+}
+
+/// The availability leg over both reseed modes; `healthy_rows` is the
+/// same script's row total on a healthy 2-shard fleet.
+fn run_availability(staged: &mut Staged, healthy_rows: u64) -> AvailabilityLeg {
+    let (outage_queries, degraded_queries, degraded_rows, delta_reseed) = run_outage(staged, false);
+    let (_, _, _, full_reseed) = run_outage(staged, true);
+    AvailabilityLeg {
+        shards: 2,
+        outage_queries,
+        degraded_queries,
+        degraded_rows,
+        healthy_rows,
+        delta_reseed,
+        full_reseed,
+    }
+}
+
 /// Measure serving throughput at `scale` (see [`stage`]).
 pub fn measure_serving_at(scale: usize) -> ServingBench {
-    let staged = stage(scale);
-    let points = [1usize, 2, 4]
+    let mut staged = stage(scale);
+    let points: Vec<ServingPoint> = [1usize, 2, 4]
         .iter()
         .map(|&shards| run_point(&staged, shards))
         .collect();
+    let healthy_rows = points[1].rows;
     let chaos = run_chaos(&staged, 0xC4A0);
-    ServingBench { points, chaos }
+    let availability = run_availability(&mut staged, healthy_rows);
+    ServingBench {
+        points,
+        chaos,
+        availability,
+    }
 }
 
 /// The published configuration: the scale the snapshot binary records.
@@ -280,5 +442,29 @@ mod tests {
         assert!(bench.chaos.injected > 0, "chaos profile injected nothing");
         assert!(bench.chaos.retries > 0, "damage cost no retries");
         assert!(bench.chaos.p99_ms >= bench.chaos.p50_ms);
+
+        // The availability leg: every outage query was answered, the
+        // degraded ones were flagged and gathered a strict subset of
+        // the healthy answer, and the delta reseed undercut the full
+        // one on every shipping axis.
+        let a = &bench.availability;
+        assert_eq!(a.outage_queries, bench.points[0].queries);
+        assert!(a.degraded_queries > 0, "outage produced no degraded reads");
+        assert!(a.degraded_queries <= a.outage_queries);
+        assert!(
+            a.degraded_rows < a.healthy_rows,
+            "losing a shard must shrink the gathered answer"
+        );
+        for cost in [&a.delta_reseed, &a.full_reseed] {
+            assert!(cost.deliveries > 0, "reseed shipped nothing");
+            assert!(cost.bytes > 0);
+            assert!(cost.pages > 0);
+            assert!(cost.ticks_to_recover > 0);
+        }
+        assert!(
+            a.delta_reseed.bytes < a.full_reseed.bytes,
+            "delta reseed must ship less than the full bootstrap"
+        );
+        assert!(a.delta_reseed.deliveries <= a.full_reseed.deliveries);
     }
 }

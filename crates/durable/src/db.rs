@@ -244,6 +244,14 @@ struct GroupCommit {
     records: u64,
     /// Modeled fsyncs (non-empty flushes) the pipeline performed.
     fsyncs: u64,
+    /// Flush a *partial* group once this many ops (logged records +
+    /// commit submissions) have elapsed since the group opened —
+    /// `None` waits for a full group (or an explicit flush).
+    deadline_ops: Option<u64>,
+    /// Ops elapsed since the pipeline last flushed.
+    ops_since_open: u64,
+    /// Groups flushed by the deadline rather than by filling up.
+    deadline_flushes: u64,
 }
 
 /// Point-in-time counters of the group-commit pipeline (the
@@ -262,6 +270,13 @@ pub struct GroupCommitStatus {
     pub records: u64,
     /// Modeled fsyncs the pipeline performed so far.
     pub fsyncs: u64,
+    /// Op-count deadline for flushing a partial group (`None` = wait
+    /// for a full group).
+    pub deadline_ops: Option<u64>,
+    /// Ops elapsed since the pipeline last flushed.
+    pub ops_since_open: u64,
+    /// Groups flushed by the deadline rather than by filling up.
+    pub deadline_flushes: u64,
 }
 
 impl GroupCommitStatus {
@@ -772,6 +787,9 @@ impl<S: Storage> DurableDatabase<S> {
                     commits: 0,
                     records: 0,
                     fsyncs: 0,
+                    deadline_ops: None,
+                    ops_since_open: 0,
+                    deadline_flushes: 0,
                 });
             }
         }
@@ -804,16 +822,22 @@ impl<S: Storage> DurableDatabase<S> {
             self.flush()?;
             return Ok(true);
         }
-        let (pending, target) = {
+        let (pending, target, due) = {
             let g = self.group.as_mut().expect("checked above");
             g.pending += 1;
             if g.opened.is_none() {
                 g.opened = Some(Instant::now());
             }
-            (g.pending, g.target)
+            g.ops_since_open += 1;
+            let due = g.deadline_ops.is_some_and(|d| g.ops_since_open >= d);
+            (g.pending, g.target, due)
         };
         if pending >= target {
             self.flush()?;
+            return Ok(true);
+        }
+        if due {
+            self.flush_on_deadline()?;
             return Ok(true);
         }
         self.db
@@ -821,6 +845,36 @@ impl<S: Storage> DurableDatabase<S> {
             .metrics()
             .set_gauge("wal.group.pending_sessions", pending as f64);
         Ok(false)
+    }
+
+    /// Arm (or, with `None`, disarm) the group-flush deadline: a
+    /// *partial* group flushes once `ops` ops — logged records plus
+    /// commit submissions — have elapsed since the group opened, so a
+    /// quiet session mix can't park a commit in the buffer
+    /// indefinitely.  Deterministic (op-counted, not wall-clock), like
+    /// every other schedule in the test harness.  No-op while the
+    /// pipeline is off.
+    pub fn set_group_commit_deadline(&mut self, ops: Option<u64>) {
+        if let Some(g) = self.group.as_mut() {
+            g.deadline_ops = ops.map(|o| o.max(1));
+        }
+    }
+
+    /// A deadline-triggered group flush: count it, then flush normally
+    /// (the ledger settles in [`Self::flush_wal_accounted`]).
+    fn flush_on_deadline(&mut self) -> Result<()> {
+        let pending = {
+            let g = self.group.as_mut().expect("deadline implies pipeline");
+            g.deadline_flushes += 1;
+            g.pending
+        };
+        let metrics = self.db.tracer().metrics();
+        metrics.inc_counter("wal.group.deadline_flushes", 1);
+        self.db.tracer().event(
+            "wal.group.deadline",
+            &[("pending_sessions", pending.to_string())],
+        );
+        self.flush()
     }
 
     /// Pipeline counters, `None` while group commit is off.
@@ -832,6 +886,9 @@ impl<S: Storage> DurableDatabase<S> {
             commits: g.commits,
             records: g.records,
             fsyncs: g.fsyncs,
+            deadline_ops: g.deadline_ops,
+            ops_since_open: g.ops_since_open,
+            deadline_flushes: g.deadline_flushes,
         })
     }
 
@@ -854,6 +911,7 @@ impl<S: Storage> DurableDatabase<S> {
             .take()
             .map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
         g.pending = 0;
+        g.ops_since_open = 0;
         g.commits += sessions;
         g.records += records;
         if records > 0 {
@@ -1372,6 +1430,20 @@ impl<S: Storage> DurableDatabase<S> {
         self.db.tracer().metrics().inc_counter("wal.records", 1);
         span.add_attr("lsn", self.wal.last_lsn().to_string());
         span.finish();
+        // Each logged record ticks the group-flush deadline: parked
+        // records and commits flush once the op budget elapses, even if
+        // the group never fills (or never opens — a deadline bounds the
+        // durability lag of *any* buffered record).
+        let due = match self.group.as_mut() {
+            Some(g) if g.deadline_ops.is_some() => {
+                g.ops_since_open += 1;
+                g.deadline_ops.is_some_and(|d| g.ops_since_open >= d)
+            }
+            _ => false,
+        };
+        if due {
+            self.flush_on_deadline()?;
+        }
         self.maybe_rotate()
     }
 

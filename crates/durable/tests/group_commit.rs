@@ -52,6 +52,104 @@ fn group_commit_batches_sessions_into_one_fsync() {
     );
 }
 
+/// The op-count deadline: a group that never fills still flushes once
+/// the op budget elapses, so a commit parks for a bounded number of ops
+/// — and the flush is attributed to the deadline, not the group seal.
+/// Each session here logs one record and submits one commit, so it
+/// spends two ticks of the budget.
+#[test]
+fn deadline_flushes_a_partial_group_after_the_op_budget() {
+    let s0 = seed_snapshot();
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut dd = DurableDatabase::create(disk.clone(), seed_db, FlushPolicy::EveryRecord).unwrap();
+    dd.enable_group_commit(8); // far more sessions than will ever arrive
+    dd.set_group_commit_deadline(Some(6)); // = three two-tick sessions
+
+    // Two parked commits: four ticks — under the deadline, still open.
+    for _ in 0..2 {
+        dd.instantiate("BasePart").unwrap();
+        assert!(!dd.submit_commit().unwrap(), "group must stay open");
+    }
+    let status = dd.group_commit_status().unwrap();
+    assert_eq!(status.pending_sessions, 2);
+    assert_eq!(status.ops_since_open, 4);
+    assert_eq!(status.deadline_flushes, 0);
+
+    // The third session's submit is the sixth tick: the partial group
+    // flushes even though only 3 of 8 target sessions ever showed up.
+    dd.instantiate("BasePart").unwrap();
+    assert!(
+        dd.submit_commit().unwrap(),
+        "the deadline must seal the partial group"
+    );
+    let status = dd.group_commit_status().unwrap();
+    assert_eq!(status.pending_sessions, 0);
+    assert_eq!(status.ops_since_open, 0, "ledger resets with the flush");
+    assert_eq!(status.deadline_flushes, 1);
+    assert_eq!(status.commits, 3);
+    assert_eq!(status.fsyncs, 1, "the whole partial group rode one fsync");
+    assert_eq!(dd.wal_status().pending_records, 0);
+    assert_eq!(
+        dd.database()
+            .tracer()
+            .metrics()
+            .counter("wal.group.deadline_flushes"),
+        1
+    );
+
+    // Everything flushed by the deadline is durable: a crash (drop has
+    // nothing buffered left to save) recovers all three commits.
+    drop(dd);
+    let recovered = DurableDatabase::open(disk).unwrap();
+    let mut oracle = Database::load_from_string(&s0).unwrap();
+    for _ in 0..3 {
+        oracle.instantiate("BasePart").unwrap();
+    }
+    assert_equivalent(&recovered, &oracle, "deadline-flushed commits");
+}
+
+/// Logged records without a single submitted commit also tick the
+/// deadline: a quiet mix of plain mutations can't park in the buffer
+/// past the op budget, and disarming the deadline restores pure
+/// fill-to-target batching.
+#[test]
+fn deadline_ticks_on_plain_logged_records_and_disarms() {
+    let s0 = seed_snapshot();
+    let disk = MemStorage::new();
+    let seed_db = Database::load_from_string(&s0).unwrap();
+    let mut dd = DurableDatabase::create(disk, seed_db, FlushPolicy::EveryRecord).unwrap();
+    dd.enable_group_commit(4);
+    dd.set_group_commit_deadline(Some(2));
+
+    // No commits submitted at all — two logged records alone trip the
+    // deadline and drain the buffer.
+    dd.instantiate("BasePart").unwrap();
+    assert_eq!(dd.wal_status().pending_records, 1);
+    dd.instantiate("BasePart").unwrap();
+    assert_eq!(
+        dd.wal_status().pending_records,
+        0,
+        "the second record must trip the op deadline"
+    );
+    assert_eq!(dd.group_commit_status().unwrap().deadline_flushes, 1);
+
+    // Disarmed, the pipeline is back to waiting for a full group.
+    dd.set_group_commit_deadline(None);
+    for _ in 0..3 {
+        dd.instantiate("BasePart").unwrap();
+        assert!(!dd.submit_commit().unwrap(), "no deadline, no early flush");
+    }
+    assert_eq!(dd.group_commit_status().unwrap().pending_sessions, 3);
+    dd.instantiate("BasePart").unwrap();
+    assert!(
+        dd.submit_commit().unwrap(),
+        "the 4th commit seals the group"
+    );
+    let status = dd.group_commit_status().unwrap();
+    assert_eq!(status.deadline_flushes, 1, "only the armed flush counted");
+}
+
 /// The drop-flush satellite: a session whose group never reached its
 /// target is dropped with every record still in the in-memory buffer —
 /// clean teardown flushes the open group, so recovery loses nothing.

@@ -30,6 +30,7 @@ const WAL_COUNTERS: &[&str] = &[
     "wal.group.commits",
     "wal.group.records",
     "wal.group.fsyncs",
+    "wal.group.deadline_flushes",
     "wal.ship.rounds",
     "wal.ship.deliveries",
     "wal.ship.records",
@@ -138,6 +139,11 @@ fn every_registered_metric_is_exposed_after_a_full_workload() {
     primary.enable_group_commit(2);
     primary.instantiate("BasePart").unwrap();
     assert!(!primary.submit_commit().unwrap());
+    primary.instantiate("BasePart").unwrap();
+    assert!(primary.submit_commit().unwrap());
+    // A deadline of one op flushes a partial group on its own,
+    // populating the deadline-flush counter.
+    primary.set_group_commit_deadline(Some(1));
     primary.instantiate("BasePart").unwrap();
     assert!(primary.submit_commit().unwrap());
     primary.disable_group_commit().unwrap();

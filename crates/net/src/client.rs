@@ -95,6 +95,18 @@ impl<T: Transport> WireClient<T> {
         self
     }
 
+    /// Re-budget an existing session.  The coordinator uses this as its
+    /// per-request deadline: a short budget detects a dead shard in a few
+    /// attempts instead of grinding through the default 64.
+    pub fn set_max_attempts(&mut self, max_attempts: u32) {
+        self.max_attempts = max_attempts.max(1);
+    }
+
+    /// The current attempt budget.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
     /// Session accounting so far.
     pub fn stats(&self) -> ClientStats {
         self.stats
@@ -181,12 +193,7 @@ mod tests {
     }
 
     fn ok_response(id: u64) -> Vec<u8> {
-        Response {
-            id,
-            body: ResponseBody::Ok,
-            io: IoSnapshot::default(),
-        }
-        .encode()
+        Response::complete(id, ResponseBody::Ok, IoSnapshot::default()).encode()
     }
 
     #[test]
@@ -207,11 +214,11 @@ mod tests {
 
     #[test]
     fn nack_triggers_resend() {
-        let nack = Response {
-            id: 0,
-            body: ResponseBody::Nack { last_executed: 0 },
-            io: IoSnapshot::default(),
-        }
+        let nack = Response::complete(
+            0,
+            ResponseBody::Nack { last_executed: 0 },
+            IoSnapshot::default(),
+        )
         .encode();
         let transport = Scripted {
             sent: Vec::new(),

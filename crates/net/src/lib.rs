@@ -24,4 +24,5 @@ pub use client::{ClientError, ClientStats, Transport, WireClient};
 pub use codec::{CodecError, Reader, Writer};
 pub use wire::{
     decode_frame, Request, RequestBody, Response, ResponseBody, ShardHealth, WireMessage,
+    MAX_FRAME_LEN,
 };

@@ -162,6 +162,24 @@ pub struct Response {
     /// Page I/O charged on the server while executing this request —
     /// merged shard-side costs via [`IoSnapshot::merge`].
     pub io: IoSnapshot,
+    /// Shard indices whose contribution is *missing* from this answer.
+    /// Empty means the answer is complete; non-empty marks a degraded
+    /// scatter-gather result that only covers the surviving shards — the
+    /// coordinator flags partiality explicitly rather than returning a
+    /// silently wrong union.
+    pub partial: Vec<u32>,
+}
+
+impl Response {
+    /// A complete (non-degraded) response.
+    pub fn complete(id: u64, body: ResponseBody, io: IoSnapshot) -> Self {
+        Response {
+            id,
+            body,
+            io,
+            partial: Vec::new(),
+        }
+    }
 }
 
 /// The response taxonomy.
@@ -420,6 +438,10 @@ impl Response {
             }
         }
         w.io(&self.io);
+        w.u32(self.partial.len() as u32);
+        for shard in &self.partial {
+            w.u32(*shard);
+        }
         asr_durable::frame(&w.into_bytes())
     }
 
@@ -465,6 +487,12 @@ impl Response {
     }
 }
 
+/// Refuse frames whose length word claims more than this payload.  A
+/// single corrupt length byte must not balloon downstream allocation or
+/// stall a stream waiting for terabytes; TCP reassembly
+/// (`asr_server::tcp`) shares this cap.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
 /// Decode one delivery: verify the `[len][crc32][payload]` envelope, then
 /// the payload grammar.  `None` means the frame is damaged (or not ours) —
 /// the receiver NACKs or retries, mirroring [`asr_durable::ShipMessage`]'s
@@ -475,6 +503,9 @@ pub fn decode_frame(delivery: &[u8]) -> Option<WireMessage> {
     }
     let len = u32::from_le_bytes(delivery[0..4].try_into().unwrap()) as usize;
     let crc = u32::from_le_bytes(delivery[4..8].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return None;
+    }
     if delivery.len() != 8 + len {
         return None;
     }
@@ -494,8 +525,21 @@ pub fn decode_frame(delivery: &[u8]) -> Option<WireMessage> {
         DIR_RESPONSE => {
             let body = Response::decode_body(&mut r).ok()?;
             let io = r.io().ok()?;
+            let missing = r.u32().ok()? as usize;
+            if missing > r.remaining() {
+                return None;
+            }
+            let partial = (0..missing)
+                .map(|_| r.u32())
+                .collect::<Result<_, _>>()
+                .ok()?;
             r.finish().ok()?;
-            Some(WireMessage::Response(Response { id, body, io }))
+            Some(WireMessage::Response(Response {
+                id,
+                body,
+                io,
+                partial,
+            }))
         }
         _ => None,
     }
@@ -600,6 +644,8 @@ mod tests {
                 id: i as u64 + 1,
                 body,
                 io,
+                // Exercise both complete and degraded answers.
+                partial: if i % 3 == 0 { vec![1, 3] } else { Vec::new() },
             })
             .collect()
     }
@@ -649,6 +695,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn partial_flag_round_trips_and_defaults_empty() {
+        let degraded = Response {
+            id: 12,
+            body: ResponseBody::Rows(vec![Row::new(vec![Some(Cell::Oid(Oid::from_raw(8)))])]),
+            io: IoSnapshot::default(),
+            partial: vec![0, 2, 5],
+        };
+        match decode_frame(&degraded.encode()) {
+            Some(WireMessage::Response(back)) => {
+                assert_eq!(back.partial, vec![0, 2, 5]);
+                assert_eq!(back, degraded);
+            }
+            other => panic!("bad decode: {other:?}"),
+        }
+        let complete = Response::complete(13, ResponseBody::Ok, IoSnapshot::default());
+        match decode_frame(&complete.encode()) {
+            Some(WireMessage::Response(back)) => assert!(back.partial.is_empty()),
+            other => panic!("bad decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_oversize_length_word() {
+        // A frame whose length word claims more than MAX_FRAME_LEN must be
+        // refused before any allocation, even if the byte count "matches".
+        let mut huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0u8; 8]);
+        assert!(decode_frame(&huge).is_none());
+        // u32::MAX is the classic corrupt-length-byte case.
+        let mut garbage = u32::MAX.to_le_bytes().to_vec();
+        garbage.extend_from_slice(&[0u8; 64]);
+        assert!(decode_frame(&garbage).is_none());
+        // The cap sits above every legitimate frame: a real one decodes.
+        let ok = Request {
+            id: 1,
+            body: RequestBody::Ping,
+        }
+        .encode();
+        assert!(decode_frame(&ok).is_some());
     }
 
     #[test]

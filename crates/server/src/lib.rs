@@ -34,5 +34,7 @@ pub mod tcp;
 
 pub use exec::ServerDb;
 pub use session::{NetServer, PumpReport};
-pub use shard::{placement_shard, Fleet, ShardError, ShardNode, ShardedDatabase};
+pub use shard::{
+    placement_shard, Fleet, HealthState, ShardError, ShardFaultPlan, ShardNode, ShardedDatabase,
+};
 pub use tcp::{TcpServer, TcpTransport};

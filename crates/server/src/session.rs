@@ -109,11 +109,11 @@ impl NetServer {
         let sess = self.sessions.get_mut(sid)?;
         if sess.closed {
             tx.send(
-                Response {
-                    id: req.id,
-                    body: ResponseBody::Err("session closed".to_string()),
-                    io: IoSnapshot::default(),
-                }
+                Response::complete(
+                    req.id,
+                    ResponseBody::Err("session closed".to_string()),
+                    IoSnapshot::default(),
+                )
                 .encode(),
             );
             return None;
@@ -158,13 +158,13 @@ impl NetServer {
                     &[("session", sid.to_string()), ("last", last.to_string())],
                 );
                 tx.send(
-                    Response {
-                        id: 0,
-                        body: ResponseBody::Nack {
+                    Response::complete(
+                        0,
+                        ResponseBody::Nack {
                             last_executed: last,
                         },
-                        io: IoSnapshot::default(),
-                    }
+                        IoSnapshot::default(),
+                    )
                     .encode(),
                 );
                 return None;
@@ -175,7 +175,9 @@ impl NetServer {
 
     /// Exactly-once bookkeeping for a fresh request whose outcome is
     /// already computed: stamp, cache, count, respond.  Shared by the
-    /// serial execution path and both snapshot-read paths.
+    /// serial execution path, both snapshot-read paths, and the sharded
+    /// front door (the only caller passing a non-empty `partial` set —
+    /// the shards missing from a degraded scatter-gather answer).
     #[allow(clippy::too_many_arguments)]
     fn finish_fresh(
         &mut self,
@@ -187,6 +189,7 @@ impl NetServer {
         outcome: Result<ResponseBody, String>,
         io: IoSnapshot,
         from_snapshot: bool,
+        partial: Vec<u32>,
         tx: &mut dyn Channel,
         report: &mut PumpReport,
     ) {
@@ -208,6 +211,7 @@ impl NetServer {
             id: req_id,
             body,
             io,
+            partial,
         }
         .encode();
         let sess = self
@@ -261,6 +265,7 @@ impl NetServer {
             outcome,
             io,
             false,
+            Vec::new(),
             tx,
             report,
         );
@@ -322,12 +327,97 @@ impl NetServer {
                     outcome,
                     io,
                     true,
+                    Vec::new(),
                     tx,
                     &mut report,
                 );
             } else {
                 self.respond_fresh(sid, db, req, tx, &mut report);
             }
+        }
+        report
+    }
+
+    /// Serve one session as the **sharded front door**: OQL queries run
+    /// scatter-gather over the fleet, and a degraded answer (surviving
+    /// shards only) carries the missing shard set in the response's
+    /// `partial` field — on the wire, never silently wrong.  Mutations
+    /// are refused: they flow through the primary and reach the fleet
+    /// via reseed, so the coordinator can never fork from the durable
+    /// timeline.
+    pub fn pump_session_sharded(
+        &mut self,
+        sid: usize,
+        sharded: &mut crate::shard::ShardedDatabase,
+        rx: &mut dyn Channel,
+        tx: &mut dyn Channel,
+    ) -> PumpReport {
+        let tracer = sharded.catalog().tracer().clone();
+        let mut report = PumpReport::default();
+        while let Some(delivery) = rx.recv() {
+            let Some(req) = self.triage(sid, &delivery, &tracer, tx, &mut report) else {
+                continue;
+            };
+            let shutdown = matches!(req.body, RequestBody::Shutdown);
+            let label = req.body.label();
+            let (outcome, io, partial) = match &req.body {
+                RequestBody::Ping | RequestBody::Shutdown => {
+                    (Ok(ResponseBody::Ok), IoSnapshot::default(), Vec::new())
+                }
+                RequestBody::Query(text) => {
+                    // Clear any degraded carry-over so the partial set
+                    // brands exactly this query's answer.
+                    sharded.take_degraded();
+                    match sharded.query(text) {
+                        Ok(rs) => {
+                            let (merged, _) = sharded.fleet_mut().take_io();
+                            let partial: Vec<u32> = sharded.take_degraded().into_iter().collect();
+                            (
+                                Ok(ResponseBody::Table {
+                                    columns: rs.columns,
+                                    rows: rs.rows,
+                                }),
+                                merged,
+                                partial,
+                            )
+                        }
+                        Err(e) => (
+                            Err(e.to_string()),
+                            IoSnapshot::default(),
+                            sharded.take_degraded().into_iter().collect(),
+                        ),
+                    }
+                }
+                body if body.is_mutation() => (
+                    Err(
+                        "sharded front door is read-only; mutate the primary and reseed"
+                            .to_string(),
+                    ),
+                    IoSnapshot::default(),
+                    Vec::new(),
+                ),
+                other => (
+                    Err(format!(
+                        "{} is not served by the sharded front door",
+                        other.label()
+                    )),
+                    IoSnapshot::default(),
+                    Vec::new(),
+                ),
+            };
+            self.finish_fresh(
+                sid,
+                &tracer,
+                req.id,
+                label,
+                shutdown,
+                outcome,
+                io,
+                false,
+                partial,
+                tx,
+                &mut report,
+            );
         }
         report
     }
@@ -447,6 +537,7 @@ impl NetServer {
                 outcome,
                 IoSnapshot::default(),
                 true,
+                Vec::new(),
                 &mut **tx,
                 &mut report,
             );

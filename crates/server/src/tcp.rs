@@ -22,8 +22,10 @@ use crate::exec::ServerDb;
 use crate::session::{NetServer, PumpReport};
 
 /// Refuse frames claiming more than this payload (a garbage length
-/// word would otherwise stall the stream waiting for terabytes).
-const MAX_FRAME: usize = 16 << 20;
+/// word would otherwise stall the stream waiting for terabytes).  Shared
+/// with [`asr_net::decode_frame`], which applies the same cap before
+/// interpreting a reassembled frame.
+const MAX_FRAME: usize = asr_net::MAX_FRAME_LEN;
 
 /// Pull one complete `[len][crc][payload]` frame off the front of
 /// `buf`, if the bytes for it have all arrived.  Returns `Err(())` on a

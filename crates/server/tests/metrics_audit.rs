@@ -31,12 +31,22 @@ const SHARD_COUNTERS: &[&str] = &[
     "shard.scatter.broadcasts",
     "shard.scatter.queries",
     "shard.scatter.rows",
+    "shard.fault.crashes",
+    "shard.fault.stalls",
+    "shard.health.suspects",
+    "shard.health.downs",
+    "shard.health.degraded_reads",
+    "shard.health.ticks",
+    "shard.health.reseed_attempts",
+    "shard.health.reseed_failures",
+    "shard.health.recoveries",
 ];
-const SHARD_GAUGES: &[&str] = &["shard.count"];
+const SHARD_GAUGES: &[&str] = &["shard.count", "shard.health.up"];
 const HISTOGRAMS: &[&str] = &[
     "server.request.pages",
     "server.snapshot.batch_pages",
     "shard.scatter.pages",
+    "shard.health.ticks_to_recover",
 ];
 
 /// Extract the first string literal argument of every `method(` call in
@@ -212,6 +222,41 @@ fn every_registered_metric_is_exposed_after_a_serving_workload() {
         .query(r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#)
         .expect("query");
     sharded.reseed(&primary).expect("reseed");
+    // shard.fault.* / shard.health.*: crash one shard (with a crash
+    // during its reseed, for the failure counter), stall the other, then
+    // let the tick loop heal the fleet.  The stock 64-attempt deadline
+    // stays: these faults swallow polls outright, so they miss any
+    // budget, while the chaotic-but-alive links keep making it.
+    sharded.set_fault_plan(
+        0,
+        asr_server::ShardFaultPlan {
+            crash_at_op: Some(1),
+            reseed_crashes: 1,
+            ..asr_server::ShardFaultPlan::default()
+        },
+    );
+    sharded.set_fault_plan(
+        1,
+        asr_server::ShardFaultPlan {
+            stall_at_op: Some(1),
+            // The node has served polls already; an unbounded window
+            // guarantees the stall engages on its very next poll.
+            stall_ops: u64::MAX,
+            ..asr_server::ShardFaultPlan::default()
+        },
+    );
+    for _ in 0..3 {
+        // Both shards may be out at once; degraded/unavailable answers
+        // are fine here — the ticks drive every health transition.
+        let _ = sharded.query(
+            r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#,
+        );
+        sharded.tick(&primary);
+    }
+    for _ in 0..8 {
+        sharded.tick(&primary);
+    }
+    assert!(sharded.all_up(), "tick loop must heal the faulted fleet");
     let metrics = sharded.catalog().tracer().metrics();
     assert_all_present(
         SHARD_COUNTERS,

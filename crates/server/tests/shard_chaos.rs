@@ -1,0 +1,472 @@
+//! Shard fault-domain chaos sweep: 32 seeded schedules arm one shard
+//! with a deterministic crash/stall plan, then drive queries and
+//! health-check ticks until the fleet converges back to all-Up.
+//!
+//! Per schedule the sweep asserts the full robustness contract:
+//!
+//! * every injected crash/stall surfaces as a typed flight event
+//!   (`shard.fault.*`), and every down/reseed transition as
+//!   `shard.down` / `shard.reseed.begin/end`;
+//! * while degraded, every answer is a **subset** of the never-failed
+//!   oracle's and is flagged through the degraded set — an unflagged
+//!   answer must be bit-identical (never silently wrong);
+//! * the fleet converges to all-Up within the tick budget, surviving
+//!   injected crashes *during* the reseed (bounded retries under
+//!   exponential backoff);
+//! * post-recovery answers are bit-identical to the oracle, and the
+//!   placement still partitions the rows exactly (no stale or
+//!   duplicated fragments from a half-finished reseed).
+//!
+//! Seed: `ASR_FUZZ_SEED` (decimal u64) overrides the default, so CI can
+//! pin a seed while local runs explore.
+
+mod common;
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use asr_core::Cell;
+use asr_durable::{Channel, LosslessChannel};
+use asr_net::{decode_frame, Request, RequestBody, ResponseBody, WireMessage};
+use asr_obs::{FlightEvent, FlightRecorder};
+use asr_server::{NetServer, ShardFaultPlan, ShardedDatabase};
+use common::*;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("ASR_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xA512_1990)
+}
+
+/// Events named `name` carrying a `shard=<i>` attribute.
+fn events_for(rec: &FlightRecorder, name: &str, shard: usize) -> Vec<FlightEvent> {
+    let want = shard.to_string();
+    rec.tail(rec.len())
+        .into_iter()
+        .filter(|e| {
+            e.record.name == name
+                && e.record
+                    .attrs
+                    .iter()
+                    .any(|(k, v)| k == "shard" && *v == want)
+        })
+        .collect()
+}
+
+fn attr<'a>(ev: &'a FlightEvent, key: &str) -> Option<&'a str> {
+    ev.record
+        .attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn count_where(evs: &[FlightEvent], key: &str, value: &str) -> usize {
+    evs.iter().filter(|e| attr(e, key) == Some(value)).count()
+}
+
+/// The oracle's answer for every span the burst will replay.
+struct SpanOracle {
+    forward: Vec<(usize, usize, asr_gom::Oid, Vec<Cell>)>,
+    backward: Vec<(usize, usize, Cell, Vec<asr_gom::Oid>)>,
+}
+
+const SAMPLE: usize = 4;
+
+fn span_oracle(staged: &ChainPrimary) -> SpanOracle {
+    let oracle = staged.durable.database();
+    let mut forward = Vec::new();
+    let mut backward = Vec::new();
+    for i in 0..staged.n {
+        for j in (i + 1)..=staged.n {
+            for &start in staged.levels[i].iter().take(SAMPLE) {
+                let want = oracle.forward(staged.asr, i, j, start).expect("oracle fw");
+                forward.push((i, j, start, want));
+            }
+            for &target in staged.levels[j].iter().take(SAMPLE) {
+                let cell = Cell::Oid(target);
+                let want = oracle.backward(staged.asr, i, j, &cell).expect("oracle bw");
+                backward.push((i, j, cell, want));
+            }
+        }
+    }
+    SpanOracle { forward, backward }
+}
+
+/// Replay every sampled span once.  Unflagged answers must equal the
+/// oracle's; flagged (degraded) answers must be subsets.  Returns true
+/// if any answer in the burst was degraded.
+fn degraded_burst(
+    sharded: &mut ShardedDatabase,
+    staged: &ChainPrimary,
+    oracle: &SpanOracle,
+    ctx: &str,
+) -> bool {
+    let mut any_degraded = false;
+    for (i, j, start, want) in &oracle.forward {
+        sharded.take_degraded();
+        let got = sharded
+            .forward(staged.asr, *i, *j, *start)
+            .expect("degraded fleets still answer");
+        let missing = sharded.take_degraded();
+        if missing.is_empty() {
+            assert_eq!(
+                &got, want,
+                "{ctx}: unflagged fw Q_{{{i},{j}}} must be exact"
+            );
+        } else {
+            any_degraded = true;
+            let got: BTreeSet<&Cell> = got.iter().collect();
+            let want: BTreeSet<&Cell> = want.iter().collect();
+            assert!(
+                got.is_subset(&want),
+                "{ctx}: degraded fw Q_{{{i},{j}}} (missing {missing:?}) must be a subset"
+            );
+        }
+    }
+    for (i, j, target, want) in &oracle.backward {
+        sharded.take_degraded();
+        let got = sharded
+            .backward(staged.asr, *i, *j, target)
+            .expect("degraded fleets still answer");
+        let missing = sharded.take_degraded();
+        if missing.is_empty() {
+            assert_eq!(
+                &got, want,
+                "{ctx}: unflagged bw Q_{{{i},{j}}} must be exact"
+            );
+        } else {
+            any_degraded = true;
+            let got: BTreeSet<_> = got.iter().collect();
+            let want: BTreeSet<_> = want.iter().collect();
+            assert!(
+                got.is_subset(&want),
+                "{ctx}: degraded bw Q_{{{i},{j}}} (missing {missing:?}) must be a subset"
+            );
+        }
+    }
+    any_degraded
+}
+
+#[test]
+fn chaos_sweep_converges_to_all_up_with_oracle_identical_answers() {
+    const SCHEDULES: u64 = 32;
+    const MAX_ROUNDS: usize = 40;
+
+    let mut degraded_schedules = 0usize;
+    let mut down_schedules = 0usize;
+    let mut failed_reseed_schedules = 0usize;
+    let mut full_reseeds = 0usize;
+    let mut delta_reseeds = 0usize;
+    let mut artifact = String::new();
+
+    for k in 0..SCHEDULES {
+        let seed = fuzz_seed() ^ (k.wrapping_mul(0x9E37_79B9));
+        let staged = stage_chain(seed);
+        let oracle = span_oracle(&staged);
+        let n_shards = 2 + (seed % 3) as usize;
+        let armed = ((seed >> 8) % n_shards as u64) as usize;
+        let plan = ShardFaultPlan::from_seed(seed);
+        let ctx =
+            format!("schedule {k} seed {seed:#x} shards={n_shards} armed={armed} plan={plan:?}");
+
+        let mut sharded =
+            ShardedDatabase::from_primary(&staged.durable, n_shards, None).expect("seeds");
+        // Sized so nothing can be evicted: every injection must be
+        // visible as a typed event.
+        let recorder = Rc::new(FlightRecorder::new(1 << 17));
+        sharded.catalog().tracer().add_sink(recorder.clone());
+        sharded.set_deadline(4);
+        sharded.set_fault_plan(armed, plan);
+
+        // Drive query bursts and health ticks until the injections have
+        // fired, every down shard recovered, and the health machine is
+        // quiet (no new fault/transition signal for two full rounds).
+        let signal = |sharded: &ShardedDatabase| -> u64 {
+            let m = sharded.catalog().tracer().metrics();
+            [
+                "shard.fault.crashes",
+                "shard.fault.stalls",
+                "shard.health.suspects",
+                "shard.health.downs",
+                "shard.health.reseed_attempts",
+                "shard.health.reseed_failures",
+                "shard.health.recoveries",
+            ]
+            .iter()
+            .map(|name| m.counter(name))
+            .sum()
+        };
+        let mut schedule_degraded = false;
+        let mut quiet_rounds = 0usize;
+        let mut rounds = 0usize;
+        while rounds < MAX_ROUNDS {
+            rounds += 1;
+            let before = signal(&sharded);
+            schedule_degraded |= degraded_burst(&mut sharded, &staged, &oracle, &ctx);
+            sharded.tick(&staged.durable);
+            let fired = sharded
+                .catalog()
+                .tracer()
+                .metrics()
+                .counter("shard.fault.crashes")
+                + sharded
+                    .catalog()
+                    .tracer()
+                    .metrics()
+                    .counter("shard.fault.stalls");
+            if signal(&sharded) == before {
+                quiet_rounds += 1;
+            } else {
+                quiet_rounds = 0;
+            }
+            if sharded.all_up() && fired > 0 && quiet_rounds >= 2 {
+                break;
+            }
+        }
+        assert!(
+            rounds < MAX_ROUNDS,
+            "{ctx}: no quiescent all-Up state within {MAX_ROUNDS} rounds"
+        );
+        assert!(sharded.all_up(), "{ctx}: fleet must converge to all-Up");
+        assert_eq!(recorder.dropped(), 0, "{ctx}: recorder sized too small");
+
+        // Every injection surfaced as a typed event, and the transition
+        // ledger is internally consistent.
+        let crashes = events_for(&recorder, "shard.fault.crash", armed);
+        let stalls = events_for(&recorder, "shard.fault.stall", armed);
+        assert!(
+            !crashes.is_empty() || !stalls.is_empty(),
+            "{ctx}: an armed plan must surface at least one typed fault event"
+        );
+        let downs = events_for(&recorder, "shard.down", armed);
+        let begins = events_for(&recorder, "shard.reseed.begin", armed);
+        let ends = events_for(&recorder, "shard.reseed.end", armed);
+        let ok_ends = count_where(&ends, "outcome", "ok");
+        let failed_ends = count_where(&ends, "outcome", "failed");
+        assert_eq!(begins.len(), ends.len(), "{ctx}: every reseed must end");
+        assert_eq!(
+            ok_ends,
+            downs.len(),
+            "{ctx}: every down shard must recover exactly once"
+        );
+        let serve_crashes = count_where(&crashes, "phase", "serve");
+        let reseed_crashes = count_where(&crashes, "phase", "reseed");
+        assert_eq!(
+            failed_ends, reseed_crashes,
+            "{ctx}: reseeds over lossless links only fail via injected crashes"
+        );
+        if serve_crashes > 0 {
+            // A serving crash is fatal: the shard must have gone down
+            // and come back through a reseed.
+            assert_eq!(downs.len(), 1, "{ctx}: a crashed shard goes down once");
+            assert_eq!(
+                sharded.fleet().node(armed).generation(),
+                1,
+                "{ctx}: recovery must install a replacement generation"
+            );
+            // Delta vs full bootstrap is decided by what the crash took
+            // with it.
+            let want_mode = if plan.lose_applier { "full" } else { "delta" };
+            let modes: Vec<&str> = ends
+                .iter()
+                .filter(|e| attr(e, "outcome") == Some("ok"))
+                .filter_map(|e| attr(e, "mode"))
+                .collect();
+            assert_eq!(modes, vec![want_mode], "{ctx}: wrong reseed mode");
+        }
+        if !downs.is_empty() {
+            // Degraded service must have been observable while down.
+            assert!(
+                !events_for(&recorder, "shard.degraded_read", armed).is_empty(),
+                "{ctx}: a down shard must surface degraded reads"
+            );
+        }
+
+        // Post-recovery: bit-identical to the oracle, placement still an
+        // exact partition (no stale or duplicated rows from any
+        // half-finished reseed), and nothing left flagged.
+        sharded.take_degraded();
+        assert_spans_match(staged.durable.database(), &mut sharded, &staged, &ctx);
+        assert!(
+            sharded.take_degraded().is_empty(),
+            "{ctx}: recovered fleet must not flag answers"
+        );
+        let primary_rows = staged
+            .durable
+            .database()
+            .asr(staged.asr)
+            .unwrap()
+            .total_rows() as u64;
+        let placed: u64 = (0..n_shards)
+            .map(|i| sharded.fleet().node(i).placed_rows())
+            .sum();
+        assert_eq!(
+            placed, primary_rows,
+            "{ctx}: placement must still partition the rows exactly"
+        );
+
+        degraded_schedules += schedule_degraded as usize;
+        down_schedules += usize::from(!downs.is_empty());
+        failed_reseed_schedules += usize::from(failed_ends > 0);
+        for e in &ends {
+            if attr(e, "outcome") == Some("ok") {
+                match attr(e, "mode") {
+                    Some("full") => full_reseeds += 1,
+                    Some("delta") => delta_reseeds += 1,
+                    other => panic!("{ctx}: reseed.end with unknown mode {other:?}"),
+                }
+            }
+        }
+        artifact.push_str(&recorder.dump_jsonl());
+    }
+
+    // CI uploads the full fault timeline of the pinned-seed run.
+    if let Ok(path) = std::env::var("ASR_SHARD_FLIGHTREC_OUT") {
+        std::fs::write(&path, &artifact).expect("write flight-recorder artifact");
+    }
+
+    // The seeded plan generator must actually exercise every leg of the
+    // contract across the sweep, not just the quiet paths.
+    assert!(
+        down_schedules >= 8,
+        "only {down_schedules}/32 schedules took a shard down — sweep too gentle"
+    );
+    assert!(
+        degraded_schedules >= 8,
+        "only {degraded_schedules}/32 schedules served degraded answers"
+    );
+    assert!(
+        failed_reseed_schedules >= 1,
+        "no schedule crashed during a reseed — retry path untested"
+    );
+    assert!(
+        full_reseeds >= 1 && delta_reseeds >= 1,
+        "sweep must cover both full ({full_reseeds}) and delta ({delta_reseeds}) bootstraps"
+    );
+}
+
+/// The degraded marker rides the wire: a query pumped through the
+/// sharded front door while a shard is out carries the missing-shard
+/// set in the response's `partial` field, and a healed fleet clears it.
+#[test]
+fn degraded_responses_carry_the_partial_flag_on_the_wire() {
+    let (primary, _id) = company_primary();
+    let mut sharded = ShardedDatabase::from_primary(&primary, 2, None).expect("seeds");
+    sharded.set_deadline(2);
+    sharded.set_fault_plan(
+        0,
+        ShardFaultPlan {
+            crash_at_op: Some(1),
+            ..ShardFaultPlan::default()
+        },
+    );
+
+    let mut server = NetServer::new();
+    let sid = server.open_session();
+    let query =
+        r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#;
+
+    let call = |server: &mut NetServer, sharded: &mut ShardedDatabase, id: u64| {
+        let (mut rx, mut tx) = (LosslessChannel::new(), LosslessChannel::new());
+        rx.send(
+            Request {
+                id,
+                body: RequestBody::Query(query.to_string()),
+            }
+            .encode(),
+        );
+        server.pump_session_sharded(sid, sharded, &mut rx, &mut tx);
+        let frame = tx.recv().expect("a response frame");
+        match decode_frame(&frame) {
+            Some(WireMessage::Response(resp)) => resp,
+            other => panic!("expected a response, got {other:?}"),
+        }
+    };
+
+    // Shard 0 crashes on its first poll: the answer is flagged partial.
+    let resp = call(&mut server, &mut sharded, 1);
+    assert_eq!(resp.partial, vec![0], "crash must stamp the partial flag");
+    assert!(
+        matches!(resp.body, ResponseBody::Table { .. }),
+        "degraded responses still answer: {:?}",
+        resp.body
+    );
+
+    // Heal the fleet, then the same query answers complete and unflagged.
+    for _ in 0..4 {
+        sharded.tick(&primary);
+    }
+    assert!(sharded.all_up(), "tick loop must heal the crashed shard");
+    let resp = call(&mut server, &mut sharded, 2);
+    assert!(
+        resp.partial.is_empty(),
+        "healed fleets must not flag answers: {:?}",
+        resp.partial
+    );
+    match resp.body {
+        ResponseBody::Table { rows, .. } => assert!(!rows.is_empty(), "the Door query has answers"),
+        other => panic!("expected a table, got {other:?}"),
+    }
+
+    // Mutations stay read-only through the sharded front door.
+    let (mut rx, mut tx) = (LosslessChannel::new(), LosslessChannel::new());
+    rx.send(
+        Request {
+            id: 3,
+            body: RequestBody::DropAsr { asr: 0 },
+        }
+        .encode(),
+    );
+    server.pump_session_sharded(sid, &mut sharded, &mut rx, &mut tx);
+    let frame = tx.recv().expect("a response frame");
+    match decode_frame(&frame) {
+        Some(WireMessage::Response(resp)) => match resp.body {
+            ResponseBody::Err(msg) => assert!(msg.contains("read-only"), "{msg}"),
+            other => panic!("mutations must be refused, got {other:?}"),
+        },
+        other => panic!("expected a response, got {other:?}"),
+    }
+}
+
+/// A fleet with every shard down refuses loudly instead of returning an
+/// empty (silently wrong) answer.
+#[test]
+fn all_shards_down_is_a_typed_error_not_an_empty_answer() {
+    let staged = stage_chain(99);
+    let mut sharded = ShardedDatabase::from_primary(&staged.durable, 1, None).expect("seeds");
+    sharded.set_deadline(2);
+    sharded.set_fault_plan(
+        0,
+        ShardFaultPlan {
+            crash_at_op: Some(1),
+            ..ShardFaultPlan::default()
+        },
+    );
+    let start = staged.levels[0][0];
+    let err = sharded
+        .forward(staged.asr, 0, staged.n, start)
+        .expect_err("an all-down fleet must error");
+    assert!(
+        err.to_string().contains("every shard is down"),
+        "unexpected error: {err}"
+    );
+    // The tick loop heals even a fully-down fleet, after which the span
+    // answers exactly.
+    for _ in 0..4 {
+        sharded.tick(&staged.durable);
+    }
+    assert!(sharded.all_up());
+    let want = staged
+        .durable
+        .database()
+        .forward(staged.asr, 0, staged.n, start)
+        .expect("oracle");
+    sharded.take_degraded();
+    let got = sharded
+        .forward(staged.asr, 0, staged.n, start)
+        .expect("healed fleet answers");
+    assert_eq!(got, want);
+    assert!(sharded.take_degraded().is_empty());
+}

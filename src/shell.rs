@@ -54,7 +54,7 @@ use asr_gom::PathExpression;
 use asr_net::{decode_frame, Request, RequestBody, Response, ResponseBody, WireMessage};
 use asr_obs::{FlightRecorder, RingBufferSink, SinkId};
 use asr_oql as oql;
-use asr_server::{NetServer, ServerDb, ShardedDatabase, TcpServer};
+use asr_server::{NetServer, ServerDb, ShardFaultPlan, ShardedDatabase, TcpServer};
 use asr_workload::{company_database, robot_database};
 
 /// The session's open database: plain in-memory, or write-ahead logged.
@@ -471,13 +471,20 @@ fn cmd_wal(state: &mut ShellState, rest: &str) -> Result<String, String> {
                 let _ = writeln!(
                     out,
                     "group commit: target {} session(s), {} pending, {} group(s) flushed, \
-                     {} commit(s) over {} fsync(s) ({:.2} fsyncs/commit)",
+                     {} commit(s) over {} fsync(s) ({:.2} fsyncs/commit){}",
                     g.target,
                     g.pending_sessions,
                     g.groups,
                     g.commits,
                     g.fsyncs,
-                    g.fsyncs_per_commit()
+                    g.fsyncs_per_commit(),
+                    match g.deadline_ops {
+                        Some(ops) => format!(
+                            ", deadline {ops} op(s) ({} deadline flush(es))",
+                            g.deadline_flushes
+                        ),
+                        None => String::new(),
+                    }
                 );
             }
             let lineage = match s.delta_base_lsn {
@@ -531,16 +538,32 @@ fn cmd_wal(state: &mut ShellState, rest: &str) -> Result<String, String> {
                     ))
                 }
                 Some(n) => {
-                    let target: usize = n
-                        .parse()
-                        .map_err(|_| "usage: \\wal group <sessions>|off".to_string())?;
+                    let usage = "usage: \\wal group <sessions> [deadline <ops>]|off";
+                    let target: usize = n.parse().map_err(|_| usage.to_string())?;
+                    let deadline = match parts.next() {
+                        Some("deadline") => {
+                            let ops: u64 = parts
+                                .next()
+                                .ok_or(usage)?
+                                .parse()
+                                .map_err(|_| usage.to_string())?;
+                            Some(ops)
+                        }
+                        Some(other) => return Err(format!("unknown option `{other}`")),
+                        None => None,
+                    };
                     d.enable_group_commit(target);
+                    d.set_group_commit_deadline(deadline);
                     Ok(format!(
                         "group commit on: one fsync once {target} session(s) have a \
-                         commit pending (`\\wal status` shows the pipeline)"
+                         commit pending{} (`\\wal status` shows the pipeline)",
+                        match deadline {
+                            Some(ops) => format!(", or after {ops} logged op(s)"),
+                            None => String::new(),
+                        }
                     ))
                 }
-                None => Err("usage: \\wal group <sessions>|off".to_string()),
+                None => Err("usage: \\wal group <sessions> [deadline <ops>]|off".to_string()),
             }
         }
         Some("prune") => {
@@ -1037,10 +1060,13 @@ fn cmd_connect(state: &mut ShellState, rest: &str) -> Result<String, String> {
     }
 }
 
-/// `\shards on <n> [chaos <seed>]|off|status|reseed`: scatter-gather
-/// serving.  Requires WAL mode — the fleet is seeded from the durable
-/// primary through the replication substrate, and `reseed` replays the
-/// WAL suffix after mutations.
+/// `\shards on <n> [chaos <seed>]|off|status|reseed|tick [n]|fault
+/// <shard> <seed>|deadline <attempts>`: scatter-gather serving with
+/// fault domains.  Requires WAL mode — the fleet is seeded from the
+/// durable primary through the replication substrate, `reseed` replays
+/// the WAL suffix after mutations, `fault` arms a deterministic
+/// crash/stall plan on one shard, and `tick` drives the coordinator's
+/// health check + self-healing reseed loop.
 fn cmd_shards(state: &mut ShellState, rest: &str) -> Result<String, String> {
     let mut parts = rest.split_whitespace();
     match parts.next() {
@@ -1106,7 +1132,90 @@ fn cmd_shards(state: &mut ShellState, rest: &str) -> Result<String, String> {
             state.sharded = Some(sharded);
             out
         }
-        _ => Err("usage: \\shards on <n> [chaos <seed>]|off|status|reseed".to_string()),
+        Some("tick") => {
+            let n: u64 = match parts.next() {
+                Some(n) => n
+                    .parse()
+                    .map_err(|_| "usage: \\shards tick [n]".to_string())?,
+                None => 1,
+            };
+            let Some(mut sharded) = state.sharded.take() else {
+                return Err("sharding is off — `\\shards on <n>` first".to_string());
+            };
+            let d = match state.durable_mut() {
+                Ok(d) => d,
+                Err(e) => {
+                    state.sharded = Some(sharded);
+                    return Err(e);
+                }
+            };
+            for _ in 0..n.max(1) {
+                sharded.tick(d);
+            }
+            let states: Vec<String> = sharded
+                .health_states()
+                .iter()
+                .map(|s| s.label().to_string())
+                .collect();
+            let verdict = if sharded.all_up() {
+                "fleet healthy".to_string()
+            } else {
+                format!("[{}]", states.join(", "))
+            };
+            let out = format!("ticked {n} time(s): {verdict}");
+            state.sharded = Some(sharded);
+            Ok(out)
+        }
+        Some("fault") => {
+            let usage = "usage: \\shards fault <shard> <seed>";
+            let shard: usize = parts
+                .next()
+                .ok_or(usage)?
+                .parse()
+                .map_err(|_| usage.to_string())?;
+            let seed: u64 = parts
+                .next()
+                .ok_or(usage)?
+                .parse()
+                .map_err(|_| usage.to_string())?;
+            let Some(sharded) = state.sharded.as_mut() else {
+                return Err("sharding is off — `\\shards on <n>` first".to_string());
+            };
+            if shard >= sharded.shard_count() {
+                return Err(format!(
+                    "shard {shard} out of range (fleet has {})",
+                    sharded.shard_count()
+                ));
+            }
+            let plan = ShardFaultPlan::from_seed(seed);
+            let desc = plan.describe();
+            sharded.set_fault_plan(shard, plan);
+            Ok(format!(
+                "fault plan armed on shard {shard} (seed {seed}): {desc}; \
+                 run queries then `\\shards tick` to watch it heal"
+            ))
+        }
+        Some("deadline") => {
+            let attempts: u32 = parts
+                .next()
+                .ok_or("usage: \\shards deadline <attempts>")?
+                .parse()
+                .map_err(|_| "usage: \\shards deadline <attempts>".to_string())?;
+            let Some(sharded) = state.sharded.as_mut() else {
+                return Err("sharding is off — `\\shards on <n>` first".to_string());
+            };
+            sharded.set_deadline(attempts);
+            Ok(format!(
+                "per-shard request deadline set to {} attempt(s); a shard that \
+                 misses it goes suspect, then down",
+                attempts.max(1)
+            ))
+        }
+        _ => Err(
+            "usage: \\shards on <n> [chaos <seed>]|off|status|reseed|tick [n]|\
+             fault <shard> <seed>|deadline <attempts>"
+                .to_string(),
+        ),
     }
 }
 
@@ -1361,8 +1470,10 @@ fn run_query_wire(state: &mut ShellState, text: &str) -> Result<String, String> 
 /// span scattered across the fleet and gathered back.
 fn run_query_sharded(state: &mut ShellState, text: &str) -> Result<String, String> {
     let sharded = state.sharded.as_mut().expect("checked by run_query");
+    sharded.take_degraded(); // clear carry-over from a prior query
     let result = sharded.query(text).map_err(|e| e.to_string())?;
     let (merged, max_shard) = sharded.fleet_mut().take_io();
+    let missing = sharded.take_degraded();
     let mut out = result.to_string();
     let _ = writeln!(
         out,
@@ -1372,6 +1483,15 @@ fn run_query_sharded(state: &mut ShellState, text: &str) -> Result<String, Strin
         sharded.shard_count(),
         merged.accesses()
     );
+    if !missing.is_empty() {
+        let ids: Vec<String> = missing.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "partial: missing shards {{{}}} — answer is a subset; \
+             `\\shards tick` to heal",
+            ids.join(", ")
+        );
+    }
     Ok(out)
 }
 
@@ -1381,8 +1501,9 @@ const HELP: &str = r#"commands:
                              with a MANIFEST is recovered (checkpoint
                              + WAL replay) and stays in WAL mode
   \wal on <dir>|off|status   write-ahead logging for the open database
-  \wal group <n>|off         group commit: one fsync per n pending session
-                             commits (status shows the pipeline counters)
+  \wal group <n> [deadline <ops>]|off  group commit: one fsync per n
+                             pending session commits; `deadline` flushes a
+                             partial group after that many logged ops
   \wal rotate|prune          seal the active log / drop archived history
                              fully covered by the newest checkpoint
   \txn status                MVCC epochs: commit epoch, snapshot pins,
@@ -1416,6 +1537,12 @@ const HELP: &str = r#"commands:
   \shards on <n> [chaos <seed>]  scatter-gather serving over n shards
                              seeded from the WAL-mode primary; queries
                              fan out and union.  \shards off|status|reseed
+  \shards fault <i> <seed>   arm a deterministic crash/stall plan on one
+                             shard; degraded reads print `partial: missing
+                             shards {…}` until the fleet heals
+  \shards tick [n]           drive the coordinator health check: probe,
+                             mark suspect/down, reseed replacements
+  \shards deadline <k>       per-shard request deadline in wire attempts
   \quit
 anything else is executed as a query:
   select d.Name from d in Mercedes, b in d.Manufactures.Composition
@@ -1648,6 +1775,19 @@ mod tests {
         assert!(st.contains("policy every-record"), "{st}");
         assert!(st.contains("0 pending record(s)"), "{st}");
         assert!(!st.contains("group commit: target"), "{st}");
+
+        // With an op-count deadline the pipeline flushes a partial group
+        // on its own: the lone logged mutation never waits for 3 peers.
+        assert!(run_line(&mut s, "\\wal group 4 sideways").starts_with("error:"));
+        assert!(run_line(&mut s, "\\wal group 4 deadline").starts_with("error:"));
+        let on = run_line(&mut s, "\\wal group 4 deadline 1");
+        assert!(on.contains("after 1 logged op(s)"), "{on}");
+        run_line(&mut s, "\\drop 0");
+        let st = run_line(&mut s, "\\wal status");
+        assert!(st.contains("deadline 1 op(s)"), "{st}");
+        assert!(st.contains("deadline flush(es)"), "{st}");
+        assert!(st.contains("0 pending record(s)"), "{st}");
+        run_line(&mut s, "\\wal group off");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1967,7 +2107,67 @@ mod tests {
         assert!(run_line(&mut s, "\\shards off").contains("already off"));
         assert!(run_line(&mut s, "\\shards status").starts_with("error:"));
         assert!(run_line(&mut s, "\\shards reseed").starts_with("error:"));
+        assert!(run_line(&mut s, "\\shards tick").starts_with("error:"));
+        assert!(run_line(&mut s, "\\shards fault 0 1").starts_with("error:"));
+        assert!(run_line(&mut s, "\\shards deadline 2").starts_with("error:"));
         assert!(run_line(&mut s, "\\shards sideways").starts_with("error:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shards_fault_degrades_then_ticks_back_to_healthy() {
+        let query =
+            r#"select d.Name from d in Division where d.Manufactures.Composition.Name = "Door""#;
+        let dir = std::env::temp_dir().join("asrdb_shell_shard_fault_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let mut s = ShellState::new();
+        run_line(&mut s, "\\open company");
+        run_line(&mut s, &format!("\\wal on {dir_str}"));
+        run_line(
+            &mut s,
+            "\\asr Division.Manufactures.Composition.Name full binary",
+        );
+        let direct = run_line(&mut s, query);
+        run_line(&mut s, "\\shards on 2");
+        assert!(run_line(&mut s, "\\shards fault 9 1").starts_with("error:"));
+        assert!(run_line(&mut s, "\\shards fault 0").starts_with("error:"));
+        let deadline = run_line(&mut s, "\\shards deadline 2");
+        assert!(deadline.contains("2 attempt(s)"), "{deadline}");
+
+        // A seed whose plan crashes shard 0 on its very first poll.
+        let seed = (0..500)
+            .find(|&sd| ShardFaultPlan::from_seed(sd).crash_at_op == Some(1))
+            .expect("some seed crashes at op 1");
+        let armed = run_line(&mut s, &format!("\\shards fault 0 {seed}"));
+        assert!(armed.contains("crash at op 1"), "{armed}");
+
+        // The crashed shard drops out of the scatter; the answer is
+        // explicitly partial, never silently wrong.
+        let degraded = run_line(&mut s, query);
+        assert!(
+            degraded.contains("partial: missing shards {0}"),
+            "{degraded}"
+        );
+        let status = run_line(&mut s, "\\shards status");
+        assert!(!status.contains("shard 0: state=up"), "{status}");
+        assert!(status.contains("(unreachable"), "{status}");
+
+        // Ticking the health loop marks it down, reseeds a replacement
+        // and converges back to all-Up ...
+        let healed = run_line(&mut s, "\\shards tick 8");
+        assert!(healed.contains("fleet healthy"), "{healed}");
+        let status = run_line(&mut s, "\\shards status");
+        assert!(status.contains("shard 0: state=up"), "{status}");
+
+        // ... after which answers are bit-identical to the primary again.
+        let recovered = run_line(&mut s, query);
+        assert!(!recovered.contains("partial:"), "{recovered}");
+        assert_eq!(
+            recovered.lines().next(),
+            direct.lines().next(),
+            "post-recovery rows must match the primary"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
